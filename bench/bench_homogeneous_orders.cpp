@@ -1,0 +1,112 @@
+// E3 — §V-B: optimal greedy orders on homogeneous instances
+// (P = 1, V = w = 1, δ_i ∈ [1/2, 1], δ sorted descending).
+//
+// The paper states the optimal orders: n=2: {1,2 | 2,1}; n=3: {1,3,2 |
+// 2,3,1}; n=4: {1,3,2,4 | 4,2,3,1}; and for n=5 the necessary condition
+// (δ_l − δ_j)(δ_i − δ_m) <= 0.  We enumerate the true optima per instance
+// and report the observed pattern frequencies.  Note: for n=4 the recurrence
+// (the paper's own equation, cross-checked against simulated greedy
+// schedules) yields 1,3,4,2 / 2,4,3,1 instead of the printed 1,3,2,4 /
+// 4,2,3,1 — see EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "malsched/core/homogeneous.hpp"
+#include "malsched/support/rng.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+namespace {
+
+std::string order_string(std::span<const std::size_t> order) {
+  std::string out;
+  for (const std::size_t i : order) {
+    out += std::to_string(i + 1);  // 1-based like the paper
+    out += ',';
+  }
+  if (!out.empty()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::vector<double> random_descending_deltas(support::Rng& rng,
+                                             std::size_t n) {
+  std::vector<double> delta(n);
+  for (auto& d : delta) {
+    d = rng.uniform(0.5 + 1e-6, 1.0);
+  }
+  std::sort(delta.begin(), delta.end(), std::greater<>());
+  return delta;
+}
+
+void run_report(const bench::BenchConfig& config) {
+  bench::print_banner("E3 (paper §V-B)",
+                      "optimal greedy orders on homogeneous instances",
+                      config);
+
+  const std::size_t trials = bench::scaled(200, config.scale);
+
+  for (const std::size_t n : {2u, 3u, 4u, 5u}) {
+    support::Rng rng(config.seed + n);
+    std::map<std::string, std::size_t> pattern_counts;
+    std::size_t five_condition_ok = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto delta = random_descending_deltas(rng, n);
+      const auto best = core::best_homogeneous_order(delta);
+      ++pattern_counts[order_string(best.order)];
+      if (n == 5) {
+        five_condition_ok +=
+            core::five_task_condition(delta, best.order) ? 1 : 0;
+      }
+    }
+    std::printf("n = %zu (%zu random instances, deltas sorted descending):\n",
+                n, trials);
+    support::TextTable table({{"optimal order (1-based)", support::Align::Left},
+                              {"frequency", support::Align::Right}});
+    for (const auto& [pattern, count] : pattern_counts) {
+      table.add_row({pattern, support::fmt_int(static_cast<long long>(count))});
+    }
+    std::printf("%s", table.to_string().c_str());
+    if (n == 5) {
+      std::printf("5-task necessary condition (δl−δj)(δi−δm) <= 0 held on "
+                  "%zu/%zu optima\n",
+                  five_condition_ok, trials);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper-stated patterns: n=2: 1,2 / 2,1;  n=3: 1,3,2 / 2,3,1;\n"
+      "n=4: 1,3,2,4 / 4,2,3,1 (paper) vs 1,3,4,2 / 2,4,3,1 (measured from\n"
+      "the paper's own recurrence — the n=2,3 rows match the paper exactly).\n\n");
+}
+
+void bm_best_order(benchmark::State& state) {
+  support::Rng rng(9);
+  const auto delta =
+      random_descending_deltas(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_homogeneous_order(delta).total);
+  }
+}
+BENCHMARK(bm_best_order)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_config(argc, argv);
+  run_report(config);
+  if (config.timing) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

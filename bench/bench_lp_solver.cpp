@@ -1,0 +1,108 @@
+// E9 — Corollary 1 machinery: size and cost of the order LP, double vs
+// exact-rational agreement.  The paper outsources this to an LP solver; we
+// built one (two-phase dense simplex), so this experiment doubles as its
+// acceptance test at the sizes the Monte-Carlo sweeps use.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/order_lp.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/support/stats.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+namespace {
+
+core::Instance draw(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  core::GeneratorConfig gen;
+  gen.family = core::Family::Uniform;
+  gen.num_tasks = n;
+  gen.processors = 2.0;
+  return core::generate(gen, rng);
+}
+
+void run_report(const bench::BenchConfig& config) {
+  bench::print_banner("E9 (paper Corollary 1)",
+                      "order-LP sizes, solver agreement and cost", config);
+
+  // LP shape per n.
+  {
+    support::TextTable table({{"n", support::Align::Right},
+                              {"variables", support::Align::Right},
+                              {"constraints", support::Align::Right},
+                              {"simplex iterations", support::Align::Right}});
+    for (const std::size_t n : {2u, 4u, 6u, 8u}) {
+      const auto inst = draw(n, config.seed + n);
+      const auto model = core::build_order_lp(inst, core::identity_order(n));
+      const auto solution = lp::solve(model);
+      table.add_row(
+          {support::fmt_int(static_cast<long long>(n)),
+           support::fmt_int(static_cast<long long>(model.num_variables())),
+           support::fmt_int(static_cast<long long>(model.num_constraints())),
+           support::fmt_int(static_cast<long long>(solution.iterations))});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // Double vs exact agreement.
+  {
+    const std::size_t trials = bench::scaled(20, config.scale);
+    support::Sample abs_err;
+    support::Rng rng(config.seed + 99);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto inst = draw(4, rng.next_u64());
+      const auto order = rng.permutation(4);
+      const double approx = core::order_lp_objective(inst, order);
+      const auto exact = core::solve_order_lp_exact(inst, order);
+      if (exact.status == lp::SolveStatus::Optimal) {
+        abs_err.add(std::fabs(approx - exact.objective.to_double()));
+      }
+    }
+    std::printf("double-simplex vs exact-rational simplex on %zu random "
+                "order LPs (n=4):\n  |objective difference| %s\n\n",
+                trials, abs_err.summary(3).c_str());
+  }
+}
+
+void bm_order_lp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = draw(n, 555);
+  const auto order = core::identity_order(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::order_lp_objective(inst, order));
+  }
+}
+BENCHMARK(bm_order_lp)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_order_lp_exact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = draw(n, 555);
+  const auto order = core::identity_order(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_order_lp_exact(inst, order).status);
+  }
+}
+BENCHMARK(bm_order_lp_exact)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_config(argc, argv);
+  run_report(config);
+  if (config.timing) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+// E10 — Theorem 8 ablation: what normalization buys.
+// Take schedules produced by different generators (WDEQ, greedy orders,
+// order-LP optima), renormalize them with Water-Filling, and measure
+//   * completion-time preservation (must be exact: the normal form keeps C_i),
+//   * fractional rate changes before vs after (WF guarantees <= n; the
+//     sources do not),
+// demonstrating why the normal form "can be used to reduce the search
+// space" (§IV) at no cost in the objective.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "malsched/core/assignment.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/order_lp.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/core/wdeq.hpp"
+#include "malsched/support/stats.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+namespace {
+
+struct SourceResult {
+  support::Sample changes_before;
+  support::Sample changes_after;
+  support::Sample band_after;
+  support::Sample completion_error;
+  std::size_t violations = 0;  // infeasible WF or band count > n
+};
+
+void run_report(const bench::BenchConfig& config) {
+  bench::print_banner("E10 (paper Theorem 8)",
+                      "normal-form ablation: preservation and preemptions",
+                      config);
+
+  const std::size_t trials = bench::scaled(40, config.scale);
+  const std::size_t n = 12;
+
+  const auto measure = [&](auto&& make_columns, std::uint64_t seed) {
+    SourceResult result;
+    support::Rng rng(seed);
+    for (std::size_t t = 0; t < trials; ++t) {
+      core::GeneratorConfig gen;
+      gen.family = core::Family::Uniform;
+      gen.num_tasks = n;
+      gen.processors = 4.0;
+      const auto inst = core::generate(gen, rng);
+      const core::ColumnSchedule columns = make_columns(inst, rng);
+      const auto wf = core::water_fill(inst, columns.completions());
+      if (!wf.feasible) {
+        ++result.violations;
+        continue;
+      }
+      result.changes_before.add(
+          static_cast<double>(core::count_fractional_changes(columns)));
+      result.changes_after.add(
+          static_cast<double>(core::count_fractional_changes(wf.schedule)));
+      result.band_after.add(
+          static_cast<double>(core::count_band_changes(inst, wf.schedule)));
+      double max_err = 0.0;
+      for (std::size_t i = 0; i < inst.size(); ++i) {
+        max_err = std::max(max_err, std::fabs(wf.schedule.completion(i) -
+                                              columns.completion(i)));
+      }
+      result.completion_error.add(max_err);
+      if (core::count_band_changes(inst, wf.schedule) > n) {
+        ++result.violations;
+      }
+    }
+    return result;
+  };
+
+  const auto from_wdeq = [](const core::Instance& inst, support::Rng&) {
+    return core::run_wdeq(inst).schedule.to_columns(inst);
+  };
+  const auto from_greedy_random = [](const core::Instance& inst,
+                                     support::Rng& rng) {
+    return core::greedy_schedule(inst, rng.permutation(inst.size()))
+        .to_columns(inst);
+  };
+  const auto from_greedy_smith = [](const core::Instance& inst,
+                                    support::Rng&) {
+    return core::greedy_schedule(inst, core::smith_order(inst))
+        .to_columns(inst);
+  };
+
+  support::TextTable table(
+      {{"schedule source", support::Align::Left},
+       {"rate changes before", support::Align::Right},
+       {"after WF (all)", support::Align::Right},
+       {"after WF (band)", support::Align::Right},
+       {"bound n", support::Align::Right},
+       {"max completion drift", support::Align::Right},
+       {"band > n", support::Align::Right}});
+  const auto add = [&](const char* name, const SourceResult& r) {
+    table.add_row({name, support::fmt_double(r.changes_before.mean(), 1),
+                   support::fmt_double(r.changes_after.mean(), 1),
+                   support::fmt_double(r.band_after.mean(), 1),
+                   support::fmt_int(static_cast<long long>(n)),
+                   support::fmt_ratio(r.completion_error.max(), 12),
+                   support::fmt_int(static_cast<long long>(r.violations))});
+  };
+  add("WDEQ run", measure(from_wdeq, config.seed));
+  add("greedy (random order)", measure(from_greedy_random, config.seed + 1));
+  add("greedy (Smith order)", measure(from_greedy_smith, config.seed + 2));
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: WF reproduces every source's completion times to machine\n"
+      "precision while pushing the Lemma-5 band count under the Theorem-9\n"
+      "cap n=%zu.  The all-changes column can exceed n on WDEQ-shaped\n"
+      "profiles (tasks saturating in their final columns) — the\n"
+      "reproduction finding detailed in EXPERIMENTS.md.\n\n",
+      n);
+}
+
+void bm_normalize(benchmark::State& state) {
+  support::Rng rng(29);
+  core::GeneratorConfig gen;
+  gen.family = core::Family::Uniform;
+  gen.num_tasks = static_cast<std::size_t>(state.range(0));
+  gen.processors = 4.0;
+  const auto inst = core::generate(gen, rng);
+  const auto run = core::run_wdeq(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::normalize(inst, run.schedule).feasible);
+  }
+}
+BENCHMARK(bm_normalize)->Arg(12)->Arg(48)->Arg(192)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_config(argc, argv);
+  run_report(config);
+  if (config.timing) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E6 — Theorems 9 and 10: preemption bounds of the Water-Filling normal
+// form.  For growing n we build WF schedules (from greedy completion times)
+// on integral instances and measure
+//   * fractional rate changes      (Theorem 9:   <= n),
+//   * integer count changes        (Lemma 9:     <= 3n),
+//   * realized processor losses under the affinity assignment.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "malsched/core/assignment.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/support/stats.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+namespace {
+
+void run_report(const bench::BenchConfig& config) {
+  bench::print_banner("E6 (paper Theorems 9/10)",
+                      "preemption counts of the WF normal form", config);
+
+  const std::size_t trials = bench::scaled(20, config.scale);
+  support::TextTable table({{"n", support::Align::Right},
+                            {"band chg (Lem 5)", support::Align::Right},
+                            {"bound n", support::Align::Right},
+                            {"all frac chg", support::Align::Right},
+                            {"2n envelope", support::Align::Right},
+                            {"int chg", support::Align::Right},
+                            {"bound 3n", support::Align::Right},
+                            {"proc losses", support::Align::Right},
+                            {"ok", support::Align::Left}});
+
+  std::uint64_t seed = config.seed;
+  for (const std::size_t n : {10u, 30u, 100u, 300u}) {
+    support::Sample band;
+    support::Sample frac;
+    support::Sample integer;
+    support::Sample losses;
+    bool ok = true;
+    support::Rng rng(seed++);
+    for (std::size_t t = 0; t < trials; ++t) {
+      core::GeneratorConfig gen;
+      gen.family = core::Family::UniformIntegral;
+      gen.num_tasks = n;
+      gen.processors = 8.0;
+      const auto inst = core::generate(gen, rng);
+      const auto greedy = core::greedy_schedule(inst, core::smith_order(inst));
+      const auto wf = core::water_fill(inst, greedy.completions());
+      if (!wf.feasible) {
+        ok = false;
+        continue;
+      }
+      const auto assignment = core::assign_processors(inst, wf.schedule);
+      const auto stats =
+          core::count_preemptions(inst, wf.schedule, assignment);
+      band.add(static_cast<double>(stats.band_changes));
+      frac.add(static_cast<double>(stats.fractional_changes));
+      integer.add(static_cast<double>(stats.integer_changes));
+      losses.add(static_cast<double>(stats.processor_losses));
+      ok = ok && stats.band_changes <= n &&
+           stats.fractional_changes <= 2 * n &&
+           stats.integer_changes <= 3 * n;
+    }
+    table.add_row({support::fmt_int(static_cast<long long>(n)),
+                   support::fmt_double(band.mean(), 1),
+                   support::fmt_int(static_cast<long long>(n)),
+                   support::fmt_double(frac.mean(), 1),
+                   support::fmt_int(static_cast<long long>(2 * n)),
+                   support::fmt_double(integer.mean(), 1),
+                   support::fmt_int(static_cast<long long>(3 * n)),
+                   support::fmt_double(losses.mean(), 1),
+                   ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Theorem 9 bounds the Lemma-5 band count by n (holds everywhere).\n"
+      "Reproduction note: counting EVERY interior allocation change can\n"
+      "exceed n (minimal 4-task counterexample in the test suite: 5 > 4);\n"
+      "the measured envelope is 2n-1.  Theorem 10's 3n holds for the\n"
+      "integer count on every instance tried here.\n\n");
+}
+
+void bm_assignment(benchmark::State& state) {
+  support::Rng rng(17);
+  core::GeneratorConfig gen;
+  gen.family = core::Family::UniformIntegral;
+  gen.num_tasks = static_cast<std::size_t>(state.range(0));
+  gen.processors = 8.0;
+  const auto inst = core::generate(gen, rng);
+  const auto greedy = core::greedy_schedule(inst, core::smith_order(inst));
+  const auto wf = core::water_fill(inst, greedy.completions());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::assign_processors(inst, wf.schedule).num_processors());
+  }
+}
+BENCHMARK(bm_assignment)->Arg(30)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_config(argc, argv);
+  run_report(config);
+  if (config.timing) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E11 — Table I rows with release dates:
+// P|var;V_i/q,δ_i,r_i|Cmax (Drozdowski [10], O(n²)) and ...|Lmax ([2]).
+// Our implementation reduces window feasibility to a task×interval
+// transportation max-flow (Dinic) and bisects.  Measures
+//   * agreement with the Water-Filling machinery at r = 0,
+//   * tightness of the max(r_i + h_i, staggered-area) lower bound,
+//   * the cost of one released-makespan solve vs n.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/makespan.hpp"
+#include "malsched/core/release_dates.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/support/stats.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+namespace {
+
+void run_report(const bench::BenchConfig& config) {
+  bench::print_banner("E11 (paper Table I, r_i rows)",
+                      "release-date Cmax/Lmax via the flow reduction",
+                      config);
+
+  // Agreement with WF at r = 0 across random deadline probes.
+  {
+    const std::size_t probes = bench::scaled(200, config.scale);
+    support::Rng rng(config.seed);
+    std::size_t agree = 0;
+    for (std::size_t t = 0; t < probes; ++t) {
+      core::GeneratorConfig gen;
+      gen.family = core::Family::Uniform;
+      gen.num_tasks = 6;
+      gen.processors = 2.0;
+      const auto inst = core::generate(gen, rng);
+      std::vector<double> deadlines(inst.size());
+      for (auto& d : deadlines) {
+        d = rng.uniform(0.2, 2.5);
+      }
+      const std::vector<double> zero(inst.size(), 0.0);
+      agree += (core::released_feasible(inst, zero, deadlines) ==
+                core::water_fill_feasible(inst, deadlines))
+                   ? 1
+                   : 0;
+    }
+    std::printf("flow-reduction vs Water-Filling feasibility at r = 0: "
+                "%zu/%zu probes agree\n\n",
+                agree, probes);
+  }
+
+  // Lower-bound tightness across release spreads.
+  {
+    const std::size_t trials = bench::scaled(40, config.scale);
+    support::TextTable table({{"release spread", support::Align::Left},
+                              {"mean Cmax/LB", support::Align::Right},
+                              {"max Cmax/LB", support::Align::Right}});
+    std::uint64_t seed = config.seed + 7;
+    for (const double spread : {0.0, 0.5, 2.0, 8.0}) {
+      support::Sample ratios;
+      support::Rng rng(seed++);
+      for (std::size_t t = 0; t < trials; ++t) {
+        core::GeneratorConfig gen;
+        gen.family = core::Family::Uniform;
+        gen.num_tasks = 8;
+        gen.processors = 2.0;
+        const auto inst = core::generate(gen, rng);
+        std::vector<double> release(inst.size());
+        for (auto& r : release) {
+          r = spread > 0.0 ? rng.uniform(0.0, spread) : 0.0;
+        }
+        const double bound =
+            core::released_makespan_lower_bound(inst, release);
+        const auto result = core::released_optimal_makespan(inst, release);
+        ratios.add(result.makespan / std::max(1e-12, bound));
+      }
+      table.add_row({support::fmt_double(spread, 1),
+                     support::fmt_double(ratios.mean()),
+                     support::fmt_double(ratios.max())});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf(
+        "Spread 0 reduces to the r-free case where the bound is exact\n"
+        "(ratio 1); widening spreads open a gap only when staggered work\n"
+        "fragments the profile — the regime [10] handles in O(n^2).\n\n");
+  }
+}
+
+void bm_released_makespan(benchmark::State& state) {
+  support::Rng rng(37);
+  core::GeneratorConfig gen;
+  gen.family = core::Family::Uniform;
+  gen.num_tasks = static_cast<std::size_t>(state.range(0));
+  gen.processors = 4.0;
+  const auto inst = core::generate(gen, rng);
+  std::vector<double> release(inst.size());
+  for (auto& r : release) {
+    r = rng.uniform(0.0, 2.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::released_optimal_makespan(inst, release).makespan);
+  }
+}
+BENCHMARK(bm_released_makespan)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_released_feasibility(benchmark::State& state) {
+  support::Rng rng(41);
+  core::GeneratorConfig gen;
+  gen.family = core::Family::Uniform;
+  gen.num_tasks = static_cast<std::size_t>(state.range(0));
+  gen.processors = 4.0;
+  const auto inst = core::generate(gen, rng);
+  std::vector<double> release(inst.size());
+  std::vector<double> deadlines(inst.size());
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    release[i] = rng.uniform(0.0, 1.0);
+    deadlines[i] = release[i] + rng.uniform(0.5, 3.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::released_feasible(inst, release, deadlines));
+  }
+}
+BENCHMARK(bm_released_feasibility)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_config(argc, argv);
+  run_report(config);
+  if (config.timing) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

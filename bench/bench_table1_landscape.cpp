@@ -1,0 +1,255 @@
+// E1 — Table I of the paper: the complexity landscape of
+// P |pmtn; var; V_i/q, δ_i| objectives.  For every row we *run* the regime
+// with the matching algorithm from this library and report the measured
+// quality against the row's theoretical guarantee:
+//
+//   δ≠, V≠, ΣwC, N-C : WDEQ               2-approx (this paper, Thm 4)
+//   δ=1, V≠, ΣC,  N-C : DEQ on unit widths 2-approx [12]
+//   δ≠, V≠, ΣC,  N-C : DEQ                2-approx [13]
+//   δ=P, V≠, ΣwC, N-C : WDEQ, δ=P          2-approx [14]
+//   δ=P, V≠, ΣwC, C   : Smith's rule       polynomial/optimal [15]
+//   δ=1, V≠, ΣC,  C   : SPT (McNaughton)   polynomial/optimal [16]
+//   δ≠, V≠, Cmax, C   : constant rates     O(n^2) [10] (exact here)
+//   δ≠, V≠, Lmax, C   : WF + bisection     O(n^4 P) [2] / O(n log n) §IV
+//   δ=1, V≠, ΣwC, C   : LRF/WSPT greedy    (1+√2)/2-approx [17,18]
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "malsched/core/bounds.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/makespan.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/wdeq.hpp"
+#include "malsched/support/stats.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+namespace {
+
+core::Instance draw(core::Family family, std::size_t n, double p,
+                    support::Rng& rng) {
+  core::GeneratorConfig config;
+  config.family = family;
+  config.num_tasks = n;
+  config.processors = p;
+  return core::generate(config, rng);
+}
+
+core::Instance force_width(core::Instance inst, double width) {
+  std::vector<core::Task> tasks = inst.tasks();
+  for (auto& t : tasks) {
+    t.width = width;
+  }
+  return core::Instance(inst.processors(), std::move(tasks));
+}
+
+core::Instance force_weight(core::Instance inst, double weight) {
+  std::vector<core::Task> tasks = inst.tasks();
+  for (auto& t : tasks) {
+    t.weight = weight;
+  }
+  return core::Instance(inst.processors(), std::move(tasks));
+}
+
+struct RowResult {
+  double max_ratio = 0.0;
+  double mean_ratio = 0.0;
+};
+
+template <typename ScheduleFn>
+RowResult ratio_vs_optimal(core::Family family, std::size_t n, double p,
+                           std::size_t trials, std::uint64_t seed,
+                           ScheduleFn&& schedule_objective,
+                           double (*transform_width)(double) = nullptr,
+                           bool unit_weights = false) {
+  support::Sample ratios;
+  support::Rng rng(seed);
+  for (std::size_t t = 0; t < trials; ++t) {
+    auto inst = draw(family, n, p, rng);
+    if (transform_width != nullptr) {
+      inst = force_width(std::move(inst), transform_width(p));
+    }
+    if (unit_weights) {
+      inst = force_weight(std::move(inst), 1.0);
+    }
+    const double objective = schedule_objective(inst);
+    const auto opt = core::optimal_by_enumeration(inst);
+    ratios.add(objective / std::max(1e-12, opt.objective));
+  }
+  return {ratios.max(), ratios.mean()};
+}
+
+void run_report(const bench::BenchConfig& config) {
+  bench::print_banner("E1 (paper Table I)",
+                      "complexity landscape, measured per row", config);
+
+  const std::size_t trials = bench::scaled(60, config.scale);
+  const std::size_t n = 4;  // small enough for the LP-enumerated optimum
+  std::uint64_t seed = config.seed;
+
+  support::TextTable table({{"row (delta, V, objective, ctx)", support::Align::Left},
+                            {"algorithm", support::Align::Left},
+                            {"guarantee", support::Align::Right},
+                            {"measured max", support::Align::Right},
+                            {"measured mean", support::Align::Right},
+                            {"ok", support::Align::Left}});
+
+  const auto add_ratio_row = [&](const char* row, const char* algo,
+                                 const char* guarantee, double limit,
+                                 const RowResult& result) {
+    table.add_row({row, algo, guarantee, support::fmt_double(result.max_ratio),
+                   support::fmt_double(result.mean_ratio),
+                   result.max_ratio <= limit + 1e-6 ? "yes" : "NO"});
+  };
+
+  // Row 1: this paper — WDEQ on fully heterogeneous weighted instances.
+  add_ratio_row(
+      "delta!=, V!=, sum wC, N-C", "WDEQ (Alg 1)", "2", 2.0,
+      ratio_vs_optimal(core::Family::Uniform, n, 2.0, trials, seed++,
+                       [](const core::Instance& inst) {
+                         return core::run_wdeq(inst)
+                             .schedule.weighted_completion(inst);
+                       }));
+
+  // Row 2: Motwani et al. — unit widths, unweighted, DEQ.
+  add_ratio_row(
+      "delta=1,  V!=, sum C,  N-C", "DEQ", "2", 2.0,
+      ratio_vs_optimal(
+          core::Family::UnitWidth, n, 3.0, trials, seed++,
+          [](const core::Instance& inst) {
+            return core::run_deq(inst).schedule.weighted_completion(inst);
+          },
+          nullptr, /*unit_weights=*/true));
+
+  // Row 3: Deng et al. — heterogeneous widths, unweighted, DEQ.
+  add_ratio_row(
+      "delta!=, V!=, sum C,  N-C", "DEQ", "2", 2.0,
+      ratio_vs_optimal(core::Family::EqualWeights, n, 2.0, trials, seed++,
+                       [](const core::Instance& inst) {
+                         return core::run_deq(inst)
+                             .schedule.weighted_completion(inst);
+                       }));
+
+  // Row 4: Kim & Chwa — δ = P (single squashed machine), weighted, WDEQ.
+  add_ratio_row(
+      "delta=P,  V!=, sum wC, N-C", "WDEQ", "2", 2.0,
+      ratio_vs_optimal(
+          core::Family::Uniform, n, 2.0, trials, seed++,
+          [](const core::Instance& inst) {
+            return core::run_wdeq(inst).schedule.weighted_completion(inst);
+          },
+          [](double p) { return p; }));
+
+  // Row 5: Smith — δ = P clairvoyant: greedy with Smith order is optimal.
+  add_ratio_row(
+      "delta=P,  V!=, sum wC, C  ", "greedy(Smith)", "1 (optimal)", 1.0,
+      ratio_vs_optimal(
+          core::Family::Uniform, n, 2.0, trials, seed++,
+          [](const core::Instance& inst) {
+            return core::greedy_objective(inst, core::smith_order(inst));
+          },
+          [](double p) { return p; }));
+
+  // Row 6: McNaughton — δ = 1 unweighted clairvoyant: SPT greedy optimal.
+  add_ratio_row(
+      "delta=1,  V!=, sum C,  C  ", "greedy(SPT)", "1 (optimal)", 1.0,
+      ratio_vs_optimal(
+          core::Family::UnitWidth, n, 3.0, trials, seed++,
+          [](const core::Instance& inst) {
+            return core::greedy_objective(inst, core::volume_order(inst));
+          },
+          nullptr, /*unit_weights=*/true));
+
+  // Row 7: Kawaguchi–Kyan — δ = 1 weighted clairvoyant: WSPT greedy within
+  // (1+sqrt 2)/2 ≈ 1.2071.
+  const double kk = (1.0 + std::sqrt(2.0)) / 2.0;
+  add_ratio_row(
+      "delta=1,  V!=, sum wC, C  ", "greedy(WSPT)", "1.2071", kk,
+      ratio_vs_optimal(core::Family::UnitWidth, n, 3.0, trials, seed++,
+                       [](const core::Instance& inst) {
+                         return core::greedy_objective(
+                             inst, core::smith_order(inst));
+                       }));
+
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Cmax and Lmax rows are exact algorithms; report agreement checks.
+  {
+    support::Rng rng(seed++);
+    std::size_t cmax_ok = 0;
+    std::size_t lmax_ok = 0;
+    const std::size_t checks = bench::scaled(100, config.scale);
+    for (std::size_t t = 0; t < checks; ++t) {
+      const auto inst = draw(core::Family::Uniform, 12, 3.0, rng);
+      const double cmax = core::optimal_makespan(inst);
+      const std::vector<double> at(inst.size(), cmax * (1 + 1e-9));
+      const std::vector<double> below(inst.size(), cmax * (1 - 1e-3));
+      cmax_ok += (core::deadlines_feasible(inst, at) &&
+                  !core::deadlines_feasible(inst, below))
+                     ? 1
+                     : 0;
+      std::vector<double> due(inst.size());
+      for (auto& d : due) {
+        d = rng.uniform(0.0, 2.0);
+      }
+      const auto lmax = core::minimize_lmax(inst, due);
+      std::vector<double> shifted(inst.size());
+      for (std::size_t i = 0; i < inst.size(); ++i) {
+        shifted[i] = due[i] + lmax.lmax + 1e-6;
+      }
+      lmax_ok += core::deadlines_feasible(inst, shifted) ? 1 : 0;
+    }
+    std::printf("delta!=, V!=, Cmax, C   : constant-rate optimum verified by "
+                "WF on %zu/%zu instances\n",
+                cmax_ok, checks);
+    std::printf("delta!=, V!=, Lmax, C   : WF-bisection optimum verified on "
+                "%zu/%zu instances\n\n",
+                lmax_ok, checks);
+  }
+}
+
+void bm_wdeq(benchmark::State& state) {
+  support::Rng rng(7);
+  core::GeneratorConfig config;
+  config.family = core::Family::Uniform;
+  config.num_tasks = static_cast<std::size_t>(state.range(0));
+  config.processors = 8.0;
+  const auto inst = core::generate(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_wdeq(inst).schedule.weighted_completion(inst));
+  }
+}
+BENCHMARK(bm_wdeq)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void bm_makespan(benchmark::State& state) {
+  support::Rng rng(7);
+  core::GeneratorConfig config;
+  config.family = core::Family::Uniform;
+  config.num_tasks = static_cast<std::size_t>(state.range(0));
+  config.processors = 8.0;
+  const auto inst = core::generate(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimal_makespan(inst));
+  }
+}
+BENCHMARK(bm_makespan)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_config(argc, argv);
+  run_report(config);
+  if (config.timing) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

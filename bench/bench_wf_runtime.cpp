@@ -1,0 +1,174 @@
+// E7 — §IV remark: WF improves on Chen et al.'s construction, whose step
+// count is proportional to the allocated *area*; WF's work depends only on
+// the number of tasks/columns.  We benchmark
+//   * water_fill            (full allocation matrix, O(n²)),
+//   * water_fill_feasible   (merged-profile fast path),
+//   * a Chen-style unit-step baseline (pours volume in fixed quanta),
+// plus the Lmax pipeline that the fast path enables (binary search of
+// feasibility tests, the O(n log n)-per-probe structure the paper notes).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/makespan.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/support/rng.hpp"
+
+using namespace malsched;
+
+namespace {
+
+struct Workload {
+  core::Instance instance;
+  std::vector<double> completions;
+};
+
+Workload make_workload(std::size_t n) {
+  support::Rng rng(19);
+  core::GeneratorConfig gen;
+  gen.family = core::Family::Uniform;
+  gen.num_tasks = n;
+  gen.processors = 8.0;
+  auto inst = core::generate(gen, rng);
+  auto completions =
+      core::greedy_schedule(inst, core::smith_order(inst)).completions();
+  return {std::move(inst), std::move(completions)};
+}
+
+/// Chen-style baseline: pour each task's volume in fixed quanta onto an
+/// explicit per-column height profile (work proportional to volume/quantum,
+/// i.e. to the allocated area).
+bool chen_unit_step(const core::Instance& inst,
+                    std::span<const double> completions, double quantum) {
+  const std::size_t n = inst.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return completions[a] < completions[b];
+  });
+  std::vector<double> heights(n, 0.0);
+  std::vector<double> lengths(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    lengths[j] = completions[order[j]] - (j == 0 ? 0.0 : completions[order[j - 1]]);
+  }
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t task = order[pos];
+    double remaining = inst.task(task).volume;
+    const double cap = inst.effective_width(task);
+    std::vector<double> given(pos + 1, 0.0);
+    while (remaining > 1e-12) {
+      // Lowest column with spare width and spare machine capacity.
+      std::size_t best = pos + 1;
+      for (std::size_t k = 0; k <= pos; ++k) {
+        if (lengths[k] <= 0.0 || given[k] >= cap ||
+            heights[k] >= inst.processors()) {
+          continue;
+        }
+        if (best == pos + 1 || heights[k] < heights[best]) {
+          best = k;
+        }
+      }
+      if (best == pos + 1) {
+        return false;  // cannot place the rest
+      }
+      const double head = std::min(
+          {cap - given[best], inst.processors() - heights[best],
+           remaining / lengths[best], quantum / lengths[best]});
+      given[best] += head;
+      heights[best] += head;
+      remaining -= head * lengths[best];
+    }
+  }
+  return true;
+}
+
+void bm_water_fill_full(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::water_fill(w.instance, w.completions).feasible);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_water_fill_full)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+void bm_water_fill_feasible(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::water_fill_feasible(w.instance, w.completions));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_water_fill_feasible)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+void bm_chen_unit_step(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chen_unit_step(w.instance, w.completions, /*quantum=*/0.01));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_chen_unit_step)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+void bm_lmax(benchmark::State& state) {
+  const auto w = make_workload(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> due(w.completions);
+  for (auto& d : due) {
+    d *= 0.8;  // force a non-trivial positive Lmax
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::minimize_lmax(w.instance, due).lmax);
+  }
+}
+BENCHMARK(bm_lmax)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_config(argc, argv);
+  bench::print_banner("E7 (paper §IV remark)",
+                      "WF runtime scaling vs a Chen-style unit-step baseline",
+                      config);
+  std::printf("Expected shape: water_fill_feasible scales near-linearly,\n"
+              "water_fill quadratically (it materializes the n x n matrix),\n"
+              "and the Chen-style baseline scales with allocated AREA —\n"
+              "matching the paper's two claimed improvements over [19].\n\n");
+  // Sanity cross-check before timing: the baseline and WF agree.
+  {
+    const auto w = make_workload(48);
+    const bool wf = core::water_fill(w.instance, w.completions).feasible;
+    const bool chen = chen_unit_step(w.instance, w.completions, 0.01);
+    std::printf("agreement check (n=48): WF=%s, Chen-style=%s\n\n",
+                wf ? "feasible" : "infeasible",
+                chen ? "feasible" : "infeasible");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace malsched::bench {
+
+BenchConfig parse_config(int argc, char** argv) {
+  BenchConfig config;
+  if (const char* env = std::getenv("MALSCHED_BENCH_SCALE")) {
+    config.scale = std::atof(env);
+    if (config.scale <= 0.0) {
+      config.scale = 1.0;
+    }
+  }
+  if (const char* env = std::getenv("MALSCHED_BENCH_SEED")) {
+    config.seed = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      config.scale = 10.0;
+    } else if (std::strcmp(argv[i], "--no-timing") == 0) {
+      config.timing = false;
+    }
+  }
+  return config;
+}
+
+std::size_t scaled(std::size_t base, double scale, std::size_t min_count) {
+  const auto value = static_cast<std::size_t>(static_cast<double>(base) * scale);
+  return value < min_count ? min_count : value;
+}
+
+void print_banner(const std::string& experiment_id, const std::string& title,
+                  const BenchConfig& config) {
+  std::printf("=====================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("scale=%.1f seed=%llu  (MALSCHED_BENCH_SCALE / --full for "
+              "paper-scale runs)\n",
+              config.scale, static_cast<unsigned long long>(config.seed));
+  std::printf("=====================================================\n\n");
+}
+
+}  // namespace malsched::bench

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the experiment binaries (bench/): scale control,
+/// headers, and seed provenance.  Every binary prints a paper-style table to
+/// stdout; CSV series go next to the binary when a path is writable.
+///
+/// Scaling: experiments default to sizes that finish in seconds on one core.
+/// Set MALSCHED_BENCH_SCALE=10 (or pass --full) to reproduce the paper-scale
+/// counts (e.g. the 10 000-instance Monte-Carlo sweeps of §V).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace malsched::bench {
+
+struct BenchConfig {
+  double scale = 1.0;
+  std::uint64_t seed = 20120521;  // IPDPS 2012 started May 21, 2012
+  bool timing = true;             ///< run the google-benchmark section
+};
+
+/// Parses MALSCHED_BENCH_SCALE / MALSCHED_BENCH_SEED and --full/--no-timing
+/// flags (unknown flags are left for google-benchmark).
+[[nodiscard]] BenchConfig parse_config(int argc, char** argv);
+
+/// Scales a default count, with a floor of `min_count`.
+[[nodiscard]] std::size_t scaled(std::size_t base, double scale,
+                                 std::size_t min_count = 1);
+
+/// Prints the standard experiment banner.
+void print_banner(const std::string& experiment_id, const std::string& title,
+                  const BenchConfig& config);
+
+}  // namespace malsched::bench

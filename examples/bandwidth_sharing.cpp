@@ -1,0 +1,68 @@
+// The paper's Figure 1 scenario: a master distributes code archives to
+// heterogeneous workers over a shared uplink; each worker starts crunching
+// tasks the moment its download completes.  Maximizing tasks processed by a
+// horizon T is exactly minimizing the weighted mean completion time of the
+// transfers — this example shows the equivalence numerically and compares
+// bandwidth-sharing policies.
+//
+// Build & run:  ./examples/bandwidth_sharing
+
+#include <cstdio>
+
+#include "malsched/bwshare/network.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/sim/policy.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+int main() {
+  // Server uplink: 10 Gbit/s (scaled units).  Workers with varying download
+  // links, code sizes and processing power.
+  const bwshare::Scenario scenario(
+      10.0, {
+                {20.0, 4.0, 2.0, "gpu-box"},     // big code, fast link
+                {5.0, 1.0, 5.0, "cluster-a"},    // slow link, high throughput
+                {8.0, 3.0, 1.0, "edge-1"},
+                {2.0, 2.0, 4.0, "edge-2"},       // tiny code, strong worker
+                {12.0, 2.5, 0.5, "archive"},
+            });
+  const double horizon = 30.0;
+
+  std::printf("Figure-1 scenario: server bandwidth %.1f, %zu workers, "
+              "horizon T = %.1f\n\n",
+              scenario.server_bandwidth(), scenario.size(), horizon);
+
+  support::TextTable table({{"policy", support::Align::Left},
+                            {"sum wC", support::Align::Right},
+                            {"throughput(T)", support::Align::Right},
+                            {"W*T - sum wC", support::Align::Right}});
+
+  double total_rate = 0.0;
+  for (const auto& w : scenario.workers()) {
+    total_rate += w.processing_rate;
+  }
+
+  for (const auto& policy : sim::all_policies()) {
+    const auto result = bwshare::distribute(scenario, *policy);
+    table.add_row({result.policy,
+                   support::fmt_double(result.weighted_completion),
+                   support::fmt_double(
+                       result.throughput(horizon, scenario.workers())),
+                   support::fmt_double(total_rate * horizon -
+                                       result.weighted_completion)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Note: throughput(T) == W*T - sum wC whenever every transfer "
+              "finishes by T\n(the paper's reduction); the last two columns "
+              "agreeing demonstrates it.\n\n");
+
+  const auto inst = scenario.to_instance();
+  const auto opt = core::optimal_by_enumeration(inst);
+  std::printf("Optimal sum wC (LP over all completion orders): %.4f\n",
+              opt.objective);
+  std::printf("Best achievable throughput at T: %.4f (upper bound %.4f)\n",
+              total_rate * horizon - opt.objective,
+              bwshare::throughput_upper_bound(scenario, horizon));
+  return 0;
+}

@@ -1,0 +1,117 @@
+// malsched_cli: run the library's schedulers on an instance file.
+//
+//   ./examples/malsched_cli schedule <file> [--policy wdeq|deq|wrr|fifo-rigid|smith-greedy]
+//   ./examples/malsched_cli bounds   <file>
+//   ./examples/malsched_cli optimal  <file>        (n <= 8)
+//   ./examples/malsched_cli lmax     <file> d1 d2 ...
+//
+// Instance file format (see malsched/core/io.hpp):
+//   processors 4
+//   task <volume> <width> <weight>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "malsched/core/bounds.hpp"
+#include "malsched/core/io.hpp"
+#include "malsched/core/makespan.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/sim/engine.hpp"
+
+using namespace malsched;
+
+namespace {
+
+int usage(const char* prog) {
+  std::printf("usage: %s {schedule|bounds|optimal|lmax} <instance-file> ...\n",
+              prog);
+  return 64;
+}
+
+std::unique_ptr<sim::AllocationPolicy> policy_by_name(const std::string& name) {
+  for (auto& policy : sim::all_policies()) {
+    if (policy->name() == name) {
+      return std::move(policy);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage(argv[0]);
+  }
+  const std::string command = argv[1];
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 66;
+  }
+  std::string error;
+  const auto instance = core::read_instance(in, &error);
+  if (!instance) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 65;
+  }
+
+  if (command == "schedule") {
+    std::string policy_name = "wdeq";
+    for (int i = 3; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--policy") == 0) {
+        policy_name = argv[i + 1];
+      }
+    }
+    const auto policy = policy_by_name(policy_name);
+    if (!policy) {
+      std::fprintf(stderr, "unknown policy %s\n", policy_name.c_str());
+      return 64;
+    }
+    const auto result = sim::run_policy(*instance, *policy);
+    std::printf("policy   : %s\n", policy->name().c_str());
+    std::printf("sum wC   : %.6f\n", result.weighted_completion);
+    std::printf("makespan : %.6f\n", result.schedule.makespan());
+    std::printf("\n%s", core::render_gantt(*instance, result.schedule).c_str());
+    return 0;
+  }
+  if (command == "bounds") {
+    std::printf("A(I) squashed area : %.6f\n",
+                core::squashed_area_bound(*instance));
+    std::printf("H(I) height        : %.6f\n", core::height_bound(*instance));
+    std::printf("optimal makespan   : %.6f\n",
+                core::optimal_makespan(*instance));
+    return 0;
+  }
+  if (command == "optimal") {
+    if (instance->size() > 8) {
+      std::fprintf(stderr, "optimal enumeration limited to n <= 8\n");
+      return 64;
+    }
+    const auto opt = core::optimal_by_enumeration(*instance);
+    std::printf("optimal sum wC : %.6f\n", opt.objective);
+    std::printf("order          :");
+    for (const auto t : opt.order) {
+      std::printf(" T%zu", t);
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (command == "lmax") {
+    if (static_cast<std::size_t>(argc - 3) != instance->size()) {
+      std::fprintf(stderr, "need %zu due dates\n", instance->size());
+      return 64;
+    }
+    std::vector<double> due;
+    for (int i = 3; i < argc; ++i) {
+      due.push_back(std::atof(argv[i]));
+    }
+    const auto result = core::minimize_lmax(*instance, due);
+    std::printf("minimal Lmax : %.6f (%zu bisection probes)\n", result.lmax,
+                result.iterations);
+    return 0;
+  }
+  return usage(argv[0]);
+}

@@ -1,0 +1,86 @@
+// Clairvoyant batch scheduling on a multicore node: compute the optimal
+// completion order (LP enumeration), normalize it with Water-Filling
+// (Algorithm 2), convert to an integer per-core assignment (Theorem 3) and
+// report the preemption counts against the paper's n / 3n bounds.
+//
+// Build & run:  ./examples/multicore_batch
+
+#include <cstdio>
+
+#include "malsched/core/assignment.hpp"
+#include "malsched/core/io.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+int main() {
+  // 8-core node, integral widths (required for the integer assignment).
+  const core::Instance instance(8.0, {
+                                         {12.0, 4.0, 2.0},
+                                         {6.0, 8.0, 5.0},
+                                         {9.0, 2.0, 1.0},
+                                         {3.0, 3.0, 4.0},
+                                         {10.0, 6.0, 1.5},
+                                         {2.0, 1.0, 3.0},
+                                     });
+  std::printf("Multicore batch: %s\n\n", instance.describe().c_str());
+
+  core::OptimalOptions options;
+  options.want_schedule = true;
+  const auto opt = core::optimal_by_enumeration(instance, options);
+  std::printf("Optimal sum wC = %.4f (searched %zu completion orders)\n",
+              opt.objective, opt.orders_tried);
+
+  // Normalize: Water-Filling on the optimal completion times gives the
+  // canonical schedule with the preemption guarantees of Section IV.
+  const auto wf = core::water_fill(instance, opt.schedule.completions());
+  if (!wf.feasible) {
+    std::printf("unexpected: WF rejected optimal completion times\n");
+    return 1;
+  }
+
+  support::TextTable table({{"task", support::Align::Left},
+                            {"volume", support::Align::Right},
+                            {"width", support::Align::Right},
+                            {"weight", support::Align::Right},
+                            {"completes", support::Align::Right}});
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    table.add_row({"T" + std::to_string(i),
+                   support::fmt_double(instance.task(i).volume, 1),
+                   support::fmt_double(instance.task(i).width, 0),
+                   support::fmt_double(instance.task(i).weight, 1),
+                   support::fmt_double(wf.schedule.completion(i))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto assignment = core::assign_processors(instance, wf.schedule);
+  const auto check = assignment.validate(instance);
+  std::printf("Integer core assignment valid: %s\n",
+              check.valid ? "yes" : check.message.c_str());
+
+  const auto stats = core::count_preemptions(instance, wf.schedule, assignment);
+  const std::size_t n = instance.size();
+  std::printf("\nPreemption accounting (n = %zu):\n", n);
+  std::printf("  fractional rate changes : %zu   (Theorem 9 bound: %zu)\n",
+              stats.fractional_changes, n);
+  std::printf("  integer count changes   : %zu   (Theorem 10 bound: %zu)\n",
+              stats.integer_changes, 3 * n);
+  std::printf("  realized core losses    : %zu\n", stats.processor_losses);
+  std::printf("  realized core gains     : %zu\n", stats.processor_gains);
+
+  // Per-core timeline.
+  std::printf("\nPer-core timeline (first 3 cores):\n");
+  for (std::size_t p = 0; p < assignment.num_processors() && p < 3; ++p) {
+    std::printf("  core %zu:", p);
+    for (const auto& piece : assignment.processor(p)) {
+      std::printf(" [%.2f-%.2f T%zu]", piece.begin, piece.end, piece.task);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nProcessor Gantt (digits = task ids, '.' = idle):\n%s",
+              core::render_processor_gantt(assignment).c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Non-clairvoyant cluster scheduling: job sizes are unknown until they
+// finish.  Compares WDEQ against DEQ (weight-blind), weighted round-robin
+// (no surplus redistribution) and rigid FCFS on a synthetic mixed workload,
+// reporting each policy's ratio to the clairvoyant lower bound — WDEQ's
+// ratio is guaranteed <= 2 by Theorem 4.
+//
+// Build & run:  ./examples/nonclairvoyant_cluster [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "malsched/core/bounds.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/wdeq.hpp"
+#include "malsched/sim/engine.hpp"
+#include "malsched/sim/metrics.hpp"
+#include "malsched/support/stats.hpp"
+#include "malsched/support/table.hpp"
+
+using namespace malsched;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  support::Rng rng(seed);
+  std::printf("Non-clairvoyant cluster study (seed %llu)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  const int trials = 200;
+  struct Row {
+    std::string name;
+    support::Accumulator ratio;
+    support::Accumulator stretch;
+    support::Accumulator fairness;
+  };
+  std::vector<Row> rows;
+  for (const auto& policy : sim::all_policies()) {
+    rows.push_back({policy->name(), {}, {}, {}});
+  }
+
+  for (int trial = 0; trial < trials; ++trial) {
+    core::GeneratorConfig config;
+    config.family = trial % 2 == 0 ? core::Family::HeavyTailVolumes
+                                   : core::Family::Uniform;
+    config.num_tasks = 12;
+    config.processors = 16.0;
+    const auto inst = core::generate(config, rng);
+    // Strongest certificate available without solving to optimality:
+    // max(A, H) plus the Lemma-1 mixed bound instantiated with WDEQ's own
+    // full/limited volume split (any split yields a valid lower bound).
+    const auto wdeq_run = core::run_wdeq(inst);
+    const double lb =
+        std::max(core::best_simple_lower_bound(inst),
+                 core::mixed_lower_bound(inst, wdeq_run.limited_volume));
+
+    const auto policies = sim::all_policies();
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+      const auto result = sim::run_policy(inst, *policies[k]);
+      rows[k].ratio.add(result.weighted_completion / lb);
+      const auto metrics = sim::compute_metrics(inst, result.schedule);
+      rows[k].stretch.add(metrics.mean_stretch);
+      rows[k].fairness.add(metrics.jain_fairness);
+    }
+  }
+
+  support::TextTable table({{"policy", support::Align::Left},
+                            {"mean ratio", support::Align::Right},
+                            {"max ratio", support::Align::Right},
+                            {"mean stretch", support::Align::Right},
+                            {"Jain fairness", support::Align::Right},
+                            {"guarantee", support::Align::Right}});
+  for (const auto& row : rows) {
+    table.add_row({row.name, support::fmt_double(row.ratio.mean()),
+                   support::fmt_double(row.ratio.max()),
+                   support::fmt_double(row.stretch.mean(), 2),
+                   support::fmt_double(row.fairness.mean(), 3),
+                   row.name == "wdeq" ? "2.0 (Thm 4)" : "-"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Ratios are vs. the clairvoyant lower bound max(A, H, "
+              "mixed[Lemma 1]), so\nthey overstate the true gap to OPT; "
+              "WDEQ staying under 2 confirms\nTheorem 4 on %d random "
+              "instances.\n",
+              trials);
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file network.hpp
+/// The paper's Figure 1 application: a server with outgoing bandwidth P
+/// distributes code archives of size V_i to workers whose incoming bandwidth
+/// is δ_i; worker i then processes tasks at rate w_i until the horizon T.
+///
+/// Total work processed by T is Σ w_i (T − C_i), so maximizing throughput is
+/// exactly minimizing the weighted mean completion time Σ w_i C_i of the
+/// malleable "transfer tasks" — the reduction this module makes executable.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/sim/engine.hpp"
+
+namespace malsched::bwshare {
+
+/// One worker node of the master-workers platform.
+struct Worker {
+  double code_size = 1.0;       ///< V_i: bytes (scaled) to download
+  double bandwidth = 1.0;       ///< δ_i: incoming link capacity
+  double processing_rate = 1.0; ///< w_i: tasks/second once the code arrived
+  std::string name;             ///< optional label for reports
+};
+
+/// The distribution scenario: server capacity plus workers.
+class Scenario {
+ public:
+  Scenario(double server_bandwidth, std::vector<Worker> workers);
+
+  [[nodiscard]] double server_bandwidth() const noexcept {
+    return server_bandwidth_;
+  }
+  [[nodiscard]] const std::vector<Worker>& workers() const noexcept {
+    return workers_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// The equivalent MWCT instance (the Figure 1 reduction).
+  [[nodiscard]] core::Instance to_instance() const;
+
+ private:
+  double server_bandwidth_;
+  std::vector<Worker> workers_;
+};
+
+/// Outcome of distributing the codes under some bandwidth-sharing policy.
+struct DistributionResult {
+  std::vector<double> completion;  ///< per worker, when its code is complete
+  double weighted_completion = 0.0;
+  std::string policy;
+
+  /// Σ w_i max(0, T − C_i): tasks processed by horizon T.
+  [[nodiscard]] double throughput(double horizon,
+                                  std::span<const Worker> workers) const;
+};
+
+/// Runs the given allocation policy on the transfer tasks.
+[[nodiscard]] DistributionResult distribute(const Scenario& scenario,
+                                            const sim::AllocationPolicy& policy);
+
+/// Upper bound on the clamped throughput Σ w_i max(0, T − C_i) over all
+/// schedules, via the height certificate C_i >= V_i/min(δ_i, P): each term
+/// is at most w_i max(0, T − h_i).  Valid even when some transfers cannot
+/// finish by T (unlike the unclamped identity W·T − Σ w_i C_i, which the
+/// Figure 1 reduction uses only under T >= max C_i).
+[[nodiscard]] double throughput_upper_bound(const Scenario& scenario,
+                                            double horizon);
+
+}  // namespace malsched::bwshare

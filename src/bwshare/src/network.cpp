@@ -1,0 +1,65 @@
+#include "malsched/bwshare/network.hpp"
+
+#include <algorithm>
+
+#include "malsched/core/bounds.hpp"
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::bwshare {
+
+Scenario::Scenario(double server_bandwidth, std::vector<Worker> workers)
+    : server_bandwidth_(server_bandwidth), workers_(std::move(workers)) {
+  MALSCHED_EXPECTS(server_bandwidth_ > 0.0);
+  MALSCHED_EXPECTS(!workers_.empty());
+  for (const Worker& w : workers_) {
+    MALSCHED_EXPECTS(w.code_size >= 0.0);
+    MALSCHED_EXPECTS(w.bandwidth > 0.0);
+    MALSCHED_EXPECTS(w.processing_rate >= 0.0);
+  }
+}
+
+core::Instance Scenario::to_instance() const {
+  std::vector<core::Task> tasks;
+  tasks.reserve(workers_.size());
+  for (const Worker& w : workers_) {
+    tasks.push_back({w.code_size, w.bandwidth, w.processing_rate});
+  }
+  return core::Instance(server_bandwidth_, std::move(tasks));
+}
+
+double DistributionResult::throughput(double horizon,
+                                      std::span<const Worker> workers) const {
+  MALSCHED_EXPECTS(workers.size() == completion.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    total += workers[i].processing_rate *
+             std::max(0.0, horizon - completion[i]);
+  }
+  return total;
+}
+
+DistributionResult distribute(const Scenario& scenario,
+                              const sim::AllocationPolicy& policy) {
+  const auto instance = scenario.to_instance();
+  const auto run = sim::run_policy(instance, policy);
+  DistributionResult result;
+  result.completion = run.completions;
+  result.weighted_completion = run.weighted_completion;
+  result.policy = policy.name();
+  return result;
+}
+
+double throughput_upper_bound(const Scenario& scenario, double horizon) {
+  const auto instance = scenario.to_instance();
+
+  // Height certificate: no code can arrive before V/min(δ, P).
+  double height_bound = 0.0;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const double h = instance.task(i).volume / instance.effective_width(i);
+    height_bound +=
+        instance.task(i).weight * std::max(0.0, horizon - h);
+  }
+  return height_bound;
+}
+
+}  // namespace malsched::bwshare

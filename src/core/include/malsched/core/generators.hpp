@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file generators.hpp
+/// Random instance families used by the test and benchmark harnesses.
+///
+/// `Uniform` reproduces the paper's §V experiment distribution ("uniform
+/// among tasks such that δ_i < P, w_i < 1 and V_i < 1"); the other families
+/// cover the structured corners the theory distinguishes (homogeneous
+/// weights, δ > P/2, single-processor tasks δ = 1, bandwidth-like skew,
+/// heavy-tailed volumes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace malsched::core {
+
+/// Instance family selector.
+enum class Family {
+  Uniform,            ///< §V: V,w ~ U(0,1), δ ~ U(0,P)         (fractional δ)
+  UniformIntegral,    ///< V,w ~ U(0,1), δ ~ U{1..P}            (integer δ)
+  EqualWeights,       ///< Uniform but w_i = 1 for all tasks
+  EqualWeightsVolumes,///< w_i = 1, V_i = 1; only δ varies
+  WideTasks,          ///< δ_i > P/2 (Theorem 11 regime), w_i = 1
+  HomogeneousHalf,    ///< §V-B: P = 1, V = w = 1, δ ~ U(1/2, 1)
+  UnitWidth,          ///< δ_i = 1 (classic multiprocessor ΣwC rows of Table I)
+  BandwidthLike,      ///< Fig. 1 flavour: δ ≪ P, heavy-tailed volumes
+  HeavyTailVolumes,   ///< Pareto volumes, uniform widths/weights
+};
+
+[[nodiscard]] const char* family_name(Family family) noexcept;
+
+struct GeneratorConfig {
+  Family family = Family::Uniform;
+  std::size_t num_tasks = 5;
+  double processors = 1.0;  ///< ignored by HomogeneousHalf (always P = 1)
+};
+
+/// Draws one instance from the family.
+[[nodiscard]] Instance generate(const GeneratorConfig& config,
+                                support::Rng& rng);
+
+/// All families, for parameterized sweeps.
+[[nodiscard]] std::vector<Family> all_families();
+
+}  // namespace malsched::core

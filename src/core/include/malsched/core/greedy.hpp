@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file greedy.hpp
+/// Greedy schedules (paper Algorithm 3 and §V).  Given a task order σ, each
+/// task in turn grabs as much of the remaining capacity as possible, as
+/// early as possible (rate min(δ_i, P − used(t)) at every instant), which
+/// minimizes its own completion time against the already-placed tasks.
+///
+/// Theorem 11 proves every optimal schedule is greedy when weights are equal
+/// and all δ_i > P/2; Conjecture 12 claims some greedy order is optimal for
+/// every instance — the E2 benchmark reproduces the paper's Monte-Carlo
+/// evidence.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/core/schedule.hpp"
+
+namespace malsched::core {
+
+/// Builds the greedy schedule for the given order (a permutation of task
+/// ids; order[0] is placed first).
+[[nodiscard]] StepSchedule greedy_schedule(const Instance& instance,
+                                           std::span<const std::size_t> order);
+
+/// Objective Σ w_i C_i of greedy_schedule without materializing steps —
+/// the hot path of the order-enumeration experiments.
+[[nodiscard]] double greedy_objective(const Instance& instance,
+                                      std::span<const std::size_t> order);
+
+struct BestGreedy {
+  std::vector<std::size_t> order;
+  double objective = 0.0;
+  std::size_t orders_tried = 0;
+};
+
+/// Exhaustively searches all n! orders (requires small n; guarded at 10).
+[[nodiscard]] BestGreedy best_greedy_exhaustive(const Instance& instance);
+
+/// Cheap heuristic search: tries the classical priority orders (Smith,
+/// height, volume, weight) plus adjacent-swap local search from the best.
+[[nodiscard]] BestGreedy best_greedy_heuristic(const Instance& instance);
+
+}  // namespace malsched::core

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file homogeneous.hpp
+/// The §V-B study: instances with P = 1, V_i = w_i = 1 and δ_i ∈ [1/2, 1].
+/// Theorem 11 applies (δ_i > P/2), so optima are greedy and a greedy order σ
+/// has the closed-form completion recurrence
+///
+///   C_{σ(1)} = 1/δ_{σ(1)},
+///   C_{σ(i)} = C_{σ(i-1)} +
+///              (1 − (1−δ_{σ(i-1)})(C_{σ(i-1)} − C_{σ(i-2)})) / δ_{σ(i)}.
+///
+/// Provided in double (for sweeps) and exact Rational (for the Conjecture 13
+/// order-reversal symmetry check, which the paper verified symbolically up
+/// to 15 tasks).
+
+#include <span>
+#include <vector>
+
+#include "malsched/numeric/rational.hpp"
+
+namespace malsched::core {
+
+/// Completion times of the greedy schedule for `order` (indices into
+/// `delta`).  Every δ must lie in [1/2, 1].
+[[nodiscard]] std::vector<double> homogeneous_completions(
+    std::span<const double> delta, std::span<const std::size_t> order);
+
+/// Σ C_i for the greedy schedule of `order`.
+[[nodiscard]] double homogeneous_total(std::span<const double> delta,
+                                       std::span<const std::size_t> order);
+
+/// Exact-rational versions of the recurrence.
+[[nodiscard]] std::vector<numeric::Rational> homogeneous_completions_exact(
+    std::span<const numeric::Rational> delta,
+    std::span<const std::size_t> order);
+[[nodiscard]] numeric::Rational homogeneous_total_exact(
+    std::span<const numeric::Rational> delta,
+    std::span<const std::size_t> order);
+
+/// Conjecture 13 check for one order: total(order) == total(reversed order),
+/// exactly.
+[[nodiscard]] bool reversal_symmetric_exact(
+    std::span<const numeric::Rational> delta,
+    std::span<const std::size_t> order);
+
+struct HomogeneousBest {
+  std::vector<std::size_t> order;
+  double total = 0.0;
+  std::size_t orders_tried = 0;
+};
+
+/// Enumerates all orders (n <= 10 guard) and returns the best.
+[[nodiscard]] HomogeneousBest best_homogeneous_order(
+    std::span<const double> delta);
+
+/// The §V-B necessary condition for 5-task optimal orders i,j,k,l,m:
+/// (δ_l − δ_j)(δ_i − δ_m) <= 0.
+[[nodiscard]] bool five_task_condition(std::span<const double> delta,
+                                       std::span<const std::size_t> order);
+
+}  // namespace malsched::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file instance.hpp
+/// The problem input of MWCT (Definition 1 of the paper): P identical
+/// processors and n work-preserving malleable tasks T_i = (V_i, δ_i, w_i),
+/// where V_i is the sequential volume (work), δ_i the maximal number of
+/// processors the task can use simultaneously, and w_i its weight in the
+/// objective Σ w_i C_i.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace malsched::core {
+
+/// One malleable task.
+struct Task {
+  double volume = 0.0;  ///< V_i: total work (area in the Gantt chart)
+  double width = 1.0;   ///< δ_i: max processors usable at any instant
+  double weight = 1.0;  ///< w_i: objective weight
+
+  /// h_i = V_i / δ_i, the minimum possible execution time span (paper
+  /// Definition 6 calls this the height of the task).
+  [[nodiscard]] double height() const noexcept { return volume / width; }
+};
+
+/// An MWCT instance: processor count plus task list.  Immutable after
+/// construction; transformation helpers return new instances.
+class Instance {
+ public:
+  /// Validates and stores the instance.  Requirements: P > 0, and for each
+  /// task V >= 0 (zero volumes arise in subinstances, Definition 7),
+  /// δ > 0, w >= 0.
+  Instance(double processors, std::vector<Task> tasks);
+
+  [[nodiscard]] double processors() const noexcept { return processors_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const Task& task(std::size_t i) const { return tasks_[i]; }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept {
+    return tasks_;
+  }
+
+  /// δ_i clamped to P: a task can never use more than the whole machine, so
+  /// algorithms and bounds use this effective limit.
+  [[nodiscard]] double effective_width(std::size_t i) const {
+    return tasks_[i].width < processors_ ? tasks_[i].width : processors_;
+  }
+
+  [[nodiscard]] double total_volume() const noexcept;
+  [[nodiscard]] double total_weight() const noexcept;
+
+  /// True when P and every δ_i are integers (required by the integer
+  /// processor-assignment of Theorem 3).
+  [[nodiscard]] bool integral() const noexcept;
+
+  /// Subinstance I[V'] of Definition 7: same tasks, volumes replaced.
+  [[nodiscard]] Instance with_volumes(std::span<const double> volumes) const;
+
+  /// Human-readable one-line description for logs.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  double processors_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace malsched::core

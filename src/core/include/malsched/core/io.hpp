@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text serialization of instances and schedules, used by the CLI
+/// example and for pinning regression fixtures.
+///
+/// Instance format (line-oriented, '#' comments):
+///
+///     processors 4
+///     task <volume> <width> <weight>
+///     task <volume> <width> <weight>
+///     ...
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/core/schedule.hpp"
+
+namespace malsched::core {
+
+/// Parses an instance; returns std::nullopt with `error` filled on failure.
+[[nodiscard]] std::optional<Instance> read_instance(std::istream& in,
+                                                    std::string* error = nullptr);
+[[nodiscard]] std::optional<Instance> parse_instance(const std::string& text,
+                                                     std::string* error = nullptr);
+
+/// Writes the canonical text form.
+void write_instance(std::ostream& out, const Instance& instance);
+[[nodiscard]] std::string format_instance(const Instance& instance);
+
+/// CSV dump of a column schedule: task,column,start,end,processors.
+void write_schedule_csv(std::ostream& out, const ColumnSchedule& schedule);
+
+/// ASCII rendering of a step schedule: one row per task, time binned into
+/// `columns` buckets, glyph scaled by the task's share of its width.
+[[nodiscard]] std::string render_gantt(const Instance& instance,
+                                       const StepSchedule& schedule,
+                                       std::size_t columns = 60);
+
+/// ASCII rendering of an integer processor assignment: one row per
+/// processor, each bucket showing the (single-digit) id of the task that
+/// owns most of the bucket, '.' when idle.  Tasks beyond id 35 render '+'.
+class ProcessorAssignment;  // assignment.hpp
+[[nodiscard]] std::string render_processor_gantt(
+    const ProcessorAssignment& assignment, std::size_t columns = 60);
+
+}  // namespace malsched::core

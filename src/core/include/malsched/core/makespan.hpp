@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file makespan.hpp
+/// Makespan and maximum-lateness machinery for work-preserving malleable
+/// tasks (the Cmax and Lmax rows of the paper's Table I).
+///
+/// With zero release dates a constant-rate schedule is optimal, so
+/// Cmax* = max(Σ V_i / P, max_i V_i/δ_i).  Deadline feasibility is exactly
+/// Water-Filling feasibility (the paper's §IV remark: WF solves Lmax in
+/// O(n log n) when r_i = 0); minimizing Lmax is a monotone search over the
+/// shift L applied to all due dates.
+
+#include <span>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/core/water_filling.hpp"
+
+namespace malsched::core {
+
+/// Optimal makespan: max(Σ V_i / P, max_i V_i / min(δ_i, P)).
+[[nodiscard]] double optimal_makespan(const Instance& instance);
+
+/// Can every task i complete by deadlines[i]?  (WF feasibility.)
+[[nodiscard]] bool deadlines_feasible(const Instance& instance,
+                                      std::span<const double> deadlines,
+                                      support::Tolerance tol = {});
+
+struct LmaxResult {
+  double lmax = 0.0;           ///< minimal max_i (C_i − d_i)
+  std::size_t iterations = 0;  ///< bisection steps used
+};
+
+/// Minimizes the maximum lateness against the given due dates via bisection
+/// on the common shift, each probe being one WF feasibility test.
+[[nodiscard]] LmaxResult minimize_lmax(const Instance& instance,
+                                       std::span<const double> due_dates,
+                                       double precision = 1e-9);
+
+}  // namespace malsched::core

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file optimal.hpp
+/// Exact optimum of MWCT-CB-F by enumeration: Corollary 1 reduces the
+/// problem to choosing the best completion order, so for small n we solve
+/// the order LP for every permutation.  This is the ground truth against
+/// which WDEQ's ratio, greedy's conjectured optimality (Conjecture 12) and
+/// Theorem 11 are checked.
+
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/core/order_lp.hpp"
+
+namespace malsched::core {
+
+struct OptimalOptions {
+  /// Hard guard: enumeration is n! — refuse beyond this size.
+  std::size_t max_tasks = 9;
+  /// Also build the optimal schedule (slightly slower).
+  bool want_schedule = false;
+};
+
+struct OptimalResult {
+  double objective = 0.0;
+  std::vector<std::size_t> order;    ///< the optimal completion order
+  ColumnSchedule schedule;           ///< populated if want_schedule
+  std::size_t orders_tried = 0;
+};
+
+/// Exhaustive optimum over all completion orders.
+[[nodiscard]] OptimalResult optimal_by_enumeration(
+    const Instance& instance, const OptimalOptions& options = {});
+
+}  // namespace malsched::core

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file order_lp.hpp
+/// Corollary 1: once the completion *order* of the tasks is fixed, the
+/// optimal schedule is a linear program.  With tasks renumbered so that
+/// position a completes at the end of column a (boundary C_a):
+///
+///   minimize   Σ_a w_{σ(a)} · C_a
+///   subject to C_a ≥ C_{a-1}                       (C_{-1} = 0)
+///              Σ_a x_{a,j}        ≤ P  (C_j − C_{j-1})   per column j
+///              x_{a,j}            ≤ δ_{σ(a)} (C_j − C_{j-1})
+///              Σ_{j≤a} x_{a,j}    = V_{σ(a)}
+///              x_{a,j} = 0 for j > a, all variables ≥ 0
+///
+/// where x_{a,j} is the *volume* position-a's task receives in column j.
+
+#include <span>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/core/schedule.hpp"
+#include "malsched/lp/solver.hpp"
+#include "malsched/numeric/rational.hpp"
+
+namespace malsched::core {
+
+/// Builds the Corollary-1 LP for the given completion order (a permutation
+/// of task ids).  Exposed so callers can feed it to either solver.
+[[nodiscard]] lp::Model build_order_lp(const Instance& instance,
+                                       std::span<const std::size_t> order);
+
+struct OrderLpResult {
+  lp::SolveStatus status = lp::SolveStatus::IterationLimit;
+  double objective = 0.0;
+  ColumnSchedule schedule;  ///< populated when status == Optimal
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == lp::SolveStatus::Optimal;
+  }
+};
+
+/// Solves the order LP (double precision) and reconstructs the schedule.
+[[nodiscard]] OrderLpResult solve_order_lp(const Instance& instance,
+                                           std::span<const std::size_t> order);
+
+/// Objective only (skips schedule reconstruction) — the enumeration hot
+/// path.
+[[nodiscard]] double order_lp_objective(const Instance& instance,
+                                        std::span<const std::size_t> order);
+
+/// Exact-rational solve; returns the certified optimal objective for the
+/// order (or nullopt-like status in `status`).
+struct ExactOrderLpResult {
+  lp::SolveStatus status = lp::SolveStatus::IterationLimit;
+  numeric::Rational objective;
+};
+[[nodiscard]] ExactOrderLpResult solve_order_lp_exact(
+    const Instance& instance, std::span<const std::size_t> order);
+
+}  // namespace malsched::core

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file orderings.hpp
+/// Classical priority orders referenced by the paper (Table I and §VI):
+/// Smith's ratio rule (optimal for δ_i = P, [15]), the largest-ratio-first
+/// rule of Kawaguchi–Kyan ([17]), and structural orders (height, volume,
+/// width) used as greedy seeds and in the homogeneous §V-B study.
+
+#include <cstddef>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+
+namespace malsched::core {
+
+/// Smith / WSPT order: V_i/w_i non-decreasing (equivalently w_i/V_i
+/// non-increasing).  The paper's §VI suggests greedy with this order.
+[[nodiscard]] std::vector<std::size_t> smith_order(const Instance& instance);
+
+/// Height order: V_i/δ_i non-increasing (tallest first).
+[[nodiscard]] std::vector<std::size_t> height_order(const Instance& instance);
+
+/// Volume order: V_i non-decreasing (shortest work first).
+[[nodiscard]] std::vector<std::size_t> volume_order(const Instance& instance);
+
+/// Weight order: w_i non-increasing.
+[[nodiscard]] std::vector<std::size_t> weight_order(const Instance& instance);
+
+/// Width order: δ_i non-increasing (the §V-B convention δ_1 >= δ_2 >= ...).
+[[nodiscard]] std::vector<std::size_t> width_order(const Instance& instance);
+
+/// The identity order 0..n-1.
+[[nodiscard]] std::vector<std::size_t> identity_order(std::size_t n);
+
+/// Reverses an order.
+[[nodiscard]] std::vector<std::size_t> reversed(std::vector<std::size_t> order);
+
+}  // namespace malsched::core

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file schedule.hpp
+/// The two schedule representations of the paper and their equivalence
+/// (Theorem 3):
+///
+/// * ColumnSchedule — the MWCT-CB-F form (Definition 2): tasks are ordered by
+///   completion time; between two consecutive completions ("column j") each
+///   task receives a constant fractional number of processors d_{i,j}.
+/// * StepSchedule — the general MWCT form (Definition 1) restricted to
+///   piecewise-constant allocations d_i(t): a sequence of contiguous time
+///   steps with per-task rates.
+///
+/// `StepSchedule::to_columns` implements the averaging direction of
+/// Theorem 3 (any valid schedule -> column-based with the same completion
+/// times); the integer direction lives in assignment.hpp.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/support/float_compare.hpp"
+#include "malsched/support/matrix.hpp"
+
+namespace malsched::core {
+
+/// Result of a schedule validity check; `message` explains the first
+/// violation found.
+struct Validation {
+  bool valid = true;
+  std::string message;
+
+  explicit operator bool() const noexcept { return valid; }
+};
+
+/// Column-based fractional schedule (MWCT-CB-F).
+class ColumnSchedule {
+ public:
+  ColumnSchedule() = default;
+
+  /// \param order        order[j] = task completing at the end of column j
+  /// \param boundaries   boundaries[j] = C_{order[j]}, non-decreasing
+  /// \param alloc        alloc(task, column) = d_{task,column} processors
+  ColumnSchedule(std::vector<std::size_t> order, std::vector<double> boundaries,
+                 support::Matrix alloc);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return order_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return order_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return order_.empty(); }
+
+  [[nodiscard]] const std::vector<std::size_t>& order() const noexcept {
+    return order_;
+  }
+  /// Column position at which `task` completes.
+  [[nodiscard]] std::size_t position(std::size_t task) const {
+    return position_[task];
+  }
+
+  [[nodiscard]] double column_start(std::size_t j) const {
+    return j == 0 ? 0.0 : boundaries_[j - 1];
+  }
+  [[nodiscard]] double column_end(std::size_t j) const { return boundaries_[j]; }
+  [[nodiscard]] double column_length(std::size_t j) const {
+    return column_end(j) - column_start(j);
+  }
+
+  /// Completion time of `task`.
+  [[nodiscard]] double completion(std::size_t task) const {
+    return boundaries_[position_[task]];
+  }
+  /// Completion times indexed by task id.
+  [[nodiscard]] std::vector<double> completions() const;
+
+  /// d_{task, column}.
+  [[nodiscard]] double allocation(std::size_t task, std::size_t column) const {
+    return alloc_(task, column);
+  }
+  [[nodiscard]] const support::Matrix& allocations() const noexcept {
+    return alloc_;
+  }
+
+  /// Σ w_i C_i.
+  [[nodiscard]] double weighted_completion(const Instance& instance) const;
+  /// Largest completion time (0 for empty schedules).
+  [[nodiscard]] double makespan() const;
+
+  /// Checks every MWCT-CB-F constraint: boundary monotonicity, d >= 0,
+  /// d_{i,j} <= δ_i, Σ_i d_{i,j} <= P, exact volumes, and no allocation
+  /// after completion.
+  [[nodiscard]] Validation validate(const Instance& instance,
+                                    support::Tolerance tol = {}) const;
+
+ private:
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> position_;
+  std::vector<double> boundaries_;
+  support::Matrix alloc_;
+};
+
+/// One step of a piecewise-constant schedule: constant per-task rates over
+/// [begin, end).
+struct Step {
+  double begin = 0.0;
+  double end = 0.0;
+  std::vector<double> rates;  ///< indexed by task id
+
+  [[nodiscard]] double length() const noexcept { return end - begin; }
+};
+
+/// Piecewise-constant MWCT schedule.
+class StepSchedule {
+ public:
+  StepSchedule() = default;
+  StepSchedule(std::size_t num_tasks, std::vector<Step> steps);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return num_tasks_; }
+  [[nodiscard]] const std::vector<Step>& steps() const noexcept {
+    return steps_;
+  }
+
+  /// Completion time of each task: the end of the last step in which it has
+  /// a positive rate (0 for zero-volume tasks).
+  [[nodiscard]] std::vector<double> completions(
+      support::Tolerance tol = {}) const;
+
+  [[nodiscard]] double weighted_completion(const Instance& instance,
+                                           support::Tolerance tol = {}) const;
+  [[nodiscard]] double makespan(support::Tolerance tol = {}) const;
+
+  /// Volume processed per task (integral of its rate).
+  [[nodiscard]] std::vector<double> volumes() const;
+
+  /// Checks step contiguity, rate bounds (0 <= rate <= δ, Σ <= P) and
+  /// volume conservation.
+  [[nodiscard]] Validation validate(const Instance& instance,
+                                    support::Tolerance tol = {}) const;
+
+  /// Theorem 3 (averaging direction): collapse to a column schedule with the
+  /// same completion times.  Tasks tied in completion time get consistent
+  /// (index-ordered) columns of zero length.
+  [[nodiscard]] ColumnSchedule to_columns(const Instance& instance,
+                                          support::Tolerance tol = {}) const;
+
+ private:
+  std::size_t num_tasks_ = 0;
+  std::vector<Step> steps_;  ///< contiguous, increasing times
+};
+
+/// Expands a column schedule into the equivalent step schedule (one step per
+/// non-empty column) — the trivial direction of the representation change.
+[[nodiscard]] StepSchedule to_steps(const ColumnSchedule& schedule);
+
+}  // namespace malsched::core

@@ -1,0 +1,391 @@
+#include "malsched/core/assignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// Snaps a ribbon coordinate that is numerically an integer onto it, so
+/// accumulated offsets do not create sliver pieces.
+double snap_coord(double x) noexcept {
+  const double r = std::nearbyint(x);
+  return std::fabs(x - r) <= 1e-9 ? r : x;
+}
+
+}  // namespace
+
+ProcessorAssignment::ProcessorAssignment(
+    std::size_t num_tasks,
+    std::vector<std::vector<AssignmentPiece>> per_processor)
+    : num_tasks_(num_tasks), per_processor_(std::move(per_processor)) {
+  for (auto& pieces : per_processor_) {
+    std::sort(pieces.begin(), pieces.end(),
+              [](const AssignmentPiece& a, const AssignmentPiece& b) {
+                return a.begin < b.begin;
+              });
+  }
+}
+
+std::vector<AssignmentPiece> ProcessorAssignment::task_pieces(
+    std::size_t task) const {
+  std::vector<AssignmentPiece> out;
+  for (const auto& pieces : per_processor_) {
+    for (const auto& piece : pieces) {
+      if (piece.task == task) {
+        out.push_back(piece);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AssignmentPiece& a, const AssignmentPiece& b) {
+              return a.begin < b.begin;
+            });
+  return out;
+}
+
+std::size_t ProcessorAssignment::count_at(std::size_t task, double t) const {
+  std::size_t count = 0;
+  for (const auto& pieces : per_processor_) {
+    for (const auto& piece : pieces) {
+      if (piece.task == task && piece.begin <= t && t < piece.end) {
+        ++count;
+        break;  // at most one piece per processor covers t
+      }
+    }
+  }
+  return count;
+}
+
+Validation ProcessorAssignment::validate(const Instance& instance,
+                                         support::Tolerance tol) const {
+  if (instance.size() != num_tasks_) {
+    return {false, "task count mismatch"};
+  }
+  for (std::size_t p = 0; p < per_processor_.size(); ++p) {
+    double cursor = 0.0;
+    for (const auto& piece : per_processor_[p]) {
+      if (piece.end < piece.begin - tol.abs) {
+        return {false, "piece with negative duration"};
+      }
+      if (piece.begin < cursor - tol.slack(cursor)) {
+        std::ostringstream out;
+        out << "overlapping pieces on processor " << p;
+        return {false, out.str()};
+      }
+      cursor = std::max(cursor, piece.end);
+      if (piece.task >= num_tasks_) {
+        return {false, "piece references unknown task"};
+      }
+    }
+  }
+  // Volume conservation: each piece contributes its duration (1 processor).
+  std::vector<double> volume(num_tasks_, 0.0);
+  for (const auto& pieces : per_processor_) {
+    for (const auto& piece : pieces) {
+      volume[piece.task] += piece.end - piece.begin;
+    }
+  }
+  for (std::size_t i = 0; i < num_tasks_; ++i) {
+    if (!support::approx_eq(volume[i], instance.task(i).volume,
+                            {tol.abs * 100, tol.rel * 100})) {
+      std::ostringstream out;
+      out << "assigned volume " << volume[i] << " != " << instance.task(i).volume
+          << " for task " << i;
+      return {false, out.str()};
+    }
+  }
+  return {};
+}
+
+ProcessorAssignment assign_processors(const Instance& instance,
+                                      const ColumnSchedule& schedule,
+                                      const AssignmentOptions& options) {
+  MALSCHED_EXPECTS_MSG(instance.integral(),
+                       "integer assignment needs integral P and widths");
+  const auto tol = options.tol;
+  const std::size_t n = instance.size();
+  const auto num_procs = static_cast<std::size_t>(instance.processors());
+
+  std::vector<std::vector<AssignmentPiece>> per_processor(num_procs);
+  // Labels each task held at the end of the previous non-empty column
+  // (post-relabelling), for the affinity pass.
+  std::vector<std::vector<std::size_t>> prev_end_labels(n);
+
+  for (std::size_t j = 0; j < schedule.num_columns(); ++j) {
+    const double t0 = schedule.column_start(j);
+    const double t1 = schedule.column_end(j);
+    const double len = t1 - t0;
+    if (len <= tol.abs) {
+      continue;
+    }
+
+    // Ribbon packing in completion order (the stacking the paper uses:
+    // earlier-finishing tasks lower).
+    struct ColumnPiece {
+      std::size_t task;
+      std::size_t label;
+      double begin;
+      double end;
+    };
+    std::vector<ColumnPiece> pieces;
+    std::vector<std::vector<std::size_t>> start_labels(n);
+    std::vector<std::vector<std::size_t>> end_labels(n);
+
+    double offset = 0.0;
+    for (std::size_t pos = 0; pos < schedule.num_columns(); ++pos) {
+      const std::size_t task = schedule.order()[pos];
+      const double d = schedule.allocation(task, j);
+      if (d <= tol.abs) {
+        continue;
+      }
+      const double lo_band = snap_coord(offset);
+      const double hi_band = snap_coord(offset + d);
+      offset = hi_band;
+      for (auto p = static_cast<std::size_t>(std::floor(lo_band));
+           p < num_procs; ++p) {
+        const double lo = std::max(lo_band, static_cast<double>(p));
+        const double hi = std::min(hi_band, static_cast<double>(p) + 1.0);
+        if (hi - lo <= 1e-12) {
+          if (static_cast<double>(p) >= hi_band) {
+            break;
+          }
+          continue;
+        }
+        // Ribbon coordinate -> time: earliest time to the lowest coordinate.
+        const double begin = t0 + (lo - static_cast<double>(p)) * len;
+        const double end = t0 + (hi - static_cast<double>(p)) * len;
+        pieces.push_back({task, p, begin, end});
+        if (begin <= t0 + tol.slack(t0)) {
+          start_labels[task].push_back(p);
+        }
+        if (end >= t1 - tol.slack(t1)) {
+          end_labels[task].push_back(p);
+        }
+      }
+    }
+
+    // Affinity relabelling: permute this column's labels so tasks that span
+    // the previous boundary keep their processors.
+    std::vector<std::size_t> relabel(num_procs,
+                                     std::numeric_limits<std::size_t>::max());
+    std::vector<bool> target_used(num_procs, false);
+    if (options.improve_affinity) {
+      for (std::size_t task = 0; task < n; ++task) {
+        if (start_labels[task].empty() || prev_end_labels[task].empty()) {
+          continue;
+        }
+        std::size_t matched = 0;
+        for (const std::size_t cur : start_labels[task]) {
+          if (matched >= prev_end_labels[task].size()) {
+            break;
+          }
+          const std::size_t want = prev_end_labels[task][matched];
+          if (!target_used[want] &&
+              relabel[cur] == std::numeric_limits<std::size_t>::max()) {
+            relabel[cur] = want;
+            target_used[want] = true;
+            ++matched;
+          }
+        }
+      }
+    }
+    // Fill the rest of the permutation with unused targets.
+    std::size_t next_target = 0;
+    for (std::size_t p = 0; p < num_procs; ++p) {
+      if (relabel[p] != std::numeric_limits<std::size_t>::max()) {
+        continue;
+      }
+      while (target_used[next_target]) {
+        ++next_target;
+      }
+      relabel[p] = next_target;
+      target_used[next_target] = true;
+    }
+
+    // Emit pieces under the final labels and record end-of-column holders.
+    for (auto& labels : prev_end_labels) {
+      labels.clear();
+    }
+    for (const auto& piece : pieces) {
+      const std::size_t label = relabel[piece.label];
+      per_processor[label].push_back({piece.task, piece.begin, piece.end});
+    }
+    for (std::size_t task = 0; task < n; ++task) {
+      for (const std::size_t cur : end_labels[task]) {
+        prev_end_labels[task].push_back(relabel[cur]);
+      }
+    }
+  }
+
+  return ProcessorAssignment(n, std::move(per_processor));
+}
+
+namespace {
+
+/// Shared rate-sequence walk: counts interior changes per task, optionally
+/// skipping transitions whose new rate sits at the width cap (the paper's
+/// band-only ¶-count).
+std::size_t count_changes_impl(const ColumnSchedule& schedule,
+                               const Instance* instance_for_caps,
+                               support::Tolerance tol) {
+  std::size_t changes = 0;
+  for (std::size_t task = 0; task < schedule.num_tasks(); ++task) {
+    // Rate sequence over non-empty columns up to the task's completion.
+    std::vector<double> rates;
+    for (std::size_t j = 0; j <= schedule.position(task); ++j) {
+      if (schedule.column_length(j) <= tol.abs) {
+        continue;
+      }
+      rates.push_back(schedule.allocation(task, j));
+    }
+    // Trim leading and trailing zero stretches (before first start / after
+    // completion there is no "change" by the paper's convention).
+    std::size_t first = 0;
+    while (first < rates.size() && rates[first] <= tol.abs) {
+      ++first;
+    }
+    std::size_t last = rates.size();
+    while (last > first && rates[last - 1] <= tol.abs) {
+      --last;
+    }
+    for (std::size_t k = first + 1; k < last; ++k) {
+      if (support::approx_eq(rates[k], rates[k - 1], tol)) {
+        continue;
+      }
+      if (instance_for_caps != nullptr &&
+          support::approx_eq(rates[k],
+                             instance_for_caps->effective_width(task), tol)) {
+        continue;  // entering the saturated phase: not charged by Lemma 5
+      }
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+}  // namespace
+
+std::size_t count_fractional_changes(const ColumnSchedule& schedule,
+                                     support::Tolerance tol) {
+  return count_changes_impl(schedule, nullptr, tol);
+}
+
+std::size_t count_band_changes(const Instance& instance,
+                               const ColumnSchedule& schedule,
+                               support::Tolerance tol) {
+  MALSCHED_EXPECTS(instance.size() == schedule.num_tasks());
+  return count_changes_impl(schedule, &instance, tol);
+}
+
+namespace {
+
+/// Interior changes of one task's integer processor-count profile.
+std::size_t integer_profile_changes(
+    const std::vector<AssignmentPiece>& pieces, support::Tolerance tol) {
+  if (pieces.empty()) {
+    return 0;
+  }
+  // Sweep piece boundaries; +1 at begin, -1 at end.
+  std::map<double, int> delta;
+  for (const auto& piece : pieces) {
+    if (piece.end - piece.begin <= tol.abs) {
+      continue;
+    }
+    delta[piece.begin] += 1;
+    delta[piece.end] -= 1;
+  }
+  // Merge numerically-equal event times.
+  std::vector<std::pair<double, int>> events;
+  for (const auto& [t, d] : delta) {
+    if (!events.empty() && support::approx_eq(events.back().first, t, tol)) {
+      events.back().second += d;
+    } else {
+      events.emplace_back(t, d);
+    }
+  }
+  // Count profile: transitions excluding the first start and the last stop.
+  std::size_t changes = 0;
+  int count = 0;
+  bool started = false;
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const int next = count + events[k].second;
+    if (events[k].second == 0) {
+      count = next;
+      continue;  // touching pieces, no actual change
+    }
+    const bool is_first_start = !started && count == 0 && next > 0;
+    const bool is_final_stop = next == 0 && k + 1 == events.size();
+    if (!is_first_start && !is_final_stop) {
+      ++changes;
+    }
+    if (next > 0) {
+      started = true;
+    }
+    count = next;
+  }
+  return changes;
+}
+
+}  // namespace
+
+PreemptionStats count_preemptions(const Instance& instance,
+                                  const ColumnSchedule& schedule,
+                                  const ProcessorAssignment& assignment,
+                                  support::Tolerance tol) {
+  PreemptionStats stats;
+  stats.fractional_changes = count_fractional_changes(schedule, tol);
+  stats.band_changes = count_band_changes(instance, schedule, tol);
+
+  for (std::size_t task = 0; task < instance.size(); ++task) {
+    const auto pieces = assignment.task_pieces(task);
+    stats.integer_changes += integer_profile_changes(pieces, tol);
+    if (pieces.empty()) {
+      continue;
+    }
+
+    double completion = 0.0;
+    double first_start = std::numeric_limits<double>::infinity();
+    for (const auto& piece : pieces) {
+      completion = std::max(completion, piece.end);
+      first_start = std::min(first_start, piece.begin);
+    }
+    // Processor losses/gains: a piece that stops before the task completes
+    // with no continuation on the same processor is a loss; a piece that
+    // starts after the task began with no predecessor on the same processor
+    // is a gain.  Continuity is a same-processor property, so walk the
+    // per-processor lists.
+    for (std::size_t p = 0; p < assignment.num_processors(); ++p) {
+      const auto& plist = assignment.processor(p);
+      for (std::size_t k = 0; k < plist.size(); ++k) {
+        if (plist[k].task != task) {
+          continue;
+        }
+        const bool has_next_same =
+            k + 1 < plist.size() && plist[k + 1].task == task &&
+            support::approx_eq(plist[k + 1].begin, plist[k].end, tol);
+        const bool has_prev_same =
+            k > 0 && plist[k - 1].task == task &&
+            support::approx_eq(plist[k - 1].end, plist[k].begin, tol);
+        if (plist[k].end < completion - tol.slack(completion) &&
+            !has_next_same) {
+          ++stats.processor_losses;
+        }
+        if (plist[k].begin > first_start + tol.slack(first_start) &&
+            !has_prev_same) {
+          ++stats.processor_gains;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,111 @@
+#include "malsched/core/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+const char* family_name(Family family) noexcept {
+  switch (family) {
+    case Family::Uniform:
+      return "uniform";
+    case Family::UniformIntegral:
+      return "uniform-integral";
+    case Family::EqualWeights:
+      return "equal-weights";
+    case Family::EqualWeightsVolumes:
+      return "equal-weights-volumes";
+    case Family::WideTasks:
+      return "wide-tasks";
+    case Family::HomogeneousHalf:
+      return "homogeneous-half";
+    case Family::UnitWidth:
+      return "unit-width";
+    case Family::BandwidthLike:
+      return "bandwidth-like";
+    case Family::HeavyTailVolumes:
+      return "heavy-tail-volumes";
+  }
+  return "?";
+}
+
+std::vector<Family> all_families() {
+  return {Family::Uniform,          Family::UniformIntegral,
+          Family::EqualWeights,     Family::EqualWeightsVolumes,
+          Family::WideTasks,        Family::HomogeneousHalf,
+          Family::UnitWidth,        Family::BandwidthLike,
+          Family::HeavyTailVolumes};
+}
+
+Instance generate(const GeneratorConfig& config, support::Rng& rng) {
+  MALSCHED_EXPECTS(config.num_tasks > 0);
+  MALSCHED_EXPECTS(config.processors > 0.0);
+
+  const double P = config.family == Family::HomogeneousHalf
+                       ? 1.0
+                       : config.processors;
+  std::vector<Task> tasks;
+  tasks.reserve(config.num_tasks);
+
+  for (std::size_t i = 0; i < config.num_tasks; ++i) {
+    Task t;
+    switch (config.family) {
+      case Family::Uniform:
+        t.volume = rng.uniform_pos(1.0);
+        t.width = rng.uniform_pos(P);
+        t.weight = rng.uniform_pos(1.0);
+        break;
+      case Family::UniformIntegral: {
+        t.volume = rng.uniform_pos(1.0);
+        const auto max_width =
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(P));
+        t.width = static_cast<double>(rng.uniform_int(1, max_width));
+        t.weight = rng.uniform_pos(1.0);
+        break;
+      }
+      case Family::EqualWeights:
+        t.volume = rng.uniform_pos(1.0);
+        t.width = rng.uniform_pos(P);
+        t.weight = 1.0;
+        break;
+      case Family::EqualWeightsVolumes:
+        t.volume = 1.0;
+        t.width = rng.uniform_pos(P);
+        t.weight = 1.0;
+        break;
+      case Family::WideTasks:
+        t.volume = rng.uniform_pos(1.0);
+        // Strictly above P/2, strictly below P.
+        t.width = P / 2.0 + rng.uniform_pos(P / 2.0) * (1.0 - 1e-9);
+        t.weight = 1.0;
+        break;
+      case Family::HomogeneousHalf:
+        t.volume = 1.0;
+        t.width = 0.5 + rng.uniform_pos(0.5);
+        t.weight = 1.0;
+        break;
+      case Family::UnitWidth:
+        t.volume = rng.uniform_pos(1.0);
+        t.width = 1.0;
+        t.weight = rng.uniform_pos(1.0);
+        break;
+      case Family::BandwidthLike:
+        // Many narrow "connections" against a fat server pipe.
+        t.volume = rng.pareto(0.1, 1.5);
+        t.width = rng.uniform_pos(std::max(1.0, P / 8.0));
+        t.weight = rng.uniform_pos(1.0);
+        break;
+      case Family::HeavyTailVolumes:
+        t.volume = rng.pareto(0.05, 1.2);
+        t.width = rng.uniform_pos(P);
+        t.weight = rng.uniform_pos(1.0);
+        break;
+    }
+    tasks.push_back(t);
+  }
+  return Instance(P, std::move(tasks));
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,212 @@
+#include "malsched/core/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "malsched/core/orderings.hpp"
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// Capacity profile: piecewise-constant "used processors" over time,
+/// represented as consecutive segments.  The final segment is implicitly
+/// followed by unused capacity to infinity.
+struct ProfileSegment {
+  double begin;
+  double end;
+  double used;
+};
+
+/// Greedy placement of one task onto the profile.  Returns the pieces
+/// (time intervals × rate) given to the task and its completion time, and
+/// updates the profile in place.
+struct Placement {
+  std::vector<ProfileSegment> pieces;  // used field = task's rate
+  double completion = 0.0;
+};
+
+Placement place_greedy(std::vector<ProfileSegment>& profile, double processors,
+                       double cap, double volume) {
+  Placement out;
+  if (volume <= 0.0) {
+    out.completion = 0.0;
+    return out;
+  }
+  double remaining = volume;
+  std::vector<ProfileSegment> updated;
+  updated.reserve(profile.size() + 2);
+
+  std::size_t k = 0;
+  for (; k < profile.size() && remaining > 0.0; ++k) {
+    ProfileSegment seg = profile[k];
+    const double rate = std::min(cap, processors - seg.used);
+    if (rate <= 0.0 || seg.end <= seg.begin) {
+      updated.push_back(seg);
+      continue;
+    }
+    const double capacity = rate * (seg.end - seg.begin);
+    if (capacity < remaining) {
+      remaining -= capacity;
+      out.pieces.push_back({seg.begin, seg.end, rate});
+      seg.used += rate;
+      updated.push_back(seg);
+    } else {
+      const double need = remaining / rate;
+      const double split = seg.begin + need;
+      out.pieces.push_back({seg.begin, split, rate});
+      out.completion = split;
+      remaining = 0.0;
+      updated.push_back({seg.begin, split, seg.used + rate});
+      if (split < seg.end) {
+        updated.push_back({split, seg.end, seg.used});
+      }
+    }
+  }
+  // Untouched tail segments survive unchanged.
+  for (; k < profile.size(); ++k) {
+    updated.push_back(profile[k]);
+  }
+  if (remaining > 0.0) {
+    // Extend beyond the current horizon on an empty machine.
+    const double start = profile.empty() ? 0.0 : profile.back().end;
+    const double rate = std::min(cap, processors);
+    MALSCHED_ASSERT(rate > 0.0);
+    const double need = remaining / rate;
+    out.pieces.push_back({start, start + need, rate});
+    out.completion = start + need;
+    updated.push_back({start, start + need, rate});
+    remaining = 0.0;
+  } else if (out.completion == 0.0 && !out.pieces.empty()) {
+    out.completion = out.pieces.back().end;
+  }
+  profile = std::move(updated);
+  return out;
+}
+
+}  // namespace
+
+StepSchedule greedy_schedule(const Instance& instance,
+                             std::span<const std::size_t> order) {
+  MALSCHED_EXPECTS(order.size() == instance.size());
+  const std::size_t n = instance.size();
+  const double P = instance.processors();
+
+  std::vector<ProfileSegment> profile;
+  std::vector<std::vector<ProfileSegment>> pieces(n);
+
+  for (const std::size_t task : order) {
+    MALSCHED_EXPECTS(task < n);
+    const auto placement =
+        place_greedy(profile, P, instance.effective_width(task),
+                     instance.task(task).volume);
+    pieces[task] = placement.pieces;
+  }
+
+  // Merge all piece boundaries into global steps.
+  std::set<double> cuts{0.0};
+  for (const auto& task_pieces : pieces) {
+    for (const auto& piece : task_pieces) {
+      cuts.insert(piece.begin);
+      cuts.insert(piece.end);
+    }
+  }
+  std::vector<double> times(cuts.begin(), cuts.end());
+  std::vector<Step> steps;
+  steps.reserve(times.size());
+  for (std::size_t k = 0; k + 1 < times.size(); ++k) {
+    Step step;
+    step.begin = times[k];
+    step.end = times[k + 1];
+    step.rates.assign(n, 0.0);
+    steps.push_back(std::move(step));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& piece : pieces[i]) {
+      // Locate the steps covered by this piece (steps are sorted).
+      const auto first = std::lower_bound(
+          times.begin(), times.end(), piece.begin);
+      for (std::size_t k = static_cast<std::size_t>(first - times.begin());
+           k + 1 < times.size() && times[k] < piece.end; ++k) {
+        steps[k].rates[i] = piece.used;
+      }
+    }
+  }
+  return StepSchedule(n, std::move(steps));
+}
+
+double greedy_objective(const Instance& instance,
+                        std::span<const std::size_t> order) {
+  MALSCHED_EXPECTS(order.size() == instance.size());
+  const double P = instance.processors();
+  std::vector<ProfileSegment> profile;
+  double objective = 0.0;
+  for (const std::size_t task : order) {
+    const auto placement =
+        place_greedy(profile, P, instance.effective_width(task),
+                     instance.task(task).volume);
+    objective += instance.task(task).weight * placement.completion;
+  }
+  return objective;
+}
+
+BestGreedy best_greedy_exhaustive(const Instance& instance) {
+  MALSCHED_EXPECTS_MSG(instance.size() <= 10,
+                       "exhaustive greedy is factorial; use <= 10 tasks");
+  auto order = identity_order(instance.size());
+  BestGreedy best;
+  best.objective = std::numeric_limits<double>::infinity();
+  do {
+    const double objective = greedy_objective(instance, order);
+    ++best.orders_tried;
+    if (objective < best.objective) {
+      best.objective = objective;
+      best.order = order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+BestGreedy best_greedy_heuristic(const Instance& instance) {
+  BestGreedy best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  const auto consider = [&](std::vector<std::size_t> order) {
+    const double objective = greedy_objective(instance, order);
+    ++best.orders_tried;
+    if (objective < best.objective) {
+      best.objective = objective;
+      best.order = std::move(order);
+    }
+  };
+
+  consider(smith_order(instance));
+  consider(height_order(instance));
+  consider(volume_order(instance));
+  consider(weight_order(instance));
+  consider(width_order(instance));
+  consider(reversed(smith_order(instance)));
+
+  // Adjacent-swap local search from the incumbent.
+  bool improved = true;
+  while (improved && instance.size() >= 2) {
+    improved = false;
+    for (std::size_t k = 0; k + 1 < instance.size(); ++k) {
+      auto candidate = best.order;
+      std::swap(candidate[k], candidate[k + 1]);
+      const double objective = greedy_objective(instance, candidate);
+      ++best.orders_tried;
+      if (objective < best.objective - 1e-12) {
+        best.objective = objective;
+        best.order = std::move(candidate);
+        improved = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,119 @@
+#include "malsched/core/homogeneous.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// Shared recurrence skeleton; Number is double or Rational.
+template <typename Number>
+std::vector<Number> completions_impl(std::span<const Number> delta,
+                                     std::span<const std::size_t> order) {
+  MALSCHED_EXPECTS(delta.size() == order.size());
+  const std::size_t n = order.size();
+  std::vector<Number> c(n);
+  Number prev{};       // C_{σ(i-1)}
+  Number prev_prev{};  // C_{σ(i-2)}
+  for (std::size_t i = 0; i < n; ++i) {
+    const Number& d_cur = delta[order[i]];
+    Number next;
+    if (i == 0) {
+      next = Number(1) / d_cur;
+    } else {
+      const Number& d_prev = delta[order[i - 1]];
+      // Remaining volume after sharing column i-1 with the previous task:
+      // 1 − (1 − δ_prev)(C_{i-1} − C_{i-2}), finished at rate δ_cur.
+      next = prev +
+             (Number(1) - (Number(1) - d_prev) * (prev - prev_prev)) / d_cur;
+    }
+    c[order[i]] = next;
+    prev_prev = prev;
+    prev = next;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<double> homogeneous_completions(std::span<const double> delta,
+                                            std::span<const std::size_t> order) {
+  for (double d : delta) {
+    MALSCHED_EXPECTS_MSG(d >= 0.5 && d <= 1.0, "δ must lie in [1/2, 1]");
+  }
+  return completions_impl<double>(delta, order);
+}
+
+double homogeneous_total(std::span<const double> delta,
+                         std::span<const std::size_t> order) {
+  const auto c = homogeneous_completions(delta, order);
+  double total = 0.0;
+  for (double v : c) {
+    total += v;
+  }
+  return total;
+}
+
+std::vector<numeric::Rational> homogeneous_completions_exact(
+    std::span<const numeric::Rational> delta,
+    std::span<const std::size_t> order) {
+  for (const auto& d : delta) {
+    MALSCHED_EXPECTS_MSG(
+        d >= numeric::Rational(1, 2) && d <= numeric::Rational(1),
+        "δ must lie in [1/2, 1]");
+  }
+  return completions_impl<numeric::Rational>(delta, order);
+}
+
+numeric::Rational homogeneous_total_exact(
+    std::span<const numeric::Rational> delta,
+    std::span<const std::size_t> order) {
+  const auto c = homogeneous_completions_exact(delta, order);
+  numeric::Rational total;
+  for (const auto& v : c) {
+    total += v;
+  }
+  return total;
+}
+
+bool reversal_symmetric_exact(std::span<const numeric::Rational> delta,
+                              std::span<const std::size_t> order) {
+  std::vector<std::size_t> rev(order.begin(), order.end());
+  std::reverse(rev.begin(), rev.end());
+  return homogeneous_total_exact(delta, order) ==
+         homogeneous_total_exact(delta, rev);
+}
+
+HomogeneousBest best_homogeneous_order(std::span<const double> delta) {
+  MALSCHED_EXPECTS_MSG(delta.size() <= 10,
+                       "order enumeration is factorial; use <= 10 tasks");
+  std::vector<std::size_t> order(delta.size());
+  std::iota(order.begin(), order.end(), 0);
+  HomogeneousBest best;
+  best.total = std::numeric_limits<double>::infinity();
+  do {
+    const double total = homogeneous_total(delta, order);
+    ++best.orders_tried;
+    if (total < best.total) {
+      best.total = total;
+      best.order = order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+bool five_task_condition(std::span<const double> delta,
+                         std::span<const std::size_t> order) {
+  MALSCHED_EXPECTS(order.size() == 5);
+  const double di = delta[order[0]];
+  const double dj = delta[order[1]];
+  const double dl = delta[order[3]];
+  const double dm = delta[order[4]];
+  return (dl - dj) * (di - dm) <= 1e-12;
+}
+
+}  // namespace malsched::core

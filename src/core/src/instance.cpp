@@ -1,0 +1,68 @@
+#include "malsched/core/instance.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+Instance::Instance(double processors, std::vector<Task> tasks)
+    : processors_(processors), tasks_(std::move(tasks)) {
+  MALSCHED_EXPECTS_MSG(processors_ > 0.0, "instance needs P > 0");
+  for (const Task& t : tasks_) {
+    MALSCHED_EXPECTS_MSG(t.volume >= 0.0, "task volume must be non-negative");
+    MALSCHED_EXPECTS_MSG(t.width > 0.0, "task width must be positive");
+    MALSCHED_EXPECTS_MSG(t.weight >= 0.0, "task weight must be non-negative");
+  }
+}
+
+double Instance::total_volume() const noexcept {
+  double sum = 0.0;
+  for (const Task& t : tasks_) {
+    sum += t.volume;
+  }
+  return sum;
+}
+
+double Instance::total_weight() const noexcept {
+  double sum = 0.0;
+  for (const Task& t : tasks_) {
+    sum += t.weight;
+  }
+  return sum;
+}
+
+bool Instance::integral() const noexcept {
+  const auto is_int = [](double v) {
+    return std::nearbyint(v) == v;
+  };
+  if (!is_int(processors_)) {
+    return false;
+  }
+  for (const Task& t : tasks_) {
+    if (!is_int(t.width)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Instance Instance::with_volumes(std::span<const double> volumes) const {
+  MALSCHED_EXPECTS(volumes.size() == tasks_.size());
+  std::vector<Task> tasks = tasks_;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    MALSCHED_EXPECTS(volumes[i] >= 0.0);
+    tasks[i].volume = volumes[i];
+  }
+  return Instance(processors_, std::move(tasks));
+}
+
+std::string Instance::describe() const {
+  std::ostringstream out;
+  out << "P=" << processors_ << " n=" << tasks_.size()
+      << " totalV=" << total_volume();
+  return out.str();
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,209 @@
+#include "malsched/core/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "malsched/core/assignment.hpp"
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+}  // namespace
+
+std::optional<Instance> read_instance(std::istream& in, std::string* error) {
+  double processors = 0.0;
+  bool have_processors = false;
+  std::vector<Task> tasks;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) {
+      continue;  // blank/comment line
+    }
+    if (keyword == "processors") {
+      if (!(fields >> processors) || processors <= 0.0) {
+        set_error(error, "line " + std::to_string(line_no) +
+                             ": invalid processors value");
+        return std::nullopt;
+      }
+      have_processors = true;
+    } else if (keyword == "task") {
+      Task t;
+      if (!(fields >> t.volume >> t.width >> t.weight) || t.volume < 0.0 ||
+          t.width <= 0.0 || t.weight < 0.0) {
+        set_error(error,
+                  "line " + std::to_string(line_no) + ": invalid task line");
+        return std::nullopt;
+      }
+      tasks.push_back(t);
+    } else {
+      set_error(error, "line " + std::to_string(line_no) +
+                           ": unknown keyword '" + keyword + "'");
+      return std::nullopt;
+    }
+  }
+  if (!have_processors) {
+    set_error(error, "missing 'processors' line");
+    return std::nullopt;
+  }
+  if (tasks.empty()) {
+    set_error(error, "instance has no tasks");
+    return std::nullopt;
+  }
+  return Instance(processors, std::move(tasks));
+}
+
+std::optional<Instance> parse_instance(const std::string& text,
+                                       std::string* error) {
+  std::istringstream in(text);
+  return read_instance(in, error);
+}
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  out << "# malsched instance: n=" << instance.size() << "\n";
+  out << "processors " << std::setprecision(17) << instance.processors()
+      << "\n";
+  for (const Task& t : instance.tasks()) {
+    out << "task " << std::setprecision(17) << t.volume << " " << t.width
+        << " " << t.weight << "\n";
+  }
+}
+
+std::string format_instance(const Instance& instance) {
+  std::ostringstream out;
+  write_instance(out, instance);
+  return out.str();
+}
+
+void write_schedule_csv(std::ostream& out, const ColumnSchedule& schedule) {
+  out << "task,column,start,end,processors\n";
+  for (std::size_t i = 0; i < schedule.num_tasks(); ++i) {
+    for (std::size_t j = 0; j < schedule.num_columns(); ++j) {
+      const double d = schedule.allocation(i, j);
+      if (d <= 0.0) {
+        continue;
+      }
+      out << i << "," << j << "," << std::setprecision(12)
+          << schedule.column_start(j) << "," << schedule.column_end(j) << ","
+          << d << "\n";
+    }
+  }
+}
+
+std::string render_gantt(const Instance& instance, const StepSchedule& schedule,
+                         std::size_t columns) {
+  MALSCHED_EXPECTS(columns > 0);
+  const double horizon = schedule.makespan();
+  std::ostringstream out;
+  if (horizon <= 0.0) {
+    out << "(empty schedule)\n";
+    return out.str();
+  }
+  const double bucket = horizon / static_cast<double>(columns);
+  static const char glyphs[] = " .:-=+*#%@";
+
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    out << "T" << std::setw(3) << std::left << i << "|";
+    for (std::size_t b = 0; b < columns; ++b) {
+      const double lo = bucket * static_cast<double>(b);
+      const double hi = lo + bucket;
+      // Average rate of task i in the bucket, scaled by its width cap.
+      double area = 0.0;
+      for (const auto& step : schedule.steps()) {
+        const double overlap = std::min(hi, step.end) - std::max(lo, step.begin);
+        if (overlap > 0.0) {
+          area += step.rates[i] * overlap;
+        }
+      }
+      const double share = area / (bucket * instance.effective_width(i));
+      const auto level = static_cast<std::size_t>(
+          std::clamp(share, 0.0, 1.0) * 9.0 + 0.5);
+      out << glyphs[level];
+    }
+    out << "|\n";
+  }
+  std::ostringstream hor;
+  hor << std::setprecision(4) << horizon;
+  out << "     0" << std::string(columns > hor.str().size() + 1
+                                     ? columns - hor.str().size() - 1
+                                     : 1,
+                                 ' ')
+      << hor.str() << "\n";
+  return out.str();
+}
+
+std::string render_processor_gantt(const ProcessorAssignment& assignment,
+                                   std::size_t columns) {
+  MALSCHED_EXPECTS(columns > 0);
+  double horizon = 0.0;
+  for (std::size_t p = 0; p < assignment.num_processors(); ++p) {
+    for (const auto& piece : assignment.processor(p)) {
+      horizon = std::max(horizon, piece.end);
+    }
+  }
+  std::ostringstream out;
+  if (horizon <= 0.0) {
+    out << "(empty assignment)\n";
+    return out.str();
+  }
+  const double bucket = horizon / static_cast<double>(columns);
+  const auto glyph = [](std::size_t task) -> char {
+    if (task < 10) {
+      return static_cast<char>('0' + task);
+    }
+    if (task < 36) {
+      return static_cast<char>('a' + (task - 10));
+    }
+    return '+';
+  };
+
+  for (std::size_t p = 0; p < assignment.num_processors(); ++p) {
+    out << "P" << std::setw(3) << std::left << p << "|";
+    for (std::size_t b = 0; b < columns; ++b) {
+      const double lo = bucket * static_cast<double>(b);
+      const double hi = lo + bucket;
+      // The task covering most of the bucket on this processor.
+      double best_cover = 0.0;
+      std::size_t best_task = 0;
+      bool any = false;
+      for (const auto& piece : assignment.processor(p)) {
+        const double overlap = std::min(hi, piece.end) - std::max(lo, piece.begin);
+        if (overlap > best_cover) {
+          best_cover = overlap;
+          best_task = piece.task;
+          any = true;
+        }
+      }
+      out << (any && best_cover > bucket * 0.25 ? glyph(best_task) : '.');
+    }
+    out << "|\n";
+  }
+  std::ostringstream hor;
+  hor << std::setprecision(4) << horizon;
+  out << "     0" << std::string(columns > hor.str().size() + 1
+                                     ? columns - hor.str().size() - 1
+                                     : 1,
+                                 ' ')
+      << hor.str() << "\n";
+  return out.str();
+}
+
+}  // namespace malsched::core

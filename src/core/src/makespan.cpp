@@ -1,0 +1,84 @@
+#include "malsched/core/makespan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+double optimal_makespan(const Instance& instance) {
+  double area = instance.total_volume() / instance.processors();
+  double tallest = 0.0;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (instance.task(i).volume > 0.0) {
+      tallest = std::max(tallest,
+                         instance.task(i).volume / instance.effective_width(i));
+    }
+  }
+  return std::max(area, tallest);
+}
+
+bool deadlines_feasible(const Instance& instance,
+                        std::span<const double> deadlines,
+                        support::Tolerance tol) {
+  return water_fill_feasible(instance, deadlines, tol);
+}
+
+LmaxResult minimize_lmax(const Instance& instance,
+                         std::span<const double> due_dates, double precision) {
+  MALSCHED_EXPECTS(due_dates.size() == instance.size());
+  MALSCHED_EXPECTS(precision > 0.0);
+  const std::size_t n = instance.size();
+
+  const auto feasible_at = [&](double shift) {
+    std::vector<double> deadlines(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      deadlines[i] = due_dates[i] + shift;
+    }
+    return water_fill_feasible(instance, deadlines);
+  };
+
+  // Bracket the answer.  Lower bound: each task needs at least its height,
+  // so L >= max(h_i - d_i); also the total area before any deadline bounds
+  // L from below.  Upper bound: everything fits by Cmax*, so
+  // L <= Cmax* - min d_i.
+  double lo = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = instance.task(i);
+    if (t.volume > 0.0) {
+      lo = std::max(lo, t.volume / instance.effective_width(i) - due_dates[i]);
+    }
+  }
+  if (!std::isfinite(lo)) {
+    return {0.0, 0};  // no positive-volume tasks: lateness can be pushed to 0
+  }
+  double min_due = due_dates[0];
+  for (double d : due_dates) {
+    min_due = std::min(min_due, d);
+  }
+  double hi = optimal_makespan(instance) - min_due;
+  hi = std::max(hi, lo);
+
+  LmaxResult result;
+  if (feasible_at(lo)) {
+    result.lmax = lo;
+    return result;
+  }
+  MALSCHED_ASSERT(feasible_at(hi));
+  while (hi - lo > precision * std::max(1.0, std::fabs(hi))) {
+    const double mid = 0.5 * (lo + hi);
+    ++result.iterations;
+    if (feasible_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.lmax = hi;
+  return result;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,36 @@
+#include "malsched/core/optimal.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "malsched/core/orderings.hpp"
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+OptimalResult optimal_by_enumeration(const Instance& instance,
+                                     const OptimalOptions& options) {
+  MALSCHED_EXPECTS_MSG(instance.size() <= options.max_tasks,
+                       "optimal_by_enumeration is factorial in n");
+  OptimalResult result;
+  result.objective = std::numeric_limits<double>::infinity();
+
+  auto order = identity_order(instance.size());
+  do {
+    const double objective = order_lp_objective(instance, order);
+    ++result.orders_tried;
+    if (objective < result.objective) {
+      result.objective = objective;
+      result.order = order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  if (options.want_schedule && !result.order.empty()) {
+    auto solved = solve_order_lp(instance, result.order);
+    MALSCHED_ENSURES(solved.optimal());
+    result.schedule = std::move(solved.schedule);
+  }
+  return result;
+}
+
+}  // namespace malsched::core

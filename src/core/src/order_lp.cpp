@@ -1,0 +1,152 @@
+#include "malsched/core/order_lp.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// Variable indexing for the order LP: first the n boundary variables C_j,
+/// then the lower-triangular x_{a,j} (j <= a) packed row by row.
+struct VarMap {
+  std::size_t n;
+
+  [[nodiscard]] std::size_t c(std::size_t j) const { return j; }
+  [[nodiscard]] std::size_t x(std::size_t a, std::size_t j) const {
+    MALSCHED_ASSERT(j <= a && a < n);
+    // Row a starts after rows 0..a-1, which hold 1 + 2 + ... + a entries.
+    return n + a * (a + 1) / 2 + j;
+  }
+};
+
+}  // namespace
+
+lp::Model build_order_lp(const Instance& instance,
+                         std::span<const std::size_t> order) {
+  MALSCHED_EXPECTS(order.size() == instance.size());
+  const std::size_t n = instance.size();
+  const double P = instance.processors();
+  const VarMap vars{n};
+
+  lp::Model model;
+  for (std::size_t j = 0; j < n; ++j) {
+    model.add_variable("C" + std::to_string(j));
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t j = 0; j <= a; ++j) {
+      model.add_variable("x" + std::to_string(a) + "_" + std::to_string(j));
+    }
+  }
+
+  // Objective: Σ w_{σ(a)} C_a.
+  for (std::size_t a = 0; a < n; ++a) {
+    model.set_objective(vars.c(a), instance.task(order[a]).weight);
+  }
+
+  // Boundary ordering C_j >= C_{j-1}.
+  for (std::size_t j = 1; j < n; ++j) {
+    model.add_constraint(
+        {{vars.c(j), 1.0}, {vars.c(j - 1), -1.0}},
+        lp::Sense::GreaterEqual, 0.0);
+  }
+
+  // Column capacity: Σ_a x_{a,j} − P(C_j − C_{j-1}) <= 0.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<lp::Term> terms;
+    for (std::size_t a = j; a < n; ++a) {
+      terms.push_back({vars.x(a, j), 1.0});
+    }
+    terms.push_back({vars.c(j), -P});
+    if (j > 0) {
+      terms.push_back({vars.c(j - 1), P});
+    }
+    model.add_constraint(std::move(terms), lp::Sense::LessEqual, 0.0);
+  }
+
+  // Width caps: x_{a,j} − δ(C_j − C_{j-1}) <= 0.
+  for (std::size_t a = 0; a < n; ++a) {
+    const double width = instance.effective_width(order[a]);
+    for (std::size_t j = 0; j <= a; ++j) {
+      std::vector<lp::Term> terms{{vars.x(a, j), 1.0}, {vars.c(j), -width}};
+      if (j > 0) {
+        terms.push_back({vars.c(j - 1), width});
+      }
+      model.add_constraint(std::move(terms), lp::Sense::LessEqual, 0.0);
+    }
+  }
+
+  // Volume conservation: Σ_{j<=a} x_{a,j} = V.
+  for (std::size_t a = 0; a < n; ++a) {
+    std::vector<lp::Term> terms;
+    for (std::size_t j = 0; j <= a; ++j) {
+      terms.push_back({vars.x(a, j), 1.0});
+    }
+    model.add_constraint(std::move(terms), lp::Sense::Equal,
+                         instance.task(order[a]).volume);
+  }
+  return model;
+}
+
+OrderLpResult solve_order_lp(const Instance& instance,
+                             std::span<const std::size_t> order) {
+  const std::size_t n = instance.size();
+  const VarMap vars{n};
+  const auto model = build_order_lp(instance, order);
+  const auto solution = lp::solve(model);
+
+  OrderLpResult result;
+  result.status = solution.status;
+  if (!solution.optimal()) {
+    return result;
+  }
+  result.objective = solution.objective;
+
+  // Reconstruct the column schedule: rates = volume / column length.
+  std::vector<double> boundaries(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    boundaries[j] = solution.values[vars.c(j)];
+  }
+  support::Matrix alloc(n, n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::size_t task = order[a];
+    for (std::size_t j = 0; j <= a; ++j) {
+      const double length =
+          boundaries[j] - (j == 0 ? 0.0 : boundaries[j - 1]);
+      const double volume = solution.values[vars.x(a, j)];
+      if (length > 0.0 && volume > 0.0) {
+        alloc(task, j) = volume / length;
+      }
+    }
+  }
+  result.schedule = ColumnSchedule(
+      std::vector<std::size_t>(order.begin(), order.end()),
+      std::move(boundaries), std::move(alloc));
+  return result;
+}
+
+double order_lp_objective(const Instance& instance,
+                          std::span<const std::size_t> order) {
+  const auto model = build_order_lp(instance, order);
+  const auto solution = lp::solve(model);
+  if (!solution.optimal()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return solution.objective;
+}
+
+ExactOrderLpResult solve_order_lp_exact(const Instance& instance,
+                                        std::span<const std::size_t> order) {
+  const auto model = build_order_lp(instance, order);
+  const auto solution = lp::solve_exact(model);
+  ExactOrderLpResult result;
+  result.status = solution.status;
+  if (solution.optimal()) {
+    result.objective = solution.objective;
+  }
+  return result;
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,63 @@
+#include "malsched/core/orderings.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace malsched::core {
+
+namespace {
+
+template <typename Less>
+std::vector<std::size_t> sorted_order(std::size_t n, Less less) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), less);
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> smith_order(const Instance& instance) {
+  return sorted_order(instance.size(), [&](std::size_t a, std::size_t b) {
+    const Task& ta = instance.task(a);
+    const Task& tb = instance.task(b);
+    return ta.volume * tb.weight < tb.volume * ta.weight;
+  });
+}
+
+std::vector<std::size_t> height_order(const Instance& instance) {
+  return sorted_order(instance.size(), [&](std::size_t a, std::size_t b) {
+    return instance.task(a).height() > instance.task(b).height();
+  });
+}
+
+std::vector<std::size_t> volume_order(const Instance& instance) {
+  return sorted_order(instance.size(), [&](std::size_t a, std::size_t b) {
+    return instance.task(a).volume < instance.task(b).volume;
+  });
+}
+
+std::vector<std::size_t> weight_order(const Instance& instance) {
+  return sorted_order(instance.size(), [&](std::size_t a, std::size_t b) {
+    return instance.task(a).weight > instance.task(b).weight;
+  });
+}
+
+std::vector<std::size_t> width_order(const Instance& instance) {
+  return sorted_order(instance.size(), [&](std::size_t a, std::size_t b) {
+    return instance.task(a).width > instance.task(b).width;
+  });
+}
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<std::size_t> reversed(std::vector<std::size_t> order) {
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace malsched::core

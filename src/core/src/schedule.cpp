@@ -1,0 +1,275 @@
+#include "malsched/core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+Validation fail(std::string message) {
+  return Validation{false, std::move(message)};
+}
+
+std::string describe_index(const char* what, std::size_t i) {
+  std::ostringstream out;
+  out << what << " " << i;
+  return out.str();
+}
+
+}  // namespace
+
+ColumnSchedule::ColumnSchedule(std::vector<std::size_t> order,
+                               std::vector<double> boundaries,
+                               support::Matrix alloc)
+    : order_(std::move(order)),
+      boundaries_(std::move(boundaries)),
+      alloc_(std::move(alloc)) {
+  MALSCHED_EXPECTS(order_.size() == boundaries_.size());
+  MALSCHED_EXPECTS(alloc_.rows() == order_.size());
+  MALSCHED_EXPECTS(alloc_.cols() == order_.size());
+  position_.assign(order_.size(), 0);
+  std::vector<bool> seen(order_.size(), false);
+  for (std::size_t j = 0; j < order_.size(); ++j) {
+    const std::size_t task = order_[j];
+    MALSCHED_EXPECTS_MSG(task < order_.size(), "order entry out of range");
+    MALSCHED_EXPECTS_MSG(!seen[task], "order contains a duplicate task");
+    seen[task] = true;
+    position_[task] = j;
+  }
+}
+
+std::vector<double> ColumnSchedule::completions() const {
+  std::vector<double> out(num_tasks());
+  for (std::size_t i = 0; i < num_tasks(); ++i) {
+    out[i] = completion(i);
+  }
+  return out;
+}
+
+double ColumnSchedule::weighted_completion(const Instance& instance) const {
+  MALSCHED_EXPECTS(instance.size() == num_tasks());
+  double total = 0.0;
+  for (std::size_t i = 0; i < num_tasks(); ++i) {
+    total += instance.task(i).weight * completion(i);
+  }
+  return total;
+}
+
+double ColumnSchedule::makespan() const {
+  return boundaries_.empty() ? 0.0 : boundaries_.back();
+}
+
+Validation ColumnSchedule::validate(const Instance& instance,
+                                    support::Tolerance tol) const {
+  if (instance.size() != num_tasks()) {
+    return fail("task count mismatch");
+  }
+  double prev = 0.0;
+  for (std::size_t j = 0; j < num_columns(); ++j) {
+    if (boundaries_[j] < prev - tol.slack(prev)) {
+      return fail(describe_index("boundary decreases at column", j));
+    }
+    prev = boundaries_[j];
+  }
+
+  // Per-column capacity and per-task width caps.
+  for (std::size_t j = 0; j < num_columns(); ++j) {
+    double used = 0.0;
+    for (std::size_t i = 0; i < num_tasks(); ++i) {
+      const double d = alloc_(i, j);
+      if (d < -tol.abs) {
+        return fail(describe_index("negative allocation in column", j));
+      }
+      if (!support::approx_le(d, instance.effective_width(i), tol)) {
+        return fail(describe_index("width cap exceeded by task", i));
+      }
+      used += d;
+    }
+    if (!support::approx_le(used, instance.processors(), tol)) {
+      return fail(describe_index("processor capacity exceeded in column", j));
+    }
+  }
+
+  // Volume conservation and no-allocation-after-completion.
+  for (std::size_t i = 0; i < num_tasks(); ++i) {
+    double volume = 0.0;
+    for (std::size_t j = 0; j < num_columns(); ++j) {
+      const double contribution = alloc_(i, j) * column_length(j);
+      if (j > position_[i] && contribution > tol.slack(instance.task(i).volume)) {
+        return fail(describe_index("allocation after completion for task", i));
+      }
+      volume += contribution;
+    }
+    if (!support::approx_eq(volume, instance.task(i).volume,
+                            {tol.abs * 10, tol.rel * 10})) {
+      std::ostringstream out;
+      out << "volume mismatch for task " << i << ": scheduled " << volume
+          << " vs required " << instance.task(i).volume;
+      return fail(out.str());
+    }
+  }
+  return {};
+}
+
+StepSchedule::StepSchedule(std::size_t num_tasks, std::vector<Step> steps)
+    : num_tasks_(num_tasks), steps_(std::move(steps)) {
+  for (const Step& s : steps_) {
+    MALSCHED_EXPECTS(s.rates.size() == num_tasks_);
+    MALSCHED_EXPECTS(s.end >= s.begin);
+  }
+}
+
+std::vector<double> StepSchedule::completions(support::Tolerance tol) const {
+  std::vector<double> out(num_tasks_, 0.0);
+  for (const Step& s : steps_) {
+    for (std::size_t i = 0; i < num_tasks_; ++i) {
+      if (s.rates[i] > tol.abs && s.length() > 0.0) {
+        out[i] = s.end;
+      }
+    }
+  }
+  return out;
+}
+
+double StepSchedule::weighted_completion(const Instance& instance,
+                                         support::Tolerance tol) const {
+  MALSCHED_EXPECTS(instance.size() == num_tasks_);
+  const auto done = completions(tol);
+  double total = 0.0;
+  for (std::size_t i = 0; i < num_tasks_; ++i) {
+    total += instance.task(i).weight * done[i];
+  }
+  return total;
+}
+
+double StepSchedule::makespan(support::Tolerance tol) const {
+  const auto done = completions(tol);
+  return done.empty() ? 0.0 : *std::max_element(done.begin(), done.end());
+}
+
+std::vector<double> StepSchedule::volumes() const {
+  std::vector<double> out(num_tasks_, 0.0);
+  for (const Step& s : steps_) {
+    for (std::size_t i = 0; i < num_tasks_; ++i) {
+      out[i] += s.rates[i] * s.length();
+    }
+  }
+  return out;
+}
+
+Validation StepSchedule::validate(const Instance& instance,
+                                  support::Tolerance tol) const {
+  if (instance.size() != num_tasks_) {
+    return fail("task count mismatch");
+  }
+  double cursor = 0.0;
+  for (std::size_t k = 0; k < steps_.size(); ++k) {
+    const Step& s = steps_[k];
+    if (!support::approx_eq(s.begin, cursor, tol)) {
+      return fail(describe_index("non-contiguous step", k));
+    }
+    cursor = s.end;
+    double used = 0.0;
+    for (std::size_t i = 0; i < num_tasks_; ++i) {
+      const double r = s.rates[i];
+      if (r < -tol.abs) {
+        return fail(describe_index("negative rate in step", k));
+      }
+      if (!support::approx_le(r, instance.effective_width(i), tol)) {
+        return fail(describe_index("width cap exceeded in step", k));
+      }
+      used += r;
+    }
+    if (!support::approx_le(used, instance.processors(), tol)) {
+      return fail(describe_index("capacity exceeded in step", k));
+    }
+  }
+  const auto vol = volumes();
+  for (std::size_t i = 0; i < num_tasks_; ++i) {
+    if (!support::approx_eq(vol[i], instance.task(i).volume,
+                            {tol.abs * 10, tol.rel * 10})) {
+      std::ostringstream out;
+      out << "volume mismatch for task " << i << ": scheduled " << vol[i]
+          << " vs required " << instance.task(i).volume;
+      return fail(out.str());
+    }
+  }
+  return {};
+}
+
+ColumnSchedule StepSchedule::to_columns(const Instance& instance,
+                                        support::Tolerance tol) const {
+  MALSCHED_EXPECTS(instance.size() == num_tasks_);
+  const std::size_t n = num_tasks_;
+  const auto done = completions(tol);
+
+  // Completion order, ties broken by task index for determinism.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (done[a] != done[b]) {
+      return done[a] < done[b];
+    }
+    return a < b;
+  });
+
+  std::vector<double> boundaries(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    boundaries[j] = done[order[j]];
+  }
+
+  // Average each task's rate over each column (Theorem 3).
+  support::Matrix alloc(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lo = j == 0 ? 0.0 : boundaries[j - 1];
+    const double hi = boundaries[j];
+    const double len = hi - lo;
+    if (len <= 0.0) {
+      continue;
+    }
+    for (const Step& s : steps_) {
+      const double overlap =
+          std::min(hi, s.end) - std::max(lo, s.begin);
+      if (overlap <= 0.0) {
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (s.rates[i] > 0.0) {
+          alloc(i, j) += s.rates[i] * overlap / len;
+        }
+      }
+    }
+  }
+  return ColumnSchedule(std::move(order), std::move(boundaries),
+                        std::move(alloc));
+}
+
+StepSchedule to_steps(const ColumnSchedule& schedule) {
+  const std::size_t n = schedule.num_tasks();
+  std::vector<Step> steps;
+  steps.reserve(n);
+  double cursor = 0.0;
+  for (std::size_t j = 0; j < schedule.num_columns(); ++j) {
+    const double end = schedule.column_end(j);
+    if (end <= cursor) {
+      continue;  // zero-length column (completion tie)
+    }
+    Step s;
+    s.begin = cursor;
+    s.end = end;
+    s.rates.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.rates[i] = schedule.allocation(i, j);
+    }
+    steps.push_back(std::move(s));
+    cursor = end;
+  }
+  return StepSchedule(n, std::move(steps));
+}
+
+}  // namespace malsched::core

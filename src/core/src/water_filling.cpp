@@ -1,0 +1,266 @@
+#include "malsched/core/water_filling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+/// clamp(h - base, 0, cap): the rate task i receives in a column of height
+/// `base` under water level `h` and width cap `cap`.
+double pour_rate(double h, double base, double cap) noexcept {
+  return std::clamp(h - base, 0.0, cap);
+}
+
+/// Finds the minimal water level h* such that
+///   Σ_k lengths[k] * clamp(h* - heights[k], 0, cap) == volume
+/// over the given columns, or returns infinity if even h* = ceiling is not
+/// enough.  The pour function is piecewise linear and non-decreasing in h;
+/// we sweep its breakpoints.
+double find_level(std::span<const double> heights,
+                  std::span<const double> lengths, double cap, double volume,
+                  double ceiling, support::Tolerance tol) {
+  MALSCHED_ASSERT(heights.size() == lengths.size());
+  if (volume <= tol.abs) {
+    return 0.0;
+  }
+
+  // Candidate breakpoints: each column starts contributing at h_k and
+  // saturates at h_k + cap.
+  std::vector<double> breaks;
+  breaks.reserve(heights.size() * 2);
+  for (double h : heights) {
+    breaks.push_back(h);
+    breaks.push_back(h + cap);
+  }
+  std::sort(breaks.begin(), breaks.end());
+
+  const auto poured_at = [&](double h) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < heights.size(); ++k) {
+      total += lengths[k] * pour_rate(h, heights[k], cap);
+    }
+    return total;
+  };
+
+  // Locate the segment [lo, hi] of the piecewise-linear pour function that
+  // crosses `volume`, then interpolate.
+  double lo = 0.0;
+  double poured_lo = poured_at(lo);
+  if (poured_lo >= volume) {
+    return lo;
+  }
+  for (double b : breaks) {
+    if (b <= lo) {
+      continue;
+    }
+    const double poured_b = poured_at(b);
+    if (poured_b >= volume) {
+      // Linear between lo and b.
+      const double slope = (poured_b - poured_lo) / (b - lo);
+      MALSCHED_ASSERT(slope > 0.0);
+      return lo + (volume - poured_lo) / slope;
+    }
+    lo = b;
+    poured_lo = poured_b;
+  }
+  // Above the last breakpoint the function is constant: never reaches volume.
+  // (All columns saturated at cap.)  Check the ceiling for completeness.
+  if (poured_at(ceiling) >= volume - tol.slack(volume)) {
+    return ceiling;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+WaterFillResult water_fill(const Instance& instance,
+                           std::span<const double> completions,
+                           support::Tolerance tol) {
+  MALSCHED_EXPECTS(completions.size() == instance.size());
+  const std::size_t n = instance.size();
+  const double P = instance.processors();
+
+  // Completion order, ties by index.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (completions[a] != completions[b]) {
+      return completions[a] < completions[b];
+    }
+    return a < b;
+  });
+
+  std::vector<double> boundaries(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    MALSCHED_EXPECTS_MSG(completions[order[j]] >= 0.0,
+                         "completion times must be non-negative");
+    boundaries[j] = completions[order[j]];
+  }
+
+  std::vector<double> lengths(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    lengths[j] = boundaries[j] - (j == 0 ? 0.0 : boundaries[j - 1]);
+  }
+
+  support::Matrix alloc(n, n, 0.0);
+  std::vector<double> heights(n, 0.0);  // current profile, columns 0..n-1
+
+  WaterFillResult result;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t task = order[pos];
+    const double volume = instance.task(task).volume;
+    const double cap = instance.effective_width(task);
+
+    const std::span<const double> active_heights(heights.data(), pos + 1);
+    const std::span<const double> active_lengths(lengths.data(), pos + 1);
+    const double level =
+        find_level(active_heights, active_lengths, cap, volume, P, tol);
+    if (!(level <= P + tol.slack(P))) {
+      result.feasible = false;
+      result.failed_position = pos;
+      return result;
+    }
+
+    // Pour: raise every reachable column to the water level (cap-limited).
+    double placed = 0.0;
+    for (std::size_t k = 0; k <= pos; ++k) {
+      const double rate = pour_rate(level, heights[k], cap);
+      if (rate <= 0.0) {
+        continue;
+      }
+      alloc(task, k) = rate;
+      heights[k] += rate;
+      placed += rate * lengths[k];
+    }
+    // Distribute any interpolation residue into the last unsaturated column
+    // (numerically tiny; keeps volumes exact).
+    if (volume > 0.0 && std::fabs(placed - volume) > 0.0) {
+      for (std::size_t k = pos + 1; k-- > 0;) {
+        if (lengths[k] <= 0.0) {
+          continue;
+        }
+        const double fix = (volume - placed) / lengths[k];
+        const double new_rate = alloc(task, k) + fix;
+        if (new_rate >= -tol.abs && new_rate <= cap + tol.slack(cap) &&
+            heights[k] + fix <= P + tol.slack(P)) {
+          alloc(task, k) = std::max(0.0, new_rate);
+          heights[k] += fix;
+          break;
+        }
+      }
+    }
+  }
+
+  result.feasible = true;
+  result.schedule =
+      ColumnSchedule(std::move(order), std::move(boundaries), std::move(alloc));
+  return result;
+}
+
+bool water_fill_feasible(const Instance& instance,
+                         std::span<const double> deadlines,
+                         support::Tolerance tol) {
+  MALSCHED_EXPECTS(deadlines.size() == instance.size());
+  const std::size_t n = instance.size();
+  const double P = instance.processors();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return deadlines[a] < deadlines[b];
+  });
+
+  // Merged profile groups, non-increasing heights over time (Lemma 3).
+  // Equal-height neighbours are merged after every pour, which is what
+  // keeps the group count — and hence the per-task cost — small.
+  struct Group {
+    double height;
+    double length;
+  };
+  std::vector<Group> groups;
+  groups.reserve(n);
+  std::vector<double> heights;
+  std::vector<double> lengths;
+
+  double horizon = 0.0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t task = order[pos];
+    const double deadline = deadlines[task];
+    if (deadline < -tol.abs) {
+      return false;
+    }
+    if (deadline > horizon) {
+      groups.push_back({0.0, deadline - horizon});
+      horizon = deadline;
+    }
+
+    const double volume = instance.task(task).volume;
+    const double cap = instance.effective_width(task);
+    if (volume <= tol.abs) {
+      continue;
+    }
+    if (groups.empty()) {
+      return false;  // positive volume, zero deadline
+    }
+
+    heights.clear();
+    lengths.clear();
+    for (const Group& g : groups) {
+      heights.push_back(g.height);
+      lengths.push_back(g.length);
+    }
+    const double level = find_level(heights, lengths, cap, volume, P, tol);
+    if (!(level <= P + tol.slack(P))) {
+      return false;
+    }
+
+    // Apply the pour, preserving the non-increasing height order:
+    // groups >= level untouched, the band merges at `level`, saturated
+    // groups rise by cap (staying below level and keeping their order).
+    std::vector<Group> updated;
+    updated.reserve(groups.size() + 1);
+    double band_length = 0.0;
+    for (const Group& g : groups) {
+      if (g.height >= level) {
+        updated.push_back(g);
+      } else if (g.height >= level - cap) {
+        band_length += g.length;
+      } else {
+        if (band_length > 0.0) {
+          updated.push_back({level, band_length});
+          band_length = 0.0;
+        }
+        updated.push_back({g.height + cap, g.length});
+      }
+    }
+    if (band_length > 0.0) {
+      updated.push_back({level, band_length});
+    }
+    // Merge equal-height neighbours.
+    groups.clear();
+    for (const Group& g : updated) {
+      if (!groups.empty() &&
+          support::approx_eq(groups.back().height, g.height, tol)) {
+        groups.back().length += g.length;
+      } else {
+        groups.push_back(g);
+      }
+    }
+  }
+  return true;
+}
+
+WaterFillResult normalize(const Instance& instance, const StepSchedule& schedule,
+                          support::Tolerance tol) {
+  const auto completions = schedule.completions(tol);
+  return water_fill(instance, completions, tol);
+}
+
+}  // namespace malsched::core

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file max_flow.hpp
+/// Dinic's maximum-flow algorithm on real-valued capacities.
+///
+/// Substrate for the release-date scheduling variants (Table I rows with
+/// r_i): feasibility of "volumes V_i, widths δ_i, windows [r_i, d_i] on P
+/// processors" is a bipartite task→interval flow being saturating.  Kept
+/// generic — a small, audited max-flow usable on any DAG-ish network.
+
+#include <cstddef>
+#include <vector>
+
+namespace malsched::flow {
+
+/// A flow network with real capacities.  Nodes are dense indices; edges are
+/// added with an implicit residual twin.
+class MaxFlow {
+ public:
+  /// \param num_nodes  total node count (source/sink are ordinary nodes)
+  /// \param eps        capacities/flows below eps are treated as zero
+  explicit MaxFlow(std::size_t num_nodes, double eps = 1e-12);
+
+  /// Adds a directed edge u -> v with the given capacity; returns an edge
+  /// id usable with flow_on().
+  std::size_t add_edge(std::size_t from, std::size_t to, double capacity);
+
+  /// Computes the maximum flow from source to sink (Dinic: BFS level graph
+  /// + blocking DFS).  May be called once per network.
+  double solve(std::size_t source, std::size_t sink);
+
+  /// Flow routed through edge `id` (after solve).
+  [[nodiscard]] double flow_on(std::size_t id) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return graph_.size(); }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double capacity;  ///< residual capacity
+    std::size_t twin; ///< index of the reverse edge in edges_
+  };
+
+  bool build_levels(std::size_t source, std::size_t sink);
+  double push(std::size_t node, std::size_t sink, double limit);
+
+  double eps_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> graph_;  ///< node -> edge ids
+  std::vector<double> original_capacity_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_edge_;
+};
+
+}  // namespace malsched::flow

@@ -1,0 +1,96 @@
+#include "malsched/flow/max_flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::flow {
+
+MaxFlow::MaxFlow(std::size_t num_nodes, double eps)
+    : eps_(eps), graph_(num_nodes) {
+  MALSCHED_EXPECTS(num_nodes >= 2);
+  MALSCHED_EXPECTS(eps > 0.0);
+}
+
+std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to,
+                              double capacity) {
+  MALSCHED_EXPECTS(from < graph_.size() && to < graph_.size());
+  MALSCHED_EXPECTS(capacity >= 0.0);
+  const std::size_t id = edges_.size();
+  edges_.push_back({to, capacity, id + 1});
+  edges_.push_back({from, 0.0, id});
+  graph_[from].push_back(id);
+  graph_[to].push_back(id + 1);
+  original_capacity_.push_back(capacity);
+  original_capacity_.push_back(0.0);
+  return id;
+}
+
+bool MaxFlow::build_levels(std::size_t source, std::size_t sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t node = frontier.front();
+    frontier.pop();
+    for (const std::size_t id : graph_[node]) {
+      const Edge& edge = edges_[id];
+      if (edge.capacity > eps_ && level_[edge.to] < 0) {
+        level_[edge.to] = level_[node] + 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlow::push(std::size_t node, std::size_t sink, double limit) {
+  if (node == sink || limit <= eps_) {
+    return node == sink ? limit : 0.0;
+  }
+  for (std::size_t& cursor = next_edge_[node]; cursor < graph_[node].size();
+       ++cursor) {
+    const std::size_t id = graph_[node][cursor];
+    Edge& edge = edges_[id];
+    if (edge.capacity <= eps_ || level_[edge.to] != level_[node] + 1) {
+      continue;
+    }
+    const double pushed =
+        push(edge.to, sink, std::min(limit, edge.capacity));
+    if (pushed > eps_) {
+      edge.capacity -= pushed;
+      edges_[edge.twin].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(std::size_t source, std::size_t sink) {
+  MALSCHED_EXPECTS(source < graph_.size() && sink < graph_.size());
+  MALSCHED_EXPECTS(source != sink);
+  double total = 0.0;
+  while (build_levels(source, sink)) {
+    next_edge_.assign(graph_.size(), 0);
+    for (;;) {
+      const double pushed =
+          push(source, sink, std::numeric_limits<double>::infinity());
+      if (pushed <= eps_) {
+        break;
+      }
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::flow_on(std::size_t id) const {
+  MALSCHED_EXPECTS(id < edges_.size());
+  // Forward edges carry original - residual.
+  return original_capacity_[id] - edges_[id].capacity;
+}
+
+}  // namespace malsched::flow

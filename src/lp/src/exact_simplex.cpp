@@ -1,0 +1,17 @@
+#include "malsched/lp/detail/simplex_impl.hpp"
+#include "malsched/lp/solver.hpp"
+
+namespace malsched::lp {
+
+ExactSolution solve_exact(const Model& model, const SimplexOptions& options) {
+  detail::DenseSimplex<numeric::Rational> simplex(model, options);
+  auto raw = simplex.run();
+  ExactSolution out;
+  out.status = raw.status;
+  out.objective = std::move(raw.objective);
+  out.values = std::move(raw.values);
+  out.iterations = raw.iterations;
+  return out;
+}
+
+}  // namespace malsched::lp

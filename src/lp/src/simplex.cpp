@@ -1,0 +1,31 @@
+#include "malsched/lp/detail/simplex_impl.hpp"
+#include "malsched/lp/solver.hpp"
+
+namespace malsched::lp {
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::Optimal:
+      return "optimal";
+    case SolveStatus::Infeasible:
+      return "infeasible";
+    case SolveStatus::Unbounded:
+      return "unbounded";
+    case SolveStatus::IterationLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  detail::DenseSimplex<double> simplex(model, options);
+  const auto raw = simplex.run();
+  Solution out;
+  out.status = raw.status;
+  out.objective = raw.objective;
+  out.values = raw.values;
+  out.iterations = raw.iterations;
+  return out;
+}
+
+}  // namespace malsched::lp

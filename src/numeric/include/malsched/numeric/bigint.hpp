@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file bigint.hpp
+/// Arbitrary-precision signed integers.
+///
+/// This is the foundation of the exact arithmetic layer: the paper verifies
+/// Conjecture 13 symbolically (with Sage); we verify it with exact rational
+/// arithmetic built on this type, and we run an exact simplex over rationals
+/// to certify LP optima.  Representation is sign + little-endian base-2^32
+/// magnitude; division is Knuth's Algorithm D.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace malsched::numeric {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From built-in integers (implicit: BigInt is a drop-in integer type).
+  BigInt(long long value);                 // NOLINT(google-explicit-constructor)
+  BigInt(int value) : BigInt(static_cast<long long>(value)) {}  // NOLINT
+  static BigInt from_u64(std::uint64_t value);
+
+  /// Parses an optionally signed decimal string; aborts on malformed input.
+  static BigInt from_decimal(std::string_view text);
+
+  /// -1, 0 or +1.
+  [[nodiscard]] int signum() const noexcept { return sign_; }
+  [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
+  [[nodiscard]] bool is_negative() const noexcept { return sign_ < 0; }
+  [[nodiscard]] bool is_one() const noexcept {
+    return sign_ == 1 && mag_.size() == 1 && mag_[0] == 1;
+  }
+
+  [[nodiscard]] BigInt abs() const;
+  [[nodiscard]] BigInt negated() const;
+
+  /// Number of significant bits of |*this| (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+
+  /// Truncated-toward-zero division and remainder (C++ semantics):
+  /// quotient*divisor + remainder == *this, |remainder| < |divisor|,
+  /// remainder has the sign of the dividend.
+  struct DivMod;
+  [[nodiscard]] DivMod divmod(const BigInt& divisor) const;
+
+  /// Greatest common divisor (always non-negative).
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+
+  /// Decimal rendering.
+  [[nodiscard]] std::string to_decimal() const;
+
+  /// Nearest double (may overflow to +/-inf for huge values).
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// Exact conversion when the value fits in int64; aborts otherwise.
+  [[nodiscard]] long long to_int64() const;
+  [[nodiscard]] bool fits_int64() const noexcept;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt operator-() const { return negated(); }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.sign_ == b.sign_ && a.mag_ == b.mag_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) < 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) > 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) >= 0;
+  }
+
+  /// Three-way comparison: negative / zero / positive.
+  [[nodiscard]] static int compare(const BigInt& a, const BigInt& b) noexcept;
+
+ private:
+  using Limb = std::uint32_t;
+  using Mag = std::vector<Limb>;
+
+  static void trim(Mag& mag) noexcept;
+  [[nodiscard]] static int compare_mag(const Mag& a, const Mag& b) noexcept;
+  [[nodiscard]] static Mag add_mag(const Mag& a, const Mag& b);
+  /// Requires |a| >= |b|.
+  [[nodiscard]] static Mag sub_mag(const Mag& a, const Mag& b);
+  [[nodiscard]] static Mag mul_mag(const Mag& a, const Mag& b);
+  static void divmod_mag(const Mag& u, const Mag& v, Mag& quotient,
+                         Mag& remainder);
+
+  BigInt(int sign, Mag mag) : sign_(sign), mag_(std::move(mag)) {
+    trim(mag_);
+    if (mag_.empty()) {
+      sign_ = 0;
+    }
+  }
+
+  int sign_ = 0;  ///< -1, 0, +1; zero iff mag_ empty.
+  Mag mag_;       ///< little-endian base 2^32 magnitude, no leading zeros.
+};
+
+struct BigInt::DivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+}  // namespace malsched::numeric

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file rational.hpp
+/// Exact rational arithmetic (BigInt numerator/denominator, always reduced,
+/// denominator > 0).  Powers the exact simplex and the symbolic-style
+/// verification of Conjecture 13 (the paper used Sage for the latter).
+
+#include <string>
+
+#include "malsched/numeric/bigint.hpp"
+
+namespace malsched::numeric {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// From integers (implicit: Rational is a drop-in number type).
+  Rational(long long value) : num_(value), den_(1) {}  // NOLINT
+  Rational(int value) : num_(value), den_(1) {}        // NOLINT
+  Rational(long long num, long long den);
+  Rational(BigInt num, BigInt den);
+
+  /// Exact conversion of a finite double (every finite double is rational).
+  static Rational from_double(double value);
+
+  /// Parses "p", "p/q" or a plain decimal like "0.125"; aborts on bad input.
+  static Rational parse(const std::string& text);
+
+  [[nodiscard]] const BigInt& num() const noexcept { return num_; }
+  [[nodiscard]] const BigInt& den() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_zero() const noexcept { return num_.is_zero(); }
+  [[nodiscard]] int signum() const noexcept { return num_.signum(); }
+
+  [[nodiscard]] Rational abs() const;
+  [[nodiscard]] Rational reciprocal() const;
+
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+  Rational operator-() const;
+  Rational& operator+=(const Rational& other) { return *this = *this + other; }
+  Rational& operator-=(const Rational& other) { return *this = *this - other; }
+  Rational& operator*=(const Rational& other) { return *this = *this * other; }
+  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return compare(a, b) >= 0;
+  }
+
+  /// Three-way comparison: negative / zero / positive.
+  [[nodiscard]] static int compare(const Rational& a, const Rational& b);
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;  ///< Always positive.
+};
+
+}  // namespace malsched::numeric

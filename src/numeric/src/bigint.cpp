@@ -1,0 +1,435 @@
+#include "malsched/numeric/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::numeric {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+constexpr std::uint32_t kDecChunkDigits = 9;
+constexpr std::uint32_t kDecChunk = 1000000000U;  // 10^9 < 2^32
+}  // namespace
+
+BigInt::BigInt(long long value) {
+  if (value == 0) {
+    return;
+  }
+  sign_ = value > 0 ? 1 : -1;
+  // Careful with LLONG_MIN: negate in unsigned space.
+  auto mag = value > 0 ? static_cast<std::uint64_t>(value)
+                       : ~static_cast<std::uint64_t>(value) + 1;
+  while (mag != 0) {
+    mag_.push_back(static_cast<Limb>(mag & 0xffffffffULL));
+    mag >>= 32;
+  }
+}
+
+BigInt BigInt::from_u64(std::uint64_t value) {
+  BigInt out;
+  if (value == 0) {
+    return out;
+  }
+  out.sign_ = 1;
+  while (value != 0) {
+    out.mag_.push_back(static_cast<Limb>(value & 0xffffffffULL));
+    value >>= 32;
+  }
+  return out;
+}
+
+BigInt BigInt::from_decimal(std::string_view text) {
+  MALSCHED_EXPECTS(!text.empty());
+  int sign = 1;
+  std::size_t pos = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    sign = text[0] == '-' ? -1 : 1;
+    pos = 1;
+  }
+  MALSCHED_EXPECTS_MSG(pos < text.size(), "decimal string has no digits");
+  BigInt out;
+  BigInt chunk_scale(static_cast<long long>(kDecChunk));
+  // Consume digits in 9-digit chunks: out = out * 10^k + chunk.
+  while (pos < text.size()) {
+    const std::size_t take = std::min<std::size_t>(kDecChunkDigits,
+                                                   text.size() - pos);
+    std::uint32_t chunk = 0;
+    std::uint32_t scale = 1;
+    for (std::size_t i = 0; i < take; ++i) {
+      const char ch = text[pos + i];
+      MALSCHED_EXPECTS_MSG(ch >= '0' && ch <= '9', "non-digit in decimal string");
+      chunk = chunk * 10 + static_cast<std::uint32_t>(ch - '0');
+      scale *= 10;
+    }
+    out = out * BigInt(static_cast<long long>(scale)) +
+          BigInt(static_cast<long long>(chunk));
+    pos += take;
+  }
+  if (sign < 0 && !out.is_zero()) {
+    out.sign_ = -1;
+  }
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  if (out.sign_ < 0) {
+    out.sign_ = 1;
+  }
+  return out;
+}
+
+BigInt BigInt::negated() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (mag_.empty()) {
+    return 0;
+  }
+  const std::size_t top_bits =
+      32 - static_cast<std::size_t>(std::countl_zero(mag_.back()));
+  return (mag_.size() - 1) * 32 + top_bits;
+}
+
+void BigInt::trim(Mag& mag) noexcept {
+  while (!mag.empty() && mag.back() == 0) {
+    mag.pop_back();
+  }
+}
+
+int BigInt::compare_mag(const Mag& a, const Mag& b) noexcept {
+  if (a.size() != b.size()) {
+    return a.size() < b.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) {
+      return a[i] < b[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) noexcept {
+  if (a.sign_ != b.sign_) {
+    return a.sign_ < b.sign_ ? -1 : 1;
+  }
+  const int mag_cmp = compare_mag(a.mag_, b.mag_);
+  return a.sign_ >= 0 ? mag_cmp : -mag_cmp;
+}
+
+BigInt::Mag BigInt::add_mag(const Mag& a, const Mag& b) {
+  const Mag& big = a.size() >= b.size() ? a : b;
+  const Mag& small = a.size() >= b.size() ? b : a;
+  Mag out;
+  out.reserve(big.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    std::uint64_t sum = carry + big[i];
+    if (i < small.size()) {
+      sum += small[i];
+    }
+    out.push_back(static_cast<Limb>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry != 0) {
+    out.push_back(static_cast<Limb>(carry));
+  }
+  return out;
+}
+
+BigInt::Mag BigInt::sub_mag(const Mag& a, const Mag& b) {
+  MALSCHED_ASSERT(compare_mag(a, b) >= 0);
+  Mag out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) {
+      diff -= static_cast<std::int64_t>(b[i]);
+    }
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  trim(out);
+  return out;
+}
+
+BigInt::Mag BigInt::mul_mag(const Mag& a, const Mag& b) {
+  if (a.empty() || b.empty()) {
+    return {};
+  }
+  Mag out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      const std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<Limb>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  trim(out);
+  return out;
+}
+
+// Knuth TAOCP vol. 2 Algorithm D (normalized schoolbook division), 32-bit
+// limbs.  u / v with v.size() >= 1, producing quotient and remainder
+// magnitudes.
+void BigInt::divmod_mag(const Mag& u, const Mag& v, Mag& quotient,
+                        Mag& remainder) {
+  MALSCHED_EXPECTS_MSG(!v.empty(), "division by zero BigInt");
+  if (compare_mag(u, v) < 0) {
+    quotient.clear();
+    remainder = u;
+    trim(remainder);
+    return;
+  }
+  const std::size_t n = v.size();
+  if (n == 1) {
+    const std::uint64_t d = v[0];
+    quotient.assign(u.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = u.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | u[i];
+      quotient[i] = static_cast<Limb>(cur / d);
+      rem = cur % d;
+    }
+    trim(quotient);
+    remainder.clear();
+    if (rem != 0) {
+      remainder.push_back(static_cast<Limb>(rem));
+    }
+    return;
+  }
+
+  const std::size_t m = u.size() - n;
+  const unsigned shift = static_cast<unsigned>(std::countl_zero(v.back()));
+
+  // Normalized copies: vn = v << shift (size n), un = u << shift (size m+n+1).
+  Mag vn(n);
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t hi = static_cast<std::uint64_t>(v[i]) << shift;
+    const std::uint64_t lo =
+        (shift != 0 && i > 0) ? (static_cast<std::uint64_t>(v[i - 1]) >> (32 - shift))
+                              : 0;
+    vn[i] = static_cast<Limb>((hi | lo) & 0xffffffffULL);
+  }
+  Mag un(u.size() + 1, 0);
+  un[u.size()] =
+      shift != 0 ? static_cast<Limb>(static_cast<std::uint64_t>(u.back()) >>
+                                     (32 - shift))
+                 : 0;
+  for (std::size_t i = u.size(); i-- > 0;) {
+    const std::uint64_t hi = static_cast<std::uint64_t>(u[i]) << shift;
+    const std::uint64_t lo =
+        (shift != 0 && i > 0) ? (static_cast<std::uint64_t>(u[i - 1]) >> (32 - shift))
+                              : 0;
+    un[i] = static_cast<Limb>((hi | lo) & 0xffffffffULL);
+  }
+
+  quotient.assign(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t top =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = top / vn[n - 1];
+    std::uint64_t rhat = top % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) {
+        break;
+      }
+    }
+
+    // Multiply-and-subtract qhat * vn from un[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = qhat * vn[i] + carry;
+      carry = product >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) - borrow -
+                             static_cast<std::int64_t>(product & 0xffffffffULL);
+      un[i + j] = static_cast<Limb>(t & 0xffffffff);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) - borrow -
+                           static_cast<std::int64_t>(carry);
+    un[j + n] = static_cast<Limb>(t & 0xffffffff);
+    quotient[j] = static_cast<Limb>(qhat);
+
+    if (t < 0) {
+      // qhat was one too large: add vn back.
+      --quotient[j];
+      std::uint64_t carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<Limb>(sum & 0xffffffffULL);
+        carry2 = sum >> 32;
+      }
+      un[j + n] = static_cast<Limb>(un[j + n] + carry2);
+    }
+  }
+  trim(quotient);
+
+  // Denormalize the remainder: un[0 .. n-1] >> shift.
+  remainder.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(un[i]) >> shift;
+    const std::uint64_t hi =
+        (shift != 0 && i + 1 < un.size())
+            ? (static_cast<std::uint64_t>(un[i + 1]) << (32 - shift))
+            : 0;
+    remainder[i] = static_cast<Limb>((lo | hi) & 0xffffffffULL);
+  }
+  trim(remainder);
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  if (a.is_zero()) {
+    return b;
+  }
+  if (b.is_zero()) {
+    return a;
+  }
+  if (a.sign_ == b.sign_) {
+    return BigInt(a.sign_, BigInt::add_mag(a.mag_, b.mag_));
+  }
+  const int cmp = BigInt::compare_mag(a.mag_, b.mag_);
+  if (cmp == 0) {
+    return BigInt{};
+  }
+  if (cmp > 0) {
+    return BigInt(a.sign_, BigInt::sub_mag(a.mag_, b.mag_));
+  }
+  return BigInt(b.sign_, BigInt::sub_mag(b.mag_, a.mag_));
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) { return a + b.negated(); }
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) {
+    return BigInt{};
+  }
+  return BigInt(a.sign_ * b.sign_, BigInt::mul_mag(a.mag_, b.mag_));
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  return a.divmod(b).quotient;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  return a.divmod(b).remainder;
+}
+
+BigInt::DivMod BigInt::divmod(const BigInt& divisor) const {
+  MALSCHED_EXPECTS_MSG(!divisor.is_zero(), "BigInt division by zero");
+  Mag q;
+  Mag r;
+  divmod_mag(mag_, divisor.mag_, q, r);
+  DivMod out;
+  out.quotient = BigInt(sign_ * divisor.sign_, std::move(q));
+  out.remainder = BigInt(sign_, std::move(r));
+  return out;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a = a.abs();
+  b = b.abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::string BigInt::to_decimal() const {
+  if (is_zero()) {
+    return "0";
+  }
+  // Repeatedly divide the magnitude by 10^9 and collect chunks.
+  Mag work = mag_;
+  std::vector<std::uint32_t> chunks;
+  while (!work.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<Limb>(cur / kDecChunk);
+      rem = cur % kDecChunk;
+    }
+    trim(work);
+    chunks.push_back(static_cast<std::uint32_t>(rem));
+  }
+  std::string out;
+  if (sign_ < 0) {
+    out += '-';
+  }
+  out += std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out.append(kDecChunkDigits - part.size(), '0');
+    out += part;
+  }
+  return out;
+}
+
+double BigInt::to_double() const noexcept {
+  if (is_zero()) {
+    return 0.0;
+  }
+  // Accumulate the top 64 bits and scale by the dropped exponent.
+  double value = 0.0;
+  const std::size_t limbs = mag_.size();
+  const std::size_t take = std::min<std::size_t>(limbs, 3);
+  for (std::size_t i = 0; i < take; ++i) {
+    value = value * static_cast<double>(kBase) +
+            static_cast<double>(mag_[limbs - 1 - i]);
+  }
+  const std::size_t dropped = limbs - take;
+  value = std::ldexp(value, static_cast<int>(dropped * 32));
+  return sign_ < 0 ? -value : value;
+}
+
+bool BigInt::fits_int64() const noexcept {
+  if (bit_length() < 64) {
+    return true;
+  }
+  // INT64_MIN has bit_length exactly 64.
+  return bit_length() == 64 && sign_ < 0 && mag_[0] == 0 &&
+         mag_[1] == 0x80000000U;
+}
+
+long long BigInt::to_int64() const {
+  MALSCHED_EXPECTS_MSG(fits_int64(), "BigInt does not fit in int64");
+  std::uint64_t value = 0;
+  for (std::size_t i = mag_.size(); i-- > 0;) {
+    value = (value << 32) | mag_[i];
+  }
+  if (sign_ < 0) {
+    return static_cast<long long>(~value + 1);
+  }
+  return static_cast<long long>(value);
+}
+
+}  // namespace malsched::numeric

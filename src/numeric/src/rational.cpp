@@ -1,0 +1,132 @@
+#include "malsched/numeric/rational.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::numeric {
+
+Rational::Rational(long long num, long long den) : num_(num), den_(den) {
+  normalize();
+}
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  normalize();
+}
+
+void Rational::normalize() {
+  MALSCHED_EXPECTS_MSG(!den_.is_zero(), "Rational with zero denominator");
+  if (den_.is_negative()) {
+    num_ = num_.negated();
+    den_ = den_.negated();
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  const BigInt g = BigInt::gcd(num_, den_);
+  if (!g.is_one()) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Rational Rational::from_double(double value) {
+  MALSCHED_EXPECTS_MSG(std::isfinite(value), "cannot convert non-finite double");
+  if (value == 0.0) {
+    return Rational();
+  }
+  int exp = 0;
+  // mantissa in [0.5, 1); scale it to an exact 53-bit integer.
+  const double mantissa = std::frexp(value, &exp);
+  const auto scaled = static_cast<long long>(std::ldexp(mantissa, 53));
+  exp -= 53;
+  BigInt num(scaled);
+  BigInt den(1);
+  BigInt two(2);
+  for (int i = 0; i < exp; ++i) {
+    num = num * two;
+  }
+  for (int i = 0; i < -exp; ++i) {
+    den = den * two;
+  }
+  return Rational(std::move(num), std::move(den));
+}
+
+Rational Rational::parse(const std::string& text) {
+  MALSCHED_EXPECTS(!text.empty());
+  const auto slash = text.find('/');
+  if (slash != std::string::npos) {
+    return Rational(BigInt::from_decimal(text.substr(0, slash)),
+                    BigInt::from_decimal(text.substr(slash + 1)));
+  }
+  const auto dot = text.find('.');
+  if (dot == std::string::npos) {
+    return Rational(BigInt::from_decimal(text), BigInt(1));
+  }
+  // Decimal literal: sign and integer part, then fractional digits.
+  std::string digits = text.substr(0, dot) + text.substr(dot + 1);
+  const std::size_t frac_digits = text.size() - dot - 1;
+  BigInt den(1);
+  const BigInt ten(10);
+  for (std::size_t i = 0; i < frac_digits; ++i) {
+    den = den * ten;
+  }
+  return Rational(BigInt::from_decimal(digits), std::move(den));
+}
+
+Rational Rational::abs() const {
+  Rational out = *this;
+  out.num_ = out.num_.abs();
+  return out;
+}
+
+Rational Rational::reciprocal() const {
+  MALSCHED_EXPECTS_MSG(!is_zero(), "reciprocal of zero");
+  return Rational(den_, num_);
+}
+
+double Rational::to_double() const noexcept {
+  // For astronomically large values this saturates to inf, which is the
+  // right behaviour for reporting.
+  return num_.to_double() / den_.to_double();
+}
+
+std::string Rational::to_string() const {
+  if (den_.is_one()) {
+    return num_.to_decimal();
+  }
+  return num_.to_decimal() + "/" + den_.to_decimal();
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+}
+
+Rational operator-(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+}
+
+Rational operator*(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.num_, a.den_ * b.den_);
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  MALSCHED_EXPECTS_MSG(!b.is_zero(), "Rational division by zero");
+  return Rational(a.num_ * b.den_, a.den_ * b.num_);
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = out.num_.negated();
+  return out;
+}
+
+int Rational::compare(const Rational& a, const Rational& b) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return BigInt::compare(a.num_ * b.den_, b.num_ * a.den_);
+}
+
+}  // namespace malsched::numeric

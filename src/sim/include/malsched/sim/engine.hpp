@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file engine.hpp
+/// Fluid event-driven execution engine.  Runs an allocation policy to
+/// completion: rates are recomputed at every task completion (the only
+/// event type in the work-preserving fluid model), producing a
+/// piecewise-constant StepSchedule plus per-event telemetry.
+
+#include <span>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/core/schedule.hpp"
+#include "malsched/sim/policy.hpp"
+
+namespace malsched::sim {
+
+struct EngineResult {
+  core::StepSchedule schedule;
+  /// Completion times indexed by task.
+  std::vector<double> completions;
+  /// Weighted completion Σ w_i C_i.
+  double weighted_completion = 0.0;
+  /// Number of policy invocations (events).
+  std::size_t events = 0;
+};
+
+struct EngineOptions {
+  support::Tolerance tol = {};
+  /// Safety valve: abort if the policy stops making progress after this
+  /// many events (default 4n + 16, set by the engine when 0).
+  std::size_t max_events = 0;
+};
+
+/// Runs `policy` on `instance` until every task completes.
+[[nodiscard]] EngineResult run_policy(const core::Instance& instance,
+                                      const AllocationPolicy& policy,
+                                      const EngineOptions& options = {});
+
+/// Online variant: task i only becomes visible (and schedulable) at
+/// release[i].  The policy is re-invoked at every arrival and completion —
+/// the natural online operation of WDEQ-style policies the paper's
+/// non-clairvoyant setting implies.  With all releases zero this is exactly
+/// run_policy.
+[[nodiscard]] EngineResult run_policy_online(
+    const core::Instance& instance, std::span<const double> release,
+    const AllocationPolicy& policy, const EngineOptions& options = {});
+
+}  // namespace malsched::sim

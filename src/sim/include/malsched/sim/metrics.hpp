@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Schedule quality metrics beyond the paper's objective: per-task stretch
+/// (completion vs. the task's lower bound V/min(δ,P)), Jain fairness over
+/// stretches, and machine utilization.  Used by the policy-comparison
+/// examples and benches to show *how* the 2-approximation behaves, not just
+/// that it holds.
+
+#include "malsched/core/instance.hpp"
+#include "malsched/core/schedule.hpp"
+
+namespace malsched::sim {
+
+struct ScheduleMetrics {
+  double weighted_completion = 0.0;
+  double makespan = 0.0;
+  /// Stretch of task i: C_i / (V_i / min(δ_i, P)) >= 1; zero-volume tasks
+  /// are skipped.
+  double mean_stretch = 0.0;
+  double max_stretch = 0.0;
+  /// Jain index over stretches: (Σ s)² / (n Σ s²) ∈ (0, 1]; 1 = all tasks
+  /// slowed down equally.
+  double jain_fairness = 1.0;
+  /// Busy processor-time divided by P · makespan (0 for empty schedules).
+  double utilization = 0.0;
+};
+
+[[nodiscard]] ScheduleMetrics compute_metrics(const core::Instance& instance,
+                                              const core::StepSchedule& schedule,
+                                              support::Tolerance tol = {});
+
+}  // namespace malsched::sim

@@ -1,0 +1,150 @@
+#include "malsched/sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::sim {
+
+EngineResult run_policy(const core::Instance& instance,
+                        const AllocationPolicy& policy,
+                        const EngineOptions& options) {
+  const std::vector<double> zero_release(instance.size(), 0.0);
+  return run_policy_online(instance, zero_release, policy, options);
+}
+
+EngineResult run_policy_online(const core::Instance& instance,
+                               std::span<const double> release,
+                               const AllocationPolicy& policy,
+                               const EngineOptions& options) {
+  MALSCHED_EXPECTS(release.size() == instance.size());
+  const std::size_t n = instance.size();
+  const auto tol = options.tol;
+  const std::size_t max_events =
+      options.max_events != 0 ? options.max_events : 4 * n + 16;
+
+  std::vector<double> weights(n);
+  std::vector<double> widths(n);
+  std::vector<double> remaining(n);
+  std::vector<std::uint8_t> alive(n, 0);     // arrived and unfinished
+  std::vector<std::uint8_t> finished(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    MALSCHED_EXPECTS(release[i] >= 0.0);
+    weights[i] = instance.task(i).weight;
+    widths[i] = instance.effective_width(i);
+    remaining[i] = instance.task(i).volume;
+    if (remaining[i] <= tol.abs) {
+      finished[i] = 1;
+    } else if (release[i] <= tol.abs) {
+      alive[i] = 1;
+    }
+  }
+
+  EngineResult result;
+  result.completions.assign(n, 0.0);
+  std::vector<core::Step> steps;
+
+  double now = 0.0;
+  std::size_t events = 0;
+  const auto all_done = [&] {
+    return std::all_of(finished.begin(), finished.end(),
+                       [](std::uint8_t b) { return b != 0; });
+  };
+  while (!all_done()) {
+    MALSCHED_EXPECTS_MSG(events < max_events + n,
+                         "allocation policy stopped making progress");
+    // Next arrival among not-yet-released tasks.
+    double next_arrival = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i] && !finished[i] && release[i] > now + tol.abs) {
+        next_arrival = std::min(next_arrival, release[i]);
+      }
+    }
+    // Release anything due now (handles several tasks sharing a release).
+    bool released_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i] && !finished[i] && release[i] <= now + tol.abs) {
+        alive[i] = 1;
+        released_any = true;
+      }
+    }
+    (void)released_any;
+
+    const bool anyone_running = std::any_of(
+        alive.begin(), alive.end(), [](std::uint8_t b) { return b != 0; });
+    if (!anyone_running) {
+      // Idle until the next arrival.
+      MALSCHED_ASSERT(std::isfinite(next_arrival));
+      steps.push_back({now, next_arrival, std::vector<double>(n, 0.0)});
+      now = next_arrival;
+      continue;
+    }
+
+    PolicyContext context;
+    context.processors = instance.processors();
+    context.weights = weights;
+    context.widths = widths;
+    context.alive = alive;
+    context.now = now;
+    if (policy.clairvoyant()) {
+      context.remaining = remaining;
+    }
+    const auto rates = policy.allocate(context);
+    MALSCHED_ENSURES(rates.size() == n);
+    ++events;
+
+    // Sanity: rates respect widths and capacity (policies are trusted but
+    // cheap to check).
+    double used = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      MALSCHED_ENSURES(rates[i] >= -tol.abs);
+      MALSCHED_ENSURES(rates[i] <= widths[i] + tol.slack(widths[i]));
+      used += rates[i];
+    }
+    MALSCHED_ENSURES(used <=
+                     instance.processors() + tol.slack(instance.processors()));
+
+    // Time to the next event: completion among progressing tasks, or the
+    // next arrival (which forces a re-share).
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alive[i] && rates[i] > tol.abs) {
+        dt = std::min(dt, remaining[i] / rates[i]);
+      }
+    }
+    MALSCHED_EXPECTS_MSG(std::isfinite(dt) || std::isfinite(next_arrival),
+                         "policy starves every remaining task");
+    dt = std::min(dt, next_arrival - now);
+
+    core::Step step;
+    step.begin = now;
+    step.end = now + dt;
+    step.rates.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i] || rates[i] <= tol.abs) {
+        continue;
+      }
+      step.rates[i] = rates[i];
+      remaining[i] -= rates[i] * dt;
+      if (remaining[i] <= tol.slack(instance.task(i).volume)) {
+        remaining[i] = 0.0;
+        alive[i] = 0;
+        finished[i] = 1;
+        result.completions[i] = now + dt;
+      }
+    }
+    steps.push_back(std::move(step));
+    now += dt;
+  }
+
+  result.events = events;
+  result.schedule = core::StepSchedule(n, std::move(steps));
+  for (std::size_t i = 0; i < n; ++i) {
+    result.weighted_completion +=
+        instance.task(i).weight * result.completions[i];
+  }
+  return result;
+}
+
+}  // namespace malsched::sim

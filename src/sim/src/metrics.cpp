@@ -1,0 +1,55 @@
+#include "malsched/sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::sim {
+
+ScheduleMetrics compute_metrics(const core::Instance& instance,
+                                const core::StepSchedule& schedule,
+                                support::Tolerance tol) {
+  MALSCHED_EXPECTS(instance.size() == schedule.num_tasks());
+  ScheduleMetrics metrics;
+  const auto completions = schedule.completions(tol);
+
+  double stretch_sum = 0.0;
+  double stretch_sq_sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const core::Task& task = instance.task(i);
+    metrics.weighted_completion += task.weight * completions[i];
+    metrics.makespan = std::max(metrics.makespan, completions[i]);
+    if (task.volume <= tol.abs) {
+      continue;
+    }
+    const double ideal = task.volume / instance.effective_width(i);
+    const double stretch = completions[i] / ideal;
+    metrics.max_stretch = std::max(metrics.max_stretch, stretch);
+    stretch_sum += stretch;
+    stretch_sq_sum += stretch * stretch;
+    ++counted;
+  }
+  if (counted > 0) {
+    metrics.mean_stretch = stretch_sum / static_cast<double>(counted);
+    if (stretch_sq_sum > 0.0) {
+      metrics.jain_fairness =
+          stretch_sum * stretch_sum /
+          (static_cast<double>(counted) * stretch_sq_sum);
+    }
+  }
+
+  if (metrics.makespan > 0.0) {
+    double busy = 0.0;
+    for (const auto& step : schedule.steps()) {
+      for (double rate : step.rates) {
+        busy += rate * step.length();
+      }
+    }
+    metrics.utilization =
+        busy / (instance.processors() * metrics.makespan);
+  }
+  return metrics;
+}
+
+}  // namespace malsched::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Always-on contract checking in the spirit of the C++ Core Guidelines
+/// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  The checks abort with a
+/// source location; they guard API boundaries and algorithm invariants and
+/// are cheap relative to the numerical work they protect, so they stay
+/// enabled in release builds.
+
+namespace malsched::support {
+
+/// Aborts the process with a diagnostic.  Used by the contract macros below;
+/// never returns.
+[[noreturn]] void contract_failure(const char* kind, const char* condition,
+                                   const char* file, int line,
+                                   const char* message) noexcept;
+
+}  // namespace malsched::support
+
+/// Precondition check: argument validation at function entry.
+#define MALSCHED_EXPECTS(cond)                                                  \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::malsched::support::contract_failure("precondition", #cond, __FILE__,    \
+                                            __LINE__, nullptr);                 \
+    }                                                                           \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define MALSCHED_EXPECTS_MSG(cond, msg)                                         \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::malsched::support::contract_failure("precondition", #cond, __FILE__,    \
+                                            __LINE__, (msg));                   \
+    }                                                                           \
+  } while (false)
+
+/// Postcondition check: result validation before returning.
+#define MALSCHED_ENSURES(cond)                                                  \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::malsched::support::contract_failure("postcondition", #cond, __FILE__,   \
+                                            __LINE__, nullptr);                 \
+    }                                                                           \
+  } while (false)
+
+/// Internal invariant check.
+#define MALSCHED_ASSERT(cond)                                                   \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::malsched::support::contract_failure("invariant", #cond, __FILE__,       \
+                                            __LINE__, nullptr);                 \
+    }                                                                           \
+  } while (false)

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV writer used by the benchmark harness to dump raw experiment
+/// series (one file per figure) next to the human-readable tables.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace malsched::support {
+
+/// Writes rows to a CSV file.  Fields are escaped per RFC 4180 when they
+/// contain separators, quotes or newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True when the underlying stream opened successfully.
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace malsched::support

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file float_compare.hpp
+/// Tolerance-aware floating point comparisons.  All fluid quantities in the
+/// library (volumes, rates, completion times) are doubles; every validator
+/// and algorithmic comparison routes through these helpers so the numerical
+/// policy lives in exactly one place (see DESIGN.md §7).
+
+#include <algorithm>
+#include <cmath>
+
+namespace malsched::support {
+
+/// Absolute/relative tolerance pair.  A quantity x is considered equal to y
+/// when |x - y| <= abs + rel * max(|x|, |y|).
+struct Tolerance {
+  double abs = 1e-9;
+  double rel = 1e-9;
+
+  /// The slack granted when comparing values of magnitude `scale`.
+  [[nodiscard]] double slack(double scale) const noexcept {
+    return abs + rel * std::fabs(scale);
+  }
+};
+
+/// True when a and b are equal within tol.
+[[nodiscard]] inline bool approx_eq(double a, double b,
+                                    Tolerance tol = {}) noexcept {
+  return std::fabs(a - b) <= tol.slack(std::max(std::fabs(a), std::fabs(b)));
+}
+
+/// True when a <= b within tol (i.e. a is not significantly greater).
+[[nodiscard]] inline bool approx_le(double a, double b,
+                                    Tolerance tol = {}) noexcept {
+  return a <= b + tol.slack(std::max(std::fabs(a), std::fabs(b)));
+}
+
+/// True when a >= b within tol.
+[[nodiscard]] inline bool approx_ge(double a, double b,
+                                    Tolerance tol = {}) noexcept {
+  return approx_le(b, a, tol);
+}
+
+/// True when a is indistinguishable from zero within tol.abs.
+[[nodiscard]] inline bool approx_zero(double a, Tolerance tol = {}) noexcept {
+  return std::fabs(a) <= tol.abs;
+}
+
+/// True when a is strictly less than b beyond the tolerance slack.
+[[nodiscard]] inline bool definitely_less(double a, double b,
+                                          Tolerance tol = {}) noexcept {
+  return a < b - tol.slack(std::max(std::fabs(a), std::fabs(b)));
+}
+
+/// True when a is strictly greater than b beyond the tolerance slack.
+[[nodiscard]] inline bool definitely_greater(double a, double b,
+                                             Tolerance tol = {}) noexcept {
+  return definitely_less(b, a, tol);
+}
+
+/// Clamps tiny negative values (numerical noise) to zero, leaving genuine
+/// negatives untouched so contract checks can still catch real bugs.
+[[nodiscard]] inline double snap_nonneg(double a, Tolerance tol = {}) noexcept {
+  return (a < 0.0 && a >= -tol.abs) ? 0.0 : a;
+}
+
+}  // namespace malsched::support

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled stderr logging.  Kept deliberately tiny: experiment binaries use
+/// it for seed/parameter provenance lines, the library itself stays silent
+/// below Warn.
+
+#include <sstream>
+#include <string>
+
+namespace malsched::support {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits a single log line (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& out, const T& value, const Rest&... rest) {
+  out << value;
+  append_all(out, rest...);
+}
+}  // namespace detail
+
+/// Streams all arguments into one log line: log(LogLevel::Info, "n=", n).
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) {
+    return;
+  }
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_message(level, out.str());
+}
+
+}  // namespace malsched::support

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense row-major matrix of doubles.  Shared by the simplex tableau and the
+/// column-schedule allocation grid; deliberately minimal (no expression
+/// templates) so the numerical code stays easy to audit.
+
+#include <cstddef>
+#include <vector>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::support {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    MALSCHED_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    MALSCHED_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw pointer to row r (length cols()).
+  [[nodiscard]] double* row(std::size_t r) noexcept {
+    MALSCHED_ASSERT(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  [[nodiscard]] const double* row(std::size_t r) const noexcept {
+    MALSCHED_ASSERT(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  void fill(double value) noexcept {
+    for (double& v : data_) {
+      v = value;
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace malsched::support

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming and batch statistics used by the experiment harness: Welford
+/// accumulators for online mean/variance, and a sample container with
+/// quantiles for the paper-style result tables.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace malsched::support {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable and mergeable, so parallel workers can accumulate
+/// locally and combine.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  /// Combines another accumulator into this one (parallel reduction step).
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample with quantile queries.  Keeps all observations; intended for
+/// experiment result vectors (10^4 - 10^6 points), not unbounded streams.
+class Sample {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Linear-interpolated quantile, p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// One-line summary "n=... mean=... p50=... p99=... max=..." for logs.
+  [[nodiscard]] std::string summary(int precision = 6) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace malsched::support

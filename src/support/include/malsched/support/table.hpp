@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table rendering for benchmark reports.  Every experiment binary
+/// prints its paper-style result rows through this formatter so outputs are
+/// consistent and easy to diff against EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace malsched::support {
+
+/// Column alignment inside a TextTable.
+enum class Align { Left, Right };
+
+/// A simple monospace table: fixed set of columns, rows of strings, rendered
+/// with a header rule.  Cell contents are caller-formatted (see fmt_double).
+class TextTable {
+ public:
+  struct Column {
+    std::string name;
+    Align align = Align::Right;
+  };
+
+  explicit TextTable(std::vector<Column> columns);
+
+  /// Appends one row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Formats a double with fixed precision, trimming to "-" for NaN sentinels.
+[[nodiscard]] std::string fmt_double(double v, int precision = 4);
+
+/// Formats a ratio like "1.2345" or "inf".
+[[nodiscard]] std::string fmt_ratio(double v, int precision = 4);
+
+/// Formats an integer count.
+[[nodiscard]] std::string fmt_int(long long v);
+
+}  // namespace malsched::support

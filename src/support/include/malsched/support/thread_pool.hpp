@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A small work-stealing-free thread pool with a blocking parallel_for.
+/// The Monte-Carlo sweeps in bench/ run millions of small LP solves; the pool
+/// lets them scale with the host's cores while staying fully deterministic
+/// (each index derives its own RNG stream, so results do not depend on the
+/// execution interleaving).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace malsched::support {
+
+/// Fixed-size thread pool.  Tasks are std::function<void()>; parallel_for
+/// partitions an index range into contiguous chunks.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 = hardware_concurrency, minimum 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs body(i) for every i in [begin, end), blocking until all complete.
+  /// `body` must be safe to invoke concurrently for distinct indices.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Runs body(chunk_begin, chunk_end) over a partition of [begin, end).
+  /// Useful when per-chunk setup (RNG fork, local accumulator) matters.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end, std::size_t chunk,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// The process-wide default pool (sized to the hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace malsched::support

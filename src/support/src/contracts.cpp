@@ -1,0 +1,18 @@
+#include "malsched/support/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace malsched::support {
+
+void contract_failure(const char* kind, const char* condition, const char* file,
+                      int line, const char* message) noexcept {
+  std::fprintf(stderr, "[malsched] %s violated: %s\n  at %s:%d\n", kind,
+               condition, file, line);
+  if (message != nullptr) {
+    std::fprintf(stderr, "  note: %s\n", message);
+  }
+  std::abort();
+}
+
+}  // namespace malsched::support

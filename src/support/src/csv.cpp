@@ -1,0 +1,61 @@
+#include "malsched/support/csv.hpp"
+
+#include <sstream>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::support {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  MALSCHED_EXPECTS(!header.empty());
+  if (out_) {
+    write_cells(header);
+  }
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  MALSCHED_EXPECTS(cells.size() == columns_);
+  write_cells(cells);
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  MALSCHED_EXPECTS(cells.size() == columns_);
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream s;
+    s.precision(12);
+    s << v;
+    text.push_back(s.str());
+  }
+  write_cells(text);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') {
+      out += '"';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace malsched::support

@@ -1,0 +1,3 @@
+// rng.hpp is header-only; this translation unit pins the vtable-free library
+// symbol set and gives the header a compilation smoke test.
+#include "malsched/support/rng.hpp"

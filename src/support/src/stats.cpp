@@ -1,0 +1,113 @@
+#include "malsched/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::support {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Accumulator::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Sample::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double Sample::mean() const noexcept {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+void Sample::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Sample::min() const {
+  MALSCHED_EXPECTS(!values_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Sample::max() const {
+  MALSCHED_EXPECTS(!values_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Sample::quantile(double p) const {
+  MALSCHED_EXPECTS(!values_.empty());
+  MALSCHED_EXPECTS(p >= 0.0 && p <= 1.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) {
+    return sorted_.front();
+  }
+  const double pos = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Sample::summary(int precision) const {
+  std::ostringstream out;
+  out.precision(precision);
+  if (values_.empty()) {
+    out << "n=0";
+    return out.str();
+  }
+  out << "n=" << values_.size() << " mean=" << mean() << " min=" << min()
+      << " p50=" << quantile(0.5) << " p99=" << quantile(0.99)
+      << " max=" << max();
+  return out.str();
+}
+
+}  // namespace malsched::support

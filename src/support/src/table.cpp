@@ -1,0 +1,96 @@
+#include "malsched/support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::support {
+
+TextTable::TextTable(std::vector<Column> columns) : columns_(std::move(columns)) {
+  MALSCHED_EXPECTS(!columns_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MALSCHED_EXPECTS(cells.size() == columns_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].name.size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto pad = [](const std::string& text, std::size_t width, Align align) {
+    std::string out;
+    const std::size_t fill = width - std::min(width, text.size());
+    if (align == Align::Right) {
+      out.append(fill, ' ');
+      out += text;
+    } else {
+      out += text;
+      out.append(fill, ' ');
+    }
+    return out;
+  };
+
+  std::ostringstream out;
+  const auto emit_rule = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      out << (c == 0 ? "+" : "+") << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+
+  emit_rule();
+  out << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << ' ' << pad(columns_[c].name, widths[c], Align::Left) << " |";
+  }
+  out << "\n";
+  emit_rule();
+  for (const Row& row : rows_) {
+    if (row.rule_before) {
+      emit_rule();
+    }
+    out << "|";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      out << ' ' << pad(row.cells[c], widths[c], columns_[c].align) << " |";
+    }
+    out << "\n";
+  }
+  emit_rule();
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  if (std::isnan(v)) {
+    return "-";
+  }
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string fmt_ratio(double v, int precision) {
+  if (std::isinf(v)) {
+    return "inf";
+  }
+  return fmt_double(v, precision);
+}
+
+std::string fmt_int(long long v) { return std::to_string(v); }
+
+}  // namespace malsched::support

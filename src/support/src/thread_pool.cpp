@@ -1,0 +1,113 @@
+#include "malsched/support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::support {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t count = end - begin;
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (std::size_t{thread_count()} * 4));
+  parallel_for_chunked(begin, end, chunk,
+                       [&body](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           body(i);
+                         }
+                       });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  MALSCHED_EXPECTS(chunk > 0);
+  if (begin >= end) {
+    return;
+  }
+  // Single worker: run inline to avoid queue overhead (also the common case
+  // on the single-core CI host).
+  if (thread_count() <= 1) {
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+      body(lo, std::min(end, lo + chunk));
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    remaining.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    enqueue([&, lo, hi] {
+      body(lo, hi);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace malsched::support

@@ -1,0 +1,119 @@
+#include "malsched/bwshare/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/bounds.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace mb = malsched::bwshare;
+namespace mc = malsched::core;
+namespace msim = malsched::sim;
+namespace ms = malsched::support;
+
+namespace {
+
+mb::Scenario small_scenario() {
+  return mb::Scenario(10.0, {{4.0, 2.0, 1.0, "w0"},
+                             {2.0, 8.0, 3.0, "w1"},
+                             {6.0, 4.0, 0.5, "w2"}});
+}
+
+}  // namespace
+
+TEST(Bwshare, InstanceMappingIsFigure1) {
+  const auto scenario = small_scenario();
+  const auto inst = scenario.to_instance();
+  EXPECT_DOUBLE_EQ(inst.processors(), 10.0);
+  ASSERT_EQ(inst.size(), 3u);
+  EXPECT_DOUBLE_EQ(inst.task(0).volume, 4.0);   // code size -> V
+  EXPECT_DOUBLE_EQ(inst.task(0).width, 2.0);    // link bandwidth -> δ
+  EXPECT_DOUBLE_EQ(inst.task(1).weight, 3.0);   // processing rate -> w
+}
+
+TEST(Bwshare, ThroughputEquivalence) {
+  // Σ w_i (T − C_i) == W·T − Σ w_i C_i whenever T >= max C_i: maximizing
+  // throughput IS minimizing weighted completion (the paper's reduction).
+  const auto scenario = small_scenario();
+  const auto result = mb::distribute(scenario, *msim::make_wdeq_policy());
+  const double horizon = 100.0;
+  double total_rate = 0.0;
+  for (const auto& w : scenario.workers()) {
+    total_rate += w.processing_rate;
+  }
+  EXPECT_NEAR(result.throughput(horizon, scenario.workers()),
+              total_rate * horizon - result.weighted_completion, 1e-7);
+}
+
+TEST(Bwshare, ThroughputClampsAtHorizon) {
+  // Workers whose code arrives after T contribute nothing (not negative).
+  const auto scenario = small_scenario();
+  const auto result = mb::distribute(scenario, *msim::make_wdeq_policy());
+  const double tiny_horizon = 1e-6;
+  EXPECT_GE(result.throughput(tiny_horizon, scenario.workers()), 0.0);
+}
+
+TEST(Bwshare, BetterPolicyMoreThroughput) {
+  // On weight-skewed scenarios the clairvoyant Smith policy must process at
+  // least as many tasks as rigid FCFS for a long horizon.
+  ms::Rng rng(233);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<mb::Worker> workers;
+    for (int i = 0; i < 6; ++i) {
+      workers.push_back({rng.uniform_pos(4.0), rng.uniform_pos(2.0),
+                         rng.uniform_pos(5.0), ""});
+    }
+    const mb::Scenario scenario(4.0, std::move(workers));
+    const auto smith =
+        mb::distribute(scenario, *msim::make_smith_greedy_policy());
+    const auto fifo =
+        mb::distribute(scenario, *msim::make_fifo_rigid_policy());
+    const double horizon = 50.0;
+    EXPECT_GE(smith.throughput(horizon, scenario.workers()) + 1e-7,
+              fifo.throughput(horizon, scenario.workers()))
+        << "rep " << rep;
+  }
+}
+
+TEST(Bwshare, UpperBoundDominatesAllPolicies) {
+  ms::Rng rng(239);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<mb::Worker> workers;
+    for (int i = 0; i < 5; ++i) {
+      workers.push_back({rng.uniform_pos(2.0), rng.uniform_pos(1.5),
+                         rng.uniform_pos(3.0), ""});
+    }
+    const mb::Scenario scenario(3.0, std::move(workers));
+    const double horizon = 20.0;
+    const double bound = mb::throughput_upper_bound(scenario, horizon);
+    for (const auto& policy : msim::all_policies()) {
+      const auto result = mb::distribute(scenario, *policy);
+      EXPECT_LE(result.throughput(horizon, scenario.workers()),
+                bound + 1e-6)
+          << policy->name() << " rep " << rep;
+    }
+  }
+}
+
+TEST(Bwshare, WdeqWithinTwiceOptimalThroughputLoss) {
+  // Theorem 4 restated in throughput terms: the throughput *loss* of WDEQ
+  // relative to W·T is at most twice the optimal loss.
+  ms::Rng rng(241);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<mb::Worker> workers;
+    for (int i = 0; i < 4; ++i) {
+      workers.push_back({rng.uniform_pos(1.0), rng.uniform_pos(1.0),
+                         rng.uniform_pos(1.0), ""});
+    }
+    const mb::Scenario scenario(2.0, std::move(workers));
+    const auto inst = scenario.to_instance();
+    const auto result = mb::distribute(scenario, *msim::make_wdeq_policy());
+    const auto opt = mc::optimal_by_enumeration(inst);
+    EXPECT_LE(result.weighted_completion, 2.0 * opt.objective + 1e-6)
+        << "rep " << rep;
+  }
+}
+
+TEST(BwshareDeath, RejectsEmptyScenario) {
+  EXPECT_DEATH(mb::Scenario(1.0, {}), "workers");
+}

@@ -1,0 +1,107 @@
+#include "malsched/core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/generators.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/wdeq.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+TEST(Bounds, SquashedAreaSingleTask) {
+  // One task: A = w * V / P.
+  const mc::Instance inst(4.0, {{8.0, 2.0, 3.0}});
+  EXPECT_DOUBLE_EQ(mc::squashed_area_bound(inst), 6.0);
+}
+
+TEST(Bounds, SquashedAreaUsesSmithOrder) {
+  // Two unit-weight tasks, V = 1 and 2, P = 1: Smith order short-first.
+  // A = 2*1 + 1*2 = 4 (suffix weights 2 then 1).
+  const mc::Instance inst(1.0, {{2.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(mc::squashed_area_bound(inst), 4.0);
+}
+
+TEST(Bounds, HeightBoundDefinition) {
+  const mc::Instance inst(4.0, {{8.0, 2.0, 3.0}, {2.0, 8.0, 1.0}});
+  // h_0 = 8/2 = 4 (w=3), h_1 = 2/min(8,4) = 0.5 (w=1).
+  EXPECT_DOUBLE_EQ(mc::height_bound(inst), 12.5);
+}
+
+TEST(Bounds, BothAreLowerBoundsOfOptimal) {
+  ms::Rng rng(61);
+  for (int rep = 0; rep < 25; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 4;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    const auto opt = mc::optimal_by_enumeration(inst);
+    EXPECT_LE(mc::squashed_area_bound(inst), opt.objective + 1e-7)
+        << "rep " << rep;
+    EXPECT_LE(mc::height_bound(inst), opt.objective + 1e-7) << "rep " << rep;
+    EXPECT_LE(mc::best_simple_lower_bound(inst), opt.objective + 1e-7);
+  }
+}
+
+TEST(Bounds, MixedBoundIsLowerBound) {
+  // Lemma 1 with the WDEQ-induced split (the split used in the proof).
+  ms::Rng rng(67);
+  for (int rep = 0; rep < 25; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 4;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    const auto run = mc::run_wdeq(inst);
+    const double mixed = mc::mixed_lower_bound(inst, run.limited_volume);
+    const auto opt = mc::optimal_by_enumeration(inst);
+    EXPECT_LE(mixed, opt.objective + 1e-6) << "rep " << rep;
+  }
+}
+
+TEST(Bounds, MixedBoundDegeneratesToPureBounds) {
+  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 1.0}});
+  const std::vector<double> all{1.0, 2.0};
+  const std::vector<double> none{0.0, 0.0};
+  EXPECT_NEAR(mc::mixed_lower_bound(inst, all),
+              mc::squashed_area_bound(inst), 1e-12);
+  EXPECT_NEAR(mc::mixed_lower_bound(inst, none), mc::height_bound(inst),
+              1e-12);
+}
+
+TEST(Bounds, HeightEqualsOptimalWhenMachineHuge) {
+  // With P >= Σ δ_i every task runs at δ from time 0: OPT = H(I).
+  const mc::Instance inst(100.0, {{2.0, 2.0, 1.0}, {3.0, 1.0, 2.0}});
+  const auto run = mc::run_wdeq(inst);
+  EXPECT_NEAR(run.schedule.weighted_completion(inst), mc::height_bound(inst),
+              1e-9);
+}
+
+TEST(Bounds, AreaTightForUnboundedWidths) {
+  // δ_i = P: the problem is single-machine; A(I) equals the Smith optimum,
+  // achieved by the LP with the Smith order.
+  ms::Rng rng(71);
+  for (int rep = 0; rep < 10; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 4;
+    config.processors = 2.0;
+    auto base = mc::generate(config, rng);
+    std::vector<mc::Task> tasks = base.tasks();
+    for (auto& t : tasks) {
+      t.width = base.processors();
+    }
+    const mc::Instance inst(base.processors(), std::move(tasks));
+    const auto opt = mc::optimal_by_enumeration(inst);
+    EXPECT_NEAR(opt.objective, mc::squashed_area_bound(inst), 1e-6)
+        << "rep " << rep;
+  }
+}
+
+TEST(Bounds, ZeroWeightTasksContributeNothing) {
+  const mc::Instance inst(2.0, {{5.0, 1.0, 0.0}, {1.0, 1.0, 1.0}});
+  // Only task 1 contributes: A sorts task 1 first (ratio 1 vs inf).
+  EXPECT_DOUBLE_EQ(mc::squashed_area_bound(inst), 0.5);
+  EXPECT_DOUBLE_EQ(mc::height_bound(inst), 1.0);
+}

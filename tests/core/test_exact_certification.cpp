@@ -1,0 +1,105 @@
+// Exact-arithmetic certification of the headline experiment (Conjecture 12)
+// on pinned instances: the double-precision pipeline finds the best greedy
+// order and the best completion order; the exact rational simplex then
+// certifies that the two LPs agree EXACTLY, ruling out "the gap was just
+// solver noise" on these instances.  This is the role Sage plays in the
+// paper, transplanted to the LP side.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "malsched/core/generators.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/order_lp.hpp"
+#include "malsched/core/orderings.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+using malsched::lp::SolveStatus;
+using malsched::numeric::Rational;
+
+namespace {
+
+/// Exact minimum of the order LP over all n! orders.
+Rational exact_optimal(const mc::Instance& inst) {
+  auto order = mc::identity_order(inst.size());
+  bool first = true;
+  Rational best;
+  do {
+    const auto solved = mc::solve_order_lp_exact(inst, order);
+    EXPECT_EQ(solved.status, SolveStatus::Optimal);
+    if (first || solved.objective < best) {
+      best = solved.objective;
+      first = false;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+}  // namespace
+
+TEST(ExactCertification, BestGreedyCompletionOrderIsExactlyOptimal) {
+  // For pinned random instances (n = 3: 6 exact LPs each), the exact
+  // optimum over all completion orders equals the exact LP value at the
+  // best greedy schedule's completion order.
+  ms::Rng rng(20120521);
+  for (int rep = 0; rep < 4; ++rep) {
+    mc::GeneratorConfig gen;
+    gen.family = mc::Family::Uniform;
+    gen.num_tasks = 3;
+    gen.processors = 1.0;
+    const auto inst = mc::generate(gen, rng);
+
+    const Rational optimum = exact_optimal(inst);
+
+    const auto greedy = mc::best_greedy_exhaustive(inst);
+    const auto greedy_schedule = mc::greedy_schedule(inst, greedy.order);
+    const auto columns = greedy_schedule.to_columns(inst);
+    const auto at_greedy_order = mc::solve_order_lp_exact(inst, columns.order());
+    ASSERT_EQ(at_greedy_order.status, SolveStatus::Optimal);
+
+    // Conjecture 12, certified exactly on this instance: the greedy
+    // completion order achieves the exact optimum.
+    EXPECT_EQ(at_greedy_order.objective, optimum)
+        << "rep " << rep << ": greedy order gives "
+        << at_greedy_order.objective.to_string() << " vs optimum "
+        << optimum.to_string();
+
+    // And the double pipeline agrees with the exact value.
+    const auto approx = mc::optimal_by_enumeration(inst);
+    EXPECT_NEAR(approx.objective, optimum.to_double(), 1e-7);
+  }
+}
+
+TEST(ExactCertification, SingleTaskClosedFormExact) {
+  // V = 3, δ = 2, P = 4, w = 5: C = 3/2 exactly, objective 15/2.
+  const mc::Instance inst(4.0, {{3.0, 2.0, 5.0}});
+  const auto solved = mc::solve_order_lp_exact(inst, mc::identity_order(1));
+  ASSERT_EQ(solved.status, SolveStatus::Optimal);
+  EXPECT_EQ(solved.objective, Rational(15, 2));
+}
+
+TEST(ExactCertification, TwoTaskSequencingExact) {
+  // P = 1, δ = 1: pure single-machine.  V = (1, 2), w = (1, 1):
+  // SPT order: C = (1, 3), Σ = 4 exactly; reverse: C = (2, 3), Σ = 5.
+  const mc::Instance inst(1.0, {{1.0, 1.0, 1.0}, {2.0, 1.0, 1.0}});
+  const std::vector<std::size_t> spt{0, 1};
+  const std::vector<std::size_t> lpt{1, 0};
+  const auto a = mc::solve_order_lp_exact(inst, spt);
+  const auto b = mc::solve_order_lp_exact(inst, lpt);
+  ASSERT_EQ(a.status, SolveStatus::Optimal);
+  ASSERT_EQ(b.status, SolveStatus::Optimal);
+  EXPECT_EQ(a.objective, Rational(4));
+  EXPECT_EQ(b.objective, Rational(5));
+}
+
+TEST(ExactCertification, WidthCapChangesExactOptimum) {
+  // P = 2, one task with δ = 1/2 (stored exactly as a double): the height
+  // term V/δ = 2·V must appear exactly in the optimum.
+  const mc::Instance inst(2.0, {{1.0, 0.5, 1.0}});
+  const auto solved = mc::solve_order_lp_exact(inst, mc::identity_order(1));
+  ASSERT_EQ(solved.status, SolveStatus::Optimal);
+  EXPECT_EQ(solved.objective, Rational(2));
+}

@@ -1,0 +1,74 @@
+// Fixture-driven integration tests: parse the instances shipped in data/
+// and pin the end-to-end numbers (objective values, feasibility verdicts,
+// counterexample counts) so refactors cannot silently change behaviour.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "malsched/core/assignment.hpp"
+#include "malsched/core/bounds.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/io.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/core/wdeq.hpp"
+
+namespace mc = malsched::core;
+
+namespace {
+
+mc::Instance load(const std::string& name) {
+  const std::string path = std::string(MALSCHED_DATA_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::string error;
+  auto inst = mc::read_instance(in, &error);
+  EXPECT_TRUE(inst.has_value()) << error;
+  return *inst;
+}
+
+}  // namespace
+
+TEST(Fixtures, ExampleSmallPinnedNumbers) {
+  const auto inst = load("example_small.mls");
+  EXPECT_EQ(inst.size(), 5u);
+  EXPECT_DOUBLE_EQ(inst.processors(), 4.0);
+  EXPECT_NEAR(mc::squashed_area_bound(inst), 12.125, 1e-9);
+  EXPECT_NEAR(mc::height_bound(inst), 10.5, 1e-9);
+  const auto opt = mc::optimal_by_enumeration(inst);
+  EXPECT_NEAR(opt.objective, 15.2083, 2e-4);
+  const auto wdeq = mc::run_wdeq(inst);
+  EXPECT_NEAR(wdeq.schedule.weighted_completion(inst), 18.175, 1e-3);
+  // Theorem 4 sanity on the pinned instance.
+  EXPECT_LE(wdeq.schedule.weighted_completion(inst), 2.0 * opt.objective);
+}
+
+TEST(Fixtures, BandwidthFig1SmithBeatsWdeq) {
+  const auto inst = load("bandwidth_fig1.mls");
+  const auto wdeq = mc::run_wdeq(inst);
+  const auto greedy = mc::greedy_schedule(inst, mc::smith_order(inst));
+  EXPECT_LE(greedy.weighted_completion(inst),
+            wdeq.schedule.weighted_completion(inst));
+  EXPECT_TRUE(greedy.validate(inst).valid);
+}
+
+TEST(Fixtures, Theorem9CounterexampleFromDisk) {
+  const auto inst = load("theorem9_counterexample.mls");
+  const std::vector<double> completions{1.0, 2.0, 3.0, 4.0};
+  const auto wf = mc::water_fill(inst, completions);
+  ASSERT_TRUE(wf.feasible);
+  EXPECT_EQ(mc::count_fractional_changes(wf.schedule), 5u);
+  EXPECT_EQ(mc::count_band_changes(inst, wf.schedule), 2u);
+}
+
+TEST(Fixtures, WideTasksOptimalIsGreedy) {
+  const auto inst = load("wide_tasks.mls");
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_GT(inst.task(i).width, inst.processors() / 2.0);
+  }
+  const auto greedy = mc::best_greedy_exhaustive(inst);
+  const auto opt = mc::optimal_by_enumeration(inst);
+  EXPECT_NEAR(greedy.objective, opt.objective, 1e-6);
+}

@@ -1,0 +1,121 @@
+#include "malsched/core/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+class GeneratorFamilyTest : public ::testing::TestWithParam<mc::Family> {};
+
+TEST_P(GeneratorFamilyTest, ProducesValidTasks) {
+  ms::Rng rng(2718);
+  mc::GeneratorConfig config;
+  config.family = GetParam();
+  config.num_tasks = 12;
+  config.processors = 8.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto inst = mc::generate(config, rng);
+    EXPECT_EQ(inst.size(), 12u);
+    EXPECT_GT(inst.processors(), 0.0);
+    for (const auto& t : inst.tasks()) {
+      EXPECT_GT(t.volume, 0.0);
+      EXPECT_GT(t.width, 0.0);
+      EXPECT_GE(t.weight, 0.0);
+    }
+  }
+}
+
+TEST_P(GeneratorFamilyTest, DeterministicGivenSeed) {
+  mc::GeneratorConfig config;
+  config.family = GetParam();
+  config.num_tasks = 6;
+  config.processors = 4.0;
+  ms::Rng rng_a(55);
+  ms::Rng rng_b(55);
+  const auto a = mc::generate(config, rng_a);
+  const auto b = mc::generate(config, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.task(i).volume, b.task(i).volume);
+    EXPECT_DOUBLE_EQ(a.task(i).width, b.task(i).width);
+    EXPECT_DOUBLE_EQ(a.task(i).weight, b.task(i).weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, GeneratorFamilyTest,
+                         ::testing::ValuesIn(mc::all_families()),
+                         [](const auto& info) {
+                           std::string name = mc::family_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Generators, UniformRespectsPaperConstraints) {
+  // §V: δ_i < P, w_i < 1, V_i < 1 (and all strictly positive).
+  ms::Rng rng(31);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::Uniform;
+  config.num_tasks = 50;
+  config.processors = 3.0;
+  const auto inst = mc::generate(config, rng);
+  for (const auto& t : inst.tasks()) {
+    EXPECT_LE(t.width, 3.0);
+    EXPECT_LE(t.volume, 1.0);
+    EXPECT_LE(t.weight, 1.0);
+  }
+}
+
+TEST(Generators, WideTasksAreAboveHalfP) {
+  ms::Rng rng(32);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::WideTasks;
+  config.num_tasks = 50;
+  config.processors = 6.0;
+  const auto inst = mc::generate(config, rng);
+  for (const auto& t : inst.tasks()) {
+    EXPECT_GT(t.width, 3.0);
+    EXPECT_LE(t.width, 6.0);
+    EXPECT_DOUBLE_EQ(t.weight, 1.0);
+  }
+}
+
+TEST(Generators, HomogeneousHalfIsSectionVB) {
+  ms::Rng rng(33);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::HomogeneousHalf;
+  config.num_tasks = 30;
+  config.processors = 17.0;  // must be ignored
+  const auto inst = mc::generate(config, rng);
+  EXPECT_DOUBLE_EQ(inst.processors(), 1.0);
+  for (const auto& t : inst.tasks()) {
+    EXPECT_DOUBLE_EQ(t.volume, 1.0);
+    EXPECT_DOUBLE_EQ(t.weight, 1.0);
+    EXPECT_GE(t.width, 0.5);
+    EXPECT_LE(t.width, 1.0);
+  }
+}
+
+TEST(Generators, UnitWidthFamily) {
+  ms::Rng rng(34);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::UnitWidth;
+  config.num_tasks = 10;
+  config.processors = 4.0;
+  const auto inst = mc::generate(config, rng);
+  for (const auto& t : inst.tasks()) {
+    EXPECT_DOUBLE_EQ(t.width, 1.0);
+  }
+}
+
+TEST(Generators, IntegralFamilyIsIntegral) {
+  ms::Rng rng(35);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::UniformIntegral;
+  config.num_tasks = 10;
+  config.processors = 5.0;
+  const auto inst = mc::generate(config, rng);
+  EXPECT_TRUE(inst.integral());
+}

@@ -1,0 +1,162 @@
+#include "malsched/core/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/generators.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/orderings.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+TEST(Greedy, SingleTaskRunsFlatOut) {
+  const mc::Instance inst(4.0, {{6.0, 3.0, 1.0}});
+  const auto sched = mc::greedy_schedule(inst, mc::identity_order(1));
+  ASSERT_TRUE(sched.validate(inst).valid);
+  EXPECT_DOUBLE_EQ(sched.completions()[0], 2.0);  // 6 / min(3,4)
+}
+
+TEST(Greedy, SecondTaskFillsLeftover) {
+  // P=2: T0 (V=2, δ=2) then T1 (V=1, δ=2).  T0 takes the whole machine
+  // until t=1; T1 runs after at rate 2 until 1.5.
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 2.0, 1.0}});
+  const auto sched = mc::greedy_schedule(inst, mc::identity_order(2));
+  ASSERT_TRUE(sched.validate(inst).valid);
+  const auto done = sched.completions();
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.5);
+}
+
+TEST(Greedy, NarrowFirstTaskLeavesRoom) {
+  // T0 (V=2, δ=1) occupies one processor for 2 units; T1 (V=2, δ=2) gets
+  // 1 processor until t=2... it needs 2 volume: rate 1 for 2 -> done at 2.
+  const mc::Instance inst(2.0, {{2.0, 1.0, 1.0}, {2.0, 2.0, 1.0}});
+  const auto sched = mc::greedy_schedule(inst, mc::identity_order(2));
+  ASSERT_TRUE(sched.validate(inst).valid);
+  const auto done = sched.completions();
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(Greedy, ObjectiveMatchesSchedule) {
+  ms::Rng rng(41);
+  for (int rep = 0; rep < 50; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 6;
+    config.processors = 3.0;
+    const auto inst = mc::generate(config, rng);
+    const auto order = rng.permutation(inst.size());
+    const auto sched = mc::greedy_schedule(inst, order);
+    ASSERT_TRUE(sched.validate(inst).valid) << "rep " << rep;
+    EXPECT_NEAR(sched.weighted_completion(inst),
+                mc::greedy_objective(inst, order), 1e-9)
+        << "rep " << rep;
+  }
+}
+
+TEST(Greedy, ValidOnAllFamilies) {
+  ms::Rng rng(43);
+  for (const auto family : mc::all_families()) {
+    mc::GeneratorConfig config;
+    config.family = family;
+    config.num_tasks = 8;
+    config.processors = 4.0;
+    const auto inst = mc::generate(config, rng);
+    const auto sched = mc::greedy_schedule(inst, mc::smith_order(inst));
+    const auto check = sched.validate(inst);
+    EXPECT_TRUE(check.valid)
+        << mc::family_name(family) << ": " << check.message;
+  }
+}
+
+TEST(Greedy, ExhaustiveBeatsHeuristicOrEqual) {
+  ms::Rng rng(47);
+  for (int rep = 0; rep < 20; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 5;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    const auto exhaustive = mc::best_greedy_exhaustive(inst);
+    const auto heuristic = mc::best_greedy_heuristic(inst);
+    EXPECT_EQ(exhaustive.orders_tried, 120u);
+    EXPECT_LE(exhaustive.objective, heuristic.objective + 1e-9)
+        << "rep " << rep;
+  }
+}
+
+TEST(Greedy, GreedyDominatesItsOwnCompletionOrderLp) {
+  // For any greedy schedule, re-solving the LP with the greedy completion
+  // order can only improve (Corollary 1 optimality for that order).
+  ms::Rng rng(53);
+  for (int rep = 0; rep < 20; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 4;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    const auto order = rng.permutation(inst.size());
+    const auto sched = mc::greedy_schedule(inst, order);
+    // Completion order of the greedy schedule:
+    const auto columns = sched.to_columns(inst);
+    const double lp =
+        mc::order_lp_objective(inst, columns.order());
+    EXPECT_LE(lp, sched.weighted_completion(inst) + 1e-7) << "rep " << rep;
+  }
+}
+
+TEST(Greedy, Theorem11OptimalIsGreedyForWideEqualWeightTasks) {
+  // δ_i > P/2 and equal weights: the exhaustive-greedy optimum must match
+  // the LP-enumerated optimum (every optimal schedule is greedy).
+  ms::Rng rng(59);
+  for (int rep = 0; rep < 15; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::WideTasks;
+    config.num_tasks = 4;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    const auto greedy = mc::best_greedy_exhaustive(inst);
+    const auto opt = mc::optimal_by_enumeration(inst);
+    EXPECT_NEAR(greedy.objective, opt.objective,
+                1e-6 * std::max(1.0, opt.objective))
+        << "rep " << rep;
+  }
+}
+
+TEST(Greedy, ZeroVolumeTaskHandled) {
+  const mc::Instance inst(2.0, {{0.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  const auto sched = mc::greedy_schedule(inst, mc::identity_order(2));
+  EXPECT_TRUE(sched.validate(inst).valid);
+  EXPECT_DOUBLE_EQ(sched.completions()[0], 0.0);
+}
+
+TEST(Orderings, SmithSortsByRatio) {
+  // Ratios V/w: T0: 4, T1: 1, T2: 2 -> order 1, 2, 0.
+  const mc::Instance inst(2.0, {{4.0, 1.0, 1.0}, {1.0, 1.0, 1.0},
+                                {4.0, 1.0, 2.0}});
+  const auto order = mc::smith_order(inst);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Orderings, HeightTallestFirst) {
+  const mc::Instance inst(4.0, {{1.0, 1.0, 1.0},   // h=1
+                                {4.0, 2.0, 1.0},   // h=2
+                                {1.0, 4.0, 1.0}});  // h=0.25
+  const auto order = mc::height_order(inst);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(Orderings, WidthDescendingAndReverse) {
+  const mc::Instance inst(4.0, {{1.0, 1.0, 1.0}, {1.0, 3.0, 1.0},
+                                {1.0, 2.0, 1.0}});
+  const auto order = mc::width_order(inst);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(mc::reversed(order), (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(Orderings, StableOnTies) {
+  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  EXPECT_EQ(mc::smith_order(inst), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(mc::volume_order(inst), (std::vector<std::size_t>{0, 1}));
+}

@@ -1,0 +1,182 @@
+#include "malsched/core/homogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/instance.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+using malsched::numeric::Rational;
+
+namespace {
+
+mc::Instance to_instance(std::span<const double> delta) {
+  std::vector<mc::Task> tasks;
+  for (double d : delta) {
+    tasks.push_back({1.0, d, 1.0});
+  }
+  return mc::Instance(1.0, std::move(tasks));
+}
+
+std::vector<Rational> rational_deltas(ms::Rng& rng, std::size_t n) {
+  // δ = k / (2k') with δ in [1/2, 1]: pick small integer fractions.
+  std::vector<Rational> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const long long den = rng.uniform_int(2, 24);
+    const long long num = rng.uniform_int((den + 1) / 2, den);
+    out.emplace_back(num, den);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Homogeneous, FirstTaskCompletion) {
+  const std::vector<double> delta{0.8, 0.6};
+  const std::vector<std::size_t> order{0, 1};
+  const auto c = mc::homogeneous_completions(delta, order);
+  EXPECT_NEAR(c[0], 1.0 / 0.8, 1e-12);
+}
+
+TEST(Homogeneous, RecurrenceMatchesGreedySimulation) {
+  // The closed-form recurrence must agree with the actual greedy schedule
+  // on the corresponding P=1, V=w=1 instance.
+  ms::Rng rng(113);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    std::vector<double> delta(n);
+    for (auto& d : delta) {
+      d = rng.uniform(0.5, 1.0);
+    }
+    const auto order = rng.permutation(n);
+    const auto inst = to_instance(delta);
+    const auto sched = mc::greedy_schedule(inst, order);
+    ASSERT_TRUE(sched.validate(inst).valid) << "rep " << rep;
+    const auto simulated = sched.completions();
+    const auto recurrence = mc::homogeneous_completions(delta, order);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(simulated[i], recurrence[i], 1e-7)
+          << "rep " << rep << " task " << i;
+    }
+  }
+}
+
+TEST(Homogeneous, TotalMatchesSum) {
+  const std::vector<double> delta{0.9, 0.7, 0.5};
+  const std::vector<std::size_t> order{2, 0, 1};
+  const auto c = mc::homogeneous_completions(delta, order);
+  EXPECT_NEAR(mc::homogeneous_total(delta, order), c[0] + c[1] + c[2], 1e-12);
+}
+
+TEST(Homogeneous, ExactAndDoubleAgree) {
+  ms::Rng rng(127);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto exact_delta = rational_deltas(rng, 5);
+    std::vector<double> delta;
+    for (const auto& d : exact_delta) {
+      delta.push_back(d.to_double());
+    }
+    const auto order = rng.permutation(5);
+    const double via_double = mc::homogeneous_total(delta, order);
+    const auto via_exact = mc::homogeneous_total_exact(exact_delta, order);
+    EXPECT_NEAR(via_double, via_exact.to_double(), 1e-9) << "rep " << rep;
+  }
+}
+
+TEST(Homogeneous, Conjecture13ReversalSymmetryExact) {
+  // The paper formally checked this up to 15 tasks with Sage; we verify
+  // random instances and orders exactly with rationals.
+  ms::Rng rng(131);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+    const auto delta = rational_deltas(rng, n);
+    const auto order = rng.permutation(n);
+    EXPECT_TRUE(mc::reversal_symmetric_exact(delta, order))
+        << "rep " << rep << " n=" << n;
+  }
+}
+
+TEST(Homogeneous, Conjecture13AllOrdersSmallN) {
+  ms::Rng rng(137);
+  const auto delta = rational_deltas(rng, 4);
+  auto order = mc::identity_order(4);
+  do {
+    EXPECT_TRUE(mc::reversal_symmetric_exact(delta, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(Homogeneous, OptimalOrderPatternsFromPaper) {
+  // §V-B: with δ_1 >= δ_2 >= ... (descending), the paper states the optimal
+  // orders are 1,2 / 2,1 for n=2 and 1,3,2 / 2,3,1 for n=3; both reproduce
+  // exactly.  For n=4 the paper prints 1,3,2,4 / 4,2,3,1, but evaluating the
+  // paper's own recurrence (cross-validated against greedy simulation in
+  // RecurrenceMatchesGreedySimulation) yields 1,3,4,2 / 2,4,3,1 as the
+  // strict optimum for every δ profile we tried — we pin the measured
+  // pattern and record the discrepancy in EXPERIMENTS.md.
+  ms::Rng rng(139);
+  for (int rep = 0; rep < 20; ++rep) {
+    // Distinct deltas to make the optimum (generically) unique up to
+    // reversal.
+    std::vector<double> delta;
+    while (delta.size() < 4) {
+      const double d = rng.uniform(0.55, 0.99);
+      bool close = false;
+      for (double existing : delta) {
+        close = close || std::fabs(existing - d) < 0.02;
+      }
+      if (!close) {
+        delta.push_back(d);
+      }
+    }
+    std::sort(delta.begin(), delta.end(), std::greater<>());
+
+    {
+      const std::vector<double> two{delta[0], delta[1]};
+      const auto best = mc::best_homogeneous_order(two);
+      // Both orders optimal (symmetry): accept either.
+      const bool ok = best.order == std::vector<std::size_t>{0, 1} ||
+                      best.order == std::vector<std::size_t>{1, 0};
+      EXPECT_TRUE(ok);
+    }
+    {
+      const std::vector<double> three{delta[0], delta[1], delta[2]};
+      const auto best = mc::best_homogeneous_order(three);
+      const bool ok = best.order == std::vector<std::size_t>{0, 2, 1} ||
+                      best.order == std::vector<std::size_t>{1, 2, 0};
+      EXPECT_TRUE(ok) << "rep " << rep << " got " << best.order[0]
+                      << best.order[1] << best.order[2];
+    }
+    {
+      const auto best = mc::best_homogeneous_order(delta);
+      const bool ok =
+          best.order == std::vector<std::size_t>{0, 2, 3, 1} ||
+          best.order == std::vector<std::size_t>{1, 3, 2, 0};
+      EXPECT_TRUE(ok) << "rep " << rep << " got " << best.order[0]
+                      << best.order[1] << best.order[2] << best.order[3];
+    }
+  }
+}
+
+TEST(Homogeneous, FiveTaskNecessaryCondition) {
+  // (δ_l − δ_j)(δ_i − δ_m) <= 0 for every optimal 5-task order.
+  ms::Rng rng(149);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> delta(5);
+    for (auto& d : delta) {
+      d = rng.uniform(0.5, 1.0);
+    }
+    const auto best = mc::best_homogeneous_order(delta);
+    EXPECT_TRUE(mc::five_task_condition(delta, best.order)) << "rep " << rep;
+  }
+}
+
+TEST(HomogeneousDeath, RejectsDeltaOutOfRange) {
+  const std::vector<double> delta{0.4, 0.9};
+  const std::vector<std::size_t> order{0, 1};
+  EXPECT_DEATH((void)mc::homogeneous_completions(delta, order), "1/2");
+}

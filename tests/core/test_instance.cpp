@@ -1,0 +1,78 @@
+#include "malsched/core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/generators.hpp"
+
+namespace mc = malsched::core;
+
+namespace {
+
+mc::Instance small() {
+  return mc::Instance(4.0, {{2.0, 2.0, 1.0}, {1.0, 4.0, 2.0}, {3.0, 1.0, 0.5}});
+}
+
+}  // namespace
+
+TEST(Instance, BasicAccessors) {
+  const auto inst = small();
+  EXPECT_DOUBLE_EQ(inst.processors(), 4.0);
+  EXPECT_EQ(inst.size(), 3u);
+  EXPECT_DOUBLE_EQ(inst.task(0).volume, 2.0);
+  EXPECT_DOUBLE_EQ(inst.task(1).width, 4.0);
+  EXPECT_DOUBLE_EQ(inst.task(2).weight, 0.5);
+  EXPECT_DOUBLE_EQ(inst.total_volume(), 6.0);
+  EXPECT_DOUBLE_EQ(inst.total_weight(), 3.5);
+}
+
+TEST(Instance, TaskHeight) {
+  const mc::Task t{6.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(t.height(), 2.0);
+}
+
+TEST(Instance, EffectiveWidthClampsAtP) {
+  const mc::Instance inst(2.0, {{1.0, 5.0, 1.0}, {1.0, 1.5, 1.0}});
+  EXPECT_DOUBLE_EQ(inst.effective_width(0), 2.0);
+  EXPECT_DOUBLE_EQ(inst.effective_width(1), 1.5);
+}
+
+TEST(Instance, IntegralDetection) {
+  EXPECT_TRUE(mc::Instance(4.0, {{1.0, 2.0, 1.0}}).integral());
+  EXPECT_FALSE(mc::Instance(4.0, {{1.0, 2.5, 1.0}}).integral());
+  EXPECT_FALSE(mc::Instance(3.5, {{1.0, 2.0, 1.0}}).integral());
+}
+
+TEST(Instance, WithVolumesBuildsSubinstance) {
+  const auto inst = small();
+  const std::vector<double> volumes{0.5, 0.0, 3.0};
+  const auto sub = inst.with_volumes(volumes);
+  EXPECT_DOUBLE_EQ(sub.task(0).volume, 0.5);
+  EXPECT_DOUBLE_EQ(sub.task(1).volume, 0.0);
+  EXPECT_DOUBLE_EQ(sub.task(2).volume, 3.0);
+  // Other fields untouched.
+  EXPECT_DOUBLE_EQ(sub.task(1).width, 4.0);
+  EXPECT_DOUBLE_EQ(sub.task(2).weight, 0.5);
+}
+
+TEST(Instance, ZeroVolumeTasksAllowed) {
+  const mc::Instance inst(1.0, {{0.0, 1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(inst.total_volume(), 0.0);
+}
+
+TEST(Instance, DescribeMentionsShape) {
+  const auto text = small().describe();
+  EXPECT_NE(text.find("P=4"), std::string::npos);
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+}
+
+TEST(InstanceDeath, RejectsNonPositiveProcessors) {
+  EXPECT_DEATH(mc::Instance(0.0, {{1.0, 1.0, 1.0}}), "P > 0");
+}
+
+TEST(InstanceDeath, RejectsNonPositiveWidth) {
+  EXPECT_DEATH(mc::Instance(1.0, {{1.0, 0.0, 1.0}}), "width");
+}
+
+TEST(InstanceDeath, RejectsNegativeVolume) {
+  EXPECT_DEATH(mc::Instance(1.0, {{-1.0, 1.0, 1.0}}), "volume");
+}

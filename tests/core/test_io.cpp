@@ -1,0 +1,134 @@
+#include "malsched/core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "malsched/core/assignment.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace mc = malsched::core;
+
+TEST(Io, ParseBasicInstance) {
+  const std::string text = R"(# example
+processors 4
+task 2.0 2 1.0
+task 1.5 1 0.5
+)";
+  std::string error;
+  const auto inst = mc::parse_instance(text, &error);
+  ASSERT_TRUE(inst.has_value()) << error;
+  EXPECT_DOUBLE_EQ(inst->processors(), 4.0);
+  EXPECT_EQ(inst->size(), 2u);
+  EXPECT_DOUBLE_EQ(inst->task(1).volume, 1.5);
+}
+
+TEST(Io, RoundTrip) {
+  const mc::Instance inst(3.0, {{0.25, 1.5, 2.0}, {1.0, 3.0, 0.125}});
+  const auto text = mc::format_instance(inst);
+  std::string error;
+  const auto back = mc::parse_instance(text, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  ASSERT_EQ(back->size(), inst.size());
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back->task(i).volume, inst.task(i).volume);
+    EXPECT_DOUBLE_EQ(back->task(i).width, inst.task(i).width);
+    EXPECT_DOUBLE_EQ(back->task(i).weight, inst.task(i).weight);
+  }
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  const std::string text = "\n# full line comment\nprocessors 2 # trailing\n\ntask 1 1 1\n";
+  std::string error;
+  const auto inst = mc::parse_instance(text, &error);
+  ASSERT_TRUE(inst.has_value()) << error;
+  EXPECT_EQ(inst->size(), 1u);
+}
+
+TEST(Io, ErrorsAreReported) {
+  std::string error;
+  EXPECT_FALSE(mc::parse_instance("task 1 1 1\n", &error).has_value());
+  EXPECT_NE(error.find("processors"), std::string::npos);
+
+  EXPECT_FALSE(mc::parse_instance("processors 2\n", &error).has_value());
+  EXPECT_NE(error.find("no tasks"), std::string::npos);
+
+  EXPECT_FALSE(
+      mc::parse_instance("processors 2\nbananas 1\n", &error).has_value());
+  EXPECT_NE(error.find("unknown keyword"), std::string::npos);
+
+  EXPECT_FALSE(
+      mc::parse_instance("processors 2\ntask -1 1 1\n", &error).has_value());
+  EXPECT_NE(error.find("invalid task"), std::string::npos);
+}
+
+TEST(Io, ScheduleCsvHasHeaderAndRows) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  const auto greedy = mc::greedy_schedule(inst, mc::identity_order(2));
+  const auto wf = mc::water_fill(inst, greedy.completions());
+  ASSERT_TRUE(wf.feasible);
+  std::ostringstream out;
+  mc::write_schedule_csv(out, wf.schedule);
+  const auto text = out.str();
+  EXPECT_NE(text.find("task,column,start,end,processors"), std::string::npos);
+  EXPECT_GT(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(Io, GanttRenderHasOneRowPerTask) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  const auto greedy = mc::greedy_schedule(inst, mc::identity_order(2));
+  const auto text = mc::render_gantt(inst, greedy, 40);
+  EXPECT_NE(text.find("T0"), std::string::npos);
+  EXPECT_NE(text.find("T1"), std::string::npos);
+}
+
+TEST(Io, GanttEmptySchedule) {
+  const mc::Instance inst(1.0, {{0.0, 1.0, 1.0}});
+  const mc::StepSchedule empty(1, {});
+  EXPECT_NE(mc::render_gantt(inst, empty).find("empty"), std::string::npos);
+}
+
+TEST(Io, ProcessorGanttShowsTaskDigits) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  const auto greedy = mc::greedy_schedule(inst, mc::identity_order(2));
+  const auto wf = mc::water_fill(inst, greedy.completions());
+  ASSERT_TRUE(wf.feasible);
+  const auto assignment = mc::assign_processors(inst, wf.schedule);
+  const auto text = mc::render_processor_gantt(assignment, 40);
+  EXPECT_NE(text.find("P0"), std::string::npos);
+  EXPECT_NE(text.find("P1"), std::string::npos);
+  EXPECT_NE(text.find('0'), std::string::npos);  // task 0 visible
+  EXPECT_NE(text.find('1'), std::string::npos);  // task 1 visible
+}
+
+TEST(Io, ProcessorGanttEmptyAssignment) {
+  const mc::ProcessorAssignment empty;
+  EXPECT_NE(mc::render_processor_gantt(empty).find("empty"),
+            std::string::npos);
+}
+
+TEST(Io, RandomInstanceRoundTripProperty) {
+  malsched::support::Rng rng(997);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<mc::Task> tasks;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    for (int i = 0; i < n; ++i) {
+      tasks.push_back({rng.uniform_pos(10.0), rng.uniform_pos(4.0),
+                       rng.uniform_pos(2.0)});
+    }
+    const mc::Instance inst(rng.uniform_pos(8.0), std::move(tasks));
+    std::string error;
+    const auto back = mc::parse_instance(mc::format_instance(inst), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    ASSERT_EQ(back->size(), inst.size());
+    EXPECT_DOUBLE_EQ(back->processors(), inst.processors());
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_DOUBLE_EQ(back->task(i).volume, inst.task(i).volume);
+      EXPECT_DOUBLE_EQ(back->task(i).width, inst.task(i).width);
+      EXPECT_DOUBLE_EQ(back->task(i).weight, inst.task(i).weight);
+    }
+  }
+}

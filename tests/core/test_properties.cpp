@@ -1,0 +1,176 @@
+// Cross-module property sweeps: every invariant the paper proves, checked on
+// randomized instances drawn from all generator families (parameterized via
+// TEST_P so each family/size combination is its own test case).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "malsched/core/assignment.hpp"
+#include "malsched/core/bounds.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/makespan.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/core/wdeq.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+namespace {
+
+struct SweepParam {
+  mc::Family family;
+  std::size_t num_tasks;
+  double processors;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string name = mc::family_name(info.param.family);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name + "_n" + std::to_string(info.param.num_tasks) + "_p" +
+         std::to_string(static_cast<int>(info.param.processors));
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> params;
+  std::uint64_t seed = 1000;
+  for (const auto family : mc::all_families()) {
+    for (const std::size_t n : {3u, 8u}) {
+      for (const double p : {2.0, 5.0}) {
+        params.push_back({family, n, p, seed++});
+      }
+    }
+  }
+  return params;
+}
+
+}  // namespace
+
+class ScheduleInvariantSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  [[nodiscard]] mc::Instance draw(int rep) const {
+    ms::Rng rng(GetParam().seed * 977 + static_cast<std::uint64_t>(rep));
+    mc::GeneratorConfig config;
+    config.family = GetParam().family;
+    config.num_tasks = GetParam().num_tasks;
+    config.processors = GetParam().processors;
+    return mc::generate(config, rng);
+  }
+};
+
+TEST_P(ScheduleInvariantSweep, WdeqScheduleIsValid) {
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto inst = draw(rep);
+    const auto run = mc::run_wdeq(inst);
+    const auto check = run.schedule.validate(inst);
+    EXPECT_TRUE(check.valid) << check.message;
+  }
+}
+
+TEST_P(ScheduleInvariantSweep, WdeqRespectsLemma2Bound) {
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto inst = draw(rep);
+    const auto run = mc::run_wdeq(inst);
+    const double tc = run.schedule.weighted_completion(inst);
+    const double bound =
+        2.0 * (mc::squashed_area_bound(inst.with_volumes(run.limited_volume)) +
+               mc::height_bound(inst.with_volumes(run.full_volume)));
+    EXPECT_LE(tc, bound * (1.0 + 1e-9) + 1e-6);
+  }
+}
+
+TEST_P(ScheduleInvariantSweep, GreedySmithIsValidAndAboveBounds) {
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto inst = draw(rep);
+    const auto sched = mc::greedy_schedule(inst, mc::smith_order(inst));
+    const auto check = sched.validate(inst);
+    EXPECT_TRUE(check.valid) << check.message;
+    const double objective = sched.weighted_completion(inst);
+    EXPECT_GE(objective, mc::squashed_area_bound(inst) - 1e-6);
+    EXPECT_GE(objective, mc::height_bound(inst) - 1e-6);
+  }
+}
+
+TEST_P(ScheduleInvariantSweep, NormalFormPreservesObjective) {
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto inst = draw(rep);
+    const auto run = mc::run_wdeq(inst);
+    const auto normal = mc::normalize(inst, run.schedule);
+    ASSERT_TRUE(normal.feasible);
+    const auto check = normal.schedule.validate(inst);
+    EXPECT_TRUE(check.valid) << check.message;
+    EXPECT_NEAR(normal.schedule.weighted_completion(inst),
+                run.schedule.weighted_completion(inst),
+                1e-6 * std::max(1.0, run.schedule.weighted_completion(inst)));
+  }
+}
+
+TEST_P(ScheduleInvariantSweep, NormalFormIsIdempotent) {
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto inst = draw(rep);
+    const auto run = mc::run_wdeq(inst);
+    const auto once = mc::normalize(inst, run.schedule);
+    ASSERT_TRUE(once.feasible);
+    const auto twice =
+        mc::water_fill(inst, once.schedule.completions());
+    ASSERT_TRUE(twice.feasible);
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_NEAR(once.schedule.completion(i), twice.schedule.completion(i),
+                  1e-9);
+      for (std::size_t j = 0; j < inst.size(); ++j) {
+        EXPECT_NEAR(once.schedule.allocation(i, j),
+                    twice.schedule.allocation(i, j), 1e-6);
+      }
+    }
+  }
+}
+
+TEST_P(ScheduleInvariantSweep, MakespanIsWfBoundary) {
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto inst = draw(rep);
+    const double cmax = mc::optimal_makespan(inst);
+    const std::vector<double> at(inst.size(), cmax * (1.0 + 1e-9) + 1e-12);
+    EXPECT_TRUE(mc::deadlines_feasible(inst, at));
+    const std::vector<double> below(inst.size(), cmax * (1.0 - 1e-3));
+    EXPECT_FALSE(mc::deadlines_feasible(inst, below));
+  }
+}
+
+TEST_P(ScheduleInvariantSweep, GreedyCompletionsAreWfFeasible) {
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto inst = draw(rep);
+    const auto sched = mc::greedy_schedule(inst, mc::height_order(inst));
+    EXPECT_TRUE(mc::water_fill(inst, sched.completions()).feasible);
+  }
+}
+
+TEST_P(ScheduleInvariantSweep, WfPreemptionBoundsHold) {
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto inst = draw(rep);
+    const auto sched = mc::greedy_schedule(inst, mc::smith_order(inst));
+    const auto wf = mc::water_fill(inst, sched.completions());
+    ASSERT_TRUE(wf.feasible);
+    // Lemma 5 band count: <= n everywhere.  Natural count: <= 2n - 1 (the
+    // Theorem 9 statement of n admits counterexamples, see
+    // Preemptions.Theorem9NaturalCountCounterexample).
+    EXPECT_LE(mc::count_band_changes(inst, wf.schedule), inst.size());
+    EXPECT_LE(mc::count_fractional_changes(wf.schedule),
+              2 * inst.size() - 1);
+    if (inst.integral()) {
+      const auto assignment = mc::assign_processors(inst, wf.schedule);
+      EXPECT_TRUE(assignment.validate(inst).valid);
+      const auto stats = mc::count_preemptions(inst, wf.schedule, assignment);
+      EXPECT_LE(stats.integer_changes, 4 * inst.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ScheduleInvariantSweep,
+                         ::testing::ValuesIn(sweep_params()), param_name);

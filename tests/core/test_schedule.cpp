@@ -1,0 +1,196 @@
+#include "malsched/core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/support/matrix.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+namespace {
+
+// Two tasks on P=2: T0 (V=2, δ=2) alone first, then T1 (V=1, δ=1).
+// Columns: [0,1] with T0 at rate 2... actually share them:
+//   column 0 = [0,1]: T0 rate 1, T1 rate 1 -> T0 still unfinished? Use:
+//   T0 completes at 1.5, T1 at 1.
+// Simpler canonical example:
+//   column 0 = [0,1]: T0 rate 1, T1 rate 1; T1 done (V=1) at C=1.
+//   column 1 = [1,1.5]: T0 rate 2; T0 volume = 1*1 + 2*0.5 = 2. C0 = 1.5.
+mc::Instance two_task_instance() {
+  return mc::Instance(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 3.0}});
+}
+
+mc::ColumnSchedule two_task_schedule() {
+  ms::Matrix alloc(2, 2, 0.0);
+  alloc(1, 0) = 1.0;  // T1 in column 0
+  alloc(0, 0) = 1.0;  // T0 in column 0
+  alloc(0, 1) = 2.0;  // T0 in column 1
+  return mc::ColumnSchedule({1, 0}, {1.0, 1.5}, std::move(alloc));
+}
+
+}  // namespace
+
+TEST(ColumnSchedule, AccessorsAndCompletions) {
+  const auto sched = two_task_schedule();
+  EXPECT_EQ(sched.num_tasks(), 2u);
+  EXPECT_DOUBLE_EQ(sched.completion(1), 1.0);
+  EXPECT_DOUBLE_EQ(sched.completion(0), 1.5);
+  EXPECT_EQ(sched.position(1), 0u);
+  EXPECT_EQ(sched.position(0), 1u);
+  EXPECT_DOUBLE_EQ(sched.column_length(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.column_length(1), 0.5);
+  EXPECT_DOUBLE_EQ(sched.makespan(), 1.5);
+}
+
+TEST(ColumnSchedule, WeightedCompletion) {
+  const auto inst = two_task_instance();
+  const auto sched = two_task_schedule();
+  // 1.0 * 1.5 + 3.0 * 1.0 = 4.5
+  EXPECT_DOUBLE_EQ(sched.weighted_completion(inst), 4.5);
+}
+
+TEST(ColumnSchedule, ValidSchedulePasses) {
+  const auto inst = two_task_instance();
+  const auto sched = two_task_schedule();
+  const auto check = sched.validate(inst);
+  EXPECT_TRUE(check.valid) << check.message;
+}
+
+TEST(ColumnSchedule, DetectsCapacityViolation) {
+  const auto inst = two_task_instance();
+  ms::Matrix alloc(2, 2, 0.0);
+  alloc(1, 0) = 1.0;  // at its width cap δ_1 = 1
+  alloc(0, 0) = 1.5;  // within δ_0 = 2, but total 2.5 > P = 2
+  alloc(0, 1) = 2.0;
+  const mc::ColumnSchedule bad({1, 0}, {1.0, 1.5}, std::move(alloc));
+  const auto check = bad.validate(inst);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.message.find("capacity"), std::string::npos);
+}
+
+TEST(ColumnSchedule, DetectsWidthViolation) {
+  const auto inst = two_task_instance();
+  ms::Matrix alloc(2, 2, 0.0);
+  alloc(1, 0) = 1.5;  // δ_1 = 1
+  alloc(0, 0) = 0.5;
+  alloc(0, 1) = 2.0;
+  const mc::ColumnSchedule bad({1, 0}, {1.0, 1.5}, std::move(alloc));
+  const auto check = bad.validate(inst);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.message.find("width"), std::string::npos);
+}
+
+TEST(ColumnSchedule, DetectsVolumeMismatch) {
+  const auto inst = two_task_instance();
+  ms::Matrix alloc(2, 2, 0.0);
+  alloc(1, 0) = 1.0;
+  alloc(0, 0) = 0.5;  // T0 volume = 0.5 + 1.0 = 1.5 != 2
+  alloc(0, 1) = 2.0;
+  const mc::ColumnSchedule bad({1, 0}, {1.0, 1.5}, std::move(alloc));
+  const auto check = bad.validate(inst);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.message.find("volume"), std::string::npos);
+}
+
+TEST(ColumnSchedule, DetectsAllocationAfterCompletion) {
+  const auto inst = two_task_instance();
+  ms::Matrix alloc(2, 2, 0.0);
+  alloc(1, 0) = 0.5;
+  alloc(1, 1) = 1.0;  // T1 completes at column 0 but runs in column 1
+  alloc(0, 0) = 1.5;
+  alloc(0, 1) = 1.0;
+  const mc::ColumnSchedule bad({1, 0}, {1.0, 1.5}, std::move(alloc));
+  const auto check = bad.validate(inst);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.message.find("after completion"), std::string::npos);
+}
+
+TEST(ColumnScheduleDeath, RejectsDuplicateOrder) {
+  ms::Matrix alloc(2, 2, 0.0);
+  EXPECT_DEATH(mc::ColumnSchedule({0, 0}, {1.0, 2.0}, std::move(alloc)),
+               "duplicate");
+}
+
+TEST(StepSchedule, CompletionsAndVolumes) {
+  const auto inst = two_task_instance();
+  std::vector<mc::Step> steps;
+  steps.push_back({0.0, 1.0, {1.0, 1.0}});
+  steps.push_back({1.0, 1.5, {2.0, 0.0}});
+  const mc::StepSchedule sched(2, std::move(steps));
+  const auto check = sched.validate(inst);
+  EXPECT_TRUE(check.valid) << check.message;
+  const auto done = sched.completions();
+  EXPECT_DOUBLE_EQ(done[0], 1.5);
+  EXPECT_DOUBLE_EQ(done[1], 1.0);
+  const auto vol = sched.volumes();
+  EXPECT_DOUBLE_EQ(vol[0], 2.0);
+  EXPECT_DOUBLE_EQ(vol[1], 1.0);
+  EXPECT_DOUBLE_EQ(sched.weighted_completion(inst), 4.5);
+  EXPECT_DOUBLE_EQ(sched.makespan(), 1.5);
+}
+
+TEST(StepSchedule, DetectsGap) {
+  const auto inst = two_task_instance();
+  std::vector<mc::Step> steps;
+  steps.push_back({0.0, 1.0, {1.0, 1.0}});
+  steps.push_back({1.2, 1.7, {2.0, 0.0}});  // gap 1.0 -> 1.2
+  const mc::StepSchedule sched(2, std::move(steps));
+  const auto check = sched.validate(inst);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.message.find("non-contiguous"), std::string::npos);
+}
+
+TEST(StepSchedule, RoundTripThroughColumns) {
+  const auto inst = two_task_instance();
+  const auto columns = two_task_schedule();
+  const auto steps = mc::to_steps(columns);
+  EXPECT_TRUE(steps.validate(inst).valid);
+  const auto back = steps.to_columns(inst);
+  EXPECT_TRUE(back.validate(inst).valid);
+  EXPECT_DOUBLE_EQ(back.completion(0), columns.completion(0));
+  EXPECT_DOUBLE_EQ(back.completion(1), columns.completion(1));
+  EXPECT_DOUBLE_EQ(back.weighted_completion(inst),
+                   columns.weighted_completion(inst));
+}
+
+TEST(StepSchedule, ToColumnsAveragesRates) {
+  // A task running at rate 2 for half a column and 0 for the other half
+  // averages to rate 1 in the column schedule (Theorem 3 construction).
+  const mc::Instance inst(2.0, {{1.0, 2.0, 1.0}, {2.0, 2.0, 1.0}});
+  std::vector<mc::Step> steps;
+  steps.push_back({0.0, 0.5, {2.0, 0.0}});
+  steps.push_back({0.5, 1.0, {0.0, 2.0}});
+  steps.push_back({1.0, 1.5, {0.0, 2.0}});
+  const mc::StepSchedule sched(2, std::move(steps));
+  ASSERT_TRUE(sched.validate(inst).valid);
+  const auto columns = sched.to_columns(inst);
+  // T0 completes at 0.5, T1 at 1.5. Column 0 = [0, 0.5]: T0 avg rate 2.
+  // Column 1 = [0.5, 1.5]: T1 avg rate 2.
+  EXPECT_TRUE(columns.validate(inst).valid);
+  EXPECT_DOUBLE_EQ(columns.allocation(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(columns.allocation(1, 1), 2.0);
+  // T1 also ran in column 0 at average rate... it did not run before 0.5.
+  EXPECT_DOUBLE_EQ(columns.allocation(1, 0), 0.0);
+}
+
+TEST(StepSchedule, TiedCompletionsGetZeroLengthColumns) {
+  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  std::vector<mc::Step> steps;
+  steps.push_back({0.0, 1.0, {1.0, 1.0}});
+  const mc::StepSchedule sched(2, std::move(steps));
+  const auto columns = sched.to_columns(inst);
+  EXPECT_TRUE(columns.validate(inst).valid);
+  EXPECT_DOUBLE_EQ(columns.completion(0), 1.0);
+  EXPECT_DOUBLE_EQ(columns.completion(1), 1.0);
+  EXPECT_DOUBLE_EQ(columns.column_length(1), 0.0);
+}
+
+TEST(StepSchedule, ZeroVolumeTaskCompletesAtZero) {
+  const mc::Instance inst(1.0, {{0.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  std::vector<mc::Step> steps;
+  steps.push_back({0.0, 1.0, {0.0, 1.0}});
+  const mc::StepSchedule sched(2, std::move(steps));
+  EXPECT_TRUE(sched.validate(inst).valid);
+  EXPECT_DOUBLE_EQ(sched.completions()[0], 0.0);
+}

@@ -1,0 +1,205 @@
+// Structural properties stated (or used implicitly) by the paper's proofs,
+// checked directly on the implementations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "malsched/core/assignment.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/order_lp.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/core/wdeq.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+TEST(StructuralProperties, WdeqAllocationsNonDecreasingPerTask) {
+  // §III: "the amount of resources allocated to each task is increasing
+  // with time, until it is given its full allocation" — the monotonicity
+  // Lemma 2's volume split relies on.
+  ms::Rng rng(701);
+  for (int rep = 0; rep < 30; ++rep) {
+    mc::GeneratorConfig gen;
+    gen.family = mc::Family::Uniform;
+    gen.num_tasks = 8;
+    gen.processors = 3.0;
+    const auto inst = mc::generate(gen, rng);
+    const auto run = mc::run_wdeq(inst);
+    const auto& steps = run.schedule.steps();
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      double prev = 0.0;
+      for (const auto& step : steps) {
+        if (step.rates[i] <= 1e-12) {
+          continue;  // task already finished
+        }
+        EXPECT_GE(step.rates[i], prev - 1e-9)
+            << "rep " << rep << " task " << i;
+        prev = step.rates[i];
+      }
+    }
+  }
+}
+
+TEST(StructuralProperties, WfAllocationsNonDecreasingPerTask) {
+  // Lemma 6's premise: in WF schedules the per-task rate never decreases
+  // before completion (heights are non-increasing over time).
+  ms::Rng rng(709);
+  for (int rep = 0; rep < 30; ++rep) {
+    mc::GeneratorConfig gen;
+    gen.family = mc::Family::Uniform;
+    gen.num_tasks = 8;
+    gen.processors = 3.0;
+    const auto inst = mc::generate(gen, rng);
+    const auto greedy = mc::greedy_schedule(inst, mc::smith_order(inst));
+    const auto wf = mc::water_fill(inst, greedy.completions());
+    ASSERT_TRUE(wf.feasible);
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      double prev = 0.0;
+      bool started = false;
+      for (std::size_t j = 0; j <= wf.schedule.position(i); ++j) {
+        if (wf.schedule.column_length(j) <= 1e-12) {
+          continue;
+        }
+        const double rate = wf.schedule.allocation(i, j);
+        if (rate > 1e-12) {
+          started = true;
+        }
+        if (started) {
+          EXPECT_GE(rate, prev - 1e-9) << "rep " << rep << " task " << i;
+          prev = rate;
+        }
+      }
+    }
+  }
+}
+
+TEST(StructuralProperties, GreedyPrefixIndependence) {
+  // Algorithm 3 places tasks one at a time, so the completion time of the
+  // k-th placed task cannot depend on the tasks placed after it.
+  ms::Rng rng(719);
+  for (int rep = 0; rep < 20; ++rep) {
+    mc::GeneratorConfig gen;
+    gen.family = mc::Family::Uniform;
+    gen.num_tasks = 6;
+    gen.processors = 2.0;
+    const auto inst = mc::generate(gen, rng);
+    const auto order = rng.permutation(inst.size());
+    const auto full = mc::greedy_schedule(inst, order);
+    const auto full_completions = full.completions();
+
+    // Build the prefix instance (first 4 tasks of the order).
+    std::vector<mc::Task> prefix_tasks;
+    std::vector<std::size_t> prefix_order;
+    for (std::size_t k = 0; k < 4; ++k) {
+      prefix_tasks.push_back(inst.task(order[k]));
+      prefix_order.push_back(k);
+    }
+    const mc::Instance prefix(inst.processors(), std::move(prefix_tasks));
+    const auto partial = mc::greedy_schedule(prefix, prefix_order);
+    const auto partial_completions = partial.completions();
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_NEAR(partial_completions[k], full_completions[order[k]], 1e-9)
+          << "rep " << rep << " position " << k;
+    }
+  }
+}
+
+TEST(StructuralProperties, OrderLpScalesWithWeights) {
+  // Scaling all weights by c scales the optimum by c (the LP objective is
+  // linear in w).
+  ms::Rng rng(727);
+  mc::GeneratorConfig gen;
+  gen.family = mc::Family::Uniform;
+  gen.num_tasks = 4;
+  gen.processors = 2.0;
+  const auto inst = mc::generate(gen, rng);
+  const auto order = mc::identity_order(4);
+  const double base = mc::order_lp_objective(inst, order);
+
+  std::vector<mc::Task> scaled = inst.tasks();
+  for (auto& t : scaled) {
+    t.weight *= 3.0;
+  }
+  const mc::Instance inst3(inst.processors(), std::move(scaled));
+  EXPECT_NEAR(mc::order_lp_objective(inst3, order), 3.0 * base, 1e-6);
+}
+
+TEST(StructuralProperties, OrderLpScalesWithTime) {
+  // Scaling all volumes by c scales every completion time — and hence the
+  // objective — by c (time dilation).
+  ms::Rng rng(733);
+  mc::GeneratorConfig gen;
+  gen.family = mc::Family::Uniform;
+  gen.num_tasks = 4;
+  gen.processors = 2.0;
+  const auto inst = mc::generate(gen, rng);
+  const auto order = mc::identity_order(4);
+  const double base = mc::order_lp_objective(inst, order);
+
+  std::vector<mc::Task> scaled = inst.tasks();
+  for (auto& t : scaled) {
+    t.volume *= 2.0;
+  }
+  const mc::Instance inst2(inst.processors(), std::move(scaled));
+  EXPECT_NEAR(mc::order_lp_objective(inst2, order), 2.0 * base, 1e-6);
+}
+
+TEST(StructuralProperties, WdeqInvariantUnderWeightScaling) {
+  // WDEQ's shares depend on weight *ratios* only.
+  ms::Rng rng(739);
+  mc::GeneratorConfig gen;
+  gen.family = mc::Family::Uniform;
+  gen.num_tasks = 6;
+  gen.processors = 2.0;
+  const auto inst = mc::generate(gen, rng);
+  std::vector<mc::Task> scaled = inst.tasks();
+  for (auto& t : scaled) {
+    t.weight *= 7.5;
+  }
+  const mc::Instance inst_scaled(inst.processors(), std::move(scaled));
+  const auto a = mc::run_wdeq(inst).schedule.completions();
+  const auto b = mc::run_wdeq(inst_scaled).schedule.completions();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(StructuralProperties, WaterFillStressLargeInstance) {
+  // n = 300 validity + monotone profile + Lemma-5 band bound in one pass.
+  ms::Rng rng(743);
+  mc::GeneratorConfig gen;
+  gen.family = mc::Family::Uniform;
+  gen.num_tasks = 300;
+  gen.processors = 8.0;
+  const auto inst = mc::generate(gen, rng);
+  const auto greedy = mc::greedy_schedule(inst, mc::smith_order(inst));
+  const auto wf = mc::water_fill(inst, greedy.completions());
+  ASSERT_TRUE(wf.feasible);
+  const auto check = wf.schedule.validate(inst, {1e-7, 1e-7});
+  EXPECT_TRUE(check.valid) << check.message;
+  EXPECT_LE(mc::count_band_changes(inst, wf.schedule), inst.size());
+}
+
+TEST(StructuralProperties, MoreProcessorsNeverHurt) {
+  // OPT is monotone in P: adding capacity can only help, for every
+  // algorithm in the stack.
+  ms::Rng rng(751);
+  for (int rep = 0; rep < 10; ++rep) {
+    mc::GeneratorConfig gen;
+    gen.family = mc::Family::Uniform;
+    gen.num_tasks = 4;
+    gen.processors = 2.0;
+    const auto inst = mc::generate(gen, rng);
+    const mc::Instance bigger(4.0, inst.tasks());
+    EXPECT_LE(mc::optimal_by_enumeration(bigger).objective,
+              mc::optimal_by_enumeration(inst).objective + 1e-7)
+        << "rep " << rep;
+    EXPECT_LE(mc::run_wdeq(bigger).schedule.weighted_completion(bigger),
+              mc::run_wdeq(inst).schedule.weighted_completion(inst) + 1e-7)
+        << "rep " << rep;
+  }
+}

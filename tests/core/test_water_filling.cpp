@@ -1,0 +1,201 @@
+#include "malsched/core/water_filling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/generators.hpp"
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/wdeq.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+TEST(WaterFill, SingleTaskExactFit) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}});
+  const std::vector<double> completions{1.0};
+  const auto result = mc::water_fill(inst, completions);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.schedule.validate(inst).valid);
+  EXPECT_DOUBLE_EQ(result.schedule.completion(0), 1.0);
+  EXPECT_DOUBLE_EQ(result.schedule.allocation(0, 0), 2.0);
+}
+
+TEST(WaterFill, SingleTaskInfeasibleDeadline) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}});
+  const std::vector<double> completions{0.9};  // needs 1.0
+  const auto result = mc::water_fill(inst, completions);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.failed_position, 0u);
+}
+
+TEST(WaterFill, WidthCapMakesDeadlineInfeasible) {
+  // V=2, δ=1: needs 2 time units even though P=4.
+  const mc::Instance inst(4.0, {{2.0, 1.0, 1.0}});
+  EXPECT_FALSE(mc::water_fill(inst, std::vector<double>{1.9}).feasible);
+  EXPECT_TRUE(mc::water_fill(inst, std::vector<double>{2.0}).feasible);
+}
+
+TEST(WaterFill, TwoTasksSharingMachine) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  // T1 by time 1, T0 by time 1.5 (the canonical example).
+  const std::vector<double> completions{1.5, 1.0};
+  const auto result = mc::water_fill(inst, completions);
+  ASSERT_TRUE(result.feasible);
+  const auto check = result.schedule.validate(inst);
+  EXPECT_TRUE(check.valid) << check.message;
+  EXPECT_DOUBLE_EQ(result.schedule.completion(0), 1.5);
+  EXPECT_DOUBLE_EQ(result.schedule.completion(1), 1.0);
+}
+
+TEST(WaterFill, ProfileHeightsNonIncreasing) {
+  // Lemma 3: after each allocation, the occupied height per column is
+  // non-increasing over time.  Verify on a random feasible instance by
+  // summing allocations column-wise.
+  ms::Rng rng(11);
+  for (int rep = 0; rep < 30; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 6;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    // Use greedy completions (always feasible).
+    const auto greedy = mc::greedy_schedule(inst, mc::smith_order(inst));
+    const auto completions = greedy.completions();
+    const auto result = mc::water_fill(inst, completions);
+    ASSERT_TRUE(result.feasible);
+    const auto& sched = result.schedule;
+    for (std::size_t j = 0; j + 1 < sched.num_columns(); ++j) {
+      if (sched.column_length(j) <= 1e-12 ||
+          sched.column_length(j + 1) <= 1e-12) {
+        continue;
+      }
+      double height_j = 0.0;
+      double height_next = 0.0;
+      for (std::size_t i = 0; i < inst.size(); ++i) {
+        height_j += sched.allocation(i, j);
+        height_next += sched.allocation(i, j + 1);
+      }
+      EXPECT_GE(height_j, height_next - 1e-6)
+          << "rep " << rep << " column " << j;
+    }
+  }
+}
+
+TEST(WaterFill, NormalFormPreservesCompletionTimes) {
+  // Theorem 8 applied to schedules produced by WDEQ: re-running WF on the
+  // completion times must succeed and reproduce them.
+  ms::Rng rng(13);
+  for (int rep = 0; rep < 30; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 5;
+    config.processors = 3.0;
+    const auto inst = mc::generate(config, rng);
+    const auto run = mc::run_wdeq(inst);
+    const auto completions = run.schedule.completions();
+    const auto result = mc::water_fill(inst, completions);
+    ASSERT_TRUE(result.feasible) << "rep " << rep;
+    const auto check = result.schedule.validate(inst);
+    EXPECT_TRUE(check.valid) << check.message;
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_NEAR(result.schedule.completion(i), completions[i], 1e-9);
+    }
+  }
+}
+
+TEST(WaterFill, GreedyCompletionsAreWfFeasible) {
+  // Greedy schedules are valid, so WF must accept their completion times
+  // (this is the Theorem 8 "if one exists" direction).
+  ms::Rng rng(17);
+  for (int rep = 0; rep < 30; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::BandwidthLike;
+    config.num_tasks = 7;
+    config.processors = 4.0;
+    const auto inst = mc::generate(config, rng);
+    const auto sched = mc::greedy_schedule(inst, mc::volume_order(inst));
+    ASSERT_TRUE(sched.validate(inst).valid);
+    EXPECT_TRUE(mc::water_fill(inst, sched.completions()).feasible)
+        << "rep " << rep;
+  }
+}
+
+TEST(WaterFill, ShrunkCompletionsBecomeInfeasible) {
+  // Shrinking the last completion of a tight schedule below the area bound
+  // must be rejected.
+  const mc::Instance inst(1.0, {{0.5, 1.0, 1.0}, {0.5, 1.0, 1.0}});
+  // Total volume 1.0 on one processor: C = (0.5, 1.0) is tight.
+  EXPECT_TRUE(
+      mc::water_fill(inst, std::vector<double>{0.5, 1.0}).feasible);
+  EXPECT_FALSE(
+      mc::water_fill(inst, std::vector<double>{0.5, 0.99}).feasible);
+}
+
+TEST(WaterFill, TiesProduceZeroLengthColumns) {
+  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  const std::vector<double> completions{1.0, 1.0};
+  const auto result = mc::water_fill(inst, completions);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.schedule.validate(inst).valid);
+  EXPECT_DOUBLE_EQ(result.schedule.completion(0), 1.0);
+  EXPECT_DOUBLE_EQ(result.schedule.completion(1), 1.0);
+}
+
+TEST(WaterFill, ZeroVolumeTask) {
+  const mc::Instance inst(1.0, {{0.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  const std::vector<double> completions{0.0, 1.0};
+  const auto result = mc::water_fill(inst, completions);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.schedule.validate(inst).valid);
+}
+
+TEST(WaterFillFeasible, MatchesFullWaterFill) {
+  ms::Rng rng(19);
+  int feasible_count = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 5;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    // Random deadlines around the makespan scale: some feasible, some not.
+    std::vector<double> deadlines(inst.size());
+    for (auto& d : deadlines) {
+      d = rng.uniform(0.1, 2.5);
+    }
+    const bool fast = mc::water_fill_feasible(inst, deadlines);
+    const bool full = mc::water_fill(inst, deadlines).feasible;
+    EXPECT_EQ(fast, full) << "rep " << rep;
+    feasible_count += full ? 1 : 0;
+  }
+  // The deadline distribution must actually exercise both branches.
+  EXPECT_GT(feasible_count, 10);
+  EXPECT_LT(feasible_count, 190);
+}
+
+TEST(WaterFillFeasible, SaturatedSuffixHandling) {
+  // One narrow task with a late deadline on a busy machine: exercises the
+  // "saturated groups keep their order" path of the merged-profile variant.
+  const mc::Instance inst(4.0, {{4.0, 4.0, 1.0},
+                                {2.0, 1.0, 1.0},
+                                {6.0, 2.0, 1.0}});
+  // t=1: T0 done (rate 4 impossible with others... rate 4*1=4=V ok alone?)
+  // Check a consistent set: deadlines 2, 3, 4.
+  const std::vector<double> ok{2.0, 3.0, 4.0};
+  EXPECT_EQ(mc::water_fill_feasible(inst, ok),
+            mc::water_fill(inst, ok).feasible);
+  const std::vector<double> tight{1.0, 2.0, 3.5};
+  EXPECT_EQ(mc::water_fill_feasible(inst, tight),
+            mc::water_fill(inst, tight).feasible);
+}
+
+TEST(Normalize, WrapsScheduleExtraction) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  const auto run = mc::run_wdeq(inst);
+  const auto result = mc::normalize(inst, run.schedule);
+  ASSERT_TRUE(result.feasible);
+  const auto original = run.schedule.completions();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_NEAR(result.schedule.completion(i), original[i], 1e-9);
+  }
+}

@@ -1,0 +1,194 @@
+#include "malsched/core/wdeq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/bounds.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/core/optimal.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+TEST(WdeqShares, ProportionalWhenUncapped) {
+  // Weights 1:3 on P=4 with wide tasks: shares 1 and 3.
+  const std::vector<double> w{1.0, 3.0};
+  const std::vector<double> d{4.0, 4.0};
+  const auto shares = mc::wdeq_shares(4.0, w, d);
+  EXPECT_DOUBLE_EQ(shares[0], 1.0);
+  EXPECT_DOUBLE_EQ(shares[1], 3.0);
+}
+
+TEST(WdeqShares, CapAndRedistribute) {
+  // Task 1 would get 3 but is capped at 1; the surplus goes to task 0.
+  const std::vector<double> w{1.0, 3.0};
+  const std::vector<double> d{4.0, 1.0};
+  const auto shares = mc::wdeq_shares(4.0, w, d);
+  EXPECT_DOUBLE_EQ(shares[1], 1.0);
+  EXPECT_DOUBLE_EQ(shares[0], 3.0);
+}
+
+TEST(WdeqShares, CascadingCaps) {
+  // Redistribution can push further tasks over their caps.
+  const std::vector<double> w{1.0, 1.0, 2.0};
+  const std::vector<double> d{0.5, 1.2, 10.0};
+  const auto shares = mc::wdeq_shares(4.0, w, d);
+  // Fair shares: 1, 1, 2.  Task 0 capped at 0.5 -> remaining P=3.5, W=3:
+  // task 1 fair = 3.5/3 ≈ 1.167 < 1.2 OK; task 2 = 2*3.5/3 ≈ 2.33.
+  EXPECT_DOUBLE_EQ(shares[0], 0.5);
+  EXPECT_NEAR(shares[1], 3.5 / 3.0, 1e-12);
+  EXPECT_NEAR(shares[2], 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(shares[0] + shares[1] + shares[2], 4.0, 1e-12);
+}
+
+TEST(WdeqShares, AllCapped) {
+  const std::vector<double> w{1.0, 1.0};
+  const std::vector<double> d{1.0, 1.0};
+  const auto shares = mc::wdeq_shares(10.0, w, d);
+  EXPECT_DOUBLE_EQ(shares[0], 1.0);
+  EXPECT_DOUBLE_EQ(shares[1], 1.0);
+}
+
+TEST(WdeqShares, DeadTasksGetNothing) {
+  const std::vector<double> w{1.0, 1.0};
+  const std::vector<double> d{2.0, 2.0};
+  const std::vector<std::uint8_t> alive{1, 0};
+  const auto shares =
+      mc::wdeq_shares(2.0, w, d, std::span<const std::uint8_t>(alive));
+  EXPECT_DOUBLE_EQ(shares[0], 2.0);
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+}
+
+TEST(WdeqShares, FullMachineUsedWhenPossible) {
+  ms::Rng rng(5);
+  for (int rep = 0; rep < 100; ++rep) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 4));
+    std::vector<double> w(n);
+    std::vector<double> d(n);
+    double total_width = 0.0;
+    for (int i = 0; i < n; ++i) {
+      w[i] = rng.uniform_pos(1.0);
+      d[i] = rng.uniform_pos(2.0);
+      total_width += d[i];
+    }
+    const double P = 3.0;
+    const auto shares = mc::wdeq_shares(P, w, d);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_LE(shares[i], d[i] + 1e-12);
+      EXPECT_GE(shares[i], 0.0);
+      sum += shares[i];
+    }
+    EXPECT_NEAR(sum, std::min(P, total_width), 1e-9) << "rep " << rep;
+  }
+}
+
+TEST(WdeqRun, ProducesValidSchedule) {
+  ms::Rng rng(7);
+  for (int rep = 0; rep < 50; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 6;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    const auto run = mc::run_wdeq(inst);
+    const auto check = run.schedule.validate(inst);
+    EXPECT_TRUE(check.valid) << "rep " << rep << ": " << check.message;
+    // At most n steps (shares change only at completions).
+    EXPECT_LE(run.schedule.steps().size(), inst.size());
+  }
+}
+
+TEST(WdeqRun, VolumeSplitAccounting) {
+  // VF + V̄F must equal the total volume of each task.
+  ms::Rng rng(9);
+  for (int rep = 0; rep < 50; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 5;
+    config.processors = 3.0;
+    const auto inst = mc::generate(config, rng);
+    const auto run = mc::run_wdeq(inst);
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_NEAR(run.full_volume[i] + run.limited_volume[i],
+                  inst.task(i).volume, 1e-8)
+          << "rep " << rep << " task " << i;
+    }
+  }
+}
+
+TEST(WdeqRun, Lemma2BoundHolds) {
+  // TC_WDEQ(I) <= 2 (A(I[limited]) + H(I[full])) — the exact inequality the
+  // proof of Theorem 4 establishes.
+  ms::Rng rng(21);
+  for (int rep = 0; rep < 100; ++rep) {
+    mc::GeneratorConfig config;
+    config.family =
+        rep % 2 == 0 ? mc::Family::Uniform : mc::Family::BandwidthLike;
+    config.num_tasks = 2 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    const auto run = mc::run_wdeq(inst);
+    const double tc = run.schedule.weighted_completion(inst);
+    const double area_part =
+        mc::squashed_area_bound(inst.with_volumes(run.limited_volume));
+    const double height_part =
+        mc::height_bound(inst.with_volumes(run.full_volume));
+    EXPECT_LE(tc, 2.0 * (area_part + height_part) + 1e-6)
+        << "rep " << rep << " " << inst.describe();
+  }
+}
+
+TEST(WdeqRun, TwoApproxAgainstExactOptimum) {
+  // Theorem 4 against the LP-enumerated optimum on small instances.
+  ms::Rng rng(23);
+  for (int rep = 0; rep < 20; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 4;
+    config.processors = 2.0;
+    const auto inst = mc::generate(config, rng);
+    const auto run = mc::run_wdeq(inst);
+    const double tc = run.schedule.weighted_completion(inst);
+    const auto opt = mc::optimal_by_enumeration(inst);
+    EXPECT_LE(tc, 2.0 * opt.objective + 1e-6)
+        << "rep " << rep << " ratio " << tc / opt.objective;
+  }
+}
+
+TEST(WdeqRun, SingleTaskRunsAtWidth) {
+  const mc::Instance inst(4.0, {{2.0, 2.0, 1.0}});
+  const auto run = mc::run_wdeq(inst);
+  const auto done = run.schedule.completions();
+  EXPECT_NEAR(done[0], 1.0, 1e-12);
+  EXPECT_NEAR(run.full_volume[0], 2.0, 1e-12);
+  EXPECT_NEAR(run.limited_volume[0], 0.0, 1e-12);
+}
+
+TEST(DeqRun, MatchesWdeqOnEqualWeights) {
+  ms::Rng rng(25);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::EqualWeights;
+  config.num_tasks = 5;
+  config.processors = 2.0;
+  const auto inst = mc::generate(config, rng);
+  const auto wdeq = mc::run_wdeq(inst);
+  const auto deq = mc::run_deq(inst);
+  const auto ca = wdeq.schedule.completions();
+  const auto cb = deq.schedule.completions();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_NEAR(ca[i], cb[i], 1e-9);
+  }
+}
+
+TEST(DeqRun, IgnoresWeights) {
+  // DEQ must produce the same schedule regardless of the weights.
+  const mc::Instance a(2.0, {{1.0, 1.0, 1.0}, {1.0, 2.0, 1.0}});
+  const mc::Instance b(2.0, {{1.0, 1.0, 9.0}, {1.0, 2.0, 0.1}});
+  const auto run_a = mc::run_deq(a);
+  const auto run_b = mc::run_deq(b);
+  const auto ca = run_a.schedule.completions();
+  const auto cb = run_b.schedule.completions();
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(ca[i], cb[i], 1e-12);
+  }
+}

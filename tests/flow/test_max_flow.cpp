@@ -1,0 +1,112 @@
+#include "malsched/flow/max_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/support/rng.hpp"
+
+namespace mf = malsched::flow;
+
+TEST(MaxFlow, SingleEdge) {
+  mf::MaxFlow net(2);
+  const auto e = net.add_edge(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(net.solve(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(net.flow_on(e), 3.5);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  mf::MaxFlow net(3);
+  net.add_edge(0, 1, 5.0);
+  net.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(net.solve(0, 2), 2.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  mf::MaxFlow net(4);
+  net.add_edge(0, 1, 3.0);
+  net.add_edge(1, 3, 3.0);
+  net.add_edge(0, 2, 4.0);
+  net.add_edge(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(net.solve(0, 3), 5.0);
+}
+
+TEST(MaxFlow, ClassicCrossNetwork) {
+  // The textbook 6-node network whose optimum needs the residual arc.
+  //   s=0, a=1, b=2, c=3, d=4, t=5
+  mf::MaxFlow net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_DOUBLE_EQ(net.solve(0, 5), 23.0);  // CLRS figure 26.6 max flow
+}
+
+TEST(MaxFlow, DisconnectedSinkIsZero) {
+  mf::MaxFlow net(4);
+  net.add_edge(0, 1, 5.0);
+  net.add_edge(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(net.solve(0, 3), 0.0);
+}
+
+TEST(MaxFlow, ZeroCapacityEdgeCarriesNothing) {
+  mf::MaxFlow net(2);
+  const auto e = net.add_edge(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(net.solve(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(net.flow_on(e), 0.0);
+}
+
+TEST(MaxFlow, FractionalCapacities) {
+  mf::MaxFlow net(4);
+  net.add_edge(0, 1, 0.25);
+  net.add_edge(0, 2, 0.5);
+  net.add_edge(1, 3, 1.0);
+  net.add_edge(2, 3, 0.3);
+  EXPECT_NEAR(net.solve(0, 3), 0.55, 1e-12);
+}
+
+TEST(MaxFlow, FlowConservationOnRandomBipartite) {
+  // Random transportation networks: flow on every task edge within
+  // capacity, conservation at interior nodes, total = min(supply, demand
+  // capacity) when the middle is uncapacitated.
+  malsched::support::Rng rng(311);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t left = 3 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::size_t right = 3 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    mf::MaxFlow net(2 + left + right);
+    std::vector<std::size_t> supply_edges;
+    double supply = 0.0;
+    for (std::size_t i = 0; i < left; ++i) {
+      const double cap = rng.uniform_pos(2.0);
+      supply += cap;
+      supply_edges.push_back(net.add_edge(0, 2 + i, cap));
+      for (std::size_t j = 0; j < right; ++j) {
+        net.add_edge(2 + i, 2 + left + j, 10.0);  // effectively uncapped
+      }
+    }
+    double demand = 0.0;
+    for (std::size_t j = 0; j < right; ++j) {
+      const double cap = rng.uniform_pos(2.0);
+      demand += cap;
+      net.add_edge(2 + left + j, 1, cap);
+    }
+    const double value = net.solve(0, 1);
+    EXPECT_NEAR(value, std::min(supply, demand), 1e-9) << "trial " << trial;
+    double outflow = 0.0;
+    for (const auto e : supply_edges) {
+      EXPECT_GE(net.flow_on(e), -1e-12);
+      outflow += net.flow_on(e);
+    }
+    EXPECT_NEAR(outflow, value, 1e-9);
+  }
+}
+
+TEST(MaxFlowDeath, RejectsBadNodes) {
+  mf::MaxFlow net(2);
+  EXPECT_DEATH(net.add_edge(0, 5, 1.0), "");
+  EXPECT_DEATH((void)net.solve(0, 0), "");
+}

@@ -1,0 +1,159 @@
+#include "malsched/numeric/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "malsched/support/rng.hpp"
+
+namespace mn = malsched::numeric;
+using mn::BigInt;
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.signum(), 0);
+  EXPECT_EQ(z.to_decimal(), "0");
+}
+
+TEST(BigInt, SmallRoundTrips) {
+  for (long long v : {0LL, 1LL, -1LL, 42LL, -42LL, 1000000007LL,
+                      std::numeric_limits<long long>::max(),
+                      std::numeric_limits<long long>::min()}) {
+    BigInt b(v);
+    EXPECT_TRUE(b.fits_int64()) << v;
+    EXPECT_EQ(b.to_int64(), v);
+    EXPECT_EQ(BigInt::from_decimal(b.to_decimal()), b);
+  }
+}
+
+TEST(BigInt, DecimalParseAndPrint) {
+  const std::string digits = "123456789012345678901234567890";
+  BigInt b = BigInt::from_decimal(digits);
+  EXPECT_EQ(b.to_decimal(), digits);
+  BigInt neg = BigInt::from_decimal("-" + digits);
+  EXPECT_EQ(neg.to_decimal(), "-" + digits);
+  EXPECT_EQ(neg.abs(), b);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::from_u64(0xffffffffffffffffULL);
+  BigInt one(1);
+  EXPECT_EQ((a + one).to_decimal(), "18446744073709551616");  // 2^64
+}
+
+TEST(BigInt, SubtractionSignHandling) {
+  BigInt a(100);
+  BigInt b(250);
+  EXPECT_EQ((a - b).to_int64(), -150);
+  EXPECT_EQ((b - a).to_int64(), 150);
+  EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(BigInt, MultiplicationMatchesKnownProduct) {
+  BigInt a = BigInt::from_decimal("123456789123456789");
+  BigInt b = BigInt::from_decimal("987654321987654321");
+  EXPECT_EQ((a * b).to_decimal(), "121932631356500531347203169112635269");
+}
+
+TEST(BigInt, MultiplicationSigns) {
+  BigInt a(-7);
+  BigInt b(6);
+  EXPECT_EQ((a * b).to_int64(), -42);
+  EXPECT_EQ((a * a).to_int64(), 49);
+  EXPECT_TRUE((a * BigInt(0)).is_zero());
+}
+
+TEST(BigInt, DivModTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+}
+
+TEST(BigInt, DivisionLargeByLarge) {
+  BigInt n = BigInt::from_decimal("340282366920938463463374607431768211456");  // 2^128
+  BigInt d = BigInt::from_decimal("18446744073709551616");                    // 2^64
+  EXPECT_EQ((n / d).to_decimal(), "18446744073709551616");
+  EXPECT_TRUE((n % d).is_zero());
+}
+
+TEST(BigInt, DivisionIdentityRandomized) {
+  malsched::support::Rng rng(12345);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Build operands of random limb sizes, exercising the Knuth-D paths
+    // (including the rare "add back" branch statistically).
+    auto random_big = [&](int limbs) {
+      BigInt out;
+      for (int i = 0; i < limbs; ++i) {
+        out = out * BigInt::from_u64(0x100000000ULL) +
+              BigInt::from_u64(rng.next_u64() & 0xffffffffULL);
+      }
+      return out;
+    };
+    BigInt u = random_big(1 + static_cast<int>(rng.uniform_int(0, 5)));
+    BigInt v = random_big(1 + static_cast<int>(rng.uniform_int(0, 3)));
+    if (v.is_zero()) {
+      continue;
+    }
+    if (rng.bernoulli(0.5)) {
+      u = u.negated();
+    }
+    if (rng.bernoulli(0.5)) {
+      v = v.negated();
+    }
+    const auto dm = u.divmod(v);
+    EXPECT_EQ(dm.quotient * v + dm.remainder, u);
+    EXPECT_LT(dm.remainder.abs(), v.abs());
+    if (!dm.remainder.is_zero()) {
+      EXPECT_EQ(dm.remainder.signum(), u.signum());
+    }
+  }
+}
+
+TEST(BigInt, CompareTotalOrder) {
+  BigInt a(-5);
+  BigInt b(0);
+  BigInt c(5);
+  BigInt d = BigInt::from_decimal("99999999999999999999");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_GT(d, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(d, d);
+}
+
+TEST(BigInt, GcdBasics) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(7)).to_int64(), 7);
+  EXPECT_EQ(BigInt::gcd(BigInt(13), BigInt(7)).to_int64(), 1);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt::from_decimal("18446744073709551616").bit_length(), 65u);
+}
+
+TEST(BigInt, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigInt(1234567).to_double(), 1234567.0);
+  EXPECT_DOUBLE_EQ(BigInt(-42).to_double(), -42.0);
+  const double big = BigInt::from_decimal("1000000000000000000000").to_double();
+  EXPECT_NEAR(big, 1e21, 1e6);
+}
+
+TEST(BigInt, FitsInt64Boundary) {
+  BigInt max_ll(std::numeric_limits<long long>::max());
+  BigInt min_ll(std::numeric_limits<long long>::min());
+  EXPECT_TRUE(max_ll.fits_int64());
+  EXPECT_TRUE(min_ll.fits_int64());
+  EXPECT_FALSE((max_ll + BigInt(1)).fits_int64());
+  EXPECT_FALSE((min_ll - BigInt(1)).fits_int64());
+  EXPECT_EQ(min_ll.to_int64(), std::numeric_limits<long long>::min());
+}

@@ -1,0 +1,110 @@
+#include "malsched/numeric/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/support/rng.hpp"
+
+namespace mn = malsched::numeric;
+using mn::Rational;
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.to_string(), "0");
+  EXPECT_EQ(r.den().to_int64(), 1);
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  Rational r(6, -8);
+  EXPECT_EQ(r.num().to_int64(), -3);
+  EXPECT_EQ(r.den().to_int64(), 4);
+  EXPECT_EQ(r.to_string(), "-3/4");
+}
+
+TEST(Rational, ArithmeticExact) {
+  Rational third(1, 3);
+  Rational sixth(1, 6);
+  EXPECT_EQ(third + sixth, Rational(1, 2));
+  EXPECT_EQ(third - sixth, sixth);
+  EXPECT_EQ(third * sixth, Rational(1, 18));
+  EXPECT_EQ(third / sixth, Rational(2));
+  EXPECT_EQ(-third, Rational(-1, 3));
+}
+
+TEST(Rational, OneThirdTimesThreeIsExactlyOne) {
+  Rational third(1, 3);
+  EXPECT_EQ(third * Rational(3), Rational(1));
+  // The double analogue would not be exact; that is why this type exists.
+  Rational sum;
+  for (int i = 0; i < 3; ++i) {
+    sum += third;
+  }
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(Rational, ComparisonCrossMultiplies) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(5, 10), Rational(1, 2));
+  EXPECT_EQ(Rational::compare(Rational(7, 3), Rational(7, 3)), 0);
+}
+
+TEST(Rational, FromDoubleIsExact) {
+  EXPECT_EQ(Rational::from_double(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::from_double(0.25), Rational(1, 4));
+  EXPECT_EQ(Rational::from_double(-1.75), Rational(-7, 4));
+  EXPECT_EQ(Rational::from_double(3.0), Rational(3));
+  EXPECT_TRUE(Rational::from_double(0.0).is_zero());
+  // 0.1 is NOT one tenth in binary; conversion must reflect the true value.
+  EXPECT_NE(Rational::from_double(0.1), Rational(1, 10));
+  EXPECT_NEAR(Rational::from_double(0.1).to_double(), 0.1, 0.0);
+}
+
+TEST(Rational, FromDoubleRoundTripsRandomDoubles) {
+  malsched::support::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(-1e6, 1e6);
+    EXPECT_DOUBLE_EQ(Rational::from_double(v).to_double(), v);
+  }
+}
+
+TEST(Rational, ParseForms) {
+  EXPECT_EQ(Rational::parse("3/4"), Rational(3, 4));
+  EXPECT_EQ(Rational::parse("-3/4"), Rational(-3, 4));
+  EXPECT_EQ(Rational::parse("7"), Rational(7));
+  EXPECT_EQ(Rational::parse("0.125"), Rational(1, 8));
+  EXPECT_EQ(Rational::parse("-2.5"), Rational(-5, 2));
+}
+
+TEST(Rational, ReciprocalAndAbs) {
+  EXPECT_EQ(Rational(-3, 4).reciprocal(), Rational(-4, 3));
+  EXPECT_EQ(Rational(-3, 4).abs(), Rational(3, 4));
+  EXPECT_EQ(Rational(5).reciprocal(), Rational(1, 5));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 3);
+  r -= Rational(1, 6);
+  r *= Rational(3);
+  r /= Rational(2);
+  EXPECT_EQ(r, Rational(1));
+}
+
+TEST(Rational, LargeChainStaysReduced) {
+  // Telescoping product (1/2)(2/3)...(99/100) = 1/100; intermediate values
+  // must keep getting reduced or the numbers explode.
+  Rational prod(1);
+  for (int k = 2; k <= 100; ++k) {
+    prod *= Rational(k - 1, k);
+  }
+  EXPECT_EQ(prod, Rational(1, 100));
+}
+
+TEST(Rational, SignumAndZeroHandling) {
+  EXPECT_EQ(Rational(-2, 7).signum(), -1);
+  EXPECT_EQ(Rational(0, 7).signum(), 0);
+  EXPECT_EQ(Rational(2, 7).signum(), 1);
+  EXPECT_EQ(Rational(0, 7).den().to_int64(), 1);  // canonical zero
+}

@@ -1,0 +1,109 @@
+#include "malsched/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "malsched/core/generators.hpp"
+#include "malsched/core/wdeq.hpp"
+#include "malsched/sim/policy.hpp"
+
+namespace mc = malsched::core;
+namespace msim = malsched::sim;
+namespace ms = malsched::support;
+
+TEST(Engine, WdeqPolicyMatchesCoreWdeq) {
+  // The generic engine running the WDEQ policy must reproduce core's
+  // dedicated WDEQ simulation exactly.
+  ms::Rng rng(211);
+  for (int rep = 0; rep < 20; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 6;
+    config.processors = 3.0;
+    const auto inst = mc::generate(config, rng);
+    const auto engine = msim::run_policy(inst, *msim::make_wdeq_policy());
+    const auto direct = mc::run_wdeq(inst);
+    const auto direct_completions = direct.schedule.completions();
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_NEAR(engine.completions[i], direct_completions[i], 1e-9)
+          << "rep " << rep << " task " << i;
+    }
+  }
+}
+
+TEST(Engine, SchedulesAreValidForAllPolicies) {
+  ms::Rng rng(223);
+  for (const auto& policy : msim::all_policies()) {
+    for (int rep = 0; rep < 10; ++rep) {
+      mc::GeneratorConfig config;
+      config.family = mc::Family::Uniform;
+      config.num_tasks = 6;
+      config.processors = 2.0;
+      const auto inst = mc::generate(config, rng);
+      const auto result = msim::run_policy(inst, *policy);
+      const auto check = result.schedule.validate(inst);
+      EXPECT_TRUE(check.valid)
+          << policy->name() << " rep " << rep << ": " << check.message;
+      EXPECT_LE(result.events, inst.size() + 1) << policy->name();
+    }
+  }
+}
+
+TEST(Engine, WeightedCompletionConsistent) {
+  ms::Rng rng(227);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::Uniform;
+  config.num_tasks = 5;
+  config.processors = 2.0;
+  const auto inst = mc::generate(config, rng);
+  for (const auto& policy : msim::all_policies()) {
+    const auto result = msim::run_policy(inst, *policy);
+    EXPECT_NEAR(result.weighted_completion,
+                result.schedule.weighted_completion(inst), 1e-7)
+        << policy->name();
+  }
+}
+
+TEST(Engine, SmithGreedyBeatsFifoOnSkewedWeights) {
+  // A clairvoyant priority policy should dominate rigid FCFS on instances
+  // with a heavy short task stuck behind a long one.
+  const mc::Instance inst(2.0, {{4.0, 2.0, 0.1},    // long, unimportant
+                                {0.2, 2.0, 10.0}});  // short, critical
+  const auto smith = msim::run_policy(inst, *msim::make_smith_greedy_policy());
+  const auto fifo = msim::run_policy(inst, *msim::make_fifo_rigid_policy());
+  EXPECT_LT(smith.weighted_completion, fifo.weighted_completion);
+}
+
+TEST(Engine, FifoRigidIsSequentialForFullWidthTasks) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {2.0, 2.0, 1.0}});
+  const auto result = msim::run_policy(inst, *msim::make_fifo_rigid_policy());
+  EXPECT_NEAR(result.completions[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.completions[1], 2.0, 1e-9);
+}
+
+TEST(Engine, WrrWastesSurplusUnlikeWdeq) {
+  // One narrow task and one wide: WDEQ redistributes the narrow task's
+  // surplus, WRR does not, so WDEQ finishes the wide task earlier.
+  const mc::Instance inst(4.0, {{1.0, 1.0, 1.0}, {4.0, 4.0, 1.0}});
+  const auto wdeq = msim::run_policy(inst, *msim::make_wdeq_policy());
+  const auto wrr = msim::run_policy(inst, *msim::make_wrr_policy());
+  EXPECT_LT(wdeq.completions[1], wrr.completions[1] - 1e-9);
+}
+
+TEST(Engine, RigidDeadlockGuard) {
+  // First task wider than P can never fit "rigidly": the guard lets it run
+  // malleably instead of hanging.
+  const mc::Instance inst(2.0, {{4.0, 3.0, 1.0}});
+  const auto result = msim::run_policy(inst, *msim::make_fifo_rigid_policy());
+  EXPECT_NEAR(result.completions[0], 2.0, 1e-9);
+}
+
+TEST(Engine, PolicyNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto& policy : msim::all_policies()) {
+    names.insert(policy->name());
+  }
+  EXPECT_EQ(names.size(), 5u);
+}

@@ -1,0 +1,91 @@
+#include "malsched/sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/generators.hpp"
+#include "malsched/sim/engine.hpp"
+#include "malsched/sim/policy.hpp"
+
+namespace mc = malsched::core;
+namespace msim = malsched::sim;
+namespace ms = malsched::support;
+
+TEST(Metrics, SingleTaskAtFullWidthHasStretchOne) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 3.0}});
+  std::vector<mc::Step> steps{{0.0, 1.0, {2.0}}};
+  const mc::StepSchedule sched(1, std::move(steps));
+  const auto m = msim::compute_metrics(inst, sched);
+  EXPECT_DOUBLE_EQ(m.weighted_completion, 3.0);
+  EXPECT_DOUBLE_EQ(m.makespan, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(m.jain_fairness, 1.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+}
+
+TEST(Metrics, HalfRateDoublesStretch) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}});
+  std::vector<mc::Step> steps{{0.0, 2.0, {1.0}}};
+  const mc::StepSchedule sched(1, std::move(steps));
+  const auto m = msim::compute_metrics(inst, sched);
+  EXPECT_DOUBLE_EQ(m.mean_stretch, 2.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.5);
+}
+
+TEST(Metrics, JainIndexDetectsUnfairness) {
+  // Two identical tasks, one finishing at 1 (stretch 1) and one at 3
+  // (stretch 3): Jain = (4)^2 / (2 * 10) = 0.8.
+  const mc::Instance inst(1.0, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  std::vector<mc::Step> steps;
+  steps.push_back({0.0, 1.0, {1.0, 0.0}});
+  steps.push_back({1.0, 2.0, {0.0, 0.5}});
+  steps.push_back({2.0, 3.0, {0.0, 0.5}});
+  const mc::StepSchedule sched(2, std::move(steps));
+  const auto m = msim::compute_metrics(inst, sched);
+  EXPECT_NEAR(m.jain_fairness, 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(m.max_stretch, 3.0);
+}
+
+TEST(Metrics, ZeroVolumeTasksSkipped) {
+  const mc::Instance inst(1.0, {{0.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  std::vector<mc::Step> steps{{0.0, 1.0, {0.0, 1.0}}};
+  const mc::StepSchedule sched(2, std::move(steps));
+  const auto m = msim::compute_metrics(inst, sched);
+  EXPECT_DOUBLE_EQ(m.mean_stretch, 1.0);
+}
+
+TEST(Metrics, PropertiesOnRandomPolicyRuns) {
+  ms::Rng rng(509);
+  for (const auto& policy : msim::all_policies()) {
+    for (int rep = 0; rep < 5; ++rep) {
+      mc::GeneratorConfig gen;
+      gen.family = mc::Family::Uniform;
+      gen.num_tasks = 8;
+      gen.processors = 3.0;
+      const auto inst = mc::generate(gen, rng);
+      const auto run = msim::run_policy(inst, *policy);
+      const auto m = msim::compute_metrics(inst, run.schedule);
+      EXPECT_GE(m.mean_stretch, 1.0 - 1e-9) << policy->name();
+      EXPECT_GE(m.max_stretch, m.mean_stretch - 1e-12);
+      EXPECT_GT(m.jain_fairness, 0.0);
+      EXPECT_LE(m.jain_fairness, 1.0 + 1e-12);
+      EXPECT_GT(m.utilization, 0.0);
+      EXPECT_LE(m.utilization, 1.0 + 1e-9);
+      EXPECT_NEAR(m.weighted_completion, run.weighted_completion, 1e-7);
+    }
+  }
+}
+
+TEST(Metrics, FairPolicyBeatsUnfairOnJain) {
+  // DEQ equalizes progress; rigid FCFS starves late tasks — Jain must rank
+  // them accordingly on a symmetric instance.
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0},
+                                {2.0, 2.0, 1.0},
+                                {2.0, 2.0, 1.0},
+                                {2.0, 2.0, 1.0}});
+  const auto deq = msim::run_policy(inst, *msim::make_deq_policy());
+  const auto fifo = msim::run_policy(inst, *msim::make_fifo_rigid_policy());
+  const auto m_deq = msim::compute_metrics(inst, deq.schedule);
+  const auto m_fifo = msim::compute_metrics(inst, fifo.schedule);
+  EXPECT_GT(m_deq.jain_fairness, m_fifo.jain_fairness);
+}

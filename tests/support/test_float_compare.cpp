@@ -1,0 +1,46 @@
+#include "malsched/support/float_compare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms = malsched::support;
+
+TEST(FloatCompare, ApproxEqWithinAbsoluteTolerance) {
+  EXPECT_TRUE(ms::approx_eq(1.0, 1.0 + 5e-10));
+  EXPECT_TRUE(ms::approx_eq(0.0, 1e-10));
+  EXPECT_FALSE(ms::approx_eq(0.0, 1e-6));
+}
+
+TEST(FloatCompare, ApproxEqScalesWithMagnitude) {
+  // Relative part: 1e9 vs 1e9 + 0.1 differ by 1e-10 relatively.
+  EXPECT_TRUE(ms::approx_eq(1e9, 1e9 + 0.1));
+  EXPECT_FALSE(ms::approx_eq(1e9, 1e9 + 100.0, {1e-9, 1e-12}));
+}
+
+TEST(FloatCompare, ApproxLeAcceptsSlightOvershoot) {
+  EXPECT_TRUE(ms::approx_le(1.0 + 1e-10, 1.0));
+  EXPECT_FALSE(ms::approx_le(1.0 + 1e-6, 1.0));
+  EXPECT_TRUE(ms::approx_le(0.5, 1.0));
+}
+
+TEST(FloatCompare, ApproxGeMirrorsLe) {
+  EXPECT_TRUE(ms::approx_ge(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(ms::approx_ge(1.0, 1.0 + 1e-6));
+}
+
+TEST(FloatCompare, DefinitelyLessRequiresMargin) {
+  EXPECT_TRUE(ms::definitely_less(1.0, 2.0));
+  EXPECT_FALSE(ms::definitely_less(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ms::definitely_less(2.0, 1.0));
+}
+
+TEST(FloatCompare, SnapNonnegClampsNoiseOnly) {
+  EXPECT_EQ(ms::snap_nonneg(-1e-12), 0.0);
+  EXPECT_EQ(ms::snap_nonneg(0.25), 0.25);
+  EXPECT_LT(ms::snap_nonneg(-0.5), 0.0);  // genuine negative passes through
+}
+
+TEST(FloatCompare, ToleranceSlackCombinesAbsAndRel) {
+  const ms::Tolerance tol{1e-6, 1e-3};
+  EXPECT_DOUBLE_EQ(tol.slack(0.0), 1e-6);
+  EXPECT_NEAR(tol.slack(10.0), 1e-6 + 1e-2, 1e-12);
+}

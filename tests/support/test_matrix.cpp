@@ -1,0 +1,46 @@
+#include "malsched/support/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ms = malsched::support;
+
+TEST(Matrix, DefaultIsEmpty) {
+  ms::Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ConstructWithFill) {
+  ms::Matrix m(3, 4, 2.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 2.5);
+    }
+  }
+}
+
+TEST(Matrix, ElementAccessIsRowMajor) {
+  ms::Matrix m(2, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(m.row(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.row(0)[2], 2.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[1], 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.0);
+}
+
+TEST(Matrix, FillOverwrites) {
+  ms::Matrix m(2, 2, 1.0);
+  m.fill(7.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+}
+
+TEST(Matrix, ConstAccess) {
+  const ms::Matrix m(1, 1, 9.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(m.row(0)[0], 9.0);
+}

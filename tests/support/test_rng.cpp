@@ -1,0 +1,111 @@
+#include "malsched/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ms = malsched::support;
+
+TEST(Rng, DeterministicForSameSeed) {
+  ms::Rng a(42);
+  ms::Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  ms::Rng a(1);
+  ms::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, Uniform01InRange) {
+  ms::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  ms::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_pos(1.0);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  ms::Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  ms::Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  ms::Rng rng(19);
+  const auto perm = rng.permutation(20);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndDeterministic) {
+  ms::Rng base(23);
+  ms::Rng fork1 = base.fork(1);
+  ms::Rng fork1_again = ms::Rng(23).fork(1);
+  ms::Rng fork2 = base.fork(2);
+  EXPECT_EQ(fork1.next_u64(), fork1_again.next_u64());
+  EXPECT_NE(fork1.next_u64(), fork2.next_u64());
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  ms::Rng rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform(2.0, 4.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  ms::Rng rng(31);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  ms::Rng rng(37);
+  std::vector<int> values{1, 2, 3, 4, 5, 6};
+  auto copy = values;
+  rng.shuffle(std::span<int>(copy));
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(copy.begin(), copy.end());
+  EXPECT_EQ(a, b);
+}

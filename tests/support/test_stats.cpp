@@ -1,0 +1,90 @@
+#include "malsched/support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ms = malsched::support;
+
+TEST(Accumulator, EmptyIsSafe) {
+  ms::Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MeanAndVariance) {
+  ms::Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.add(v);
+  }
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  ms::Accumulator whole;
+  ms::Accumulator left;
+  ms::Accumulator right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10.0;
+    whole.add(v);
+    (i < 37 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  ms::Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  ms::Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Sample, QuantilesInterpolate) {
+  ms::Sample sample;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    sample.add(v);
+  }
+  EXPECT_DOUBLE_EQ(sample.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(sample.median(), 2.5);
+  EXPECT_DOUBLE_EQ(sample.quantile(1.0 / 3.0), 2.0);
+}
+
+TEST(Sample, QuantileAfterLateInsert) {
+  ms::Sample sample;
+  sample.add(10.0);
+  sample.add(0.0);
+  EXPECT_DOUBLE_EQ(sample.median(), 5.0);
+  sample.add(20.0);  // invalidates the cached sort
+  EXPECT_DOUBLE_EQ(sample.median(), 10.0);
+}
+
+TEST(Sample, SummaryMentionsCount) {
+  ms::Sample sample;
+  sample.add(1.0);
+  const auto text = sample.summary();
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+}
+
+TEST(Sample, SingleElement) {
+  ms::Sample sample;
+  sample.add(42.0);
+  EXPECT_DOUBLE_EQ(sample.quantile(0.3), 42.0);
+  EXPECT_DOUBLE_EQ(sample.min(), 42.0);
+  EXPECT_DOUBLE_EQ(sample.max(), 42.0);
+}

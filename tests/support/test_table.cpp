@@ -1,0 +1,48 @@
+#include "malsched/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ms = malsched::support;
+
+TEST(TextTable, RendersHeaderAndRows) {
+  ms::TextTable table({{"name", ms::Align::Left}, {"value", ms::Align::Right}});
+  table.add_row({"alpha", "1.00"});
+  table.add_row({"beta", "22.50"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22.50"), std::string::npos);
+  // Header rule + top/bottom rules -> at least three '+--' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = text.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 3);
+}
+
+TEST(TextTable, ColumnsWidenToFitContent) {
+  ms::TextTable table({{"c", ms::Align::Right}});
+  table.add_row({"a-very-long-cell"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(TextTable, RowCountTracksRows) {
+  ms::TextTable table({{"a", ms::Align::Left}});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(FmtHelpers, Doubles) {
+  EXPECT_EQ(ms::fmt_double(1.5, 2), "1.50");
+  EXPECT_EQ(ms::fmt_double(std::nan(""), 2), "-");
+  EXPECT_EQ(ms::fmt_int(42), "42");
+  EXPECT_EQ(ms::fmt_ratio(std::numeric_limits<double>::infinity()), "inf");
+}

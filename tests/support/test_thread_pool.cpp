@@ -1,0 +1,70 @@
+#include "malsched/support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ms = malsched::support;
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ms::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ms::ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ChunkedCoversRangeExactlyOnce) {
+  ms::ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  pool.parallel_for_chunked(0, 1000, 37, [&](std::size_t lo, std::size_t hi) {
+    long long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      local += static_cast<long long>(i);
+    }
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 999LL * 1000 / 2);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ms::ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for_chunked(0, 10, 3, [&](std::size_t lo, std::size_t hi) {
+    order.push_back(static_cast<int>(lo));
+    (void)hi;
+  });
+  // Inline execution preserves chunk order.
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 6, 9}));
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  ms::ThreadPool::global().parallel_for(0, 100, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ms::ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 50, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
