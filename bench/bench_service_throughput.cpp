@@ -1,0 +1,239 @@
+// E-SVC — service layer: batch throughput, cache speedup, determinism.
+//
+// Three claims about malsched::service are measured here:
+//   1. batch throughput scales with worker threads (embarrassingly parallel
+//      fan-out over support::ThreadPool; speedup is bounded by the host's
+//      core count — a single-core host shows ~1x by construction),
+//   2. a warm canonicalization cache answers repeated traffic much faster
+//      than re-solving (target: >= 10x on the mean request),
+//   3. the per-request output stream is byte-identical for every thread
+//      count (deterministic request-order results).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "malsched/core/generators.hpp"
+#include "malsched/service/batch.hpp"
+#include "malsched/service/service.hpp"
+#include "malsched/support/rng.hpp"
+#include "malsched/support/stats.hpp"
+#include "malsched/support/table.hpp"
+#include "malsched/support/thread_pool.hpp"
+
+using namespace malsched;
+
+namespace {
+
+// Mixed workload: heterogeneous families/sizes, solver mix from cheap fluid
+// policies to the order LP, and repeated instances (the cloud-batch pattern
+// the cache is built for).
+std::vector<service::SolveRequest> make_mixed_batch(std::size_t num_requests,
+                                                    std::uint64_t seed) {
+  support::Rng rng(seed);
+  const std::vector<core::Family> families = {
+      core::Family::Uniform, core::Family::BandwidthLike,
+      core::Family::HeavyTailVolumes, core::Family::EqualWeights};
+  std::vector<core::Instance> bases;
+  const std::size_t num_bases = 48;
+  for (std::size_t b = 0; b < num_bases; ++b) {
+    core::GeneratorConfig config;
+    config.family = families[b % families.size()];
+    config.num_tasks = 4 + static_cast<std::size_t>(rng.uniform_int(0, 10));
+    config.processors = static_cast<double>(1 << rng.uniform_int(1, 4));
+    bases.push_back(core::generate(config, rng));
+  }
+
+  const std::vector<std::string> solvers = {
+      "wdeq",          "deq",           "wrr",
+      "smith-greedy",  "greedy-heuristic", "water-fill-smith",
+      "order-lp-smith"};
+  std::vector<service::SolveRequest> requests;
+  requests.reserve(num_requests);
+  for (std::size_t r = 0; r < num_requests; ++r) {
+    const auto& base =
+        bases[static_cast<std::size_t>(rng.uniform_int(0, num_bases - 1))];
+    service::SolveRequest request{
+        solvers[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(solvers.size()) - 1))],
+        base};
+    // A third of the traffic is the same work in different units: scale
+    // volumes/weights by powers of two, which the canonicalization cache
+    // maps onto the base instance's entry exactly.
+    if (rng.bernoulli(1.0 / 3.0)) {
+      std::vector<core::Task> tasks = base.tasks();
+      const double vs = rng.bernoulli(0.5) ? 2.0 : 0.5;
+      const double ws = rng.bernoulli(0.5) ? 4.0 : 0.25;
+      for (auto& t : tasks) {
+        t.volume *= vs;
+        t.weight *= ws;
+      }
+      request.instance = core::Instance(base.processors(), std::move(tasks));
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+double time_batch(const service::SolverRegistry& registry,
+                  const std::vector<service::SolveRequest>& requests,
+                  unsigned threads, service::ResultCache* cache,
+                  std::vector<service::SolveResult>* results_out = nullptr) {
+  support::ThreadPool pool(threads);
+  service::BatchOptions options;
+  options.pool = &pool;
+  options.cache = cache;
+  const auto start = std::chrono::steady_clock::now();
+  auto results = service::solve_batch(registry, requests, options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (results_out != nullptr) {
+    *results_out = std::move(results);
+  }
+  return seconds;
+}
+
+std::string results_text(std::vector<service::SolveResult> results) {
+  service::ServiceReport report;
+  report.results = std::move(results);
+  return service::format_results(report);
+}
+
+// Returns false when a correctness claim (determinism) fails, so CI's
+// bench-smoke step turns red instead of just printing the mismatch.
+[[nodiscard]] bool run_report(const bench::BenchConfig& config) {
+  bench::print_banner("E-SVC (service layer)",
+                      "batch scheduling service throughput", config);
+  const auto registry = service::SolverRegistry::with_default_solvers();
+  const std::size_t num_requests = bench::scaled(1000, config.scale);
+  const auto requests = make_mixed_batch(num_requests, config.seed);
+  std::printf("mixed batch: %zu requests over %zu solvers, hardware threads: %u\n\n",
+              requests.size(), registry.size(),
+              support::ThreadPool::global().thread_count());
+
+  // --- 1. throughput vs thread count (cold cache each run). ---
+  {
+    support::TextTable table({{"threads", support::Align::Right},
+                              {"seconds", support::Align::Right},
+                              {"req/s", support::Align::Right},
+                              {"speedup", support::Align::Right}});
+    double base_seconds = 0.0;
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      service::ResultCache cache(4096);
+      const double seconds = time_batch(registry, requests, threads, &cache);
+      if (threads == 1) {
+        base_seconds = seconds;
+      }
+      table.add_row({support::fmt_int(threads), support::fmt_double(seconds),
+                     support::fmt_double(static_cast<double>(requests.size()) /
+                                         seconds),
+                     support::fmt_double(base_seconds / seconds)});
+    }
+    std::printf("throughput vs threads (cold cache):\n%s\n",
+                table.to_string().c_str());
+  }
+
+  // --- 2. cache: cold vs warm vs disabled. ---
+  {
+    service::ResultCache cache(4096);
+    const double cold = time_batch(registry, requests, 1, &cache);
+    const double warm = time_batch(registry, requests, 1, &cache);
+    const double uncached = time_batch(registry, requests, 1, nullptr);
+    const auto stats = cache.stats();
+    support::TextTable table({{"mode", support::Align::Left},
+                              {"seconds", support::Align::Right},
+                              {"mean us/req", support::Align::Right}});
+    const auto us = [&](double seconds) {
+      return seconds * 1e6 / static_cast<double>(requests.size());
+    };
+    table.add_row({"no cache", support::fmt_double(uncached),
+                   support::fmt_double(us(uncached))});
+    table.add_row({"cold cache", support::fmt_double(cold),
+                   support::fmt_double(us(cold))});
+    table.add_row({"warm cache", support::fmt_double(warm),
+                   support::fmt_double(us(warm))});
+    std::printf("canonicalization cache (1 thread):\n%s", table.to_string().c_str());
+    std::printf("warm-vs-cold speedup: %.1fx (target >= 10x)  "
+                "hit_rate after both passes: %.3f  entries: %zu\n\n",
+                cold / warm, stats.hit_rate(), stats.entries);
+  }
+
+  // --- 3. determinism across thread counts. ---
+  bool deterministic = false;
+  {
+    std::vector<service::SolveResult> results_1, results_8;
+    service::ResultCache cache_1(4096), cache_8(4096);
+    time_batch(registry, requests, 1, &cache_1, &results_1);
+    time_batch(registry, requests, 8, &cache_8, &results_8);
+    deterministic =
+        results_text(std::move(results_1)) == results_text(std::move(results_8));
+    std::printf("determinism: --threads 1 vs --threads 8 output %s\n\n",
+                deterministic ? "IDENTICAL (byte-for-byte)" : "DIFFERS (BUG)");
+  }
+  return deterministic;
+}
+
+void bm_solve_batch(benchmark::State& state) {
+  static const auto registry = service::SolverRegistry::with_default_solvers();
+  static const auto requests = make_mixed_batch(256, 20120521);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  support::ThreadPool pool(threads);
+  service::ResultCache cache(4096);
+  service::BatchOptions options;
+  options.pool = &pool;
+  options.cache = &cache;
+  for (auto _ : state) {
+    // Cold cache every iteration: otherwise rounds 2..N are pure hit
+    // dispatch and the thread-scaling numbers measure lookups, not solving.
+    state.PauseTiming();
+    cache.clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        service::solve_batch(registry, requests, options).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(requests.size()));
+}
+// Real time, not CPU time: the work runs on pool workers, so the main
+// thread's CPU clock would report near-zero and inflate items/s.
+BENCHMARK(bm_solve_batch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void bm_cache_hit(benchmark::State& state) {
+  static const auto registry = service::SolverRegistry::with_default_solvers();
+  static const auto requests = make_mixed_batch(64, 7);
+  service::ResultCache cache(4096);
+  for (const auto& request : requests) {  // prime
+    benchmark::DoNotOptimize(
+        service::solve_cached(registry, request, &cache).ok);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service::solve_cached(registry, requests[i % requests.size()], &cache)
+            .cache_hit);
+    ++i;
+  }
+}
+BENCHMARK(bm_cache_hit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_config(argc, argv);
+  const bool ok = run_report(config);
+  if (config.timing) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// malsched_service: batch scheduling service front door.
+//
+//   ./examples/malsched_service <batch-file> [--threads N] [--repeat R]
+//                               [--cache-capacity N] [--no-cache]
+//   ./examples/malsched_service --solvers
+//
+// Batch file format (see malsched/service/service.hpp):
+//
+//   instance small
+//   processors 4
+//   task 2.0 2 1.0
+//   task 1.5 1 0.5
+//   end
+//   solve wdeq small
+//   solve optimal small
+//
+// Per-request results go to stdout (deterministic: identical bytes for any
+// --threads value); latency/cache telemetry goes to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "malsched/service/service.hpp"
+
+using namespace malsched;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <batch-file> [--threads N] [--repeat R] "
+               "[--cache-capacity N] [--no-cache]\n"
+               "       %s --solvers\n",
+               prog, prog);
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto registry = service::SolverRegistry::with_default_solvers();
+
+  if (argc >= 2 && std::strcmp(argv[1], "--solvers") == 0) {
+    for (const auto& name : registry.names()) {
+      std::printf("%-18s %s\n", name.c_str(),
+                  registry.find(name)->description.c_str());
+    }
+    return 0;
+  }
+  if (argc < 2) {
+    return usage(argv[0]);
+  }
+
+  service::ServiceOptions options;
+  // Numeric flags are range-checked: a stray "--threads -1" must not wrap
+  // to four billion workers.
+  const auto parse_count = [](const char* text, long max_value, long* out) {
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value < 0 || value > max_value) {
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  for (int i = 2; i < argc; ++i) {
+    long value = 0;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 256, &value)) {
+        return usage(argv[0]);
+      }
+      options.threads = static_cast<unsigned>(value);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1000000, &value)) {
+        return usage(argv[0]);
+      }
+      options.repeat = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 100000000, &value)) {
+        return usage(argv[0]);
+      }
+      options.cache_capacity = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      options.use_cache = false;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 66;
+  }
+  std::string error;
+  const auto batch = service::read_batch(in, &error);
+  if (!batch) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 65;
+  }
+
+  const auto report = service::run_service(*batch, registry, options);
+  service::write_results(std::cout, report);
+  std::cerr << service::format_telemetry(report);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file batch.hpp
+/// Concurrent batch executor: fans a vector of solve requests across a
+/// support::ThreadPool and returns the results in request order.
+///
+/// Determinism contract: results[i] depends only on requests[i] (solvers are
+/// deterministic, the cache stores exactly what a solve would produce), so
+/// the output is identical for any thread count — the bench asserts this
+/// byte-for-byte.
+
+#include <span>
+#include <vector>
+
+#include "malsched/service/cache.hpp"
+#include "malsched/service/solver_registry.hpp"
+#include "malsched/support/thread_pool.hpp"
+
+namespace malsched::service {
+
+struct BatchOptions {
+  /// Workers for the internal pool when `pool` is null (0 = hardware).
+  unsigned threads = 1;
+  /// Run on an existing pool instead of creating one.
+  support::ThreadPool* pool = nullptr;
+  /// Optional canonicalization cache; null disables memoization.
+  ResultCache* cache = nullptr;
+};
+
+/// Solves one request through the cache (when provided): canonicalize, look
+/// up, solve-and-fill on miss, denormalize back to the request's task ids
+/// and units.  Failed solves are never cached.
+[[nodiscard]] SolveResult solve_cached(const SolverRegistry& registry,
+                                       const SolveRequest& request,
+                                       ResultCache* cache);
+
+/// Solves every request, in parallel, preserving request order in the
+/// returned vector.  Per-request wall latency lands in
+/// SolveResult::latency_seconds.
+[[nodiscard]] std::vector<SolveResult> solve_batch(
+    const SolverRegistry& registry, std::span<const SolveRequest> requests,
+    const BatchOptions& options = {});
+
+}  // namespace malsched::service

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file cache.hpp
+/// Sharded LRU memo of canonical-space solve results.
+///
+/// Keys are `solver + '\n' + canonical_text(form)` strings; values are the
+/// solver output on the *canonical* instance, so one entry serves every
+/// scaled/permuted variant of the instance (the batch executor denormalizes
+/// per request).  Striped mutexes keep concurrent batch workers from
+/// serializing on one lock; hit/miss/eviction counters feed the service
+/// telemetry.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace malsched::service {
+
+/// Canonical-space value stored per (solver, canonical instance).
+struct CachedSolve {
+  double objective = 0.0;
+  double makespan = 0.0;
+  std::vector<double> completions;  ///< indexed by canonical task id
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Thread-safe LRU cache striped over `shards` independently locked
+/// segments.  Each shard holds at most ceil(capacity / shards) entries and
+/// evicts least-recently-used on overflow.
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or null (both
+  /// outcomes bump the counters).  Hits are a refcount bump, not a copy of
+  /// the completions vector, so readers of one shard don't serialize on
+  /// value size.
+  [[nodiscard]] std::shared_ptr<const CachedSolve> get(const std::string& key);
+
+  /// Inserts or refreshes `key`; may evict the shard's LRU entry.
+  void put(const std::string& key, CachedSolve value);
+
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedSolve> value;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::vector<Shard> shards_;
+  std::size_t per_shard_capacity_;
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace malsched::service

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file canonical.hpp
+/// Scale/permutation normal form of MWCT instances, the key-maker of the
+/// service result cache.
+///
+/// MWCT is scale-equivariant along three independent axes:
+///   * volumes:    V_i -> c V_i multiplies every completion time by c,
+///   * machine:    (P, δ_i) -> (c P, c δ_i) divides completion times by c,
+///   * weights:    w_i -> c w_i multiplies the objective by c,
+/// and task ids are interchangeable for order-invariant solvers.  The
+/// canonical form quotients all four symmetries: P = 1, Σ V_i = 1,
+/// Σ w_i = 1, tasks sorted lexicographically by (V, δ, w).  Two requests in
+/// the same equivalence class then serialize to the same cache key, so
+/// repeated traffic that differs only by units or task numbering re-solves
+/// nothing.
+///
+/// Caveat: the quotient map divides doubles, so instances related by
+/// non-power-of-two scales may land on keys differing in the last ulp and
+/// miss each other — the cache stays correct (a miss just re-solves), the
+/// normal form is a best-effort deduplicator, exact for identical and
+/// power-of-two-scaled instances.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+
+namespace malsched::service {
+
+/// A canonical instance plus the data to map canonical-space results back.
+struct CanonicalForm {
+  /// P = 1, Σ V = 1 and Σ w = 1 (when the sums are positive), tasks sorted.
+  core::Instance instance;
+  /// Canonical task j is original task `permutation[j]`.
+  std::vector<std::size_t> permutation;
+  /// C_original[permutation[j]] = time_scale * C_canonical[j].
+  double time_scale = 1.0;
+  /// Σ w C (original) = objective_scale * Σ w C (canonical).
+  double objective_scale = 1.0;
+  /// Mixing hash of the canonical bit patterns: a fixed-width fingerprint
+  /// of the equivalence class (exact dedup uses `canonical_text`; ROADMAP
+  /// earmarks this for consistent-hash sharding across worker processes).
+  std::uint64_t key = 0;
+};
+
+struct CanonicalOptions {
+  /// Sort tasks into the permutation normal form.  Disable for solvers whose
+  /// semantics depend on task order (e.g. fifo-rigid schedules by id), which
+  /// then share only the scale quotient.
+  bool permute = true;
+};
+
+/// Computes the normal form.  Zero-task instances canonicalize to themselves
+/// (with P = 1).
+[[nodiscard]] CanonicalForm canonicalize(const core::Instance& instance,
+                                         const CanonicalOptions& options = {});
+
+/// Exact serialization of the canonical instance (hex float precision, so
+/// distinct canonical forms never collide in the cache map).
+[[nodiscard]] std::string canonical_text(const CanonicalForm& form);
+
+/// True when solving the canonical instance is numerically safe: rescaling
+/// compresses values toward the solvers' absolute tolerances (~1e-9), so a
+/// task whose canonical volume or width lands near them would be silently
+/// treated as finished/starved.  Callers (the cache path) must fall back to
+/// solving in client space when this is false.
+[[nodiscard]] bool well_conditioned(const CanonicalForm& form);
+
+/// Maps canonical-space completion times back to original task ids and
+/// original time units.
+[[nodiscard]] std::vector<double> denormalize_completions(
+    const CanonicalForm& form, std::span<const double> canonical_completions);
+
+}  // namespace malsched::service

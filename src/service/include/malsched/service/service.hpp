@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file service.hpp
+/// Batch-file front door of the scheduling service.
+///
+/// Request file format (line-oriented, '#' comments, extending the
+/// core/io.hpp instance syntax):
+///
+///     instance <name>          # opens an inline instance block
+///     processors 4             #   ... core/io.hpp lines ...
+///     task <volume> <width> <weight>
+///     end                      # closes the block
+///     solve <solver> <name>    # one request; any number, any order
+///
+/// `run_service` resolves the requests, fans them over the batch executor
+/// and aggregates per-request latency telemetry (p50/p99 via
+/// support::Sample).  `write_results` emits the deterministic per-request
+/// answer stream (identical for every thread count); telemetry goes through
+/// `format_telemetry`, which callers print to stderr or logs.
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/service/batch.hpp"
+#include "malsched/service/cache.hpp"
+#include "malsched/service/solver_registry.hpp"
+#include "malsched/support/stats.hpp"
+
+namespace malsched::service {
+
+/// Parsed batch file: named instances plus the request list in file order.
+struct BatchSpec {
+  std::map<std::string, core::Instance> instances;
+  struct Request {
+    std::string solver;
+    std::string instance_name;
+    std::size_t line = 0;  ///< 1-based line of the `solve` statement
+  };
+  std::vector<Request> requests;
+};
+
+/// Parses a batch file; nullopt with `error` filled on failure.
+[[nodiscard]] std::optional<BatchSpec> read_batch(std::istream& in,
+                                                  std::string* error = nullptr);
+[[nodiscard]] std::optional<BatchSpec> parse_batch(const std::string& text,
+                                                   std::string* error = nullptr);
+
+struct ServiceOptions {
+  unsigned threads = 1;
+  /// 0 disables the cache, same as use_cache = false.
+  std::size_t cache_capacity = 4096;
+  bool use_cache = true;
+  /// Rounds over the batch (> 1 exercises the warm cache); results are from
+  /// the last round, latencies accumulate across all rounds.
+  std::size_t repeat = 1;
+};
+
+struct ServiceReport {
+  std::vector<SolveResult> results;  ///< request order
+  /// Seconds, one point per solve; decimated to at most 2^20 points on
+  /// long batch x repeat runs so telemetry memory stays bounded.
+  support::Sample latencies;
+  /// Actual solves executed (requests x rounds) — use this, not
+  /// latencies.size(), for counts and throughput.
+  std::size_t total_solves = 0;
+  CacheStats cache;
+  double wall_seconds = 0.0;
+};
+
+/// Runs every request of the batch through `registry`.
+[[nodiscard]] ServiceReport run_service(const BatchSpec& batch,
+                                        const SolverRegistry& registry,
+                                        const ServiceOptions& options = {});
+
+/// Deterministic per-request output: one line per request, byte-identical
+/// across thread counts for a fixed cache configuration.  Cached and
+/// uncached runs agree to ~1e-9 relative (the cached path solves in
+/// canonical space and rescales), which 12-digit printing may expose.
+void write_results(std::ostream& out, const ServiceReport& report);
+[[nodiscard]] std::string format_results(const ServiceReport& report);
+
+/// Human-readable latency/cache telemetry (p50/p99, hit rate, throughput).
+[[nodiscard]] std::string format_telemetry(const ServiceReport& report);
+
+}  // namespace malsched::service

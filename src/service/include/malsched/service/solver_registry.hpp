@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file solver_registry.hpp
+/// The uniform SolveRequest -> SolveResult surface of the scheduling
+/// service.  Every algorithm in the library — the fluid-engine policies
+/// (sim::all_policies), clairvoyant greedy search, water-filling
+/// normalization, the Corollary-1 order LP and the enumeration optimum — is
+/// exposed under a stable string name so front-ends dispatch without
+/// compile-time knowledge of the zoo.
+///
+/// Registered solvers must be deterministic (same instance -> bitwise same
+/// result) and safe to invoke concurrently from many threads; the batch
+/// executor and the canonicalization cache both rely on it.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+
+namespace malsched::service {
+
+/// One scheduling request: which solver to run on which instance.
+struct SolveRequest {
+  std::string solver;
+  core::Instance instance;
+};
+
+/// Uniform result.  `ok == false` means the request failed (unknown solver,
+/// size guard, solver error) with the reason in `error`; numeric fields are
+/// meaningless then.
+struct SolveResult {
+  bool ok = false;
+  std::string error;
+  std::string solver;
+  double objective = 0.0;            ///< Σ w_i C_i
+  double makespan = 0.0;
+  std::vector<double> completions;   ///< indexed by original task id
+  bool cache_hit = false;            ///< set by the caching batch executor
+  double latency_seconds = 0.0;      ///< set by the batch executor
+};
+
+/// Name -> solver dispatch table.  Build it once (registration is not
+/// thread-safe), then `solve` freely from any number of threads.
+///
+/// Cache contract: the canonicalization cache (batch.hpp) solves a rescaled
+/// instance (P = 1, Σ V = 1, Σ w = 1) and maps the result back, so a
+/// *cacheable* solver must be scale-equivariant — completion times scale
+/// linearly under volume/machine scaling and are weight-scale independent.
+/// Every algorithm in this library is; register a solver that is not (e.g.
+/// one with absolute thresholds) with `cacheable = false` and it will
+/// always be solved in client space.
+class SolverRegistry {
+ public:
+  using SolverFn = std::function<SolveResult(const core::Instance&)>;
+
+  struct SolverInfo {
+    SolverFn fn;
+    /// True when the solver's output is independent of task numbering
+    /// *including tie-breaking*; the cache then also quotients permutations
+    /// (see canonical.hpp).  Defaults to false — the safe choice: id-based
+    /// tie-breaks are easy to overlook and would silently flip cached
+    /// results for permuted instances.
+    bool order_invariant = false;
+    std::string description;
+    /// False exempts the solver from the canonicalization cache entirely
+    /// (for solvers that are not scale-equivariant, see class comment).
+    bool cacheable = true;
+  };
+
+  /// Registers (or replaces) a solver under `name`.
+  void register_solver(std::string name, SolverFn fn,
+                       bool order_invariant = false,
+                       std::string description = "", bool cacheable = true);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const SolverInfo* find(const std::string& name) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const noexcept { return solvers_.size(); }
+
+  /// Dispatches the request.  Unknown solvers yield ok = false; zero-task
+  /// instances short-circuit to an empty success for every solver.
+  [[nodiscard]] SolveResult solve(const SolveRequest& request) const;
+
+  /// The full built-in zoo: every sim policy under its policy name, plus
+  /// "greedy-heuristic", "water-fill-smith", "order-lp-smith" and "optimal".
+  [[nodiscard]] static SolverRegistry with_default_solvers();
+
+ private:
+  std::map<std::string, SolverInfo> solvers_;
+};
+
+}  // namespace malsched::service

@@ -1,0 +1,74 @@
+#include "malsched/service/cache.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::service {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards),
+      per_shard_capacity_((capacity + shards_.size() - 1) / shards_.size()),
+      capacity_(capacity) {
+  MALSCHED_EXPECTS_MSG(capacity > 0, "cache capacity must be positive");
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedSolve> ResultCache::get(const std::string& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::put(const std::string& key, CachedSolve value) {
+  auto shared = std::make_shared<const CachedSolve>(std::move(value));
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(shared);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(shared)});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.capacity = capacity_;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+void ResultCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace malsched::service

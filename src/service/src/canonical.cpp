@@ -1,0 +1,128 @@
+#include "malsched/service/canonical.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <tuple>
+
+#include "malsched/support/contracts.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace malsched::service {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t state, double value) {
+  // Normalize -0.0 so the two zero encodings share a key.
+  const double d = value == 0.0 ? 0.0 : value;
+  std::uint64_t s = state ^ std::bit_cast<std::uint64_t>(d);
+  return support::splitmix64(s);
+}
+
+}  // namespace
+
+CanonicalForm canonicalize(const core::Instance& instance,
+                           const CanonicalOptions& options) {
+  const std::size_t n = instance.size();
+  const double p = instance.processors();
+  const double total_v = instance.total_volume();
+  const double total_w = instance.total_weight();
+  const double v = total_v > 0.0 ? total_v : 1.0;
+  const double w = total_w > 0.0 ? total_w : 1.0;
+
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+
+  std::vector<core::Task> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks[i].volume = instance.task(i).volume / v;
+    tasks[i].width = instance.task(i).width / p;
+    tasks[i].weight = instance.task(i).weight / w;
+  }
+  if (options.permute) {
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&tasks](std::size_t a, std::size_t b) {
+                       return std::tie(tasks[a].volume, tasks[a].width,
+                                       tasks[a].weight) <
+                              std::tie(tasks[b].volume, tasks[b].width,
+                                       tasks[b].weight);
+                     });
+    std::vector<core::Task> sorted(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      sorted[j] = tasks[perm[j]];
+    }
+    tasks = std::move(sorted);
+  }
+
+  CanonicalForm form{core::Instance(1.0, std::move(tasks)), std::move(perm),
+                     /*time_scale=*/v / p, /*objective_scale=*/w * (v / p), 0};
+
+  std::uint64_t key = 0x243f6a8885a308d3ULL ^ static_cast<std::uint64_t>(n);
+  for (const core::Task& t : form.instance.tasks()) {
+    key = mix(key, t.volume);
+    key = mix(key, t.width);
+    key = mix(key, t.weight);
+  }
+  form.key = key;
+  return form;
+}
+
+std::string canonical_text(const CanonicalForm& form) {
+  // %a round-trips doubles exactly and compactly; the text is a cache map
+  // key, not meant for humans (io.hpp serves that purpose).
+  std::string text;
+  text.reserve(16 + form.instance.size() * 48);
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "n=%zu", form.instance.size());
+  text += buffer;
+  // Same -0.0 normalization as the hash mix, so the two zero encodings
+  // share the exact key too.
+  const auto norm = [](double d) { return d == 0.0 ? 0.0 : d; };
+  for (const core::Task& t : form.instance.tasks()) {
+    std::snprintf(buffer, sizeof buffer, ";%a,%a,%a", norm(t.volume),
+                  norm(t.width), norm(t.weight));
+    text += buffer;
+  }
+  return text;
+}
+
+bool well_conditioned(const CanonicalForm& form) {
+  // Overflowed sums (total volume = inf) make the scales non-finite and
+  // the canonical values 0/NaN; comparisons below would all be false for
+  // NaN, so check finiteness explicitly first.
+  if (!std::isfinite(form.time_scale) || !std::isfinite(form.objective_scale)) {
+    return false;
+  }
+  // Three orders of magnitude above the engine/validator absolute
+  // tolerance of 1e-9: below this, rescaled volumes get snapped to
+  // "finished" and rescaled rates to "no progress".
+  constexpr double kMinScale = 1e-6;
+  for (const core::Task& t : form.instance.tasks()) {
+    if (!std::isfinite(t.volume) || !std::isfinite(t.width) ||
+        !std::isfinite(t.weight)) {
+      return false;
+    }
+    if (t.volume > 0.0 && t.volume < kMinScale) {
+      return false;
+    }
+    if (t.width < kMinScale) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> denormalize_completions(
+    const CanonicalForm& form, std::span<const double> canonical_completions) {
+  MALSCHED_EXPECTS(canonical_completions.size() == form.permutation.size());
+  std::vector<double> completions(canonical_completions.size(), 0.0);
+  for (std::size_t j = 0; j < canonical_completions.size(); ++j) {
+    completions[form.permutation[j]] =
+        form.time_scale * canonical_completions[j];
+  }
+  return completions;
+}
+
+}  // namespace malsched::service

@@ -1,0 +1,298 @@
+#include "malsched/service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "malsched/core/io.hpp"
+
+namespace malsched::service {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+std::string at_line(std::size_t line_no, const std::string& message) {
+  return "line " + std::to_string(line_no) + ": " + message;
+}
+
+// parse_instance numbers lines within the block body; shift any leading
+// "line k:" so diagnostics point at the batch file's own line numbers.
+std::string rebase_line_diagnostic(const std::string& message,
+                                   std::size_t offset) {
+  constexpr const char* prefix = "line ";
+  if (message.rfind(prefix, 0) != 0) {
+    return message;
+  }
+  std::size_t pos = std::char_traits<char>::length(prefix);
+  std::size_t line = 0;
+  bool any_digit = false;
+  while (pos < message.size() && message[pos] >= '0' && message[pos] <= '9') {
+    line = line * 10 + static_cast<std::size_t>(message[pos] - '0');
+    ++pos;
+    any_digit = true;
+  }
+  if (!any_digit) {
+    return message;
+  }
+  return at_line(line + offset, message.substr(
+                                    std::min(message.size(), pos + 2)));
+}
+
+}  // namespace
+
+std::optional<BatchSpec> read_batch(std::istream& in, std::string* error) {
+  BatchSpec batch;
+
+  std::string line;
+  std::size_t line_no = 0;
+  std::string block_name;        // non-empty while inside an instance block
+  std::string block_text;
+  std::size_t block_start = 0;
+  bool in_block = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string stripped = line;
+    const auto hash = stripped.find('#');
+    if (hash != std::string::npos) {
+      stripped.resize(hash);
+    }
+    std::istringstream fields(stripped);
+    std::string keyword;
+    if (!(fields >> keyword)) {
+      if (in_block) {
+        block_text += '\n';  // keep block line numbering file-relative
+      }
+      continue;
+    }
+    if (keyword == "instance") {
+      if (in_block) {
+        set_error(error, at_line(line_no, "nested 'instance' block (missing 'end'?)"));
+        return std::nullopt;
+      }
+      std::string name;
+      if (!(fields >> name)) {
+        set_error(error, at_line(line_no, "'instance' needs a name"));
+        return std::nullopt;
+      }
+      if (batch.instances.count(name) != 0) {
+        set_error(error, at_line(line_no, "duplicate instance '" + name + "'"));
+        return std::nullopt;
+      }
+      in_block = true;
+      block_name = name;
+      block_text.clear();
+      block_start = line_no;
+    } else if (keyword == "end") {
+      if (!in_block) {
+        set_error(error, at_line(line_no, "'end' outside an instance block"));
+        return std::nullopt;
+      }
+      std::string parse_error;
+      auto instance = core::parse_instance(block_text, &parse_error);
+      if (!instance) {
+        set_error(error,
+                  "instance '" + block_name + "' (line " +
+                      std::to_string(block_start) + "): " +
+                      rebase_line_diagnostic(parse_error, block_start));
+        return std::nullopt;
+      }
+      batch.instances.emplace(block_name, std::move(*instance));
+      in_block = false;
+    } else if (in_block) {
+      // Body lines are validated wholesale by core::parse_instance at 'end'.
+      block_text += stripped;
+      block_text += '\n';
+    } else if (keyword == "solve") {
+      BatchSpec::Request request;
+      request.line = line_no;
+      if (!(fields >> request.solver >> request.instance_name)) {
+        set_error(error,
+                  at_line(line_no, "'solve' needs <solver> <instance-name>"));
+        return std::nullopt;
+      }
+      batch.requests.push_back(std::move(request));
+    } else {
+      set_error(error, at_line(line_no, "unknown keyword '" + keyword + "'"));
+      return std::nullopt;
+    }
+  }
+  if (in_block) {
+    set_error(error, "instance '" + block_name + "' (line " +
+                         std::to_string(block_start) + "): missing 'end'");
+    return std::nullopt;
+  }
+  if (batch.requests.empty()) {
+    set_error(error, "batch has no 'solve' requests");
+    return std::nullopt;
+  }
+  return batch;
+}
+
+std::optional<BatchSpec> parse_batch(const std::string& text,
+                                     std::string* error) {
+  std::istringstream in(text);
+  return read_batch(in, error);
+}
+
+ServiceReport run_service(const BatchSpec& batch,
+                          const SolverRegistry& registry,
+                          const ServiceOptions& options) {
+  // Resolve names once; unknown instances become deterministic per-request
+  // errors rather than failing the whole batch.
+  std::vector<SolveRequest> requests;
+  std::vector<std::size_t> request_index;       // into batch.requests
+  std::vector<std::pair<std::size_t, std::string>> unresolved;
+  requests.reserve(batch.requests.size());
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const auto& request = batch.requests[i];
+    const auto it = batch.instances.find(request.instance_name);
+    if (it == batch.instances.end()) {
+      unresolved.emplace_back(i, "unknown instance '" + request.instance_name +
+                                     "' (line " + std::to_string(request.line) +
+                                     ")");
+      continue;
+    }
+    requests.push_back(SolveRequest{request.solver, it->second});
+    request_index.push_back(i);
+  }
+
+  ServiceReport report;
+  report.results.resize(batch.requests.size());
+  for (const auto& [index, message] : unresolved) {
+    report.results[index].solver = batch.requests[index].solver;
+    report.results[index].error = message;
+  }
+
+  // No cache object at all when disabled (use_cache false or capacity 0),
+  // so telemetry can distinguish "cache off" from "cache on but cold".
+  std::unique_ptr<ResultCache> cache;
+  if (options.use_cache && options.cache_capacity > 0) {
+    cache = std::make_unique<ResultCache>(options.cache_capacity);
+  }
+  support::ThreadPool pool(options.threads);
+  BatchOptions batch_options;
+  batch_options.pool = &pool;
+  batch_options.cache = cache.get();
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t rounds = options.repeat == 0 ? 1 : options.repeat;
+  // support::Sample keeps every observation for its quantiles; a large
+  // batch x repeat product would hold one double per solve.  Decimate
+  // deterministically so telemetry memory stays bounded (~8 MB) however
+  // long the run is.
+  constexpr std::size_t kMaxLatencySamples = std::size_t{1} << 20;
+  const std::size_t total_solves = rounds * requests.size();
+  const std::size_t stride =
+      (total_solves + kMaxLatencySamples - 1) / kMaxLatencySamples;
+  std::size_t seen = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto results = solve_batch(registry, requests, batch_options);
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (seen++ % stride == 0) {
+        report.latencies.add(results[j].latency_seconds);
+      }
+      if (round + 1 == rounds) {
+        report.results[request_index[j]] = std::move(results[j]);
+      }
+    }
+  }
+  report.total_solves = seen;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (cache) {
+    report.cache = cache->stats();
+  }
+  return report;
+}
+
+namespace {
+
+// Error messages embed client-controlled text (solver/instance names from
+// the batch file); escape so the one-line-per-request stream stays parseable.
+std::string escape_quoted(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      default: escaped += c; break;
+    }
+  }
+  return escaped;
+}
+
+}  // namespace
+
+void write_results(std::ostream& out, const ServiceReport& report) {
+  std::ostringstream line;
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const SolveResult& r = report.results[i];
+    line.str("");
+    line << "request " << i << " solver=" << escape_quoted(r.solver);
+    if (!r.ok) {
+      line << " status=error message=\"" << escape_quoted(r.error) << "\"";
+    } else {
+      line.precision(12);
+      line << " status=ok objective=" << r.objective
+           << " makespan=" << r.makespan;
+    }
+    out << line.str() << "\n";
+  }
+}
+
+std::string format_results(const ServiceReport& report) {
+  std::ostringstream out;
+  write_results(out, report);
+  return out.str();
+}
+
+std::string format_telemetry(const ServiceReport& report) {
+  std::ostringstream out;
+  // Counts/throughput come from total_solves — the latency sample is
+  // decimated on long runs and would under-report both.
+  const std::size_t n = report.latencies.size();
+  out << "requests      : " << report.results.size() << " ("
+      << report.total_solves << " solves incl. repeats)\n";
+  if (report.wall_seconds > 0.0 && report.total_solves > 0) {
+    out.precision(1);
+    out << std::fixed << "throughput    : "
+        << static_cast<double>(report.total_solves) / report.wall_seconds
+        << " req/s\n";
+    out.unsetf(std::ios::fixed);
+  }
+  if (n > 0) {
+    out.precision(1);
+    out << std::fixed << "latency (us)  : p50="
+        << report.latencies.quantile(0.5) * 1e6
+        << " p90=" << report.latencies.quantile(0.9) * 1e6
+        << " p99=" << report.latencies.quantile(0.99) * 1e6
+        << " max=" << report.latencies.max() * 1e6 << "\n";
+    out.unsetf(std::ios::fixed);
+  }
+  if (report.cache.capacity == 0) {
+    out << "cache         : disabled\n";
+  } else {
+    out.precision(4);
+    out << "cache         : hits=" << report.cache.hits
+        << " misses=" << report.cache.misses
+        << " evictions=" << report.cache.evictions
+        << " entries=" << report.cache.entries
+        << " hit_rate=" << report.cache.hit_rate() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace malsched::service

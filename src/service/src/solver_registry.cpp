@@ -1,0 +1,207 @@
+#include "malsched/service/solver_registry.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/order_lp.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/core/water_filling.hpp"
+#include "malsched/sim/engine.hpp"
+#include "malsched/sim/policy.hpp"
+
+namespace malsched::service {
+
+namespace {
+
+SolveResult ok_result(double objective, double makespan,
+                      std::vector<double> completions) {
+  SolveResult result;
+  result.ok = true;
+  result.objective = objective;
+  result.makespan = makespan;
+  result.completions = std::move(completions);
+  return result;
+}
+
+SolveResult error_result(std::string message) {
+  SolveResult result;
+  result.error = std::move(message);
+  return result;
+}
+
+SolveResult solve_with_policy(const sim::AllocationPolicy& policy,
+                              const core::Instance& instance) {
+  const auto run = sim::run_policy(instance, policy);
+  return ok_result(run.weighted_completion, run.schedule.makespan(),
+                   run.completions);
+}
+
+// WDEQ and WRR divide by task weights, and the library enforces that as a
+// process-aborting contract (wdeq.cpp).  The service fronts untrusted client
+// batches, so those solvers reject the input with an error result instead.
+// Zero-volume tasks are never alive in the engine, so their weight is free.
+std::optional<SolveResult> reject_nonpositive_weights(
+    const core::Instance& instance, const std::string& solver) {
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (instance.task(i).volume > 0.0 && instance.task(i).weight <= 0.0) {
+      return error_result("solver '" + solver +
+                          "' requires positive weights (task " +
+                          std::to_string(i) + " has weight " +
+                          std::to_string(instance.task(i).weight) + ")");
+    }
+  }
+  return std::nullopt;
+}
+
+// The fluid engine treats rates at or below its absolute tolerance (1e-9)
+// as no progress, so a runnable task whose width is that small starves
+// every rate-proportional policy and trips the engine's process-aborting
+// safety valve.  Reject such input up front for all engine-backed solvers.
+std::optional<SolveResult> reject_degenerate_widths(
+    const core::Instance& instance, const std::string& solver) {
+  constexpr double kMinWidth = 1e-9;  // support::Tolerance{}.abs
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (instance.task(i).volume > 0.0 && instance.task(i).width <= kMinWidth) {
+      char message[128];
+      std::snprintf(message, sizeof message,
+                    "solver '%s' requires widths above %g (task %zu has "
+                    "width %g)",
+                    solver.c_str(), kMinWidth, i, instance.task(i).width);
+      return error_result(message);
+    }
+  }
+  return std::nullopt;
+}
+
+SolveResult solve_greedy_heuristic(const core::Instance& instance) {
+  const auto best = core::best_greedy_heuristic(instance);
+  const auto schedule = core::greedy_schedule(instance, best.order);
+  return ok_result(best.objective, schedule.makespan(),
+                   schedule.completions());
+}
+
+SolveResult solve_water_fill_smith(const core::Instance& instance) {
+  const auto order = core::smith_order(instance);
+  const auto greedy = core::greedy_schedule(instance, order);
+  const auto wf = core::normalize(instance, greedy);
+  if (!wf.feasible) {
+    return error_result("water-fill normalization infeasible at position " +
+                        std::to_string(wf.failed_position));
+  }
+  return ok_result(wf.schedule.weighted_completion(instance),
+                   wf.schedule.makespan(), wf.schedule.completions());
+}
+
+SolveResult solve_order_lp_smith(const core::Instance& instance) {
+  const auto result = core::solve_order_lp(instance, core::smith_order(instance));
+  if (!result.optimal()) {
+    return error_result("order LP did not reach optimality");
+  }
+  return ok_result(result.objective, result.schedule.makespan(),
+                   result.schedule.completions());
+}
+
+SolveResult solve_optimal(const core::Instance& instance) {
+  core::OptimalOptions options;
+  options.want_schedule = true;
+  if (instance.size() > options.max_tasks) {
+    return error_result("optimal enumeration limited to n <= " +
+                        std::to_string(options.max_tasks) + " (got n = " +
+                        std::to_string(instance.size()) + ")");
+  }
+  const auto opt = core::optimal_by_enumeration(instance, options);
+  return ok_result(opt.objective, opt.schedule.makespan(),
+                   opt.schedule.completions());
+}
+
+}  // namespace
+
+void SolverRegistry::register_solver(std::string name, SolverFn fn,
+                                     bool order_invariant,
+                                     std::string description, bool cacheable) {
+  solvers_[std::move(name)] = SolverInfo{std::move(fn), order_invariant,
+                                         std::move(description), cacheable};
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return solvers_.count(name) != 0;
+}
+
+const SolverRegistry::SolverInfo* SolverRegistry::find(
+    const std::string& name) const {
+  const auto it = solvers_.find(name);
+  return it == solvers_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(solvers_.size());
+  for (const auto& [name, info] : solvers_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+SolveResult SolverRegistry::solve(const SolveRequest& request) const {
+  const SolverInfo* info = find(request.solver);
+  SolveResult result;
+  if (info == nullptr) {
+    result = error_result("unknown solver '" + request.solver + "'");
+  } else if (request.instance.size() == 0) {
+    result = ok_result(0.0, 0.0, {});
+  } else {
+    result = info->fn(request.instance);
+  }
+  result.solver = request.solver;
+  return result;
+}
+
+SolverRegistry SolverRegistry::with_default_solvers() {
+  SolverRegistry registry;
+  for (auto& policy : sim::all_policies()) {
+    // Permutation-equivariant solvers only: wdeq/deq/wrr allocate purely by
+    // (w, δ, V).  fifo-rigid serves tasks in id order, and smith-greedy
+    // breaks Smith-ratio ties by id, so renumbering (which the cache's
+    // canonical sort does) can flip tied schedules for them.
+    const bool order_invariant = policy->name() == "wdeq" ||
+                                 policy->name() == "deq" ||
+                                 policy->name() == "wrr";
+    const bool weight_sharing =
+        policy->name() == "wdeq" || policy->name() == "wrr";
+    std::shared_ptr<const sim::AllocationPolicy> shared = std::move(policy);
+    registry.register_solver(
+        shared->name(),
+        [shared, weight_sharing](const core::Instance& instance) {
+          if (auto rejected =
+                  reject_degenerate_widths(instance, shared->name())) {
+            return *std::move(rejected);
+          }
+          if (weight_sharing) {
+            if (auto rejected =
+                    reject_nonpositive_weights(instance, shared->name())) {
+              return *std::move(rejected);
+            }
+          }
+          return solve_with_policy(*shared, instance);
+        },
+        order_invariant, "fluid-engine policy " + shared->name());
+  }
+  // The order-based solvers all tie-break by task id (smith_order uses
+  // stable_sort, enumeration returns the first optimal order found), so
+  // their completions are not permutation-equivariant: scale-only caching.
+  registry.register_solver("greedy-heuristic", solve_greedy_heuristic, false,
+                           "best greedy order over priority seeds + local search");
+  registry.register_solver("water-fill-smith", solve_water_fill_smith, false,
+                           "Smith-order greedy normalized by Algorithm WF");
+  registry.register_solver("order-lp-smith", solve_order_lp_smith, false,
+                           "Corollary-1 LP on the Smith completion order");
+  registry.register_solver("optimal", solve_optimal, false,
+                           "exact optimum by completion-order enumeration");
+  return registry;
+}
+
+}  // namespace malsched::service

@@ -27,12 +27,18 @@ struct EngineResult {
 
 struct EngineOptions {
   support::Tolerance tol = {};
-  /// Safety valve: abort if the policy stops making progress after this
-  /// many events (default 4n + 16, set by the engine when 0).
+  /// Safety valve: abort (contract failure) if the policy stops making
+  /// progress after this many events.  0 means the default 4n + 16: a
+  /// well-behaved run needs at most n completion events plus n arrival
+  /// events plus n idle gaps between arrivals — 4n + 16 leaves a 1n + 16
+  /// margin for tolerance-induced re-shares before declaring the policy
+  /// stuck.  tests/sim/test_engine.cpp pins this budget.
   std::size_t max_events = 0;
 };
 
-/// Runs `policy` on `instance` until every task completes.
+/// Runs `policy` on `instance` until every task completes.  Zero-task
+/// instances are valid input and produce an empty schedule with zero events
+/// (the service layer forwards arbitrary client batches here).
 [[nodiscard]] EngineResult run_policy(const core::Instance& instance,
                                       const AllocationPolicy& policy,
                                       const EngineOptions& options = {});

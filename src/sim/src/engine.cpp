@@ -19,6 +19,9 @@ EngineResult run_policy_online(const core::Instance& instance,
                                const AllocationPolicy& policy,
                                const EngineOptions& options) {
   MALSCHED_EXPECTS(release.size() == instance.size());
+  // n == 0 needs no special case: the completion loop below is vacuous, the
+  // policy is never consulted, and the fall-through returns the empty
+  // result (pinned by tests/sim/test_engine.cpp).
   const std::size_t n = instance.size();
   const auto tol = options.tol;
   const std::size_t max_events =
@@ -52,7 +55,7 @@ EngineResult run_policy_online(const core::Instance& instance,
                        [](std::uint8_t b) { return b != 0; });
   };
   while (!all_done()) {
-    MALSCHED_EXPECTS_MSG(events < max_events + n,
+    MALSCHED_EXPECTS_MSG(events < max_events,
                          "allocation policy stopped making progress");
     // Next arrival among not-yet-released tasks.
     double next_arrival = std::numeric_limits<double>::infinity();

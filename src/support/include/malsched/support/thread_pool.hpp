@@ -10,9 +10,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace malsched::support {
@@ -32,13 +36,32 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// Schedules a single callable and returns the future of its result.  An
+  /// exception thrown by the callable is captured and rethrown from
+  /// future::get.  For one-off background jobs; bulk fan-out (the service
+  /// batch executor included) goes through parallel_for.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
   /// Runs body(i) for every i in [begin, end), blocking until all complete.
-  /// `body` must be safe to invoke concurrently for distinct indices.
+  /// `body` must be safe to invoke concurrently for distinct indices.  If
+  /// any invocation throws, the first exception (by completion time) is
+  /// rethrown here after the whole range settles; chunks that have not
+  /// started yet are skipped.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
   /// Runs body(chunk_begin, chunk_end) over a partition of [begin, end).
   /// Useful when per-chunk setup (RNG fork, local accumulator) matters.
+  /// Same exception contract as parallel_for.
   void parallel_for_chunked(
       std::size_t begin, std::size_t end, std::size_t chunk,
       const std::function<void(std::size_t, std::size_t)>& body);

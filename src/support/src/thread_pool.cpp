@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "malsched/support/contracts.hpp"
 
@@ -84,25 +85,42 @@ void ThreadPool::parallel_for_chunked(
     return;
   }
 
-  std::atomic<std::size_t> remaining{0};
+  std::atomic<std::size_t> remaining{(end - begin + chunk - 1) / chunk};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
   for (std::size_t lo = begin; lo < end; lo += chunk) {
-    remaining.fetch_add(1, std::memory_order_relaxed);
-  }
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = std::min(end, lo + chunk);
     enqueue([&, lo, hi] {
-      body(lo, hi);
+      // Once a chunk failed, later chunks are skipped (their work would be
+      // discarded anyway — the caller sees the first exception).
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          body(lo, hi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(done_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_release);
+        }
+      }
+      // The final decrement must happen under done_mutex: otherwise a
+      // spurious wakeup could let the caller observe remaining == 0 and
+      // destroy the stack-local mutex/cv before this worker locks them.
+      const std::lock_guard<std::mutex> lock(done_mutex);
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        const std::lock_guard<std::mutex> lock(done_mutex);
         done_cv.notify_all();
       }
     });
   }
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
 }
 
 ThreadPool& ThreadPool::global() {

@@ -65,6 +65,66 @@ TEST(Io, ErrorsAreReported) {
   EXPECT_NE(error.find("invalid task"), std::string::npos);
 }
 
+TEST(Io, ProcessorsLineErrorPaths) {
+  // The service front-end forwards these diagnostics verbatim to clients;
+  // every malformed shape must be rejected with the offending line number.
+  std::string error;
+  for (const char* bad : {"processors\ntask 1 1 1\n",       // missing value
+                          "processors abc\ntask 1 1 1\n",   // non-numeric
+                          "processors 0\ntask 1 1 1\n",     // zero
+                          "processors -3\ntask 1 1 1\n"}) { // negative
+    EXPECT_FALSE(mc::parse_instance(bad, &error).has_value()) << bad;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << bad;
+    EXPECT_NE(error.find("processors"), std::string::npos) << bad;
+  }
+}
+
+TEST(Io, TaskLineErrorPaths) {
+  std::string error;
+  for (const char* bad : {"processors 2\ntask\n",            // no fields
+                          "processors 2\ntask 1\n",          // missing width
+                          "processors 2\ntask 1 1\n",        // missing weight
+                          "processors 2\ntask x 1 1\n",      // non-numeric V
+                          "processors 2\ntask 1 1 oops\n",   // non-numeric w
+                          "processors 2\ntask -1 1 1\n",     // negative volume
+                          "processors 2\ntask 1 0 1\n",      // zero width
+                          "processors 2\ntask 1 -2 1\n",     // negative width
+                          "processors 2\ntask 1 1 -1\n"}) {  // negative weight
+    EXPECT_FALSE(mc::parse_instance(bad, &error).has_value()) << bad;
+    EXPECT_NE(error.find("line 2"), std::string::npos) << bad;
+    EXPECT_NE(error.find("invalid task"), std::string::npos) << bad;
+  }
+}
+
+TEST(Io, ZeroVolumeTaskIsAccepted) {
+  // Zero volumes are legal (subinstances of Definition 7) even though
+  // negative ones are not.
+  std::string error;
+  const auto inst = mc::parse_instance("processors 2\ntask 0 1 1\n", &error);
+  ASSERT_TRUE(inst.has_value()) << error;
+  EXPECT_DOUBLE_EQ(inst->task(0).volume, 0.0);
+}
+
+TEST(Io, ZeroWeightTaskIsAccepted) {
+  std::string error;
+  const auto inst = mc::parse_instance("processors 2\ntask 1 1 0\n", &error);
+  ASSERT_TRUE(inst.has_value()) << error;
+  EXPECT_DOUBLE_EQ(inst->task(0).weight, 0.0);
+}
+
+TEST(Io, ErrorLineNumbersAccountForCommentsAndBlanks) {
+  std::string error;
+  const std::string text = "# header\n\nprocessors 2\n# note\ntask 1 1\n";
+  EXPECT_FALSE(mc::parse_instance(text, &error).has_value());
+  EXPECT_NE(error.find("line 5"), std::string::npos) << error;
+}
+
+TEST(Io, EmptyStreamIsAnError) {
+  std::string error;
+  EXPECT_FALSE(mc::parse_instance("", &error).has_value());
+  EXPECT_NE(error.find("processors"), std::string::npos);
+}
+
 TEST(Io, ScheduleCsvHasHeaderAndRows) {
   const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
   const auto greedy = mc::greedy_schedule(inst, mc::identity_order(2));

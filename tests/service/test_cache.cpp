@@ -1,0 +1,131 @@
+#include "malsched/service/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "malsched/support/thread_pool.hpp"
+
+namespace msvc = malsched::service;
+namespace ms = malsched::support;
+
+namespace {
+
+msvc::CachedSolve value_of(double objective) {
+  msvc::CachedSolve value;
+  value.objective = objective;
+  value.makespan = objective / 2.0;
+  value.completions = {objective, objective * 2.0};
+  return value;
+}
+
+}  // namespace
+
+TEST(Cache, PutGetRoundTrip) {
+  msvc::ResultCache cache(16);
+  EXPECT_FALSE((cache.get("a") != nullptr));
+  cache.put("a", value_of(3.0));
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit != nullptr);
+  EXPECT_DOUBLE_EQ(hit->objective, 3.0);
+  EXPECT_DOUBLE_EQ(hit->makespan, 1.5);
+  ASSERT_EQ(hit->completions.size(), 2u);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(Cache, PutReplacesExistingKey) {
+  msvc::ResultCache cache(16);
+  cache.put("k", value_of(1.0));
+  cache.put("k", value_of(9.0));
+  EXPECT_DOUBLE_EQ(cache.get("k")->objective, 9.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // One shard makes the LRU order deterministic and observable.
+  msvc::ResultCache cache(2, /*shards=*/1);
+  cache.put("a", value_of(1.0));
+  cache.put("b", value_of(2.0));
+  EXPECT_TRUE((cache.get("a") != nullptr));  // refresh a: b is now LRU
+  cache.put("c", value_of(3.0));            // evicts b
+
+  EXPECT_TRUE((cache.get("a") != nullptr));
+  EXPECT_FALSE((cache.get("b") != nullptr));
+  EXPECT_TRUE((cache.get("c") != nullptr));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(Cache, CapacityIsSpreadAcrossShards) {
+  msvc::ResultCache cache(64, 8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  for (int i = 0; i < 64; ++i) {
+    cache.put("key-" + std::to_string(i), value_of(i));
+  }
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.entries, 64u);
+  EXPECT_EQ(stats.capacity, 64u);
+}
+
+TEST(Cache, ClearEmptiesEveryShard) {
+  msvc::ResultCache cache(32, 4);
+  for (int i = 0; i < 20; ++i) {
+    cache.put("key-" + std::to_string(i), value_of(i));
+  }
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE((cache.get("key-3") != nullptr));
+}
+
+TEST(Cache, HitRateArithmetic) {
+  msvc::ResultCache cache(8);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+  cache.put("x", value_of(1.0));
+  (void)cache.get("x");
+  (void)cache.get("x");
+  (void)cache.get("y");
+  EXPECT_NEAR(cache.stats().hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, ConcurrentMixedTrafficStaysConsistent) {
+  // Hammer a small cache from many workers: every get must observe either
+  // a miss or the exact value put under that key, and the counters must
+  // account for every operation.
+  msvc::ResultCache cache(64, 8);
+  ms::ThreadPool pool(4);
+  const std::size_t ops = 4000;
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::atomic<std::uint64_t> observed_misses{0};
+  std::atomic<std::uint64_t> bad_values{0};
+
+  pool.parallel_for(0, ops, [&](std::size_t i) {
+    const int key_id = static_cast<int>(i % 97);
+    const std::string key = "key-" + std::to_string(key_id);
+    if (i % 3 == 0) {
+      cache.put(key, value_of(static_cast<double>(key_id)));
+    } else {
+      const auto hit = cache.get(key);
+      if (hit != nullptr) {
+        observed_hits.fetch_add(1, std::memory_order_relaxed);
+        if (hit->objective != static_cast<double>(key_id)) {
+          bad_values.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        observed_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  EXPECT_EQ(bad_values.load(), 0u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.misses, observed_misses.load());
+  EXPECT_EQ(stats.hits + stats.misses, ops - (ops + 2) / 3);
+  EXPECT_LE(stats.entries, 64u + cache.shard_count());
+}

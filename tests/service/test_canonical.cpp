@@ -1,0 +1,137 @@
+#include "malsched/service/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "malsched/core/generators.hpp"
+#include "malsched/sim/engine.hpp"
+#include "malsched/sim/policy.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace mc = malsched::core;
+namespace msvc = malsched::service;
+namespace msim = malsched::sim;
+namespace ms = malsched::support;
+
+namespace {
+
+mc::Instance base_instance() {
+  return mc::Instance(4.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 0.5}, {0.5, 4.0, 2.0}});
+}
+
+}  // namespace
+
+TEST(Canonical, NormalFormHasUnitSums) {
+  const auto form = msvc::canonicalize(base_instance());
+  EXPECT_DOUBLE_EQ(form.instance.processors(), 1.0);
+  EXPECT_NEAR(form.instance.total_volume(), 1.0, 1e-12);
+  EXPECT_NEAR(form.instance.total_weight(), 1.0, 1e-12);
+}
+
+TEST(Canonical, PowerOfTwoScalingSharesTheKey) {
+  const auto inst = base_instance();
+  const auto form = msvc::canonicalize(inst);
+
+  // Volumes x4, weights x0.5, machine (P and widths) x2: all exact binary
+  // scalings, so the quotient map lands on bit-identical canonical doubles.
+  std::vector<mc::Task> tasks;
+  for (const auto& t : inst.tasks()) {
+    tasks.push_back({t.volume * 4.0, t.width * 2.0, t.weight * 0.5});
+  }
+  const mc::Instance scaled(inst.processors() * 2.0, std::move(tasks));
+  const auto scaled_form = msvc::canonicalize(scaled);
+
+  EXPECT_EQ(form.key, scaled_form.key);
+  EXPECT_EQ(msvc::canonical_text(form), msvc::canonical_text(scaled_form));
+  // Scales differ: volumes x4 stretch time x4, machine x2 shrinks it x2.
+  EXPECT_DOUBLE_EQ(scaled_form.time_scale, form.time_scale * 2.0);
+}
+
+TEST(Canonical, TaskPermutationSharesTheKey) {
+  const auto inst = base_instance();
+  const mc::Instance permuted(
+      4.0, {inst.task(2), inst.task(0), inst.task(1)});
+  const auto a = msvc::canonicalize(inst);
+  const auto b = msvc::canonicalize(permuted);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(msvc::canonical_text(a), msvc::canonical_text(b));
+}
+
+TEST(Canonical, PermuteFalseKeepsTaskOrder) {
+  const auto inst = base_instance();
+  msvc::CanonicalOptions options;
+  options.permute = false;
+  const auto form = msvc::canonicalize(inst, options);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(form.permutation[i], i);
+  }
+  // Order-sensitive canonical forms distinguish permuted instances.
+  const mc::Instance permuted(4.0, {inst.task(2), inst.task(0), inst.task(1)});
+  EXPECT_NE(msvc::canonical_text(form),
+            msvc::canonical_text(msvc::canonicalize(permuted, options)));
+}
+
+TEST(Canonical, DistinctInstancesGetDistinctKeys) {
+  const auto a = msvc::canonicalize(base_instance());
+  const auto b = msvc::canonicalize(
+      mc::Instance(4.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 0.5}, {0.5, 4.0, 2.5}}));
+  EXPECT_NE(a.key, b.key);
+  EXPECT_NE(msvc::canonical_text(a), msvc::canonical_text(b));
+}
+
+TEST(Canonical, DenormalizedSolveMatchesDirectSolve) {
+  // Solving the canonical instance and mapping back must agree with solving
+  // the original directly (scale-equivariance of the fluid policies).
+  ms::Rng rng(41);
+  const auto policy = msim::make_wdeq_policy();
+  for (int rep = 0; rep < 25; ++rep) {
+    mc::GeneratorConfig config;
+    config.family = mc::Family::Uniform;
+    config.num_tasks = 6;
+    config.processors = 3.0;
+    const auto inst = mc::generate(config, rng);
+
+    const auto form = msvc::canonicalize(inst);
+    const auto canonical_run = msim::run_policy(form.instance, *policy);
+    const auto direct_run = msim::run_policy(inst, *policy);
+
+    const auto mapped =
+        msvc::denormalize_completions(form, canonical_run.completions);
+    ASSERT_EQ(mapped.size(), inst.size());
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_NEAR(mapped[i], direct_run.completions[i],
+                  1e-9 * (1.0 + direct_run.completions[i]))
+          << "rep " << rep << " task " << i;
+    }
+    EXPECT_NEAR(form.objective_scale * canonical_run.weighted_completion,
+                direct_run.weighted_completion,
+                1e-9 * (1.0 + direct_run.weighted_completion))
+        << "rep " << rep;
+  }
+}
+
+TEST(Canonical, NegativeZeroSharesKeyAndText) {
+  // -0.0 weights survive parsing ("task 1 1 -0"); both zero encodings must
+  // land on one cache entry.
+  const mc::Instance pos(2.0, {{1.0, 1.0, 0.0}, {1.0, 2.0, 1.0}});
+  const mc::Instance neg(2.0, {{1.0, 1.0, -0.0}, {1.0, 2.0, 1.0}});
+  const auto a = msvc::canonicalize(pos);
+  const auto b = msvc::canonicalize(neg);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(msvc::canonical_text(a), msvc::canonical_text(b));
+}
+
+TEST(Canonical, ZeroTaskAndZeroSumEdgeCases) {
+  const auto empty = msvc::canonicalize(mc::Instance(3.0, {}));
+  EXPECT_EQ(empty.instance.size(), 0u);
+  EXPECT_DOUBLE_EQ(empty.instance.processors(), 1.0);
+  EXPECT_TRUE(msvc::denormalize_completions(empty, {}).empty());
+
+  // All-zero volumes and weights: scaling must not divide by zero.
+  const auto degenerate = msvc::canonicalize(
+      mc::Instance(2.0, {{0.0, 1.0, 0.0}, {0.0, 2.0, 0.0}}));
+  EXPECT_DOUBLE_EQ(degenerate.instance.total_volume(), 0.0);
+  EXPECT_DOUBLE_EQ(degenerate.instance.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(degenerate.time_scale, 1.0 / 2.0);
+}

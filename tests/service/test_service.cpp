@@ -1,0 +1,201 @@
+#include "malsched/service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace msvc = malsched::service;
+
+namespace {
+
+const char* kBatchText = R"(# two instances, four requests
+instance small
+processors 4
+task 2.0 2 1.0
+task 1.5 1 0.5
+end
+
+instance wide   # trailing comment
+processors 2
+task 2.0 2 1.0
+task 2.0 2 1.0
+end
+
+solve wdeq small
+solve deq wide
+solve wdeq small      # repeated: a cache hit on round one already
+solve optimal wide
+)";
+
+}  // namespace
+
+TEST(Service, ParseBatchFile) {
+  std::string error;
+  const auto batch = msvc::parse_batch(kBatchText, &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  EXPECT_EQ(batch->instances.size(), 2u);
+  EXPECT_EQ(batch->requests.size(), 4u);
+  EXPECT_EQ(batch->requests[0].solver, "wdeq");
+  EXPECT_EQ(batch->requests[0].instance_name, "small");
+  EXPECT_EQ(batch->requests[3].solver, "optimal");
+  ASSERT_EQ(batch->instances.count("wide"), 1u);
+  EXPECT_EQ(batch->instances.at("wide").size(), 2u);
+}
+
+TEST(Service, ParseErrorsAreDiagnosed) {
+  std::string error;
+
+  EXPECT_FALSE(msvc::parse_batch("solve", &error).has_value());
+  EXPECT_NE(error.find("'solve' needs"), std::string::npos);
+
+  EXPECT_FALSE(msvc::parse_batch("instance\n", &error).has_value());
+  EXPECT_NE(error.find("needs a name"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("instance a\nprocessors 2\ntask 1 1 1\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("missing 'end'"), std::string::npos);
+
+  EXPECT_FALSE(msvc::parse_batch("end\n", &error).has_value());
+  EXPECT_NE(error.find("outside"), std::string::npos);
+
+  EXPECT_FALSE(msvc::parse_batch(
+                   "instance a\nprocessors 2\ntask 1 1 1\nend\n"
+                   "instance a\nprocessors 2\ntask 1 1 1\nend\nsolve wdeq a\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("duplicate instance"), std::string::npos);
+
+  // Malformed instance body surfaces the io.hpp diagnostic with context.
+  EXPECT_FALSE(
+      msvc::parse_batch("instance a\nprocessors -2\ntask 1 1 1\nend\nsolve wdeq a\n",
+                        &error)
+          .has_value());
+  EXPECT_NE(error.find("instance 'a'"), std::string::npos);
+  EXPECT_NE(error.find("processors"), std::string::npos);
+
+  EXPECT_FALSE(msvc::parse_batch("frobnicate x\n", &error).has_value());
+  EXPECT_NE(error.find("unknown keyword"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("instance a\nprocessors 2\ntask 1 1 1\nend\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("no 'solve'"), std::string::npos);
+}
+
+TEST(Service, InstanceBodyDiagnosticsUseFileLineNumbers) {
+  // The 'task 1 1' error sits on file line 6 (after a comment and a blank
+  // inside the block); the diagnostic must say 6, not a block-relative 2.
+  std::string error;
+  const std::string text =
+      "# header\n"
+      "instance a\n"
+      "processors 2\n"
+      "# note\n"
+      "\n"
+      "task 1 1\n"
+      "end\n"
+      "solve wdeq a\n";
+  EXPECT_FALSE(msvc::parse_batch(text, &error).has_value());
+  EXPECT_NE(error.find("instance 'a'"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 6"), std::string::npos) << error;
+}
+
+TEST(Service, EndToEndRunProducesPerRequestResults) {
+  std::string error;
+  const auto batch = msvc::parse_batch(kBatchText, &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+
+  msvc::ServiceOptions options;
+  options.threads = 2;
+  const auto report = msvc::run_service(*batch, registry, options);
+  ASSERT_EQ(report.results.size(), 4u);
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    EXPECT_TRUE(report.results[i].ok) << i << ": " << report.results[i].error;
+  }
+  // Request 2 repeats request 0 bit-for-bit.
+  EXPECT_EQ(report.results[2].objective, report.results[0].objective);
+  EXPECT_GE(report.cache.hits, 1u);
+  EXPECT_EQ(report.latencies.size(), 4u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(Service, UnknownInstanceFailsOnlyThatRequest) {
+  const std::string text =
+      "instance a\nprocessors 2\ntask 1 1 1\nend\n"
+      "solve wdeq a\nsolve wdeq ghost\n";
+  std::string error;
+  const auto batch = msvc::parse_batch(text, &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  const auto report = msvc::run_service(*batch, registry, {});
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_TRUE(report.results[0].ok);
+  EXPECT_FALSE(report.results[1].ok);
+  EXPECT_NE(report.results[1].error.find("ghost"), std::string::npos);
+  EXPECT_NE(report.results[1].error.find("line 6"), std::string::npos);
+}
+
+TEST(Service, ResultStreamIsByteIdenticalAcrossThreadCounts) {
+  // The determinism contract: for a fixed cache configuration, the result
+  // stream is byte-identical whatever the worker count.  (Cached vs
+  // uncached runs only agree to ~1e-9 relative — the cached path solves in
+  // canonical space — so cache state is deliberately not varied here.)
+  std::string error;
+  const auto batch = msvc::parse_batch(kBatchText, &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+
+  for (const bool use_cache : {true, false}) {
+    std::string reference;
+    for (const unsigned threads : {1u, 4u, 8u}) {
+      msvc::ServiceOptions options;
+      options.threads = threads;
+      options.use_cache = use_cache;
+      const auto text =
+          msvc::format_results(msvc::run_service(*batch, registry, options));
+      if (reference.empty()) {
+        reference = text;
+        EXPECT_NE(text.find("request 0 solver=wdeq status=ok"),
+                  std::string::npos);
+      } else {
+        EXPECT_EQ(text, reference)
+            << "threads=" << threads << " cache=" << use_cache;
+      }
+    }
+  }
+}
+
+TEST(Service, DisabledCacheTelemetrySaysSo) {
+  std::string error;
+  const auto batch = msvc::parse_batch(kBatchText, &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+
+  msvc::ServiceOptions options;
+  options.use_cache = false;
+  const auto report = msvc::run_service(*batch, registry, options);
+  const auto telemetry = msvc::format_telemetry(report);
+  EXPECT_NE(telemetry.find("cache         : disabled"), std::string::npos)
+      << telemetry;
+  EXPECT_EQ(telemetry.find("hit_rate"), std::string::npos);
+}
+
+TEST(Service, RepeatRoundsWarmTheCache) {
+  std::string error;
+  const auto batch = msvc::parse_batch(kBatchText, &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+
+  msvc::ServiceOptions options;
+  options.repeat = 3;
+  const auto report = msvc::run_service(*batch, registry, options);
+  EXPECT_EQ(report.latencies.size(), 12u);  // 4 requests x 3 rounds
+  // Rounds two and three hit on everything; round one on the repeat.
+  EXPECT_GE(report.cache.hits, 8u);
+  const auto telemetry = msvc::format_telemetry(report);
+  EXPECT_NE(telemetry.find("p50="), std::string::npos);
+  EXPECT_NE(telemetry.find("p99="), std::string::npos);
+  EXPECT_NE(telemetry.find("hit_rate="), std::string::npos);
+}

@@ -100,6 +100,96 @@ TEST(Engine, RigidDeadlockGuard) {
   EXPECT_NEAR(result.completions[0], 2.0, 1e-9);
 }
 
+TEST(Engine, EmptyInstanceProducesEmptyResult) {
+  // The service layer forwards arbitrary client instances; zero tasks must
+  // be a no-op for every policy, not a crash.
+  const mc::Instance empty(2.0, {});
+  for (const auto& policy : msim::all_policies()) {
+    const auto result = msim::run_policy(empty, *policy);
+    EXPECT_EQ(result.events, 0u) << policy->name();
+    EXPECT_EQ(result.weighted_completion, 0.0) << policy->name();
+    EXPECT_TRUE(result.completions.empty()) << policy->name();
+    EXPECT_TRUE(result.schedule.steps().empty()) << policy->name();
+  }
+}
+
+TEST(Engine, EmptyInstanceOnlineVariant) {
+  const mc::Instance empty(2.0, {});
+  const auto result = msim::run_policy_online(empty, {},
+                                              *msim::make_wdeq_policy());
+  EXPECT_EQ(result.events, 0u);
+  EXPECT_TRUE(result.completions.empty());
+}
+
+TEST(Engine, EventCountStaysWithinDefaultMaxEvents) {
+  // EngineOptions documents the default budget max_events = 4n + 16; verify
+  // every built-in policy fits it with margin across families and the
+  // online arrival path (arrivals add events beyond the offline n + 1).
+  ms::Rng rng(229);
+  for (const auto& policy : msim::all_policies()) {
+    for (const auto family :
+         {mc::Family::Uniform, mc::Family::BandwidthLike,
+          mc::Family::HeavyTailVolumes}) {
+      for (int rep = 0; rep < 5; ++rep) {
+        mc::GeneratorConfig config;
+        config.family = family;
+        config.num_tasks = 8;
+        config.processors = 4.0;
+        const auto inst = mc::generate(config, rng);
+
+        const auto offline = msim::run_policy(inst, *policy);
+        EXPECT_LE(offline.events, 4 * inst.size() + 16) << policy->name();
+
+        std::vector<double> release(inst.size());
+        for (std::size_t i = 0; i < release.size(); ++i) {
+          release[i] = rng.uniform(0.0, 2.0);
+        }
+        const auto online =
+            msim::run_policy_online(inst, release, *policy);
+        EXPECT_LE(online.events, 4 * inst.size() + 16) << policy->name();
+      }
+    }
+  }
+}
+
+TEST(EngineDeathTest, StarvingPolicyTripsTheSafetyValve) {
+  // A policy that never allocates anything makes no progress; the engine
+  // must abort with a diagnostic instead of spinning forever.
+  class StarvingPolicy final : public msim::AllocationPolicy {
+   public:
+    [[nodiscard]] std::string name() const override { return "starve"; }
+    [[nodiscard]] std::vector<double> allocate(
+        const msim::PolicyContext& context) const override {
+      return std::vector<double>(context.weights.size(), 0.0);
+    }
+  };
+  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}});
+  EXPECT_DEATH((void)msim::run_policy(inst, StarvingPolicy()), "starves");
+}
+
+TEST(EngineDeathTest, ExplicitMaxEventsIsAHardCap) {
+  // max_events is documented as the exact abort threshold: a 2-task run
+  // needs 2 events, so a budget of 1 must trip the valve.
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  msim::EngineOptions options;
+  options.max_events = 1;
+  EXPECT_DEATH(
+      (void)msim::run_policy(inst, *msim::make_wdeq_policy(), options),
+      "stopped making progress");
+}
+
+TEST(Engine, ExplicitMaxEventsOverrideIsAccepted) {
+  // A generous explicit budget must not change results.
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  msim::EngineOptions options;
+  options.max_events = 1000;
+  const auto result =
+      msim::run_policy(inst, *msim::make_wdeq_policy(), options);
+  const auto default_result = msim::run_policy(inst, *msim::make_wdeq_policy());
+  EXPECT_EQ(result.weighted_completion, default_result.weighted_completion);
+  EXPECT_EQ(result.events, default_result.events);
+}
+
 TEST(Engine, PolicyNamesAreDistinct) {
   std::set<std::string> names;
   for (const auto& policy : msim::all_policies()) {

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ms = malsched::support;
@@ -56,6 +59,79 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
     count.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  ms::ThreadPool pool(2);
+  auto doubled = pool.submit([] { return 21 * 2; });
+  auto text = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPool, SubmitVoidCallable) {
+  ms::ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&hits] {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ms::ThreadPool pool(2);
+  auto failing = pool.submit([]() -> int {
+    throw std::runtime_error("submit failure");
+  });
+  EXPECT_THROW(
+      {
+        try {
+          (void)failing.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "submit failure");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker survives the exception and keeps serving tasks.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ms::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [](std::size_t i) {
+                          if (i == 137) {
+                            throw std::runtime_error("body failure");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool remains usable after a failed parallel_for.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForChunkedRethrowsOnSingleWorkerToo) {
+  // The single-worker inline path must propagate just like the queued path.
+  ms::ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for_chunked(
+                   0, 10, 3,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo >= 6) {
+                       throw std::logic_error("chunk failure");
+                     }
+                   }),
+               std::logic_error);
 }
 
 TEST(ThreadPool, ReusableAcrossCalls) {
