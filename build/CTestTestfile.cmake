@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/support")
+subdirs("src/numeric")
+subdirs("src/flow")
+subdirs("src/lp")
+subdirs("src/core")
+subdirs("src/sim")
+subdirs("src/bwshare")
+subdirs("src/service")
+subdirs("tests")
+subdirs("examples")
+subdirs("bench")

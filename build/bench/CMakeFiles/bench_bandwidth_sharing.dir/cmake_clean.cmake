@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bandwidth_sharing.dir/bench_bandwidth_sharing.cpp.o"
+  "CMakeFiles/bench_bandwidth_sharing.dir/bench_bandwidth_sharing.cpp.o.d"
+  "bench_bandwidth_sharing"
+  "bench_bandwidth_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bandwidth_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

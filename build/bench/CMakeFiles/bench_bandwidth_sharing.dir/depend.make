@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bandwidth_sharing.
+# This may be replaced when dependencies are built.

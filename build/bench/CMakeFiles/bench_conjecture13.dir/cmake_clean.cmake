@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conjecture13.dir/bench_conjecture13.cpp.o"
+  "CMakeFiles/bench_conjecture13.dir/bench_conjecture13.cpp.o.d"
+  "bench_conjecture13"
+  "bench_conjecture13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conjecture13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_conjecture13.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy_orders.dir/bench_greedy_orders.cpp.o"
+  "CMakeFiles/bench_greedy_orders.dir/bench_greedy_orders.cpp.o.d"
+  "bench_greedy_orders"
+  "bench_greedy_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy_vs_optimal.dir/bench_greedy_vs_optimal.cpp.o"
+  "CMakeFiles/bench_greedy_vs_optimal.dir/bench_greedy_vs_optimal.cpp.o.d"
+  "bench_greedy_vs_optimal"
+  "bench_greedy_vs_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_vs_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

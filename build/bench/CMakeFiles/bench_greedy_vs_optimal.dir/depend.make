@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_greedy_vs_optimal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_homogeneous_orders.dir/bench_homogeneous_orders.cpp.o"
+  "CMakeFiles/bench_homogeneous_orders.dir/bench_homogeneous_orders.cpp.o.d"
+  "bench_homogeneous_orders"
+  "bench_homogeneous_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homogeneous_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

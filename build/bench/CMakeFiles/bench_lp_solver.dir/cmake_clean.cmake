@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_solver.dir/bench_lp_solver.cpp.o"
+  "CMakeFiles/bench_lp_solver.dir/bench_lp_solver.cpp.o.d"
+  "bench_lp_solver"
+  "bench_lp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_normal_form.dir/bench_normal_form.cpp.o"
+  "CMakeFiles/bench_normal_form.dir/bench_normal_form.cpp.o.d"
+  "bench_normal_form"
+  "bench_normal_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normal_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preemptions.dir/bench_preemptions.cpp.o"
+  "CMakeFiles/bench_preemptions.dir/bench_preemptions.cpp.o.d"
+  "bench_preemptions"
+  "bench_preemptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preemptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

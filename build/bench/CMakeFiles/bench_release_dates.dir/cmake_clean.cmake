@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_release_dates.dir/bench_release_dates.cpp.o"
+  "CMakeFiles/bench_release_dates.dir/bench_release_dates.cpp.o.d"
+  "bench_release_dates"
+  "bench_release_dates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_release_dates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_landscape.dir/bench_table1_landscape.cpp.o"
+  "CMakeFiles/bench_table1_landscape.dir/bench_table1_landscape.cpp.o.d"
+  "bench_table1_landscape"
+  "bench_table1_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

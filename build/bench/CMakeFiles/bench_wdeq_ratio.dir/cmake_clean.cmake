@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wdeq_ratio.dir/bench_wdeq_ratio.cpp.o"
+  "CMakeFiles/bench_wdeq_ratio.dir/bench_wdeq_ratio.cpp.o.d"
+  "bench_wdeq_ratio"
+  "bench_wdeq_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wdeq_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

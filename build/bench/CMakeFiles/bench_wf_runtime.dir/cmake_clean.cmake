@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wf_runtime.dir/bench_wf_runtime.cpp.o"
+  "CMakeFiles/bench_wf_runtime.dir/bench_wf_runtime.cpp.o.d"
+  "bench_wf_runtime"
+  "bench_wf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

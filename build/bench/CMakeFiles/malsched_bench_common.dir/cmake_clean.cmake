@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/malsched_bench_common.dir/common/bench_common.cpp.o.d"
+  "libmalsched_bench_common.a"
+  "libmalsched_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

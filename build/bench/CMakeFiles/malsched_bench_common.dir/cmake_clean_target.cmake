@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmalsched_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bandwidth_sharing.dir/bandwidth_sharing.cpp.o"
+  "CMakeFiles/example_bandwidth_sharing.dir/bandwidth_sharing.cpp.o.d"
+  "bandwidth_sharing"
+  "bandwidth_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bandwidth_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

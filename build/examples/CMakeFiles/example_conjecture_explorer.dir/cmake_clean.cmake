@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_conjecture_explorer.dir/conjecture_explorer.cpp.o"
+  "CMakeFiles/example_conjecture_explorer.dir/conjecture_explorer.cpp.o.d"
+  "conjecture_explorer"
+  "conjecture_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_conjecture_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_conjecture_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_malsched_cli.dir/malsched_cli.cpp.o"
+  "CMakeFiles/example_malsched_cli.dir/malsched_cli.cpp.o.d"
+  "malsched_cli"
+  "malsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_malsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

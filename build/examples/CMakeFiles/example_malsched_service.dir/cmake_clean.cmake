@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_malsched_service.dir/malsched_service.cpp.o"
+  "CMakeFiles/example_malsched_service.dir/malsched_service.cpp.o.d"
+  "malsched_service"
+  "malsched_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_malsched_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multicore_batch.dir/multicore_batch.cpp.o"
+  "CMakeFiles/example_multicore_batch.dir/multicore_batch.cpp.o.d"
+  "multicore_batch"
+  "multicore_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multicore_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nonclairvoyant_cluster.dir/nonclairvoyant_cluster.cpp.o"
+  "CMakeFiles/example_nonclairvoyant_cluster.dir/nonclairvoyant_cluster.cpp.o.d"
+  "nonclairvoyant_cluster"
+  "nonclairvoyant_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nonclairvoyant_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

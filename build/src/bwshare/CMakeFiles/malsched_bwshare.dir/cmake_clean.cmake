@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_bwshare.dir/src/network.cpp.o"
+  "CMakeFiles/malsched_bwshare.dir/src/network.cpp.o.d"
+  "libmalsched_bwshare.a"
+  "libmalsched_bwshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_bwshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

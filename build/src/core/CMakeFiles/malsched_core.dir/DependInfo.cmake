@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/assignment.cpp" "src/core/CMakeFiles/malsched_core.dir/src/assignment.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/assignment.cpp.o.d"
+  "/root/repo/src/core/src/bounds.cpp" "src/core/CMakeFiles/malsched_core.dir/src/bounds.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/bounds.cpp.o.d"
+  "/root/repo/src/core/src/generators.cpp" "src/core/CMakeFiles/malsched_core.dir/src/generators.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/generators.cpp.o.d"
+  "/root/repo/src/core/src/greedy.cpp" "src/core/CMakeFiles/malsched_core.dir/src/greedy.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/greedy.cpp.o.d"
+  "/root/repo/src/core/src/homogeneous.cpp" "src/core/CMakeFiles/malsched_core.dir/src/homogeneous.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/homogeneous.cpp.o.d"
+  "/root/repo/src/core/src/instance.cpp" "src/core/CMakeFiles/malsched_core.dir/src/instance.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/instance.cpp.o.d"
+  "/root/repo/src/core/src/io.cpp" "src/core/CMakeFiles/malsched_core.dir/src/io.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/io.cpp.o.d"
+  "/root/repo/src/core/src/makespan.cpp" "src/core/CMakeFiles/malsched_core.dir/src/makespan.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/makespan.cpp.o.d"
+  "/root/repo/src/core/src/optimal.cpp" "src/core/CMakeFiles/malsched_core.dir/src/optimal.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/optimal.cpp.o.d"
+  "/root/repo/src/core/src/order_lp.cpp" "src/core/CMakeFiles/malsched_core.dir/src/order_lp.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/order_lp.cpp.o.d"
+  "/root/repo/src/core/src/orderings.cpp" "src/core/CMakeFiles/malsched_core.dir/src/orderings.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/orderings.cpp.o.d"
+  "/root/repo/src/core/src/release_dates.cpp" "src/core/CMakeFiles/malsched_core.dir/src/release_dates.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/release_dates.cpp.o.d"
+  "/root/repo/src/core/src/schedule.cpp" "src/core/CMakeFiles/malsched_core.dir/src/schedule.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/schedule.cpp.o.d"
+  "/root/repo/src/core/src/water_filling.cpp" "src/core/CMakeFiles/malsched_core.dir/src/water_filling.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/water_filling.cpp.o.d"
+  "/root/repo/src/core/src/wdeq.cpp" "src/core/CMakeFiles/malsched_core.dir/src/wdeq.cpp.o" "gcc" "src/core/CMakeFiles/malsched_core.dir/src/wdeq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/malsched_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/malsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/malsched_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/malsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

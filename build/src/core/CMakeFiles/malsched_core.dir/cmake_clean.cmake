@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_core.dir/src/assignment.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/assignment.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/bounds.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/bounds.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/generators.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/generators.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/greedy.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/greedy.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/homogeneous.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/homogeneous.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/instance.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/instance.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/io.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/io.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/makespan.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/makespan.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/optimal.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/optimal.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/order_lp.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/order_lp.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/orderings.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/orderings.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/release_dates.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/release_dates.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/schedule.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/schedule.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/water_filling.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/water_filling.cpp.o.d"
+  "CMakeFiles/malsched_core.dir/src/wdeq.cpp.o"
+  "CMakeFiles/malsched_core.dir/src/wdeq.cpp.o.d"
+  "libmalsched_core.a"
+  "libmalsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_flow.dir/src/max_flow.cpp.o"
+  "CMakeFiles/malsched_flow.dir/src/max_flow.cpp.o.d"
+  "libmalsched_flow.a"
+  "libmalsched_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

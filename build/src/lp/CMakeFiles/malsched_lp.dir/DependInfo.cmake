@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/src/exact_simplex.cpp" "src/lp/CMakeFiles/malsched_lp.dir/src/exact_simplex.cpp.o" "gcc" "src/lp/CMakeFiles/malsched_lp.dir/src/exact_simplex.cpp.o.d"
+  "/root/repo/src/lp/src/model.cpp" "src/lp/CMakeFiles/malsched_lp.dir/src/model.cpp.o" "gcc" "src/lp/CMakeFiles/malsched_lp.dir/src/model.cpp.o.d"
+  "/root/repo/src/lp/src/simplex.cpp" "src/lp/CMakeFiles/malsched_lp.dir/src/simplex.cpp.o" "gcc" "src/lp/CMakeFiles/malsched_lp.dir/src/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/malsched_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/malsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

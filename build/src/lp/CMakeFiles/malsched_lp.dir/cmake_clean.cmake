@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_lp.dir/src/exact_simplex.cpp.o"
+  "CMakeFiles/malsched_lp.dir/src/exact_simplex.cpp.o.d"
+  "CMakeFiles/malsched_lp.dir/src/model.cpp.o"
+  "CMakeFiles/malsched_lp.dir/src/model.cpp.o.d"
+  "CMakeFiles/malsched_lp.dir/src/simplex.cpp.o"
+  "CMakeFiles/malsched_lp.dir/src/simplex.cpp.o.d"
+  "libmalsched_lp.a"
+  "libmalsched_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

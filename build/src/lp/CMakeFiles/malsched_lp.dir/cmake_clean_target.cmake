@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmalsched_lp.a"
+)

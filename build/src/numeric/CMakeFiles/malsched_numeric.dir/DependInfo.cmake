@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/src/bigint.cpp" "src/numeric/CMakeFiles/malsched_numeric.dir/src/bigint.cpp.o" "gcc" "src/numeric/CMakeFiles/malsched_numeric.dir/src/bigint.cpp.o.d"
+  "/root/repo/src/numeric/src/rational.cpp" "src/numeric/CMakeFiles/malsched_numeric.dir/src/rational.cpp.o" "gcc" "src/numeric/CMakeFiles/malsched_numeric.dir/src/rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/malsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_numeric.dir/src/bigint.cpp.o"
+  "CMakeFiles/malsched_numeric.dir/src/bigint.cpp.o.d"
+  "CMakeFiles/malsched_numeric.dir/src/rational.cpp.o"
+  "CMakeFiles/malsched_numeric.dir/src/rational.cpp.o.d"
+  "libmalsched_numeric.a"
+  "libmalsched_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_service.dir/src/batch.cpp.o"
+  "CMakeFiles/malsched_service.dir/src/batch.cpp.o.d"
+  "CMakeFiles/malsched_service.dir/src/cache.cpp.o"
+  "CMakeFiles/malsched_service.dir/src/cache.cpp.o.d"
+  "CMakeFiles/malsched_service.dir/src/canonical.cpp.o"
+  "CMakeFiles/malsched_service.dir/src/canonical.cpp.o.d"
+  "CMakeFiles/malsched_service.dir/src/service.cpp.o"
+  "CMakeFiles/malsched_service.dir/src/service.cpp.o.d"
+  "CMakeFiles/malsched_service.dir/src/solver_registry.cpp.o"
+  "CMakeFiles/malsched_service.dir/src/solver_registry.cpp.o.d"
+  "libmalsched_service.a"
+  "libmalsched_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_sim.dir/src/engine.cpp.o"
+  "CMakeFiles/malsched_sim.dir/src/engine.cpp.o.d"
+  "CMakeFiles/malsched_sim.dir/src/metrics.cpp.o"
+  "CMakeFiles/malsched_sim.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/malsched_sim.dir/src/policy.cpp.o"
+  "CMakeFiles/malsched_sim.dir/src/policy.cpp.o.d"
+  "libmalsched_sim.a"
+  "libmalsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

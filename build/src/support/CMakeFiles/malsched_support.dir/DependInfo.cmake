@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/src/contracts.cpp" "src/support/CMakeFiles/malsched_support.dir/src/contracts.cpp.o" "gcc" "src/support/CMakeFiles/malsched_support.dir/src/contracts.cpp.o.d"
+  "/root/repo/src/support/src/csv.cpp" "src/support/CMakeFiles/malsched_support.dir/src/csv.cpp.o" "gcc" "src/support/CMakeFiles/malsched_support.dir/src/csv.cpp.o.d"
+  "/root/repo/src/support/src/log.cpp" "src/support/CMakeFiles/malsched_support.dir/src/log.cpp.o" "gcc" "src/support/CMakeFiles/malsched_support.dir/src/log.cpp.o.d"
+  "/root/repo/src/support/src/rng.cpp" "src/support/CMakeFiles/malsched_support.dir/src/rng.cpp.o" "gcc" "src/support/CMakeFiles/malsched_support.dir/src/rng.cpp.o.d"
+  "/root/repo/src/support/src/stats.cpp" "src/support/CMakeFiles/malsched_support.dir/src/stats.cpp.o" "gcc" "src/support/CMakeFiles/malsched_support.dir/src/stats.cpp.o.d"
+  "/root/repo/src/support/src/table.cpp" "src/support/CMakeFiles/malsched_support.dir/src/table.cpp.o" "gcc" "src/support/CMakeFiles/malsched_support.dir/src/table.cpp.o.d"
+  "/root/repo/src/support/src/thread_pool.cpp" "src/support/CMakeFiles/malsched_support.dir/src/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/malsched_support.dir/src/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malsched_support.dir/src/contracts.cpp.o"
+  "CMakeFiles/malsched_support.dir/src/contracts.cpp.o.d"
+  "CMakeFiles/malsched_support.dir/src/csv.cpp.o"
+  "CMakeFiles/malsched_support.dir/src/csv.cpp.o.d"
+  "CMakeFiles/malsched_support.dir/src/log.cpp.o"
+  "CMakeFiles/malsched_support.dir/src/log.cpp.o.d"
+  "CMakeFiles/malsched_support.dir/src/rng.cpp.o"
+  "CMakeFiles/malsched_support.dir/src/rng.cpp.o.d"
+  "CMakeFiles/malsched_support.dir/src/stats.cpp.o"
+  "CMakeFiles/malsched_support.dir/src/stats.cpp.o.d"
+  "CMakeFiles/malsched_support.dir/src/table.cpp.o"
+  "CMakeFiles/malsched_support.dir/src/table.cpp.o.d"
+  "CMakeFiles/malsched_support.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/malsched_support.dir/src/thread_pool.cpp.o.d"
+  "libmalsched_support.a"
+  "libmalsched_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malsched_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

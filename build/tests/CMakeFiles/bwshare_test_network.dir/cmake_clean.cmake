@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwshare_test_network.dir/bwshare/test_network.cpp.o"
+  "CMakeFiles/bwshare_test_network.dir/bwshare/test_network.cpp.o.d"
+  "bwshare_test_network"
+  "bwshare_test_network.pdb"
+  "bwshare_test_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwshare_test_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_assignment.dir/core/test_assignment.cpp.o"
+  "CMakeFiles/core_test_assignment.dir/core/test_assignment.cpp.o.d"
+  "core_test_assignment"
+  "core_test_assignment.pdb"
+  "core_test_assignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_bounds.dir/core/test_bounds.cpp.o"
+  "CMakeFiles/core_test_bounds.dir/core/test_bounds.cpp.o.d"
+  "core_test_bounds"
+  "core_test_bounds.pdb"
+  "core_test_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

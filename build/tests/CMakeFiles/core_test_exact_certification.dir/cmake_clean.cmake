@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_exact_certification.dir/core/test_exact_certification.cpp.o"
+  "CMakeFiles/core_test_exact_certification.dir/core/test_exact_certification.cpp.o.d"
+  "core_test_exact_certification"
+  "core_test_exact_certification.pdb"
+  "core_test_exact_certification[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_exact_certification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

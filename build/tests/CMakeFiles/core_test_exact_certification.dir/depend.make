@@ -1,0 +1,2 @@
+# Empty dependencies file for core_test_exact_certification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_fixtures.dir/core/test_fixtures.cpp.o"
+  "CMakeFiles/core_test_fixtures.dir/core/test_fixtures.cpp.o.d"
+  "core_test_fixtures"
+  "core_test_fixtures.pdb"
+  "core_test_fixtures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_fixtures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

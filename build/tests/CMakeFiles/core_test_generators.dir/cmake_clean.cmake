@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_generators.dir/core/test_generators.cpp.o"
+  "CMakeFiles/core_test_generators.dir/core/test_generators.cpp.o.d"
+  "core_test_generators"
+  "core_test_generators.pdb"
+  "core_test_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

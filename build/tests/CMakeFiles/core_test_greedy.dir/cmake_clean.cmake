@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_greedy.dir/core/test_greedy.cpp.o"
+  "CMakeFiles/core_test_greedy.dir/core/test_greedy.cpp.o.d"
+  "core_test_greedy"
+  "core_test_greedy.pdb"
+  "core_test_greedy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

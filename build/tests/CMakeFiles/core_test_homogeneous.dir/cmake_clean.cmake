@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_homogeneous.dir/core/test_homogeneous.cpp.o"
+  "CMakeFiles/core_test_homogeneous.dir/core/test_homogeneous.cpp.o.d"
+  "core_test_homogeneous"
+  "core_test_homogeneous.pdb"
+  "core_test_homogeneous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_instance.dir/core/test_instance.cpp.o"
+  "CMakeFiles/core_test_instance.dir/core/test_instance.cpp.o.d"
+  "core_test_instance"
+  "core_test_instance.pdb"
+  "core_test_instance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_io.dir/core/test_io.cpp.o"
+  "CMakeFiles/core_test_io.dir/core/test_io.cpp.o.d"
+  "core_test_io"
+  "core_test_io.pdb"
+  "core_test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_makespan.dir/core/test_makespan.cpp.o"
+  "CMakeFiles/core_test_makespan.dir/core/test_makespan.cpp.o.d"
+  "core_test_makespan"
+  "core_test_makespan.pdb"
+  "core_test_makespan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_optimal.dir/core/test_optimal.cpp.o"
+  "CMakeFiles/core_test_optimal.dir/core/test_optimal.cpp.o.d"
+  "core_test_optimal"
+  "core_test_optimal.pdb"
+  "core_test_optimal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_order_lp.dir/core/test_order_lp.cpp.o"
+  "CMakeFiles/core_test_order_lp.dir/core/test_order_lp.cpp.o.d"
+  "core_test_order_lp"
+  "core_test_order_lp.pdb"
+  "core_test_order_lp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_order_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for core_test_order_lp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_properties.dir/core/test_properties.cpp.o"
+  "CMakeFiles/core_test_properties.dir/core/test_properties.cpp.o.d"
+  "core_test_properties"
+  "core_test_properties.pdb"
+  "core_test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

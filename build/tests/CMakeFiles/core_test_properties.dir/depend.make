@@ -1,0 +1,2 @@
+# Empty dependencies file for core_test_properties.
+# This may be replaced when dependencies are built.

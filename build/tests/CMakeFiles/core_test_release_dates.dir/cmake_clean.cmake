@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_release_dates.dir/core/test_release_dates.cpp.o"
+  "CMakeFiles/core_test_release_dates.dir/core/test_release_dates.cpp.o.d"
+  "core_test_release_dates"
+  "core_test_release_dates.pdb"
+  "core_test_release_dates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_release_dates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_schedule.dir/core/test_schedule.cpp.o"
+  "CMakeFiles/core_test_schedule.dir/core/test_schedule.cpp.o.d"
+  "core_test_schedule"
+  "core_test_schedule.pdb"
+  "core_test_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

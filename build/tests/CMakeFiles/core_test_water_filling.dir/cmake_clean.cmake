@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_water_filling.dir/core/test_water_filling.cpp.o"
+  "CMakeFiles/core_test_water_filling.dir/core/test_water_filling.cpp.o.d"
+  "core_test_water_filling"
+  "core_test_water_filling.pdb"
+  "core_test_water_filling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_water_filling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

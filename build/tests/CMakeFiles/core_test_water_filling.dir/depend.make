@@ -1,0 +1,2 @@
+# Empty dependencies file for core_test_water_filling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_wdeq.dir/core/test_wdeq.cpp.o"
+  "CMakeFiles/core_test_wdeq.dir/core/test_wdeq.cpp.o.d"
+  "core_test_wdeq"
+  "core_test_wdeq.pdb"
+  "core_test_wdeq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_wdeq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_test_max_flow.dir/flow/test_max_flow.cpp.o"
+  "CMakeFiles/flow_test_max_flow.dir/flow/test_max_flow.cpp.o.d"
+  "flow_test_max_flow"
+  "flow_test_max_flow.pdb"
+  "flow_test_max_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_test_max_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flow_test_max_flow.
+# This may be replaced when dependencies are built.

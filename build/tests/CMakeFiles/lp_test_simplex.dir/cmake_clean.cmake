@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test_simplex.dir/lp/test_simplex.cpp.o"
+  "CMakeFiles/lp_test_simplex.dir/lp/test_simplex.cpp.o.d"
+  "lp_test_simplex"
+  "lp_test_simplex.pdb"
+  "lp_test_simplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

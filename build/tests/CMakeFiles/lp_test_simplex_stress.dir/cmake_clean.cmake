@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test_simplex_stress.dir/lp/test_simplex_stress.cpp.o"
+  "CMakeFiles/lp_test_simplex_stress.dir/lp/test_simplex_stress.cpp.o.d"
+  "lp_test_simplex_stress"
+  "lp_test_simplex_stress.pdb"
+  "lp_test_simplex_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test_simplex_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

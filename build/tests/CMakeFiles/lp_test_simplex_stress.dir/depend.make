@@ -1,0 +1,2 @@
+# Empty dependencies file for lp_test_simplex_stress.
+# This may be replaced when dependencies are built.

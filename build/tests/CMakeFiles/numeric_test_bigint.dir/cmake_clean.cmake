@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_test_bigint.dir/numeric/test_bigint.cpp.o"
+  "CMakeFiles/numeric_test_bigint.dir/numeric/test_bigint.cpp.o.d"
+  "numeric_test_bigint"
+  "numeric_test_bigint.pdb"
+  "numeric_test_bigint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_test_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

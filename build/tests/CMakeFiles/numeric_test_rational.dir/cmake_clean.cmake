@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_test_rational.dir/numeric/test_rational.cpp.o"
+  "CMakeFiles/numeric_test_rational.dir/numeric/test_rational.cpp.o.d"
+  "numeric_test_rational"
+  "numeric_test_rational.pdb"
+  "numeric_test_rational[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_test_rational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for numeric_test_rational.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_test_batch.dir/service/test_batch.cpp.o"
+  "CMakeFiles/service_test_batch.dir/service/test_batch.cpp.o.d"
+  "service_test_batch"
+  "service_test_batch.pdb"
+  "service_test_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_test_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_test_cache.dir/service/test_cache.cpp.o"
+  "CMakeFiles/service_test_cache.dir/service/test_cache.cpp.o.d"
+  "service_test_cache"
+  "service_test_cache.pdb"
+  "service_test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

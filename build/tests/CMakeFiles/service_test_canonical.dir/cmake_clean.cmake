@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_test_canonical.dir/service/test_canonical.cpp.o"
+  "CMakeFiles/service_test_canonical.dir/service/test_canonical.cpp.o.d"
+  "service_test_canonical"
+  "service_test_canonical.pdb"
+  "service_test_canonical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_test_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_test_registry.dir/service/test_registry.cpp.o"
+  "CMakeFiles/service_test_registry.dir/service/test_registry.cpp.o.d"
+  "service_test_registry"
+  "service_test_registry.pdb"
+  "service_test_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_test_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

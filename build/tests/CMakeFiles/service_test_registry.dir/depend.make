@@ -1,0 +1,2 @@
+# Empty dependencies file for service_test_registry.
+# This may be replaced when dependencies are built.

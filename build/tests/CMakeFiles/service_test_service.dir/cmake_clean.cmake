@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_test_service.dir/service/test_service.cpp.o"
+  "CMakeFiles/service_test_service.dir/service/test_service.cpp.o.d"
+  "service_test_service"
+  "service_test_service.pdb"
+  "service_test_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_test_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_engine.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/sim_test_engine.dir/sim/test_engine.cpp.o.d"
+  "sim_test_engine"
+  "sim_test_engine.pdb"
+  "sim_test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

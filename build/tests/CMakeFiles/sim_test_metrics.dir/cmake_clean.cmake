@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_metrics.dir/sim/test_metrics.cpp.o"
+  "CMakeFiles/sim_test_metrics.dir/sim/test_metrics.cpp.o.d"
+  "sim_test_metrics"
+  "sim_test_metrics.pdb"
+  "sim_test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

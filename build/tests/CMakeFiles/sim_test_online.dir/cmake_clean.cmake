@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_online.dir/sim/test_online.cpp.o"
+  "CMakeFiles/sim_test_online.dir/sim/test_online.cpp.o.d"
+  "sim_test_online"
+  "sim_test_online.pdb"
+  "sim_test_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

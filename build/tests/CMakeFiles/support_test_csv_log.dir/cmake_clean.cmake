@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test_csv_log.dir/support/test_csv_log.cpp.o"
+  "CMakeFiles/support_test_csv_log.dir/support/test_csv_log.cpp.o.d"
+  "support_test_csv_log"
+  "support_test_csv_log.pdb"
+  "support_test_csv_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test_csv_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

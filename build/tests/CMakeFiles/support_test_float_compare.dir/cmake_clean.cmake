@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test_float_compare.dir/support/test_float_compare.cpp.o"
+  "CMakeFiles/support_test_float_compare.dir/support/test_float_compare.cpp.o.d"
+  "support_test_float_compare"
+  "support_test_float_compare.pdb"
+  "support_test_float_compare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test_float_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

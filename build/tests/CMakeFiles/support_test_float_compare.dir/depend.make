@@ -1,0 +1,2 @@
+# Empty dependencies file for support_test_float_compare.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test_matrix.dir/support/test_matrix.cpp.o"
+  "CMakeFiles/support_test_matrix.dir/support/test_matrix.cpp.o.d"
+  "support_test_matrix"
+  "support_test_matrix.pdb"
+  "support_test_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

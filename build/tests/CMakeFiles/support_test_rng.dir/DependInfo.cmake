@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/support_test_rng.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/support_test_rng.dir/support/test_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwshare/CMakeFiles/malsched_bwshare.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/malsched_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/malsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/malsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/malsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/malsched_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/malsched_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/malsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test_rng.dir/support/test_rng.cpp.o"
+  "CMakeFiles/support_test_rng.dir/support/test_rng.cpp.o.d"
+  "support_test_rng"
+  "support_test_rng.pdb"
+  "support_test_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test_stats.dir/support/test_stats.cpp.o"
+  "CMakeFiles/support_test_stats.dir/support/test_stats.cpp.o.d"
+  "support_test_stats"
+  "support_test_stats.pdb"
+  "support_test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test_table.dir/support/test_table.cpp.o"
+  "CMakeFiles/support_test_table.dir/support/test_table.cpp.o.d"
+  "support_test_table"
+  "support_test_table.pdb"
+  "support_test_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

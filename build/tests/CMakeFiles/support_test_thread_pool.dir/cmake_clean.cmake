@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test_thread_pool.dir/support/test_thread_pool.cpp.o"
+  "CMakeFiles/support_test_thread_pool.dir/support/test_thread_pool.cpp.o.d"
+  "support_test_thread_pool"
+  "support_test_thread_pool.pdb"
+  "support_test_thread_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test_thread_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
