@@ -1,16 +1,23 @@
-// E-SVC — service layer: batch throughput, cache speedup, determinism.
+// E-SVC — service layer: batch throughput, cache speedup, determinism, and
+// streaming admission.
 //
-// Three claims about malsched::service are measured here:
-//   1. batch throughput scales with worker threads (embarrassingly parallel
-//      fan-out over support::ThreadPool; speedup is bounded by the host's
-//      core count — a single-core host shows ~1x by construction),
+// Four claims about malsched::service are measured here:
+//   1. batch throughput scales with worker threads (requests stream off the
+//      Scheduler's admission queue; speedup is bounded by the host's core
+//      count — a single-core host shows ~1x by construction),
 //   2. a warm canonicalization cache answers repeated traffic much faster
 //      than re-solving (target: >= 10x on the mean request),
 //   3. the per-request output stream is byte-identical for every thread
-//      count (deterministic request-order results).
+//      count (deterministic request-order results),
+//   4. streaming admission beats the barrier: on a batch mixing one long
+//      `optimal` solve with many short `wdeq` requests, the client-observed
+//      short-request p50 latency under the v2 Scheduler is strictly lower
+//      than under a barrier-style fan-out (which hands back nothing until
+//      the whole batch — long solve included — has finished).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -19,6 +26,7 @@
 #include "bench_common.hpp"
 #include "malsched/core/generators.hpp"
 #include "malsched/service/batch.hpp"
+#include "malsched/service/scheduler.hpp"
 #include "malsched/service/service.hpp"
 #include "malsched/support/rng.hpp"
 #include "malsched/support/stats.hpp"
@@ -31,14 +39,16 @@ namespace {
 
 // Mixed workload: heterogeneous families/sizes, solver mix from cheap fluid
 // policies to the order LP, and repeated instances (the cloud-batch pattern
-// the cache is built for).
-std::vector<service::SolveRequest> make_mixed_batch(std::size_t num_requests,
+// the cache is built for).  Instances are interned once and shared by
+// handle, so repeats cost a shared_ptr copy, not a task-vector copy.
+std::vector<service::BatchRequest> make_mixed_batch(std::size_t num_requests,
                                                     std::uint64_t seed) {
   support::Rng rng(seed);
   const std::vector<core::Family> families = {
       core::Family::Uniform, core::Family::BandwidthLike,
       core::Family::HeavyTailVolumes, core::Family::EqualWeights};
   std::vector<core::Instance> bases;
+  std::vector<service::InstanceHandle> handles;
   const std::size_t num_bases = 48;
   for (std::size_t b = 0; b < num_bases; ++b) {
     core::GeneratorConfig config;
@@ -46,25 +56,27 @@ std::vector<service::SolveRequest> make_mixed_batch(std::size_t num_requests,
     config.num_tasks = 4 + static_cast<std::size_t>(rng.uniform_int(0, 10));
     config.processors = static_cast<double>(1 << rng.uniform_int(1, 4));
     bases.push_back(core::generate(config, rng));
+    handles.push_back(service::intern(bases.back()));
   }
 
   const std::vector<std::string> solvers = {
       "wdeq",          "deq",           "wrr",
       "smith-greedy",  "greedy-heuristic", "water-fill-smith",
       "order-lp-smith"};
-  std::vector<service::SolveRequest> requests;
+  std::vector<service::BatchRequest> requests;
   requests.reserve(num_requests);
   for (std::size_t r = 0; r < num_requests; ++r) {
-    const auto& base =
-        bases[static_cast<std::size_t>(rng.uniform_int(0, num_bases - 1))];
-    service::SolveRequest request{
+    const auto base_index =
+        static_cast<std::size_t>(rng.uniform_int(0, num_bases - 1));
+    service::BatchRequest request{
         solvers[static_cast<std::size_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(solvers.size()) - 1))],
-        base};
+        handles[base_index]};
     // A third of the traffic is the same work in different units: scale
     // volumes/weights by powers of two, which the canonicalization cache
     // maps onto the base instance's entry exactly.
     if (rng.bernoulli(1.0 / 3.0)) {
+      const auto& base = bases[base_index];
       std::vector<core::Task> tasks = base.tasks();
       const double vs = rng.bernoulli(0.5) ? 2.0 : 0.5;
       const double ws = rng.bernoulli(0.5) ? 4.0 : 0.25;
@@ -72,7 +84,8 @@ std::vector<service::SolveRequest> make_mixed_batch(std::size_t num_requests,
         t.volume *= vs;
         t.weight *= ws;
       }
-      request.instance = core::Instance(base.processors(), std::move(tasks));
+      request.instance = service::intern(
+          core::Instance(base.processors(), std::move(tasks)));
     }
     requests.push_back(std::move(request));
   }
@@ -80,15 +93,18 @@ std::vector<service::SolveRequest> make_mixed_batch(std::size_t num_requests,
 }
 
 double time_batch(const service::SolverRegistry& registry,
-                  const std::vector<service::SolveRequest>& requests,
+                  const std::vector<service::BatchRequest>& requests,
                   unsigned threads, service::ResultCache* cache,
                   std::vector<service::SolveResult>* results_out = nullptr) {
-  support::ThreadPool pool(threads);
-  service::BatchOptions options;
-  options.pool = &pool;
+  // Scheduler construction (thread spawn) stays outside the timed window so
+  // the numbers measure solving, not worker startup.
+  service::Scheduler::Options options;
+  options.threads = threads;
   options.cache = cache;
+  options.use_cache = cache != nullptr;
+  service::Scheduler scheduler(registry, options);
   const auto start = std::chrono::steady_clock::now();
-  auto results = service::solve_batch(registry, requests, options);
+  auto results = service::solve_batch(scheduler, requests);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -104,8 +120,108 @@ std::string results_text(std::vector<service::SolveResult> results) {
   return service::format_results(report);
 }
 
-// Returns false when a correctness claim (determinism) fails, so CI's
-// bench-smoke step turns red instead of just printing the mismatch.
+// --- 4. streaming admission vs the barrier, on a mixed-duration batch. ---
+//
+// The batch is one `optimal` request (n = 7: ~seconds of completion-order
+// enumeration) buried among short `wdeq` requests.  Client-observed latency
+// of request i is "when can the client act on result i":
+//   * barrier style (v1 solve_batch): the call returns the whole vector at
+//     once, so every request's latency is the full batch wall time;
+//   * streaming (v2 Scheduler): each Ticket resolves independently, so a
+//     short request's latency is its own submit-to-completion time.
+// Returns false when the v2 short-request p50 is not strictly lower.
+bool run_streaming_vs_barrier(const service::SolverRegistry& registry,
+                              const bench::BenchConfig& config) {
+  const unsigned threads = 8;
+  const std::size_t num_short = bench::scaled(256, config.scale);
+  support::Rng rng(config.seed + 7);
+  core::GeneratorConfig long_config;
+  long_config.family = core::Family::Uniform;
+  long_config.num_tasks = 7;  // n! enumeration: a multi-second solve
+  long_config.processors = 4.0;
+  const auto long_handle = service::intern(core::generate(long_config, rng));
+
+  std::vector<service::BatchRequest> requests;
+  requests.reserve(num_short + 1);
+  requests.push_back({"optimal", long_handle});  // long solve admitted first
+  for (std::size_t i = 0; i < num_short; ++i) {
+    core::GeneratorConfig config_short;
+    config_short.family = core::Family::Uniform;
+    config_short.num_tasks = 4 + i % 6;
+    config_short.processors = 4.0;
+    requests.push_back(
+        {"wdeq", service::intern(core::generate(config_short, rng))});
+  }
+
+  // Barrier style: fan out over a ThreadPool, results visible only when the
+  // whole batch returns (this is exactly what v1 solve_batch offered).
+  support::Sample barrier_latencies;
+  {
+    support::ThreadPool pool(threads);
+    std::vector<service::SolveResult> results(requests.size());
+    const auto start = std::chrono::steady_clock::now();
+    pool.parallel_for(0, requests.size(), [&](std::size_t i) {
+      results[i] = service::solve_cached(registry, requests[i].solver,
+                                         requests[i].instance, nullptr);
+    });
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      barrier_latencies.add(wall);  // nothing observable before the barrier
+    }
+  }
+
+  // Streaming: every ticket resolves on its own; latency_seconds is the
+  // Scheduler's submit-to-completion measurement (queueing included).
+  support::Sample streaming_latencies;
+  double long_latency = 0.0;
+  {
+    service::Scheduler::Options options;
+    options.threads = threads;
+    options.use_cache = false;
+    service::Scheduler scheduler(registry, options);
+    std::vector<service::Ticket> tickets;
+    tickets.reserve(requests.size());
+    for (const auto& request : requests) {
+      tickets.push_back(scheduler.submit(request.solver, request.instance));
+    }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const auto result = tickets[i].get();
+      if (i == 0) {
+        long_latency = result.latency_seconds;
+      } else {
+        streaming_latencies.add(result.latency_seconds);
+      }
+    }
+  }
+
+  const double p50_barrier = barrier_latencies.quantile(0.5);
+  const double p50_streaming = streaming_latencies.quantile(0.5);
+  support::TextTable table({{"path", support::Align::Left},
+                            {"short p50 (ms)", support::Align::Right},
+                            {"short p99 (ms)", support::Align::Right},
+                            {"long solve (s)", support::Align::Right}});
+  table.add_row({"barrier (v1)", support::fmt_double(p50_barrier * 1e3),
+                 support::fmt_double(barrier_latencies.quantile(0.99) * 1e3),
+                 "-"});
+  table.add_row({"streaming (v2)", support::fmt_double(p50_streaming * 1e3),
+                 support::fmt_double(streaming_latencies.quantile(0.99) * 1e3),
+                 support::fmt_double(long_latency)});
+  std::printf(
+      "mixed-duration batch (1 optimal n=7 + %zu wdeq, %u threads):\n%s",
+      num_short, threads, table.to_string().c_str());
+  const bool streaming_wins = p50_streaming < p50_barrier;
+  std::printf("streaming admission: short-request p50 %.3f ms vs %.3f ms "
+              "under the barrier — %s\n\n",
+              p50_streaming * 1e3, p50_barrier * 1e3,
+              streaming_wins ? "STRICTLY LOWER (ok)" : "NOT LOWER (BUG)");
+  return streaming_wins;
+}
+
+// Returns false when a correctness claim (determinism, streaming admission)
+// fails, so CI's bench-smoke step turns red instead of just printing the
+// mismatch.
 [[nodiscard]] bool run_report(const bench::BenchConfig& config) {
   bench::print_banner("E-SVC (service layer)",
                       "batch scheduling service throughput", config);
@@ -124,7 +240,7 @@ std::string results_text(std::vector<service::SolveResult> results) {
                               {"speedup", support::Align::Right}});
     double base_seconds = 0.0;
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-      service::ResultCache cache(4096);
+      service::ResultCache cache(1 << 16);
       const double seconds = time_batch(registry, requests, threads, &cache);
       if (threads == 1) {
         base_seconds = seconds;
@@ -140,7 +256,7 @@ std::string results_text(std::vector<service::SolveResult> results) {
 
   // --- 2. cache: cold vs warm vs disabled. ---
   {
-    service::ResultCache cache(4096);
+    service::ResultCache cache(1 << 16);
     const double cold = time_batch(registry, requests, 1, &cache);
     const double warm = time_batch(registry, requests, 1, &cache);
     const double uncached = time_batch(registry, requests, 1, nullptr);
@@ -159,15 +275,15 @@ std::string results_text(std::vector<service::SolveResult> results) {
                    support::fmt_double(us(warm))});
     std::printf("canonicalization cache (1 thread):\n%s", table.to_string().c_str());
     std::printf("warm-vs-cold speedup: %.1fx (target >= 10x)  "
-                "hit_rate after both passes: %.3f  entries: %zu\n\n",
-                cold / warm, stats.hit_rate(), stats.entries);
+                "hit_rate after both passes: %.3f  entries: %zu  weight: %zu\n\n",
+                cold / warm, stats.hit_rate(), stats.entries, stats.weight);
   }
 
   // --- 3. determinism across thread counts. ---
   bool deterministic = false;
   {
     std::vector<service::SolveResult> results_1, results_8;
-    service::ResultCache cache_1(4096), cache_8(4096);
+    service::ResultCache cache_1(1 << 16), cache_8(1 << 16);
     time_batch(registry, requests, 1, &cache_1, &results_1);
     time_batch(registry, requests, 8, &cache_8, &results_8);
     deterministic =
@@ -175,18 +291,20 @@ std::string results_text(std::vector<service::SolveResult> results) {
     std::printf("determinism: --threads 1 vs --threads 8 output %s\n\n",
                 deterministic ? "IDENTICAL (byte-for-byte)" : "DIFFERS (BUG)");
   }
-  return deterministic;
+
+  const bool streaming = run_streaming_vs_barrier(registry, config);
+  return deterministic && streaming;
 }
 
 void bm_solve_batch(benchmark::State& state) {
   static const auto registry = service::SolverRegistry::with_default_solvers();
   static const auto requests = make_mixed_batch(256, 20120521);
   const auto threads = static_cast<unsigned>(state.range(0));
-  support::ThreadPool pool(threads);
-  service::ResultCache cache(4096);
-  service::BatchOptions options;
-  options.pool = &pool;
+  service::ResultCache cache(1 << 16);
+  service::Scheduler::Options options;
+  options.threads = threads;
   options.cache = &cache;
+  service::Scheduler scheduler(registry, options);  // workers hoisted
   for (auto _ : state) {
     // Cold cache every iteration: otherwise rounds 2..N are pure hit
     // dispatch and the thread-scaling numbers measure lookups, not solving.
@@ -194,12 +312,12 @@ void bm_solve_batch(benchmark::State& state) {
     cache.clear();
     state.ResumeTiming();
     benchmark::DoNotOptimize(
-        service::solve_batch(registry, requests, options).size());
+        service::solve_batch(scheduler, requests).size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(requests.size()));
 }
-// Real time, not CPU time: the work runs on pool workers, so the main
+// Real time, not CPU time: the work runs on Scheduler workers, so the main
 // thread's CPU clock would report near-zero and inflate items/s.
 BENCHMARK(bm_solve_batch)
     ->Arg(1)
@@ -211,15 +329,19 @@ BENCHMARK(bm_solve_batch)
 void bm_cache_hit(benchmark::State& state) {
   static const auto registry = service::SolverRegistry::with_default_solvers();
   static const auto requests = make_mixed_batch(64, 7);
-  service::ResultCache cache(4096);
+  service::ResultCache cache(1 << 16);
   for (const auto& request : requests) {  // prime
     benchmark::DoNotOptimize(
-        service::solve_cached(registry, request, &cache).ok);
+        service::solve_cached(registry, request.solver, request.instance,
+                              &cache)
+            .ok());
   }
   std::size_t i = 0;
   for (auto _ : state) {
+    const auto& request = requests[i % requests.size()];
     benchmark::DoNotOptimize(
-        service::solve_cached(registry, requests[i % requests.size()], &cache)
+        service::solve_cached(registry, request.solver, request.instance,
+                              &cache)
             .cache_hit);
     ++i;
   }

@@ -1,7 +1,8 @@
-// malsched_service: batch scheduling service front door.
+// malsched_service: batch scheduling service front door (v2 Scheduler).
 //
 //   ./examples/malsched_service <batch-file> [--threads N] [--repeat R]
-//                               [--cache-capacity N] [--no-cache]
+//                               [--cache-capacity W] [--no-cache]
+//                               [--queue-capacity N]
 //   ./examples/malsched_service --solvers
 //
 // Batch file format (see malsched/service/service.hpp):
@@ -11,15 +12,22 @@
 //   task 2.0 2 1.0
 //   task 1.5 1 0.5
 //   end
+//   generate big heavy-tail-volumes 200 16 42
+//   include common_instances.msb
 //   solve wdeq small
 //   solve optimal small
+//   solve wdeq big
 //
+// Relative `include` paths resolve against the batch file's directory.
 // Per-request results go to stdout (deterministic: identical bytes for any
-// --threads value); latency/cache telemetry goes to stderr.
+// --threads value); failures carry their typed error code.  Latency/cache
+// telemetry goes to stderr.  --cache-capacity counts weight units (~one per
+// completion time), not entries.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -33,7 +41,7 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <batch-file> [--threads N] [--repeat R] "
-               "[--cache-capacity N] [--no-cache]\n"
+               "[--cache-capacity W] [--no-cache] [--queue-capacity N]\n"
                "       %s --solvers\n",
                prog, prog);
   return 64;
@@ -80,10 +88,15 @@ int main(int argc, char** argv) {
       }
       options.repeat = static_cast<std::size_t>(value);
     } else if (std::strcmp(argv[i], "--cache-capacity") == 0 && i + 1 < argc) {
-      if (!parse_count(argv[++i], 100000000, &value)) {
+      if (!parse_count(argv[++i], 1000000000, &value)) {
         return usage(argv[0]);
       }
       options.cache_capacity = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1000000, &value) || value == 0) {
+        return usage(argv[0]);
+      }
+      options.queue_capacity = static_cast<std::size_t>(value);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.use_cache = false;
     } else {
@@ -97,7 +110,10 @@ int main(int argc, char** argv) {
     return 66;
   }
   std::string error;
-  const auto batch = service::read_batch(in, &error);
+  service::BatchReadOptions read_options;
+  read_options.base_dir =
+      std::filesystem::path(argv[1]).parent_path().string();
+  const auto batch = service::read_batch(in, &error, read_options);
   if (!batch) {
     std::fprintf(stderr, "parse error: %s\n", error.c_str());
     return 65;

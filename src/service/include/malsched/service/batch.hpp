@@ -1,44 +1,64 @@
 #pragma once
 
 /// \file batch.hpp
-/// Concurrent batch executor: fans a vector of solve requests across a
-/// support::ThreadPool and returns the results in request order.
+/// Batch conveniences over the streaming Scheduler (scheduler.hpp): solve a
+/// whole vector of requests and get the results back in request order.
 ///
-/// Determinism contract: results[i] depends only on requests[i] (solvers are
-/// deterministic, the cache stores exactly what a solve would produce), so
-/// the output is identical for any thread count — the bench asserts this
-/// byte-for-byte.
+/// These are thin adapters — every request flows through the same
+/// intern/submit/ticket core as the v2 API, so a batch is just a stream
+/// whose tickets are collected in order.  Determinism contract: results[i]
+/// depends only on requests[i] (solvers are deterministic, the cache stores
+/// exactly what a solve would produce), so the output is identical for any
+/// thread count — the bench asserts this byte-for-byte.
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "malsched/service/cache.hpp"
+#include "malsched/service/scheduler.hpp"
 #include "malsched/service/solver_registry.hpp"
-#include "malsched/support/thread_pool.hpp"
 
 namespace malsched::service {
 
+/// One batched request: a solver name plus an interned instance handle.
+/// Handles are cheap to copy — R requests on one instance share one task
+/// vector (use intern() once, then reuse the handle).
+struct BatchRequest {
+  std::string solver;
+  InstanceHandle instance;
+};
+
 struct BatchOptions {
-  /// Workers for the internal pool when `pool` is null (0 = hardware).
+  /// Scheduler workers (0 = hardware concurrency).
   unsigned threads = 1;
-  /// Run on an existing pool instead of creating one.
-  support::ThreadPool* pool = nullptr;
-  /// Optional canonicalization cache; null disables memoization.
+  /// Optional canonicalization cache; null disables memoization.  Borrowed:
+  /// the caller keeps it alive and may share it across batches to stay warm.
   ResultCache* cache = nullptr;
+  /// Admission queue bound of the underlying Scheduler.
+  std::size_t queue_capacity = 1024;
 };
 
 /// Solves one request through the cache (when provided): canonicalize, look
 /// up, solve-and-fill on miss, denormalize back to the request's task ids
-/// and units.  Failed solves are never cached.
+/// and units.  Failed solves are never cached.  latency_seconds is the
+/// solve wall time (no queueing is involved).
 [[nodiscard]] SolveResult solve_cached(const SolverRegistry& registry,
-                                       const SolveRequest& request,
+                                       const std::string& solver,
+                                       const InstanceHandle& instance,
                                        ResultCache* cache);
 
-/// Solves every request, in parallel, preserving request order in the
-/// returned vector.  Per-request wall latency lands in
-/// SolveResult::latency_seconds.
+/// Solves every request via a Scheduler, preserving request order in the
+/// returned vector.  Per-request submit-to-completion latency (queueing
+/// included) lands in SolveResult::latency_seconds.
 [[nodiscard]] std::vector<SolveResult> solve_batch(
-    const SolverRegistry& registry, std::span<const SolveRequest> requests,
+    const SolverRegistry& registry, std::span<const BatchRequest> requests,
     const BatchOptions& options = {});
+
+/// Same, over a caller-owned Scheduler — reuses its workers, queue and
+/// cache across batches instead of spinning threads up per call (the hot
+/// path for repeated batches and the benchmarks).
+[[nodiscard]] std::vector<SolveResult> solve_batch(
+    Scheduler& scheduler, std::span<const BatchRequest> requests);
 
 }  // namespace malsched::service

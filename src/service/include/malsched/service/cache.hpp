@@ -1,14 +1,19 @@
 #pragma once
 
 /// \file cache.hpp
-/// Sharded LRU memo of canonical-space solve results.
+/// Sharded LRU memo of canonical-space solve results, with size-aware
+/// eviction.
 ///
 /// Keys are `solver + '\n' + canonical_text(form)` strings; values are the
 /// solver output on the *canonical* instance, so one entry serves every
-/// scaled/permuted variant of the instance (the batch executor denormalizes
-/// per request).  Striped mutexes keep concurrent batch workers from
-/// serializing on one lock; hit/miss/eviction counters feed the service
-/// telemetry.
+/// scaled/permuted variant of the instance (the solve path denormalizes per
+/// request).  Striped mutexes keep concurrent workers from serializing on
+/// one lock; hit/miss/eviction counters feed the service telemetry.
+///
+/// Capacity is counted in *weight units*, not entries: an entry weighs
+/// 1 + completions.size(), so a memoized n = 500 solve costs ~500x the
+/// budget of an n = 4 one and large instances cannot crowd the cache out of
+/// proportion to their footprint.
 
 #include <atomic>
 #include <cstdint>
@@ -28,12 +33,20 @@ struct CachedSolve {
   std::vector<double> completions;  ///< indexed by canonical task id
 };
 
+/// Weight of one cache entry: 1 (fixed bookkeeping) plus one unit per
+/// completion time, i.e. O(n) in the instance size.
+[[nodiscard]] inline std::size_t entry_weight(
+    const CachedSolve& value) noexcept {
+  return 1 + value.completions.size();
+}
+
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::size_t entries = 0;
-  std::size_t capacity = 0;
+  std::size_t weight = 0;    ///< current total weight across shards
+  std::size_t capacity = 0;  ///< configured capacity, in weight units
 
   [[nodiscard]] double hit_rate() const noexcept {
     const auto total = hits + misses;
@@ -43,8 +56,11 @@ struct CacheStats {
 };
 
 /// Thread-safe LRU cache striped over `shards` independently locked
-/// segments.  Each shard holds at most ceil(capacity / shards) entries and
-/// evicts least-recently-used on overflow.
+/// segments.  Each shard holds at most ceil(capacity / shards) weight units
+/// and evicts least-recently-used entries until back under budget.  An entry
+/// heavier than a whole shard is admitted alone (the shard temporarily holds
+/// just it), so oversized instances degrade to a 1-entry memo instead of
+/// being uncacheable.
 class ResultCache {
  public:
   explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
@@ -58,7 +74,8 @@ class ResultCache {
   /// value size.
   [[nodiscard]] std::shared_ptr<const CachedSolve> get(const std::string& key);
 
-  /// Inserts or refreshes `key`; may evict the shard's LRU entry.
+  /// Inserts or refreshes `key`; evicts the shard's LRU entries until the
+  /// shard is back under its weight budget.
   void put(const std::string& key, CachedSolve value);
 
   [[nodiscard]] CacheStats stats() const;
@@ -72,11 +89,13 @@ class ResultCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const CachedSolve> value;
+    std::size_t weight = 0;
   };
   struct Shard {
     mutable std::mutex mutex;
     std::list<Entry> lru;  ///< front = most recently used
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t weight = 0;  ///< sum of entry weights
   };
 
   Shard& shard_for(const std::string& key);

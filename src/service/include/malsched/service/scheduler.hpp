@@ -1,0 +1,240 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// The v2 front door of the scheduling service: a handle-based, streaming
+/// Scheduler facade.
+///
+/// Lifecycle:
+///
+///     auto registry = SolverRegistry::with_default_solvers();
+///     Scheduler scheduler(registry, {.threads = 8});
+///     InstanceHandle h = intern(std::move(instance));  // once per instance
+///     Ticket long_job  = scheduler.submit("optimal", h);
+///     Ticket short_job = scheduler.submit("wdeq", h);
+///     SolveResult r = short_job.get();   // ready long before long_job
+///
+/// `intern` canonicalizes the instance once (both quotients, see
+/// canonical.hpp) and wraps it in a cheap copyable handle — a shared_ptr
+/// plus precomputed cache-key material — so R requests on one instance share
+/// one task vector instead of copying it R times.  `submit` enqueues onto a
+/// bounded MPMC admission queue and returns a Ticket immediately; worker
+/// threads stream jobs off the queue one at a time, so a long `optimal`
+/// solve occupies one worker while short `wdeq` requests keep flowing
+/// through the others — no whole-batch barrier.
+///
+/// Backpressure: when the queue is full, `submit` blocks until a worker
+/// frees a slot.  After `close()` (or destruction), `submit` returns an
+/// already-resolved Ticket carrying ErrorCode::QueueClosed; jobs admitted
+/// before the close still run to completion.
+
+#include <chrono>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/service/cache.hpp"
+#include "malsched/service/solver_registry.hpp"
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::service {
+
+class InstanceHandle;
+
+namespace detail {
+
+/// One interned instance: the client-space instance plus lazily built
+/// canonical quotients (permuted for order-invariant solvers, scale-only
+/// otherwise) and their serialized cache-key texts.  Each quotient is
+/// computed at most once, on first use; instances that never meet a cache
+/// pay nothing beyond the instance itself.  Defined in scheduler.cpp.
+struct Interned;
+
+/// The shared solve core of the v2 service: dispatches `solver` on the
+/// interned instance through the canonicalization cache (when eligible),
+/// falling back to a client-space solve.  Never throws — solver exceptions
+/// become SolverFailure results.  Does not fill latency_seconds.
+[[nodiscard]] SolveResult solve_dispatch(const SolverRegistry& registry,
+                                         const std::string& solver,
+                                         const InstanceHandle& instance,
+                                         ResultCache* cache);
+
+}  // namespace detail
+
+/// Canonicalizes and wraps `instance` for cheap sharing across requests.
+[[nodiscard]] InstanceHandle intern(core::Instance instance);
+
+/// Cheap copyable reference to an interned instance.  Copying a handle
+/// copies a shared_ptr, never the task vector; every submit() holding this
+/// handle solves the very same core::Instance object.
+class InstanceHandle {
+ public:
+  InstanceHandle() = default;  ///< invalid until assigned from intern()
+
+  [[nodiscard]] bool valid() const noexcept { return interned_ != nullptr; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  [[nodiscard]] const core::Instance& instance() const;
+  [[nodiscard]] std::size_t size() const { return instance().size(); }
+
+  /// Fixed-width fingerprint of the instance's scale/permutation
+  /// equivalence class (CanonicalForm::key, built lazily on first use);
+  /// 0 for invalid handles.  Earmarked for consistent-hash sharding across
+  /// worker processes.
+  [[nodiscard]] std::uint64_t key() const;
+
+  /// Number of live references (handles + in-flight jobs) to the interned
+  /// instance; observability aid for tests and telemetry.
+  [[nodiscard]] long use_count() const noexcept {
+    return interned_.use_count();
+  }
+
+ private:
+  friend InstanceHandle intern(core::Instance);
+  friend SolveResult detail::solve_dispatch(const SolverRegistry&,
+                                            const std::string&,
+                                            const InstanceHandle&,
+                                            ResultCache*);
+
+  explicit InstanceHandle(std::shared_ptr<const detail::Interned> interned)
+      : interned_(std::move(interned)) {}
+
+  std::shared_ptr<const detail::Interned> interned_;
+};
+
+/// Claim on one submitted request.  Move-only, future-like: `get()` blocks
+/// until the worker resolves the job and may be called once.
+class Ticket {
+ public:
+  Ticket() = default;  ///< invalid until assigned from submit()
+
+  [[nodiscard]] bool valid() const noexcept { return future_.valid(); }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// Monotonic per-scheduler admission id (1-based, assigned at enqueue in
+  /// FIFO order); 0 for invalid tickets and for submits rejected by a
+  /// closed scheduler (they were never admitted).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Non-blocking poll: true once the result is available.  Like get() and
+  /// wait(), requires a valid (unconsumed) ticket.
+  [[nodiscard]] bool ready() const {
+    MALSCHED_EXPECTS_MSG(valid(), "ready() on an invalid Ticket");
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  void wait() const {
+    MALSCHED_EXPECTS_MSG(valid(), "wait() on an invalid Ticket");
+    future_.wait();
+  }
+
+  /// Blocks until resolved and consumes the result (one-shot; the ticket is
+  /// invalid afterwards).
+  [[nodiscard]] SolveResult get() {
+    MALSCHED_EXPECTS_MSG(valid(), "get() on an invalid Ticket");
+    return future_.get();
+  }
+
+ private:
+  friend class Scheduler;
+
+  std::uint64_t id_ = 0;
+  std::future<SolveResult> future_;
+};
+
+/// Concurrent streaming scheduler over a SolverRegistry.  Thread-safe:
+/// submit() from any number of threads.  The registry must outlive the
+/// scheduler and must not be mutated while it runs.
+class Scheduler {
+ public:
+  struct Options {
+    unsigned threads = 0;  ///< worker count (0 = hardware concurrency)
+    /// Admission queue bound; full-queue submits block (backpressure).
+    std::size_t queue_capacity = 1024;
+    /// Borrowed result cache; overrides the owned one when non-null (the
+    /// caller keeps it alive and may share it across schedulers).
+    ResultCache* cache = nullptr;
+    /// Weight budget of the owned cache (see cache.hpp; ~1 unit per
+    /// completion time, so the default bounds it near 8 MB of doubles).
+    std::size_t cache_capacity = std::size_t{1} << 20;
+    /// False disables memoization entirely, even when `cache` is set.
+    bool use_cache = true;
+  };
+
+  explicit Scheduler(const SolverRegistry& registry)
+      : Scheduler(registry, Options{}) {}
+  Scheduler(const SolverRegistry& registry, Options options);
+
+  /// Closes admission, drains the queue and joins the workers.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Convenience forward of the free intern().
+  [[nodiscard]] static InstanceHandle intern(core::Instance instance) {
+    return service::intern(std::move(instance));
+  }
+
+  /// Enqueues one request and returns its claim immediately.  Blocks only
+  /// when the admission queue is full.  After close(), returns an
+  /// already-resolved QueueClosed failure.  Invalid handles resolve to a
+  /// ParseError failure.
+  [[nodiscard]] Ticket submit(std::string solver, InstanceHandle instance);
+
+  /// One-shot convenience: interns per call — prefer intern() + the handle
+  /// overload for repeated instances.
+  [[nodiscard]] Ticket submit(std::string solver, core::Instance instance) {
+    return submit(std::move(solver), service::intern(std::move(instance)));
+  }
+
+  /// Stops admission (idempotent).  Already-admitted jobs run to
+  /// completion; subsequent submits resolve to QueueClosed.
+  void close() noexcept;
+  [[nodiscard]] bool closed() const noexcept;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return cache_ != nullptr;
+  }
+  /// Zero-capacity stats when the cache is disabled.
+  [[nodiscard]] CacheStats cache_stats() const;
+  [[nodiscard]] const SolverRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  struct Job {
+    std::string solver;
+    InstanceHandle instance;
+    std::promise<SolveResult> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void worker_loop();
+
+  const SolverRegistry& registry_;
+  std::unique_ptr<ResultCache> owned_cache_;
+  ResultCache* cache_ = nullptr;
+  std::size_t queue_capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Job> queue_;
+  bool closed_ = false;
+  std::uint64_t next_ticket_id_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace malsched::service

@@ -10,13 +10,21 @@
 ///     processors 4             #   ... core/io.hpp lines ...
 ///     task <volume> <width> <weight>
 ///     end                      # closes the block
+///     generate <name> <family> <tasks> <processors> <seed>
+///                              # named instance drawn from a core
+///                              # generator family (core/generators.hpp),
+///                              # so paper-scale workloads need one line
+///     include <path>           # splices another batch file (its instances
+///                              # and requests); relative to the including
+///                              # file's directory
 ///     solve <solver> <name>    # one request; any number, any order
 ///
-/// `run_service` resolves the requests, fans them over the batch executor
-/// and aggregates per-request latency telemetry (p50/p99 via
-/// support::Sample).  `write_results` emits the deterministic per-request
-/// answer stream (identical for every thread count); telemetry goes through
-/// `format_telemetry`, which callers print to stderr or logs.
+/// `run_service` interns every named instance once, streams the requests
+/// through a Scheduler (scheduler.hpp) and aggregates per-request latency
+/// telemetry (p50/p99 via support::Sample).  `write_results` emits the
+/// deterministic per-request answer stream (identical for every thread
+/// count), with failures carrying their typed ErrorCode; telemetry goes
+/// through `format_telemetry`, which callers print to stderr or logs.
 
 #include <cstddef>
 #include <iosfwd>
@@ -26,8 +34,8 @@
 #include <vector>
 
 #include "malsched/core/instance.hpp"
-#include "malsched/service/batch.hpp"
 #include "malsched/service/cache.hpp"
+#include "malsched/service/scheduler.hpp"
 #include "malsched/service/solver_registry.hpp"
 #include "malsched/support/stats.hpp"
 
@@ -44,20 +52,34 @@ struct BatchSpec {
   std::vector<Request> requests;
 };
 
+struct BatchReadOptions {
+  /// Directory `include <path>` lines resolve relative paths against; ""
+  /// means the process working directory.  Nested includes resolve against
+  /// their own file's directory.
+  std::string base_dir;
+  /// Include nesting bound; also breaks include cycles.
+  std::size_t max_include_depth = 16;
+};
+
 /// Parses a batch file; nullopt with `error` filled on failure.
-[[nodiscard]] std::optional<BatchSpec> read_batch(std::istream& in,
-                                                  std::string* error = nullptr);
-[[nodiscard]] std::optional<BatchSpec> parse_batch(const std::string& text,
-                                                   std::string* error = nullptr);
+[[nodiscard]] std::optional<BatchSpec> read_batch(
+    std::istream& in, std::string* error = nullptr,
+    const BatchReadOptions& options = {});
+[[nodiscard]] std::optional<BatchSpec> parse_batch(
+    const std::string& text, std::string* error = nullptr,
+    const BatchReadOptions& options = {});
 
 struct ServiceOptions {
   unsigned threads = 1;
+  /// Cache weight budget (~1 unit per completion time, see cache.hpp);
   /// 0 disables the cache, same as use_cache = false.
-  std::size_t cache_capacity = 4096;
+  std::size_t cache_capacity = std::size_t{1} << 20;
   bool use_cache = true;
   /// Rounds over the batch (> 1 exercises the warm cache); results are from
   /// the last round, latencies accumulate across all rounds.
   std::size_t repeat = 1;
+  /// Admission queue bound of the underlying Scheduler.
+  std::size_t queue_capacity = 1024;
 };
 
 struct ServiceReport {
@@ -72,15 +94,18 @@ struct ServiceReport {
   double wall_seconds = 0.0;
 };
 
-/// Runs every request of the batch through `registry`.
+/// Runs every request of the batch through `registry`: interns each named
+/// instance once, then streams all rounds through one Scheduler.
 [[nodiscard]] ServiceReport run_service(const BatchSpec& batch,
                                         const SolverRegistry& registry,
                                         const ServiceOptions& options = {});
 
 /// Deterministic per-request output: one line per request, byte-identical
-/// across thread counts for a fixed cache configuration.  Cached and
-/// uncached runs agree to ~1e-9 relative (the cached path solves in
-/// canonical space and rescales), which 12-digit printing may expose.
+/// across thread counts for a fixed cache configuration.  Failures print
+/// `status=error code=<error-code-name> message="..."`; successes print the
+/// numeric fields.  Cached and uncached runs agree to ~1e-9 relative (the
+/// cached path solves in canonical space and rescales), which 12-digit
+/// printing may expose.
 void write_results(std::ostream& out, const ServiceReport& report);
 [[nodiscard]] std::string format_results(const ServiceReport& report);
 

@@ -1,87 +1,15 @@
 #include "malsched/service/batch.hpp"
 
 #include <chrono>
-#include <exception>
 #include <utility>
-
-#include "malsched/service/canonical.hpp"
 
 namespace malsched::service {
 
-namespace {
-
-SolveResult solve_via_cache(const SolverRegistry& registry,
-                            const SolveRequest& request,
-                            const SolverRegistry::SolverInfo& info,
-                            ResultCache& cache) {
-  CanonicalOptions canonical_options;
-  canonical_options.permute = info.order_invariant;
-  const CanonicalForm form =
-      canonicalize(request.instance, canonical_options);
-  if (!well_conditioned(form)) {
-    // Wide dynamic range: rescaling would push values into the solvers'
-    // absolute tolerances and corrupt the result.  Solve in client space,
-    // uncached — correctness over memoization.
-    return registry.solve(request);
-  }
-  const std::string key = request.solver + "\n" + canonical_text(form);
-
-  if (auto cached = cache.get(key)) {
-    SolveResult result;
-    result.ok = true;
-    result.solver = request.solver;
-    result.cache_hit = true;
-    result.objective = form.objective_scale * cached->objective;
-    result.makespan = form.time_scale * cached->makespan;
-    result.completions = denormalize_completions(form, cached->completions);
-    return result;
-  }
-
-  // Miss: solve in canonical space so the entry serves the whole
-  // equivalence class, then map back to the request's units.
-  SolveRequest canonical_request{request.solver, form.instance};
-  SolveResult canonical_result = registry.solve(canonical_request);
-  if (!canonical_result.ok) {
-    // Error diagnostics name task indices; re-solve in client space so the
-    // message points at the client's task ids, not the canonical ordering.
-    // Errors are the rare path, so the duplicate work is acceptable.
-    return registry.solve(request);
-  }
-  cache.put(key, CachedSolve{canonical_result.objective,
-                             canonical_result.makespan,
-                             canonical_result.completions});
-  SolveResult result = std::move(canonical_result);
-  result.objective = form.objective_scale * result.objective;
-  result.makespan = form.time_scale * result.makespan;
-  result.completions = denormalize_completions(form, result.completions);
-  return result;
-}
-
-}  // namespace
-
 SolveResult solve_cached(const SolverRegistry& registry,
-                         const SolveRequest& request, ResultCache* cache) {
+                         const std::string& solver,
+                         const InstanceHandle& instance, ResultCache* cache) {
   const auto start = std::chrono::steady_clock::now();
-  SolveResult result;
-  try {
-    const SolverRegistry::SolverInfo* info = registry.find(request.solver);
-    if (cache != nullptr && info != nullptr && info->cacheable &&
-        request.instance.size() > 0) {
-      result = solve_via_cache(registry, request, *info, *cache);
-    } else {
-      result = registry.solve(request);
-    }
-  } catch (const std::exception& e) {
-    result = SolveResult{};
-    result.solver = request.solver;
-    result.error = std::string("solver threw: ") + e.what();
-  } catch (...) {
-    // Custom solvers are arbitrary user callables; contain non-std throws
-    // too so one bad request cannot abort the whole batch.
-    result = SolveResult{};
-    result.solver = request.solver;
-    result.error = "solver threw a non-standard exception";
-  }
+  SolveResult result = detail::solve_dispatch(registry, solver, instance, cache);
   result.latency_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -89,21 +17,28 @@ SolveResult solve_cached(const SolverRegistry& registry,
 }
 
 std::vector<SolveResult> solve_batch(const SolverRegistry& registry,
-                                     std::span<const SolveRequest> requests,
+                                     std::span<const BatchRequest> requests,
                                      const BatchOptions& options) {
-  std::vector<SolveResult> results(requests.size());
-  const auto worker = [&](std::size_t i) {
-    results[i] = solve_cached(registry, requests[i], options.cache);
-  };
-  if (options.pool != nullptr) {
-    options.pool->parallel_for(0, requests.size(), worker);
-  } else if (options.threads == 1) {
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      worker(i);
-    }
-  } else {
-    support::ThreadPool pool(options.threads);
-    pool.parallel_for(0, requests.size(), worker);
+  Scheduler::Options scheduler_options;
+  scheduler_options.threads = options.threads;
+  scheduler_options.queue_capacity = options.queue_capacity;
+  scheduler_options.cache = options.cache;
+  scheduler_options.use_cache = options.cache != nullptr;
+  Scheduler scheduler(registry, scheduler_options);
+  return solve_batch(scheduler, requests);
+}
+
+std::vector<SolveResult> solve_batch(Scheduler& scheduler,
+                                     std::span<const BatchRequest> requests) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (const BatchRequest& request : requests) {
+    tickets.push_back(scheduler.submit(request.solver, request.instance));
+  }
+  std::vector<SolveResult> results;
+  results.reserve(requests.size());
+  for (Ticket& ticket : tickets) {
+    results.push_back(ticket.get());
   }
   return results;
 }

@@ -32,18 +32,27 @@ std::shared_ptr<const CachedSolve> ResultCache::get(const std::string& key) {
 }
 
 void ResultCache::put(const std::string& key, CachedSolve value) {
+  const std::size_t weight = entry_weight(value);
   auto shared = std::make_shared<const CachedSolve>(std::move(value));
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
+    shard.weight -= it->second->weight;
     it->second->value = std::move(shared);
+    it->second->weight = weight;
+    shard.weight += weight;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+  } else {
+    shard.lru.push_front(Entry{key, std::move(shared), weight});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.weight += weight;
   }
-  shard.lru.push_front(Entry{key, std::move(shared)});
-  shard.index.emplace(key, shard.lru.begin());
-  if (shard.lru.size() > per_shard_capacity_) {
+  // Evict LRU entries until back under the weight budget.  The newest entry
+  // is never evicted, even when it alone exceeds the shard budget: a 1-entry
+  // memo beats not caching an oversized instance at all.
+  while (shard.weight > per_shard_capacity_ && shard.lru.size() > 1) {
+    shard.weight -= shard.lru.back().weight;
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -59,6 +68,7 @@ CacheStats ResultCache::stats() const {
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     stats.entries += shard.lru.size();
+    stats.weight += shard.weight;
   }
   return stats;
 }
@@ -68,6 +78,7 @@ void ResultCache::clear() {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.lru.clear();
     shard.index.clear();
+    shard.weight = 0;
   }
 }
 

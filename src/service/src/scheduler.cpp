@@ -1,0 +1,249 @@
+#include "malsched/service/scheduler.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "malsched/service/canonical.hpp"
+
+namespace malsched::service {
+
+namespace detail {
+
+struct Interned {
+  explicit Interned(core::Instance inst) : instance(std::move(inst)) {}
+
+  core::Instance instance;
+
+  struct Quotient {
+    CanonicalForm form;
+    std::string text;  ///< canonical_text(form), the cache-key material
+    bool safe;         ///< well_conditioned(form)
+  };
+
+  /// The canonical quotient for permute on/off, built thread-safely on
+  /// first use and cached for the handle's lifetime.  Lazy so handles whose
+  /// requests never touch a cache (cache disabled, non-cacheable solver)
+  /// carry no canonical copies or key strings.
+  const Quotient& quotient(bool permute) const {
+    const std::size_t i = permute ? 1 : 0;
+    std::call_once(once_[i], [this, permute, i] {
+      CanonicalOptions options;
+      options.permute = permute;
+      CanonicalForm form = canonicalize(instance, options);
+      std::string text = canonical_text(form);
+      const bool safe = well_conditioned(form);
+      quotients_[i] = std::make_unique<Quotient>(
+          Quotient{std::move(form), std::move(text), safe});
+    });
+    return *quotients_[i];
+  }
+
+ private:
+  mutable std::once_flag once_[2];
+  mutable std::unique_ptr<Quotient> quotients_[2];
+};
+
+}  // namespace detail
+
+InstanceHandle intern(core::Instance instance) {
+  return InstanceHandle(
+      std::make_shared<const detail::Interned>(std::move(instance)));
+}
+
+const core::Instance& InstanceHandle::instance() const {
+  MALSCHED_EXPECTS_MSG(valid(), "instance() on an invalid InstanceHandle");
+  return interned_->instance;
+}
+
+std::uint64_t InstanceHandle::key() const {
+  return interned_ == nullptr ? 0 : interned_->quotient(true).form.key;
+}
+
+namespace detail {
+
+namespace {
+
+// Canonical-space solve through the cache: look up, solve-and-fill on miss,
+// denormalize back to the client's task ids and units.  Failed solves are
+// never cached.
+SolveResult solve_canonical(const SolverRegistry& registry,
+                            const std::string& solver,
+                            const core::Instance& client_instance,
+                            const CanonicalForm& form,
+                            const std::string& form_text, ResultCache& cache) {
+  const std::string key = solver + "\n" + form_text;
+
+  if (auto cached = cache.get(key)) {
+    SolveResult result = SolveResult::success(
+        solver,
+        SolveOutput{form.objective_scale * cached->objective,
+                    form.time_scale * cached->makespan,
+                    denormalize_completions(form, cached->completions)});
+    result.cache_hit = true;
+    return result;
+  }
+
+  // Miss: solve in canonical space so the entry serves the whole
+  // equivalence class, then map back to the request's units.
+  SolveResult canonical_result = registry.solve(solver, form.instance);
+  if (!canonical_result.ok()) {
+    // Error diagnostics name task indices; re-solve in client space so the
+    // message points at the client's task ids, not the canonical ordering.
+    // Errors are the rare path, so the duplicate work is acceptable.
+    return registry.solve(solver, client_instance);
+  }
+  const SolveOutput& canonical = canonical_result.output();
+  cache.put(key, CachedSolve{canonical.objective, canonical.makespan,
+                             canonical.completions});
+  return SolveResult::success(
+      solver,
+      SolveOutput{form.objective_scale * canonical.objective,
+                  form.time_scale * canonical.makespan,
+                  denormalize_completions(form, canonical.completions)});
+}
+
+}  // namespace
+
+SolveResult solve_dispatch(const SolverRegistry& registry,
+                           const std::string& solver,
+                           const InstanceHandle& instance,
+                           ResultCache* cache) {
+  if (!instance.valid()) {
+    return SolveResult::failure(solver, ErrorCode::ParseError,
+                                "invalid (empty) instance handle");
+  }
+  const Interned& interned = *instance.interned_;
+  try {
+    const SolverRegistry::SolverInfo* info = registry.find(solver);
+    if (cache != nullptr && info != nullptr && info->cacheable &&
+        interned.instance.size() > 0) {
+      // Pick the quotient the solver supports: permutation + scale for
+      // order-invariant solvers, scale only otherwise (canonical.hpp).
+      const Interned::Quotient& quotient =
+          interned.quotient(info->order_invariant);
+      if (!quotient.safe) {
+        // Wide dynamic range: rescaling would push values into the solvers'
+        // absolute tolerances and corrupt the result.  Solve in client
+        // space, uncached — correctness over memoization.
+        return registry.solve(solver, interned.instance);
+      }
+      return solve_canonical(registry, solver, interned.instance,
+                             quotient.form, quotient.text, *cache);
+    }
+    return registry.solve(solver, interned.instance);
+  } catch (const std::exception& e) {
+    return SolveResult::failure(solver, ErrorCode::SolverFailure,
+                                std::string("solver threw: ") + e.what());
+  } catch (...) {
+    // Custom solvers are arbitrary user callables; contain non-std throws
+    // too so one bad request cannot abort the whole stream.
+    return SolveResult::failure(solver, ErrorCode::SolverFailure,
+                                "solver threw a non-standard exception");
+  }
+}
+
+}  // namespace detail
+
+Scheduler::Scheduler(const SolverRegistry& registry, Options options)
+    : registry_(registry),
+      queue_capacity_(options.queue_capacity == 0 ? 1
+                                                  : options.queue_capacity) {
+  if (!options.use_cache) {
+    cache_ = nullptr;  // an explicit off-switch beats a borrowed cache
+  } else if (options.cache != nullptr) {
+    cache_ = options.cache;
+  } else if (options.cache_capacity > 0) {
+    owned_cache_ = std::make_unique<ResultCache>(options.cache_capacity);
+    cache_ = owned_cache_.get();
+  }
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+  }
+  if (threads == 0) {
+    threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  close();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+Ticket Scheduler::submit(std::string solver, InstanceHandle instance) {
+  Ticket ticket;
+  std::promise<SolveResult> promise;
+  ticket.future_ = promise.get_future();
+  const auto admitted = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Backpressure: block while the admission queue is at capacity.
+    not_full_.wait(lock, [this] {
+      return closed_ || queue_.size() < queue_capacity_;
+    });
+    if (closed_) {
+      lock.unlock();
+      promise.set_value(SolveResult::failure(
+          std::move(solver), ErrorCode::QueueClosed,
+          "scheduler is closed; request was not admitted"));
+      return ticket;  // never admitted: id stays 0
+    }
+    // Id assigned at the actual enqueue, inside the same critical section,
+    // so ids reflect admission (= FIFO processing) order even when several
+    // submitters were blocked on backpressure.
+    ticket.id_ = ++next_ticket_id_;
+    queue_.push_back(Job{std::move(solver), std::move(instance),
+                         std::move(promise), admitted});
+  }
+  not_empty_.notify_one();
+  return ticket;
+}
+
+void Scheduler::close() noexcept {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool Scheduler::closed() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+CacheStats Scheduler::cache_stats() const {
+  return cache_ == nullptr ? CacheStats{} : cache_->stats();
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // closed and drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    SolveResult result =
+        detail::solve_dispatch(registry_, job.solver, job.instance, cache_);
+    result.latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job.admitted)
+            .count();
+    job.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace malsched::service

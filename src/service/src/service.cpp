@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
+#include "malsched/core/generators.hpp"
 #include "malsched/core/io.hpp"
+#include "malsched/support/rng.hpp"
 
 namespace malsched::service {
 
@@ -46,11 +51,20 @@ std::string rebase_line_diagnostic(const std::string& message,
                                     std::min(message.size(), pos + 2)));
 }
 
-}  // namespace
+std::optional<core::Family> family_from_name(const std::string& name) {
+  for (const core::Family family : core::all_families()) {
+    if (name == core::family_name(family)) {
+      return family;
+    }
+  }
+  return std::nullopt;
+}
 
-std::optional<BatchSpec> read_batch(std::istream& in, std::string* error) {
-  BatchSpec batch;
-
+// Recursive descent over one stream; `include` re-enters with the included
+// file's own directory so nested relative paths resolve naturally.
+bool parse_stream(std::istream& in, const std::string& base_dir,
+                  std::size_t depth, std::size_t max_depth, BatchSpec& batch,
+                  std::string* error) {
   std::string line;
   std::size_t line_no = 0;
   std::string block_name;        // non-empty while inside an instance block
@@ -76,16 +90,16 @@ std::optional<BatchSpec> read_batch(std::istream& in, std::string* error) {
     if (keyword == "instance") {
       if (in_block) {
         set_error(error, at_line(line_no, "nested 'instance' block (missing 'end'?)"));
-        return std::nullopt;
+        return false;
       }
       std::string name;
       if (!(fields >> name)) {
         set_error(error, at_line(line_no, "'instance' needs a name"));
-        return std::nullopt;
+        return false;
       }
       if (batch.instances.count(name) != 0) {
         set_error(error, at_line(line_no, "duplicate instance '" + name + "'"));
-        return std::nullopt;
+        return false;
       }
       in_block = true;
       block_name = name;
@@ -94,7 +108,7 @@ std::optional<BatchSpec> read_batch(std::istream& in, std::string* error) {
     } else if (keyword == "end") {
       if (!in_block) {
         set_error(error, at_line(line_no, "'end' outside an instance block"));
-        return std::nullopt;
+        return false;
       }
       std::string parse_error;
       auto instance = core::parse_instance(block_text, &parse_error);
@@ -103,7 +117,7 @@ std::optional<BatchSpec> read_batch(std::istream& in, std::string* error) {
                   "instance '" + block_name + "' (line " +
                       std::to_string(block_start) + "): " +
                       rebase_line_diagnostic(parse_error, block_start));
-        return std::nullopt;
+        return false;
       }
       batch.instances.emplace(block_name, std::move(*instance));
       in_block = false;
@@ -117,19 +131,119 @@ std::optional<BatchSpec> read_batch(std::istream& in, std::string* error) {
       if (!(fields >> request.solver >> request.instance_name)) {
         set_error(error,
                   at_line(line_no, "'solve' needs <solver> <instance-name>"));
-        return std::nullopt;
+        return false;
       }
       batch.requests.push_back(std::move(request));
+    } else if (keyword == "generate") {
+      std::string name;
+      std::string family_text;
+      long long num_tasks = 0;
+      double processors = 0.0;
+      std::uint64_t seed = 0;
+      if (!(fields >> name >> family_text >> num_tasks >> processors >>
+            seed)) {
+        set_error(error,
+                  at_line(line_no,
+                          "'generate' needs <name> <family> <tasks> "
+                          "<processors> <seed>"));
+        return false;
+      }
+      if (batch.instances.count(name) != 0) {
+        set_error(error, at_line(line_no, "duplicate instance '" + name + "'"));
+        return false;
+      }
+      const auto family = family_from_name(family_text);
+      if (!family) {
+        std::string known;
+        for (const core::Family f : core::all_families()) {
+          known += known.empty() ? "" : ", ";
+          known += core::family_name(f);
+        }
+        set_error(error, at_line(line_no, "unknown family '" + family_text +
+                                              "' (known: " + known + ")"));
+        return false;
+      }
+      constexpr long long kMaxGeneratedTasks = 1'000'000;
+      if (num_tasks <= 0 || num_tasks > kMaxGeneratedTasks) {
+        set_error(error,
+                  at_line(line_no,
+                          "'generate' task count must be in [1, " +
+                              std::to_string(kMaxGeneratedTasks) + "]"));
+        return false;
+      }
+      if (!(processors > 0.0)) {
+        set_error(error,
+                  at_line(line_no, "'generate' needs positive processors"));
+        return false;
+      }
+      core::GeneratorConfig config;
+      config.family = *family;
+      config.num_tasks = static_cast<std::size_t>(num_tasks);
+      config.processors = processors;
+      support::Rng rng(seed);
+      batch.instances.emplace(name, core::generate(config, rng));
+    } else if (keyword == "include") {
+      // The rest of the line (comments already stripped) is the path, so
+      // paths containing spaces work; trim surrounding whitespace.
+      std::string path_text;
+      std::getline(fields >> std::ws, path_text);
+      while (!path_text.empty() &&
+             (path_text.back() == ' ' || path_text.back() == '\t' ||
+              path_text.back() == '\r')) {
+        path_text.pop_back();
+      }
+      if (path_text.empty()) {
+        set_error(error, at_line(line_no, "'include' needs a path"));
+        return false;
+      }
+      if (depth + 1 > max_depth) {
+        set_error(error,
+                  at_line(line_no, "include depth exceeds " +
+                                       std::to_string(max_depth) +
+                                       " (cycle?) at '" + path_text + "'"));
+        return false;
+      }
+      std::filesystem::path path(path_text);
+      if (path.is_relative() && !base_dir.empty()) {
+        path = std::filesystem::path(base_dir) / path;
+      }
+      std::ifstream included(path);
+      if (!included) {
+        set_error(error, at_line(line_no, "cannot open include '" +
+                                              path.string() + "'"));
+        return false;
+      }
+      std::string inner_error;
+      if (!parse_stream(included, path.parent_path().string(), depth + 1,
+                        max_depth, batch, &inner_error)) {
+        set_error(error, at_line(line_no, "include '" + path.string() +
+                                              "': " + inner_error));
+        return false;
+      }
     } else {
       set_error(error, at_line(line_no, "unknown keyword '" + keyword + "'"));
-      return std::nullopt;
+      return false;
     }
   }
   if (in_block) {
     set_error(error, "instance '" + block_name + "' (line " +
                          std::to_string(block_start) + "): missing 'end'");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<BatchSpec> read_batch(std::istream& in, std::string* error,
+                                    const BatchReadOptions& options) {
+  BatchSpec batch;
+  if (!parse_stream(in, options.base_dir, 0, options.max_include_depth, batch,
+                    error)) {
     return std::nullopt;
   }
+  // Included files may carry only instance definitions; the top-level batch
+  // is the one that must actually request work.
   if (batch.requests.empty()) {
     set_error(error, "batch has no 'solve' requests");
     return std::nullopt;
@@ -138,50 +252,55 @@ std::optional<BatchSpec> read_batch(std::istream& in, std::string* error) {
 }
 
 std::optional<BatchSpec> parse_batch(const std::string& text,
-                                     std::string* error) {
+                                     std::string* error,
+                                     const BatchReadOptions& options) {
   std::istringstream in(text);
-  return read_batch(in, error);
+  return read_batch(in, error, options);
 }
 
 ServiceReport run_service(const BatchSpec& batch,
                           const SolverRegistry& registry,
                           const ServiceOptions& options) {
-  // Resolve names once; unknown instances become deterministic per-request
-  // errors rather than failing the whole batch.
-  std::vector<SolveRequest> requests;
-  std::vector<std::size_t> request_index;       // into batch.requests
-  std::vector<std::pair<std::size_t, std::string>> unresolved;
-  requests.reserve(batch.requests.size());
-  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
-    const auto& request = batch.requests[i];
-    const auto it = batch.instances.find(request.instance_name);
-    if (it == batch.instances.end()) {
-      unresolved.emplace_back(i, "unknown instance '" + request.instance_name +
-                                     "' (line " + std::to_string(request.line) +
-                                     ")");
-      continue;
-    }
-    requests.push_back(SolveRequest{request.solver, it->second});
-    request_index.push_back(i);
+  // Intern each named instance exactly once; every request on it then
+  // shares the handle (and its precomputed canonical forms) instead of
+  // copying the task vector per request.
+  std::map<std::string, InstanceHandle> handles;
+  for (const auto& [name, instance] : batch.instances) {
+    handles.emplace(name, intern(instance));
   }
+
+  // Resolve names once; unknown instances become deterministic per-request
+  // ParseError results rather than failing the whole batch.
+  struct Resolved {
+    std::size_t index;  ///< into batch.requests
+    const std::string* solver;
+    const InstanceHandle* instance;
+  };
+  std::vector<Resolved> resolved;
+  resolved.reserve(batch.requests.size());
 
   ServiceReport report;
   report.results.resize(batch.requests.size());
-  for (const auto& [index, message] : unresolved) {
-    report.results[index].solver = batch.requests[index].solver;
-    report.results[index].error = message;
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const auto& request = batch.requests[i];
+    const auto it = handles.find(request.instance_name);
+    if (it == handles.end()) {
+      report.results[i] = SolveResult::failure(
+          request.solver, ErrorCode::ParseError,
+          "unknown instance '" + request.instance_name + "' (line " +
+              std::to_string(request.line) + ")");
+      continue;
+    }
+    resolved.push_back(Resolved{i, &request.solver, &it->second});
   }
 
-  // No cache object at all when disabled (use_cache false or capacity 0),
-  // so telemetry can distinguish "cache off" from "cache on but cold".
-  std::unique_ptr<ResultCache> cache;
-  if (options.use_cache && options.cache_capacity > 0) {
-    cache = std::make_unique<ResultCache>(options.cache_capacity);
-  }
-  support::ThreadPool pool(options.threads);
-  BatchOptions batch_options;
-  batch_options.pool = &pool;
-  batch_options.cache = cache.get();
+  Scheduler::Options scheduler_options;
+  scheduler_options.threads = options.threads;
+  scheduler_options.queue_capacity = options.queue_capacity;
+  scheduler_options.cache_capacity = options.cache_capacity;
+  scheduler_options.use_cache =
+      options.use_cache && options.cache_capacity > 0;
+  Scheduler scheduler(registry, scheduler_options);
 
   const auto start = std::chrono::steady_clock::now();
   const std::size_t rounds = options.repeat == 0 ? 1 : options.repeat;
@@ -190,18 +309,26 @@ ServiceReport run_service(const BatchSpec& batch,
   // deterministically so telemetry memory stays bounded (~8 MB) however
   // long the run is.
   constexpr std::size_t kMaxLatencySamples = std::size_t{1} << 20;
-  const std::size_t total_solves = rounds * requests.size();
+  const std::size_t total_solves = rounds * resolved.size();
   const std::size_t stride =
-      (total_solves + kMaxLatencySamples - 1) / kMaxLatencySamples;
+      total_solves == 0
+          ? 1
+          : (total_solves + kMaxLatencySamples - 1) / kMaxLatencySamples;
   std::size_t seen = 0;
+  std::vector<Ticket> tickets;
+  tickets.reserve(resolved.size());
   for (std::size_t round = 0; round < rounds; ++round) {
-    auto results = solve_batch(registry, requests, batch_options);
-    for (std::size_t j = 0; j < results.size(); ++j) {
+    tickets.clear();
+    for (const Resolved& request : resolved) {
+      tickets.push_back(scheduler.submit(*request.solver, *request.instance));
+    }
+    for (std::size_t j = 0; j < tickets.size(); ++j) {
+      SolveResult result = tickets[j].get();
       if (seen++ % stride == 0) {
-        report.latencies.add(results[j].latency_seconds);
+        report.latencies.add(result.latency_seconds);
       }
       if (round + 1 == rounds) {
-        report.results[request_index[j]] = std::move(results[j]);
+        report.results[resolved[j].index] = std::move(result);
       }
     }
   }
@@ -209,9 +336,7 @@ ServiceReport run_service(const BatchSpec& batch,
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  if (cache) {
-    report.cache = cache->stats();
-  }
+  report.cache = scheduler.cache_stats();
   return report;
 }
 
@@ -242,12 +367,13 @@ void write_results(std::ostream& out, const ServiceReport& report) {
     const SolveResult& r = report.results[i];
     line.str("");
     line << "request " << i << " solver=" << escape_quoted(r.solver);
-    if (!r.ok) {
-      line << " status=error message=\"" << escape_quoted(r.error) << "\"";
+    if (!r.ok()) {
+      line << " status=error code=" << error_code_name(r.error().code)
+           << " message=\"" << escape_quoted(r.error().detail) << "\"";
     } else {
       line.precision(12);
-      line << " status=ok objective=" << r.objective
-           << " makespan=" << r.makespan;
+      line << " status=ok objective=" << r.objective()
+           << " makespan=" << r.makespan();
     }
     out << line.str() << "\n";
   }
@@ -290,6 +416,7 @@ std::string format_telemetry(const ServiceReport& report) {
         << " misses=" << report.cache.misses
         << " evictions=" << report.cache.evictions
         << " entries=" << report.cache.entries
+        << " weight=" << report.cache.weight << "/" << report.cache.capacity
         << " hit_rate=" << report.cache.hit_rate() << "\n";
   }
   return out.str();

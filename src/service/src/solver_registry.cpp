@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <memory>
-#include <optional>
 #include <utility>
 
 #include "malsched/core/greedy.hpp"
@@ -15,22 +14,40 @@
 
 namespace malsched::service {
 
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::UnknownSolver: return "unknown-solver";
+    case ErrorCode::SizeGuard: return "size-guard";
+    case ErrorCode::ParseError: return "parse-error";
+    case ErrorCode::SolverFailure: return "solver-failure";
+    case ErrorCode::QueueClosed: return "queue-closed";
+  }
+  return "solver-failure";
+}
+
+std::optional<ErrorCode> parse_error_code(std::string_view name) noexcept {
+  for (const ErrorCode code : kAllErrorCodes) {
+    if (name == error_code_name(code)) {
+      return code;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string SolveError::to_string() const {
+  return std::string(error_code_name(code)) + ": " + detail;
+}
+
 namespace {
 
 SolveResult ok_result(double objective, double makespan,
                       std::vector<double> completions) {
-  SolveResult result;
-  result.ok = true;
-  result.objective = objective;
-  result.makespan = makespan;
-  result.completions = std::move(completions);
-  return result;
+  return SolveResult::success(
+      "", SolveOutput{objective, makespan, std::move(completions)});
 }
 
-SolveResult error_result(std::string message) {
-  SolveResult result;
-  result.error = std::move(message);
-  return result;
+SolveResult error_result(ErrorCode code, std::string message) {
+  return SolveResult::failure("", code, std::move(message));
 }
 
 SolveResult solve_with_policy(const sim::AllocationPolicy& policy,
@@ -48,10 +65,11 @@ std::optional<SolveResult> reject_nonpositive_weights(
     const core::Instance& instance, const std::string& solver) {
   for (std::size_t i = 0; i < instance.size(); ++i) {
     if (instance.task(i).volume > 0.0 && instance.task(i).weight <= 0.0) {
-      return error_result("solver '" + solver +
-                          "' requires positive weights (task " +
-                          std::to_string(i) + " has weight " +
-                          std::to_string(instance.task(i).weight) + ")");
+      return error_result(ErrorCode::SolverFailure,
+                          "solver '" + solver +
+                              "' requires positive weights (task " +
+                              std::to_string(i) + " has weight " +
+                              std::to_string(instance.task(i).weight) + ")");
     }
   }
   return std::nullopt;
@@ -71,7 +89,7 @@ std::optional<SolveResult> reject_degenerate_widths(
                     "solver '%s' requires widths above %g (task %zu has "
                     "width %g)",
                     solver.c_str(), kMinWidth, i, instance.task(i).width);
-      return error_result(message);
+      return error_result(ErrorCode::SolverFailure, message);
     }
   }
   return std::nullopt;
@@ -89,8 +107,9 @@ SolveResult solve_water_fill_smith(const core::Instance& instance) {
   const auto greedy = core::greedy_schedule(instance, order);
   const auto wf = core::normalize(instance, greedy);
   if (!wf.feasible) {
-    return error_result("water-fill normalization infeasible at position " +
-                        std::to_string(wf.failed_position));
+    return error_result(ErrorCode::SolverFailure,
+                        "water-fill normalization infeasible at position " +
+                            std::to_string(wf.failed_position));
   }
   return ok_result(wf.schedule.weighted_completion(instance),
                    wf.schedule.makespan(), wf.schedule.completions());
@@ -99,7 +118,8 @@ SolveResult solve_water_fill_smith(const core::Instance& instance) {
 SolveResult solve_order_lp_smith(const core::Instance& instance) {
   const auto result = core::solve_order_lp(instance, core::smith_order(instance));
   if (!result.optimal()) {
-    return error_result("order LP did not reach optimality");
+    return error_result(ErrorCode::SolverFailure,
+                        "order LP did not reach optimality");
   }
   return ok_result(result.objective, result.schedule.makespan(),
                    result.schedule.completions());
@@ -109,9 +129,10 @@ SolveResult solve_optimal(const core::Instance& instance) {
   core::OptimalOptions options;
   options.want_schedule = true;
   if (instance.size() > options.max_tasks) {
-    return error_result("optimal enumeration limited to n <= " +
-                        std::to_string(options.max_tasks) + " (got n = " +
-                        std::to_string(instance.size()) + ")");
+    return error_result(ErrorCode::SizeGuard,
+                        "optimal enumeration limited to n <= " +
+                            std::to_string(options.max_tasks) + " (got n = " +
+                            std::to_string(instance.size()) + ")");
   }
   const auto opt = core::optimal_by_enumeration(instance, options);
   return ok_result(opt.objective, opt.schedule.makespan(),
@@ -146,17 +167,19 @@ std::vector<std::string> SolverRegistry::names() const {
   return names;  // std::map iteration is already sorted
 }
 
-SolveResult SolverRegistry::solve(const SolveRequest& request) const {
-  const SolverInfo* info = find(request.solver);
+SolveResult SolverRegistry::solve(const std::string& solver,
+                                  const core::Instance& instance) const {
+  const SolverInfo* info = find(solver);
   SolveResult result;
   if (info == nullptr) {
-    result = error_result("unknown solver '" + request.solver + "'");
-  } else if (request.instance.size() == 0) {
+    result = error_result(ErrorCode::UnknownSolver,
+                          "unknown solver '" + solver + "'");
+  } else if (instance.size() == 0) {
     result = ok_result(0.0, 0.0, {});
   } else {
-    result = info->fn(request.instance);
+    result = info->fn(instance);
   }
-  result.solver = request.solver;
+  result.solver = solver;
   return result;
 }
 

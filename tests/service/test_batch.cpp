@@ -16,19 +16,19 @@ namespace ms = malsched::support;
 
 namespace {
 
-std::vector<msvc::SolveRequest> mixed_requests(std::size_t count,
+std::vector<msvc::BatchRequest> mixed_requests(std::size_t count,
                                                std::uint64_t seed) {
   ms::Rng rng(seed);
   const std::vector<std::string> solvers = {"wdeq", "deq", "smith-greedy",
                                             "greedy-heuristic"};
-  std::vector<msvc::SolveRequest> requests;
+  std::vector<msvc::BatchRequest> requests;
   for (std::size_t i = 0; i < count; ++i) {
     mc::GeneratorConfig config;
     config.family = mc::Family::Uniform;
     config.num_tasks = 3 + i % 5;
     config.processors = 2.0;
-    requests.push_back(
-        {solvers[i % solvers.size()], mc::generate(config, rng)});
+    requests.push_back({solvers[i % solvers.size()],
+                        msvc::intern(mc::generate(config, rng))});
   }
   return requests;
 }
@@ -43,9 +43,10 @@ TEST(Batch, ResultsComeBackInRequestOrder) {
   const auto results = msvc::solve_batch(registry, requests, options);
   ASSERT_EQ(results.size(), requests.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
-    EXPECT_TRUE(results[i].ok) << i << ": " << results[i].error;
+    ASSERT_TRUE(results[i].ok()) << i << ": " << results[i].error().to_string();
     EXPECT_EQ(results[i].solver, requests[i].solver) << i;
-    EXPECT_EQ(results[i].completions.size(), requests[i].instance.size()) << i;
+    EXPECT_EQ(results[i].completions().size(), requests[i].instance.size())
+        << i;
     EXPECT_GT(results[i].latency_seconds, 0.0) << i;
   }
 }
@@ -56,7 +57,7 @@ TEST(Batch, DeterministicAcrossThreadCounts) {
 
   std::vector<std::vector<msvc::SolveResult>> runs;
   for (const unsigned threads : {1u, 4u, 8u}) {
-    msvc::ResultCache cache(256);
+    msvc::ResultCache cache(1024);
     msvc::BatchOptions options;
     options.threads = threads;
     options.cache = &cache;
@@ -65,20 +66,21 @@ TEST(Batch, DeterministicAcrossThreadCounts) {
   for (std::size_t r = 1; r < runs.size(); ++r) {
     ASSERT_EQ(runs[r].size(), runs[0].size());
     for (std::size_t i = 0; i < runs[0].size(); ++i) {
-      EXPECT_EQ(runs[r][i].ok, runs[0][i].ok) << i;
+      ASSERT_EQ(runs[r][i].ok(), runs[0][i].ok()) << i;
       // Bitwise equality: the canonical-space solve is identical work, so
       // the denormalized doubles must match exactly, not just approximately.
-      EXPECT_EQ(runs[r][i].objective, runs[0][i].objective) << i;
-      EXPECT_EQ(runs[r][i].makespan, runs[0][i].makespan) << i;
-      EXPECT_EQ(runs[r][i].completions, runs[0][i].completions) << i;
+      EXPECT_EQ(runs[r][i].objective(), runs[0][i].objective()) << i;
+      EXPECT_EQ(runs[r][i].makespan(), runs[0][i].makespan()) << i;
+      EXPECT_EQ(runs[r][i].completions(), runs[0][i].completions()) << i;
     }
   }
 }
 
 TEST(Batch, CacheHitsFlagRepeatedInstances) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
-  const mc::Instance inst(3.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 0.5}});
-  std::vector<msvc::SolveRequest> requests(6, {"wdeq", inst});
+  const auto handle =
+      msvc::intern(mc::Instance(3.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 0.5}}));
+  std::vector<msvc::BatchRequest> requests(6, {"wdeq", handle});
 
   msvc::ResultCache cache(64);
   msvc::BatchOptions options;
@@ -88,7 +90,7 @@ TEST(Batch, CacheHitsFlagRepeatedInstances) {
   EXPECT_FALSE(results[0].cache_hit);
   for (std::size_t i = 1; i < results.size(); ++i) {
     EXPECT_TRUE(results[i].cache_hit) << i;
-    EXPECT_EQ(results[i].objective, results[0].objective);
+    EXPECT_EQ(results[i].objective(), results[0].objective());
   }
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 5u);
@@ -98,36 +100,40 @@ TEST(Batch, CachedAndUncachedValuesAgree) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const auto requests = mixed_requests(30, 11);
 
-  msvc::ResultCache cache(256);
+  msvc::ResultCache cache(1024);
   msvc::BatchOptions cached;
   cached.cache = &cache;
   msvc::BatchOptions uncached;
   const auto with_cache = msvc::solve_batch(registry, requests, cached);
   const auto without = msvc::solve_batch(registry, requests, uncached);
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    ASSERT_TRUE(with_cache[i].ok && without[i].ok) << i;
+    ASSERT_TRUE(with_cache[i].ok() && without[i].ok()) << i;
     // Cached solves run in canonical space; allow last-ulp scale noise.
-    EXPECT_NEAR(with_cache[i].objective, without[i].objective,
-                1e-9 * (1.0 + without[i].objective))
+    EXPECT_NEAR(with_cache[i].objective(), without[i].objective(),
+                1e-9 * (1.0 + without[i].objective()))
         << i;
   }
 }
 
 TEST(Batch, ScaledInstancesHitTheSameEntry) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
-  const mc::Instance base(2.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 0.5}});
-  const mc::Instance doubled(2.0, {{2.0, 1.0, 2.0}, {4.0, 2.0, 1.0}});
+  const auto base =
+      msvc::intern(mc::Instance(2.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 0.5}}));
+  const auto doubled =
+      msvc::intern(mc::Instance(2.0, {{2.0, 1.0, 2.0}, {4.0, 2.0, 1.0}}));
 
   msvc::ResultCache cache(64);
-  const auto first = msvc::solve_cached(registry, {"wdeq", base}, &cache);
-  const auto second = msvc::solve_cached(registry, {"wdeq", doubled}, &cache);
-  ASSERT_TRUE(first.ok && second.ok);
+  const auto first = msvc::solve_cached(registry, "wdeq", base, &cache);
+  const auto second = msvc::solve_cached(registry, "wdeq", doubled, &cache);
+  ASSERT_TRUE(first.ok() && second.ok());
   EXPECT_FALSE(first.cache_hit);
   EXPECT_TRUE(second.cache_hit);
+  // The scale quotient is the same, so the canonical fingerprints agree.
+  EXPECT_EQ(base.key(), doubled.key());
   // Volumes and weights both doubled: objective x4, completions x2.
-  EXPECT_NEAR(second.objective, 4.0 * first.objective, 1e-12);
+  EXPECT_NEAR(second.objective(), 4.0 * first.objective(), 1e-12);
   for (std::size_t i = 0; i < base.size(); ++i) {
-    EXPECT_NEAR(second.completions[i], 2.0 * first.completions[i], 1e-12);
+    EXPECT_NEAR(second.completions()[i], 2.0 * first.completions()[i], 1e-12);
   }
 }
 
@@ -137,25 +143,27 @@ TEST(Batch, TieBreakingSolversMatchUncachedOnTies) {
   // solvers get scale-only canonicalization.
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const mc::Instance inst(2.0, {{2.0, 2.0, 2.0}, {1.0, 1.0, 1.0}});
+  const auto handle = msvc::intern(inst);
   for (const char* solver : {"smith-greedy", "greedy-heuristic",
                              "water-fill-smith", "order-lp-smith", "optimal"}) {
     msvc::ResultCache cache(64);
-    const auto cached = msvc::solve_cached(registry, {solver, inst}, &cache);
-    const auto direct = registry.solve({solver, inst});
-    ASSERT_TRUE(cached.ok && direct.ok) << solver;
+    const auto cached = msvc::solve_cached(registry, solver, handle, &cache);
+    const auto direct = registry.solve(solver, inst);
+    ASSERT_TRUE(cached.ok() && direct.ok()) << solver;
     // A flipped tie shows up as an O(1) difference; the documented cached
     // vs uncached agreement is only ~1e-9 relative (canonical-space
     // rescaling), so don't demand bitwise equality across compilers.
-    EXPECT_NEAR(cached.makespan, direct.makespan, 1e-9) << solver;
-    ASSERT_EQ(cached.completions.size(), direct.completions.size()) << solver;
-    for (std::size_t i = 0; i < direct.completions.size(); ++i) {
-      EXPECT_NEAR(cached.completions[i], direct.completions[i], 1e-9)
+    EXPECT_NEAR(cached.makespan(), direct.makespan(), 1e-9) << solver;
+    ASSERT_EQ(cached.completions().size(), direct.completions().size())
+        << solver;
+    for (std::size_t i = 0; i < direct.completions().size(); ++i) {
+      EXPECT_NEAR(cached.completions()[i], direct.completions()[i], 1e-9)
           << solver << " task " << i;
     }
     // Repeats still hit the scale-only cache entry.
-    const auto again = msvc::solve_cached(registry, {solver, inst}, &cache);
+    const auto again = msvc::solve_cached(registry, solver, handle, &cache);
     EXPECT_TRUE(again.cache_hit) << solver;
-    EXPECT_NEAR(again.makespan, direct.makespan, 1e-9) << solver;
+    EXPECT_NEAR(again.makespan(), direct.makespan(), 1e-9) << solver;
   }
 }
 
@@ -163,16 +171,18 @@ TEST(Batch, FifoRigidSkipsPermutationQuotient) {
   // fifo-rigid output depends on task ids; the cache must not alias
   // permuted instances for it.
   const auto registry = msvc::SolverRegistry::with_default_solvers();
-  const mc::Instance a(2.0, {{4.0, 2.0, 0.1}, {0.2, 2.0, 10.0}});
-  const mc::Instance b(2.0, {{0.2, 2.0, 10.0}, {4.0, 2.0, 0.1}});
+  const auto a =
+      msvc::intern(mc::Instance(2.0, {{4.0, 2.0, 0.1}, {0.2, 2.0, 10.0}}));
+  const auto b =
+      msvc::intern(mc::Instance(2.0, {{0.2, 2.0, 10.0}, {4.0, 2.0, 0.1}}));
 
   msvc::ResultCache cache(64);
-  const auto ra = msvc::solve_cached(registry, {"fifo-rigid", a}, &cache);
-  const auto rb = msvc::solve_cached(registry, {"fifo-rigid", b}, &cache);
-  ASSERT_TRUE(ra.ok && rb.ok);
+  const auto ra = msvc::solve_cached(registry, "fifo-rigid", a, &cache);
+  const auto rb = msvc::solve_cached(registry, "fifo-rigid", b, &cache);
+  ASSERT_TRUE(ra.ok() && rb.ok());
   EXPECT_FALSE(rb.cache_hit);
   // Different first-come order => genuinely different objectives.
-  EXPECT_NE(ra.objective, rb.objective);
+  EXPECT_NE(ra.objective(), rb.objective());
 }
 
 TEST(Batch, WideDynamicRangeBypassesTheCanonicalCache) {
@@ -182,16 +192,17 @@ TEST(Batch, WideDynamicRangeBypassesTheCanonicalCache) {
   // instead and agree with the uncached path.
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const mc::Instance inst(2.0, {{1.0, 1.0, 1000000.0}, {4e9, 2.0, 1.0}});
+  const auto handle = msvc::intern(inst);
 
   msvc::ResultCache cache(64);
-  const auto cached = msvc::solve_cached(registry, {"wdeq", inst}, &cache);
-  const auto direct = registry.solve({"wdeq", inst});
-  ASSERT_TRUE(cached.ok && direct.ok);
+  const auto cached = msvc::solve_cached(registry, "wdeq", handle, &cache);
+  const auto direct = registry.solve("wdeq", inst);
+  ASSERT_TRUE(cached.ok() && direct.ok());
   EXPECT_FALSE(cached.cache_hit);
-  EXPECT_EQ(cached.objective, direct.objective);
-  EXPECT_EQ(cached.completions, direct.completions);
-  EXPECT_GT(cached.completions[0], 0.0);  // the small task is not dropped
-  EXPECT_EQ(cache.stats().entries, 0u);   // nothing was memoized
+  EXPECT_EQ(cached.objective(), direct.objective());
+  EXPECT_EQ(cached.completions(), direct.completions());
+  EXPECT_GT(cached.completions()[0], 0.0);  // the small task is not dropped
+  EXPECT_EQ(cache.stats().entries, 0u);     // nothing was memoized
 }
 
 TEST(Batch, VolumeOverflowBypassesTheCacheInsteadOfCachingNaN) {
@@ -200,15 +211,16 @@ TEST(Batch, VolumeOverflowBypassesTheCacheInsteadOfCachingNaN) {
   // client-space solve so cached and uncached agree (and no NaN entry is
   // memoized).
   const auto registry = msvc::SolverRegistry::with_default_solvers();
-  const mc::Instance overflow(2.0, {{1e308, 1.0, 1.0}, {1e308, 2.0, 1.0}});
+  const auto overflow =
+      msvc::intern(mc::Instance(2.0, {{1e308, 1.0, 1.0}, {1e308, 2.0, 1.0}}));
   msvc::ResultCache cache(64);
-  const auto cached = msvc::solve_cached(registry, {"wdeq", overflow}, &cache);
-  const auto direct = registry.solve({"wdeq", overflow});
+  const auto cached = msvc::solve_cached(registry, "wdeq", overflow, &cache);
+  const auto direct = registry.solve("wdeq", overflow.instance());
   EXPECT_FALSE(cached.cache_hit);
   EXPECT_EQ(cache.stats().entries, 0u);
-  EXPECT_EQ(cached.ok, direct.ok);
-  EXPECT_EQ(cached.objective, direct.objective);  // inf == inf, not NaN
-  EXPECT_FALSE(std::isnan(cached.objective));
+  ASSERT_EQ(cached.ok(), direct.ok());
+  EXPECT_EQ(cached.objective(), direct.objective());  // inf == inf, not NaN
+  EXPECT_FALSE(std::isnan(cached.objective()));
 }
 
 TEST(Batch, ErrorDiagnosticsUseClientTaskIdsDespiteCache) {
@@ -218,12 +230,15 @@ TEST(Batch, ErrorDiagnosticsUseClientTaskIdsDespiteCache) {
   // canonical id 0.
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const mc::Instance inst(2.0, {{5.0, 1.0, 1.0}, {1.0, 1.0, 0.0}});
+  const auto handle = msvc::intern(inst);
   msvc::ResultCache cache(64);
-  const auto cached = msvc::solve_cached(registry, {"wdeq", inst}, &cache);
-  const auto direct = registry.solve({"wdeq", inst});
-  EXPECT_FALSE(cached.ok);
-  EXPECT_NE(cached.error.find("task 1"), std::string::npos) << cached.error;
-  EXPECT_EQ(cached.error, direct.error);
+  const auto cached = msvc::solve_cached(registry, "wdeq", handle, &cache);
+  const auto direct = registry.solve("wdeq", inst);
+  ASSERT_FALSE(cached.ok());
+  EXPECT_EQ(cached.error().code, msvc::ErrorCode::SolverFailure);
+  EXPECT_NE(cached.error().detail.find("task 1"), std::string::npos)
+      << cached.error().detail;
+  EXPECT_EQ(cached.error().detail, direct.error().detail);
 }
 
 TEST(Batch, CustomSolverDefaultsAreCacheSafe) {
@@ -232,56 +247,53 @@ TEST(Batch, CustomSolverDefaultsAreCacheSafe) {
   // order_invariant defaulted to true.
   auto registry = msvc::SolverRegistry::with_default_solvers();
   registry.register_solver("first-volume", [](const mc::Instance& inst) {
-    msvc::SolveResult r;
-    r.ok = true;
-    r.objective = inst.task(0).volume;  // depends on task numbering
-    r.completions.assign(inst.size(), 1.0);
-    r.makespan = 1.0;
-    return r;
+    return msvc::SolveResult::success(
+        "", msvc::SolveOutput{inst.task(0).volume, 1.0,  // task-numbering dep
+                              std::vector<double>(inst.size(), 1.0)});
   });
-  const mc::Instance a(2.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 1.0}});
-  const mc::Instance b(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  const auto a =
+      msvc::intern(mc::Instance(2.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 1.0}}));
+  const auto b =
+      msvc::intern(mc::Instance(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}}));
   msvc::ResultCache cache(64);
-  const auto ra = msvc::solve_cached(registry, {"first-volume", a}, &cache);
-  const auto rb = msvc::solve_cached(registry, {"first-volume", b}, &cache);
+  const auto ra = msvc::solve_cached(registry, "first-volume", a, &cache);
+  const auto rb = msvc::solve_cached(registry, "first-volume", b, &cache);
   EXPECT_FALSE(rb.cache_hit);  // scale-only keys distinguish the orderings
-  EXPECT_NE(ra.objective, rb.objective);
+  EXPECT_NE(ra.objective(), rb.objective());
 }
 
 TEST(Batch, NonCacheableSolverBypassesTheCache) {
   auto registry = msvc::SolverRegistry::with_default_solvers();
   registry.register_solver(
       "absolute", [](const mc::Instance& inst) {
-        msvc::SolveResult r;
-        r.ok = true;
         // Not scale-equivariant: an absolute threshold on the volume.
-        r.objective = inst.total_volume() > 10.0 ? 1.0 : 0.0;
-        r.completions.assign(inst.size(), 1.0);
-        r.makespan = 1.0;
-        return r;
+        return msvc::SolveResult::success(
+            "", msvc::SolveOutput{inst.total_volume() > 10.0 ? 1.0 : 0.0, 1.0,
+                                  std::vector<double>(inst.size(), 1.0)});
       },
       /*order_invariant=*/false, "absolute threshold", /*cacheable=*/false);
-  const mc::Instance big(2.0, {{20.0, 1.0, 1.0}});
+  const auto big = msvc::intern(mc::Instance(2.0, {{20.0, 1.0, 1.0}}));
   msvc::ResultCache cache(64);
-  const auto first = msvc::solve_cached(registry, {"absolute", big}, &cache);
-  const auto second = msvc::solve_cached(registry, {"absolute", big}, &cache);
-  EXPECT_EQ(first.objective, 1.0);  // client-space solve, threshold intact
-  EXPECT_FALSE(second.cache_hit);   // never memoized
+  const auto first = msvc::solve_cached(registry, "absolute", big, &cache);
+  const auto second = msvc::solve_cached(registry, "absolute", big, &cache);
+  EXPECT_EQ(first.objective(), 1.0);  // client-space solve, threshold intact
+  EXPECT_FALSE(second.cache_hit);     // never memoized
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 TEST(Batch, UnknownSolverFailsOnlyThatRequest) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
-  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}});
-  const std::vector<msvc::SolveRequest> requests = {
-      {"wdeq", inst}, {"bogus", inst}, {"deq", inst}};
+  const auto handle = msvc::intern(mc::Instance(2.0, {{1.0, 1.0, 1.0}}));
+  const std::vector<msvc::BatchRequest> requests = {
+      {"wdeq", handle}, {"bogus", handle}, {"deq", handle}};
   msvc::BatchOptions options;
   options.threads = 2;
   const auto results = msvc::solve_batch(registry, requests, options);
-  EXPECT_TRUE(results[0].ok);
-  EXPECT_FALSE(results[1].ok);
-  EXPECT_NE(results[1].error.find("bogus"), std::string::npos);
-  EXPECT_TRUE(results[2].ok);
+  EXPECT_TRUE(results[0].ok());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].error().code, msvc::ErrorCode::UnknownSolver);
+  EXPECT_NE(results[1].error().detail.find("bogus"), std::string::npos);
+  EXPECT_TRUE(results[2].ok());
 }
 
 TEST(Batch, ThrowingSolverIsContainedPerRequest) {
@@ -289,16 +301,17 @@ TEST(Batch, ThrowingSolverIsContainedPerRequest) {
   registry.register_solver("explode", [](const mc::Instance&) -> msvc::SolveResult {
     throw std::runtime_error("boom");
   });
-  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}});
-  const std::vector<msvc::SolveRequest> requests = {
-      {"wdeq", inst}, {"explode", inst}, {"wdeq", inst}};
+  const auto handle = msvc::intern(mc::Instance(2.0, {{1.0, 1.0, 1.0}}));
+  const std::vector<msvc::BatchRequest> requests = {
+      {"wdeq", handle}, {"explode", handle}, {"wdeq", handle}};
   msvc::BatchOptions options;
   options.threads = 2;
   const auto results = msvc::solve_batch(registry, requests, options);
-  EXPECT_TRUE(results[0].ok);
-  EXPECT_FALSE(results[1].ok);
-  EXPECT_NE(results[1].error.find("boom"), std::string::npos);
-  EXPECT_TRUE(results[2].ok);
+  EXPECT_TRUE(results[0].ok());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].error().code, msvc::ErrorCode::SolverFailure);
+  EXPECT_NE(results[1].error().detail.find("boom"), std::string::npos);
+  EXPECT_TRUE(results[2].ok());
 }
 
 TEST(Batch, NonStdExceptionIsContainedToo) {
@@ -307,25 +320,50 @@ TEST(Batch, NonStdExceptionIsContainedToo) {
                            [](const mc::Instance&) -> msvc::SolveResult {
                              throw 42;  // arbitrary user callable, non-std
                            });
-  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}});
-  const std::vector<msvc::SolveRequest> requests = {{"explode-int", inst},
-                                                    {"wdeq", inst}};
+  const auto handle = msvc::intern(mc::Instance(2.0, {{1.0, 1.0, 1.0}}));
+  const std::vector<msvc::BatchRequest> requests = {{"explode-int", handle},
+                                                    {"wdeq", handle}};
   const auto results = msvc::solve_batch(registry, requests, {});
-  EXPECT_FALSE(results[0].ok);
-  EXPECT_NE(results[0].error.find("non-standard"), std::string::npos);
-  EXPECT_TRUE(results[1].ok);
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].error().code, msvc::ErrorCode::SolverFailure);
+  EXPECT_NE(results[0].error().detail.find("non-standard"), std::string::npos);
+  EXPECT_TRUE(results[1].ok());
 }
 
-TEST(Batch, SharedExternalPoolWorks) {
+TEST(Batch, SharedCacheStaysWarmAcrossBatches) {
+  // BatchOptions::cache is borrowed, so a second batch over the same
+  // traffic is pure hit dispatch — the replacement for sharing a thread
+  // pool across batches in the v1 API.
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const auto requests = mixed_requests(20, 17);
-  ms::ThreadPool pool(3);
+  msvc::ResultCache cache(4096);
   msvc::BatchOptions options;
-  options.pool = &pool;
-  const auto results = msvc::solve_batch(registry, requests, options);
-  ASSERT_EQ(results.size(), requests.size());
-  for (const auto& result : results) {
-    EXPECT_TRUE(result.ok) << result.error;
+  options.threads = 3;
+  options.cache = &cache;
+  const auto first = msvc::solve_batch(registry, requests, options);
+  ASSERT_EQ(first.size(), requests.size());
+  const auto second = msvc::solve_batch(registry, requests, options);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    ASSERT_TRUE(second[i].ok()) << second[i].error().to_string();
+    EXPECT_TRUE(second[i].cache_hit) << i;
+    EXPECT_EQ(second[i].objective(), first[i].objective()) << i;
+  }
+}
+
+TEST(Batch, SchedulerOverloadReusesWorkersAcrossBatches) {
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  const auto requests = mixed_requests(12, 23);
+  msvc::Scheduler::Options options;
+  options.threads = 2;
+  msvc::Scheduler scheduler(registry, options);
+  const auto first = msvc::solve_batch(scheduler, requests);
+  const auto second = msvc::solve_batch(scheduler, requests);
+  ASSERT_EQ(first.size(), requests.size());
+  ASSERT_EQ(second.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(first[i].ok() && second[i].ok()) << i;
+    EXPECT_EQ(first[i].objective(), second[i].objective()) << i;
+    EXPECT_TRUE(second[i].cache_hit) << i;  // the owned cache stayed warm
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 #include "malsched/support/thread_pool.hpp"
 
@@ -12,6 +13,7 @@ namespace ms = malsched::support;
 
 namespace {
 
+// Two completions => entry_weight == 3.
 msvc::CachedSolve value_of(double objective) {
   msvc::CachedSolve value;
   value.objective = objective;
@@ -20,7 +22,20 @@ msvc::CachedSolve value_of(double objective) {
   return value;
 }
 
+msvc::CachedSolve value_with_n(double objective, std::size_t n) {
+  msvc::CachedSolve value;
+  value.objective = objective;
+  value.completions.assign(n, objective);
+  return value;
+}
+
 }  // namespace
+
+TEST(Cache, EntryWeightIsOnePlusCompletionLength) {
+  EXPECT_EQ(msvc::entry_weight(value_of(1.0)), 3u);
+  EXPECT_EQ(msvc::entry_weight(value_with_n(1.0, 500)), 501u);
+  EXPECT_EQ(msvc::entry_weight(msvc::CachedSolve{}), 1u);
+}
 
 TEST(Cache, PutGetRoundTrip) {
   msvc::ResultCache cache(16);
@@ -36,19 +51,23 @@ TEST(Cache, PutGetRoundTrip) {
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.weight, 3u);
 }
 
 TEST(Cache, PutReplacesExistingKey) {
   msvc::ResultCache cache(16);
   cache.put("k", value_of(1.0));
-  cache.put("k", value_of(9.0));
+  cache.put("k", value_with_n(9.0, 4));  // weight 3 -> 5, no double count
   EXPECT_DOUBLE_EQ(cache.get("k")->objective, 9.0);
-  EXPECT_EQ(cache.stats().entries, 1u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.weight, 5u);
 }
 
 TEST(Cache, LruEvictionOrder) {
-  // One shard makes the LRU order deterministic and observable.
-  msvc::ResultCache cache(2, /*shards=*/1);
+  // One shard makes the LRU order deterministic and observable.  Weight-3
+  // entries with capacity 6: room for exactly two.
+  msvc::ResultCache cache(6, /*shards=*/1);
   cache.put("a", value_of(1.0));
   cache.put("b", value_of(2.0));
   EXPECT_TRUE((cache.get("a") != nullptr));  // refresh a: b is now LRU
@@ -60,6 +79,41 @@ TEST(Cache, LruEvictionOrder) {
   const auto stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.weight, 6u);
+}
+
+TEST(Cache, HeavyEntryEvictsAsManyLightOnesAsItWeighs) {
+  // Size-aware eviction: one n = 8 entry (weight 9) displaces three weight-3
+  // entries from a 12-unit shard, not just one.
+  msvc::ResultCache cache(12, /*shards=*/1);
+  cache.put("a", value_of(1.0));
+  cache.put("b", value_of(2.0));
+  cache.put("c", value_of(3.0));
+  cache.put("d", value_of(4.0));  // weight 12: exactly full, no eviction
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.put("big", value_with_n(9.0, 8));  // weight 9: evicts a, b, c
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 3u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.weight, 12u);
+  EXPECT_TRUE((cache.get("big") != nullptr));
+  EXPECT_TRUE((cache.get("d") != nullptr));
+  EXPECT_FALSE((cache.get("a") != nullptr));
+}
+
+TEST(Cache, OversizedEntryIsAdmittedAlone) {
+  // An entry heavier than the whole shard budget still caches (a 1-entry
+  // memo beats re-solving a huge instance every time); the next put evicts
+  // it normally.
+  msvc::ResultCache cache(8, /*shards=*/1);
+  cache.put("huge", value_with_n(1.0, 100));  // weight 101 > 8
+  EXPECT_TRUE((cache.get("huge") != nullptr));
+  EXPECT_EQ(cache.stats().weight, 101u);
+  cache.put("small", value_of(2.0));  // evicts huge, shard back under budget
+  EXPECT_FALSE((cache.get("huge") != nullptr));
+  EXPECT_TRUE((cache.get("small") != nullptr));
+  EXPECT_EQ(cache.stats().weight, 3u);
 }
 
 TEST(Cache, CapacityIsSpreadAcrossShards) {
@@ -69,7 +123,7 @@ TEST(Cache, CapacityIsSpreadAcrossShards) {
     cache.put("key-" + std::to_string(i), value_of(i));
   }
   const auto stats = cache.stats();
-  EXPECT_LE(stats.entries, 64u);
+  EXPECT_LE(stats.weight, 64u);
   EXPECT_EQ(stats.capacity, 64u);
 }
 
@@ -80,6 +134,7 @@ TEST(Cache, ClearEmptiesEveryShard) {
   }
   cache.clear();
   EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().weight, 0u);
   EXPECT_FALSE((cache.get("key-3") != nullptr));
 }
 
@@ -127,5 +182,7 @@ TEST(Cache, ConcurrentMixedTrafficStaysConsistent) {
   EXPECT_EQ(stats.hits, observed_hits.load());
   EXPECT_EQ(stats.misses, observed_misses.load());
   EXPECT_EQ(stats.hits + stats.misses, ops - (ops + 2) / 3);
-  EXPECT_LE(stats.entries, 64u + cache.shard_count());
+  // Weight-3 entries against a ceil(64/8) = 8 per-shard budget: every shard
+  // settles at <= 8 weight after each put.
+  EXPECT_LE(stats.weight, 64u);
 }

@@ -1,0 +1,142 @@
+// Typed-error coverage: every ErrorCode is producible through the public
+// API, and failures round-trip through write_results deterministically
+// (stable `code=` names a client can parse back into the enum).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "malsched/service/scheduler.hpp"
+#include "malsched/service/service.hpp"
+#include "malsched/service/solver_registry.hpp"
+
+namespace mc = malsched::core;
+namespace msvc = malsched::service;
+
+namespace {
+
+// The library's own enumeration, so a newly added code is covered here
+// without touching this file.
+std::vector<msvc::ErrorCode> all_codes() {
+  return {std::begin(msvc::kAllErrorCodes), std::end(msvc::kAllErrorCodes)};
+}
+
+mc::Instance small_instance() {
+  return mc::Instance(2.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 0.5}});
+}
+
+// One genuinely-produced failure per code, through the public surface.
+std::vector<msvc::SolveResult> produce_all_failures() {
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  std::vector<msvc::SolveResult> failures;
+
+  // UnknownSolver: dispatch to a name nobody registered.
+  failures.push_back(registry.solve("no-such-solver", small_instance()));
+
+  // SizeGuard: optimal enumeration beyond its n <= 9 guard.
+  failures.push_back(registry.solve(
+      "optimal",
+      mc::Instance(4.0, std::vector<mc::Task>(12, {1.0, 1.0, 1.0}))));
+
+  // ParseError: a batch request naming an instance that does not exist.
+  std::string error;
+  const auto batch = msvc::parse_batch(
+      "instance a\nprocessors 2\ntask 1 1 1\nend\n"
+      "solve wdeq ghost\n",
+      &error);
+  EXPECT_TRUE(batch.has_value()) << error;
+  auto report = msvc::run_service(*batch, registry, {});
+  failures.push_back(report.results.at(0));
+
+  // SolverFailure: wdeq rejects a runnable zero-weight task.
+  failures.push_back(registry.solve(
+      "wdeq", mc::Instance(2.0, {{1.0, 1.0, 0.0}, {1.0, 1.0, 1.0}})));
+
+  // QueueClosed: submit after Scheduler::close().
+  {
+    msvc::Scheduler scheduler(registry, {.threads = 1});
+    scheduler.close();
+    auto ticket =
+        scheduler.submit("wdeq", msvc::intern(small_instance()));
+    failures.push_back(ticket.get());
+  }
+  return failures;
+}
+
+}  // namespace
+
+TEST(Errors, CodeNamesAreUniqueAndRoundTrip) {
+  std::set<std::string> names;
+  for (const msvc::ErrorCode code : all_codes()) {
+    const std::string name = msvc::error_code_name(code);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    const auto parsed = msvc::parse_error_code(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(msvc::parse_error_code("no-such-code").has_value());
+  EXPECT_FALSE(msvc::parse_error_code("").has_value());
+}
+
+TEST(Errors, ToStringLeadsWithTheCodeName) {
+  const msvc::SolveError error{msvc::ErrorCode::SizeGuard, "n too large"};
+  EXPECT_EQ(error.to_string(), "size-guard: n too large");
+}
+
+TEST(Errors, EveryCodeIsProducibleThroughThePublicApi) {
+  const auto failures = produce_all_failures();
+  ASSERT_EQ(failures.size(), all_codes().size());
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    ASSERT_FALSE(failures[i].ok()) << i;
+    EXPECT_EQ(failures[i].error().code, all_codes()[i])
+        << "failure " << i << ": " << failures[i].error().to_string();
+    EXPECT_FALSE(failures[i].error().detail.empty()) << i;
+  }
+}
+
+TEST(Errors, FailuresRoundTripThroughWriteResultsDeterministically) {
+  msvc::ServiceReport report;
+  report.results = produce_all_failures();
+
+  const std::string first = msvc::format_results(report);
+  const std::string second = msvc::format_results(report);
+  EXPECT_EQ(first, second) << "write_results must be deterministic";
+
+  // Each line carries `code=<name>` that parses back to the original enum.
+  std::istringstream lines(first);
+  std::string line;
+  std::size_t index = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_LT(index, report.results.size());
+    EXPECT_NE(line.find("status=error"), std::string::npos) << line;
+    const auto pos = line.find("code=");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const auto end = line.find(' ', pos);
+    const std::string name = line.substr(pos + 5, end - (pos + 5));
+    const auto parsed = msvc::parse_error_code(name);
+    ASSERT_TRUE(parsed.has_value()) << "unparseable code '" << name << "'";
+    EXPECT_EQ(*parsed, report.results[index].error().code) << line;
+    ++index;
+  }
+  EXPECT_EQ(index, report.results.size());
+}
+
+TEST(Errors, SuccessAndErrorAccessorsAreExclusive) {
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  const auto ok = registry.solve("wdeq", small_instance());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_GT(ok.objective(), 0.0);
+
+  const auto bad = registry.solve("bogus", small_instance());
+  ASSERT_FALSE(bad.ok());
+  EXPECT_FALSE(static_cast<bool>(bad));
+  EXPECT_EQ(bad.error().code, msvc::ErrorCode::UnknownSolver);
+
+  // Default-constructed results are failures until filled in.
+  EXPECT_FALSE(msvc::SolveResult{}.ok());
+}

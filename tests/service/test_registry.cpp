@@ -35,40 +35,42 @@ TEST(Registry, DefaultZooCoversPoliciesAndExactPaths) {
 TEST(Registry, WdeqDispatchMatchesDirectEngineRun) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const auto inst = small_instance();
-  const auto result = registry.solve({"wdeq", inst});
-  ASSERT_TRUE(result.ok) << result.error;
+  const auto result = registry.solve("wdeq", inst);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
   EXPECT_EQ(result.solver, "wdeq");
 
   const auto direct = msim::run_policy(inst, *msim::make_wdeq_policy());
-  EXPECT_DOUBLE_EQ(result.objective, direct.weighted_completion);
-  ASSERT_EQ(result.completions.size(), inst.size());
+  EXPECT_DOUBLE_EQ(result.objective(), direct.weighted_completion);
+  ASSERT_EQ(result.completions().size(), inst.size());
   for (std::size_t i = 0; i < inst.size(); ++i) {
-    EXPECT_DOUBLE_EQ(result.completions[i], direct.completions[i]);
+    EXPECT_DOUBLE_EQ(result.completions()[i], direct.completions[i]);
   }
 }
 
 TEST(Registry, OptimalDispatchMatchesEnumeration) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const auto inst = small_instance();
-  const auto result = registry.solve({"optimal", inst});
-  ASSERT_TRUE(result.ok) << result.error;
+  const auto result = registry.solve("optimal", inst);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
   const auto direct = mc::optimal_by_enumeration(inst);
-  EXPECT_NEAR(result.objective, direct.objective, 1e-9);
+  EXPECT_NEAR(result.objective(), direct.objective, 1e-9);
 }
 
 TEST(Registry, OptimalGuardsLargeInstances) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   std::vector<mc::Task> tasks(12, {1.0, 1.0, 1.0});
-  const auto result = registry.solve({"optimal", mc::Instance(4.0, tasks)});
-  EXPECT_FALSE(result.ok);
-  EXPECT_NE(result.error.find("n <= "), std::string::npos);
+  const auto result = registry.solve("optimal", mc::Instance(4.0, tasks));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, msvc::ErrorCode::SizeGuard);
+  EXPECT_NE(result.error().detail.find("n <= "), std::string::npos);
 }
 
 TEST(Registry, UnknownSolverIsAnErrorNotACrash) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
-  const auto result = registry.solve({"no-such-solver", small_instance()});
-  EXPECT_FALSE(result.ok);
-  EXPECT_NE(result.error.find("no-such-solver"), std::string::npos);
+  const auto result = registry.solve("no-such-solver", small_instance());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, msvc::ErrorCode::UnknownSolver);
+  EXPECT_NE(result.error().detail.find("no-such-solver"), std::string::npos);
   EXPECT_EQ(result.solver, "no-such-solver");
 }
 
@@ -76,10 +78,10 @@ TEST(Registry, EmptyInstanceShortCircuitsForEverySolver) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const mc::Instance empty(2.0, {});
   for (const auto& name : registry.names()) {
-    const auto result = registry.solve({name, empty});
-    EXPECT_TRUE(result.ok) << name << ": " << result.error;
-    EXPECT_EQ(result.objective, 0.0) << name;
-    EXPECT_TRUE(result.completions.empty()) << name;
+    const auto result = registry.solve(name, empty);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.error().to_string();
+    EXPECT_EQ(result.objective(), 0.0) << name;
+    EXPECT_TRUE(result.completions().empty()) << name;
   }
 }
 
@@ -88,12 +90,12 @@ TEST(Registry, AllSolversAgreeOnObjectiveOrdering) {
   // LP/optimal pair anchors the scale.
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const auto inst = small_instance();
-  const auto optimal = registry.solve({"optimal", inst});
-  ASSERT_TRUE(optimal.ok);
+  const auto optimal = registry.solve("optimal", inst);
+  ASSERT_TRUE(optimal.ok());
   for (const auto& name : registry.names()) {
-    const auto result = registry.solve({name, inst});
-    ASSERT_TRUE(result.ok) << name << ": " << result.error;
-    EXPECT_GE(result.objective, optimal.objective - 1e-6) << name;
+    const auto result = registry.solve(name, inst);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.error().to_string();
+    EXPECT_GE(result.objective(), optimal.objective() - 1e-6) << name;
   }
 }
 
@@ -103,21 +105,24 @@ TEST(Registry, WeightSharingSolversRejectNonpositiveWeights) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const mc::Instance zero_weight(2.0, {{1.0, 1.0, 0.0}, {1.0, 2.0, 1.0}});
   for (const char* solver : {"wdeq", "wrr"}) {
-    const auto result = registry.solve({solver, zero_weight});
-    EXPECT_FALSE(result.ok) << solver;
-    EXPECT_NE(result.error.find("positive weights"), std::string::npos)
+    const auto result = registry.solve(solver, zero_weight);
+    ASSERT_FALSE(result.ok()) << solver;
+    EXPECT_EQ(result.error().code, msvc::ErrorCode::SolverFailure) << solver;
+    EXPECT_NE(result.error().detail.find("positive weights"),
+              std::string::npos)
         << solver;
-    EXPECT_NE(result.error.find("task 0"), std::string::npos) << solver;
+    EXPECT_NE(result.error().detail.find("task 0"), std::string::npos)
+        << solver;
   }
   // Solvers that only use weights in the objective still serve it.
   for (const char* solver : {"deq", "smith-greedy", "greedy-heuristic",
                              "optimal"}) {
-    const auto result = registry.solve({solver, zero_weight});
-    EXPECT_TRUE(result.ok) << solver << ": " << result.error;
+    const auto result = registry.solve(solver, zero_weight);
+    EXPECT_TRUE(result.ok()) << solver << ": " << result.error().to_string();
   }
   // A zero-volume task may carry zero weight: it is never alive.
   const mc::Instance zero_volume(2.0, {{0.0, 1.0, 0.0}, {1.0, 2.0, 1.0}});
-  EXPECT_TRUE(registry.solve({"wdeq", zero_volume}).ok);
+  EXPECT_TRUE(registry.solve("wdeq", zero_volume).ok());
 }
 
 TEST(Registry, EngineSolversRejectDegenerateWidths) {
@@ -128,34 +133,31 @@ TEST(Registry, EngineSolversRejectDegenerateWidths) {
   const mc::Instance tiny_width(2.0, {{1.0, 1e-10, 1.0}, {1.0, 1.0, 1.0}});
   for (const char* solver : {"wdeq", "deq", "wrr", "fifo-rigid",
                              "smith-greedy"}) {
-    const auto result = registry.solve({solver, tiny_width});
-    EXPECT_FALSE(result.ok) << solver;
-    EXPECT_NE(result.error.find("width"), std::string::npos) << solver;
-    EXPECT_NE(result.error.find("task 0"), std::string::npos) << solver;
+    const auto result = registry.solve(solver, tiny_width);
+    ASSERT_FALSE(result.ok()) << solver;
+    EXPECT_EQ(result.error().code, msvc::ErrorCode::SolverFailure) << solver;
+    EXPECT_NE(result.error().detail.find("width"), std::string::npos)
+        << solver;
+    EXPECT_NE(result.error().detail.find("task 0"), std::string::npos)
+        << solver;
   }
   // Zero-volume tasks never run, so a tiny width there is harmless.
   const mc::Instance tiny_but_idle(2.0, {{0.0, 1e-10, 1.0}, {1.0, 1.0, 1.0}});
-  EXPECT_TRUE(registry.solve({"wdeq", tiny_but_idle}).ok);
+  EXPECT_TRUE(registry.solve("wdeq", tiny_but_idle).ok());
 }
 
 TEST(Registry, CustomSolverRegistrationAndReplacement) {
   msvc::SolverRegistry registry;
   EXPECT_EQ(registry.size(), 0u);
   registry.register_solver("stub", [](const mc::Instance&) {
-    msvc::SolveResult r;
-    r.ok = true;
-    r.objective = 42.0;
-    return r;
+    return msvc::SolveResult::success("", msvc::SolveOutput{42.0, 1.0, {}});
   });
   EXPECT_TRUE(registry.contains("stub"));
-  EXPECT_EQ(registry.solve({"stub", small_instance()}).objective, 42.0);
+  EXPECT_EQ(registry.solve("stub", small_instance()).objective(), 42.0);
 
   registry.register_solver("stub", [](const mc::Instance&) {
-    msvc::SolveResult r;
-    r.ok = true;
-    r.objective = 7.0;
-    return r;
+    return msvc::SolveResult::success("", msvc::SolveOutput{7.0, 1.0, {}});
   });
   EXPECT_EQ(registry.size(), 1u);
-  EXPECT_EQ(registry.solve({"stub", small_instance()}).objective, 7.0);
+  EXPECT_EQ(registry.solve("stub", small_instance()).objective(), 7.0);
 }

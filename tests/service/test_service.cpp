@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace msvc = malsched::service;
@@ -26,6 +30,28 @@ solve deq wide
 solve wdeq small      # repeated: a cache hit on round one already
 solve optimal wide
 )";
+
+// RAII scratch directory for include-file tests.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("malsched_service_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+  void write(const std::string& name, const std::string& text) const {
+    std::ofstream out(dir_ / name);
+    out << text;
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
 
 }  // namespace
 
@@ -101,6 +127,144 @@ TEST(Service, InstanceBodyDiagnosticsUseFileLineNumbers) {
   EXPECT_NE(error.find("line 6"), std::string::npos) << error;
 }
 
+TEST(Service, GenerateLineDefinesNamedInstance) {
+  std::string error;
+  const auto batch = msvc::parse_batch(
+      "generate big heavy-tail-volumes 64 16 42\n"
+      "generate small uniform 5 2 7\n"
+      "solve wdeq big\n"
+      "solve wdeq small\n",
+      &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  ASSERT_EQ(batch->instances.count("big"), 1u);
+  EXPECT_EQ(batch->instances.at("big").size(), 64u);
+  EXPECT_DOUBLE_EQ(batch->instances.at("big").processors(), 16.0);
+  EXPECT_EQ(batch->instances.at("small").size(), 5u);
+
+  // Same spec => same seed => bitwise identical instance (determinism).
+  const auto again = msvc::parse_batch(
+      "generate big heavy-tail-volumes 64 16 42\nsolve wdeq big\n", &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(again->instances.at("big").task(i).volume,
+              batch->instances.at("big").task(i).volume)
+        << i;
+  }
+}
+
+TEST(Service, GenerateErrorsAreDiagnosed) {
+  std::string error;
+  EXPECT_FALSE(msvc::parse_batch("generate x uniform\n", &error).has_value());
+  EXPECT_NE(error.find("'generate' needs"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("generate x no-such-family 5 2 1\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("unknown family"), std::string::npos);
+  EXPECT_NE(error.find("heavy-tail-volumes"), std::string::npos)
+      << "diagnostic should list the known families: " << error;
+
+  EXPECT_FALSE(
+      msvc::parse_batch("generate x uniform 0 2 1\n", &error).has_value());
+  EXPECT_NE(error.find("task count"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("generate x uniform 5 0 1\n", &error).has_value());
+  EXPECT_NE(error.find("positive processors"), std::string::npos);
+
+  EXPECT_FALSE(msvc::parse_batch(
+                   "instance x\nprocessors 2\ntask 1 1 1\nend\n"
+                   "generate x uniform 5 2 1\nsolve wdeq x\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("duplicate instance"), std::string::npos);
+}
+
+TEST(Service, IncludeSplicesInstancesAndRequests) {
+  const ScratchDir scratch;
+  // A space in the file name: the path is the rest of the line, not one
+  // whitespace token.
+  scratch.write("common instances.msb",
+                "instance shared\nprocessors 2\ntask 1 1 1\nend\n");
+  scratch.write("main.msb",
+                "include common instances.msb   # spliced\n"
+                "solve wdeq shared\n");
+  std::ifstream in(scratch.path() + "/main.msb");
+  std::string error;
+  msvc::BatchReadOptions options;
+  options.base_dir = scratch.path();
+  const auto batch = msvc::read_batch(in, &error, options);
+  ASSERT_TRUE(batch.has_value()) << error;
+  EXPECT_EQ(batch->instances.count("shared"), 1u);
+  ASSERT_EQ(batch->requests.size(), 1u);
+  EXPECT_EQ(batch->requests[0].instance_name, "shared");
+
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  const auto report = msvc::run_service(*batch, registry, {});
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_TRUE(report.results[0].ok()) << report.results[0].error().to_string();
+}
+
+TEST(Service, NestedIncludesResolveAgainstTheirOwnDirectory) {
+  const ScratchDir scratch;
+  std::filesystem::create_directories(
+      std::filesystem::path(scratch.path()) / "sub");
+  scratch.write("sub/leaf.msb",
+                "instance leaf\nprocessors 2\ntask 1 1 1\nend\n");
+  scratch.write("sub/mid.msb", "include leaf.msb\n");  // relative to sub/
+  scratch.write("main.msb",
+                "include sub/mid.msb\n"
+                "generate extra uniform 4 2 1\n"
+                "solve wdeq leaf\nsolve deq extra\n");
+  std::ifstream in(scratch.path() + "/main.msb");
+  std::string error;
+  msvc::BatchReadOptions options;
+  options.base_dir = scratch.path();
+  const auto batch = msvc::read_batch(in, &error, options);
+  ASSERT_TRUE(batch.has_value()) << error;
+  EXPECT_EQ(batch->instances.count("leaf"), 1u);
+  EXPECT_EQ(batch->instances.count("extra"), 1u);
+  EXPECT_EQ(batch->requests.size(), 2u);
+}
+
+TEST(Service, IncludeErrorsAreDiagnosed) {
+  const ScratchDir scratch;
+  std::string error;
+
+  // Missing file.
+  scratch.write("main.msb", "include ghost.msb\nsolve wdeq x\n");
+  {
+    std::ifstream in(scratch.path() + "/main.msb");
+    msvc::BatchReadOptions options;
+    options.base_dir = scratch.path();
+    EXPECT_FALSE(msvc::read_batch(in, &error, options).has_value());
+    EXPECT_NE(error.find("cannot open include"), std::string::npos) << error;
+  }
+
+  // Cycle: a file including itself trips the depth bound, not a hang.
+  scratch.write("loop.msb", "include loop.msb\n");
+  {
+    std::ifstream in(scratch.path() + "/loop.msb");
+    msvc::BatchReadOptions options;
+    options.base_dir = scratch.path();
+    EXPECT_FALSE(msvc::read_batch(in, &error, options).has_value());
+    EXPECT_NE(error.find("include depth exceeds"), std::string::npos)
+        << error;
+  }
+
+  // Parse errors inside an include name the included file.
+  scratch.write("bad.msb", "frobnicate\n");
+  scratch.write("outer.msb", "include bad.msb\nsolve wdeq x\n");
+  {
+    std::ifstream in(scratch.path() + "/outer.msb");
+    msvc::BatchReadOptions options;
+    options.base_dir = scratch.path();
+    EXPECT_FALSE(msvc::read_batch(in, &error, options).has_value());
+    EXPECT_NE(error.find("bad.msb"), std::string::npos) << error;
+    EXPECT_NE(error.find("unknown keyword"), std::string::npos) << error;
+  }
+}
+
 TEST(Service, EndToEndRunProducesPerRequestResults) {
   std::string error;
   const auto batch = msvc::parse_batch(kBatchText, &error);
@@ -112,16 +276,17 @@ TEST(Service, EndToEndRunProducesPerRequestResults) {
   const auto report = msvc::run_service(*batch, registry, options);
   ASSERT_EQ(report.results.size(), 4u);
   for (std::size_t i = 0; i < report.results.size(); ++i) {
-    EXPECT_TRUE(report.results[i].ok) << i << ": " << report.results[i].error;
+    EXPECT_TRUE(report.results[i].ok())
+        << i << ": " << report.results[i].error().to_string();
   }
   // Request 2 repeats request 0 bit-for-bit.
-  EXPECT_EQ(report.results[2].objective, report.results[0].objective);
+  EXPECT_EQ(report.results[2].objective(), report.results[0].objective());
   EXPECT_GE(report.cache.hits, 1u);
   EXPECT_EQ(report.latencies.size(), 4u);
   EXPECT_GT(report.wall_seconds, 0.0);
 }
 
-TEST(Service, UnknownInstanceFailsOnlyThatRequest) {
+TEST(Service, UnknownInstanceFailsOnlyThatRequestWithParseError) {
   const std::string text =
       "instance a\nprocessors 2\ntask 1 1 1\nend\n"
       "solve wdeq a\nsolve wdeq ghost\n";
@@ -131,10 +296,12 @@ TEST(Service, UnknownInstanceFailsOnlyThatRequest) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
   const auto report = msvc::run_service(*batch, registry, {});
   ASSERT_EQ(report.results.size(), 2u);
-  EXPECT_TRUE(report.results[0].ok);
-  EXPECT_FALSE(report.results[1].ok);
-  EXPECT_NE(report.results[1].error.find("ghost"), std::string::npos);
-  EXPECT_NE(report.results[1].error.find("line 6"), std::string::npos);
+  EXPECT_TRUE(report.results[0].ok());
+  ASSERT_FALSE(report.results[1].ok());
+  EXPECT_EQ(report.results[1].error().code, msvc::ErrorCode::ParseError);
+  EXPECT_NE(report.results[1].error().detail.find("ghost"), std::string::npos);
+  EXPECT_NE(report.results[1].error().detail.find("line 6"),
+            std::string::npos);
 }
 
 TEST(Service, ResultStreamIsByteIdenticalAcrossThreadCounts) {
