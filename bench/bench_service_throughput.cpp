@@ -131,7 +131,8 @@ std::string results_text(std::vector<service::SolveResult> results) {
 //     short request's latency is its own submit-to-completion time.
 // Returns false when the v2 short-request p50 is not strictly lower.
 bool run_streaming_vs_barrier(const service::SolverRegistry& registry,
-                              const bench::BenchConfig& config) {
+                              const bench::BenchConfig& config,
+                              bench::BenchJson& json) {
   const unsigned threads = 8;
   const std::size_t num_short = bench::scaled(256, config.scale);
   support::Rng rng(config.seed + 7);
@@ -216,6 +217,12 @@ bool run_streaming_vs_barrier(const service::SolverRegistry& registry,
               "under the barrier — %s\n\n",
               p50_streaming * 1e3, p50_barrier * 1e3,
               streaming_wins ? "STRICTLY LOWER (ok)" : "NOT LOWER (BUG)");
+  json.add("streaming_admission", "short_p50_ns_barrier", p50_barrier * 1e9);
+  json.add("streaming_admission", "short_p50_ns_streaming",
+           p50_streaming * 1e9);
+  json.add("streaming_admission", "short_p99_ns_streaming",
+           streaming_latencies.quantile(0.99) * 1e9);
+  json.add("streaming_admission", "long_solve_ns", long_latency * 1e9);
   return streaming_wins;
 }
 
@@ -225,6 +232,7 @@ bool run_streaming_vs_barrier(const service::SolverRegistry& registry,
 [[nodiscard]] bool run_report(const bench::BenchConfig& config) {
   bench::print_banner("E-SVC (service layer)",
                       "batch scheduling service throughput", config);
+  bench::BenchJson json("service_throughput", config);
   const auto registry = service::SolverRegistry::with_default_solvers();
   const std::size_t num_requests = bench::scaled(1000, config.scale);
   const auto requests = make_mixed_batch(num_requests, config.seed);
@@ -249,6 +257,12 @@ bool run_streaming_vs_barrier(const service::SolverRegistry& registry,
                      support::fmt_double(static_cast<double>(requests.size()) /
                                          seconds),
                      support::fmt_double(base_seconds / seconds)});
+      const std::string scenario =
+          "throughput_threads_" + std::to_string(threads);
+      json.add(scenario, "wall_ns", seconds * 1e9);
+      json.add(scenario, "requests_per_second",
+               static_cast<double>(requests.size()) / seconds);
+      json.add(scenario, "speedup_vs_1_thread", base_seconds / seconds);
     }
     std::printf("throughput vs threads (cold cache):\n%s\n",
                 table.to_string().c_str());
@@ -277,6 +291,11 @@ bool run_streaming_vs_barrier(const service::SolverRegistry& registry,
     std::printf("warm-vs-cold speedup: %.1fx (target >= 10x)  "
                 "hit_rate after both passes: %.3f  entries: %zu  weight: %zu\n\n",
                 cold / warm, stats.hit_rate(), stats.entries, stats.weight);
+    json.add("cache", "cold_wall_ns", cold * 1e9);
+    json.add("cache", "warm_wall_ns", warm * 1e9);
+    json.add("cache", "uncached_wall_ns", uncached * 1e9);
+    json.add("cache", "warm_speedup", cold / warm);
+    json.add("cache", "hit_rate", stats.hit_rate());
   }
 
   // --- 3. determinism across thread counts. ---
@@ -292,7 +311,9 @@ bool run_streaming_vs_barrier(const service::SolverRegistry& registry,
                 deterministic ? "IDENTICAL (byte-for-byte)" : "DIFFERS (BUG)");
   }
 
-  const bool streaming = run_streaming_vs_barrier(registry, config);
+  const bool streaming = run_streaming_vs_barrier(registry, config, json);
+  json.add("determinism", "threads_1_vs_8_identical", deterministic ? 1.0 : 0.0);
+  json.write();
   return deterministic && streaming;
 }
 

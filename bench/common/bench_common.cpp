@@ -3,8 +3,50 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 namespace malsched::bench {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// scenario/metric names are code-chosen, but stay robust anyway.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trippable double; JSON has no infinity/NaN, so those
+/// degrade to null.
+std::string json_number(double value) {
+  if (!(value == value) || value > 1.7976931348623157e308 ||
+      value < -1.7976931348623157e308) {
+    return "null";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
 
 BenchConfig parse_config(int argc, char** argv) {
   BenchConfig config;
@@ -40,6 +82,70 @@ void print_banner(const std::string& experiment_id, const std::string& title,
               "paper-scale runs)\n",
               config.scale, static_cast<unsigned long long>(config.seed));
   std::printf("=====================================================\n\n");
+}
+
+BenchJson::BenchJson(std::string name, const BenchConfig& config)
+    : name_(std::move(name)), scale_(config.scale), seed_(config.seed) {}
+
+void BenchJson::add(const std::string& scenario, const std::string& metric,
+                    double value) {
+  Scenario* target = nullptr;
+  for (auto& existing : scenarios_) {
+    if (existing.name == scenario) {
+      target = &existing;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    scenarios_.push_back({scenario, {}});
+    target = &scenarios_.back();
+  }
+  for (auto& [name, existing_value] : target->metrics) {
+    if (name == metric) {
+      existing_value = value;
+      return;
+    }
+  }
+  target->metrics.emplace_back(metric, value);
+}
+
+std::string BenchJson::to_string() const {
+  std::string out = "{\"bench\":\"" + json_escape(name_) + "\"";
+  out += ",\"scale\":" + json_number(scale_);
+  out += ",\"seed\":" + std::to_string(seed_);
+  out += ",\"scenarios\":[";
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    if (s != 0) {
+      out += ',';
+    }
+    out += "{\"name\":\"" + json_escape(scenarios_[s].name) + "\",\"metrics\":{";
+    const auto& metrics = scenarios_[s].metrics;
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      if (m != 0) {
+        out += ',';
+      }
+      out += "\"" + json_escape(metrics[m].first) +
+             "\":" + json_number(metrics[m].second);
+    }
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool BenchJson::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << to_string();
+  const bool ok = out.good();
+  if (ok) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return ok;
 }
 
 }  // namespace malsched::bench

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace malsched::bench {
 
@@ -32,5 +34,40 @@ struct BenchConfig {
 /// Prints the standard experiment banner.
 void print_banner(const std::string& experiment_id, const std::string& title,
                   const BenchConfig& config);
+
+/// Machine-readable benchmark results.  Each binary that wants its perf
+/// trajectory tracked accumulates named scenarios with numeric metrics
+/// (wall-time quantiles in ns, node counts, ...) and writes
+/// `BENCH_<name>.json` into the working directory, so CI and tooling can
+/// diff runs without scraping the human tables.
+class BenchJson {
+ public:
+  BenchJson(std::string name, const BenchConfig& config);
+
+  /// Sets one metric of a scenario (scenario created on first use; setting
+  /// the same metric again overwrites it).
+  void add(const std::string& scenario, const std::string& metric,
+           double value);
+
+  /// The serialized document:
+  /// {"bench":..., "scale":..., "seed":...,
+  ///  "scenarios":[{"name":..., "metrics":{...}}, ...]}
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes BENCH_<name>.json (current directory); returns false and warns
+  /// on stderr when the path is not writable.
+  bool write() const;
+
+ private:
+  struct Scenario {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string name_;
+  double scale_;
+  std::uint64_t seed_;
+  std::vector<Scenario> scenarios_;
+};
 
 }  // namespace malsched::bench

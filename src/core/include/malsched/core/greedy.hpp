@@ -20,6 +20,51 @@
 
 namespace malsched::core {
 
+/// One time interval of a greedy placement: the task runs at `rate`
+/// processors over [begin, end).
+struct ProfilePiece {
+  double begin = 0.0;
+  double end = 0.0;
+  double rate = 0.0;
+};
+
+/// Piecewise-constant "used processors" profile over time, the running state
+/// of greedy placement.  Placement mutates the profile in place (the split
+/// segment is spliced where it lies instead of rebuilding the whole vector),
+/// so a full greedy run allocates O(1) beyond the segment storage itself.
+/// Copyable: branch-and-bound snapshots it per search depth.
+class CapacityProfile {
+ public:
+  explicit CapacityProfile(double processors) : processors_(processors) {}
+
+  [[nodiscard]] double processors() const noexcept { return processors_; }
+  [[nodiscard]] std::size_t num_segments() const noexcept {
+    return segments_.size();
+  }
+  void clear() noexcept { segments_.clear(); }
+
+  /// Greedy placement (paper Algorithm 3 step): the task runs at rate
+  /// min(cap, P - used(t)) from time 0 until its volume is done.  Returns
+  /// the completion time and updates the profile.  When `pieces` is
+  /// non-null it is cleared and filled with the granted intervals.
+  double place(double cap, double volume,
+               std::vector<ProfilePiece>* pieces = nullptr);
+
+  /// The completion `place` would return, without mutating the profile —
+  /// the cheap probe branch-and-bound uses to order sibling branches.
+  [[nodiscard]] double peek(double cap, double volume) const;
+
+ private:
+  struct Segment {
+    double begin;
+    double end;
+    double used;
+  };
+
+  double processors_;
+  std::vector<Segment> segments_;
+};
+
 /// Builds the greedy schedule for the given order (a permutation of task
 /// ids; order[0] is placed first).
 [[nodiscard]] StepSchedule greedy_schedule(const Instance& instance,

@@ -1,11 +1,13 @@
 #pragma once
 
 /// \file optimal.hpp
-/// Exact optimum of MWCT-CB-F by enumeration: Corollary 1 reduces the
-/// problem to choosing the best completion order, so for small n we solve
-/// the order LP for every permutation.  This is the ground truth against
-/// which WDEQ's ratio, greedy's conjectured optimality (Conjecture 12) and
-/// Theorem 11 are checked.
+/// Exact optimum of MWCT-CB-F: Corollary 1 reduces the problem to choosing
+/// the best completion order.  For tiny n we solve the order LP for every
+/// permutation (deterministic, bit-reproducible run to run — the ground
+/// truth against which WDEQ's ratio, greedy's conjectured optimality
+/// (Conjecture 12) and Theorem 11 are checked); above the crossover the
+/// call delegates to the branch-and-bound of bnb.hpp, which searches the
+/// same space with pruning and opens n ≈ 15 to exact serving.
 
 #include <vector>
 
@@ -15,20 +17,29 @@
 namespace malsched::core {
 
 struct OptimalOptions {
-  /// Hard guard: enumeration is n! — refuse beyond this size.
-  std::size_t max_tasks = 9;
+  /// Hard guard — branch-and-bound is worst-case exponential; 15 stays
+  /// interactive single-thread (the n ≤ 9 limit of the pure-enumeration
+  /// era is gone).
+  std::size_t max_tasks = 15;
   /// Also build the optimal schedule (slightly slower).
   bool want_schedule = false;
+  /// n <= crossover runs the plain n! enumeration; larger instances run
+  /// branch_and_bound.  Both are exact — the crossover only trades the
+  /// enumeration's run-to-run bit-reproducibility for pruning.
+  std::size_t enumeration_crossover = 7;
 };
 
 struct OptimalResult {
   double objective = 0.0;
   std::vector<std::size_t> order;    ///< the optimal completion order
   ColumnSchedule schedule;           ///< populated if want_schedule
+  /// Complete orders whose LP was evaluated: n! below the crossover, the
+  /// branch-and-bound leaf count above it.
   std::size_t orders_tried = 0;
 };
 
-/// Exhaustive optimum over all completion orders.
+/// Exact optimum over all completion orders (enumeration below the
+/// crossover, branch-and-bound above).
 [[nodiscard]] OptimalResult optimal_by_enumeration(
     const Instance& instance, const OptimalOptions& options = {});
 

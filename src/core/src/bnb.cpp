@@ -1,0 +1,343 @@
+#include "malsched/core/bnb.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "malsched/core/greedy.hpp"
+#include "malsched/core/order_lp.hpp"
+#include "malsched/core/orderings.hpp"
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Must task `i` complete no later than task `j` in some optimal order?
+/// Only exchanges that are provably free are claimed (the search stays
+/// exact):
+/// * zero-volume tasks can always complete at time 0, so they go first;
+/// * among positive-volume tasks, a zero-weight task can have its completion
+///   boundary moved to the makespan at no objective cost, so it goes last;
+/// * tasks identical in (V, δ_eff, w) are interchangeable by renaming, so
+///   only the index-ordered representative branch is kept.
+/// Ties inside each rule break by index, keeping the relation antisymmetric
+/// and acyclic.
+bool dominates(const Instance& instance, std::size_t i, std::size_t j) {
+  const Task& a = instance.task(i);
+  const Task& b = instance.task(j);
+  const bool a_empty = a.volume <= 0.0;
+  const bool b_empty = b.volume <= 0.0;
+  if (a_empty || b_empty) {
+    if (a_empty && b_empty) {
+      return i < j;
+    }
+    return a_empty;
+  }
+  const bool a_weightless = a.weight <= 0.0;
+  const bool b_weightless = b.weight <= 0.0;
+  if (a_weightless || b_weightless) {
+    if (a_weightless && b_weightless) {
+      return i < j;
+    }
+    return b_weightless;
+  }
+  return a.volume == b.volume && a.weight == b.weight &&
+         instance.effective_width(i) == instance.effective_width(j) && i < j;
+}
+
+class Searcher {
+ public:
+  Searcher(const Instance& instance, const BnbOptions& options)
+      : instance_(instance),
+        options_(options),
+        n_(instance.size()),
+        processors_(instance.processors()),
+        total_volume_(instance.total_volume()),
+        evaluator_(instance) {
+    heights_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      heights_[i] = instance.task(i).volume / instance.effective_width(i);
+    }
+    dominators_.assign(n_, 0u);
+    if (options_.use_dominance) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        for (std::size_t i = 0; i < n_; ++i) {
+          if (i != j && dominates(instance_, i, j)) {
+            dominators_[j] |= bit(i);
+          }
+        }
+      }
+    }
+    if (options_.use_bounds) {
+      build_suffix_dp();
+    }
+  }
+
+  BnbResult run() {
+    BnbResult result;
+    if (n_ == 0) {
+      return result;
+    }
+    // Seed the incumbent with the classical priority orders — both as
+    // completion orders directly and, crucially, via the *completion order
+    // of the greedy schedule* each one induces (a placement order and its
+    // completion order differ, and the order LP on the latter is at most
+    // the greedy objective — with Conjecture 12 that is usually the
+    // optimum already, which is what makes the bound bite from the root).
+    consider_seed(smith_order(instance_));
+    consider_seed(height_order(instance_));
+    consider_seed(volume_order(instance_));
+    consider_seed(weight_order(instance_));
+    consider_greedy_seed(smith_order(instance_));
+    consider_greedy_seed(best_greedy_heuristic(instance_).order);
+    dfs();
+
+    MALSCHED_ENSURES(!best_order_.empty());
+    result.objective = incumbent_;
+    result.order = std::move(best_order_);
+    stats_.lp_evaluations += evaluator_.lp_evaluations();
+    if (options_.want_schedule) {
+      auto solved = solve_order_lp(instance_, result.order);
+      ++stats_.lp_evaluations;
+      MALSCHED_ENSURES(solved.optimal());
+      result.schedule = std::move(solved.schedule);
+    }
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  [[nodiscard]] static std::uint32_t bit(std::size_t task) noexcept {
+    return std::uint32_t{1} << task;
+  }
+
+  void consider_seed(std::vector<std::size_t> order) {
+    ++stats_.lp_evaluations;
+    const double objective = order_lp_objective(instance_, order);
+    if (objective < incumbent_) {
+      incumbent_ = objective;
+      best_order_ = std::move(order);
+    }
+  }
+
+  /// Seeds with the completion order of the greedy schedule placed in
+  /// `placement` order.  The greedy schedule is feasible with exactly those
+  /// completions, so the order LP on its completion order is at most the
+  /// greedy objective.
+  void consider_greedy_seed(const std::vector<std::size_t>& placement) {
+    const auto schedule = greedy_schedule(instance_, placement);
+    const auto completions = schedule.completions();
+    std::vector<std::size_t> order(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (completions[a] != completions[b]) {
+                  return completions[a] < completions[b];
+                }
+                return a < b;
+              });
+    consider_seed(std::move(order));
+  }
+
+  /// True when a subtree with lower bound `bound` cannot improve on the
+  /// incumbent by more than the numerical slack.
+  [[nodiscard]] bool prunable(double bound) const noexcept {
+    if (!std::isfinite(incumbent_)) {
+      return false;
+    }
+    const double slack =
+        options_.bound_slack * std::max(1.0, std::abs(incumbent_));
+    return bound >= incumbent_ - slack;
+  }
+
+  /// Completion floor of task `t` when it is the next to complete after
+  /// the task set `prefix_mask`: the exact minimum makespan of
+  /// prefix ∪ {t}, max((V_prefix + V_t)/P, tallest height among them)
+  /// (Definitions 5/6 plus McNaughton's makespan formula).
+  [[nodiscard]] double completion_floor(std::uint32_t prefix_mask,
+                                        std::size_t t) const {
+    const double volume = set_volume_[prefix_mask] + instance_.task(t).volume;
+    return std::max(volume / processors_,
+                    std::max(set_max_height_[prefix_mask], heights_[t]));
+  }
+
+  [[nodiscard]] std::uint32_t free_mask(std::uint32_t used_mask) const {
+    return full_mask() & ~used_mask;
+  }
+  [[nodiscard]] std::uint32_t full_mask() const {
+    return n_ == 32 ? ~std::uint32_t{0}
+                    : (std::uint32_t{1} << n_) - std::uint32_t{1};
+  }
+
+  /// Exact-over-the-relaxation suffix bound, one subset DP sweep per
+  /// instance: suffix_dp_[F] is the minimum over completion orders of F of
+  /// Σ w_t · completion_floor(complement at t's turn, t) — each suffix
+  /// task pays at least the minimum makespan of everything completing
+  /// before it plus itself.  Position floors combine the offset
+  /// squashed-area cumulative-volume argument (Definition 5) with the
+  /// tallest-height makespan term (Definition 6), and the min-assignment
+  /// over orders is solved exactly, so this dominates both aggregate
+  /// relaxations as well as any rearrangement pairing of them.  O(2^n · n)
+  /// once, O(1) per node.
+  void build_suffix_dp() {
+    const std::size_t size = std::size_t{1} << n_;
+    set_volume_.assign(size, 0.0);
+    set_max_height_.assign(size, 0.0);
+    for (std::uint32_t mask = 1; mask < size; ++mask) {
+      const std::uint32_t low = mask & (~mask + 1u);
+      const auto i = static_cast<std::size_t>(std::countr_zero(low));
+      set_volume_[mask] = set_volume_[mask ^ low] + instance_.task(i).volume;
+      set_max_height_[mask] =
+          std::max(set_max_height_[mask ^ low], heights_[i]);
+    }
+    suffix_dp_.assign(size, 0.0);
+    for (std::uint32_t free = 1; free < size; ++free) {
+      double best = kInf;
+      const double before_volume = total_volume_ - set_volume_[free];
+      const double before_height = set_max_height_[full_mask() & ~free];
+      for (std::uint32_t rest = free; rest != 0u;) {
+        const std::uint32_t low = rest & (~rest + 1u);
+        rest ^= low;
+        const auto t = static_cast<std::size_t>(std::countr_zero(low));
+        const Task& task = instance_.task(t);
+        const double floor_t = std::max(
+            (before_volume + task.volume) / processors_,
+            std::max(before_height, heights_[t]));
+        best = std::min(best,
+                        task.weight * floor_t + suffix_dp_[free ^ low]);
+      }
+      suffix_dp_[free] = best;
+    }
+  }
+
+  void dfs() {
+    const std::size_t depth = evaluator_.depth();
+    if (depth == n_) {
+      ++stats_.leaves;
+      const double objective = evaluator_.objective();
+      if (objective < incumbent_) {
+        incumbent_ = objective;
+        best_order_.assign(evaluator_.prefix().begin(),
+                           evaluator_.prefix().end());
+      }
+      return;
+    }
+
+    struct Child {
+      std::size_t task;
+      double bound;
+      double greedy_completion;
+    };
+    std::vector<Child> children;
+    children.reserve(n_ - depth);
+    const double prefix_objective = evaluator_.objective();
+    for (std::size_t t = 0; t < n_; ++t) {
+      if ((used_ & bit(t)) != 0u) {
+        continue;
+      }
+      if (options_.use_dominance && (dominators_[t] & ~used_) != 0u) {
+        ++stats_.pruned_by_dominance;
+        continue;
+      }
+      double bound = -kInf;
+      if (options_.use_bounds) {
+        // Pre-LP bound: exact prefix LP + the candidate's completion floor
+        // + the subset-DP relaxation over the rest.  The parts bound
+        // disjoint terms of the objective, so the sum is admissible.
+        bound = prefix_objective +
+                instance_.task(t).weight * completion_floor(used_, t) +
+                suffix_dp_[free_mask(used_ | bit(t))];
+        if (prunable(bound)) {
+          ++stats_.pruned_by_bound;
+          continue;
+        }
+      }
+      children.push_back({t, bound, evaluator_.greedy_completion(t)});
+    }
+
+    if (options_.use_bounds) {
+      // Cheapest bound first (greedy completion breaks ties): descending
+      // into the most promising branch early tightens the incumbent, which
+      // retroactively prunes its siblings via the re-check below.
+      std::sort(children.begin(), children.end(),
+                [](const Child& a, const Child& b) {
+                  if (a.bound != b.bound) {
+                    return a.bound < b.bound;
+                  }
+                  if (a.greedy_completion != b.greedy_completion) {
+                    return a.greedy_completion < b.greedy_completion;
+                  }
+                  return a.task < b.task;
+                });
+    }
+
+    for (const Child& child : children) {
+      if (options_.use_bounds && prunable(child.bound)) {
+        ++stats_.pruned_by_bound;
+        continue;
+      }
+      // Interior nodes warm-start from the parent basis; the leaf re-solves
+      // from scratch so its objective is bit-identical with enumeration's.
+      const bool leaf_push = depth + 1 == n_;
+      const double pushed = evaluator_.push(child.task, leaf_push);
+      ++stats_.nodes;
+      used_ |= bit(child.task);
+
+      bool descend = true;
+      if (options_.use_bounds && evaluator_.depth() < n_) {
+        // Refined bound: the exact (prefix + child) LP replaces the cheap
+        // prefix-plus-one-task estimate.
+        const double refined =
+            std::max(child.bound, pushed + suffix_dp_[free_mask(used_)]);
+        if (prunable(refined)) {
+          ++stats_.pruned_by_bound;
+          descend = false;
+        }
+      }
+      if (descend) {
+        dfs();
+      }
+
+      used_ &= ~bit(child.task);
+      evaluator_.pop();
+    }
+  }
+
+  const Instance& instance_;
+  const BnbOptions& options_;
+  std::size_t n_;
+  double processors_;
+  double total_volume_;
+  OrderLpEvaluator evaluator_;
+  std::vector<double> heights_;         ///< V_i / δ_eff per task
+  std::vector<double> set_volume_;      ///< Σ V over each subset
+  std::vector<double> set_max_height_;  ///< max height over each subset
+  std::vector<double> suffix_dp_;       ///< subset suffix lower bound
+  std::vector<std::uint32_t> dominators_;
+  BnbStats stats_;
+  std::uint32_t used_ = 0;
+  double incumbent_ = kInf;
+  std::vector<std::size_t> best_order_;
+};
+
+}  // namespace
+
+BnbResult branch_and_bound(const Instance& instance,
+                           const BnbOptions& options) {
+  MALSCHED_EXPECTS_MSG(
+      instance.size() <= options.max_tasks && instance.size() <= 20,
+      "branch_and_bound is worst-case exponential in n; raise "
+      "BnbOptions::max_tasks deliberately (hard cap 20: the subset-DP bound "
+      "tables are 3·2^n doubles)");
+  Searcher searcher(instance, options);
+  return searcher.run();
+}
+
+}  // namespace malsched::core

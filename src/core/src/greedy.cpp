@@ -10,84 +10,79 @@
 
 namespace malsched::core {
 
-namespace {
-
-/// Capacity profile: piecewise-constant "used processors" over time,
-/// represented as consecutive segments.  The final segment is implicitly
-/// followed by unused capacity to infinity.
-struct ProfileSegment {
-  double begin;
-  double end;
-  double used;
-};
-
-/// Greedy placement of one task onto the profile.  Returns the pieces
-/// (time intervals × rate) given to the task and its completion time, and
-/// updates the profile in place.
-struct Placement {
-  std::vector<ProfileSegment> pieces;  // used field = task's rate
-  double completion = 0.0;
-};
-
-Placement place_greedy(std::vector<ProfileSegment>& profile, double processors,
-                       double cap, double volume) {
-  Placement out;
+double CapacityProfile::place(double cap, double volume,
+                              std::vector<ProfilePiece>* pieces) {
+  if (pieces != nullptr) {
+    pieces->clear();
+  }
   if (volume <= 0.0) {
-    out.completion = 0.0;
-    return out;
+    return 0.0;
   }
   double remaining = volume;
-  std::vector<ProfileSegment> updated;
-  updated.reserve(profile.size() + 2);
-
-  std::size_t k = 0;
-  for (; k < profile.size() && remaining > 0.0; ++k) {
-    ProfileSegment seg = profile[k];
-    const double rate = std::min(cap, processors - seg.used);
+  for (std::size_t k = 0; k < segments_.size(); ++k) {
+    Segment& seg = segments_[k];
+    const double rate = std::min(cap, processors_ - seg.used);
     if (rate <= 0.0 || seg.end <= seg.begin) {
-      updated.push_back(seg);
       continue;
     }
     const double capacity = rate * (seg.end - seg.begin);
     if (capacity < remaining) {
       remaining -= capacity;
-      out.pieces.push_back({seg.begin, seg.end, rate});
+      if (pieces != nullptr) {
+        pieces->push_back({seg.begin, seg.end, rate});
+      }
       seg.used += rate;
-      updated.push_back(seg);
     } else {
+      // The task completes inside this segment: splice the split in place
+      // (one O(n) element shift at most, no whole-profile copy).
       const double need = remaining / rate;
       const double split = seg.begin + need;
-      out.pieces.push_back({seg.begin, split, rate});
-      out.completion = split;
-      remaining = 0.0;
-      updated.push_back({seg.begin, split, seg.used + rate});
-      if (split < seg.end) {
-        updated.push_back({split, seg.end, seg.used});
+      if (pieces != nullptr) {
+        pieces->push_back({seg.begin, split, rate});
       }
+      const Segment tail{split, seg.end, seg.used};
+      seg.end = split;
+      seg.used += rate;
+      if (tail.end > tail.begin) {
+        segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                         tail);
+      }
+      return split;
     }
   }
-  // Untouched tail segments survive unchanged.
-  for (; k < profile.size(); ++k) {
-    updated.push_back(profile[k]);
+  // Extend beyond the current horizon on an empty machine.
+  const double start = segments_.empty() ? 0.0 : segments_.back().end;
+  const double rate = std::min(cap, processors_);
+  MALSCHED_ASSERT(rate > 0.0);
+  const double need = remaining / rate;
+  if (pieces != nullptr) {
+    pieces->push_back({start, start + need, rate});
   }
-  if (remaining > 0.0) {
-    // Extend beyond the current horizon on an empty machine.
-    const double start = profile.empty() ? 0.0 : profile.back().end;
-    const double rate = std::min(cap, processors);
-    MALSCHED_ASSERT(rate > 0.0);
-    const double need = remaining / rate;
-    out.pieces.push_back({start, start + need, rate});
-    out.completion = start + need;
-    updated.push_back({start, start + need, rate});
-    remaining = 0.0;
-  } else if (out.completion == 0.0 && !out.pieces.empty()) {
-    out.completion = out.pieces.back().end;
-  }
-  profile = std::move(updated);
-  return out;
+  segments_.push_back({start, start + need, rate});
+  return start + need;
 }
 
-}  // namespace
+double CapacityProfile::peek(double cap, double volume) const {
+  if (volume <= 0.0) {
+    return 0.0;
+  }
+  double remaining = volume;
+  for (const Segment& seg : segments_) {
+    const double rate = std::min(cap, processors_ - seg.used);
+    if (rate <= 0.0 || seg.end <= seg.begin) {
+      continue;
+    }
+    const double capacity = rate * (seg.end - seg.begin);
+    if (capacity >= remaining) {
+      return seg.begin + remaining / rate;
+    }
+    remaining -= capacity;
+  }
+  const double start = segments_.empty() ? 0.0 : segments_.back().end;
+  const double rate = std::min(cap, processors_);
+  MALSCHED_ASSERT(rate > 0.0);
+  return start + remaining / rate;
+}
 
 StepSchedule greedy_schedule(const Instance& instance,
                              std::span<const std::size_t> order) {
@@ -95,15 +90,13 @@ StepSchedule greedy_schedule(const Instance& instance,
   const std::size_t n = instance.size();
   const double P = instance.processors();
 
-  std::vector<ProfileSegment> profile;
-  std::vector<std::vector<ProfileSegment>> pieces(n);
+  CapacityProfile profile(P);
+  std::vector<std::vector<ProfilePiece>> pieces(n);
 
   for (const std::size_t task : order) {
     MALSCHED_EXPECTS(task < n);
-    const auto placement =
-        place_greedy(profile, P, instance.effective_width(task),
-                     instance.task(task).volume);
-    pieces[task] = placement.pieces;
+    profile.place(instance.effective_width(task), instance.task(task).volume,
+                  &pieces[task]);
   }
 
   // Merge all piece boundaries into global steps.
@@ -131,7 +124,7 @@ StepSchedule greedy_schedule(const Instance& instance,
           times.begin(), times.end(), piece.begin);
       for (std::size_t k = static_cast<std::size_t>(first - times.begin());
            k + 1 < times.size() && times[k] < piece.end; ++k) {
-        steps[k].rates[i] = piece.used;
+        steps[k].rates[i] = piece.rate;
       }
     }
   }
@@ -141,14 +134,12 @@ StepSchedule greedy_schedule(const Instance& instance,
 double greedy_objective(const Instance& instance,
                         std::span<const std::size_t> order) {
   MALSCHED_EXPECTS(order.size() == instance.size());
-  const double P = instance.processors();
-  std::vector<ProfileSegment> profile;
+  CapacityProfile profile(instance.processors());
   double objective = 0.0;
   for (const std::size_t task : order) {
-    const auto placement =
-        place_greedy(profile, P, instance.effective_width(task),
-                     instance.task(task).volume);
-    objective += instance.task(task).weight * placement.completion;
+    const double completion = profile.place(instance.effective_width(task),
+                                            instance.task(task).volume);
+    objective += instance.task(task).weight * completion;
   }
   return objective;
 }

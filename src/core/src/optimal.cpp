@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "malsched/core/bnb.hpp"
 #include "malsched/core/orderings.hpp"
 #include "malsched/support/contracts.hpp"
 
@@ -11,7 +12,21 @@ namespace malsched::core {
 OptimalResult optimal_by_enumeration(const Instance& instance,
                                      const OptimalOptions& options) {
   MALSCHED_EXPECTS_MSG(instance.size() <= options.max_tasks,
-                       "optimal_by_enumeration is factorial in n");
+                       "optimal is factorial (enumeration) / worst-case "
+                       "exponential (branch-and-bound) in n; raise "
+                       "OptimalOptions::max_tasks deliberately");
+  if (instance.size() > options.enumeration_crossover) {
+    BnbOptions bnb_options;
+    bnb_options.max_tasks = options.max_tasks;
+    bnb_options.want_schedule = options.want_schedule;
+    auto bnb = branch_and_bound(instance, bnb_options);
+    OptimalResult result;
+    result.objective = bnb.objective;
+    result.order = std::move(bnb.order);
+    result.schedule = std::move(bnb.schedule);
+    result.orders_tried = bnb.stats.leaves;
+    return result;
+  }
   OptimalResult result;
   result.objective = std::numeric_limits<double>::infinity();
 

@@ -1,5 +1,7 @@
 #include "malsched/core/order_lp.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -26,18 +28,24 @@ struct VarMap {
 
 lp::Model build_order_lp(const Instance& instance,
                          std::span<const std::size_t> order) {
-  MALSCHED_EXPECTS(order.size() == instance.size());
-  const std::size_t n = instance.size();
+  // `order` may be a duplicate-free prefix: the LP then covers only the
+  // induced subinstance (n = prefix length), columns and boundaries
+  // renumbered by prefix position.
+  MALSCHED_EXPECTS(order.size() <= instance.size());
+  const std::size_t n = order.size();
   const double P = instance.processors();
   const VarMap vars{n};
 
+  // Variables are addressed by dense index throughout (VarMap); names are
+  // debugging sugar the enumeration/branch-and-bound hot path cannot afford
+  // to format, so they stay empty.
   lp::Model model;
   for (std::size_t j = 0; j < n; ++j) {
-    model.add_variable("C" + std::to_string(j));
+    model.add_variable();
   }
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t j = 0; j <= a; ++j) {
-      model.add_variable("x" + std::to_string(a) + "_" + std::to_string(j));
+      model.add_variable();
     }
   }
 
@@ -92,6 +100,7 @@ lp::Model build_order_lp(const Instance& instance,
 
 OrderLpResult solve_order_lp(const Instance& instance,
                              std::span<const std::size_t> order) {
+  MALSCHED_EXPECTS(order.size() == instance.size());
   const std::size_t n = instance.size();
   const VarMap vars{n};
   const auto model = build_order_lp(instance, order);
@@ -127,9 +136,79 @@ OrderLpResult solve_order_lp(const Instance& instance,
   return result;
 }
 
+namespace {
+
+/// Compact objective-only formulation: substituting column lengths
+/// L_j = C_j − C_{j-1} ≥ 0 eliminates the n−1 boundary-ordering rows (and
+/// their phase-1 artificials), and width caps with δ_eff = P are implied by
+/// the column capacity row and dropped.  Same optimum as build_order_lp —
+/// the objective Σ_a w_a C_a becomes Σ_j (Σ_{a≥j} w_a) L_j — but the
+/// simplex tableau is ~25% smaller with half the artificials, which is
+/// where the branch-and-bound hot path spends its time.
+lp::Model build_order_lp_compact(const Instance& instance,
+                                 std::span<const std::size_t> order) {
+  MALSCHED_EXPECTS(order.size() <= instance.size());
+  const std::size_t n = order.size();
+  const double P = instance.processors();
+  const VarMap vars{n};  // L_j takes the C_j slot; x packing unchanged
+
+  lp::Model model;
+  for (std::size_t v = 0; v < n + n * (n + 1) / 2; ++v) {
+    model.add_variable();
+  }
+
+  // Objective: Σ_a w_a C_a = Σ_j (suffix weight from position j) L_j.
+  double suffix_weight = 0.0;
+  for (std::size_t a = 0; a < n; ++a) {
+    suffix_weight += instance.task(order[a]).weight;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    model.set_objective(vars.c(j), suffix_weight);
+    suffix_weight -= instance.task(order[j]).weight;
+  }
+
+  // Column capacity: Σ_a x_{a,j} − P·L_j <= 0.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<lp::Term> terms;
+    terms.reserve(n - j + 1);
+    for (std::size_t a = j; a < n; ++a) {
+      terms.push_back({vars.x(a, j), 1.0});
+    }
+    terms.push_back({vars.c(j), -P});
+    model.add_constraint(std::move(terms), lp::Sense::LessEqual, 0.0);
+  }
+
+  // Width caps: x_{a,j} − δ·L_j <= 0, only where δ_eff < P binds beyond
+  // the column capacity.
+  for (std::size_t a = 0; a < n; ++a) {
+    const double width = instance.effective_width(order[a]);
+    if (width >= P) {
+      continue;
+    }
+    for (std::size_t j = 0; j <= a; ++j) {
+      model.add_constraint({{vars.x(a, j), 1.0}, {vars.c(j), -width}},
+                           lp::Sense::LessEqual, 0.0);
+    }
+  }
+
+  // Volume conservation: Σ_{j<=a} x_{a,j} = V.
+  for (std::size_t a = 0; a < n; ++a) {
+    std::vector<lp::Term> terms;
+    terms.reserve(a + 1);
+    for (std::size_t j = 0; j <= a; ++j) {
+      terms.push_back({vars.x(a, j), 1.0});
+    }
+    model.add_constraint(std::move(terms), lp::Sense::Equal,
+                         instance.task(order[a]).volume);
+  }
+  return model;
+}
+
+}  // namespace
+
 double order_lp_objective(const Instance& instance,
                           std::span<const std::size_t> order) {
-  const auto model = build_order_lp(instance, order);
+  const auto model = build_order_lp_compact(instance, order);
   const auto solution = lp::solve(model);
   if (!solution.optimal()) {
     return std::numeric_limits<double>::infinity();
@@ -137,8 +216,406 @@ double order_lp_objective(const Instance& instance,
   return solution.objective;
 }
 
+namespace detail {
+
+/// Warm-started simplex over the compact order LP, specialized for the
+/// push/pop access pattern of branch-and-bound.
+///
+/// The tableau for a prefix of length k holds, per position a: the column
+/// length L_a, the volume splits x_{a,j} (j <= a), one capacity row
+/// (Σ x_{·,a} <= P·L_a), width rows x_{a,j} <= δ_a·L_j where δ_eff < P,
+/// and one volume row (Σ_j x_{a,j} = V_a).  Pushing position k:
+///
+/// * new columns x_{k,j} (j < k) touch exactly one *old* row — capacity
+///   row j with coefficient +1 — so their reduced form B⁻¹·e_row is the
+///   current tableau column of that row's slack variable, a plain copy;
+///   L_k and x_{k,k} touch no old rows at all;
+/// * new rows are reduced against the basis in one pass (only the width
+///   rows reference an old variable, L_j);
+/// * the new volume row enters with its artificial basic at V_k — the only
+///   infeasibility — so a phase-1 restricted to artificial cost followed
+///   by a re-priced phase 2 re-optimizes in a few pivots, not a
+///   from-scratch two-phase solve.
+///
+/// pop() restores the parent's full state from a per-depth snapshot.
+class IncrementalOrderLp {
+ public:
+  explicit IncrementalOrderLp(const Instance& instance)
+      : instance_(&instance), processors_(instance.processors()) {}
+
+  double push(std::size_t task, bool solve = true) {
+    snapshots_.push_back(state_);
+    State& s = state_;
+    const std::size_t position = s.position_weights.size();
+    const Task& t = instance_->task(task);
+    const double width = instance_->effective_width(task);
+
+    // --- new columns -----------------------------------------------------
+    // x_{k,j} for j < position: reduced column = capacity row j's slack
+    // column (its only old-row coefficient is +1 in that row).
+    std::vector<std::size_t> x_cols(position + 1);
+    for (std::size_t j = 0; j < position; ++j) {
+      x_cols[j] = append_column_copy(s.cap_slack_col[j]);
+    }
+    // L_k and x_{k,k} appear in new rows only.
+    const std::size_t l_col = append_zero_column();
+    x_cols[position] = append_zero_column();
+    s.l_col.push_back(l_col);
+
+    // --- new rows (reduced against the current basis) --------------------
+    // Capacity row k: x_{k,k} − P·L_k <= 0 — all-new variables, no
+    // reduction needed.  Future pushes add their x_{·,k} into this row via
+    // the slack-column copy above, which is why the slack column index is
+    // recorded.
+    {
+      const std::size_t row = append_row();
+      s.tab[row][x_cols[position]] = 1.0;
+      s.tab[row][l_col] = -processors_;
+      const std::size_t slack = append_zero_column();
+      s.tab[row][slack] = 1.0;
+      s.basis.push_back(slack);
+      s.rhs.push_back(0.0);
+      s.cap_slack_col.push_back(slack);
+    }
+    // Width rows x_{k,j} − δ·L_j <= 0 (skipped when the capacity row
+    // already implies them).  For j < position they reference the old
+    // variable L_j and must be reduced if it is basic.
+    if (width < processors_) {
+      for (std::size_t j = 0; j <= position; ++j) {
+        const std::size_t row = append_row();
+        s.rhs.push_back(0.0);
+        s.tab[row][x_cols[j]] = 1.0;
+        const std::size_t lj = j == position ? l_col : s.l_col[j];
+        s.tab[row][lj] += -width;
+        reduce_row_against_basis(row);
+        const std::size_t slack = append_zero_column();
+        s.tab[row][slack] = 1.0;
+        s.basis.push_back(slack);
+      }
+    }
+    // Volume row: Σ_j x_{k,j} = V_k — all-new variables; its artificial
+    // starts basic at V_k, the single primal infeasibility to repair.
+    {
+      const std::size_t row = append_row();
+      for (std::size_t j = 0; j <= position; ++j) {
+        s.tab[row][x_cols[j]] = 1.0;
+      }
+      const std::size_t artificial = append_zero_column();
+      s.tab[row][artificial] = 1.0;
+      s.artificial[artificial] = 1;
+      s.basis.push_back(artificial);
+      s.rhs.push_back(t.volume);
+    }
+    s.position_weights.push_back(t.weight);
+    s.tasks.push_back(task);
+    if (!solve) {
+      // Structure-only push (the caller wants a from-scratch value, e.g. a
+      // bit-reproducible leaf): the new artificial stays basic at V_k and
+      // is repaired by the next solving push's phase 1.
+      return 0.0;
+    }
+
+    // --- phase 1 (artificial cost), then re-priced phase 2 ---------------
+    costs_.assign(s.cols, 0.0);
+    for (std::size_t c = 0; c < s.cols; ++c) {
+      if (s.artificial[c] != 0) {
+        costs_[c] = 1.0;
+      }
+    }
+    if (!optimize(/*allow_artificials=*/true)) {
+      return resolve_from_scratch();
+    }
+    double residual = 0.0;
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      if (s.artificial[s.basis[i]] != 0) {
+        residual += s.rhs[i];
+      }
+    }
+    if (residual > kEps * std::max(1.0, t.volume)) {
+      // The order LP is always feasible; a positive residual means the
+      // warm-started basis drifted numerically.
+      return resolve_from_scratch();
+    }
+    costs_.assign(s.cols, 0.0);
+    double suffix_weight = 0.0;
+    for (std::size_t j = s.position_weights.size(); j-- > 0;) {
+      suffix_weight += s.position_weights[j];
+      costs_[s.l_col[j]] = suffix_weight;
+    }
+    if (!optimize(/*allow_artificials=*/false)) {
+      return resolve_from_scratch();
+    }
+    double objective = 0.0;
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      objective += costs_[s.basis[i]] * s.rhs[i];
+    }
+    return objective;
+  }
+
+  void pop() {
+    MALSCHED_ASSERT(!snapshots_.empty());
+    state_ = std::move(snapshots_.back());
+    snapshots_.pop_back();
+  }
+
+ private:
+  struct State {
+    std::vector<std::vector<double>> tab;  ///< rows over columns
+    std::vector<double> rhs;
+    std::vector<std::size_t> basis;        ///< per row: basic column
+    std::vector<std::uint8_t> artificial;  ///< per column
+    std::vector<std::size_t> cap_slack_col;  ///< per position
+    std::vector<std::size_t> l_col;          ///< per position
+    std::vector<double> position_weights;
+    std::vector<std::size_t> tasks;          ///< pushed prefix, for fallback
+    std::size_t cols = 0;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return tab.size(); }
+  };
+
+  static constexpr double kEps = 1e-9;
+  static constexpr double kSnap = 1e-12;
+
+  [[nodiscard]] static double snap(double v) noexcept {
+    return (v <= kSnap && v >= -kSnap) ? 0.0 : v;
+  }
+
+  std::size_t append_zero_column() {
+    for (auto& row : state_.tab) {
+      row.push_back(0.0);
+    }
+    state_.artificial.push_back(0);
+    return state_.cols++;
+  }
+
+  std::size_t append_column_copy(std::size_t source) {
+    for (auto& row : state_.tab) {
+      row.push_back(row[source]);
+    }
+    state_.artificial.push_back(0);
+    return state_.cols++;
+  }
+
+  std::size_t append_row() {
+    state_.tab.emplace_back(state_.cols, 0.0);
+    return state_.rows() - 1;
+  }
+
+  /// Expresses a freshly appended row (coefficients *and* right-hand side)
+  /// in the current basis: one pass over the old rows suffices because
+  /// every reduced tableau row carries an identity on the basis columns.
+  void reduce_row_against_basis(std::size_t row) {
+    State& s = state_;
+    auto& target = s.tab[row];
+    for (std::size_t i = 0; i + 1 < s.rows(); ++i) {
+      const double factor = target[s.basis[i]];
+      if (factor == 0.0) {
+        continue;
+      }
+      const auto& source = s.tab[i];
+      for (std::size_t c = 0; c < s.cols; ++c) {
+        target[c] = snap(target[c] - factor * source[c]);
+      }
+      target[s.basis[i]] = 0.0;
+      s.rhs[row] = snap(s.rhs[row] - factor * s.rhs[i]);
+    }
+  }
+
+  /// Primal simplex on `costs_` from the current (feasible) basis.
+  /// Returns false when the iteration budget is exhausted.
+  bool optimize(bool allow_artificials) {
+    State& s = state_;
+    reduced_ = costs_;
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      const double cb = costs_[s.basis[i]];
+      if (cb == 0.0) {
+        continue;
+      }
+      const auto& row = s.tab[i];
+      for (std::size_t c = 0; c < s.cols; ++c) {
+        if (row[c] != 0.0) {
+          reduced_[c] = snap(reduced_[c] - cb * row[c]);
+        }
+      }
+    }
+
+    const std::size_t cap = 50 * (s.rows() + s.cols) + 200;
+    const std::size_t bland_after = cap / 2;
+    for (std::size_t iteration = 0;; ++iteration) {
+      if (iteration >= cap) {
+        return false;
+      }
+      const bool use_bland = iteration >= bland_after;
+      std::size_t entering = s.cols;
+      for (std::size_t c = 0; c < s.cols; ++c) {
+        if (!allow_artificials && s.artificial[c] != 0) {
+          continue;
+        }
+        if (reduced_[c] >= -kEps) {
+          continue;
+        }
+        if (use_bland) {
+          entering = c;
+          break;
+        }
+        if (entering == s.cols || reduced_[c] < reduced_[entering]) {
+          entering = c;
+        }
+      }
+      if (entering == s.cols) {
+        return true;
+      }
+
+      std::size_t leaving = s.rows();
+      for (std::size_t i = 0; i < s.rows(); ++i) {
+        const double coeff = s.tab[i][entering];
+        if (coeff <= kEps) {
+          continue;
+        }
+        if (leaving == s.rows()) {
+          leaving = i;
+          continue;
+        }
+        const double lhs = s.rhs[i] * s.tab[leaving][entering];
+        const double rhs_cmp = s.rhs[leaving] * coeff;
+        if (lhs < rhs_cmp ||
+            (!(rhs_cmp < lhs) && s.basis[i] < s.basis[leaving])) {
+          leaving = i;
+        }
+      }
+      // Costs are non-negative (phase 1) or suffix weights (phase 2), so
+      // the LP is bounded below; a missing leaving row would mean the
+      // basis drifted — treat as a failed warm start.
+      if (leaving == s.rows()) {
+        return false;
+      }
+      pivot(leaving, entering);
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    State& s = state_;
+    auto& pivot_row = s.tab[row];
+    const double pivot_value = pivot_row[col];
+    for (double& v : pivot_row) {
+      v = snap(v / pivot_value);
+    }
+    s.rhs[row] = snap(s.rhs[row] / pivot_value);
+    pivot_row[col] = 1.0;
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      if (i == row) {
+        continue;
+      }
+      const double factor = s.tab[i][col];
+      if (factor == 0.0) {
+        continue;
+      }
+      auto& target = s.tab[i];
+      for (std::size_t c = 0; c < s.cols; ++c) {
+        target[c] = snap(target[c] - factor * pivot_row[c]);
+      }
+      target[col] = 0.0;
+      s.rhs[i] = snap(s.rhs[i] - factor * s.rhs[row]);
+    }
+    const double cost_factor = reduced_[col];
+    if (cost_factor != 0.0) {
+      for (std::size_t c = 0; c < s.cols; ++c) {
+        reduced_[c] = snap(reduced_[c] - cost_factor * pivot_row[c]);
+      }
+      reduced_[col] = 0.0;
+    }
+    s.basis[row] = col;
+  }
+
+  /// Warm-start failure fallback: the tableau stays primal feasible (every
+  /// ratio-test pivot preserves feasibility), so future pushes remain
+  /// valid; only this node's value is recomputed exactly.
+  double resolve_from_scratch() {
+    return order_lp_objective(*instance_, state_.tasks);
+  }
+
+  const Instance* instance_;
+  double processors_;
+  State state_;
+  std::vector<State> snapshots_;
+  std::vector<double> costs_;
+  std::vector<double> reduced_;
+};
+
+}  // namespace detail
+
+OrderLpEvaluator::OrderLpEvaluator(const Instance& instance)
+    : instance_(&instance),
+      lp_(std::make_unique<detail::IncrementalOrderLp>(instance)) {
+  const std::size_t n = instance.size();
+  prefix_.reserve(n);
+  objectives_.reserve(n);
+  volumes_.reserve(n);
+  profiles_.reserve(n + 1);
+  profiles_.emplace_back(instance.processors());
+}
+
+OrderLpEvaluator::~OrderLpEvaluator() = default;
+OrderLpEvaluator::OrderLpEvaluator(OrderLpEvaluator&&) noexcept = default;
+OrderLpEvaluator& OrderLpEvaluator::operator=(OrderLpEvaluator&&) noexcept =
+    default;
+
+double OrderLpEvaluator::push(std::size_t task, bool exact) {
+  MALSCHED_EXPECTS(task < instance_->size());
+  MALSCHED_EXPECTS(prefix_.size() < instance_->size());
+  MALSCHED_EXPECTS_MSG(
+      std::find(prefix_.begin(), prefix_.end(), task) == prefix_.end(),
+      "task already in the prefix");
+  prefix_.push_back(task);
+  ++lp_evaluations_;
+  double objective;
+  if (exact) {
+    // Leaves re-solve from scratch so the reported objective is
+    // bit-identical with what enumeration computes for the same order.
+    // The incremental state is still extended (snapshot + appended
+    // rows/columns, no re-optimization) so pop() and deeper pushes stay
+    // consistent — the next warm-started push's phase 1 repairs every
+    // outstanding artificial, not just its own.
+    lp_->push(task, /*solve=*/false);
+    objective = order_lp_objective(*instance_, prefix_);
+  } else {
+    objective = lp_->push(task);
+  }
+  objectives_.push_back(objective);
+  volumes_.push_back(prefix_volume() + instance_->task(task).volume);
+  profiles_.push_back(profiles_.back());
+  profiles_.back().place(instance_->effective_width(task),
+                         instance_->task(task).volume);
+  return objective;
+}
+
+void OrderLpEvaluator::pop() {
+  MALSCHED_EXPECTS(!prefix_.empty());
+  prefix_.pop_back();
+  objectives_.pop_back();
+  volumes_.pop_back();
+  profiles_.pop_back();
+  lp_->pop();
+}
+
+double OrderLpEvaluator::objective() const noexcept {
+  return objectives_.empty() ? 0.0 : objectives_.back();
+}
+
+double OrderLpEvaluator::prefix_volume() const noexcept {
+  return volumes_.empty() ? 0.0 : volumes_.back();
+}
+
+double OrderLpEvaluator::greedy_completion(std::size_t task) const {
+  return profiles_.back().peek(instance_->effective_width(task),
+                               instance_->task(task).volume);
+}
+
 ExactOrderLpResult solve_order_lp_exact(const Instance& instance,
                                         std::span<const std::size_t> order) {
+  // Certification is only meaningful for a complete order; prefixes would
+  // silently certify a subinstance.
+  MALSCHED_EXPECTS(order.size() == instance.size());
   const auto model = build_order_lp(instance, order);
   const auto solution = lp::solve_exact(model);
   ExactOrderLpResult result;

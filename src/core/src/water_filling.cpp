@@ -18,61 +18,85 @@ double pour_rate(double h, double base, double cap) noexcept {
   return std::clamp(h - base, 0.0, cap);
 }
 
+/// Slope-change event of the piecewise-linear pour function: at level `h`
+/// the derivative gains `delta` (a column starts filling: +length; a column
+/// saturates at its cap: -length).
+struct LevelEvent {
+  double h;
+  double delta;
+};
+
 /// Finds the minimal water level h* such that
 ///   Σ_k lengths[k] * clamp(h* - heights[k], 0, cap) == volume
 /// over the given columns, or returns infinity if even h* = ceiling is not
 /// enough.  The pour function is piecewise linear and non-decreasing in h;
-/// we sweep its breakpoints.
+/// one sort of its slope-change events plus a running-sum sweep locates the
+/// crossing segment in O(n log n) (the old per-breakpoint re-summation was
+/// O(n²)).  `events` is caller-owned scratch so loops over find_level do not
+/// reallocate.
 double find_level(std::span<const double> heights,
                   std::span<const double> lengths, double cap, double volume,
-                  double ceiling, support::Tolerance tol) {
+                  double ceiling, support::Tolerance tol,
+                  std::vector<LevelEvent>& events) {
   MALSCHED_ASSERT(heights.size() == lengths.size());
   if (volume <= tol.abs) {
     return 0.0;
   }
 
-  // Candidate breakpoints: each column starts contributing at h_k and
-  // saturates at h_k + cap.
-  std::vector<double> breaks;
-  breaks.reserve(heights.size() * 2);
-  for (double h : heights) {
-    breaks.push_back(h);
-    breaks.push_back(h + cap);
-  }
-  std::sort(breaks.begin(), breaks.end());
-
-  const auto poured_at = [&](double h) {
-    double total = 0.0;
-    for (std::size_t k = 0; k < heights.size(); ++k) {
-      total += lengths[k] * pour_rate(h, heights[k], cap);
+  // Pour and right-derivative at h = 0; columns whose span [h_k, h_k + cap]
+  // starts at or below 0 fold into the initial slope instead of the queue.
+  events.clear();
+  events.reserve(heights.size() * 2);
+  double poured = 0.0;
+  double slope = 0.0;
+  for (std::size_t k = 0; k < heights.size(); ++k) {
+    poured += lengths[k] * pour_rate(0.0, heights[k], cap);
+    const double fill_h = heights[k];
+    const double saturate_h = heights[k] + cap;
+    if (fill_h <= 0.0 && 0.0 < saturate_h) {
+      slope += lengths[k];
     }
-    return total;
-  };
+    if (fill_h > 0.0) {
+      events.push_back({fill_h, lengths[k]});
+    }
+    if (saturate_h > 0.0) {
+      events.push_back({saturate_h, -lengths[k]});
+    }
+  }
+  if (poured >= volume) {
+    return 0.0;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const LevelEvent& a, const LevelEvent& b) { return a.h < b.h; });
 
-  // Locate the segment [lo, hi] of the piecewise-linear pour function that
-  // crosses `volume`, then interpolate.
+  // Sweep: advance the running (poured, slope) pair event by event and
+  // interpolate inside the segment that crosses `volume`.  Track the pour at
+  // `ceiling` on the way for the saturated-everywhere fallback below.
   double lo = 0.0;
-  double poured_lo = poured_at(lo);
-  if (poured_lo >= volume) {
-    return lo;
-  }
-  for (double b : breaks) {
-    if (b <= lo) {
-      continue;
+  double poured_at_ceiling = poured;
+  bool ceiling_passed = ceiling <= lo;
+  for (const LevelEvent& event : events) {
+    if (event.h > lo) {
+      if (!ceiling_passed && ceiling <= event.h) {
+        poured_at_ceiling = poured + slope * (ceiling - lo);
+        ceiling_passed = true;
+      }
+      const double poured_next = poured + slope * (event.h - lo);
+      if (poured_next >= volume) {
+        MALSCHED_ASSERT(slope > 0.0);
+        return lo + (volume - poured) / slope;
+      }
+      poured = poured_next;
+      lo = event.h;
     }
-    const double poured_b = poured_at(b);
-    if (poured_b >= volume) {
-      // Linear between lo and b.
-      const double slope = (poured_b - poured_lo) / (b - lo);
-      MALSCHED_ASSERT(slope > 0.0);
-      return lo + (volume - poured_lo) / slope;
-    }
-    lo = b;
-    poured_lo = poured_b;
+    slope += event.delta;
   }
-  // Above the last breakpoint the function is constant: never reaches volume.
+  // Above the last event the function is constant: never reaches volume.
   // (All columns saturated at cap.)  Check the ceiling for completeness.
-  if (poured_at(ceiling) >= volume - tol.slack(volume)) {
+  if (!ceiling_passed) {
+    poured_at_ceiling = poured;
+  }
+  if (poured_at_ceiling >= volume - tol.slack(volume)) {
     return ceiling;
   }
   return std::numeric_limits<double>::infinity();
@@ -111,6 +135,7 @@ WaterFillResult water_fill(const Instance& instance,
 
   support::Matrix alloc(n, n, 0.0);
   std::vector<double> heights(n, 0.0);  // current profile, columns 0..n-1
+  std::vector<LevelEvent> level_events;  // find_level scratch, reused per pour
 
   WaterFillResult result;
   for (std::size_t pos = 0; pos < n; ++pos) {
@@ -120,8 +145,8 @@ WaterFillResult water_fill(const Instance& instance,
 
     const std::span<const double> active_heights(heights.data(), pos + 1);
     const std::span<const double> active_lengths(lengths.data(), pos + 1);
-    const double level =
-        find_level(active_heights, active_lengths, cap, volume, P, tol);
+    const double level = find_level(active_heights, active_lengths, cap,
+                                    volume, P, tol, level_events);
     if (!(level <= P + tol.slack(P))) {
       result.feasible = false;
       result.failed_position = pos;
@@ -188,6 +213,7 @@ bool water_fill_feasible(const Instance& instance,
   groups.reserve(n);
   std::vector<double> heights;
   std::vector<double> lengths;
+  std::vector<LevelEvent> level_events;  // find_level scratch, reused per pour
 
   double horizon = 0.0;
   for (std::size_t pos = 0; pos < n; ++pos) {
@@ -216,7 +242,8 @@ bool water_fill_feasible(const Instance& instance,
       heights.push_back(g.height);
       lengths.push_back(g.length);
     }
-    const double level = find_level(heights, lengths, cap, volume, P, tol);
+    const double level =
+        find_level(heights, lengths, cap, volume, P, tol, level_events);
     if (!(level <= P + tol.slack(P))) {
       return false;
     }

@@ -126,11 +126,14 @@ SolveResult solve_order_lp_smith(const core::Instance& instance) {
 }
 
 SolveResult solve_optimal(const core::Instance& instance) {
+  // Branch-and-bound (PR 3) raised the exact-serving guard from the n <= 9
+  // of the pure-enumeration era to OptimalOptions' n <= 15 default; beyond
+  // it the typed SizeGuard error stands.
   core::OptimalOptions options;
   options.want_schedule = true;
   if (instance.size() > options.max_tasks) {
     return error_result(ErrorCode::SizeGuard,
-                        "optimal enumeration limited to n <= " +
+                        "optimal solver limited to n <= " +
                             std::to_string(options.max_tasks) + " (got n = " +
                             std::to_string(instance.size()) + ")");
   }
@@ -222,8 +225,10 @@ SolverRegistry SolverRegistry::with_default_solvers() {
                            "Smith-order greedy normalized by Algorithm WF");
   registry.register_solver("order-lp-smith", solve_order_lp_smith, false,
                            "Corollary-1 LP on the Smith completion order");
-  registry.register_solver("optimal", solve_optimal, false,
-                           "exact optimum by completion-order enumeration");
+  registry.register_solver(
+      "optimal", solve_optimal, false,
+      "exact optimum: n! enumeration for tiny n, branch-and-bound over "
+      "completion orders beyond (guard n <= 15)");
   return registry;
 }
 

@@ -1,0 +1,261 @@
+// Branch-and-bound exactness: the pruned search must return the same
+// optimum as n! enumeration on every fixture and across every generator
+// family, the pruning machinery must degenerate to exhaustive enumeration
+// when disabled, and the OrderLpEvaluator's warm-started prefix values must
+// agree with from-scratch order-LP solves through arbitrary push/pop walks.
+
+#include "malsched/core/bnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "malsched/core/generators.hpp"
+#include "malsched/core/io.hpp"
+#include "malsched/core/optimal.hpp"
+#include "malsched/core/order_lp.hpp"
+
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+namespace {
+
+mc::Instance load(const std::string& name) {
+  const std::string path = std::string(MALSCHED_DATA_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("missing fixture " + path);
+  }
+  std::string error;
+  auto inst = mc::read_instance(in, &error);
+  if (!inst.has_value()) {
+    throw std::runtime_error("bad fixture " + path + ": " + error);
+  }
+  return *inst;
+}
+
+double relative_gap(double a, double b) {
+  return std::fabs(a - b) / std::max(1.0, std::max(std::fabs(a), std::fabs(b)));
+}
+
+std::size_t factorial(std::size_t n) {
+  std::size_t f = 1;
+  for (std::size_t k = 2; k <= n; ++k) {
+    f *= k;
+  }
+  return f;
+}
+
+}  // namespace
+
+TEST(Bnb, MatchesEnumerationOnEveryFixture) {
+  for (const char* fixture :
+       {"example_small.mls", "bandwidth_fig1.mls",
+        "theorem9_counterexample.mls", "wide_tasks.mls"}) {
+    const auto inst = load(fixture);
+    ASSERT_LE(inst.size(), 9u) << fixture;
+    const auto enumerated = mc::optimal_by_enumeration(inst);
+    const auto bnb = mc::branch_and_bound(inst);
+    EXPECT_LT(relative_gap(bnb.objective, enumerated.objective), 1e-6)
+        << fixture << ": bnb " << bnb.objective << " vs enumeration "
+        << enumerated.objective;
+    // The returned order must actually achieve the optimum.
+    EXPECT_LT(relative_gap(mc::order_lp_objective(inst, bnb.order),
+                           enumerated.objective),
+              1e-6)
+        << fixture;
+  }
+}
+
+TEST(Bnb, MatchesEnumerationAcrossGeneratorFamilies) {
+  // >= 50 random instances per family; sizes cycle 2..5 so the enumeration
+  // baseline (n! order LPs per instance) stays affordable.
+  for (const mc::Family family : mc::all_families()) {
+    ms::Rng rng(20120521 + static_cast<std::uint64_t>(family));
+    for (int rep = 0; rep < 50; ++rep) {
+      mc::GeneratorConfig config;
+      config.family = family;
+      config.num_tasks = 2 + static_cast<std::size_t>(rep % 4);
+      config.processors = (rep % 3 == 0) ? 1.0 : 4.0;
+      const auto inst = mc::generate(config, rng);
+      const auto enumerated = mc::optimal_by_enumeration(inst);
+      const auto bnb = mc::branch_and_bound(inst);
+      EXPECT_LT(relative_gap(bnb.objective, enumerated.objective), 1e-6)
+          << mc::family_name(family) << " rep " << rep << " n "
+          << inst.size() << ": bnb " << bnb.objective << " vs enumeration "
+          << enumerated.objective;
+      EXPECT_LT(relative_gap(mc::order_lp_objective(inst, bnb.order),
+                             enumerated.objective),
+                1e-6)
+          << mc::family_name(family) << " rep " << rep;
+    }
+  }
+}
+
+TEST(Bnb, DisabledPruningVisitsExactlyFactorialLeaves) {
+  ms::Rng rng(97);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::Uniform;
+  config.num_tasks = 6;
+  config.processors = 2.0;
+  const auto inst = mc::generate(config, rng);
+
+  mc::BnbOptions options;
+  options.use_bounds = false;
+  options.use_dominance = false;
+  const auto exhaustive = mc::branch_and_bound(inst, options);
+  EXPECT_EQ(exhaustive.stats.leaves, factorial(inst.size()));
+  EXPECT_EQ(exhaustive.stats.pruned_by_bound, 0u);
+  EXPECT_EQ(exhaustive.stats.pruned_by_dominance, 0u);
+
+  const auto enumerated = mc::optimal_by_enumeration(inst);
+  EXPECT_LT(relative_gap(exhaustive.objective, enumerated.objective), 1e-6);
+
+  // Default options search the same space with pruning: same optimum, a
+  // strictly smaller tree.
+  const auto pruned = mc::branch_and_bound(inst);
+  EXPECT_LT(relative_gap(pruned.objective, enumerated.objective), 1e-6);
+  EXPECT_LT(pruned.stats.leaves, exhaustive.stats.leaves);
+  EXPECT_GT(pruned.stats.pruned_by_bound, 0u);
+}
+
+TEST(Bnb, DominanceCollapsesIdenticalTasks) {
+  // Eight identical tasks: every order is a renaming, so the dominance rule
+  // leaves exactly one chain — a single leaf even with bounds off.
+  const mc::Instance inst(4.0, std::vector<mc::Task>(8, {1.0, 1.0, 1.0}));
+  mc::BnbOptions options;
+  options.use_bounds = false;
+  const auto res = mc::branch_and_bound(inst, options);
+  EXPECT_EQ(res.stats.leaves, 1u);
+  EXPECT_GT(res.stats.pruned_by_dominance, 0u);
+  // Closed form: batches of four unit tasks on P = 4 complete at 1 and 2.
+  EXPECT_NEAR(res.objective, 4.0 * 1.0 + 4.0 * 2.0, 1e-7);
+  // The surviving order is the index order.
+  EXPECT_TRUE(std::is_sorted(res.order.begin(), res.order.end()));
+}
+
+TEST(Bnb, DominancePinsZeroVolumeFirstAndZeroWeightLast) {
+  // Task 1 has zero volume (completes at 0), task 3 zero weight (free to
+  // finish last); dominance prunes every order violating either pin.
+  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0},
+                                {0.0, 1.0, 5.0},
+                                {0.5, 2.0, 2.0},
+                                {2.0, 1.5, 0.0}});
+  const auto enumerated = mc::optimal_by_enumeration(inst);
+  const auto bnb = mc::branch_and_bound(inst);
+  EXPECT_LT(relative_gap(bnb.objective, enumerated.objective), 1e-6);
+  EXPECT_GT(bnb.stats.pruned_by_dominance, 0u);
+  EXPECT_EQ(bnb.order.front(), 1u);  // zero volume first
+  EXPECT_EQ(bnb.order.back(), 3u);   // zero weight last
+}
+
+TEST(Bnb, WantScheduleProducesValidOptimalSchedule) {
+  ms::Rng rng(101);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::Uniform;
+  config.num_tasks = 8;
+  config.processors = 2.0;
+  const auto inst = mc::generate(config, rng);
+  mc::BnbOptions options;
+  options.want_schedule = true;
+  const auto res = mc::branch_and_bound(inst, options);
+  const auto check = res.schedule.validate(inst);
+  EXPECT_TRUE(check.valid) << check.message;
+  EXPECT_NEAR(res.schedule.weighted_completion(inst), res.objective, 1e-6);
+}
+
+TEST(Bnb, EmptyAndSingletonInstances) {
+  const mc::Instance empty(2.0, {});
+  const auto none = mc::branch_and_bound(empty);
+  EXPECT_EQ(none.objective, 0.0);
+  EXPECT_TRUE(none.order.empty());
+
+  const mc::Instance one(2.0, {{3.0, 1.5, 2.0}});
+  const auto single = mc::branch_and_bound(one);
+  EXPECT_NEAR(single.objective, 2.0 * (3.0 / 1.5), 1e-9);
+  EXPECT_EQ(single.order, (std::vector<std::size_t>{0}));
+}
+
+TEST(BnbDeath, RefusesInstancesBeyondTheGuard) {
+  std::vector<mc::Task> tasks(21, {1.0, 1.0, 1.0});
+  const mc::Instance inst(4.0, std::move(tasks));
+  EXPECT_DEATH((void)mc::branch_and_bound(inst), "exponential");
+}
+
+TEST(OrderLpEvaluator, WarmStartedPushMatchesFromScratchSolves) {
+  ms::Rng rng(42);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::Uniform;
+  config.num_tasks = 7;
+  config.processors = 4.0;
+  const auto inst = mc::generate(config, rng);
+
+  mc::OrderLpEvaluator evaluator(inst);
+  ms::Rng walk(7);
+  std::vector<std::size_t> prefix;
+  for (int step = 0; step < 400; ++step) {
+    const bool can_push = prefix.size() < inst.size();
+    if (can_push && (prefix.empty() || walk.bernoulli(0.6))) {
+      std::size_t task;
+      do {
+        task = static_cast<std::size_t>(
+            walk.uniform_int(0, static_cast<std::int64_t>(inst.size()) - 1));
+      } while (std::find(prefix.begin(), prefix.end(), task) != prefix.end());
+      prefix.push_back(task);
+      const double incremental = evaluator.push(task, /*exact=*/false);
+      const double reference = mc::order_lp_objective(inst, prefix);
+      EXPECT_LT(relative_gap(incremental, reference), 1e-9)
+          << "depth " << prefix.size() << " step " << step;
+      EXPECT_EQ(evaluator.depth(), prefix.size());
+    } else {
+      prefix.pop_back();
+      evaluator.pop();
+    }
+  }
+}
+
+TEST(OrderLpEvaluator, ExactPushIsBitIdenticalWithOrderLpObjective) {
+  const auto inst = load("example_small.mls");
+  mc::OrderLpEvaluator evaluator(inst);
+  std::vector<std::size_t> prefix;
+  for (std::size_t task = 0; task < inst.size(); ++task) {
+    prefix.push_back(task);
+    const double exact = evaluator.push(task, /*exact=*/true);
+    EXPECT_EQ(exact, mc::order_lp_objective(inst, prefix)) << task;
+    EXPECT_EQ(evaluator.objective(), exact);
+  }
+}
+
+TEST(OrderLpEvaluator, GreedyCompletionMatchesCapacityProfilePeek) {
+  const auto inst = load("bandwidth_fig1.mls");
+  mc::OrderLpEvaluator evaluator(inst);
+  mc::CapacityProfile profile(inst.processors());
+  for (std::size_t task = 0; task < inst.size(); ++task) {
+    EXPECT_DOUBLE_EQ(
+        evaluator.greedy_completion(task),
+        profile.peek(inst.effective_width(task), inst.task(task).volume))
+        << task;
+    evaluator.push(task, /*exact=*/false);
+    profile.place(inst.effective_width(task), inst.task(task).volume);
+  }
+}
+
+TEST(Optimal, DelegatesToBranchAndBoundAboveTheCrossover) {
+  ms::Rng rng(11);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::Uniform;
+  config.num_tasks = 8;  // above the enumeration crossover of 7
+  config.processors = 4.0;
+  const auto inst = mc::generate(config, rng);
+  const auto viaOptimal = mc::optimal_by_enumeration(inst);
+  const auto direct = mc::branch_and_bound(inst);
+  EXPECT_EQ(viaOptimal.objective, direct.objective);
+  EXPECT_EQ(viaOptimal.order, direct.order);
+  EXPECT_EQ(viaOptimal.orders_tried, direct.stats.leaves);
+  // n! would be 40320; the proof tree is orders of magnitude smaller.
+  EXPECT_LT(direct.stats.lp_evaluations, 40320u);
+}

@@ -71,7 +71,8 @@ TEST(Optimal, EnumerationCountsFactorial) {
 }
 
 TEST(OptimalDeath, RefusesLargeInstances) {
-  std::vector<mc::Task> tasks(10, {1.0, 1.0, 1.0});
+  // Branch-and-bound opened n <= 15; the guard now sits there.
+  std::vector<mc::Task> tasks(16, {1.0, 1.0, 1.0});
   const mc::Instance inst(2.0, std::move(tasks));
   EXPECT_DEATH((void)mc::optimal_by_enumeration(inst), "factorial");
 }

@@ -58,11 +58,24 @@ TEST(Registry, OptimalDispatchMatchesEnumeration) {
 
 TEST(Registry, OptimalGuardsLargeInstances) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
-  std::vector<mc::Task> tasks(12, {1.0, 1.0, 1.0});
+  std::vector<mc::Task> tasks(16, {1.0, 1.0, 1.0});
   const auto result = registry.solve("optimal", mc::Instance(4.0, tasks));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().code, msvc::ErrorCode::SizeGuard);
   EXPECT_NE(result.error().detail.find("n <= "), std::string::npos);
+}
+
+TEST(Registry, OptimalServesMidSizeInstancesViaBranchAndBound) {
+  // n = 12 was refused under the enumeration-only guard; branch-and-bound
+  // now serves it.  12 unit tasks on P = 4 have a closed-form optimum: any
+  // order is optimal, boundaries at 1, 2, 3 with four completions each,
+  // so sum wC = 4*(1+2+3) = 24.
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  std::vector<mc::Task> tasks(12, {1.0, 1.0, 1.0});
+  const auto result = registry.solve("optimal", mc::Instance(4.0, tasks));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_NEAR(result.objective(), 24.0, 1e-6);
+  EXPECT_EQ(result.completions().size(), 12u);
 }
 
 TEST(Registry, UnknownSolverIsAnErrorNotACrash) {
