@@ -2,7 +2,7 @@
 //
 //   ./examples/malsched_service <batch-file> [--threads N] [--repeat R]
 //                               [--cache-capacity W] [--no-cache]
-//                               [--queue-capacity N]
+//                               [--queue-capacity N] [--fifo]
 //   ./examples/malsched_service --solvers
 //
 // Batch file format (see malsched/service/service.hpp):
@@ -14,15 +14,20 @@
 //   end
 //   generate big heavy-tail-volumes 200 16 42
 //   include common_instances.msb
+//   weight 4                 # sticky: priority weight of later solves
+//   deadline 0.5             # sticky: per-request latency budget (seconds);
+//                            # 'deadline none' clears it
 //   solve wdeq small
 //   solve optimal small
 //   solve wdeq big
 //
 // Relative `include` paths resolve against the batch file's directory.
 // Per-request results go to stdout (deterministic: identical bytes for any
-// --threads value); failures carry their typed error code.  Latency/cache
-// telemetry goes to stderr.  --cache-capacity counts weight units (~one per
-// completion time), not entries.
+// --threads value; `deadline` budgets are wall-clock dependent by nature);
+// failures carry their typed error code.  Latency/cache telemetry goes to
+// stderr.  --cache-capacity counts weight units (~one per completion time),
+// not entries.  Admission is the weighted-priority queue by default —
+// --fifo restores strict arrival order (the A/B the bench measures).
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,7 +46,8 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <batch-file> [--threads N] [--repeat R] "
-               "[--cache-capacity W] [--no-cache] [--queue-capacity N]\n"
+               "[--cache-capacity W] [--no-cache] [--queue-capacity N] "
+               "[--fifo]\n"
                "       %s --solvers\n",
                prog, prog);
   return 64;
@@ -54,8 +60,9 @@ int main(int argc, char** argv) {
 
   if (argc >= 2 && std::strcmp(argv[1], "--solvers") == 0) {
     for (const auto& name : registry.names()) {
-      std::printf("%-18s %s\n", name.c_str(),
-                  registry.find(name)->description.c_str());
+      const auto* info = registry.find(name);
+      std::printf("%-18s %s%s\n", name.c_str(), info->description.c_str(),
+                  info->cancellable ? "  [cancellable]" : "");
     }
     return 0;
   }
@@ -99,6 +106,8 @@ int main(int argc, char** argv) {
       options.queue_capacity = static_cast<std::size_t>(value);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.use_cache = false;
+    } else if (std::strcmp(argv[i], "--fifo") == 0) {
+      options.fifo_admission = true;
     } else {
       return usage(argv[0]);
     }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Markdown link checker for CI (no external tools: bash + grep + sed).
+#
+# Two checks:
+#   1. every intra-repo link target `[text](path)` in a tracked .md file
+#      resolves relative to that file (fragments are stripped; http(s)/
+#      mailto/anchor-only links are skipped),
+#   2. every page under docs/ is referenced from README.md, so new docs
+#      cannot silently become orphans.
+#
+# Exits non-zero listing every broken link / orphaned doc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+if command -v git > /dev/null && git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  mapfile -t md_files < <(git ls-files '*.md')
+else
+  mapfile -t md_files < <(find . -name '*.md' \
+    -not -path './build*' -not -path './.git/*' | sed 's|^\./||')
+fi
+
+for file in "${md_files[@]}"; do
+  dir=$(dirname "$file")
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"  # drop the fragment; the file must still exist
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $file -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$file" \
+           | sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/' || true)
+done
+
+for doc in docs/*.md; do
+  [ -e "$doc" ] || continue
+  if ! grep -q "$doc" README.md; then
+    echo "ORPHANED DOC: $doc is not referenced from README.md" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "markdown link check FAILED" >&2
+  exit 1
+fi
+echo "markdown link check OK (${#md_files[@]} files)"

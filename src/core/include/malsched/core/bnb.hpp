@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "malsched/core/cancel.hpp"
 #include "malsched/core/instance.hpp"
 #include "malsched/core/schedule.hpp"
 
@@ -59,6 +60,13 @@ struct BnbOptions {
   /// The returned objective is optimal up to this slack (default well below
   /// every tolerance the test-suite uses).
   double bound_slack = 1e-7;
+  /// Cooperative cancellation, polled once per search node (each node costs
+  /// an order-LP solve, so the poll is free by comparison).  When the token
+  /// fires the DFS unwinds and the result carries `cancelled = true` with
+  /// the best incumbent found so far — an upper bound, not the proven
+  /// optimum.  The incumbent seeds always run, so a cancelled result still
+  /// holds a feasible order.
+  CancelToken cancel;
 };
 
 struct BnbStats {
@@ -74,6 +82,9 @@ struct BnbResult {
   std::vector<std::size_t> order;  ///< an optimal completion order
   ColumnSchedule schedule;         ///< populated if want_schedule
   BnbStats stats;
+  /// True when BnbOptions::cancel fired before the search finished; the
+  /// objective/order are then the best incumbent, not the proven optimum.
+  bool cancelled = false;
 };
 
 /// Exact optimum over all completion orders by branch-and-bound.  Matches

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file cancel.hpp
+/// Cooperative cancellation for long-running exact solves.
+///
+/// The exponential-time searches (bnb.hpp, optimal.hpp) can run seconds on
+/// hard instances; a client that went away — or whose deadline passed —
+/// should be able to abandon the solve instead of burning a worker.  The
+/// mechanism is the standard source/token split:
+///
+///     CancelSource source;                       // owned by the requester
+///     BnbOptions options;
+///     options.cancel = source.token();           // handed to the solve
+///     // ... on another thread ...
+///     source.request_cancel();                   // sets one atomic flag
+///
+/// Tokens are cheap to copy (a shared_ptr plus a time point) and polling is
+/// one relaxed-acquire atomic load (plus a steady_clock read when a deadline
+/// is attached) — solvers poll at *node boundaries*, where an LP solve
+/// dwarfs the check.  A default-constructed token never fires, and
+/// `can_cancel()` lets hot loops skip the poll entirely when no caller asked
+/// for cancellation.
+///
+/// Cancellation is cooperative and best-effort: a solve that never polls
+/// (all the polynomial-time algorithms) simply runs to completion.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace malsched::core {
+
+/// Read side: polled by solvers.  Fires when the owning CancelSource
+/// requested cancellation or the attached deadline passed, whichever first.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;  ///< never fires
+
+  /// Deadline-only token (no source): fires once `deadline` passes.
+  [[nodiscard]] static CancelToken with_deadline(Clock::time_point deadline) {
+    CancelToken token;
+    token.deadline_ = deadline;
+    token.has_deadline_ = true;
+    return token;
+  }
+
+  /// True when this token can ever fire; hot loops may skip the poll when
+  /// false (the default-constructed token).
+  [[nodiscard]] bool can_cancel() const noexcept {
+    return flag_ != nullptr || has_deadline_;
+  }
+
+  /// The poll: flag first (no clock read needed when it is set), then the
+  /// deadline.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (flag_ != nullptr && flag_->load(std::memory_order_acquire)) {
+      return true;
+    }
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+ private:
+  friend class CancelSource;
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// Write side: owned by whoever may abandon the solve.  Thread-safe —
+/// request_cancel() may race freely with token polls.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() noexcept {
+    flag_->store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] CancelToken token() const {
+    CancelToken token;
+    token.flag_ = flag_;
+    return token;
+  }
+
+  /// Token that also fires once `deadline` passes (the flag still wins the
+  /// tie — a poll checks it first).
+  [[nodiscard]] CancelToken token_with_deadline(
+      CancelToken::Clock::time_point deadline) const {
+    CancelToken token = this->token();
+    token.deadline_ = deadline;
+    token.has_deadline_ = true;
+    return token;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace malsched::core

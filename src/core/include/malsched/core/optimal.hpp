@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "malsched/core/cancel.hpp"
 #include "malsched/core/instance.hpp"
 #include "malsched/core/order_lp.hpp"
 
@@ -27,6 +28,11 @@ struct OptimalOptions {
   /// branch_and_bound.  Both are exact — the crossover only trades the
   /// enumeration's run-to-run bit-reproducibility for pruning.
   std::size_t enumeration_crossover = 7;
+  /// Cooperative cancellation.  The enumeration polls every 64 permutations
+  /// (amortizing the clock read when a deadline is attached); the
+  /// branch-and-bound polls at every node.  A cancelled result carries
+  /// `cancelled = true` and the best order seen so far.
+  CancelToken cancel;
 };
 
 struct OptimalResult {
@@ -36,6 +42,9 @@ struct OptimalResult {
   /// Complete orders whose LP was evaluated: n! below the crossover, the
   /// branch-and-bound leaf count above it.
   std::size_t orders_tried = 0;
+  /// True when OptimalOptions::cancel fired mid-search; objective/order are
+  /// then the best seen so far, not the proven optimum.
+  bool cancelled = false;
 };
 
 /// Exact optimum over all completion orders (enumeration below the

@@ -98,6 +98,7 @@ class Searcher {
     dfs();
 
     MALSCHED_ENSURES(!best_order_.empty());
+    result.cancelled = cancelled_;
     result.objective = incumbent_;
     result.order = std::move(best_order_);
     stats_.lp_evaluations += evaluator_.lp_evaluations();
@@ -218,6 +219,16 @@ class Searcher {
   }
 
   void dfs() {
+    // Cancellation poll, once per node: every node below costs at least one
+    // warm-started LP push, so the atomic load (plus a clock read when a
+    // deadline is attached) is noise.  The flag makes the whole DFS unwind.
+    if (!cancelled_ && options_.cancel.can_cancel() &&
+        options_.cancel.cancelled()) {
+      cancelled_ = true;
+    }
+    if (cancelled_) {
+      return;
+    }
     const std::size_t depth = evaluator_.depth();
     if (depth == n_) {
       ++stats_.leaves;
@@ -279,6 +290,9 @@ class Searcher {
     }
 
     for (const Child& child : children) {
+      if (cancelled_) {
+        return;
+      }
       if (options_.use_bounds && prunable(child.bound)) {
         ++stats_.pruned_by_bound;
         continue;
@@ -324,6 +338,7 @@ class Searcher {
   BnbStats stats_;
   std::uint32_t used_ = 0;
   double incumbent_ = kInf;
+  bool cancelled_ = false;
   std::vector<std::size_t> best_order_;
 };
 

@@ -17,7 +17,17 @@
 ///     include <path>           # splices another batch file (its instances
 ///                              # and requests); relative to the including
 ///                              # file's directory
+///     weight <w>               # sticky: priority weight of subsequent
+///                              # solve lines (w > 0; default 1)
+///     deadline <seconds>       # sticky: per-request latency budget of
+///                              # subsequent solve lines, measured from the
+///                              # request's own submission; 'deadline none'
+///                              # clears it (the default)
 ///     solve <solver> <name>    # one request; any number, any order
+///
+/// The `weight`/`deadline` directives are lexically scoped to their own
+/// file: an included file starts from the defaults and its settings do not
+/// leak back into the includer.
 ///
 /// `run_service` interns every named instance once, streams the requests
 /// through a Scheduler (scheduler.hpp) and aggregates per-request latency
@@ -25,6 +35,10 @@
 /// deterministic per-request answer stream (identical for every thread
 /// count), with failures carrying their typed ErrorCode; telemetry goes
 /// through `format_telemetry`, which callers print to stderr or logs.
+/// Determinism caveat: requests under a `deadline` directive are wall-clock
+/// dependent by definition (a slow machine may answer DeadlineExceeded
+/// where a fast one answers ok) — the byte-identical-across-threads
+/// contract covers batches without deadlines.
 
 #include <cstddef>
 #include <iosfwd>
@@ -48,6 +62,11 @@ struct BatchSpec {
     std::string solver;
     std::string instance_name;
     std::size_t line = 0;  ///< 1-based line of the `solve` statement
+    /// Priority weight from the enclosing `weight` directive (1 when none).
+    double priority_weight = 1.0;
+    /// Latency budget from the enclosing `deadline` directive: seconds from
+    /// this request's submission; unset when none (never expires).
+    std::optional<double> deadline_seconds;
   };
   std::vector<Request> requests;
 };
@@ -80,6 +99,10 @@ struct ServiceOptions {
   std::size_t repeat = 1;
   /// Admission queue bound of the underlying Scheduler.
   std::size_t queue_capacity = 1024;
+  /// True restores the strict arrival-order admission of the v2 service;
+  /// the default is the weighted-priority queue (scheduler.hpp), which cuts
+  /// weighted mean response time on backlogged mixed-duration batches.
+  bool fifo_admission = false;
 };
 
 struct ServiceReport {

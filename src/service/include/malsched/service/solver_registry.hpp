@@ -27,6 +27,7 @@
 #include <variant>
 #include <vector>
 
+#include "malsched/core/cancel.hpp"
 #include "malsched/core/instance.hpp"
 #include "malsched/support/contracts.hpp"
 
@@ -37,17 +38,21 @@ namespace malsched::service {
 /// compiler's -Wswitch flags the latter; parse_error_code and the
 /// round-trip tests iterate kAllErrorCodes, so they follow automatically).
 enum class ErrorCode {
-  UnknownSolver,   ///< no solver registered under the requested name
-  SizeGuard,       ///< instance exceeds a solver's complexity guard
-  ParseError,      ///< request references an unknown/unparseable instance
-  SolverFailure,   ///< the solver rejected the input, failed or threw
-  QueueClosed,     ///< submitted after Scheduler::close()
+  UnknownSolver,     ///< no solver registered under the requested name
+  SizeGuard,         ///< instance exceeds a solver's complexity guard
+  ParseError,        ///< request references an unknown/unparseable instance
+  SolverFailure,     ///< the solver rejected the input, failed or threw
+  QueueClosed,       ///< submitted after Scheduler::close()
+  Cancelled,         ///< the client abandoned the request (Ticket::cancel())
+  DeadlineExceeded,  ///< SubmitOptions::deadline passed before completion
 };
 
 /// Every ErrorCode, the single enumeration the parser and tests iterate.
 inline constexpr ErrorCode kAllErrorCodes[] = {
-    ErrorCode::UnknownSolver, ErrorCode::SizeGuard, ErrorCode::ParseError,
-    ErrorCode::SolverFailure, ErrorCode::QueueClosed};
+    ErrorCode::UnknownSolver, ErrorCode::SizeGuard,
+    ErrorCode::ParseError,    ErrorCode::SolverFailure,
+    ErrorCode::QueueClosed,   ErrorCode::Cancelled,
+    ErrorCode::DeadlineExceeded};
 
 /// Stable kebab-case name of a code ("unknown-solver", ...), the form
 /// `write_results` emits.
@@ -136,6 +141,15 @@ class SolveResult {
   std::variant<SolveError, SolveOutput> outcome_;
 };
 
+/// Per-request execution context passed down to solvers that opt in (the
+/// ContextSolverFn registration form).  Carries the cooperative cancellation
+/// token the Scheduler builds from Ticket::cancel() and the request's
+/// deadline; solvers poll it at their own node boundaries.  Plain SolverFn
+/// registrations never see it — they run to completion regardless.
+struct SolveContext {
+  core::CancelToken cancel;
+};
+
 /// Name -> solver dispatch table.  Build it once (registration is not
 /// thread-safe), then `solve` freely from any number of threads.
 ///
@@ -149,9 +163,15 @@ class SolveResult {
 class SolverRegistry {
  public:
   using SolverFn = std::function<SolveResult(const core::Instance&)>;
+  using ContextSolverFn =
+      std::function<SolveResult(const core::Instance&, const SolveContext&)>;
+  /// Estimated solve wall time in seconds for an n-task instance.  Coarse
+  /// by design: the priority admission queue only needs the relative
+  /// magnitudes right (exponential ≫ LP ≫ fluid policy) to order work.
+  using CostHintFn = std::function<double(std::size_t)>;
 
   struct SolverInfo {
-    SolverFn fn;
+    ContextSolverFn fn;
     /// True when the solver's output is independent of task numbering
     /// *including tie-breaking*; the cache then also quotients permutations
     /// (see canonical.hpp).  Defaults to false — the safe choice: id-based
@@ -162,12 +182,23 @@ class SolverRegistry {
     /// False exempts the solver from the canonicalization cache entirely
     /// (for solvers that are not scale-equivariant, see class comment).
     bool cacheable = true;
+    /// True when the solver polls SolveContext::cancel and aborts early
+    /// (returning a Cancelled failure).  Polynomial-time solvers finish in
+    /// microseconds-to-milliseconds and simply run to completion.
+    bool cancellable = false;
+    /// Estimated solve seconds given n; null falls back to the scheduler's
+    /// default estimate.  Feeds the weighted-shortest-estimated-work
+    /// admission order (scheduler.hpp).
+    CostHintFn cost_hint;
   };
 
   /// Registers (or replaces) a solver under `name`.
   void register_solver(std::string name, SolverFn fn,
                        bool order_invariant = false,
                        std::string description = "", bool cacheable = true);
+  /// Full-control registration (context-aware solvers, cost hints, the
+  /// cancellable flag).
+  void register_solver(std::string name, SolverInfo info);
 
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] const SolverInfo* find(const std::string& name) const;
@@ -179,7 +210,20 @@ class SolverRegistry {
   /// UnknownSolver error; zero-task instances short-circuit to an empty
   /// success for every solver.
   [[nodiscard]] SolveResult solve(const std::string& solver,
-                                  const core::Instance& instance) const;
+                                  const core::Instance& instance) const {
+    return solve(solver, instance, SolveContext{});
+  }
+  /// Same, threading a cancellation/deadline context into solvers that
+  /// registered context-aware (the `cancellable` column).
+  [[nodiscard]] SolveResult solve(const std::string& solver,
+                                  const core::Instance& instance,
+                                  const SolveContext& context) const;
+
+  /// Estimated solve seconds for `solver` on an n-task instance: the
+  /// registered cost hint when present, else a flat polynomial default.
+  /// Unknown solvers get the default too — they fail fast at dispatch.
+  [[nodiscard]] double estimated_seconds(const std::string& solver,
+                                         std::size_t n) const;
 
   /// The full built-in zoo: every sim policy under its policy name, plus
   /// "greedy-heuristic", "water-fill-smith", "order-lp-smith" and "optimal".

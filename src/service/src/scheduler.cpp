@@ -1,6 +1,10 @@
 #include "malsched/service/scheduler.hpp"
 
+#include <cmath>
+#include <condition_variable>
 #include <exception>
+#include <map>
+#include <mutex>
 #include <utility>
 
 #include "malsched/service/canonical.hpp"
@@ -63,6 +67,13 @@ namespace detail {
 
 namespace {
 
+/// True for the failure classes minted by a fired cancellation token; these
+/// must short-circuit retry/fallback paths — re-solving an abandoned
+/// request defeats the point of abandoning it.
+bool is_abort_code(ErrorCode code) noexcept {
+  return code == ErrorCode::Cancelled || code == ErrorCode::DeadlineExceeded;
+}
+
 // Canonical-space solve through the cache: look up, solve-and-fill on miss,
 // denormalize back to the client's task ids and units.  Failed solves are
 // never cached.
@@ -70,7 +81,8 @@ SolveResult solve_canonical(const SolverRegistry& registry,
                             const std::string& solver,
                             const core::Instance& client_instance,
                             const CanonicalForm& form,
-                            const std::string& form_text, ResultCache& cache) {
+                            const std::string& form_text, ResultCache& cache,
+                            const SolveContext& context) {
   const std::string key = solver + "\n" + form_text;
 
   if (auto cached = cache.get(key)) {
@@ -85,12 +97,18 @@ SolveResult solve_canonical(const SolverRegistry& registry,
 
   // Miss: solve in canonical space so the entry serves the whole
   // equivalence class, then map back to the request's units.
-  SolveResult canonical_result = registry.solve(solver, form.instance);
+  SolveResult canonical_result = registry.solve(solver, form.instance, context);
   if (!canonical_result.ok()) {
+    // A fired cancellation token is not a diagnostics problem: return the
+    // abort as-is instead of burning a second full solve on a request
+    // nobody is waiting for.
+    if (is_abort_code(canonical_result.error().code)) {
+      return canonical_result;
+    }
     // Error diagnostics name task indices; re-solve in client space so the
     // message points at the client's task ids, not the canonical ordering.
     // Errors are the rare path, so the duplicate work is acceptable.
-    return registry.solve(solver, client_instance);
+    return registry.solve(solver, client_instance, context);
   }
   const SolveOutput& canonical = canonical_result.output();
   cache.put(key, CachedSolve{canonical.objective, canonical.makespan,
@@ -106,8 +124,8 @@ SolveResult solve_canonical(const SolverRegistry& registry,
 
 SolveResult solve_dispatch(const SolverRegistry& registry,
                            const std::string& solver,
-                           const InstanceHandle& instance,
-                           ResultCache* cache) {
+                           const InstanceHandle& instance, ResultCache* cache,
+                           const SolveContext& context) {
   if (!instance.valid()) {
     return SolveResult::failure(solver, ErrorCode::ParseError,
                                 "invalid (empty) instance handle");
@@ -125,12 +143,12 @@ SolveResult solve_dispatch(const SolverRegistry& registry,
         // Wide dynamic range: rescaling would push values into the solvers'
         // absolute tolerances and corrupt the result.  Solve in client
         // space, uncached — correctness over memoization.
-        return registry.solve(solver, interned.instance);
+        return registry.solve(solver, interned.instance, context);
       }
       return solve_canonical(registry, solver, interned.instance,
-                             quotient.form, quotient.text, *cache);
+                             quotient.form, quotient.text, *cache, context);
     }
-    return registry.solve(solver, interned.instance);
+    return registry.solve(solver, interned.instance, context);
   } catch (const std::exception& e) {
     return SolveResult::failure(solver, ErrorCode::SolverFailure,
                                 std::string("solver threw: ") + e.what());
@@ -142,12 +160,110 @@ SolveResult solve_dispatch(const SolverRegistry& registry,
   }
 }
 
+/// Queue rank: lexicographic (score, admission id).  FIFO admission leaves
+/// every score 0 so ids — assigned in admission order — decide; priority
+/// admission computes the weighted-shortest-estimated-work score.  Ranks
+/// are immutable after admission, so std::multimap gives ordered pops and
+/// O(log n) cancellation erases without any re-heapify.
+struct QueueKey {
+  double score = 0.0;
+  std::uint64_t id = 0;
+
+  bool operator<(const QueueKey& other) const noexcept {
+    if (score != other.score) {
+      return score < other.score;
+    }
+    return id < other.id;
+  }
+};
+
+struct Job {
+  std::string solver;
+  InstanceHandle instance;
+  std::shared_ptr<TicketShared> state;
+  std::chrono::steady_clock::time_point admitted;
+};
+
+using AdmissionQueue = std::multimap<QueueKey, Job>;
+
+/// Queue guts, co-owned by the Scheduler and every outstanding Ticket so
+/// Ticket::cancel() can safely lock/erase even after ~Scheduler (which
+/// drains the queue first, so post-destruction cancels find every ticket
+/// already resolved and become no-ops).
+struct SchedulerShared {
+  std::mutex mutex;
+  std::condition_variable not_empty;
+  std::condition_variable not_full;
+  AdmissionQueue queue;
+  bool closed = false;
+  std::uint64_t next_ticket_id = 0;
+  /// Rank origin: scores are seconds-since-epoch of admission plus the
+  /// aged work estimate, so they stay small and lose no double precision.
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+/// Per-ticket shared state.  `stage` and `queue_pos` are guarded by the
+/// owner's mutex; the promise is written by whoever performs the
+/// Queued->Resolved transition (worker or cancel()), which the mutex makes
+/// unique; the CancelSource flag is internally atomic and polled lock-free
+/// by the solver.
+struct TicketShared {
+  enum class Stage { Queued, Running, Resolved };
+
+  std::shared_ptr<SchedulerShared> owner;
+  Stage stage = Stage::Queued;
+  core::CancelSource cancel;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::promise<SolveResult> promise;
+  std::string solver;             ///< for failure results minted by cancel()
+  AdmissionQueue::iterator queue_pos;  ///< valid only while Queued
+};
+
 }  // namespace detail
+
+bool Ticket::cancel() noexcept {
+  if (shared_ == nullptr) {
+    return false;  // invalid, or never admitted (QueueClosed fast path)
+  }
+  detail::TicketShared& state = *shared_;
+  std::promise<SolveResult> promise;
+  {
+    const std::lock_guard<std::mutex> lock(state.owner->mutex);
+    switch (state.stage) {
+      case detail::TicketShared::Stage::Queued:
+        // Remove the queued work outright: the slot frees for backpressured
+        // submitters and no worker ever spends a solve on it.
+        state.owner->queue.erase(state.queue_pos);
+        state.stage = detail::TicketShared::Stage::Resolved;
+        promise = std::move(state.promise);
+        break;
+      case detail::TicketShared::Stage::Running:
+        // A worker owns the job: flip the cooperative flag; cancellation-
+        // aware solvers abort at their next node boundary, others finish.
+        state.cancel.request_cancel();
+        return true;
+      case detail::TicketShared::Stage::Resolved:
+        return false;
+    }
+  }
+  state.owner->not_full.notify_one();
+  promise.set_value(SolveResult::failure(
+      state.solver, ErrorCode::Cancelled,
+      "request cancelled while queued; no solve was started"));
+  return true;
+}
 
 Scheduler::Scheduler(const SolverRegistry& registry, Options options)
     : registry_(registry),
       queue_capacity_(options.queue_capacity == 0 ? 1
-                                                  : options.queue_capacity) {
+                                                  : options.queue_capacity),
+      admission_(options.admission),
+      aging_factor_(std::isfinite(options.aging_factor) &&
+                            options.aging_factor >= 0.0
+                        ? options.aging_factor
+                        : Options{}.aging_factor),
+      shared_(std::make_shared<detail::SchedulerShared>()) {
   if (!options.use_cache) {
     cache_ = nullptr;  // an explicit off-switch beats a borrowed cache
   } else if (options.cache != nullptr) {
@@ -176,47 +292,77 @@ Scheduler::~Scheduler() {
   }
 }
 
-Ticket Scheduler::submit(std::string solver, InstanceHandle instance) {
+Ticket Scheduler::submit(std::string solver, InstanceHandle instance,
+                         const SubmitOptions& options) {
   Ticket ticket;
-  std::promise<SolveResult> promise;
-  ticket.future_ = promise.get_future();
+  auto state = std::make_shared<detail::TicketShared>();
+  state->owner = shared_;
+  state->deadline = options.deadline;
+  state->solver = solver;
+  ticket.future_ = state->promise.get_future();
+
   const auto admitted = std::chrono::steady_clock::now();
+  double score = 0.0;
+  if (admission_ == Admission::WeightedPriority) {
+    double weight = options.priority_weight;
+    if (!std::isfinite(weight) || !(weight > 0.0)) {
+      weight = 1.0;  // clamp nonsense weights instead of corrupting ranks
+    }
+    double estimate = registry_.estimated_seconds(
+        solver, instance.valid() ? instance.size() : 0);
+    if (std::isnan(estimate) || estimate < 0.0) {
+      // A broken user cost hint must not poison the rank: NaN scores would
+      // violate the queue comparator's strict weak ordering.  Fall back to
+      // arrival-time rank.  (+inf is fine — it compares consistently and
+      // just parks the request behind everything, aging aside.)
+      estimate = 0.0;
+    }
+    score =
+        std::chrono::duration<double>(admitted - shared_->epoch).count() +
+        aging_factor_ * estimate / weight;
+  }
+
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(shared_->mutex);
     // Backpressure: block while the admission queue is at capacity.
-    not_full_.wait(lock, [this] {
-      return closed_ || queue_.size() < queue_capacity_;
+    shared_->not_full.wait(lock, [this] {
+      return shared_->closed || shared_->queue.size() < queue_capacity_;
     });
-    if (closed_) {
+    if (shared_->closed) {
       lock.unlock();
-      promise.set_value(SolveResult::failure(
+      // Never admitted: resolve immediately, leave id 0 and shared_ null
+      // (cancel() on this ticket is a no-op).
+      state->stage = detail::TicketShared::Stage::Resolved;
+      state->promise.set_value(SolveResult::failure(
           std::move(solver), ErrorCode::QueueClosed,
           "scheduler is closed; request was not admitted"));
-      return ticket;  // never admitted: id stays 0
+      return ticket;
     }
     // Id assigned at the actual enqueue, inside the same critical section,
-    // so ids reflect admission (= FIFO processing) order even when several
-    // submitters were blocked on backpressure.
-    ticket.id_ = ++next_ticket_id_;
-    queue_.push_back(Job{std::move(solver), std::move(instance),
-                         std::move(promise), admitted});
+    // so ids reflect admission order even when several submitters were
+    // blocked on backpressure.
+    ticket.id_ = ++shared_->next_ticket_id;
+    state->queue_pos = shared_->queue.emplace(
+        detail::QueueKey{score, ticket.id_},
+        detail::Job{std::move(solver), std::move(instance), state, admitted});
+    ticket.shared_ = std::move(state);
   }
-  not_empty_.notify_one();
+  shared_->not_empty.notify_one();
   return ticket;
 }
 
 void Scheduler::close() noexcept {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
+    const std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->closed = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  shared_->not_empty.notify_all();
+  shared_->not_full.notify_all();
 }
 
 bool Scheduler::closed() const noexcept {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return closed_;
+  const std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->closed;
 }
 
 CacheStats Scheduler::cache_stats() const {
@@ -224,25 +370,67 @@ CacheStats Scheduler::cache_stats() const {
 }
 
 void Scheduler::worker_loop() {
+  detail::SchedulerShared& shared = *shared_;
   for (;;) {
-    Job job;
+    detail::Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      std::unique_lock<std::mutex> lock(shared.mutex);
+      shared.not_empty.wait(
+          lock, [&shared] { return shared.closed || !shared.queue.empty(); });
+      if (shared.queue.empty()) {
         return;  // closed and drained
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      auto node = shared.queue.extract(shared.queue.begin());
+      job = std::move(node.mapped());
+      job.state->stage = detail::TicketShared::Stage::Running;
     }
-    not_full_.notify_one();
-    SolveResult result =
-        detail::solve_dispatch(registry_, job.solver, job.instance, cache_);
+    shared.not_full.notify_one();
+
+    detail::TicketShared& state = *job.state;
+    SolveResult result;
+    const auto started = std::chrono::steady_clock::now();
+    const double queued_seconds =
+        std::chrono::duration<double>(started - job.admitted).count();
+    if (state.cancel.cancel_requested()) {
+      // cancel() landed in the pop-to-here window: honor it without solving.
+      result = SolveResult::failure(
+          job.solver, ErrorCode::Cancelled,
+          "request cancelled before the solve started");
+    } else if (state.deadline && started >= *state.deadline) {
+      result = SolveResult::failure(
+          job.solver, ErrorCode::DeadlineExceeded,
+          "deadline expired after " + std::to_string(queued_seconds) +
+              "s in the admission queue; no solve was started");
+    } else {
+      SolveContext context;
+      context.cancel = state.deadline
+                           ? state.cancel.token_with_deadline(*state.deadline)
+                           : state.cancel.token();
+      result = detail::solve_dispatch(registry_, job.solver, job.instance,
+                                      cache_, context);
+      // Reclassify only when this request actually carried a deadline — a
+      // context-aware solver may mint Cancelled for its own reasons, which
+      // must not be relabeled as a deadline miss.
+      if (!result.ok() && result.error().code == ErrorCode::Cancelled &&
+          state.deadline && !state.cancel.cancel_requested()) {
+        // The token fired, but nobody called cancel(): it was the deadline.
+        result = SolveResult::failure(
+            job.solver, ErrorCode::DeadlineExceeded,
+            "deadline expired mid-solve: " + result.error().detail);
+      }
+    }
     result.latency_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       job.admitted)
             .count();
-    job.promise.set_value(std::move(result));
+    {
+      // Publish the Resolved stage under the lock so a racing cancel()
+      // either sees Running (flag only, result already decided) or Resolved
+      // (no-op) — never a half-resolved promise.
+      const std::lock_guard<std::mutex> lock(shared.mutex);
+      state.stage = detail::TicketShared::Stage::Resolved;
+    }
+    state.promise.set_value(std::move(result));
   }
 }
 

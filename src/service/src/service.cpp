@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -61,7 +63,9 @@ std::optional<core::Family> family_from_name(const std::string& name) {
 }
 
 // Recursive descent over one stream; `include` re-enters with the included
-// file's own directory so nested relative paths resolve naturally.
+// file's own directory so nested relative paths resolve naturally.  The
+// sticky weight/deadline directives are locals here, which is what scopes
+// them to their own file: an include starts fresh and leaks nothing back.
 bool parse_stream(std::istream& in, const std::string& base_dir,
                   std::size_t depth, std::size_t max_depth, BatchSpec& batch,
                   std::string* error) {
@@ -71,6 +75,8 @@ bool parse_stream(std::istream& in, const std::string& base_dir,
   std::string block_text;
   std::size_t block_start = 0;
   bool in_block = false;
+  double current_weight = 1.0;             // `weight` directive state
+  std::optional<double> current_deadline;  // `deadline` directive state
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -128,12 +134,43 @@ bool parse_stream(std::istream& in, const std::string& base_dir,
     } else if (keyword == "solve") {
       BatchSpec::Request request;
       request.line = line_no;
+      request.priority_weight = current_weight;
+      request.deadline_seconds = current_deadline;
       if (!(fields >> request.solver >> request.instance_name)) {
         set_error(error,
                   at_line(line_no, "'solve' needs <solver> <instance-name>"));
         return false;
       }
       batch.requests.push_back(std::move(request));
+    } else if (keyword == "weight") {
+      double weight = 0.0;
+      if (!(fields >> weight) || !std::isfinite(weight) || !(weight > 0.0)) {
+        set_error(error,
+                  at_line(line_no, "'weight' needs a positive number"));
+        return false;
+      }
+      current_weight = weight;
+    } else if (keyword == "deadline") {
+      std::string text;
+      if (!(fields >> text)) {
+        set_error(error,
+                  at_line(line_no, "'deadline' needs <seconds> or 'none'"));
+        return false;
+      }
+      if (text == "none") {
+        current_deadline.reset();
+      } else {
+        char* end = nullptr;
+        const double seconds = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0' || !std::isfinite(seconds) ||
+            seconds < 0.0) {
+          set_error(error, at_line(line_no,
+                                   "'deadline' needs a non-negative number "
+                                   "of seconds or 'none'"));
+          return false;
+        }
+        current_deadline = seconds;
+      }
     } else if (keyword == "generate") {
       std::string name;
       std::string family_text;
@@ -275,6 +312,8 @@ ServiceReport run_service(const BatchSpec& batch,
     std::size_t index;  ///< into batch.requests
     const std::string* solver;
     const InstanceHandle* instance;
+    double priority_weight;
+    std::optional<double> deadline_seconds;
   };
   std::vector<Resolved> resolved;
   resolved.reserve(batch.requests.size());
@@ -291,7 +330,9 @@ ServiceReport run_service(const BatchSpec& batch,
               std::to_string(request.line) + ")");
       continue;
     }
-    resolved.push_back(Resolved{i, &request.solver, &it->second});
+    resolved.push_back(Resolved{i, &request.solver, &it->second,
+                                request.priority_weight,
+                                request.deadline_seconds});
   }
 
   Scheduler::Options scheduler_options;
@@ -300,6 +341,9 @@ ServiceReport run_service(const BatchSpec& batch,
   scheduler_options.cache_capacity = options.cache_capacity;
   scheduler_options.use_cache =
       options.use_cache && options.cache_capacity > 0;
+  scheduler_options.admission = options.fifo_admission
+                                    ? Scheduler::Admission::Fifo
+                                    : Scheduler::Admission::WeightedPriority;
   Scheduler scheduler(registry, scheduler_options);
 
   const auto start = std::chrono::steady_clock::now();
@@ -320,7 +364,22 @@ ServiceReport run_service(const BatchSpec& batch,
   for (std::size_t round = 0; round < rounds; ++round) {
     tickets.clear();
     for (const Resolved& request : resolved) {
-      tickets.push_back(scheduler.submit(*request.solver, *request.instance));
+      SubmitOptions submit_options;
+      submit_options.priority_weight = request.priority_weight;
+      if (request.deadline_seconds) {
+        // The directive is a latency budget: it starts at this submit, so
+        // every repeat round gets the same budget.  Clamp to ~31 years —
+        // beyond that the double->tick cast would overflow (UB) and turn an
+        // effectively-infinite budget into an instantly-expired one.
+        constexpr double kMaxBudgetSeconds = 1e9;
+        submit_options.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    std::min(*request.deadline_seconds, kMaxBudgetSeconds)));
+      }
+      tickets.push_back(
+          scheduler.submit(*request.solver, *request.instance, submit_options));
     }
     for (std::size_t j = 0; j < tickets.size(); ++j) {
       SolveResult result = tickets[j].get();

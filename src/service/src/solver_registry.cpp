@@ -1,5 +1,6 @@
 #include "malsched/service/solver_registry.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <utility>
@@ -21,6 +22,8 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::ParseError: return "parse-error";
     case ErrorCode::SolverFailure: return "solver-failure";
     case ErrorCode::QueueClosed: return "queue-closed";
+    case ErrorCode::Cancelled: return "cancelled";
+    case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
   }
   return "solver-failure";
 }
@@ -125,12 +128,14 @@ SolveResult solve_order_lp_smith(const core::Instance& instance) {
                    result.schedule.completions());
 }
 
-SolveResult solve_optimal(const core::Instance& instance) {
+SolveResult solve_optimal(const core::Instance& instance,
+                          const SolveContext& context) {
   // Branch-and-bound (PR 3) raised the exact-serving guard from the n <= 9
   // of the pure-enumeration era to OptimalOptions' n <= 15 default; beyond
   // it the typed SizeGuard error stands.
   core::OptimalOptions options;
   options.want_schedule = true;
+  options.cancel = context.cancel;
   if (instance.size() > options.max_tasks) {
     return error_result(ErrorCode::SizeGuard,
                         "optimal solver limited to n <= " +
@@ -138,8 +143,53 @@ SolveResult solve_optimal(const core::Instance& instance) {
                             std::to_string(instance.size()) + ")");
   }
   const auto opt = core::optimal_by_enumeration(instance, options);
+  if (opt.cancelled) {
+    // The Scheduler reclassifies this to DeadlineExceeded when the token
+    // fired on the deadline rather than an explicit Ticket::cancel().
+    return error_result(ErrorCode::Cancelled,
+                        "optimal solve aborted by its cancellation token "
+                        "after trying " +
+                            std::to_string(opt.orders_tried) +
+                            " completion orders");
+  }
   return ok_result(opt.objective, opt.schedule.makespan(),
                    opt.schedule.completions());
+}
+
+// Cost hints for the priority admission queue: estimated solve seconds as a
+// function of n.  Deliberately coarse — admission ordering only needs the
+// magnitudes right (exponential exact search ≫ simplex-backed orders ≫
+// fluid policies), and Scheduler::Options::aging_factor bounds the damage
+// of any misestimate.
+double fluid_policy_cost(std::size_t n) {
+  const auto x = static_cast<double>(n);
+  return 2e-7 * x * x + 2e-5;  // 4n+16 events, O(n) work per event
+}
+
+double simplex_order_cost(std::size_t n) {
+  const auto x = static_cast<double>(n);
+  return 1e-7 * x * x * x + 5e-5;  // one dense order LP, ~O(n^3) pivoting
+}
+
+double greedy_search_cost(std::size_t n) {
+  const auto x = static_cast<double>(n);
+  return 1e-8 * x * x * x * x + 5e-5;  // seeds + local search over schedules
+}
+
+double optimal_cost(std::size_t n) {
+  // Below the crossover: n! order-LP solves.  Above: branch-and-bound —
+  // pruning makes the truth instance-dependent, so charge the n·2^n subset
+  // flavour that tracks the measured n = 8..15 envelope.
+  const auto x = static_cast<double>(n);
+  double lp_count = 1.0;
+  if (n <= 7) {
+    for (std::size_t i = 2; i <= n; ++i) {
+      lp_count *= static_cast<double>(i);
+    }
+  } else {
+    lp_count = x * std::pow(2.0, x);
+  }
+  return 2e-4 * lp_count + 1e-4;
 }
 
 }  // namespace
@@ -147,8 +197,19 @@ SolveResult solve_optimal(const core::Instance& instance) {
 void SolverRegistry::register_solver(std::string name, SolverFn fn,
                                      bool order_invariant,
                                      std::string description, bool cacheable) {
-  solvers_[std::move(name)] = SolverInfo{std::move(fn), order_invariant,
-                                         std::move(description), cacheable};
+  SolverInfo info;
+  info.fn = [plain = std::move(fn)](const core::Instance& instance,
+                                    const SolveContext&) {
+    return plain(instance);  // plain solvers never see the context
+  };
+  info.order_invariant = order_invariant;
+  info.description = std::move(description);
+  info.cacheable = cacheable;
+  register_solver(std::move(name), std::move(info));
+}
+
+void SolverRegistry::register_solver(std::string name, SolverInfo info) {
+  solvers_[std::move(name)] = std::move(info);
 }
 
 bool SolverRegistry::contains(const std::string& name) const {
@@ -171,7 +232,8 @@ std::vector<std::string> SolverRegistry::names() const {
 }
 
 SolveResult SolverRegistry::solve(const std::string& solver,
-                                  const core::Instance& instance) const {
+                                  const core::Instance& instance,
+                                  const SolveContext& context) const {
   const SolverInfo* info = find(solver);
   SolveResult result;
   if (info == nullptr) {
@@ -180,10 +242,22 @@ SolveResult SolverRegistry::solve(const std::string& solver,
   } else if (instance.size() == 0) {
     result = ok_result(0.0, 0.0, {});
   } else {
-    result = info->fn(instance);
+    result = info->fn(instance, context);
   }
   result.solver = solver;
   return result;
+}
+
+double SolverRegistry::estimated_seconds(const std::string& solver,
+                                         std::size_t n) const {
+  const SolverInfo* info = find(solver);
+  if (info != nullptr && info->cost_hint) {
+    return info->cost_hint(n);
+  }
+  // Unhinted/unknown solvers get a mid-pack polynomial default so they are
+  // neither starved behind real work nor allowed to starve it.
+  const auto x = static_cast<double>(n);
+  return 1e-7 * x * x + 1e-4;
 }
 
 SolverRegistry SolverRegistry::with_default_solvers() {
@@ -199,36 +273,58 @@ SolverRegistry SolverRegistry::with_default_solvers() {
     const bool weight_sharing =
         policy->name() == "wdeq" || policy->name() == "wrr";
     std::shared_ptr<const sim::AllocationPolicy> shared = std::move(policy);
-    registry.register_solver(
-        shared->name(),
-        [shared, weight_sharing](const core::Instance& instance) {
-          if (auto rejected =
-                  reject_degenerate_widths(instance, shared->name())) {
-            return *std::move(rejected);
-          }
-          if (weight_sharing) {
-            if (auto rejected =
-                    reject_nonpositive_weights(instance, shared->name())) {
-              return *std::move(rejected);
-            }
-          }
-          return solve_with_policy(*shared, instance);
-        },
-        order_invariant, "fluid-engine policy " + shared->name());
+    SolverInfo info;
+    info.fn = [shared, weight_sharing](const core::Instance& instance,
+                                       const SolveContext&) {
+      if (auto rejected = reject_degenerate_widths(instance, shared->name())) {
+        return *std::move(rejected);
+      }
+      if (weight_sharing) {
+        if (auto rejected =
+                reject_nonpositive_weights(instance, shared->name())) {
+          return *std::move(rejected);
+        }
+      }
+      return solve_with_policy(*shared, instance);
+    };
+    info.order_invariant = order_invariant;
+    info.description = "fluid-engine policy " + shared->name();
+    info.cost_hint = fluid_policy_cost;
+    registry.register_solver(shared->name(), std::move(info));
   }
   // The order-based solvers all tie-break by task id (smith_order uses
   // stable_sort, enumeration returns the first optimal order found), so
   // their completions are not permutation-equivariant: scale-only caching.
-  registry.register_solver("greedy-heuristic", solve_greedy_heuristic, false,
-                           "best greedy order over priority seeds + local search");
-  registry.register_solver("water-fill-smith", solve_water_fill_smith, false,
-                           "Smith-order greedy normalized by Algorithm WF");
-  registry.register_solver("order-lp-smith", solve_order_lp_smith, false,
-                           "Corollary-1 LP on the Smith completion order");
-  registry.register_solver(
-      "optimal", solve_optimal, false,
-      "exact optimum: n! enumeration for tiny n, branch-and-bound over "
-      "completion orders beyond (guard n <= 15)");
+  const auto register_plain = [&registry](const char* name, SolveResult (*fn)(const core::Instance&),
+                                          const char* description,
+                                          CostHintFn cost) {
+    SolverInfo info;
+    info.fn = [fn](const core::Instance& instance, const SolveContext&) {
+      return fn(instance);
+    };
+    info.description = description;
+    info.cost_hint = std::move(cost);
+    registry.register_solver(name, std::move(info));
+  };
+  register_plain("greedy-heuristic", solve_greedy_heuristic,
+                 "best greedy order over priority seeds + local search",
+                 greedy_search_cost);
+  register_plain("water-fill-smith", solve_water_fill_smith,
+                 "Smith-order greedy normalized by Algorithm WF",
+                 simplex_order_cost);
+  register_plain("order-lp-smith", solve_order_lp_smith,
+                 "Corollary-1 LP on the Smith completion order",
+                 simplex_order_cost);
+  {
+    SolverInfo info;
+    info.fn = solve_optimal;
+    info.description =
+        "exact optimum: n! enumeration for tiny n, branch-and-bound over "
+        "completion orders beyond (guard n <= 15)";
+    info.cancellable = true;
+    info.cost_hint = optimal_cost;
+    registry.register_solver("optimal", std::move(info));
+  }
   return registry;
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <stdexcept>
@@ -258,4 +259,69 @@ TEST(Optimal, DelegatesToBranchAndBoundAboveTheCrossover) {
   EXPECT_EQ(viaOptimal.orders_tried, direct.stats.leaves);
   // n! would be 40320; the proof tree is orders of magnitude smaller.
   EXPECT_LT(direct.stats.lp_evaluations, 40320u);
+}
+
+TEST(Cancellation, PreCancelledTokenStopsTheSearchButKeepsASeedIncumbent) {
+  // A token that fired before the DFS even starts: the search must return
+  // immediately with cancelled = true, yet still carry a feasible order —
+  // the incumbent seeds (Smith, greedy, ...) always run.
+  ms::Rng rng(3);
+  mc::GeneratorConfig config;
+  config.family = mc::Family::Uniform;
+  config.num_tasks = 9;
+  config.processors = 4.0;
+  const auto inst = mc::generate(config, rng);
+
+  mc::CancelSource source;
+  source.request_cancel();
+  mc::BnbOptions options;
+  options.cancel = source.token();
+  const auto cancelled = mc::branch_and_bound(inst, options);
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_EQ(cancelled.order.size(), inst.size());
+  EXPECT_EQ(cancelled.stats.leaves, 0u) << "no leaf may be explored";
+
+  // The incumbent is an upper bound on the true optimum.
+  const auto exact = mc::branch_and_bound(inst);
+  EXPECT_FALSE(exact.cancelled);
+  EXPECT_GE(cancelled.objective, exact.objective - 1e-9);
+
+  // Same contract through the optimal_by_enumeration facade, on both sides
+  // of the enumeration crossover.
+  for (const std::size_t n : {std::size_t{6}, std::size_t{9}}) {
+    mc::GeneratorConfig small_config;
+    small_config.family = mc::Family::Uniform;
+    small_config.num_tasks = n;
+    small_config.processors = 2.0;
+    ms::Rng small_rng(7);
+    const auto small_inst = mc::generate(small_config, small_rng);
+    mc::OptimalOptions optimal_options;
+    optimal_options.cancel = source.token();
+    const auto result = mc::optimal_by_enumeration(small_inst, optimal_options);
+    EXPECT_TRUE(result.cancelled) << n;
+  }
+}
+
+TEST(Cancellation, DefaultTokenNeverFires) {
+  const mc::CancelToken token;
+  EXPECT_FALSE(token.can_cancel());
+  EXPECT_FALSE(token.cancelled());
+
+  mc::CancelSource source;
+  EXPECT_FALSE(source.cancel_requested());
+  const auto live = source.token();
+  EXPECT_TRUE(live.can_cancel());
+  EXPECT_FALSE(live.cancelled());
+  source.request_cancel();
+  EXPECT_TRUE(live.cancelled());
+  EXPECT_TRUE(source.cancel_requested());
+
+  // Deadline-only token: fires exactly when the clock passes the deadline.
+  const auto past = mc::CancelToken::with_deadline(
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(past.cancelled());
+  const auto future = mc::CancelToken::with_deadline(
+      std::chrono::steady_clock::now() + std::chrono::hours(1));
+  EXPECT_TRUE(future.can_cancel());
+  EXPECT_FALSE(future.cancelled());
 }

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "malsched/service/scheduler.hpp"
@@ -61,6 +64,47 @@ std::vector<msvc::SolveResult> produce_all_failures() {
     scheduler.close();
     auto ticket =
         scheduler.submit("wdeq", msvc::intern(small_instance()));
+    failures.push_back(ticket.get());
+  }
+
+  // Cancelled: a still-queued request abandoned via Ticket::cancel().  A
+  // latch solver occupies the single worker, so the second request is
+  // guaranteed to be in the admission queue when the cancel lands.
+  {
+    std::atomic<bool> released{false};
+    auto blocking = msvc::SolverRegistry::with_default_solvers();
+    blocking.register_solver(
+        "blocker",
+        [&released](const mc::Instance& inst) {
+          while (!released.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          return msvc::SolveResult::success(
+              "", msvc::SolveOutput{1.0, 1.0,
+                                    std::vector<double>(inst.size(), 1.0)});
+        },
+        /*order_invariant=*/false, "test blocker", /*cacheable=*/false);
+    msvc::Scheduler scheduler(blocking, {.threads = 1});
+    auto holder = scheduler.submit("blocker", msvc::intern(small_instance()));
+    // A vanishing priority weight ranks this request far behind the blocker
+    // under the default priority admission, so the worker is guaranteed to
+    // pop the blocker first and this request is still queued at cancel().
+    auto queued = scheduler.submit("wdeq", msvc::intern(small_instance()),
+                                   {.priority_weight = 1e-9});
+    EXPECT_TRUE(queued.cancel());
+    failures.push_back(queued.get());
+    released.store(true, std::memory_order_release);
+    EXPECT_TRUE(holder.get().ok());
+  }
+
+  // DeadlineExceeded: a deadline that already passed at submission; the
+  // worker resolves it at pop time without starting a solve.
+  {
+    msvc::Scheduler scheduler(registry, {.threads = 1});
+    msvc::SubmitOptions options;
+    options.deadline = std::chrono::steady_clock::now();
+    auto ticket =
+        scheduler.submit("wdeq", msvc::intern(small_instance()), options);
     failures.push_back(ticket.get());
   }
   return failures;

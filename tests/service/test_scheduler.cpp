@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -334,6 +335,287 @@ TEST(Scheduler, HandleExposesCanonicalFingerprint) {
   EXPECT_NE(a.key(), c.key());
   EXPECT_EQ(msvc::InstanceHandle{}.key(), 0u);
   EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Scheduler, CancelQueuedTicketResolvesWithoutConsumingASolve) {
+  // The acceptance-criterion scenario: a queued-then-cancelled request must
+  // resolve Cancelled immediately and no worker may ever spend a solve on
+  // it.  The blocker pins the single worker so "counted" stays queued.
+  std::atomic<bool> released{false};
+  std::atomic<int> solves{0};
+  auto registry = registry_with_blocker(released);
+  registry.register_solver(
+      "counted",
+      [&solves](const mc::Instance& inst) {
+        solves.fetch_add(1, std::memory_order_relaxed);
+        return msvc::SolveResult::success(
+            "", msvc::SolveOutput{0.0, 0.0,
+                                  std::vector<double>(inst.size(), 0.0)});
+      },
+      /*order_invariant=*/false, "solve counter", /*cacheable=*/false);
+  msvc::Scheduler scheduler(registry, {.threads = 1});
+  const auto handle = msvc::intern(small_instance());
+
+  auto holder = scheduler.submit("blocker", handle);
+  auto queued = scheduler.submit("counted", handle);
+  EXPECT_TRUE(queued.cancel());
+  // Resolved by cancel() itself — ready before the worker frees up.
+  EXPECT_TRUE(queued.ready());
+  const auto result = queued.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, msvc::ErrorCode::Cancelled);
+  EXPECT_EQ(result.solver, "counted");
+
+  released.store(true, std::memory_order_release);
+  EXPECT_TRUE(holder.get().ok());
+  EXPECT_EQ(solves.load(), 0) << "cancelled queued work must never solve";
+}
+
+TEST(Scheduler, CancelWhileRunningAbortsACancellableSolve) {
+  // cancel() after a worker picked the job up flips the cooperative flag;
+  // a context-aware solver (registered via SolverInfo, like `optimal`)
+  // observes it at its next poll and returns Cancelled.
+  std::atomic<bool> running{false};
+  auto registry = msvc::SolverRegistry::with_default_solvers();
+  {
+    msvc::SolverRegistry::SolverInfo info;
+    info.fn = [&running](const mc::Instance& inst,
+                         const msvc::SolveContext& context) {
+      running.store(true, std::memory_order_release);
+      while (!context.cancel.cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return msvc::SolveResult::failure(
+          "", msvc::ErrorCode::Cancelled,
+          "aborted by the cancellation token");
+    };
+    info.description = "cancellable latch";
+    info.cacheable = false;
+    info.cancellable = true;
+    registry.register_solver("cancellable", std::move(info));
+  }
+  msvc::Scheduler scheduler(registry, {.threads = 1});
+  auto ticket = scheduler.submit("cancellable", msvc::intern(small_instance()));
+  while (!running.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ticket.cancel());
+  const auto result = ticket.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, msvc::ErrorCode::Cancelled);
+}
+
+TEST(Scheduler, CancelAbortsARealBranchAndBoundSolve) {
+  // End-to-end through the real `optimal` path: an n = 12 branch-and-bound
+  // runs far longer than the cancellation latency (one node, i.e. one LP
+  // push), so a cancel shortly after the solve starts must come back
+  // Cancelled — and promptly.  No wall-clock upper bound is asserted on
+  // the solve itself; only the outcome.
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  msvc::Scheduler::Options options;
+  options.threads = 1;
+  options.use_cache = false;
+  msvc::Scheduler scheduler(registry, options);
+  ms::Rng rng(20120521);
+  mc::GeneratorConfig config;
+  config.num_tasks = 12;
+  config.processors = 4.0;
+  auto ticket =
+      scheduler.submit("optimal", msvc::intern(mc::generate(config, rng)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  (void)ticket.cancel();
+  const auto result = ticket.get();
+  if (!result.ok()) {  // a very fast machine may legitimately finish first
+    EXPECT_EQ(result.error().code, msvc::ErrorCode::Cancelled)
+        << result.error().to_string();
+    // Normally the abort comes from the solve loop itself ("... completion
+    // orders"); on a heavily loaded host the cancel may land while still
+    // queued, which is the other legitimate Cancelled path.
+    const bool from_solver =
+        result.error().detail.find("completion orders") != std::string::npos;
+    const bool from_queue =
+        result.error().detail.find("queued") != std::string::npos;
+    EXPECT_TRUE(from_solver || from_queue) << result.error().detail;
+  }
+}
+
+TEST(Scheduler, CancelRaceStressResolvesEveryTicketExactlyOnce) {
+  // cancel() racing the worker's queued->running->resolved transitions,
+  // many times over: every ticket must resolve exactly once, as either its
+  // real result or Cancelled.  Run under -DMALSCHED_SANITIZE=thread for the
+  // data-race proof.
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  msvc::Scheduler::Options options;
+  options.threads = 2;
+  options.queue_capacity = 8;
+  msvc::Scheduler scheduler(registry, options);
+  const auto handle = msvc::intern(small_instance());
+
+  const int rounds = 64;
+  std::atomic<int> resolved{0};
+  for (int i = 0; i < rounds; ++i) {
+    auto ticket = scheduler.submit(i % 2 == 0 ? "wdeq" : "deq", handle);
+    std::thread canceller([&ticket] { (void)ticket.cancel(); });
+    const auto result = ticket.get();
+    if (result.ok()) {
+      ++resolved;
+    } else {
+      EXPECT_EQ(result.error().code, msvc::ErrorCode::Cancelled);
+      ++resolved;
+    }
+    canceller.join();
+  }
+  EXPECT_EQ(resolved.load(), rounds);
+}
+
+TEST(Scheduler, PriorityAdmissionServesCheapUrgentWorkFirst) {
+  // Deterministic pop-order check: the blocker pins the single worker while
+  // the backlog queues, so the pop order is exactly the rank order.  The
+  // heavy request is admitted *first* but its cost hint dwarfs the light
+  // ones, so weighted-priority admission must reorder — and Fifo must not.
+  for (const bool fifo : {false, true}) {
+    std::atomic<bool> released{false};
+    std::vector<std::string> order;
+    std::mutex order_mutex;
+    auto registry = registry_with_blocker(released);
+    const auto recorder = [&](const char* name, double cost_seconds) {
+      msvc::SolverRegistry::SolverInfo info;
+      info.fn = [&order, &order_mutex, label = std::string(name)](
+                    const mc::Instance& inst, const msvc::SolveContext&) {
+        {
+          const std::lock_guard<std::mutex> lock(order_mutex);
+          order.push_back(label);
+        }
+        return msvc::SolveResult::success(
+            "", msvc::SolveOutput{0.0, 0.0,
+                                  std::vector<double>(inst.size(), 0.0)});
+      };
+      info.description = "pop-order recorder";
+      info.cacheable = false;
+      info.cost_hint = [cost_seconds](std::size_t) { return cost_seconds; };
+      registry.register_solver(name, std::move(info));
+    };
+    recorder("rec-heavy", 100.0);
+    recorder("rec-light", 1e-4);
+
+    msvc::Scheduler::Options options;
+    options.threads = 1;
+    options.admission = fifo ? msvc::Scheduler::Admission::Fifo
+                             : msvc::Scheduler::Admission::WeightedPriority;
+    msvc::Scheduler scheduler(registry, options);
+    const auto handle = msvc::intern(small_instance());
+
+    auto holder = scheduler.submit("blocker", handle);
+    std::vector<msvc::Ticket> tickets;
+    tickets.push_back(scheduler.submit("rec-heavy", handle));
+    for (int i = 0; i < 3; ++i) {
+      tickets.push_back(scheduler.submit("rec-light", handle));
+    }
+    released.store(true, std::memory_order_release);
+    for (auto& ticket : tickets) {
+      EXPECT_TRUE(ticket.get().ok());
+    }
+    EXPECT_TRUE(holder.get().ok());
+
+    ASSERT_EQ(order.size(), 4u);
+    if (fifo) {
+      EXPECT_EQ(order.front(), "rec-heavy") << "Fifo must keep arrival order";
+    } else {
+      EXPECT_EQ(order.back(), "rec-heavy")
+          << "priority admission must serve the cheap requests first";
+    }
+  }
+}
+
+TEST(Scheduler, PriorityWeightOutranksEqualWork) {
+  // Two identical heavy requests, the later one carrying 16x the priority
+  // weight: its aged-work term shrinks 16x, so it must pop first.
+  std::atomic<bool> released{false};
+  std::vector<int> order;
+  std::mutex order_mutex;
+  auto registry = registry_with_blocker(released);
+  {
+    msvc::SolverRegistry::SolverInfo info;
+    info.fn = [&order, &order_mutex](const mc::Instance& inst,
+                                     const msvc::SolveContext&) {
+      {
+        const std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(static_cast<int>(inst.size()));
+      }
+      return msvc::SolveResult::success(
+          "", msvc::SolveOutput{0.0, 0.0,
+                                std::vector<double>(inst.size(), 0.0)});
+    };
+    info.description = "records n as identity";
+    info.cacheable = false;
+    info.cost_hint = [](std::size_t) { return 100.0; };
+    registry.register_solver("rec-n", std::move(info));
+  }
+  msvc::Scheduler scheduler(registry, {.threads = 1});
+
+  auto holder = scheduler.submit("blocker", msvc::intern(small_instance()));
+  // n identifies the request: 2 tasks = low weight, 3 tasks = high weight.
+  auto low = scheduler.submit("rec-n", small_instance(),
+                              {.priority_weight = 1.0});
+  auto high = scheduler.submit(
+      "rec-n",
+      mc::Instance(4.0, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}}),
+      {.priority_weight = 16.0});
+  released.store(true, std::memory_order_release);
+  EXPECT_TRUE(low.get().ok());
+  EXPECT_TRUE(high.get().ok());
+  EXPECT_TRUE(holder.get().ok());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 3) << "the 16x-weight request must be served first";
+}
+
+TEST(Scheduler, DeadlineExpiredWhileQueuedResolvesWithoutSolve) {
+  std::atomic<bool> released{false};
+  std::atomic<int> solves{0};
+  auto registry = registry_with_blocker(released);
+  registry.register_solver(
+      "counted",
+      [&solves](const mc::Instance& inst) {
+        solves.fetch_add(1, std::memory_order_relaxed);
+        return msvc::SolveResult::success(
+            "", msvc::SolveOutput{0.0, 0.0,
+                                  std::vector<double>(inst.size(), 0.0)});
+      },
+      /*order_invariant=*/false, "solve counter", /*cacheable=*/false);
+  msvc::Scheduler scheduler(registry, {.threads = 1});
+  const auto handle = msvc::intern(small_instance());
+
+  auto holder = scheduler.submit("blocker", handle);
+  msvc::SubmitOptions options;
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  auto doomed = scheduler.submit("counted", handle, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  released.store(true, std::memory_order_release);
+
+  const auto result = doomed.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, msvc::ErrorCode::DeadlineExceeded);
+  EXPECT_NE(result.error().detail.find("admission queue"), std::string::npos);
+  EXPECT_TRUE(holder.get().ok());
+  EXPECT_EQ(solves.load(), 0) << "expired queued work must never solve";
+}
+
+TEST(Scheduler, GenerousDeadlineDoesNotPerturbTheResult) {
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  msvc::Scheduler scheduler(registry, {.threads = 1});
+  const auto handle = msvc::intern(small_instance());
+  msvc::SubmitOptions options;
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  auto with_deadline = scheduler.submit("wdeq", handle, options);
+  auto without = scheduler.submit("wdeq", handle);
+  const auto a = with_deadline.get();
+  const auto b = without.get();
+  ASSERT_TRUE(a.ok()) << a.error().to_string();
+  ASSERT_TRUE(b.ok()) << b.error().to_string();
+  EXPECT_EQ(a.objective(), b.objective());
+  EXPECT_EQ(a.completions(), b.completions());
 }
 
 TEST(Scheduler, DestructorDrainsPendingWork) {

@@ -180,6 +180,123 @@ TEST(Service, GenerateErrorsAreDiagnosed) {
   EXPECT_NE(error.find("duplicate instance"), std::string::npos);
 }
 
+TEST(Service, WeightAndDeadlineDirectivesAreStickyPerFile) {
+  std::string error;
+  const auto batch = msvc::parse_batch(
+      "instance a\nprocessors 2\ntask 1 1 1\nend\n"
+      "solve wdeq a\n"            // defaults: weight 1, no deadline
+      "weight 4\n"
+      "deadline 2.5\n"
+      "solve wdeq a\n"            // weight 4, deadline 2.5
+      "solve deq a\n"             // sticky: same
+      "deadline none\n"
+      "weight 0.5\n"
+      "solve wdeq a\n",           // weight 0.5, no deadline
+      &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  ASSERT_EQ(batch->requests.size(), 4u);
+  EXPECT_DOUBLE_EQ(batch->requests[0].priority_weight, 1.0);
+  EXPECT_FALSE(batch->requests[0].deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(batch->requests[1].priority_weight, 4.0);
+  ASSERT_TRUE(batch->requests[1].deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*batch->requests[1].deadline_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(batch->requests[2].priority_weight, 4.0);
+  EXPECT_TRUE(batch->requests[2].deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(batch->requests[3].priority_weight, 0.5);
+  EXPECT_FALSE(batch->requests[3].deadline_seconds.has_value());
+}
+
+TEST(Service, WeightAndDeadlineErrorsAreDiagnosed) {
+  std::string error;
+  EXPECT_FALSE(msvc::parse_batch("weight\nsolve wdeq a\n", &error).has_value());
+  EXPECT_NE(error.find("'weight' needs a positive number"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("weight 0\nsolve wdeq a\n", &error).has_value());
+  EXPECT_NE(error.find("'weight' needs a positive number"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("weight -1\nsolve wdeq a\n", &error).has_value());
+  EXPECT_NE(error.find("'weight' needs a positive number"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("deadline\nsolve wdeq a\n", &error).has_value());
+  EXPECT_NE(error.find("'deadline' needs"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("deadline -2\nsolve wdeq a\n", &error).has_value());
+  EXPECT_NE(error.find("non-negative"), std::string::npos);
+
+  EXPECT_FALSE(
+      msvc::parse_batch("deadline soonish\nsolve wdeq a\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("non-negative"), std::string::npos);
+}
+
+TEST(Service, DirectivesInIncludedFilesDoNotLeakIntoTheIncluder) {
+  const ScratchDir scratch;
+  scratch.write("inner.msb",
+                "instance shared\nprocessors 2\ntask 1 1 1\nend\n"
+                "weight 9\ndeadline 1\n"
+                "solve wdeq shared\n");
+  scratch.write("main.msb",
+                "include inner.msb\n"
+                "solve wdeq shared\n");
+  std::ifstream in(scratch.path() + "/main.msb");
+  std::string error;
+  msvc::BatchReadOptions options;
+  options.base_dir = scratch.path();
+  const auto batch = msvc::read_batch(in, &error, options);
+  ASSERT_TRUE(batch.has_value()) << error;
+  ASSERT_EQ(batch->requests.size(), 2u);
+  // The included file's own request carries its directives...
+  EXPECT_DOUBLE_EQ(batch->requests[0].priority_weight, 9.0);
+  EXPECT_TRUE(batch->requests[0].deadline_seconds.has_value());
+  // ... but the includer's request is untouched.
+  EXPECT_DOUBLE_EQ(batch->requests[1].priority_weight, 1.0);
+  EXPECT_FALSE(batch->requests[1].deadline_seconds.has_value());
+}
+
+TEST(Service, ZeroDeadlineYieldsDeadlineExceededDeterministically) {
+  // `deadline 0` expires at submission: the worker pops an already-expired
+  // request and resolves DeadlineExceeded without solving, on any host.
+  std::string error;
+  const auto batch = msvc::parse_batch(
+      "instance a\nprocessors 2\ntask 1 1 1\nend\n"
+      "solve wdeq a\n"
+      "deadline 0\n"
+      "solve wdeq a\n",
+      &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  const auto report = msvc::run_service(*batch, registry, {});
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_TRUE(report.results[0].ok());
+  ASSERT_FALSE(report.results[1].ok());
+  EXPECT_EQ(report.results[1].error().code,
+            msvc::ErrorCode::DeadlineExceeded);
+  // And the code name survives the output stream.
+  const auto text = msvc::format_results(report);
+  EXPECT_NE(text.find("code=deadline-exceeded"), std::string::npos) << text;
+}
+
+TEST(Service, FifoAdmissionProducesIdenticalResults) {
+  // Admission order changes latency, never results: FIFO vs priority runs
+  // of the same batch emit byte-identical result streams.
+  std::string error;
+  const auto batch = msvc::parse_batch(kBatchText, &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+
+  msvc::ServiceOptions priority;
+  priority.threads = 4;
+  msvc::ServiceOptions fifo = priority;
+  fifo.fifo_admission = true;
+  const auto a = msvc::format_results(msvc::run_service(*batch, registry, priority));
+  const auto b = msvc::format_results(msvc::run_service(*batch, registry, fifo));
+  EXPECT_EQ(a, b);
+}
+
 TEST(Service, IncludeSplicesInstancesAndRequests) {
   const ScratchDir scratch;
   // A space in the file name: the path is the rest of the line, not one
