@@ -1,7 +1,8 @@
 // E-SVC — service layer: batch throughput, cache speedup, determinism,
-// streaming admission, priority admission, and cancellation.
+// streaming admission, priority admission, cancellation, and multi-process
+// sharding.
 //
-// Six claims about malsched::service are measured here:
+// Seven claims about malsched::service are measured here:
 //   1. batch throughput scales with worker threads (requests stream off the
 //      Scheduler's admission queue; speedup is bounded by the host's core
 //      count — a single-core host shows ~1x by construction),
@@ -20,7 +21,13 @@
 //      weighted-shortest-estimated-work queue must come out strictly ahead
 //      — the headline number of the objective-aligned admission work,
 //   6. a queued-then-cancelled `optimal` ticket resolves Cancelled without
-//      ever consuming a worker solve.
+//      ever consuming a worker solve,
+//   7. multi-process sharding (shard::ShardRouter) is output-transparent —
+//      byte-identical results to single-process serving — and scales
+//      throughput with shard count on a cache-miss-heavy workload (like the
+//      thread-scaling claim, the speedup is bounded by the host's core
+//      count; a single-core host shows ~1x by construction, so the scaling
+//      gate arms only on multi-core hosts).  Emitted to BENCH_shard.json.
 
 #include <benchmark/benchmark.h>
 
@@ -29,6 +36,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -36,6 +44,7 @@
 #include "malsched/service/batch.hpp"
 #include "malsched/service/scheduler.hpp"
 #include "malsched/service/service.hpp"
+#include "malsched/shard/router.hpp"
 #include "malsched/support/rng.hpp"
 #include "malsched/support/stats.hpp"
 #include "malsched/support/table.hpp"
@@ -389,6 +398,105 @@ bool run_cancel_check(bench::BenchJson& json) {
   return cancelled_ok;
 }
 
+// --- 7. sharded vs single-process serving on a cache-miss-heavy batch. ---
+//
+// Every request is a *distinct* generated instance solved once, so nothing
+// is served from a cache and the solver cost dominates — the regime where
+// horizontal fan-out across worker processes must pay.  Two gates: the
+// sharded output must be byte-identical to single-process serving (exact
+// hexfloat wire round-trip, the sharding transparency contract), and on a
+// multi-core host throughput with 2 shards must strictly beat 1 shard.
+// Emits BENCH_shard.json.
+//
+// MUST run before anything touches ThreadPool::global() or leaves other
+// threads alive: the router forks, and the fork-without-exec contract
+// requires a single-threaded parent.
+bool run_sharded_vs_single(const service::SolverRegistry& registry,
+                           const bench::BenchConfig& config) {
+  bench::BenchJson json("shard", config);
+  const std::size_t num_requests = bench::scaled(128, config.scale, 64);
+  service::BatchSpec batch;
+  support::Rng rng(config.seed + 29);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const std::string name = "miss-" + std::to_string(i);
+    core::GeneratorConfig generator;
+    generator.family = core::Family::Uniform;
+    generator.num_tasks = 24;  // order LP ~10 ms: solver cost dominates wire
+    generator.processors = 8.0;
+    batch.instances.emplace(name, core::generate(generator, rng));
+    batch.requests.push_back({"order-lp-smith", name, i + 1, 1.0, {}});
+  }
+
+  support::TextTable table({{"mode", support::Align::Left},
+                            {"seconds", support::Align::Right},
+                            {"req/s", support::Align::Right},
+                            {"speedup vs 1 shard", support::Align::Right}});
+  const auto add = [&](const std::string& mode, const std::string& scenario,
+                       double seconds, double base_seconds) {
+    table.add_row({mode, support::fmt_double(seconds),
+                   support::fmt_double(static_cast<double>(num_requests) /
+                                       seconds),
+                   support::fmt_double(base_seconds / seconds)});
+    json.add(scenario, "wall_ns", seconds * 1e9);
+    json.add(scenario, "requests_per_second",
+             static_cast<double>(num_requests) / seconds);
+  };
+
+  std::string single_text;
+  double single_seconds = 0.0;
+  {
+    service::ServiceOptions options;
+    options.threads = 1;
+    const auto report = service::run_service(batch, registry, options);
+    single_seconds = report.wall_seconds;
+    single_text = service::format_results(report);
+  }
+
+  std::string sharded_text;
+  double shard_seconds[3] = {0.0, 0.0, 0.0};
+  const std::size_t shard_counts[3] = {1, 2, 4};
+  for (std::size_t s = 0; s < 3; ++s) {
+    shard::RouterOptions options;
+    options.shards = shard_counts[s];
+    options.worker.threads = 1;
+    shard::ShardRouter router(registry, options);
+    const auto report = router.run(batch);
+    shard_seconds[s] = report.wall_seconds;
+    if (shard_counts[s] == 2) {
+      sharded_text = service::format_results(report);
+    }
+    add("sharded x" + std::to_string(shard_counts[s]),
+        "shards_" + std::to_string(shard_counts[s]), report.wall_seconds,
+        shard_seconds[0]);
+  }
+  add("single-process (1 thread)", "single_process", single_seconds,
+      shard_seconds[0]);
+
+  const bool identical = sharded_text == single_text;
+  const unsigned cores = std::thread::hardware_concurrency();
+  // Router + workers need their own cores for fan-out to pay; on a
+  // single-core host the claim degenerates and only transparency is gated.
+  const bool scaling_armed = cores >= 2;
+  const bool scales = shard_seconds[1] < shard_seconds[0];
+  std::printf("sharded vs single-process (%zu distinct order-lp-smith "
+              "requests, cold caches, %u hardware threads):\n%s",
+              num_requests, cores, table.to_string().c_str());
+  std::printf("sharding transparency: --shards 2 output %s\n",
+              identical ? "IDENTICAL to single-process (byte-for-byte)"
+                        : "DIFFERS (BUG)");
+  std::printf("shard scaling: x2 vs x1 speedup %.2fx — %s\n\n",
+              shard_seconds[0] / shard_seconds[1],
+              !scaling_armed ? "not gated on a single-core host"
+              : scales      ? "FASTER (ok)"
+                            : "NOT FASTER (BUG)");
+  json.add("transparency", "sharded_identical_to_single", identical ? 1 : 0);
+  json.add("scaling", "speedup_2_shards_vs_1", shard_seconds[0] / shard_seconds[1]);
+  json.add("scaling", "speedup_4_shards_vs_1", shard_seconds[0] / shard_seconds[2]);
+  json.add("scaling", "gate_armed", scaling_armed ? 1 : 0);
+  json.write();
+  return identical && (!scaling_armed || scales);
+}
+
 // Returns false when a correctness claim (determinism, streaming admission)
 // fails, so CI's bench-smoke step turns red instead of just printing the
 // mismatch.
@@ -397,6 +505,11 @@ bool run_cancel_check(bench::BenchJson& json) {
                       "batch scheduling service throughput", config);
   bench::BenchJson json("service_throughput", config);
   const auto registry = service::SolverRegistry::with_default_solvers();
+
+  // Sharding forks worker processes, so it goes first — before the global
+  // thread pool (or any other thread) exists in this process.
+  const bool sharded = run_sharded_vs_single(registry, config);
+
   const std::size_t num_requests = bench::scaled(1000, config.scale);
   const auto requests = make_mixed_batch(num_requests, config.seed);
   std::printf("mixed batch: %zu requests over %zu solvers, hardware threads: %u\n\n",
@@ -479,7 +592,7 @@ bool run_cancel_check(bench::BenchJson& json) {
   const bool cancelled = run_cancel_check(json);
   json.add("determinism", "threads_1_vs_8_identical", deterministic ? 1.0 : 0.0);
   json.write();
-  return deterministic && streaming && priority && cancelled;
+  return deterministic && streaming && priority && cancelled && sharded;
 }
 
 void bm_solve_batch(benchmark::State& state) {

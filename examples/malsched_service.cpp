@@ -1,8 +1,10 @@
-// malsched_service: batch scheduling service front door (v2 Scheduler).
+// malsched_service: batch scheduling service front door (v2 Scheduler,
+// optionally sharded across worker processes).
 //
 //   ./examples/malsched_service <batch-file> [--threads N] [--repeat R]
-//                               [--cache-capacity W] [--no-cache]
-//                               [--queue-capacity N] [--fifo]
+//                               [--cache-capacity W] [--cache-ttl S]
+//                               [--no-cache] [--queue-capacity N] [--fifo]
+//                               [--shards N] [--replication R]
 //   ./examples/malsched_service --solvers
 //
 // Batch file format (see malsched/service/service.hpp):
@@ -23,11 +25,19 @@
 //
 // Relative `include` paths resolve against the batch file's directory.
 // Per-request results go to stdout (deterministic: identical bytes for any
-// --threads value; `deadline` budgets are wall-clock dependent by nature);
-// failures carry their typed error code.  Latency/cache telemetry goes to
-// stderr.  --cache-capacity counts weight units (~one per completion time),
-// not entries.  Admission is the weighted-priority queue by default —
+// --threads value AND any --shards value; `deadline` budgets are wall-clock
+// dependent by nature); failures carry their typed error code.
+// Latency/cache telemetry goes to stderr.  --cache-capacity counts weight
+// units (~one per completion time), not entries; --cache-ttl ages entries
+// out at lookup.  Admission is the weighted-priority queue by default —
 // --fifo restores strict arrival order (the A/B the bench measures).
+//
+// --shards N forks N worker processes and partitions the canonical key
+// space across them with consistent hashing (docs/OPERATIONS.md): every
+// worker runs its own Scheduler (--threads each) and its own cache shard.
+// --replication R primes each instance on R ring owners so a worker death
+// mid-run fails over.  The fork happens before any in-process scheduler
+// exists, which is the documented spawning contract.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +48,7 @@
 #include <string>
 
 #include "malsched/service/service.hpp"
+#include "malsched/shard/router.hpp"
 
 using namespace malsched;
 
@@ -46,8 +57,9 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <batch-file> [--threads N] [--repeat R] "
-               "[--cache-capacity W] [--no-cache] [--queue-capacity N] "
-               "[--fifo]\n"
+               "[--cache-capacity W] [--cache-ttl S] [--no-cache] "
+               "[--queue-capacity N] [--fifo] [--shards N] "
+               "[--replication R]\n"
                "       %s --solvers\n",
                prog, prog);
   return 64;
@@ -71,6 +83,8 @@ int main(int argc, char** argv) {
   }
 
   service::ServiceOptions options;
+  std::size_t shards = 0;       // 0 = single-process serving
+  std::size_t replication = 1;  // instance fan-out when sharded
   // Numeric flags are range-checked: a stray "--threads -1" must not wrap
   // to four billion workers.
   const auto parse_count = [](const char* text, long max_value, long* out) {
@@ -99,11 +113,28 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       options.cache_capacity = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--cache-ttl") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const double seconds = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(seconds >= 0.0)) {
+        return usage(argv[0]);
+      }
+      options.cache_ttl_seconds = seconds;
     } else if (std::strcmp(argv[i], "--queue-capacity") == 0 && i + 1 < argc) {
       if (!parse_count(argv[++i], 1000000, &value) || value == 0) {
         return usage(argv[0]);
       }
       options.queue_capacity = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 256, &value)) {
+        return usage(argv[0]);
+      }
+      shards = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 256, &value) || value == 0) {
+        return usage(argv[0]);
+      }
+      replication = static_cast<std::size_t>(value);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.use_cache = false;
     } else if (std::strcmp(argv[i], "--fifo") == 0) {
@@ -128,7 +159,21 @@ int main(int argc, char** argv) {
     return 65;
   }
 
-  const auto report = service::run_service(*batch, registry, options);
+  service::ServiceReport report;
+  if (shards > 0) {
+    // Sharded serving: fork the worker fleet *now*, while this process is
+    // still single-threaded, then stream the batch through the ring.
+    shard::RouterOptions router_options;
+    router_options.shards = shards;
+    router_options.replication = replication;
+    router_options.worker = options;  // same options, served per worker
+    shard::ShardRouter router(registry, router_options);
+    shard::RouterRunOptions run_options;
+    run_options.repeat = options.repeat;
+    report = router.run(*batch, run_options);
+  } else {
+    report = service::run_service(*batch, registry, options);
+  }
   service::write_results(std::cout, report);
   std::cerr << service::format_telemetry(report);
   return 0;

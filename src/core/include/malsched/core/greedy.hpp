@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "malsched/core/cancel.hpp"
 #include "malsched/core/instance.hpp"
 #include "malsched/core/schedule.hpp"
 
@@ -79,13 +80,22 @@ struct BestGreedy {
   std::vector<std::size_t> order;
   double objective = 0.0;
   std::size_t orders_tried = 0;
+  /// True when the search's cancellation token fired; order/objective are
+  /// then the best seen so far, not the search's full answer.
+  bool cancelled = false;
 };
 
 /// Exhaustively searches all n! orders (requires small n; guarded at 10).
-[[nodiscard]] BestGreedy best_greedy_exhaustive(const Instance& instance);
+/// The token is polled every 64 orders, so abort latency is bounded by a
+/// handful of greedy placements.
+[[nodiscard]] BestGreedy best_greedy_exhaustive(const Instance& instance,
+                                                const CancelToken& cancel = {});
 
 /// Cheap heuristic search: tries the classical priority orders (Smith,
 /// height, volume, weight) plus adjacent-swap local search from the best.
-[[nodiscard]] BestGreedy best_greedy_heuristic(const Instance& instance);
+/// The token is polled per candidate order, bounding abort latency at one
+/// greedy evaluation.
+[[nodiscard]] BestGreedy best_greedy_heuristic(const Instance& instance,
+                                               const CancelToken& cancel = {});
 
 }  // namespace malsched::core

@@ -144,13 +144,21 @@ double greedy_objective(const Instance& instance,
   return objective;
 }
 
-BestGreedy best_greedy_exhaustive(const Instance& instance) {
+BestGreedy best_greedy_exhaustive(const Instance& instance,
+                                  const CancelToken& cancel) {
   MALSCHED_EXPECTS_MSG(instance.size() <= 10,
                        "exhaustive greedy is factorial; use <= 10 tasks");
   auto order = identity_order(instance.size());
   BestGreedy best;
   best.objective = std::numeric_limits<double>::infinity();
+  const bool poll_cancel = cancel.can_cancel();
   do {
+    // Every 64 orders amortizes the clock read of deadline tokens while
+    // keeping abort latency to a handful of greedy placements.
+    if (poll_cancel && best.orders_tried % 64 == 0 && cancel.cancelled()) {
+      best.cancelled = true;
+      return best;
+    }
     const double objective = greedy_objective(instance, order);
     ++best.orders_tried;
     if (objective < best.objective) {
@@ -161,11 +169,17 @@ BestGreedy best_greedy_exhaustive(const Instance& instance) {
   return best;
 }
 
-BestGreedy best_greedy_heuristic(const Instance& instance) {
+BestGreedy best_greedy_heuristic(const Instance& instance,
+                                 const CancelToken& cancel) {
   BestGreedy best;
   best.objective = std::numeric_limits<double>::infinity();
+  const bool poll_cancel = cancel.can_cancel();
 
   const auto consider = [&](std::vector<std::size_t> order) {
+    if (best.cancelled || (poll_cancel && cancel.cancelled())) {
+      best.cancelled = true;
+      return;
+    }
     const double objective = greedy_objective(instance, order);
     ++best.orders_tried;
     if (objective < best.objective) {
@@ -182,10 +196,16 @@ BestGreedy best_greedy_heuristic(const Instance& instance) {
   consider(reversed(smith_order(instance)));
 
   // Adjacent-swap local search from the incumbent.
-  bool improved = true;
+  bool improved = !best.cancelled;
   while (improved && instance.size() >= 2) {
     improved = false;
     for (std::size_t k = 0; k + 1 < instance.size(); ++k) {
+      // One poll per candidate swap: abort latency is a single greedy
+      // evaluation.
+      if (poll_cancel && cancel.cancelled()) {
+        best.cancelled = true;
+        return best;
+      }
       auto candidate = best.order;
       std::swap(candidate[k], candidate[k + 1]);
       const double objective = greedy_objective(instance, candidate);

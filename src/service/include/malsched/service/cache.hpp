@@ -14,12 +14,22 @@
 /// 1 + completions.size(), so a memoized n = 500 solve costs ~500x the
 /// budget of an n = 4 one and large instances cannot crowd the cache out of
 /// proportion to their footprint.
+///
+/// Time axis (optional): `CacheOptions::ttl` bounds how long an entry may
+/// serve hits.  Expiry is *lazy* — an expired entry is evicted at the
+/// lookup that finds it (counted as a miss plus an `expired` eviction);
+/// nothing scans the cache in the background, so an idle cache costs
+/// nothing and a full one ages out exactly as fast as traffic touches it.
+/// Entries past their deadline but never looked up again are reclaimed by
+/// ordinary LRU eviction — they are by definition the least recently used.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,10 +50,23 @@ struct CachedSolve {
   return 1 + value.completions.size();
 }
 
+/// Construction knobs of ResultCache (the two-argument constructor remains
+/// for capacity-only callers).
+struct CacheOptions {
+  /// Weight-unit budget across all shards; must be positive.
+  std::size_t capacity = std::size_t{1} << 20;
+  /// Independently locked segments (0 is clamped to 1).
+  std::size_t shards = 8;
+  /// Entries older than this stop serving hits and are evicted lazily at
+  /// lookup; nullopt (the default) keeps entries until LRU eviction.
+  std::optional<std::chrono::duration<double>> ttl;
+};
+
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
+  std::uint64_t evictions = 0;  ///< capacity (LRU) evictions only
+  std::uint64_t expired = 0;    ///< TTL evictions performed at lookup
   std::size_t entries = 0;
   std::size_t weight = 0;    ///< current total weight across shards
   std::size_t capacity = 0;  ///< configured capacity, in weight units
@@ -63,7 +86,9 @@ struct CacheStats {
 /// being uncacheable.
 class ResultCache {
  public:
-  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8)
+      : ResultCache(CacheOptions{capacity, shards, std::nullopt}) {}
+  explicit ResultCache(const CacheOptions& options);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -84,12 +109,15 @@ class ResultCache {
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
+  [[nodiscard]] bool has_ttl() const noexcept { return ttl_.has_value(); }
 
  private:
   struct Entry {
     std::string key;
     std::shared_ptr<const CachedSolve> value;
     std::size_t weight = 0;
+    /// Expiry deadline; meaningful only when the cache has a TTL.
+    std::chrono::steady_clock::time_point expires{};
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -103,9 +131,11 @@ class ResultCache {
   std::vector<Shard> shards_;
   std::size_t per_shard_capacity_;
   std::size_t capacity_;
+  std::optional<std::chrono::steady_clock::duration> ttl_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> expired_{0};
 };
 
 }  // namespace malsched::service

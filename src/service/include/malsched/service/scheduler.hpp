@@ -250,6 +250,10 @@ class Scheduler {
     /// Weight budget of the owned cache (see cache.hpp; ~1 unit per
     /// completion time, so the default bounds it near 8 MB of doubles).
     std::size_t cache_capacity = std::size_t{1} << 20;
+    /// Optional TTL of the owned cache, in seconds: entries older than this
+    /// stop serving hits and are evicted lazily at lookup (cache.hpp).
+    /// Ignored for a borrowed `cache` — its owner configured it.
+    std::optional<double> cache_ttl_seconds;
     /// False disables memoization entirely, even when `cache` is set.
     bool use_cache = true;
     /// Queue discipline; WeightedPriority mirrors the paper's objective at

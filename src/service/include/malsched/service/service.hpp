@@ -94,6 +94,9 @@ struct ServiceOptions {
   /// 0 disables the cache, same as use_cache = false.
   std::size_t cache_capacity = std::size_t{1} << 20;
   bool use_cache = true;
+  /// Optional cache TTL in seconds (lazy expiry at lookup, see cache.hpp);
+  /// unset keeps entries until LRU eviction.
+  std::optional<double> cache_ttl_seconds;
   /// Rounds over the batch (> 1 exercises the warm cache); results are from
   /// the last round, latencies accumulate across all rounds.
   std::size_t repeat = 1;
@@ -104,6 +107,22 @@ struct ServiceOptions {
   /// weighted mean response time on backlogged mixed-duration batches.
   bool fifo_admission = false;
 };
+
+/// Deadline budgets are clamped to ~31 years before the seconds→tick cast:
+/// beyond that the cast would overflow (UB) and turn an effectively-infinite
+/// budget into an instantly-expired one.  Shared by every surface that turns
+/// a `deadline <seconds>` directive into a time point (run_service, the
+/// shard workers).
+inline constexpr double kMaxDeadlineBudgetSeconds = 1e9;
+
+/// The one mapping from batch-level ServiceOptions to the Scheduler's own
+/// options (cache sizing/TTL, admission mode, queue bound).  run_service
+/// and the shard workers both serve through this, so the two serving modes
+/// cannot drift apart option by option — which would silently break the
+/// byte-identical sharded-output contract.  `repeat` is not a scheduler
+/// concern and is ignored here (rounds are driven by the caller).
+[[nodiscard]] Scheduler::Options make_scheduler_options(
+    const ServiceOptions& options);
 
 struct ServiceReport {
   std::vector<SolveResult> results;  ///< request order

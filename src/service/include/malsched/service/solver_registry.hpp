@@ -62,6 +62,15 @@ inline constexpr ErrorCode kAllErrorCodes[] = {
 [[nodiscard]] std::optional<ErrorCode> parse_error_code(
     std::string_view name) noexcept;
 
+/// Escapes free text (quotes, backslashes, newlines) for embedding in the
+/// one-line-per-request result stream (`message="..."`).  The human output
+/// of write_results and the shard wire protocol are deliberately one
+/// dialect, so both must share this single implementation — diverging
+/// escape rules would break the byte-identical sharded-output contract.
+[[nodiscard]] std::string escape_result_text(const std::string& text);
+/// Inverse of escape_result_text.
+[[nodiscard]] std::string unescape_result_text(const std::string& text);
+
 /// Typed failure: a class plus a human-readable detail message.
 struct SolveError {
   ErrorCode code = ErrorCode::SolverFailure;

@@ -1,5 +1,6 @@
 #include "malsched/service/cache.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -7,11 +8,29 @@
 
 namespace malsched::service {
 
-ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
-    : shards_(shards == 0 ? 1 : shards),
-      per_shard_capacity_((capacity + shards_.size() - 1) / shards_.size()),
-      capacity_(capacity) {
-  MALSCHED_EXPECTS_MSG(capacity > 0, "cache capacity must be positive");
+ResultCache::ResultCache(const CacheOptions& options)
+    : shards_(options.shards == 0 ? 1 : options.shards),
+      per_shard_capacity_((options.capacity + shards_.size() - 1) /
+                          shards_.size()),
+      capacity_(options.capacity) {
+  MALSCHED_EXPECTS_MSG(options.capacity > 0,
+                       "cache capacity must be positive");
+  if (options.ttl) {
+    MALSCHED_EXPECTS_MSG(options.ttl->count() >= 0.0,
+                         "cache ttl must be non-negative");
+    // Clamp before the cast: a huge TTL ("effectively never expire") must
+    // not overflow the integer tick count into a negative duration that
+    // would expire everything instantly.  Half of the representable range
+    // also keeps `now + ttl` in put() overflow-free.
+    const double max_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::duration::max())
+            .count() /
+        2.0;
+    ttl_ = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(
+            std::min(options.ttl->count(), max_seconds)));
+  }
 }
 
 ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
@@ -26,6 +45,16 @@ std::shared_ptr<const CachedSolve> ResultCache::get(const std::string& key) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
+  if (ttl_ && std::chrono::steady_clock::now() >= it->second->expires) {
+    // Lazy TTL eviction: the lookup that finds a stale entry reclaims it
+    // and reports a miss, so the caller re-solves and re-fills.
+    shard.weight -= it->second->weight;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   hits_.fetch_add(1, std::memory_order_relaxed);
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->value;
@@ -34,6 +63,8 @@ std::shared_ptr<const CachedSolve> ResultCache::get(const std::string& key) {
 void ResultCache::put(const std::string& key, CachedSolve value) {
   const std::size_t weight = entry_weight(value);
   auto shared = std::make_shared<const CachedSolve>(std::move(value));
+  const auto expires = ttl_ ? std::chrono::steady_clock::now() + *ttl_
+                            : std::chrono::steady_clock::time_point{};
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
@@ -41,10 +72,11 @@ void ResultCache::put(const std::string& key, CachedSolve value) {
     shard.weight -= it->second->weight;
     it->second->value = std::move(shared);
     it->second->weight = weight;
+    it->second->expires = expires;
     shard.weight += weight;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{key, std::move(shared), weight});
+    shard.lru.push_front(Entry{key, std::move(shared), weight, expires});
     shard.index.emplace(key, shard.lru.begin());
     shard.weight += weight;
   }
@@ -64,6 +96,7 @@ CacheStats ResultCache::stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
   stats.capacity = capacity_;
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);

@@ -269,7 +269,13 @@ Scheduler::Scheduler(const SolverRegistry& registry, Options options)
   } else if (options.cache != nullptr) {
     cache_ = options.cache;
   } else if (options.cache_capacity > 0) {
-    owned_cache_ = std::make_unique<ResultCache>(options.cache_capacity);
+    CacheOptions cache_options;
+    cache_options.capacity = options.cache_capacity;
+    if (options.cache_ttl_seconds) {
+      cache_options.ttl =
+          std::chrono::duration<double>(*options.cache_ttl_seconds);
+    }
+    owned_cache_ = std::make_unique<ResultCache>(cache_options);
     cache_ = owned_cache_.get();
   }
   unsigned threads = options.threads;

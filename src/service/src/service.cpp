@@ -295,6 +295,20 @@ std::optional<BatchSpec> parse_batch(const std::string& text,
   return read_batch(in, error, options);
 }
 
+Scheduler::Options make_scheduler_options(const ServiceOptions& options) {
+  Scheduler::Options scheduler_options;
+  scheduler_options.threads = options.threads;
+  scheduler_options.queue_capacity = options.queue_capacity;
+  scheduler_options.cache_capacity = options.cache_capacity;
+  scheduler_options.cache_ttl_seconds = options.cache_ttl_seconds;
+  scheduler_options.use_cache =
+      options.use_cache && options.cache_capacity > 0;
+  scheduler_options.admission = options.fifo_admission
+                                    ? Scheduler::Admission::Fifo
+                                    : Scheduler::Admission::WeightedPriority;
+  return scheduler_options;
+}
+
 ServiceReport run_service(const BatchSpec& batch,
                           const SolverRegistry& registry,
                           const ServiceOptions& options) {
@@ -335,16 +349,7 @@ ServiceReport run_service(const BatchSpec& batch,
                                 request.deadline_seconds});
   }
 
-  Scheduler::Options scheduler_options;
-  scheduler_options.threads = options.threads;
-  scheduler_options.queue_capacity = options.queue_capacity;
-  scheduler_options.cache_capacity = options.cache_capacity;
-  scheduler_options.use_cache =
-      options.use_cache && options.cache_capacity > 0;
-  scheduler_options.admission = options.fifo_admission
-                                    ? Scheduler::Admission::Fifo
-                                    : Scheduler::Admission::WeightedPriority;
-  Scheduler scheduler(registry, scheduler_options);
+  Scheduler scheduler(registry, make_scheduler_options(options));
 
   const auto start = std::chrono::steady_clock::now();
   const std::size_t rounds = options.repeat == 0 ? 1 : options.repeat;
@@ -368,15 +373,13 @@ ServiceReport run_service(const BatchSpec& batch,
       submit_options.priority_weight = request.priority_weight;
       if (request.deadline_seconds) {
         // The directive is a latency budget: it starts at this submit, so
-        // every repeat round gets the same budget.  Clamp to ~31 years —
-        // beyond that the double->tick cast would overflow (UB) and turn an
-        // effectively-infinite budget into an instantly-expired one.
-        constexpr double kMaxBudgetSeconds = 1e9;
+        // every repeat round gets the same budget.
         submit_options.deadline =
             std::chrono::steady_clock::now() +
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(
-                    std::min(*request.deadline_seconds, kMaxBudgetSeconds)));
+                    std::min(*request.deadline_seconds,
+                             kMaxDeadlineBudgetSeconds)));
       }
       tickets.push_back(
           scheduler.submit(*request.solver, *request.instance, submit_options));
@@ -399,36 +402,18 @@ ServiceReport run_service(const BatchSpec& batch,
   return report;
 }
 
-namespace {
-
-// Error messages embed client-controlled text (solver/instance names from
-// the batch file); escape so the one-line-per-request stream stays parseable.
-std::string escape_quoted(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': escaped += "\\\""; break;
-      case '\\': escaped += "\\\\"; break;
-      case '\n': escaped += "\\n"; break;
-      case '\r': escaped += "\\r"; break;
-      default: escaped += c; break;
-    }
-  }
-  return escaped;
-}
-
-}  // namespace
-
 void write_results(std::ostream& out, const ServiceReport& report) {
+  // Error messages embed client-controlled text (solver/instance names from
+  // the batch file); escape so the one-line-per-request stream stays
+  // parseable (escape_result_text is shared with the shard wire protocol).
   std::ostringstream line;
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     const SolveResult& r = report.results[i];
     line.str("");
-    line << "request " << i << " solver=" << escape_quoted(r.solver);
+    line << "request " << i << " solver=" << escape_result_text(r.solver);
     if (!r.ok()) {
       line << " status=error code=" << error_code_name(r.error().code)
-           << " message=\"" << escape_quoted(r.error().detail) << "\"";
+           << " message=\"" << escape_result_text(r.error().detail) << "\"";
     } else {
       line.precision(12);
       line << " status=ok objective=" << r.objective()
@@ -474,6 +459,7 @@ std::string format_telemetry(const ServiceReport& report) {
     out << "cache         : hits=" << report.cache.hits
         << " misses=" << report.cache.misses
         << " evictions=" << report.cache.evictions
+        << " expired=" << report.cache.expired
         << " entries=" << report.cache.entries
         << " weight=" << report.cache.weight << "/" << report.cache.capacity
         << " hit_rate=" << report.cache.hit_rate() << "\n";

@@ -41,6 +41,39 @@ std::string SolveError::to_string() const {
   return std::string(error_code_name(code)) + ": " + detail;
 }
 
+std::string escape_result_text(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      default: escaped += c; break;
+    }
+  }
+  return escaped;
+}
+
+std::string unescape_result_text(const std::string& text) {
+  std::string plain;
+  plain.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      plain += text[i];
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 'n': plain += '\n'; break;
+      case 'r': plain += '\r'; break;
+      default: plain += text[i]; break;  // covers \" and backslash
+    }
+  }
+  return plain;
+}
+
 namespace {
 
 SolveResult ok_result(double objective, double makespan,
@@ -54,8 +87,20 @@ SolveResult error_result(ErrorCode code, std::string message) {
 }
 
 SolveResult solve_with_policy(const sim::AllocationPolicy& policy,
-                              const core::Instance& instance) {
-  const auto run = sim::run_policy(instance, policy);
+                              const core::Instance& instance,
+                              const SolveContext& context) {
+  sim::EngineOptions engine_options;
+  engine_options.cancel = context.cancel;
+  const auto run = sim::run_policy(instance, policy, engine_options);
+  if (run.cancelled) {
+    // A partial fluid trace is not an answer; surface the abort typed.  The
+    // Scheduler reclassifies it to DeadlineExceeded when the deadline (not
+    // an explicit cancel) fired the token.
+    return error_result(ErrorCode::Cancelled,
+                        "fluid engine aborted by its cancellation token "
+                        "after " +
+                            std::to_string(run.events) + " events");
+  }
   return ok_result(run.weighted_completion, run.schedule.makespan(),
                    run.completions);
 }
@@ -98,8 +143,15 @@ std::optional<SolveResult> reject_degenerate_widths(
   return std::nullopt;
 }
 
-SolveResult solve_greedy_heuristic(const core::Instance& instance) {
-  const auto best = core::best_greedy_heuristic(instance);
+SolveResult solve_greedy_heuristic(const core::Instance& instance,
+                                   const SolveContext& context) {
+  const auto best = core::best_greedy_heuristic(instance, context.cancel);
+  if (best.cancelled) {
+    return error_result(ErrorCode::Cancelled,
+                        "greedy order search aborted by its cancellation "
+                        "token after trying " +
+                            std::to_string(best.orders_tried) + " orders");
+  }
   const auto schedule = core::greedy_schedule(instance, best.order);
   return ok_result(best.objective, schedule.makespan(),
                    schedule.completions());
@@ -275,7 +327,7 @@ SolverRegistry SolverRegistry::with_default_solvers() {
     std::shared_ptr<const sim::AllocationPolicy> shared = std::move(policy);
     SolverInfo info;
     info.fn = [shared, weight_sharing](const core::Instance& instance,
-                                       const SolveContext&) {
+                                       const SolveContext& context) {
       if (auto rejected = reject_degenerate_widths(instance, shared->name())) {
         return *std::move(rejected);
       }
@@ -285,10 +337,11 @@ SolverRegistry SolverRegistry::with_default_solvers() {
           return *std::move(rejected);
         }
       }
-      return solve_with_policy(*shared, instance);
+      return solve_with_policy(*shared, instance, context);
     };
     info.order_invariant = order_invariant;
     info.description = "fluid-engine policy " + shared->name();
+    info.cancellable = true;  // the engine polls the token once per event
     info.cost_hint = fluid_policy_cost;
     registry.register_solver(shared->name(), std::move(info));
   }
@@ -306,9 +359,14 @@ SolverRegistry SolverRegistry::with_default_solvers() {
     info.cost_hint = std::move(cost);
     registry.register_solver(name, std::move(info));
   };
-  register_plain("greedy-heuristic", solve_greedy_heuristic,
-                 "best greedy order over priority seeds + local search",
-                 greedy_search_cost);
+  {
+    SolverInfo info;
+    info.fn = solve_greedy_heuristic;
+    info.description = "best greedy order over priority seeds + local search";
+    info.cancellable = true;  // the order search polls per candidate
+    info.cost_hint = greedy_search_cost;
+    registry.register_solver("greedy-heuristic", std::move(info));
+  }
   register_plain("water-fill-smith", solve_water_fill_smith,
                  "Smith-order greedy normalized by Algorithm WF",
                  simplex_order_cost);

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file hash_ring.hpp
+/// Consistent-hash ring over the canonical key space, the placement function
+/// of multi-process sharded serving.
+///
+/// Keys are the 64-bit canonical-form fingerprints exposed as
+/// `InstanceHandle::key()` (canonical.hpp): two instances in the same
+/// scale/permutation equivalence class hash to the same key, so every
+/// request on equivalent work lands on the same worker — its result cache
+/// shard serves the whole equivalence class, and cache hit rate scales with
+/// the ring instead of being duplicated per process.
+///
+/// Each node (worker process) is planted at `vnodes` pseudo-random points on
+/// the 2^64 circle (virtual nodes); a key is owned by the first node point
+/// at or clockwise after it.  Virtual nodes trade lookup-table size for load
+/// uniformity: with v points per node the heaviest node carries
+/// ~1 + O(sqrt(log n / v)) of the mean load.  The defining property is
+/// *minimal movement*: adding or removing one node relocates only the keys
+/// in the arcs adjacent to that node's points — ~1/(n+1) of the key space —
+/// while every other key keeps its owner, so a worker restart invalidates
+/// one cache shard, not all of them.  tests/shard/test_hash_ring.cpp pins
+/// both properties.
+///
+/// Not thread-safe: the router mutates the ring only from its own thread
+/// (worker death / restart) and lookups happen on the same thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace malsched::shard {
+
+class HashRing {
+ public:
+  /// `vnodes` is the default virtual-node count of add_node; 64 keeps the
+  /// max/mean load imbalance under ~30% for small rings (see the
+  /// distribution test) at a few KB of table per node.
+  explicit HashRing(std::size_t vnodes = 64);
+
+  /// Plants `node` on the ring (`vnodes` = 0 uses the ring default).
+  /// Re-adding an existing node is a no-op.
+  void add_node(std::uint32_t node, std::size_t vnodes = 0);
+
+  /// Removes every point of `node`; false when the node was not present.
+  /// Only keys in the removed arcs change owner (minimal movement).
+  bool remove_node(std::uint32_t node);
+
+  [[nodiscard]] bool contains(std::uint32_t node) const;
+  [[nodiscard]] std::size_t node_count() const { return vnode_counts_.size(); }
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+  /// Nodes currently on the ring, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> nodes() const;
+
+  /// The node owning `key`: first point at or clockwise after the key,
+  /// wrapping at 2^64.  The ring must be non-empty.
+  [[nodiscard]] std::uint32_t owner(std::uint64_t key) const;
+
+  /// The first min(replicas, node_count) *distinct* nodes clockwise from
+  /// `key`, primary first — the natural replica set for instance fan-out
+  /// (the router primes an instance on all of them so a dead primary fails
+  /// over without re-priming).
+  [[nodiscard]] std::vector<std::uint32_t> owners(std::uint64_t key,
+                                                  std::size_t replicas) const;
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t node;
+
+    bool operator<(const Point& other) const {
+      return position != other.position ? position < other.position
+                                        : node < other.node;
+    }
+  };
+
+  std::vector<Point> points_;  ///< sorted by (position, node)
+  std::map<std::uint32_t, std::size_t> vnode_counts_;
+  std::size_t default_vnodes_;
+};
+
+}  // namespace malsched::shard

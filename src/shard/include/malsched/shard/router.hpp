@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file router.hpp
+/// Multi-process sharded serving: a ShardRouter partitions the canonical
+/// key space across forked worker processes via the consistent-hash ring
+/// (hash_ring.hpp) and speaks the batch-file grammar on the front.
+///
+/// Why processes: a single Scheduler already scales across threads, but its
+/// result cache is one address space — N independent services would each
+/// re-solve the same canonical instances.  Sharding routes every request on
+/// the *same equivalence class* (`InstanceHandle::key()`) to the same
+/// worker, so the fleet's aggregate cache is the union of disjoint shards:
+/// hit rate scales with the ring instead of being duplicated per process,
+/// and a worker crash costs one arc of the key space, not the service.
+///
+/// Topology and flow:
+///
+///     batch file ──▶ ShardRouter ──ring──▶ worker 0 (Scheduler + cache)
+///                        │                 worker 1 (Scheduler + cache)
+///                        └──── socketpair per worker, wire.hpp frames ───┘
+///
+/// `run` mirrors `service::run_service`: it primes each named instance on
+/// its ring owners (all `replication` of them), streams `solve` frames to
+/// the primary owner with a bounded in-flight window per worker, and
+/// matches `result` frames back into request order.  Results are
+/// bit-identical to single-process serving — instance bytes and result
+/// doubles cross the wire as exact hexfloats, and each result depends only
+/// on its own (solver, instance) pair.
+///
+/// Failure semantics: a worker that dies mid-run (crash, kill -9) fails its
+/// in-flight requests with a typed `SolverFailure` (a solve may or may not
+/// have happened — at-most-once, never retried blindly) and is removed from
+/// the ring; requests not yet sent fail over to the next alive replica
+/// owner when `replication > 1` (the instance is already primed there) and
+/// fail with `SolverFailure` otherwise.  `restart` re-forks the worker and
+/// replants its ring points — by the minimal-movement property only its own
+/// arcs move back, so the other workers' caches stay warm.
+///
+/// Spawning uses fork() without exec: call the constructor before creating
+/// any in-process Scheduler (or other threads), exactly like the example
+/// CLI does — the forked child runs `run_worker` and `_exit`s, never
+/// touching the parent's stdio.  The router itself is single-threaded and
+/// not thread-safe.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "malsched/service/service.hpp"
+#include "malsched/service/solver_registry.hpp"
+#include "malsched/shard/hash_ring.hpp"
+#include "malsched/shard/worker.hpp"
+
+namespace malsched::shard {
+
+struct RouterOptions {
+  /// Worker processes to fork.  Each owns a disjoint arc of the canonical
+  /// key space (and the cache shard for it).
+  std::size_t shards = 2;
+  /// Virtual nodes per worker on the hash ring (see hash_ring.hpp).
+  std::size_t vnodes = 64;
+  /// Distinct ring owners each instance is primed on.  1 = no failover;
+  /// r > 1 lets pending requests re-route when their primary dies mid-run.
+  std::size_t replication = 1;
+  /// Scheduler/cache configuration of every worker process.
+  WorkerOptions worker;
+  /// Max in-flight requests per worker (clamped to the worker's queue
+  /// capacity so its reader thread never blocks on admission backpressure —
+  /// the invariant that keeps the socket pair deadlock-free).
+  std::size_t window = 64;
+};
+
+struct RouterRunOptions {
+  /// Rounds over the batch; results come from the last round, latencies
+  /// accumulate (mirrors ServiceOptions::repeat).
+  std::size_t repeat = 1;
+};
+
+class ShardRouter {
+ public:
+  /// Forks the worker fleet.  The registry must outlive the router; it is
+  /// also the registry each forked worker serves with.
+  ShardRouter(const service::SolverRegistry& registry,
+              RouterOptions options = {});
+  /// Closes every worker socket (EOF = drain: admitted jobs finish) and
+  /// reaps the children.
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Streams every request of the batch through the worker fleet.  The
+  /// returned report has the shape run_service produces: results in request
+  /// order, router-observed latencies (send-to-result, wire included), and
+  /// cache stats aggregated across workers.
+  [[nodiscard]] service::ServiceReport run(
+      const service::BatchSpec& batch, const RouterRunOptions& options = {});
+
+  [[nodiscard]] std::size_t shard_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] bool alive(std::size_t worker) const;
+
+  /// Liveness probe: ping/pong round-trip.  Answered by the worker's reader
+  /// thread, so it succeeds even while every scheduler thread is pinned by
+  /// a long solve.  Marks the worker dead (and rebalances the ring) on
+  /// timeout or a dead socket.  Call between runs, not during one.
+  [[nodiscard]] bool ping(
+      std::size_t worker,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+  /// Graceful drain: the worker finishes and delivers everything submitted
+  /// so far and acknowledges; it stays alive and keeps serving.  False on
+  /// timeout or a dead worker.
+  [[nodiscard]] bool drain(
+      std::size_t worker,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(60000));
+
+  /// Hard-kills the worker process (SIGKILL) and removes it from the ring.
+  /// The operator's "shoot the wedged worker" button, and the fault the
+  /// router tests inject.
+  void kill(std::size_t worker);
+
+  /// Respawns a (dead or alive) worker and replants its ring points; an
+  /// alive worker is drained first (best effort).  Its cache restarts cold
+  /// — only its own arcs of the key space re-warm, everyone else's entries
+  /// are untouched (minimal movement).  False when the fork failed.
+  [[nodiscard]] bool restart(std::size_t worker);
+
+  /// Ring lookup for a canonical key (primary owner), exposed for tests and
+  /// operational tooling.  Requires at least one alive worker.
+  [[nodiscard]] std::uint32_t owner_of(std::uint64_t key) const {
+    return ring_.owner(key);
+  }
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+
+  /// Worker process id (-1 when dead), for operational tooling and the
+  /// fault-injection tests that SIGKILL a worker behind the router's back.
+  [[nodiscard]] pid_t pid_of(std::size_t worker) const {
+    return worker < workers_.size() ? workers_[worker].pid : -1;
+  }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    bool alive = false;
+  };
+
+  bool spawn(std::size_t index);
+  void mark_dead(std::size_t index);
+  /// Reads one frame with a poll timeout; false on timeout/death.
+  bool read_frame_from(std::size_t index, std::string* payload,
+                       std::chrono::milliseconds timeout);
+
+  const service::SolverRegistry& registry_;
+  RouterOptions options_;
+  HashRing ring_;
+  std::vector<Worker> workers_;
+  std::uint64_t next_wire_id_ = 0;
+};
+
+}  // namespace malsched::shard

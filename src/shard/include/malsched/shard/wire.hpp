@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file wire.hpp
+/// Length-prefixed wire protocol between the ShardRouter and its worker
+/// processes.
+///
+/// Frame layout (everything on the wire is a frame):
+///
+///     ┌────────────────────┬──────────────────────────┐
+///     │ length: u32 LE     │ payload: `length` bytes  │
+///     └────────────────────┴──────────────────────────┘
+///
+/// Payloads are line-oriented text whose first token names the message type
+/// — deliberately the same key=value grammar `write_results` emits, so the
+/// human batch-output format and the wire format stay one dialect and
+/// `parse_error_code` / `error_code_name` serve both.  Messages:
+///
+///   router → worker
+///     instance <name>\n<P hexfloat> <n>\n<V δ w hexfloat per line>
+///     solve <id> <priority-weight hex> <deadline-seconds hex | -> <solver> <name>
+///     ping <seq>
+///     stats
+///     drain
+///
+///   worker → router
+///     result <id> solver=<text> status=ok objective=<hex> makespan=<hex>
+///            cache_hit=<0|1> latency=<hex>\n<completions, hexfloat per line>
+///     result <id> solver=<text> status=error code=<error-code-name>
+///            message="<escaped>" latency=<hex>
+///     pong <seq>
+///     stats hits=.. misses=.. evictions=.. expired=.. entries=.. weight=..
+///           capacity=..
+///     drained <results-delivered>
+///
+/// Numeric payload fields are hexadecimal floats (`%a` / strtod), so doubles
+/// round-trip bit-exactly across the process boundary — the sharded-vs-
+/// single bit-identical-output contract depends on it (12-digit decimal,
+/// which the human result stream uses, does not round-trip).  `SolveError`
+/// codes travel as their stable kebab-case names, so Cancelled /
+/// DeadlineExceeded and friends mean the same thing on both sides of the
+/// pipe.
+///
+/// The frame reader enforces a maximum payload size so a corrupted length
+/// prefix fails the connection instead of a 4 GiB allocation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/service/cache.hpp"
+#include "malsched/service/solver_registry.hpp"
+
+namespace malsched::shard::wire {
+
+/// Largest accepted frame payload.  Instances dominate frame size at ~60
+/// bytes per task; 256 MiB covers ~10^6-task instances with an order of
+/// magnitude to spare.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+/// Blocking frame I/O on a socket fd (MSG_NOSIGNAL — a dead peer surfaces
+/// as an error return, never SIGPIPE).  read_frame returns false on EOF or
+/// error; write_frame returns false when the peer is gone.
+[[nodiscard]] bool write_frame(int fd, const std::string& payload);
+[[nodiscard]] bool read_frame(int fd, std::string* payload);
+
+/// --- message encoding (pure string builders / parsers) ---
+
+/// `instance` message: name plus the bit-exact hexfloat serialization.
+[[nodiscard]] std::string encode_instance(const std::string& name,
+                                          const core::Instance& instance);
+struct InstanceMessage {
+  std::string name;
+  std::optional<core::Instance> instance;
+};
+[[nodiscard]] std::optional<InstanceMessage> decode_instance(
+    const std::string& payload);
+
+struct SolveMessage {
+  std::uint64_t id = 0;
+  double priority_weight = 1.0;
+  /// Latency budget in seconds from worker-side admission; unset = none.
+  std::optional<double> deadline_seconds;
+  std::string solver;
+  std::string instance_name;
+};
+[[nodiscard]] std::string encode_solve(const SolveMessage& message);
+[[nodiscard]] std::optional<SolveMessage> decode_solve(
+    const std::string& payload);
+
+/// `result` message: the full SolveResult, bit-exact.
+[[nodiscard]] std::string encode_result(std::uint64_t id,
+                                        const service::SolveResult& result);
+struct ResultMessage {
+  std::uint64_t id = 0;
+  service::SolveResult result;
+};
+[[nodiscard]] std::optional<ResultMessage> decode_result(
+    const std::string& payload);
+
+/// Aggregate-able cache statistics.
+[[nodiscard]] std::string encode_stats(const service::CacheStats& stats);
+[[nodiscard]] std::optional<service::CacheStats> decode_stats(
+    const std::string& payload);
+
+/// First whitespace-delimited token of a payload — the message type
+/// ("instance", "solve", "result", "ping", "pong", "stats", "drain",
+/// "drained").
+[[nodiscard]] std::string message_type(const std::string& payload);
+
+}  // namespace malsched::shard::wire

@@ -1,0 +1,104 @@
+#include "malsched/shard/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::shard {
+
+namespace {
+
+/// splitmix64: the canonical 64-bit finalizer — every input bit avalanches
+/// into every output bit, so consecutive (node, replica) pairs land
+/// uniformly on the circle.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t point_position(std::uint32_t node, std::size_t replica) {
+  // Two rounds decorrelate node and replica completely; a single round of
+  // the packed pair already avalanches, the second is cheap insurance.
+  return mix64(mix64((static_cast<std::uint64_t>(node) << 32) |
+                     static_cast<std::uint64_t>(replica & 0xFFFFFFFF)));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes)
+    : default_vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+void HashRing::add_node(std::uint32_t node, std::size_t vnodes) {
+  if (contains(node)) {
+    return;
+  }
+  const std::size_t count = vnodes == 0 ? default_vnodes_ : vnodes;
+  points_.reserve(points_.size() + count);
+  for (std::size_t replica = 0; replica < count; ++replica) {
+    points_.push_back(Point{point_position(node, replica), node});
+  }
+  std::sort(points_.begin(), points_.end());
+  vnode_counts_.emplace(node, count);
+}
+
+bool HashRing::remove_node(std::uint32_t node) {
+  const auto it = vnode_counts_.find(node);
+  if (it == vnode_counts_.end()) {
+    return false;
+  }
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [node](const Point& point) {
+                                 return point.node == node;
+                               }),
+                points_.end());
+  vnode_counts_.erase(it);
+  return true;
+}
+
+bool HashRing::contains(std::uint32_t node) const {
+  return vnode_counts_.count(node) != 0;
+}
+
+std::vector<std::uint32_t> HashRing::nodes() const {
+  std::vector<std::uint32_t> result;
+  result.reserve(vnode_counts_.size());
+  for (const auto& [node, count] : vnode_counts_) {
+    result.push_back(node);
+  }
+  return result;
+}
+
+std::uint32_t HashRing::owner(std::uint64_t key) const {
+  MALSCHED_EXPECTS_MSG(!points_.empty(), "owner() on an empty hash ring");
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& point, std::uint64_t k) { return point.position < k; });
+  return it == points_.end() ? points_.front().node : it->node;
+}
+
+std::vector<std::uint32_t> HashRing::owners(std::uint64_t key,
+                                            std::size_t replicas) const {
+  MALSCHED_EXPECTS_MSG(!points_.empty(), "owners() on an empty hash ring");
+  const std::size_t want = std::min(replicas, vnode_counts_.size());
+  std::vector<std::uint32_t> result;
+  result.reserve(want);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& point, std::uint64_t k) { return point.position < k; });
+  // Walk at most one full revolution collecting distinct nodes in clockwise
+  // order — the successor list of the key.
+  for (std::size_t step = 0; step < points_.size() && result.size() < want;
+       ++step, ++it) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    if (std::find(result.begin(), result.end(), it->node) == result.end()) {
+      result.push_back(it->node);
+    }
+  }
+  return result;
+}
+
+}  // namespace malsched::shard

@@ -1,0 +1,501 @@
+#include "malsched/shard/router.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <utility>
+
+#include "malsched/service/canonical.hpp"
+#include "malsched/shard/wire.hpp"
+
+namespace malsched::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(const service::SolverRegistry& registry,
+                         RouterOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      ring_(options_.vnodes == 0 ? 64 : options_.vnodes) {
+  if (options_.shards == 0) {
+    options_.shards = 1;
+  }
+  if (options_.replication == 0) {
+    options_.replication = 1;
+  }
+  if (options_.worker.queue_capacity == 0) {
+    options_.worker.queue_capacity = 1;
+  }
+  // The deadlock-freedom invariant: never more in flight than the worker's
+  // admission queue holds, so its reader thread never blocks in submit()
+  // while the router blocks in send().
+  options_.window = std::clamp<std::size_t>(options_.window, 1,
+                                            options_.worker.queue_capacity);
+  workers_.resize(options_.shards);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    (void)spawn(i);
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  // EOF is the drain signal: each worker finishes its admitted jobs, joins
+  // its writer and exits; then reap.  Dead workers were reaped already.
+  for (Worker& worker : workers_) {
+    if (worker.fd >= 0) {
+      ::close(worker.fd);
+      worker.fd = -1;
+    }
+  }
+  for (Worker& worker : workers_) {
+    if (worker.pid > 0) {
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+      worker.pid = -1;
+    }
+  }
+}
+
+bool ShardRouter::spawn(std::size_t index) {
+  int sockets[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sockets) != 0) {
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sockets[0]);
+    ::close(sockets[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: keep only our own socket end; inherited peer fds of the other
+    // workers would hold their connections open past the router's close.
+    ::close(sockets[0]);
+    for (const Worker& other : workers_) {
+      if (other.fd >= 0) {
+        ::close(other.fd);
+      }
+    }
+    // _exit, not exit: the child shares the parent's stdio buffers and must
+    // not flush them a second time.
+    ::_exit(run_worker(sockets[1], registry_, options_.worker));
+  }
+  ::close(sockets[1]);
+  workers_[index] = Worker{pid, sockets[0], true};
+  ring_.add_node(static_cast<std::uint32_t>(index));
+  return true;
+}
+
+void ShardRouter::mark_dead(std::size_t index) {
+  Worker& worker = workers_[index];
+  if (!worker.alive) {
+    return;
+  }
+  worker.alive = false;
+  if (worker.fd >= 0) {
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+  if (worker.pid > 0) {
+    // The socket said the worker is gone or unresponsive; make that true
+    // (SIGKILL on an already-dead pid is a no-op) so the reap cannot hang.
+    ::kill(worker.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    worker.pid = -1;
+  }
+  ring_.remove_node(static_cast<std::uint32_t>(index));
+}
+
+std::size_t ShardRouter::alive_count() const {
+  std::size_t count = 0;
+  for (const Worker& worker : workers_) {
+    count += worker.alive ? 1 : 0;
+  }
+  return count;
+}
+
+bool ShardRouter::alive(std::size_t worker) const {
+  return worker < workers_.size() && workers_[worker].alive;
+}
+
+bool ShardRouter::read_frame_from(std::size_t index, std::string* payload,
+                                  std::chrono::milliseconds timeout) {
+  const Worker& worker = workers_[index];
+  if (!worker.alive) {
+    return false;
+  }
+  struct pollfd pfd {
+    worker.fd, POLLIN, 0
+  };
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
+    return false;
+  }
+  return wire::read_frame(worker.fd, payload);
+}
+
+bool ShardRouter::ping(std::size_t worker, std::chrono::milliseconds timeout) {
+  if (!alive(worker)) {
+    return false;
+  }
+  const std::string token = std::to_string(++next_wire_id_);
+  if (!wire::write_frame(workers_[worker].fd, "ping " + token)) {
+    mark_dead(worker);
+    return false;
+  }
+  const auto deadline = Clock::now() + timeout;
+  std::string payload;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0 || !read_frame_from(worker, &payload, left)) {
+      mark_dead(worker);  // unresponsive counts as dead: rebalance the ring
+      return false;
+    }
+    if (payload == "pong " + token) {
+      return true;
+    }
+    // Any other frame is stale traffic from a previous exchange; skip it.
+  }
+}
+
+bool ShardRouter::drain(std::size_t worker,
+                        std::chrono::milliseconds timeout) {
+  if (!alive(worker)) {
+    return false;
+  }
+  if (!wire::write_frame(workers_[worker].fd, "drain")) {
+    mark_dead(worker);
+    return false;
+  }
+  const auto deadline = Clock::now() + timeout;
+  std::string payload;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0 || !read_frame_from(worker, &payload, left)) {
+      mark_dead(worker);
+      return false;
+    }
+    if (wire::message_type(payload) == "drained") {
+      return true;
+    }
+  }
+}
+
+void ShardRouter::kill(std::size_t worker) {
+  if (worker < workers_.size()) {
+    mark_dead(worker);  // SIGKILL + reap + ring removal
+  }
+}
+
+bool ShardRouter::restart(std::size_t worker) {
+  if (worker >= workers_.size()) {
+    return false;
+  }
+  if (workers_[worker].alive) {
+    (void)drain(worker);  // best effort; a wedged worker gets the SIGKILL
+    mark_dead(worker);
+  }
+  return spawn(worker);
+}
+
+service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
+                                        const RouterRunOptions& run_options) {
+  service::ServiceReport report;
+  report.results.resize(batch.requests.size());
+  const auto run_start = Clock::now();
+
+  // --- Place and prime: each named instance goes to all its ring owners,
+  // keyed by the canonical-form fingerprint (the same key every equivalent
+  // instance hashes to, so equivalence classes share one worker's cache).
+  struct Placed {
+    std::vector<std::uint32_t> owners;  ///< primed replica set, primary first
+  };
+  std::map<std::string, Placed> placed;
+  for (const auto& [name, instance] : batch.instances) {
+    if (ring_.node_count() == 0) {
+      break;  // whole fleet is down; requests fail below
+    }
+    service::CanonicalOptions canonical_options;
+    canonical_options.permute = true;
+    const std::uint64_t key =
+        service::canonicalize(instance, canonical_options).key;
+    Placed place;
+    place.owners = ring_.owners(key, options_.replication);
+    const std::string frame = wire::encode_instance(name, instance);
+    for (const std::uint32_t owner : place.owners) {
+      if (workers_[owner].alive &&
+          !wire::write_frame(workers_[owner].fd, frame)) {
+        mark_dead(owner);
+      }
+    }
+    placed.emplace(name, std::move(place));
+  }
+
+  // --- Resolve requests, mirroring run_service: unknown instances become
+  // deterministic per-request ParseErrors (byte-identical to single-process
+  // output); instances no alive worker owns fail as SolverFailure.
+  struct Routed {
+    std::size_t index;  ///< into batch.requests
+    const service::BatchSpec::Request* request;
+    const Placed* place;
+  };
+  std::vector<Routed> routed;
+  routed.reserve(batch.requests.size());
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const auto& request = batch.requests[i];
+    const auto it = placed.find(request.instance_name);
+    if (it == placed.end()) {
+      if (batch.instances.count(request.instance_name) != 0) {
+        report.results[i] = service::SolveResult::failure(
+            request.solver, service::ErrorCode::SolverFailure,
+            "no alive shard worker to own instance '" +
+                request.instance_name + "'");
+      } else {
+        report.results[i] = service::SolveResult::failure(
+            request.solver, service::ErrorCode::ParseError,
+            "unknown instance '" + request.instance_name + "' (line " +
+                std::to_string(request.line) + ")");
+      }
+      continue;
+    }
+    routed.push_back(Routed{i, &request, &it->second});
+  }
+
+  // --- Stream the rounds.  Latency decimation mirrors run_service.
+  constexpr std::size_t kMaxLatencySamples = std::size_t{1} << 20;
+  const std::size_t rounds = run_options.repeat == 0 ? 1 : run_options.repeat;
+  const std::size_t total = rounds * routed.size();
+  const std::size_t stride =
+      total == 0 ? 1 : (total + kMaxLatencySamples - 1) / kMaxLatencySamples;
+  std::size_t seen = 0;
+
+  struct InFlight {
+    std::size_t routed_index;
+    Clock::time_point sent;
+  };
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const bool last_round = round + 1 == rounds;
+
+    const auto resolve = [&](std::size_t ri, service::SolveResult result,
+                             double latency_seconds) {
+      result.latency_seconds = latency_seconds;
+      if (seen++ % stride == 0) {
+        report.latencies.add(latency_seconds);
+      }
+      if (last_round) {
+        report.results[routed[ri].index] = std::move(result);
+      }
+    };
+
+    // Request queue per worker: requests in file order, each on its first
+    // alive primed owner.
+    std::vector<std::deque<std::size_t>> queues(workers_.size());
+    std::vector<std::map<std::uint64_t, InFlight>> in_flight(workers_.size());
+
+    const auto route = [&](std::size_t ri) {
+      for (const std::uint32_t owner : routed[ri].place->owners) {
+        if (workers_[owner].alive) {
+          queues[owner].push_back(ri);
+          return true;
+        }
+      }
+      return false;
+    };
+    for (std::size_t ri = 0; ri < routed.size(); ++ri) {
+      if (!route(ri)) {
+        resolve(ri,
+                service::SolveResult::failure(
+                    routed[ri].request->solver,
+                    service::ErrorCode::SolverFailure,
+                    "no alive shard worker owns instance '" +
+                        routed[ri].request->instance_name + "'"),
+                0.0);
+      }
+    }
+
+    // A dead worker fails its in-flight work (a solve may or may not have
+    // happened: at-most-once, never blindly retried) and its queued work
+    // fails over to the next alive replica owner — already primed, that is
+    // what replication > 1 buys.
+    const auto handle_death = [&](std::size_t w) {
+      mark_dead(w);
+      for (const auto& [id, flight] : in_flight[w]) {
+        resolve(flight.routed_index,
+                service::SolveResult::failure(
+                    routed[flight.routed_index].request->solver,
+                    service::ErrorCode::SolverFailure,
+                    "shard worker " + std::to_string(w) +
+                        " died mid-solve; the request may or may not have "
+                        "executed"),
+                seconds_since(flight.sent));
+      }
+      in_flight[w].clear();
+      const std::deque<std::size_t> orphans = std::move(queues[w]);
+      queues[w].clear();
+      for (const std::size_t ri : orphans) {
+        if (!route(ri)) {
+          resolve(ri,
+                  service::SolveResult::failure(
+                      routed[ri].request->solver,
+                      service::ErrorCode::SolverFailure,
+                      "shard worker " + std::to_string(w) +
+                          " died with the request queued and no alive "
+                          "replica owns instance '" +
+                          routed[ri].request->instance_name + "'"),
+                  0.0);
+        }
+      }
+    };
+
+    const auto top_up = [&](std::size_t w) {
+      while (workers_[w].alive && !queues[w].empty() &&
+             in_flight[w].size() < options_.window) {
+        const std::size_t ri = queues[w].front();
+        wire::SolveMessage message;
+        message.id = ++next_wire_id_;
+        message.priority_weight = routed[ri].request->priority_weight;
+        message.deadline_seconds = routed[ri].request->deadline_seconds;
+        message.solver = routed[ri].request->solver;
+        message.instance_name = routed[ri].request->instance_name;
+        if (!wire::write_frame(workers_[w].fd,
+                               wire::encode_solve(message))) {
+          handle_death(w);
+          return;
+        }
+        queues[w].pop_front();
+        in_flight[w].emplace(message.id, InFlight{ri, Clock::now()});
+      }
+    };
+
+    const auto any_in_flight = [&] {
+      for (const auto& flights : in_flight) {
+        if (!flights.empty()) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const auto any_queued = [&] {
+      for (const auto& queue : queues) {
+        if (!queue.empty()) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    std::string payload;
+    for (;;) {
+      // Top up at the head of every pass so work re-routed by handle_death
+      // (possibly onto a worker that was already idle) is always sent —
+      // the failover contract must not depend on something else being in
+      // flight at the moment a worker died.
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        top_up(w);
+      }
+      if (!any_in_flight()) {
+        if (!any_queued()) {
+          break;  // round complete (or every remaining request resolved)
+        }
+        // A death during top-up re-routed queued work; send it next pass.
+        // Queues only ever hold work for alive workers (handle_death
+        // drains a dead worker's queue), so each pass makes progress.
+        continue;
+      }
+      std::vector<struct pollfd> pfds;
+      std::vector<std::size_t> pfd_worker;
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        if (workers_[w].alive && !in_flight[w].empty()) {
+          pfds.push_back({workers_[w].fd, POLLIN, 0});
+          pfd_worker.push_back(w);
+        }
+      }
+      if (pfds.empty()) {
+        continue;  // unreachable belt-and-braces: in-flight implies alive
+      }
+      // Finite timeout only so a forgotten-wakeup bug cannot hang forever;
+      // results normally wake the poll directly.
+      (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 500);
+      for (std::size_t p = 0; p < pfds.size(); ++p) {
+        const std::size_t w = pfd_worker[p];
+        if (!workers_[w].alive) {
+          continue;  // died while we processed an earlier fd
+        }
+        if ((pfds[p].revents & POLLIN) != 0) {
+          if (!wire::read_frame(workers_[w].fd, &payload)) {
+            handle_death(w);
+            continue;
+          }
+          if (wire::message_type(payload) != "result") {
+            continue;  // stale pong/drained from an earlier exchange
+          }
+          const auto message = wire::decode_result(payload);
+          if (!message) {
+            handle_death(w);  // protocol corruption: fail over
+            continue;
+          }
+          const auto it = in_flight[w].find(message->id);
+          if (it == in_flight[w].end()) {
+            continue;  // duplicate/stale id; drop
+          }
+          const double latency = seconds_since(it->second.sent);
+          const std::size_t ri = it->second.routed_index;
+          in_flight[w].erase(it);
+          resolve(ri, message->result, latency);
+        } else if ((pfds[p].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+          handle_death(w);
+        }
+      }
+    }
+  }
+
+  // --- Aggregate worker cache stats: the fleet's cache is the disjoint
+  // union of the shards, so sums are the right aggregation.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive) {
+      continue;
+    }
+    if (!wire::write_frame(workers_[w].fd, "stats")) {
+      mark_dead(w);
+      continue;
+    }
+    std::string payload;
+    while (read_frame_from(w, &payload, std::chrono::milliseconds(10000))) {
+      const auto stats = wire::decode_stats(payload);
+      if (!stats) {
+        continue;  // stale frame
+      }
+      report.cache.hits += stats->hits;
+      report.cache.misses += stats->misses;
+      report.cache.evictions += stats->evictions;
+      report.cache.expired += stats->expired;
+      report.cache.entries += stats->entries;
+      report.cache.weight += stats->weight;
+      report.cache.capacity += stats->capacity;
+      break;
+    }
+  }
+
+  report.total_solves = seen;
+  report.wall_seconds = seconds_since(run_start);
+  return report;
+}
+
+}  // namespace malsched::shard

@@ -1,0 +1,405 @@
+#include "malsched/shard/wire.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace malsched::shard::wire {
+
+namespace {
+
+// Raw socket I/O that restarts on EINTR and reports a dead peer as false.
+// MSG_NOSIGNAL everywhere: the router must observe worker death as an error
+// return it can fail over from, not a process-killing SIGPIPE.
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, cursor, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    cursor += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t size) {
+  char* cursor = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t got = ::recv(fd, cursor, size, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (got == 0) {
+      return false;  // EOF: peer closed (worker exit or router gone)
+    }
+    cursor += got;
+    size -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+// %a prints the shortest exact hexfloat; strtod parses it back to the
+// identical bit pattern — the round-trip the sharded determinism contract
+// rides on.
+std::string hex_double(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+bool parse_hex_double(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// Error detail messages are free text (may embed quotes/newlines); the
+// escape rules are service::escape_result_text — one implementation shared
+// with write_results, since the wire format and the human result stream
+// are one dialect by design.
+
+// key=value field of a space-separated header line; empty when absent.
+// The scan is quote-aware: a `message="... latency=0.5 ..."` value must
+// never shadow the real ` latency=` field that follows it, so key matches
+// inside quoted values are skipped (error details embed arbitrary solver
+// exception text).
+std::string field(const std::string& line, const std::string& key) {
+  const std::string needle = key + "=";
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size();) {
+    if (in_quotes) {
+      if (line[i] == '\\') {
+        i += 2;  // step over the escape pair; a trailing '\' just ends
+        continue;
+      }
+      in_quotes = line[i] != '"';
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if ((i == 0 || line[i - 1] == ' ') &&
+        line.compare(i, needle.size(), needle) == 0) {
+      const std::size_t begin = i + needle.size();
+      if (begin < line.size() && line[begin] == '"') {
+        // Quoted value: scan to the closing unescaped quote, stepping over
+        // escape pairs so a trailing `\\` does not hide the real close.
+        std::size_t end = begin + 1;
+        while (end < line.size() && line[end] != '"') {
+          if (line[end] == '\\' && end + 1 < line.size()) {
+            ++end;
+          }
+          ++end;
+        }
+        return line.substr(begin + 1, end - begin - 1);
+      }
+      auto end = line.find(' ', begin);
+      if (end == std::string::npos) {
+        end = line.size();
+      }
+      return line.substr(begin, end - begin);
+    }
+    ++i;
+  }
+  return "";
+}
+
+}  // namespace
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return false;
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(length & 0xFF),
+      static_cast<unsigned char>((length >> 8) & 0xFF),
+      static_cast<unsigned char>((length >> 16) & 0xFF),
+      static_cast<unsigned char>((length >> 24) & 0xFF)};
+  return write_all(fd, prefix, sizeof prefix) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string* payload) {
+  unsigned char prefix[4];
+  if (!read_all(fd, prefix, sizeof prefix)) {
+    return false;
+  }
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(prefix[0]) |
+      (static_cast<std::uint32_t>(prefix[1]) << 8) |
+      (static_cast<std::uint32_t>(prefix[2]) << 16) |
+      (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (length > kMaxFrameBytes) {
+    return false;  // corrupted prefix: fail the connection, don't allocate
+  }
+  payload->resize(length);
+  return length == 0 || read_all(fd, payload->data(), length);
+}
+
+std::string message_type(const std::string& payload) {
+  std::size_t begin = 0;
+  while (begin < payload.size() && payload[begin] == ' ') {
+    ++begin;
+  }
+  std::size_t end = begin;
+  while (end < payload.size() && payload[end] != ' ' &&
+         payload[end] != '\n') {
+    ++end;
+  }
+  return payload.substr(begin, end - begin);
+}
+
+std::string encode_instance(const std::string& name,
+                            const core::Instance& instance) {
+  std::string payload = "instance " + name + "\n";
+  payload += hex_double(instance.processors());
+  payload += ' ';
+  payload += std::to_string(instance.size());
+  payload += '\n';
+  for (const core::Task& task : instance.tasks()) {
+    payload += hex_double(task.volume);
+    payload += ' ';
+    payload += hex_double(task.width);
+    payload += ' ';
+    payload += hex_double(task.weight);
+    payload += '\n';
+  }
+  return payload;
+}
+
+std::optional<InstanceMessage> decode_instance(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string keyword;
+  InstanceMessage message;
+  if (!(in >> keyword >> message.name) || keyword != "instance") {
+    return std::nullopt;
+  }
+  std::string processors_text;
+  std::uint64_t count = 0;
+  std::string count_text;
+  if (!(in >> processors_text >> count_text) ||
+      !parse_u64(count_text, &count)) {
+    return std::nullopt;
+  }
+  double processors = 0.0;
+  if (!parse_hex_double(processors_text, &processors) || processors <= 0.0) {
+    return std::nullopt;
+  }
+  // A real task line is >= ~20 payload bytes (three hexfloats), so a count
+  // beyond size/16 is a corrupted header — reject it before reserve() turns
+  // it into a giant allocation (the same class of fault kMaxFrameBytes
+  // guards against at the frame layer).
+  if (count > payload.size() / 16) {
+    return std::nullopt;
+  }
+  std::vector<core::Task> tasks;
+  tasks.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string v, d, w;
+    core::Task task;
+    if (!(in >> v >> d >> w) || !parse_hex_double(v, &task.volume) ||
+        !parse_hex_double(d, &task.width) ||
+        !parse_hex_double(w, &task.weight) || task.volume < 0.0 ||
+        task.width <= 0.0 || task.weight < 0.0) {
+      return std::nullopt;
+    }
+    tasks.push_back(task);
+  }
+  message.instance.emplace(processors, std::move(tasks));
+  return message;
+}
+
+std::string encode_solve(const SolveMessage& message) {
+  std::string payload = "solve " + std::to_string(message.id) + " " +
+                        hex_double(message.priority_weight) + " ";
+  payload += message.deadline_seconds ? hex_double(*message.deadline_seconds)
+                                      : std::string("-");
+  payload += " " + message.solver + " " + message.instance_name;
+  return payload;
+}
+
+std::optional<SolveMessage> decode_solve(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string keyword, id_text, weight_text, deadline_text;
+  SolveMessage message;
+  if (!(in >> keyword >> id_text >> weight_text >> deadline_text >>
+        message.solver >> message.instance_name) ||
+      keyword != "solve" || !parse_u64(id_text, &message.id) ||
+      !parse_hex_double(weight_text, &message.priority_weight)) {
+    return std::nullopt;
+  }
+  if (deadline_text != "-") {
+    double seconds = 0.0;
+    if (!parse_hex_double(deadline_text, &seconds) || seconds < 0.0) {
+      return std::nullopt;
+    }
+    message.deadline_seconds = seconds;
+  }
+  return message;
+}
+
+std::string encode_result(std::uint64_t id,
+                          const service::SolveResult& result) {
+  // The solver name is client-controlled (any whitespace-free token, quotes
+  // included) — emit it *quoted* so field()'s quote tracking stays in sync
+  // with the writer and a quote in the name cannot desynchronize the scan
+  // of the fields that follow.
+  std::string payload = "result " + std::to_string(id) + " solver=\"" +
+                        service::escape_result_text(result.solver) + "\"";
+  if (result.ok()) {
+    payload += " status=ok objective=" + hex_double(result.objective()) +
+               " makespan=" + hex_double(result.makespan()) +
+               " cache_hit=" + (result.cache_hit ? std::string("1") : "0") +
+               " latency=" + hex_double(result.latency_seconds);
+    for (const double completion : result.completions()) {
+      payload += '\n';
+      payload += hex_double(completion);
+    }
+  } else {
+    payload += " status=error code=";
+    payload += service::error_code_name(result.error().code);
+    payload += " message=\"" + service::escape_result_text(result.error().detail) + "\"" +
+               " latency=" + hex_double(result.latency_seconds);
+  }
+  return payload;
+}
+
+std::optional<ResultMessage> decode_result(const std::string& payload) {
+  auto header_end = payload.find('\n');
+  if (header_end == std::string::npos) {
+    header_end = payload.size();
+  }
+  const std::string header = payload.substr(0, header_end);
+
+  std::istringstream in(header);
+  std::string keyword, id_text;
+  if (!(in >> keyword >> id_text) || keyword != "result") {
+    return std::nullopt;
+  }
+  ResultMessage message;
+  if (!parse_u64(id_text, &message.id)) {
+    return std::nullopt;
+  }
+  const std::string solver = service::unescape_result_text(field(header, "solver"));
+  const std::string status = field(header, "status");
+  double latency = 0.0;
+  if (!parse_hex_double(field(header, "latency"), &latency)) {
+    return std::nullopt;
+  }
+
+  if (status == "ok") {
+    service::SolveOutput output;
+    if (!parse_hex_double(field(header, "objective"), &output.objective) ||
+        !parse_hex_double(field(header, "makespan"), &output.makespan)) {
+      return std::nullopt;
+    }
+    // Completion times follow, one hexfloat per line.
+    std::size_t cursor = header_end;
+    while (cursor < payload.size()) {
+      ++cursor;  // skip the newline
+      auto line_end = payload.find('\n', cursor);
+      if (line_end == std::string::npos) {
+        line_end = payload.size();
+      }
+      if (line_end > cursor) {
+        double completion = 0.0;
+        if (!parse_hex_double(payload.substr(cursor, line_end - cursor),
+                              &completion)) {
+          return std::nullopt;
+        }
+        output.completions.push_back(completion);
+      }
+      cursor = line_end;
+    }
+    message.result =
+        service::SolveResult::success(solver, std::move(output));
+    message.result.cache_hit = field(header, "cache_hit") == "1";
+  } else if (status == "error") {
+    const auto code = service::parse_error_code(field(header, "code"));
+    if (!code) {
+      return std::nullopt;
+    }
+    message.result = service::SolveResult::failure(
+        solver, *code, service::unescape_result_text(field(header, "message")));
+  } else {
+    return std::nullopt;
+  }
+  message.result.latency_seconds = latency;
+  return message;
+}
+
+std::string encode_stats(const service::CacheStats& stats) {
+  std::string payload = "stats";
+  payload += " hits=" + std::to_string(stats.hits);
+  payload += " misses=" + std::to_string(stats.misses);
+  payload += " evictions=" + std::to_string(stats.evictions);
+  payload += " expired=" + std::to_string(stats.expired);
+  payload += " entries=" + std::to_string(stats.entries);
+  payload += " weight=" + std::to_string(stats.weight);
+  payload += " capacity=" + std::to_string(stats.capacity);
+  return payload;
+}
+
+std::optional<service::CacheStats> decode_stats(const std::string& payload) {
+  if (message_type(payload) != "stats") {
+    return std::nullopt;
+  }
+  service::CacheStats stats;
+  std::uint64_t entries = 0, weight = 0, capacity = 0;
+  if (!parse_u64(field(payload, "hits"), &stats.hits) ||
+      !parse_u64(field(payload, "misses"), &stats.misses) ||
+      !parse_u64(field(payload, "evictions"), &stats.evictions) ||
+      !parse_u64(field(payload, "expired"), &stats.expired) ||
+      !parse_u64(field(payload, "entries"), &entries) ||
+      !parse_u64(field(payload, "weight"), &weight) ||
+      !parse_u64(field(payload, "capacity"), &capacity)) {
+    return std::nullopt;
+  }
+  stats.entries = entries;
+  stats.weight = weight;
+  stats.capacity = capacity;
+  return stats;
+}
+
+}  // namespace malsched::shard::wire

@@ -1,0 +1,171 @@
+#include "malsched/shard/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "malsched/service/scheduler.hpp"
+#include "malsched/shard/wire.hpp"
+
+namespace malsched::shard {
+
+namespace {
+
+/// One submitted request awaiting resolution, in submission order.
+struct Pending {
+  std::uint64_t id = 0;
+  service::Ticket ticket;
+};
+
+}  // namespace
+
+int run_worker(int fd, const service::SolverRegistry& registry,
+               const WorkerOptions& options) {
+  // The single shared ServiceOptions -> Scheduler::Options mapping: sharded
+  // workers must serve exactly like run_service would.
+  auto scheduler_options = service::make_scheduler_options(options);
+  if (scheduler_options.threads == 0) {
+    scheduler_options.threads = 1;  // hardware concurrency is the router's
+                                    // host, not a per-shard default
+  }
+  service::Scheduler scheduler(registry, scheduler_options);
+
+  // Writer thread: resolves tickets in submission order and frames results
+  // back.  A long solve at the queue head delays later *responses*, never
+  // later *solves* — the Scheduler keeps streaming behind it — and the
+  // router does not depend on response order (results carry ids).
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Pending> pending;
+  bool closed = false;
+  bool writing = false;  ///< writer is between pop and delivery
+  std::uint64_t delivered = 0;
+
+  // Both threads write frames (results from the writer, pong/stats/drained
+  // from the reader); serialize so frames never interleave mid-payload.
+  std::mutex write_mutex;
+  bool peer_gone = false;
+  const auto send_frame = [&](const std::string& payload) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (!peer_gone && !wire::write_frame(fd, payload)) {
+      peer_gone = true;  // router died: keep draining, stop writing
+    }
+  };
+
+  std::thread writer([&] {
+    for (;;) {
+      Pending next;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [&] { return closed || !pending.empty(); });
+        if (pending.empty()) {
+          return;
+        }
+        next = std::move(pending.front());
+        pending.pop_front();
+        writing = true;
+      }
+      send_frame(wire::encode_result(next.id, next.ticket.get()));
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex);
+        writing = false;
+        ++delivered;
+      }
+      queue_cv.notify_all();
+    }
+  });
+
+  const auto shutdown = [&](int code) {
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      closed = true;
+    }
+    queue_cv.notify_all();
+    writer.join();
+    return code;
+  };
+
+  std::map<std::string, service::InstanceHandle> handles;
+  std::string payload;
+  int exit_code = 0;
+  while (wire::read_frame(fd, &payload)) {
+    const std::string type = wire::message_type(payload);
+    if (type == "instance") {
+      auto message = wire::decode_instance(payload);
+      if (!message || !message->instance) {
+        exit_code = 1;  // protocol error: the router serialized this itself
+        break;
+      }
+      handles.insert_or_assign(message->name,
+                               service::intern(std::move(*message->instance)));
+    } else if (type == "solve") {
+      const auto message = wire::decode_solve(payload);
+      if (!message) {
+        exit_code = 1;
+        break;
+      }
+      service::Ticket ticket;
+      const auto it = handles.find(message->instance_name);
+      if (it == handles.end()) {
+        // The router primes before solving, so this is a routing bug; answer
+        // it per-request (typed ParseError) instead of dying.
+        ticket = service::Ticket();
+      } else {
+        service::SubmitOptions submit_options;
+        submit_options.priority_weight = message->priority_weight;
+        if (message->deadline_seconds) {
+          submit_options.deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      std::min(*message->deadline_seconds,
+                               service::kMaxDeadlineBudgetSeconds)));
+        }
+        ticket = scheduler.submit(message->solver, it->second, submit_options);
+      }
+      if (!ticket.valid()) {
+        send_frame(wire::encode_result(
+            message->id,
+            service::SolveResult::failure(
+                message->solver, service::ErrorCode::ParseError,
+                "worker does not hold instance '" + message->instance_name +
+                    "' (routing bug?)")));
+        continue;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex);
+        pending.push_back(Pending{message->id, std::move(ticket)});
+      }
+      queue_cv.notify_all();
+    } else if (type == "ping") {
+      // Answered inline by the reader so liveness is observable even while
+      // every scheduler thread is busy with a long solve.
+      std::string reply = payload;
+      reply.replace(0, 4, "pong");
+      send_frame(reply);
+    } else if (type == "stats") {
+      send_frame(wire::encode_stats(scheduler.cache_stats()));
+    } else if (type == "drain") {
+      // Finish everything submitted so far, then acknowledge.  The router
+      // sends nothing after drain; the next read sees EOF and exits.
+      std::unique_lock<std::mutex> lock(queue_mutex);
+      queue_cv.wait(lock, [&] { return pending.empty() && !writing; });
+      const std::uint64_t count = delivered;
+      lock.unlock();
+      send_frame("drained " + std::to_string(count));
+    } else {
+      exit_code = 1;
+      break;
+    }
+  }
+  return shutdown(exit_code);
+}
+
+}  // namespace malsched::shard

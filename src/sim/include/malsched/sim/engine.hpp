@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "malsched/core/cancel.hpp"
 #include "malsched/core/instance.hpp"
 #include "malsched/core/schedule.hpp"
 #include "malsched/sim/policy.hpp"
@@ -23,6 +24,10 @@ struct EngineResult {
   double weighted_completion = 0.0;
   /// Number of policy invocations (events).
   std::size_t events = 0;
+  /// True when EngineOptions::cancel fired mid-run; the schedule then stops
+  /// at the last completed event and unfinished tasks report completion 0 —
+  /// a partial trace, not a valid MWCT answer.
+  bool cancelled = false;
 };
 
 struct EngineOptions {
@@ -34,6 +39,11 @@ struct EngineOptions {
   /// margin for tolerance-induced re-shares before declaring the policy
   /// stuck.  tests/sim/test_engine.cpp pins this budget.
   std::size_t max_events = 0;
+  /// Cooperative cancellation, polled once per event — the abort latency of
+  /// an engine-backed solve is therefore one policy invocation (O(n) work),
+  /// microseconds in practice.  A default token never fires and the poll is
+  /// skipped entirely (cancel.hpp).
+  core::CancelToken cancel;
 };
 
 /// Runs `policy` on `instance` until every task completes.  Zero-task

@@ -54,7 +54,14 @@ EngineResult run_policy_online(const core::Instance& instance,
     return std::all_of(finished.begin(), finished.end(),
                        [](std::uint8_t b) { return b != 0; });
   };
+  const bool poll_cancel = options.cancel.can_cancel();
   while (!all_done()) {
+    // One poll per event bounds abort latency at a single policy
+    // invocation; the schedule stops at the last event already emitted.
+    if (poll_cancel && options.cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     MALSCHED_EXPECTS_MSG(events < max_events,
                          "allocation policy stopped making progress");
     // Next arrival among not-yet-released tasks.

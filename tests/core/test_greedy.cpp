@@ -131,6 +131,39 @@ TEST(Greedy, ZeroVolumeTaskHandled) {
   EXPECT_DOUBLE_EQ(sched.completions()[0], 0.0);
 }
 
+TEST(Greedy, PreCancelledTokenAbortsBothSearches) {
+  const mc::Instance inst(4.0, {{6.0, 3.0, 1.0},
+                                {2.0, 2.0, 2.0},
+                                {1.0, 1.0, 0.5},
+                                {3.0, 4.0, 1.5}});
+  mc::CancelSource source;
+  source.request_cancel();
+
+  const auto heuristic = mc::best_greedy_heuristic(inst, source.token());
+  EXPECT_TRUE(heuristic.cancelled);
+  EXPECT_EQ(heuristic.orders_tried, 0u);
+
+  const auto exhaustive = mc::best_greedy_exhaustive(inst, source.token());
+  EXPECT_TRUE(exhaustive.cancelled);
+  EXPECT_EQ(exhaustive.orders_tried, 0u);
+}
+
+TEST(Greedy, UnfiredTokenLeavesTheSearchAnswerUnchanged) {
+  mc::GeneratorConfig config;
+  config.family = mc::Family::Uniform;
+  config.num_tasks = 7;
+  config.processors = 4.0;
+  ms::Rng rng(20120521);
+  const mc::Instance inst = mc::generate(config, rng);
+  mc::CancelSource source;
+  const auto with_token = mc::best_greedy_heuristic(inst, source.token());
+  const auto without = mc::best_greedy_heuristic(inst);
+  EXPECT_FALSE(with_token.cancelled);
+  EXPECT_EQ(with_token.objective, without.objective);
+  EXPECT_EQ(with_token.order, without.order);
+  EXPECT_EQ(with_token.orders_tried, without.orders_tried);
+}
+
 TEST(Orderings, SmithSortsByRatio) {
   // Ratios V/w: T0: 4, T1: 1, T2: 2 -> order 1, 2, 0.
   const mc::Instance inst(2.0, {{4.0, 1.0, 1.0}, {1.0, 1.0, 1.0},

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -146,6 +147,66 @@ TEST(Cache, HitRateArithmetic) {
   (void)cache.get("x");
   (void)cache.get("y");
   EXPECT_NEAR(cache.stats().hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, TtlZeroExpiresEveryEntryAtTheNextLookup) {
+  // ttl = 0 makes every entry stale the moment it is written: the lookup
+  // that finds it evicts it (lazy expiry), reporting a miss and an
+  // `expired` eviction — never a capacity eviction.
+  msvc::CacheOptions options;
+  options.capacity = 64;
+  options.shards = 1;
+  options.ttl = std::chrono::duration<double>(0.0);
+  msvc::ResultCache cache(options);
+  EXPECT_TRUE(cache.has_ttl());
+
+  cache.put("k", value_of(1.0));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_FALSE((cache.get("k") != nullptr));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.weight, 0u);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(Cache, LongTtlKeepsServingHits) {
+  msvc::CacheOptions options;
+  options.capacity = 64;
+  options.ttl = std::chrono::duration<double>(3600.0);
+  msvc::ResultCache cache(options);
+  cache.put("k", value_of(2.0));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE((cache.get("k") != nullptr));
+  }
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().expired, 0u);
+}
+
+TEST(Cache, PutRefreshesTheTtlDeadline) {
+  // Re-putting a key restarts its clock: with ttl = 0 the refreshed entry
+  // expires again, proving the deadline is per-write, not per-key-creation.
+  msvc::CacheOptions options;
+  options.capacity = 64;
+  options.shards = 1;
+  options.ttl = std::chrono::duration<double>(0.0);
+  msvc::ResultCache cache(options);
+  cache.put("k", value_of(1.0));
+  EXPECT_FALSE((cache.get("k") != nullptr));
+  cache.put("k", value_of(9.0));  // re-insert after expiry eviction
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_FALSE((cache.get("k") != nullptr));
+  EXPECT_EQ(cache.stats().expired, 2u);
+}
+
+TEST(Cache, NoTtlByDefault) {
+  msvc::ResultCache cache(16);
+  EXPECT_FALSE(cache.has_ttl());
+  cache.put("k", value_of(1.0));
+  EXPECT_TRUE((cache.get("k") != nullptr));
+  EXPECT_EQ(cache.stats().expired, 0u);
 }
 
 TEST(Cache, ConcurrentMixedTrafficStaysConsistent) {

@@ -159,6 +159,33 @@ TEST(Registry, EngineSolversRejectDegenerateWidths) {
   EXPECT_TRUE(registry.solve("wdeq", tiny_but_idle).ok());
 }
 
+TEST(Registry, EngineAndGreedySolversAreCancellable) {
+  // PR 4 left `optimal` the only cancellation-aware solver; the token now
+  // threads through the fluid engine (one poll per event) and the greedy
+  // order search (one poll per candidate), so every default solver that can
+  // run for more than a moment aborts with a typed Cancelled.
+  const auto registry = msvc::SolverRegistry::with_default_solvers();
+  mc::CancelSource source;
+  source.request_cancel();
+  msvc::SolveContext context;
+  context.cancel = source.token();
+
+  for (const char* solver : {"wdeq", "deq", "wrr", "fifo-rigid",
+                             "smith-greedy", "greedy-heuristic", "optimal"}) {
+    ASSERT_TRUE(registry.find(solver)->cancellable) << solver;
+    const auto result = registry.solve(solver, small_instance(), context);
+    ASSERT_FALSE(result.ok()) << solver;
+    EXPECT_EQ(result.error().code, msvc::ErrorCode::Cancelled) << solver;
+  }
+  // Unfired tokens must not perturb results.
+  msvc::SolveContext live;
+  live.cancel = mc::CancelSource().token();
+  const auto with_token = registry.solve("wdeq", small_instance(), live);
+  const auto without = registry.solve("wdeq", small_instance());
+  ASSERT_TRUE(with_token.ok());
+  EXPECT_EQ(with_token.objective(), without.objective());
+}
+
 TEST(Registry, CustomSolverRegistrationAndReplacement) {
   msvc::SolverRegistry registry;
   EXPECT_EQ(registry.size(), 0u);

@@ -1,0 +1,219 @@
+#include "malsched/shard/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "malsched/support/rng.hpp"
+
+namespace mshard = malsched::shard;
+namespace ms = malsched::support;
+
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t count,
+                                       std::uint64_t seed) {
+  ms::Rng rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(rng.next_u64());
+  }
+  return keys;
+}
+
+std::map<std::uint32_t, std::size_t> load_per_node(
+    const mshard::HashRing& ring, const std::vector<std::uint64_t>& keys) {
+  std::map<std::uint32_t, std::size_t> load;
+  for (const std::uint64_t key : keys) {
+    ++load[ring.owner(key)];
+  }
+  return load;
+}
+
+}  // namespace
+
+TEST(HashRing, MembershipBookkeeping) {
+  mshard::HashRing ring(32);
+  EXPECT_EQ(ring.node_count(), 0u);
+  EXPECT_EQ(ring.point_count(), 0u);
+
+  ring.add_node(3);
+  ring.add_node(7);
+  EXPECT_TRUE(ring.contains(3));
+  EXPECT_TRUE(ring.contains(7));
+  EXPECT_FALSE(ring.contains(5));
+  EXPECT_EQ(ring.node_count(), 2u);
+  EXPECT_EQ(ring.point_count(), 64u);
+  EXPECT_EQ(ring.nodes(), (std::vector<std::uint32_t>{3, 7}));
+
+  ring.add_node(3);  // re-add is a no-op
+  EXPECT_EQ(ring.point_count(), 64u);
+
+  EXPECT_TRUE(ring.remove_node(3));
+  EXPECT_FALSE(ring.remove_node(3));
+  EXPECT_EQ(ring.node_count(), 1u);
+  EXPECT_EQ(ring.point_count(), 32u);
+}
+
+TEST(HashRing, SingleNodeOwnsEverything) {
+  mshard::HashRing ring(8);
+  ring.add_node(42);
+  for (const std::uint64_t key : random_keys(100, 1)) {
+    EXPECT_EQ(ring.owner(key), 42u);
+  }
+}
+
+TEST(HashRing, DistributionIsUniformAcrossVirtualNodes) {
+  // 8 nodes x 128 vnodes over 100k keys: with v points per node the load
+  // imbalance concentrates near 1 + O(sqrt(log n / v)); the bounds below
+  // leave generous slack but catch any systematic skew (e.g. a broken
+  // mixer, which would put several nodes at ~0).
+  mshard::HashRing ring(128);
+  const std::size_t nodes = 8;
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    ring.add_node(node);
+  }
+  const auto keys = random_keys(100000, 20120521);
+  const auto load = load_per_node(ring, keys);
+  ASSERT_EQ(load.size(), nodes);
+  const double mean = static_cast<double>(keys.size()) / nodes;
+  for (const auto& [node, count] : load) {
+    EXPECT_GT(static_cast<double>(count), 0.60 * mean)
+        << "node " << node << " is starved";
+    EXPECT_LT(static_cast<double>(count), 1.40 * mean)
+        << "node " << node << " is overloaded";
+  }
+}
+
+TEST(HashRing, MoreVnodesTightenTheSpread) {
+  // The imbalance knob the operator's manual documents: max/mean load with
+  // 128 vnodes must beat the spread with 4 vnodes on the same key set.
+  const auto keys = random_keys(50000, 7);
+  const auto spread = [&](std::size_t vnodes) {
+    mshard::HashRing ring(vnodes);
+    for (std::uint32_t node = 0; node < 8; ++node) {
+      ring.add_node(node);
+    }
+    const auto load = load_per_node(ring, keys);
+    std::size_t max_load = 0;
+    for (const auto& [node, count] : load) {
+      max_load = std::max(max_load, count);
+    }
+    return static_cast<double>(max_load) /
+           (static_cast<double>(keys.size()) / 8.0);
+  };
+  EXPECT_LT(spread(128), spread(4));
+}
+
+TEST(HashRing, AddingANodeMovesOnlyItsShareOfKeys) {
+  mshard::HashRing ring(64);
+  const std::size_t nodes = 8;
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    ring.add_node(node);
+  }
+  const auto keys = random_keys(20000, 99);
+  std::vector<std::uint32_t> before;
+  before.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    before.push_back(ring.owner(key));
+  }
+
+  ring.add_node(static_cast<std::uint32_t>(nodes));
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint32_t after = ring.owner(keys[i]);
+    if (after != before[i]) {
+      ++moved;
+      // Minimal movement: a key that changed owner moved *to the new
+      // node*, never between old nodes.
+      EXPECT_EQ(after, nodes) << "key migrated between pre-existing nodes";
+    }
+  }
+  // Expected share is 1/(n+1) ~ 11%; allow a wide band around it.
+  const double fraction =
+      static_cast<double>(moved) / static_cast<double>(keys.size());
+  EXPECT_GT(fraction, 0.4 / (nodes + 1));
+  EXPECT_LT(fraction, 2.0 / (nodes + 1));
+}
+
+TEST(HashRing, RemovingANodeMovesOnlyItsKeys) {
+  mshard::HashRing ring(64);
+  for (std::uint32_t node = 0; node < 8; ++node) {
+    ring.add_node(node);
+  }
+  const auto keys = random_keys(20000, 31);
+  std::vector<std::uint32_t> before;
+  before.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    before.push_back(ring.owner(key));
+  }
+
+  const std::uint32_t removed = 5;
+  ASSERT_TRUE(ring.remove_node(removed));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint32_t after = ring.owner(keys[i]);
+    if (before[i] == removed) {
+      EXPECT_NE(after, removed);
+    } else {
+      // Every key the removed node did not own keeps its owner — a worker
+      // restart invalidates one cache shard, not the fleet's.
+      EXPECT_EQ(after, before[i]);
+    }
+  }
+}
+
+TEST(HashRing, RemoveThenReAddRestoresTheExactOwnership) {
+  // Point positions are a pure function of (node, replica), so a restarted
+  // worker replants the identical arcs and the routing function converges
+  // back to the pre-failure map.
+  mshard::HashRing ring(64);
+  for (std::uint32_t node = 0; node < 5; ++node) {
+    ring.add_node(node);
+  }
+  const auto keys = random_keys(5000, 63);
+  std::vector<std::uint32_t> before;
+  before.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    before.push_back(ring.owner(key));
+  }
+  ASSERT_TRUE(ring.remove_node(2));
+  ring.add_node(2);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ring.owner(keys[i]), before[i]);
+  }
+}
+
+TEST(HashRing, OwnersAreDistinctAndStartAtThePrimary) {
+  mshard::HashRing ring(32);
+  for (std::uint32_t node = 0; node < 6; ++node) {
+    ring.add_node(node);
+  }
+  for (const std::uint64_t key : random_keys(500, 11)) {
+    const auto replicas = ring.owners(key, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas[0], ring.owner(key));
+    std::vector<std::uint32_t> sorted = replicas;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  }
+  // Asking for more replicas than nodes returns every node exactly once.
+  const auto all = ring.owners(1234, 99);
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(HashRing, OwnershipIsIndependentOfInsertionOrder) {
+  const auto keys = random_keys(2000, 5);
+  mshard::HashRing forward(64);
+  mshard::HashRing backward(64);
+  for (std::uint32_t node = 0; node < 7; ++node) {
+    forward.add_node(node);
+    backward.add_node(6 - node);
+  }
+  for (const std::uint64_t key : keys) {
+    EXPECT_EQ(forward.owner(key), backward.owner(key));
+  }
+}

@@ -1,0 +1,308 @@
+// End-to-end tests of multi-process sharded serving: a ShardRouter forks
+// real worker processes and must (a) produce bit-identical results to the
+// single-process service, (b) survive worker death without hanging, and
+// (c) rebalance/restart around the consistent-hash ring.
+//
+// These tests fork.  GoogleTest's main thread is the only thread alive when
+// a router is constructed (the routers spawn before any in-process
+// Scheduler), which is the documented spawning contract.
+
+#include "malsched/shard/router.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "malsched/service/scheduler.hpp"
+#include "malsched/service/service.hpp"
+#include "malsched/shard/hash_ring.hpp"
+
+namespace msvc = malsched::service;
+namespace mshard = malsched::shard;
+
+namespace {
+
+const msvc::SolverRegistry& registry() {
+  static const auto instance = msvc::SolverRegistry::with_default_solvers();
+  return instance;
+}
+
+msvc::BatchSpec parse(const std::string& text) {
+  std::string error;
+  const auto batch = msvc::parse_batch(text, &error);
+  EXPECT_TRUE(batch.has_value()) << error;
+  return *batch;
+}
+
+// A mixed batch covering the solver zoo, scaled duplicates (cache traffic),
+// and the typed error paths that must round-trip the wire byte-identically:
+// unknown solver, SizeGuard, solver rejection, unknown instance.
+const char* kParityBatch = R"(
+instance small
+processors 4
+task 2.0 2 1.0
+task 1.5 1 0.5
+task 0.75 3 2.0
+end
+instance small-scaled          # power-of-two scaling: same canonical key
+processors 4
+task 4.0 2 4.0
+task 3.0 1 2.0
+task 1.5 3 8.0
+end
+instance tiny
+processors 2
+task 1.0 1 1.0
+task 0.5 2 3.0
+end
+generate mid uniform 24 8 42
+generate heavy heavy-tail-volumes 40 16 7
+generate toolarge uniform 16 4 3
+instance badweights
+processors 2
+task 1.0 1 0.0
+end
+solve wdeq small
+solve deq small
+solve wrr mid
+solve smith-greedy mid
+solve greedy-heuristic heavy
+solve water-fill-smith mid
+solve order-lp-smith heavy
+solve optimal tiny
+weight 3
+solve wdeq small-scaled
+solve wdeq heavy
+weight 1
+solve no-such-solver small
+solve no"such small
+solve optimal toolarge
+solve wdeq badweights
+solve wdeq ghost
+solve wdeq mid
+)";
+
+}  // namespace
+
+TEST(Router, ShardedResultsAreBitIdenticalToSingleProcess) {
+  const auto batch = parse(kParityBatch);
+
+  mshard::RouterOptions router_options;
+  router_options.shards = 2;
+  router_options.worker.threads = 2;
+  std::string sharded;
+  msvc::CacheStats sharded_cache;
+  {
+    mshard::ShardRouter router(registry(), router_options);
+    ASSERT_EQ(router.alive_count(), 2u);
+    mshard::RouterRunOptions run_options;
+    run_options.repeat = 2;  // round 2 exercises the warm worker caches
+    const auto report = router.run(batch, run_options);
+    sharded = msvc::format_results(report);
+    sharded_cache = report.cache;
+    // The ghost-instance request resolves at routing time and is excluded
+    // from the solve count, exactly as run_service excludes it.
+    EXPECT_EQ(report.total_solves, 2 * (batch.requests.size() - 1));
+  }
+
+  msvc::ServiceOptions service_options;
+  service_options.threads = 2;
+  service_options.repeat = 2;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+
+  EXPECT_EQ(sharded, single)
+      << "sharded serving must be indistinguishable from single-process "
+         "serving, byte for byte";
+
+  // Round 2 re-solved nothing: every repeat hit a worker cache, and the
+  // scaled duplicate shares its base instance's canonical entry.
+  EXPECT_GE(sharded_cache.hits, batch.requests.size() - 4)
+      << "repeat round should be served from the worker caches";
+  // Two workers, each its own cache: aggregate capacity is the sum.
+  EXPECT_EQ(sharded_cache.capacity, 2 * (std::size_t{1} << 20));
+}
+
+TEST(Router, EquivalentInstancesRouteToTheSameWorker) {
+  // small and small-scaled differ by power-of-two volume/weight scaling,
+  // so they share a canonical key and therefore a worker (and its cache).
+  const auto batch = parse(kParityBatch);
+  const auto key_of = [&](const std::string& name) {
+    return msvc::intern(batch.instances.at(name)).key();
+  };
+  ASSERT_EQ(key_of("small"), key_of("small-scaled"));
+
+  mshard::RouterOptions options;
+  options.shards = 4;
+  mshard::ShardRouter router(registry(), options);
+  EXPECT_EQ(router.owner_of(key_of("small")),
+            router.owner_of(key_of("small-scaled")));
+}
+
+TEST(Router, WorkerKilledMidSolveResolvesSolverFailureNotAHang) {
+  // One request whose exact solve runs ~a minute; the owning worker is
+  // SIGKILLed out-of-band ~150 ms in.  The router must detect the death,
+  // resolve the request with a typed SolverFailure, and return promptly.
+  const auto batch = parse(
+      "generate hard equal-weights 12 4 1\n"
+      "solve optimal hard\n");
+  const std::uint64_t key = msvc::intern(batch.instances.at("hard")).key();
+
+  mshard::RouterOptions options;
+  options.shards = 2;
+  mshard::ShardRouter router(registry(), options);
+  const std::uint32_t owner = router.owner_of(key);
+  const pid_t victim = router.pid_of(owner);
+  ASSERT_GT(victim, 0);
+
+  std::thread killer([victim] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ::kill(victim, SIGKILL);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = router.run(batch);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  killer.join();
+
+  ASSERT_EQ(report.results.size(), 1u);
+  ASSERT_FALSE(report.results[0].ok());
+  EXPECT_EQ(report.results[0].error().code, msvc::ErrorCode::SolverFailure);
+  EXPECT_NE(report.results[0].error().detail.find("died"), std::string::npos);
+  EXPECT_LT(seconds, 30.0) << "worker death must fail fast, not hang";
+  EXPECT_FALSE(router.alive(owner));
+  EXPECT_EQ(router.alive_count(), 1u);
+  EXPECT_FALSE(router.ring().contains(owner)) << "ring must rebalance";
+}
+
+TEST(Router, ReplicationFailsOverQueuedRequestsToTheReplica) {
+  // With replication = 2 both workers hold every instance; killing the
+  // primary before the run leaves the replica to serve everything.
+  const auto batch = parse(
+      "instance a\nprocessors 4\ntask 2.0 2 1.0\ntask 1.0 1 1.0\nend\n"
+      "solve wdeq a\nsolve deq a\nsolve order-lp-smith a\n");
+  const std::uint64_t key = msvc::intern(batch.instances.at("a")).key();
+
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.replication = 2;
+  mshard::ShardRouter router(registry(), options);
+  const std::uint32_t primary = router.owner_of(key);
+  router.kill(primary);
+  EXPECT_EQ(router.alive_count(), 1u);
+
+  const auto report = router.run(batch);
+  for (const auto& result : report.results) {
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+  }
+}
+
+TEST(Router, KillBeforeRunRebalancesOwnershipToTheSurvivor) {
+  // A worker killed *between* runs leaves the ring before placement, so the
+  // consistent-hash arc reassigns to the survivor and the request succeeds
+  // — mid-run death (the race the ring cannot absorb) is the case that
+  // fails typed, covered by WorkerKilledMidSolveResolvesSolverFailure.
+  const auto batch = parse(
+      "instance a\nprocessors 4\ntask 2.0 2 1.0\nend\nsolve wdeq a\n");
+  const std::uint64_t key = msvc::intern(batch.instances.at("a")).key();
+
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.replication = 1;
+  mshard::ShardRouter router(registry(), options);
+  const std::uint32_t original_owner = router.owner_of(key);
+  router.kill(original_owner);
+
+  const auto report = router.run(batch);
+  ASSERT_EQ(report.results.size(), 1u);
+  ASSERT_TRUE(report.results[0].ok()) << report.results[0].error().to_string();
+  EXPECT_NE(router.owner_of(key), original_owner);
+}
+
+TEST(Router, WholeFleetDownFailsEveryRequestTyped) {
+  const auto batch = parse(
+      "instance a\nprocessors 4\ntask 2.0 2 1.0\nend\nsolve wdeq a\n");
+  mshard::ShardRouter router(registry(), mshard::RouterOptions{});
+  router.kill(0);
+  router.kill(1);
+  const auto report = router.run(batch);
+  ASSERT_EQ(report.results.size(), 1u);
+  ASSERT_FALSE(report.results[0].ok());
+  EXPECT_EQ(report.results[0].error().code, msvc::ErrorCode::SolverFailure);
+}
+
+TEST(Router, PingHealthChecksAndDrainAcknowledge) {
+  mshard::ShardRouter router(registry(), mshard::RouterOptions{});
+  EXPECT_TRUE(router.ping(0));
+  EXPECT_TRUE(router.ping(1));
+  EXPECT_TRUE(router.drain(0));
+
+  router.kill(1);
+  EXPECT_FALSE(router.ping(1));
+  EXPECT_FALSE(router.drain(1));
+  EXPECT_FALSE(router.ping(99));  // out of range
+}
+
+TEST(Router, RestartRespawnsAndReplantsTheRing) {
+  const auto batch = parse(
+      "generate work uniform 16 4 5\n"
+      "solve wdeq work\nsolve order-lp-smith work\n");
+
+  mshard::RouterOptions options;
+  options.shards = 2;
+  mshard::ShardRouter router(registry(), options);
+
+  router.kill(0);
+  EXPECT_EQ(router.alive_count(), 1u);
+  EXPECT_FALSE(router.ring().contains(0));
+
+  ASSERT_TRUE(router.restart(0));
+  EXPECT_EQ(router.alive_count(), 2u);
+  EXPECT_TRUE(router.ring().contains(0));
+  EXPECT_TRUE(router.ping(0));
+
+  // Restarting an alive worker drains it first and also succeeds.
+  ASSERT_TRUE(router.restart(1));
+  EXPECT_EQ(router.alive_count(), 2u);
+
+  const auto report = router.run(batch);
+  for (const auto& result : report.results) {
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+  }
+}
+
+TEST(Router, DeadlineExceededCrossesTheProcessBoundaryTyped) {
+  // `deadline 0` expires the moment the worker pops it: the typed code must
+  // survive the wire (the detail text is wall-clock flavored, so this is
+  // not part of the byte-parity batch).
+  const auto batch = parse(
+      "instance a\nprocessors 4\ntask 2.0 2 1.0\nend\n"
+      "deadline 0\nsolve wdeq a\n");
+  mshard::ShardRouter router(registry(), mshard::RouterOptions{});
+  const auto report = router.run(batch);
+  ASSERT_EQ(report.results.size(), 1u);
+  ASSERT_FALSE(report.results[0].ok());
+  EXPECT_EQ(report.results[0].error().code,
+            msvc::ErrorCode::DeadlineExceeded);
+}
+
+TEST(Router, SingleShardDegeneratesToOneWorkerService) {
+  const auto batch = parse(
+      "generate work bandwidth-like 12 8 9\n"
+      "solve wdeq work\nsolve greedy-heuristic work\n");
+  mshard::RouterOptions options;
+  options.shards = 1;
+  mshard::ShardRouter router(registry(), options);
+  const auto sharded = msvc::format_results(router.run(batch));
+
+  msvc::ServiceOptions service_options;
+  service_options.threads = 1;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+  EXPECT_EQ(sharded, single);
+}

@@ -1,0 +1,255 @@
+#include "malsched/shard/wire.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace msvc = malsched::service;
+namespace wire = malsched::shard::wire;
+using malsched::core::Instance;
+using malsched::core::Task;
+
+namespace {
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    for (const int fd : fds) {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+  }
+};
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+}  // namespace
+
+TEST(Wire, FrameRoundTripIncludingEmptyAndBinary) {
+  SocketPair channel;
+  const std::vector<std::string> payloads = {
+      "", "x", "solve 1 0x1p+0 - wdeq small",
+      std::string("\x00\x01\xff binary\n\n", 10), std::string(70000, 'a')};
+  for (const auto& sent : payloads) {
+    ASSERT_TRUE(wire::write_frame(channel.fds[0], sent));
+  }
+  for (const auto& sent : payloads) {
+    std::string received;
+    ASSERT_TRUE(wire::read_frame(channel.fds[1], &received));
+    EXPECT_EQ(received, sent);
+  }
+}
+
+TEST(Wire, ReadFrameFailsOnEofAndOnCorruptLengthPrefix) {
+  {
+    SocketPair channel;
+    ::close(channel.fds[0]);
+    channel.fds[0] = -1;
+    std::string payload;
+    EXPECT_FALSE(wire::read_frame(channel.fds[1], &payload));
+  }
+  {
+    // A corrupted length prefix (4 GiB) must fail the read, not allocate.
+    SocketPair channel;
+    const unsigned char huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    ASSERT_EQ(::send(channel.fds[0], huge, 4, 0), 4);
+    std::string payload;
+    EXPECT_FALSE(wire::read_frame(channel.fds[1], &payload));
+  }
+}
+
+TEST(Wire, WriteFrameReportsDeadPeerInsteadOfSigpipe) {
+  SocketPair channel;
+  ::close(channel.fds[1]);
+  channel.fds[1] = -1;
+  // Without MSG_NOSIGNAL this would raise SIGPIPE and kill the test.
+  EXPECT_FALSE(wire::write_frame(channel.fds[0], std::string(1 << 16, 'x')));
+}
+
+TEST(Wire, InstanceRoundTripIsBitExact) {
+  // Values chosen to break any decimal intermediary: non-terminating binary
+  // fractions, denormal-adjacent magnitudes, and ulp-separated neighbours.
+  const std::vector<Task> tasks = {
+      {1.0 / 3.0, 2.0, 0.1},
+      {1e-300, 0.7, 3.0000000000000004},
+      {123456789.123456789, 3.141592653589793, 2.2250738585072014e-308},
+      {0.0, 1e308, 0.0}};
+  const Instance instance(6.02214076e23, tasks);
+  const auto message =
+      wire::decode_instance(wire::encode_instance("tricky", instance));
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->name, "tricky");
+  ASSERT_TRUE(message->instance.has_value());
+  const Instance& decoded = *message->instance;
+  ASSERT_EQ(decoded.size(), tasks.size());
+  EXPECT_TRUE(bits_equal(decoded.processors(), instance.processors()));
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_TRUE(bits_equal(decoded.task(i).volume, tasks[i].volume));
+    EXPECT_TRUE(bits_equal(decoded.task(i).width, tasks[i].width));
+    EXPECT_TRUE(bits_equal(decoded.task(i).weight, tasks[i].weight));
+  }
+}
+
+TEST(Wire, InstanceDecodeRejectsGarbage) {
+  EXPECT_FALSE(wire::decode_instance("solve 1 0x1p+0 - wdeq x").has_value());
+  EXPECT_FALSE(wire::decode_instance("instance x\n0x1p+2 2\n0x1p+0 0x1p+0")
+                   .has_value());  // truncated task list
+  EXPECT_FALSE(
+      wire::decode_instance("instance x\n-0x1p+2 0").has_value());  // P <= 0
+}
+
+TEST(Wire, SolveRoundTripWithAndWithoutDeadline) {
+  wire::SolveMessage message;
+  message.id = 0xFFFFFFFFFFFFFFFFull;
+  message.priority_weight = 1.0 / 7.0;
+  message.deadline_seconds = 0.25;
+  message.solver = "order-lp-smith";
+  message.instance_name = "big-42";
+  const auto decoded = wire::decode_solve(wire::encode_solve(message));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, message.id);
+  EXPECT_TRUE(bits_equal(decoded->priority_weight, message.priority_weight));
+  ASSERT_TRUE(decoded->deadline_seconds.has_value());
+  EXPECT_TRUE(bits_equal(*decoded->deadline_seconds, 0.25));
+  EXPECT_EQ(decoded->solver, message.solver);
+  EXPECT_EQ(decoded->instance_name, message.instance_name);
+
+  message.deadline_seconds.reset();
+  const auto no_deadline = wire::decode_solve(wire::encode_solve(message));
+  ASSERT_TRUE(no_deadline.has_value());
+  EXPECT_FALSE(no_deadline->deadline_seconds.has_value());
+}
+
+TEST(Wire, OkResultRoundTripIsBitExact) {
+  msvc::SolveOutput output;
+  output.objective = 1.0 / 3.0;
+  output.makespan = 2.0000000000000004;
+  output.completions = {0.1, 0.2, 1e-17, 123.456};
+  msvc::SolveResult result = msvc::SolveResult::success("wdeq", output);
+  result.cache_hit = true;
+  result.latency_seconds = 3.25e-4;
+
+  const auto decoded = wire::decode_result(wire::encode_result(77, result));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 77u);
+  ASSERT_TRUE(decoded->result.ok());
+  EXPECT_EQ(decoded->result.solver, "wdeq");
+  EXPECT_TRUE(decoded->result.cache_hit);
+  EXPECT_TRUE(bits_equal(decoded->result.latency_seconds, 3.25e-4));
+  EXPECT_TRUE(bits_equal(decoded->result.objective(), output.objective));
+  EXPECT_TRUE(bits_equal(decoded->result.makespan(), output.makespan));
+  ASSERT_EQ(decoded->result.completions().size(), output.completions.size());
+  for (std::size_t i = 0; i < output.completions.size(); ++i) {
+    EXPECT_TRUE(bits_equal(decoded->result.completions()[i],
+                           output.completions[i]));
+  }
+}
+
+TEST(Wire, EveryErrorCodeRoundTripsWithHostileMessages) {
+  // The cross-process contract of the typed error model: Cancelled,
+  // DeadlineExceeded and friends must mean the same thing on both sides of
+  // the pipe, message text included.
+  const std::vector<std::string> messages = {
+      "plain detail",
+      "quotes \"inside\" and trailing backslash \\",
+      "newline\nand\rcarriage",
+      "",
+      "spaces   and = signs a=b"};
+  std::size_t message_index = 0;
+  for (const msvc::ErrorCode code : msvc::kAllErrorCodes) {
+    const std::string& detail = messages[message_index++ % messages.size()];
+    const msvc::SolveResult sent =
+        msvc::SolveResult::failure("optimal", code, detail);
+    const auto decoded = wire::decode_result(wire::encode_result(9, sent));
+    ASSERT_TRUE(decoded.has_value())
+        << "code " << msvc::error_code_name(code);
+    ASSERT_FALSE(decoded->result.ok());
+    EXPECT_EQ(decoded->result.error().code, code);
+    EXPECT_EQ(decoded->result.error().detail, detail)
+        << "code " << msvc::error_code_name(code);
+    EXPECT_EQ(decoded->result.solver, "optimal");
+  }
+}
+
+TEST(Wire, QuotesInSolverNamesDoNotDesynchronizeTheHeader) {
+  // Regression: solver names are arbitrary whitespace-free tokens, quotes
+  // included (`solve a"b x` is a legal batch line).  The solver field is
+  // quoted on the wire so such a name cannot swallow the fields after it.
+  const msvc::SolveResult sent = msvc::SolveResult::failure(
+      "a\"b", msvc::ErrorCode::UnknownSolver, "unknown solver 'a\"b'");
+  const auto decoded = wire::decode_result(wire::encode_result(4, sent));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_FALSE(decoded->result.ok());
+  EXPECT_EQ(decoded->result.solver, "a\"b");
+  EXPECT_EQ(decoded->result.error().code, msvc::ErrorCode::UnknownSolver);
+  EXPECT_EQ(decoded->result.error().detail, "unknown solver 'a\"b'");
+}
+
+TEST(Wire, FieldLookupIsNotShadowedByKeysInsideQuotedMessages) {
+  // Regression: solver exception text becomes the error detail verbatim; a
+  // detail containing " latency=" (or any other field key) must not hijack
+  // the scan for the real field that follows the quoted message.
+  const msvc::SolveResult sent = msvc::SolveResult::failure(
+      "custom", msvc::ErrorCode::SolverFailure,
+      "bad latency=0.5 in config, also status=ok and code=cancelled");
+  const auto decoded = wire::decode_result(wire::encode_result(3, sent));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_FALSE(decoded->result.ok());
+  EXPECT_EQ(decoded->result.error().code, msvc::ErrorCode::SolverFailure);
+  EXPECT_EQ(decoded->result.error().detail,
+            "bad latency=0.5 in config, also status=ok and code=cancelled");
+  EXPECT_TRUE(bits_equal(decoded->result.latency_seconds, 0.0));
+}
+
+TEST(Wire, InstanceDecodeRejectsHugeTaskCountHeader) {
+  // Regression: a corrupted count field must be rejected before reserve()
+  // turns it into a multi-terabyte allocation attempt.
+  EXPECT_FALSE(
+      wire::decode_instance("instance x\n0x1p+2 999999999999\n").has_value());
+}
+
+TEST(Wire, ResultDecodeRejectsUnknownStatusAndCode) {
+  EXPECT_FALSE(wire::decode_result("result 1 solver=x status=weird "
+                                   "latency=0x0p+0")
+                   .has_value());
+  EXPECT_FALSE(wire::decode_result("result 1 solver=x status=error "
+                                   "code=not-a-code message=\"m\" "
+                                   "latency=0x0p+0")
+                   .has_value());
+}
+
+TEST(Wire, StatsRoundTrip) {
+  msvc::CacheStats stats;
+  stats.hits = 123456789012ull;
+  stats.misses = 42;
+  stats.evictions = 7;
+  stats.expired = 3;
+  stats.entries = 1000;
+  stats.weight = 65536;
+  stats.capacity = 1 << 20;
+  const auto decoded = wire::decode_stats(wire::encode_stats(stats));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->hits, stats.hits);
+  EXPECT_EQ(decoded->misses, stats.misses);
+  EXPECT_EQ(decoded->evictions, stats.evictions);
+  EXPECT_EQ(decoded->expired, stats.expired);
+  EXPECT_EQ(decoded->entries, stats.entries);
+  EXPECT_EQ(decoded->weight, stats.weight);
+  EXPECT_EQ(decoded->capacity, stats.capacity);
+}
+
+TEST(Wire, MessageTypeExtraction) {
+  EXPECT_EQ(wire::message_type("solve 1 0x1p+0 - wdeq x"), "solve");
+  EXPECT_EQ(wire::message_type("instance foo\n..."), "instance");
+  EXPECT_EQ(wire::message_type("drain"), "drain");
+  EXPECT_EQ(wire::message_type(""), "");
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 #include <string>
 
@@ -188,6 +189,44 @@ TEST(Engine, ExplicitMaxEventsOverrideIsAccepted) {
   const auto default_result = msim::run_policy(inst, *msim::make_wdeq_policy());
   EXPECT_EQ(result.weighted_completion, default_result.weighted_completion);
   EXPECT_EQ(result.events, default_result.events);
+}
+
+TEST(Engine, PreCancelledTokenAbortsBeforeTheFirstEvent) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  mc::CancelSource source;
+  source.request_cancel();
+  msim::EngineOptions options;
+  options.cancel = source.token();
+  const auto result =
+      msim::run_policy(inst, *msim::make_wdeq_policy(), options);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.events, 0u);
+  for (const double completion : result.completions) {
+    EXPECT_EQ(completion, 0.0);  // partial trace: nothing finished
+  }
+}
+
+TEST(Engine, UnfiredTokenChangesNothing) {
+  const mc::Instance inst(2.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  mc::CancelSource source;
+  msim::EngineOptions options;
+  options.cancel = source.token();
+  const auto with_token =
+      msim::run_policy(inst, *msim::make_wdeq_policy(), options);
+  const auto without = msim::run_policy(inst, *msim::make_wdeq_policy());
+  EXPECT_FALSE(with_token.cancelled);
+  EXPECT_EQ(with_token.weighted_completion, without.weighted_completion);
+  EXPECT_EQ(with_token.events, without.events);
+}
+
+TEST(Engine, ExpiredDeadlineTokenAbortsTheRun) {
+  const mc::Instance inst(4.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 1.0}});
+  msim::EngineOptions options;
+  options.cancel = mc::CancelToken::with_deadline(
+      std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  const auto result =
+      msim::run_policy(inst, *msim::make_wdeq_policy(), options);
+  EXPECT_TRUE(result.cancelled);
 }
 
 TEST(Engine, PolicyNamesAreDistinct) {
