@@ -4,7 +4,7 @@
 //   ./examples/malsched_service <batch-file> [--threads N] [--repeat R]
 //                               [--cache-capacity W] [--cache-ttl S]
 //                               [--no-cache] [--queue-capacity N] [--fifo]
-//                               [--shards N] [--replication R]
+//                               [--shards N] [--replication R] [--stats]
 //   ./examples/malsched_service --solvers
 //
 // Batch file format (see malsched/service/service.hpp):
@@ -31,6 +31,12 @@
 // units (~one per completion time), not entries; --cache-ttl ages entries
 // out at lookup.  Admission is the weighted-priority queue by default —
 // --fifo restores strict arrival order (the A/B the bench measures).
+//
+// --stats appends a cache-statistics block to the stderr telemetry: the
+// full counter set (hits, misses, LRU evictions, TTL expirations, weight)
+// for the run — per worker when sharded, so a single shard quietly aging
+// out its arc (expired climbing) is visible instead of being summed away
+// in the fleet aggregate.
 //
 // --shards N forks N worker processes and partitions the canonical key
 // space across them with consistent hashing (docs/OPERATIONS.md): every
@@ -59,7 +65,7 @@ int usage(const char* prog) {
                "usage: %s <batch-file> [--threads N] [--repeat R] "
                "[--cache-capacity W] [--cache-ttl S] [--no-cache] "
                "[--queue-capacity N] [--fifo] [--shards N] "
-               "[--replication R]\n"
+               "[--replication R] [--stats]\n"
                "       %s --solvers\n",
                prog, prog);
   return 64;
@@ -85,6 +91,7 @@ int main(int argc, char** argv) {
   service::ServiceOptions options;
   std::size_t shards = 0;       // 0 = single-process serving
   std::size_t replication = 1;  // instance fan-out when sharded
+  bool show_stats = false;      // --stats: cache counter block on stderr
   // Numeric flags are range-checked: a stray "--threads -1" must not wrap
   // to four billion workers.
   const auto parse_count = [](const char* text, long max_value, long* out) {
@@ -139,6 +146,8 @@ int main(int argc, char** argv) {
       options.use_cache = false;
     } else if (std::strcmp(argv[i], "--fifo") == 0) {
       options.fifo_admission = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      show_stats = true;
     } else {
       return usage(argv[0]);
     }
@@ -159,6 +168,18 @@ int main(int argc, char** argv) {
     return 65;
   }
 
+  const auto print_cache_stats = [](const char* label,
+                                    const service::CacheStats& stats) {
+    std::fprintf(stderr,
+                 "cache%-9s: hits=%llu misses=%llu evictions=%llu "
+                 "expired=%llu entries=%zu weight=%zu/%zu\n",
+                 label, static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.evictions),
+                 static_cast<unsigned long long>(stats.expired),
+                 stats.entries, stats.weight, stats.capacity);
+  };
+
   service::ServiceReport report;
   if (shards > 0) {
     // Sharded serving: fork the worker fleet *now*, while this process is
@@ -171,10 +192,28 @@ int main(int argc, char** argv) {
     shard::RouterRunOptions run_options;
     run_options.repeat = options.repeat;
     report = router.run(*batch, run_options);
+    service::write_results(std::cout, report);
+    std::cerr << service::format_telemetry(report);
+    if (show_stats) {
+      // Per-worker breakdown: the run's aggregate sums the shards, which
+      // hides a single worker quietly aging out its arc via the TTL.
+      for (std::size_t w = 0; w < router.shard_count(); ++w) {
+        const auto stats = router.worker_cache_stats(w);
+        const std::string label = "[" + std::to_string(w) + "]";
+        if (stats) {
+          print_cache_stats(label.c_str(), *stats);
+        } else {
+          std::fprintf(stderr, "cache%-9s: worker dead\n", label.c_str());
+        }
+      }
+    }
   } else {
     report = service::run_service(*batch, registry, options);
+    service::write_results(std::cout, report);
+    std::cerr << service::format_telemetry(report);
+    if (show_stats) {
+      print_cache_stats("[total]", report.cache);
+    }
   }
-  service::write_results(std::cout, report);
-  std::cerr << service::format_telemetry(report);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "malsched/core/bounds.hpp"
 #include "malsched/flow/max_flow.hpp"
 #include "malsched/support/contracts.hpp"
 
@@ -227,6 +228,69 @@ ReleasedMakespanResult released_optimal_makespan(
   }
   result.makespan = hi;
   return result;
+}
+
+Instance remaining_instance(const Instance& instance,
+                            std::span<const double> executed) {
+  MALSCHED_EXPECTS(executed.size() == instance.size());
+  std::vector<double> remaining(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    remaining[i] =
+        std::clamp(instance.task(i).volume - executed[i], 0.0,
+                   instance.task(i).volume);
+  }
+  return instance.with_volumes(remaining);
+}
+
+StepSchedule splice_frozen_prefix(const StepSchedule& prefix,
+                                  const StepSchedule& suffix,
+                                  support::Tolerance tol) {
+  if (prefix.steps().empty()) {
+    return suffix;
+  }
+  if (suffix.steps().empty()) {
+    return prefix;
+  }
+  MALSCHED_EXPECTS(prefix.num_tasks() == suffix.num_tasks());
+  MALSCHED_EXPECTS_MSG(
+      support::approx_eq(prefix.steps().back().end,
+                         suffix.steps().front().begin, tol),
+      "suffix plan must start where the frozen prefix ends");
+  std::vector<Step> steps(prefix.steps());
+  // Snap the seam so the result passes StepSchedule's contiguity check even
+  // when the replanner re-derived `now` with tolerance-level drift.
+  double cursor = steps.back().end;
+  for (Step step : suffix.steps()) {
+    step.begin = cursor;
+    if (step.end < step.begin) {
+      step.end = step.begin;
+    }
+    cursor = step.end;
+    steps.push_back(std::move(step));
+  }
+  return StepSchedule(prefix.num_tasks(), std::move(steps));
+}
+
+double released_weighted_completion_lower_bound(
+    const Instance& instance, std::span<const double> release) {
+  MALSCHED_EXPECTS(release.size() == instance.size());
+  double release_term = 0.0;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const Task& t = instance.task(i);
+    if (t.volume > 0.0) {
+      // Associated as w·r + (w·V)/δ_eff — the same grouping height_bound
+      // uses — so the r = 0 degeneration to H(I) is bit-for-bit, not just
+      // within rounding.
+      release_term += t.weight * release[i] +
+                      t.weight * t.volume / instance.effective_width(i);
+    } else {
+      // Zero-volume tasks complete at their release under the online
+      // semantics, contributing w_i · r_i.
+      release_term += t.weight * release[i];
+    }
+  }
+  return std::max({squashed_area_bound(instance), height_bound(instance),
+                   release_term});
 }
 
 ReleasedLmaxResult released_minimize_lmax(const Instance& instance,

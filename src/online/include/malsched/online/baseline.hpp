@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file baseline.hpp
+/// Clairvoyant offline reference values for competitive-ratio reporting.
+///
+/// The empirical competitive ratio of a policy on a trace is
+/// replay ΣwC / baseline.  The baseline is the offline optimum when we can
+/// afford to compute it (branch-and-bound, n <= max_exact_tasks, all
+/// arrivals at t = 0) and a *lower bound* otherwise — ratios against a lower
+/// bound are conservative (an upper bound on the true competitive ratio),
+/// which is the safe direction for a CI gate.  `exact` says which one you
+/// got; `method` names the computation for the bench report.
+
+#include <cstddef>
+#include <string>
+
+#include "malsched/core/cancel.hpp"
+#include "malsched/online/trace.hpp"
+
+namespace malsched::online {
+
+struct BaselineOptions {
+  /// Traces with at most this many tasks get the branch-and-bound treatment
+  /// (must stay within core::BnbOptions::max_tasks).
+  std::size_t max_exact_tasks = 15;
+  /// Forwarded to branch-and-bound.  A fired token downgrades the result to
+  /// a lower bound (the incumbent is an upper bound, unusable as a ratio
+  /// denominator).
+  core::CancelToken cancel;
+};
+
+struct BaselineResult {
+  /// Reference ΣwC.  When `exact`, the offline optimum, computed through the
+  /// same schedule summation the replay uses (bit-for-bit comparable);
+  /// otherwise a valid lower bound on it.
+  double objective = 0.0;
+  bool exact = false;
+  /// "bnb" | "bnb+release-lb" | "release-lb".
+  std::string method;
+};
+
+/// Prices the clairvoyant offline scheduler on `trace`'s jobs.  Release
+/// dates are honored as lower-bound terms: dropping them (plain B&B) relaxes
+/// the problem, so max(B&B, released bound) is a valid lower bound on the
+/// release-respecting offline optimum — and equals the exact optimum when
+/// every arrival is at t = 0.
+[[nodiscard]] BaselineResult offline_baseline(const ArrivalTrace& trace,
+                                              const BaselineOptions& options = {});
+
+}  // namespace malsched::online

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file trace.hpp
+/// Online arrival traces: the workload of the open (online) MWCT scenario.
+///
+/// A trace is a processor count plus a time-sorted list of arrivals, each
+/// carrying one malleable task (V, δ, w).  Traces are either replayed from a
+/// plain-text file or synthesized by the generator families below; the
+/// replay clock (clock.hpp) feeds them to a ReplanPolicy and the baseline
+/// (baseline.hpp) prices the clairvoyant offline optimum for the same jobs.
+///
+/// Text format (line-oriented, '#' comments, mirroring core/io.hpp):
+///
+///     processors 4
+///     arrive <time> <volume> <width> <weight>
+///     arrive <time> <volume> <width> <weight>
+///     ...
+///
+/// Arrival times must be finite, non-negative and non-decreasing (the file
+/// is the event log; keeping it sorted keeps replay single-pass and diffs
+/// meaningful).
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace malsched::online {
+
+/// One arrival event: a task becoming visible at `time`.
+struct Arrival {
+  double time = 0.0;
+  core::Task task;
+};
+
+/// A validated, time-sorted arrival trace.
+class ArrivalTrace {
+ public:
+  ArrivalTrace() : processors_(1.0) {}
+  /// Validates: P > 0, times finite/non-negative/non-decreasing, and every
+  /// task passing the Instance invariants (V >= 0, δ > 0, w >= 0).
+  ArrivalTrace(double processors, std::vector<Arrival> arrivals);
+
+  [[nodiscard]] double processors() const noexcept { return processors_; }
+  [[nodiscard]] std::size_t size() const noexcept { return arrivals_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return arrivals_.empty(); }
+  [[nodiscard]] const Arrival& arrival(std::size_t i) const {
+    return arrivals_[i];
+  }
+  [[nodiscard]] const std::vector<Arrival>& arrivals() const noexcept {
+    return arrivals_;
+  }
+
+  /// The closed-batch view: all tasks in arrival order (ties keep file
+  /// order), release times dropped.  This is what the batch `generate`
+  /// grammar serves when a trace family is requested.
+  [[nodiscard]] core::Instance to_instance() const;
+
+  /// Release dates indexed like to_instance()'s tasks.
+  [[nodiscard]] std::vector<double> release_dates() const;
+
+  /// True when every arrival happens at t = 0 (the degenerate trace that
+  /// must collapse to the offline problem).
+  [[nodiscard]] bool all_at_time_zero() const noexcept;
+
+  /// Human-readable one-line description for logs.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  double processors_;
+  std::vector<Arrival> arrivals_;
+};
+
+/// --- text serialization ---
+
+[[nodiscard]] std::optional<ArrivalTrace> read_trace(
+    std::istream& in, std::string* error = nullptr);
+[[nodiscard]] std::optional<ArrivalTrace> parse_trace(
+    const std::string& text, std::string* error = nullptr);
+void write_trace(std::ostream& out, const ArrivalTrace& trace);
+[[nodiscard]] std::string format_trace(const ArrivalTrace& trace);
+
+/// --- synthesized trace families ---
+
+/// The three arrival processes the online bench tracks (ROADMAP: "Poisson
+/// bursts, diurnal load, adversarial spikes").  Each family fixes both the
+/// arrival process and the task marginals, so one (family, n, P, seed)
+/// tuple pins the whole trace.
+enum class TraceFamily {
+  PoissonBursts,     ///< bursty Poisson: exp. gaps between bursts, geometric
+                     ///< burst sizes, §V-uniform tasks
+  Diurnal,           ///< sinusoidal day/night arrival intensity
+  AdversarialSpike,  ///< light trickle, then a synchronized heavy-wide spike
+};
+
+[[nodiscard]] const char* trace_family_name(TraceFamily family) noexcept;
+[[nodiscard]] std::optional<TraceFamily> trace_family_from_name(
+    const std::string& name);
+[[nodiscard]] std::vector<TraceFamily> all_trace_families();
+
+struct TraceConfig {
+  TraceFamily family = TraceFamily::PoissonBursts;
+  std::size_t num_tasks = 20;
+  double processors = 4.0;
+  /// Arrival-time scale: expected span of the arrival process.  The default
+  /// loads the machine (arrivals overlap executions) without degenerating
+  /// into either the closed batch (horizon 0) or isolated jobs.
+  double horizon = 4.0;
+};
+
+/// Draws one trace.  Deterministic in (config, rng seed) — the golden-hash
+/// tests pin the streams.
+[[nodiscard]] ArrivalTrace generate_trace(const TraceConfig& config,
+                                          support::Rng& rng);
+
+}  // namespace malsched::online

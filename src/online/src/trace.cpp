@@ -1,0 +1,287 @@
+#include "malsched/online/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "malsched/support/contracts.hpp"
+
+namespace malsched::online {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+}  // namespace
+
+ArrivalTrace::ArrivalTrace(double processors, std::vector<Arrival> arrivals)
+    : processors_(processors), arrivals_(std::move(arrivals)) {
+  MALSCHED_EXPECTS(processors_ > 0.0);
+  double prev = 0.0;
+  for (const Arrival& a : arrivals_) {
+    MALSCHED_EXPECTS(std::isfinite(a.time) && a.time >= 0.0);
+    MALSCHED_EXPECTS_MSG(a.time >= prev,
+                         "arrival times must be non-decreasing");
+    prev = a.time;
+    MALSCHED_EXPECTS(a.task.volume >= 0.0);
+    MALSCHED_EXPECTS(a.task.width > 0.0);
+    MALSCHED_EXPECTS(a.task.weight >= 0.0);
+  }
+}
+
+core::Instance ArrivalTrace::to_instance() const {
+  std::vector<core::Task> tasks;
+  tasks.reserve(arrivals_.size());
+  for (const Arrival& a : arrivals_) {
+    tasks.push_back(a.task);
+  }
+  return core::Instance(processors_, std::move(tasks));
+}
+
+std::vector<double> ArrivalTrace::release_dates() const {
+  std::vector<double> release;
+  release.reserve(arrivals_.size());
+  for (const Arrival& a : arrivals_) {
+    release.push_back(a.time);
+  }
+  return release;
+}
+
+bool ArrivalTrace::all_at_time_zero() const noexcept {
+  return arrivals_.empty() || arrivals_.back().time == 0.0;
+}
+
+std::string ArrivalTrace::describe() const {
+  std::ostringstream out;
+  out << "trace{P=" << processors_ << ", n=" << arrivals_.size();
+  if (!arrivals_.empty()) {
+    out << ", span=[" << arrivals_.front().time << ", "
+        << arrivals_.back().time << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::optional<ArrivalTrace> read_trace(std::istream& in, std::string* error) {
+  double processors = 0.0;
+  bool have_processors = false;
+  std::vector<Arrival> arrivals;
+
+  std::string line;
+  std::size_t line_no = 0;
+  double prev_time = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) {
+      continue;  // blank/comment line
+    }
+    if (keyword == "processors") {
+      if (!(fields >> processors) || !std::isfinite(processors) ||
+          processors <= 0.0) {
+        set_error(error, "line " + std::to_string(line_no) +
+                             ": invalid processors value");
+        return std::nullopt;
+      }
+      have_processors = true;
+    } else if (keyword == "arrive") {
+      Arrival a;
+      if (!(fields >> a.time >> a.task.volume >> a.task.width >>
+            a.task.weight) ||
+          !std::isfinite(a.time) || a.time < 0.0 || a.task.volume < 0.0 ||
+          a.task.width <= 0.0 || a.task.weight < 0.0) {
+        set_error(error, "line " + std::to_string(line_no) +
+                             ": invalid arrive line (want: arrive <time> "
+                             "<volume> <width> <weight>)");
+        return std::nullopt;
+      }
+      if (a.time < prev_time) {
+        set_error(error, "line " + std::to_string(line_no) +
+                             ": arrival times must be non-decreasing");
+        return std::nullopt;
+      }
+      prev_time = a.time;
+      arrivals.push_back(a);
+    } else {
+      set_error(error, "line " + std::to_string(line_no) +
+                           ": unknown keyword '" + keyword + "'");
+      return std::nullopt;
+    }
+  }
+  if (!have_processors) {
+    set_error(error, "missing 'processors' line");
+    return std::nullopt;
+  }
+  if (arrivals.empty()) {
+    set_error(error, "trace has no arrivals");
+    return std::nullopt;
+  }
+  return ArrivalTrace(processors, std::move(arrivals));
+}
+
+std::optional<ArrivalTrace> parse_trace(const std::string& text,
+                                        std::string* error) {
+  std::istringstream in(text);
+  return read_trace(in, error);
+}
+
+void write_trace(std::ostream& out, const ArrivalTrace& trace) {
+  out << "# malsched arrival trace: n=" << trace.size() << "\n";
+  out << "processors " << std::setprecision(17) << trace.processors() << "\n";
+  for (const Arrival& a : trace.arrivals()) {
+    out << "arrive " << std::setprecision(17) << a.time << " "
+        << a.task.volume << " " << a.task.width << " " << a.task.weight
+        << "\n";
+  }
+}
+
+std::string format_trace(const ArrivalTrace& trace) {
+  std::ostringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+const char* trace_family_name(TraceFamily family) noexcept {
+  switch (family) {
+    case TraceFamily::PoissonBursts:
+      return "poisson-bursts";
+    case TraceFamily::Diurnal:
+      return "diurnal";
+    case TraceFamily::AdversarialSpike:
+      return "adversarial-spike";
+  }
+  return "?";
+}
+
+std::optional<TraceFamily> trace_family_from_name(const std::string& name) {
+  for (const TraceFamily family : all_trace_families()) {
+    if (name == trace_family_name(family)) {
+      return family;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<TraceFamily> all_trace_families() {
+  return {TraceFamily::PoissonBursts, TraceFamily::Diurnal,
+          TraceFamily::AdversarialSpike};
+}
+
+namespace {
+
+/// §V-uniform task draw: V, w ~ U(0,1], δ ~ U(0,P] — the same marginals the
+/// batch `uniform` family uses, so online and batch experiments price
+/// comparable work.
+core::Task uniform_task(double processors, support::Rng& rng) {
+  core::Task t;
+  t.volume = rng.uniform_pos(1.0);
+  t.width = rng.uniform_pos(processors);
+  t.weight = rng.uniform_pos(1.0);
+  return t;
+}
+
+ArrivalTrace make_sorted(double processors, std::vector<Arrival> arrivals) {
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.time < b.time;
+                   });
+  return ArrivalTrace(processors, std::move(arrivals));
+}
+
+}  // namespace
+
+ArrivalTrace generate_trace(const TraceConfig& config, support::Rng& rng) {
+  MALSCHED_EXPECTS(config.num_tasks > 0);
+  MALSCHED_EXPECTS(config.processors > 0.0);
+  MALSCHED_EXPECTS(config.horizon >= 0.0);
+  const double P = config.processors;
+  const std::size_t n = config.num_tasks;
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(n);
+
+  switch (config.family) {
+    case TraceFamily::PoissonBursts: {
+      // Bursts arrive with exponential gaps; each burst lands 1 + Geom(1/3)
+      // jobs at the same instant.  The gap rate is sized so the expected
+      // arrival span is ~horizon (mean burst size is 1.5, so expect
+      // n / 1.5 bursts).
+      const double expected_bursts =
+          std::max(1.0, static_cast<double>(n) / 1.5);
+      const double gap_rate =
+          config.horizon > 0.0 ? expected_bursts / config.horizon : 0.0;
+      double t = 0.0;
+      while (arrivals.size() < n) {
+        if (gap_rate > 0.0) {
+          t += rng.exponential(gap_rate);
+        }
+        std::size_t burst = 1;
+        while (arrivals.size() + burst < n && rng.bernoulli(1.0 / 3.0)) {
+          ++burst;
+        }
+        for (std::size_t b = 0; b < burst && arrivals.size() < n; ++b) {
+          arrivals.push_back({t, uniform_task(P, rng)});
+        }
+      }
+      break;
+    }
+    case TraceFamily::Diurnal: {
+      // One "day" of length horizon with sinusoidal intensity
+      // λ(t) = 1 - sin(2πt/H): a trough ("night") at H/4 and a peak at
+      // 3H/4.  Inverse-CDF sampling keeps it one rng draw per arrival:
+      // Λ(t) = t - (1 - cos(2πt/H))·H/2π is monotone, so each uniform
+      // target inverts by bisection; arrivals are then sorted.
+      const double H = std::max(config.horizon, 1e-9);
+      const auto cumulative = [H](double t) {
+        const double w = 2.0 * 3.14159265358979323846 / H;
+        return t - (std::sin(w * t - 1.5707963267948966) + 1.0) / w;
+      };
+      const double total = cumulative(H);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double target = rng.uniform01() * total;
+        double lo = 0.0, hi = H;
+        for (int iter = 0; iter < 60; ++iter) {
+          const double mid = 0.5 * (lo + hi);
+          (cumulative(mid) < target ? lo : hi) = mid;
+        }
+        arrivals.push_back({0.5 * (lo + hi), uniform_task(P, rng)});
+      }
+      return make_sorted(P, std::move(arrivals));
+    }
+    case TraceFamily::AdversarialSpike: {
+      // The anti-greedy workload: a trickle of light narrow jobs occupies
+      // the machine, then at horizon/2 a synchronized spike of heavy, wide,
+      // high-weight jobs lands.  A policy that cannot preempt the trickle
+      // pays the spike's weight on every queued completion.
+      const std::size_t trickle = std::max<std::size_t>(1, n / 4);
+      const double spike_time = 0.5 * config.horizon;
+      for (std::size_t i = 0; i < trickle; ++i) {
+        core::Task t;
+        t.volume = rng.uniform_pos(0.5);
+        t.width = rng.uniform_pos(std::max(1.0, P / 8.0));
+        t.weight = rng.uniform_pos(0.1);
+        arrivals.push_back({rng.uniform(0.0, spike_time), t});
+      }
+      for (std::size_t i = trickle; i < n; ++i) {
+        core::Task t;
+        t.volume = 0.5 + rng.uniform_pos(1.0);
+        t.width = P / 2.0 + rng.uniform_pos(P / 2.0);  // wide: δ > P/2
+        t.weight = 0.5 + rng.uniform_pos(0.5);
+        arrivals.push_back({spike_time, t});
+      }
+      return make_sorted(P, std::move(arrivals));
+    }
+  }
+  return make_sorted(P, std::move(arrivals));
+}
+
+}  // namespace malsched::online

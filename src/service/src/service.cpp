@@ -14,6 +14,7 @@
 
 #include "malsched/core/generators.hpp"
 #include "malsched/core/io.hpp"
+#include "malsched/online/trace.hpp"
 #include "malsched/support/rng.hpp"
 
 namespace malsched::service {
@@ -190,11 +191,16 @@ bool parse_stream(std::istream& in, const std::string& base_dir,
         return false;
       }
       const auto family = family_from_name(family_text);
-      if (!family) {
+      const auto trace_family = online::trace_family_from_name(family_text);
+      if (!family && !trace_family) {
         std::string known;
         for (const core::Family f : core::all_families()) {
           known += known.empty() ? "" : ", ";
           known += core::family_name(f);
+        }
+        for (const online::TraceFamily f : online::all_trace_families()) {
+          known += ", ";
+          known += online::trace_family_name(f);
         }
         set_error(error, at_line(line_no, "unknown family '" + family_text +
                                               "' (known: " + known + ")"));
@@ -213,12 +219,25 @@ bool parse_stream(std::istream& in, const std::string& base_dir,
                   at_line(line_no, "'generate' needs positive processors"));
         return false;
       }
-      core::GeneratorConfig config;
-      config.family = *family;
-      config.num_tasks = static_cast<std::size_t>(num_tasks);
-      config.processors = processors;
       support::Rng rng(seed);
-      batch.instances.emplace(name, core::generate(config, rng));
+      if (family) {
+        core::GeneratorConfig config;
+        config.family = *family;
+        config.num_tasks = static_cast<std::size_t>(num_tasks);
+        config.processors = processors;
+        batch.instances.emplace(name, core::generate(config, rng));
+      } else {
+        // Online trace families serve their closed-batch view here (tasks in
+        // arrival order, release times dropped) so batch and online
+        // experiments can share workloads; replay the same (family, n, P,
+        // seed) tuple through online::generate_trace for the timed version.
+        online::TraceConfig config;
+        config.family = *trace_family;
+        config.num_tasks = static_cast<std::size_t>(num_tasks);
+        config.processors = processors;
+        batch.instances.emplace(
+            name, online::generate_trace(config, rng).to_instance());
+      }
     } else if (keyword == "include") {
       // The rest of the line (comments already stripped) is the path, so
       // paths containing spaces work; trim surrounding whitespace.

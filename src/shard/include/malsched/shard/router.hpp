@@ -46,6 +46,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <sys/types.h>
 #include <vector>
@@ -118,6 +119,16 @@ class ShardRouter {
   [[nodiscard]] bool drain(
       std::size_t worker,
       std::chrono::milliseconds timeout = std::chrono::milliseconds(60000));
+
+  /// Per-worker cache statistics (hits/misses/evictions/TTL `expired`/...),
+  /// fetched over a stats frame round-trip.  This is the per-shard view the
+  /// aggregate in `run`'s report sums away — operational tooling uses it to
+  /// spot one shard aging out its arc (expired climbing) while the fleet
+  /// total looks healthy.  nullopt for a dead worker, a failed send (which
+  /// marks it dead) or a timeout.  Call between runs, not during one.
+  [[nodiscard]] std::optional<service::CacheStats> worker_cache_stats(
+      std::size_t worker,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
 
   /// Hard-kills the worker process (SIGKILL) and removes it from the ring.
   /// The operator's "shoot the wedged worker" button, and the fault the

@@ -469,33 +469,42 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
   // --- Aggregate worker cache stats: the fleet's cache is the disjoint
   // union of the shards, so sums are the right aggregation.
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (!workers_[w].alive) {
+    const auto stats = worker_cache_stats(w);
+    if (!stats) {
       continue;
     }
-    if (!wire::write_frame(workers_[w].fd, "stats")) {
-      mark_dead(w);
-      continue;
-    }
-    std::string payload;
-    while (read_frame_from(w, &payload, std::chrono::milliseconds(10000))) {
-      const auto stats = wire::decode_stats(payload);
-      if (!stats) {
-        continue;  // stale frame
-      }
-      report.cache.hits += stats->hits;
-      report.cache.misses += stats->misses;
-      report.cache.evictions += stats->evictions;
-      report.cache.expired += stats->expired;
-      report.cache.entries += stats->entries;
-      report.cache.weight += stats->weight;
-      report.cache.capacity += stats->capacity;
-      break;
-    }
+    report.cache.hits += stats->hits;
+    report.cache.misses += stats->misses;
+    report.cache.evictions += stats->evictions;
+    report.cache.expired += stats->expired;
+    report.cache.entries += stats->entries;
+    report.cache.weight += stats->weight;
+    report.cache.capacity += stats->capacity;
   }
 
   report.total_solves = seen;
   report.wall_seconds = seconds_since(run_start);
   return report;
+}
+
+std::optional<service::CacheStats> ShardRouter::worker_cache_stats(
+    std::size_t worker, std::chrono::milliseconds timeout) {
+  if (worker >= workers_.size() || !workers_[worker].alive) {
+    return std::nullopt;
+  }
+  if (!wire::write_frame(workers_[worker].fd, "stats")) {
+    mark_dead(worker);
+    return std::nullopt;
+  }
+  std::string payload;
+  while (read_frame_from(worker, &payload, timeout)) {
+    const auto stats = wire::decode_stats(payload);
+    if (!stats) {
+      continue;  // stale pong/drained from an earlier exchange
+    }
+    return stats;
+  }
+  return std::nullopt;
 }
 
 }  // namespace malsched::shard

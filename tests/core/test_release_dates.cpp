@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "malsched/core/bnb.hpp"
+#include "malsched/core/bounds.hpp"
 #include "malsched/core/generators.hpp"
 #include "malsched/core/makespan.hpp"
 #include "malsched/core/water_filling.hpp"
@@ -165,4 +167,161 @@ TEST(ReleaseDates, EmptyWindowDetected) {
   const std::vector<double> release{2.0};
   const std::vector<double> deadline{1.0};
   EXPECT_FALSE(mc::released_feasible(inst, release, deadline));
+}
+
+// --- Frozen-prefix replan helpers (the online layer's state transition) ---
+
+TEST(FrozenPrefix, RemainingInstanceClampsExecutedVolume) {
+  const mc::Instance inst(4.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 0.5}});
+  // Tolerance residue: task 0 "executed" slightly more than its volume;
+  // task 1 got a spurious negative amount.  Both clamp to [0, V].
+  const std::vector<double> executed{2.0 + 1e-12, -1e-12};
+  const auto rest = mc::remaining_instance(inst, executed);
+  EXPECT_EQ(rest.task(0).volume, 0.0);
+  EXPECT_EQ(rest.task(1).volume, 1.0);
+  // Widths, weights and P are untouched — only volumes shrink.
+  EXPECT_EQ(rest.processors(), inst.processors());
+  EXPECT_EQ(rest.task(0).width, inst.task(0).width);
+  EXPECT_EQ(rest.task(0).weight, inst.task(0).weight);
+}
+
+TEST(FrozenPrefix, SpliceHandlesEmptySides) {
+  const mc::StepSchedule empty;
+  mc::StepSchedule plan(1, {{0.0, 1.0, {1.0}}});
+  EXPECT_EQ(mc::splice_frozen_prefix(empty, plan).steps().size(), 1u);
+  EXPECT_EQ(mc::splice_frozen_prefix(plan, empty).steps().size(), 1u);
+  EXPECT_EQ(mc::splice_frozen_prefix(empty, empty).steps().size(), 0u);
+}
+
+TEST(FrozenPrefix, SpliceSnapsToleranceDriftAtSeam) {
+  // The replanner re-derived `now` with tolerance-level drift: the suffix
+  // starts 1e-12 late.  The splice snaps it so contiguity survives.
+  const mc::StepSchedule prefix(1, {{0.0, 1.0, {2.0}}});
+  const mc::StepSchedule suffix(1, {{1.0 + 1e-12, 2.0, {2.0}}});
+  const auto whole = mc::splice_frozen_prefix(prefix, suffix);
+  ASSERT_EQ(whole.steps().size(), 2u);
+  EXPECT_EQ(whole.steps()[1].begin, whole.steps()[0].end);
+  const mc::Instance inst(2.0, {{4.0 + 2e-12, 2.0, 1.0}});
+  EXPECT_TRUE(static_cast<bool>(whole.validate(inst)));
+}
+
+using FrozenPrefixDeathTest = ::testing::Test;
+
+TEST(FrozenPrefixDeathTest, SpliceRejectsSeamGap) {
+  const mc::StepSchedule prefix(1, {{0.0, 1.0, {1.0}}});
+  const mc::StepSchedule gapped(1, {{1.5, 2.0, {1.0}}});
+  EXPECT_DEATH((void)mc::splice_frozen_prefix(prefix, gapped),
+               "suffix plan must start where the frozen prefix ends");
+}
+
+TEST(FrozenPrefix, ArrivalMidSliceFreezesExecutedWork) {
+  // Task 0 runs alone at rate 2 over [0, 2); task 1 arrives at t = 1, mid
+  // slice.  The replan freezes the executed half (volume 2 of 4) and
+  // re-solves the suffix over the remainders.
+  const mc::Instance inst(4.0, {{4.0, 2.0, 1.0}, {2.0, 2.0, 1.0}});
+  const std::vector<double> executed{2.0, 0.0};
+  const auto rest = mc::remaining_instance(inst, executed);
+  EXPECT_EQ(rest.task(0).volume, 2.0);
+  EXPECT_EQ(rest.task(1).volume, 2.0);
+  // A suffix plan over the remainders, shifted to start at the arrival.
+  const mc::StepSchedule prefix(2, {{0.0, 1.0, {2.0, 0.0}}});
+  const mc::StepSchedule suffix(2, {{1.0, 2.0, {2.0, 2.0}}});
+  const auto whole = mc::splice_frozen_prefix(prefix, suffix);
+  const auto check = whole.validate(inst);
+  EXPECT_TRUE(static_cast<bool>(check)) << check.message;
+  // No work for task 1 before its arrival, and volumes conserve end-to-end.
+  EXPECT_EQ(whole.steps()[0].rates[1], 0.0);
+  const auto volumes = whole.volumes();
+  EXPECT_DOUBLE_EQ(volumes[0], 4.0);
+  EXPECT_DOUBLE_EQ(volumes[1], 2.0);
+}
+
+TEST(FrozenPrefix, ZeroVolumeTaskArrivingAfterWorkStarted) {
+  // A zero-volume task with a late release contributes exactly w · r to the
+  // ΣwC lower bound (it completes at arrival under the online semantics)
+  // and survives remaining_instance untouched.
+  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}, {0.0, 1.0, 2.0}});
+  const std::vector<double> release{0.0, 3.0};
+  const double bound =
+      mc::released_weighted_completion_lower_bound(inst, release);
+  // release term = 1·(0 + 1/1) + 2·3 = 7, dominating A(I) and H(I).
+  EXPECT_DOUBLE_EQ(bound, 7.0);
+  const std::vector<double> executed{0.5, 0.0};
+  const auto rest = mc::remaining_instance(inst, executed);
+  EXPECT_EQ(rest.task(1).volume, 0.0);
+}
+
+TEST(ReleaseDates, WeightedCompletionBoundDegeneratesAtZeroRelease) {
+  // With every r_i = 0 the release term is H(I) summed in the same index
+  // order, so the bound equals max(A(I), H(I)) bit-for-bit — the batch
+  // solvers' certification bound.
+  ms::Rng rng(443);
+  for (int rep = 0; rep < 25; ++rep) {
+    mc::GeneratorConfig gen;
+    gen.family = mc::Family::Uniform;
+    gen.num_tasks = 7;
+    gen.processors = 3.0;
+    const auto inst = mc::generate(gen, rng);
+    const double released = mc::released_weighted_completion_lower_bound(
+        inst, zeros(inst.size()));
+    const double batch =
+        std::max(mc::squashed_area_bound(inst), mc::height_bound(inst));
+    EXPECT_EQ(released, batch) << "rep " << rep;
+  }
+}
+
+TEST(ReleaseDates, WeightedCompletionBoundBelowOptimumAtZeroRelease) {
+  // Certification: with r = 0 the bound must sit below the exact optimum.
+  ms::Rng rng(449);
+  for (int rep = 0; rep < 10; ++rep) {
+    mc::GeneratorConfig gen;
+    gen.family = mc::Family::Uniform;
+    gen.num_tasks = 6;
+    gen.processors = 2.0;
+    const auto inst = mc::generate(gen, rng);
+    const double bound = mc::released_weighted_completion_lower_bound(
+        inst, zeros(inst.size()));
+    const auto exact = mc::branch_and_bound(inst);
+    EXPECT_LE(bound, exact.objective * (1.0 + 1e-7)) << "rep " << rep;
+  }
+}
+
+TEST(ReleaseDates, WeightedCompletionBoundBelowAnyFeasibleSchedule) {
+  // Any release-respecting schedule prices at or above the bound — here the
+  // makespan-optimal extraction, whose ΣwC is certainly suboptimal.
+  ms::Rng rng(457);
+  for (int rep = 0; rep < 20; ++rep) {
+    mc::GeneratorConfig gen;
+    gen.family = mc::Family::Uniform;
+    gen.num_tasks = 6;
+    gen.processors = 3.0;
+    const auto inst = mc::generate(gen, rng);
+    std::vector<double> release(inst.size());
+    for (auto& r : release) {
+      r = rng.uniform(0.0, 1.0);
+    }
+    const double bound =
+        mc::released_weighted_completion_lower_bound(inst, release);
+    const auto cmax = mc::released_optimal_makespan(inst, release);
+    const auto extracted = mc::released_schedule(
+        inst, release,
+        std::vector<double>(inst.size(), cmax.makespan * (1.0 + 1e-7)));
+    ASSERT_TRUE(extracted.feasible) << "rep " << rep;
+    EXPECT_GE(extracted.schedule.weighted_completion(inst),
+              bound * (1.0 - 1e-6))
+        << "rep " << rep;
+  }
+}
+
+TEST(ReleaseDates, BoundIncreasesWithReleaseDelays) {
+  // Monotonicity: delaying releases can only push the bound up.
+  const mc::Instance inst(2.0, {{1.0, 1.0, 1.0}, {2.0, 2.0, 0.5}});
+  double prev = 0.0;
+  for (const double shift : {0.0, 0.5, 1.0, 4.0}) {
+    const std::vector<double> release(inst.size(), shift);
+    const double bound =
+        mc::released_weighted_completion_lower_bound(inst, release);
+    EXPECT_GE(bound, prev);
+    prev = bound;
+  }
 }

@@ -1,0 +1,114 @@
+#include "malsched/online/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malsched/core/bnb.hpp"
+#include "malsched/core/release_dates.hpp"
+#include "malsched/online/clock.hpp"
+#include "malsched/online/replan.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace mo = malsched::online;
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+namespace {
+
+mo::ArrivalTrace random_trace(std::size_t n, std::uint64_t seed,
+                              double spread) {
+  ms::Rng rng(seed);
+  std::vector<mo::Arrival> arrivals;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mc::Task task;
+    task.volume = rng.uniform_pos(1.0);
+    task.width = rng.uniform_pos(4.0);
+    task.weight = rng.uniform_pos(1.0);
+    arrivals.push_back({t, task});
+    t += spread > 0.0 ? rng.uniform_pos(spread) : 0.0;
+  }
+  return mo::ArrivalTrace(4.0, std::move(arrivals));
+}
+
+}  // namespace
+
+// Small all-at-t=0 traces get the exact branch-and-bound optimum, computed
+// through the same schedule summation the replay uses.
+TEST(OfflineBaseline, ExactOnSmallTimeZeroTraces) {
+  const auto trace = random_trace(6, 5, 0.0);
+  const auto baseline = mo::offline_baseline(trace);
+  EXPECT_TRUE(baseline.exact);
+  EXPECT_EQ(baseline.method, "bnb");
+  mc::BnbOptions options;
+  options.want_schedule = true;
+  const auto solved = mc::branch_and_bound(trace.to_instance(), options);
+  EXPECT_EQ(baseline.objective,
+            solved.schedule.weighted_completion(trace.to_instance()));
+}
+
+// Staggered arrivals downgrade to a lower bound: plain B&B relaxes away the
+// release dates, so the result is max(B&B, released bound) and not exact.
+TEST(OfflineBaseline, LowerBoundOnStaggeredTraces) {
+  const auto trace = random_trace(6, 5, 0.5);
+  const auto baseline = mo::offline_baseline(trace);
+  EXPECT_FALSE(baseline.exact);
+  EXPECT_EQ(baseline.method, "bnb+release-lb");
+  // It dominates both of its ingredients.
+  const auto relaxed = mc::branch_and_bound(trace.to_instance());
+  EXPECT_GE(baseline.objective, relaxed.objective);
+  EXPECT_GE(baseline.objective,
+            mc::released_weighted_completion_lower_bound(
+                trace.to_instance(), trace.release_dates()));
+}
+
+// Beyond the exact-size guard only the released bound is affordable.
+TEST(OfflineBaseline, ReleaseBoundBeyondSizeGuard) {
+  const auto trace = random_trace(20, 9, 0.2);
+  const auto baseline = mo::offline_baseline(trace);
+  EXPECT_FALSE(baseline.exact);
+  EXPECT_EQ(baseline.method, "release-lb");
+  EXPECT_GT(baseline.objective, 0.0);
+}
+
+// The baseline is a genuine lower bound: no policy's replay beats it.
+TEST(OfflineBaseline, NeverExceedsAnyReplay) {
+  for (const std::uint64_t seed : {2ull, 13ull, 77ull}) {
+    for (const double spread : {0.0, 0.4}) {
+      const auto trace = random_trace(8, seed, spread);
+      const auto baseline = mo::offline_baseline(trace);
+      for (auto& policy : mo::all_replan_policies()) {
+        const auto run = mo::replay(trace, *policy);
+        EXPECT_LE(baseline.objective, run.weighted_completion * (1 + 1e-9))
+            << policy->name() << " seed " << seed << " spread " << spread;
+      }
+    }
+  }
+}
+
+// A fired CancelToken downgrades the result to the released lower bound —
+// a cancelled incumbent is an upper bound, unusable as a ratio denominator.
+TEST(OfflineBaseline, CancelledSolveDowngradesToLowerBound) {
+  const auto trace = random_trace(10, 3, 0.0);
+  mc::CancelSource source;
+  source.request_cancel();
+  mo::BaselineOptions options;
+  options.cancel = source.token();
+  const auto baseline = mo::offline_baseline(trace, options);
+  EXPECT_FALSE(baseline.exact);
+  EXPECT_EQ(baseline.method, "release-lb");
+  // Still a valid lower bound on the uncancelled optimum.
+  const auto full = mo::offline_baseline(trace);
+  EXPECT_LE(baseline.objective, full.objective);
+}
+
+// Degenerate inputs: an all-zero-volume trace has objective 0 yet stays
+// well-defined.
+TEST(OfflineBaseline, ZeroVolumeTraceIsExactZero) {
+  std::vector<mo::Arrival> arrivals;
+  arrivals.push_back({0.0, {0.0, 1.0, 2.0}});
+  arrivals.push_back({0.0, {0.0, 2.0, 1.0}});
+  const mo::ArrivalTrace trace(4.0, std::move(arrivals));
+  const auto baseline = mo::offline_baseline(trace);
+  EXPECT_TRUE(baseline.exact);
+  EXPECT_EQ(baseline.objective, 0.0);
+}

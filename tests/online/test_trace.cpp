@@ -1,0 +1,237 @@
+#include "malsched/online/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace mo = malsched::online;
+namespace mc = malsched::core;
+namespace ms = malsched::support;
+
+namespace {
+
+mo::ArrivalTrace sample_trace() {
+  std::vector<mo::Arrival> arrivals;
+  arrivals.push_back({0.0, {1.5, 2.0, 0.5}});
+  arrivals.push_back({0.25, {0.5, 1.0, 1.0}});
+  arrivals.push_back({1.0, {2.0, 4.0, 0.75}});
+  return mo::ArrivalTrace(4.0, std::move(arrivals));
+}
+
+}  // namespace
+
+using ArrivalTraceDeathTest = ::testing::Test;
+
+TEST(ArrivalTraceDeathTest, ValidatesInputs) {
+  EXPECT_DEATH(mo::ArrivalTrace(0.0, {}), "processors");
+  EXPECT_DEATH(mo::ArrivalTrace(
+                   4.0, {{1.0, {1.0, 1.0, 1.0}}, {0.5, {1.0, 1.0, 1.0}}}),
+               "non-decreasing");
+  EXPECT_DEATH(mo::ArrivalTrace(4.0, {{-0.5, {1.0, 1.0, 1.0}}}), "time");
+}
+
+TEST(ArrivalTrace, BatchViewAndReleases) {
+  const auto trace = sample_trace();
+  const auto inst = trace.to_instance();
+  ASSERT_EQ(inst.size(), 3u);
+  EXPECT_DOUBLE_EQ(inst.processors(), 4.0);
+  EXPECT_DOUBLE_EQ(inst.task(1).volume, 0.5);
+  const auto release = trace.release_dates();
+  ASSERT_EQ(release.size(), 3u);
+  EXPECT_DOUBLE_EQ(release[0], 0.0);
+  EXPECT_DOUBLE_EQ(release[2], 1.0);
+  EXPECT_FALSE(trace.all_at_time_zero());
+}
+
+TEST(ArrivalTrace, AllAtTimeZero) {
+  std::vector<mo::Arrival> arrivals;
+  arrivals.push_back({0.0, {1.0, 1.0, 1.0}});
+  arrivals.push_back({0.0, {2.0, 2.0, 0.5}});
+  const mo::ArrivalTrace trace(2.0, std::move(arrivals));
+  EXPECT_TRUE(trace.all_at_time_zero());
+}
+
+TEST(TraceIo, RoundTripsExactly) {
+  const auto trace = sample_trace();
+  const std::string text = mo::format_trace(trace);
+  std::string error;
+  const auto parsed = mo::parse_trace(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), trace.size());
+  EXPECT_EQ(parsed->processors(), trace.processors());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    // setprecision(17) serialization: bit-exact doubles through the text.
+    EXPECT_EQ(parsed->arrival(i).time, trace.arrival(i).time);
+    EXPECT_EQ(parsed->arrival(i).task.volume, trace.arrival(i).task.volume);
+    EXPECT_EQ(parsed->arrival(i).task.width, trace.arrival(i).task.width);
+    EXPECT_EQ(parsed->arrival(i).task.weight, trace.arrival(i).task.weight);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(mo::parse_trace("arrive 0 1 1 1\n", &error));  // no processors
+  EXPECT_NE(error.find("processors"), std::string::npos);
+  EXPECT_FALSE(mo::parse_trace("processors 4\n", &error));  // no arrivals
+  EXPECT_FALSE(
+      mo::parse_trace("processors 4\narrive 1 1 1 1\narrive 0 1 1 1\n",
+                      &error));  // decreasing times
+  EXPECT_NE(error.find("non-decreasing"), std::string::npos);
+  EXPECT_FALSE(mo::parse_trace("processors 4\nfrobnicate\n", &error));
+  EXPECT_NE(error.find("unknown keyword"), std::string::npos);
+  EXPECT_FALSE(
+      mo::parse_trace("processors 4\narrive 0 1 0 1\n", &error));  // width 0
+}
+
+TEST(TraceIo, ParsesCommentsAndBlanks) {
+  const char* text =
+      "# a comment\n"
+      "processors 4  # trailing comment\n"
+      "\n"
+      "arrive 0.5 1.0 2.0 0.25\n";
+  std::string error;
+  const auto parsed = mo::parse_trace(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->arrival(0).time, 0.5);
+}
+
+TEST(TraceFamilies, NamesRoundTrip) {
+  for (const auto family : mo::all_trace_families()) {
+    const auto parsed = mo::trace_family_from_name(mo::trace_family_name(family));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, family);
+  }
+  EXPECT_FALSE(mo::trace_family_from_name("uniform").has_value());
+}
+
+class TraceFamilyTest : public ::testing::TestWithParam<mo::TraceFamily> {};
+
+TEST_P(TraceFamilyTest, GeneratesValidTraces) {
+  ms::Rng rng(2718);
+  mo::TraceConfig config;
+  config.family = GetParam();
+  config.num_tasks = 16;
+  config.processors = 4.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto trace = mo::generate_trace(config, rng);
+    EXPECT_EQ(trace.size(), 16u);
+    double prev = 0.0;
+    for (const auto& a : trace.arrivals()) {
+      EXPECT_GE(a.time, prev);
+      prev = a.time;
+      EXPECT_GT(a.task.volume, 0.0);
+      EXPECT_GT(a.task.width, 0.0);
+      EXPECT_GT(a.task.weight, 0.0);
+    }
+  }
+}
+
+TEST_P(TraceFamilyTest, DeterministicGivenSeed) {
+  mo::TraceConfig config;
+  config.family = GetParam();
+  config.num_tasks = 12;
+  config.processors = 4.0;
+  ms::Rng rng_a(55);
+  ms::Rng rng_b(55);
+  const auto a = mo::generate_trace(config, rng_a);
+  const auto b = mo::generate_trace(config, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.arrival(i).time, b.arrival(i).time);
+    EXPECT_EQ(a.arrival(i).task.volume, b.arrival(i).task.volume);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraceFamilies, TraceFamilyTest,
+                         ::testing::ValuesIn(mo::all_trace_families()),
+                         [](const auto& info) {
+                           std::string name =
+                               mo::trace_family_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(TraceFamilies, AdversarialSpikeShape) {
+  ms::Rng rng(7);
+  mo::TraceConfig config;
+  config.family = mo::TraceFamily::AdversarialSpike;
+  config.num_tasks = 20;
+  config.processors = 4.0;
+  config.horizon = 4.0;
+  const auto trace = mo::generate_trace(config, rng);
+  // 3/4 of the jobs land exactly at the spike instant, and they are wide
+  // (δ > P/2) and heavy — the anti-greedy construction.
+  std::size_t at_spike = 0;
+  for (const auto& a : trace.arrivals()) {
+    if (a.time == 2.0) {
+      ++at_spike;
+      EXPECT_GT(a.task.width, 2.0);
+      EXPECT_GT(a.task.volume, 0.5);
+      EXPECT_GT(a.task.weight, 0.5);
+    }
+  }
+  EXPECT_EQ(at_spike, 15u);
+}
+
+namespace {
+
+std::uint64_t fnv1a_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int b = 0; b < 8; ++b) {
+    h ^= (bits >> (8 * b)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const mo::ArrivalTrace& trace) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a_double(h, trace.processors());
+  for (const auto& a : trace.arrivals()) {
+    h = fnv1a_double(h, a.time);
+    h = fnv1a_double(h, a.task.volume);
+    h = fnv1a_double(h, a.task.width);
+    h = fnv1a_double(h, a.task.weight);
+  }
+  return h;
+}
+
+}  // namespace
+
+// Pins the exact arrival/task double streams at (seed 20120521, n=8, P=4) —
+// the online counterpart of GeneratorGoldenHash.SeedStableStreams.  The
+// pinned bench traces and the CI t=0 gate ride on these streams; a
+// deliberate generator change must update the constants.  (diurnal routes
+// through libm sin/cos and poisson-bursts through log: bit-stable on the
+// glibc toolchains CI runs.)
+TEST(TraceGoldenHash, SeedStableStreams) {
+  struct Golden {
+    mo::TraceFamily family;
+    std::uint64_t hash;
+  };
+  const Golden golden[] = {
+      {mo::TraceFamily::PoissonBursts, 0xdf276a0fdc168f98ULL},
+      {mo::TraceFamily::Diurnal, 0x2f4de4e34ad7a4f4ULL},
+      {mo::TraceFamily::AdversarialSpike, 0x94dc6014a3026310ULL},
+  };
+  EXPECT_EQ(std::size(golden), mo::all_trace_families().size());
+  for (const auto& g : golden) {
+    ms::Rng rng(20120521);
+    mo::TraceConfig config;
+    config.family = g.family;
+    config.num_tasks = 8;
+    config.processors = 4.0;
+    const auto trace = mo::generate_trace(config, rng);
+    EXPECT_EQ(trace_hash(trace), g.hash)
+        << mo::trace_family_name(g.family)
+        << ": generated stream changed (got 0x" << std::hex
+        << trace_hash(trace) << ")";
+  }
+}

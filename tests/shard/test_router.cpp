@@ -306,3 +306,54 @@ TEST(Router, SingleShardDegeneratesToOneWorkerService) {
       msvc::run_service(batch, registry(), service_options));
   EXPECT_EQ(sharded, single);
 }
+
+TEST(Router, PerWorkerCacheStatsSumToAggregateAndExposeTtlExpiry) {
+  const auto batch = parse(kParityBatch);
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.worker.threads = 2;
+  options.worker.cache_ttl_seconds = 0.2;
+  mshard::ShardRouter router(registry(), options);
+  ASSERT_EQ(router.alive_count(), 2u);
+
+  const auto report = router.run(batch);
+  // The per-worker view decomposes the run's aggregate exactly.
+  msvc::CacheStats sum;
+  for (std::size_t w = 0; w < router.shard_count(); ++w) {
+    const auto stats = router.worker_cache_stats(w);
+    ASSERT_TRUE(stats.has_value()) << "worker " << w;
+    sum.hits += stats->hits;
+    sum.misses += stats->misses;
+    sum.evictions += stats->evictions;
+    sum.expired += stats->expired;
+    sum.entries += stats->entries;
+    sum.weight += stats->weight;
+    sum.capacity += stats->capacity;
+  }
+  EXPECT_EQ(sum.hits, report.cache.hits);
+  EXPECT_EQ(sum.misses, report.cache.misses);
+  EXPECT_EQ(sum.expired, report.cache.expired);
+  EXPECT_EQ(sum.entries, report.cache.entries);
+  EXPECT_EQ(sum.weight, report.cache.weight);
+  EXPECT_EQ(sum.capacity, report.cache.capacity);
+  EXPECT_EQ(sum.expired, 0u);  // nothing aged out yet
+  EXPECT_GT(sum.entries, 0u);
+
+  // Let the TTL lapse; the re-run's lookups age the old entries out, and
+  // the per-worker counters make the expirations attributable to a shard.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  (void)router.run(batch);
+  std::uint64_t expired = 0;
+  for (std::size_t w = 0; w < router.shard_count(); ++w) {
+    const auto stats = router.worker_cache_stats(w);
+    ASSERT_TRUE(stats.has_value()) << "worker " << w;
+    expired += stats->expired;
+  }
+  EXPECT_GT(expired, 0u);
+
+  // Out-of-range and dead workers answer nullopt, not a hang.
+  EXPECT_FALSE(router.worker_cache_stats(99).has_value());
+  router.kill(0);
+  EXPECT_FALSE(router.worker_cache_stats(0).has_value());
+  EXPECT_TRUE(router.worker_cache_stats(1).has_value());
+}
