@@ -30,6 +30,8 @@
 //      gate arms only on multi-core hosts).  Emitted to BENCH_shard.json.
 
 #include <benchmark/benchmark.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -472,6 +474,49 @@ bool run_sharded_vs_single(const service::SolverRegistry& registry,
   add("single-process (1 thread)", "single_process", single_seconds,
       shard_seconds[0]);
 
+  // Failover under load: the same batch, replication 2, and one worker
+  // SIGKILLed about 40% into the healthy x2 wall time.  Every request must
+  // still succeed — queued work fails over to the primed replica, in-flight
+  // work is *retried* under its idempotency token — and the run finishes at
+  // a useful fraction of the healthy rate.  The killer thread is joined
+  // before this function returns, restoring the fork-safety invariant.
+  bool failover_ok = false;
+  double failover_seconds = 0.0;
+  std::uint64_t retries_replayed = 0;
+  {
+    shard::RouterOptions options;
+    options.shards = 2;
+    options.replication = 2;
+    options.worker.threads = 1;
+    shard::ShardRouter router(registry, options);
+    const pid_t victim = router.pid_of(0);
+    std::thread killer([victim, delay = shard_seconds[1] * 0.4] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      if (victim > 0) {
+        ::kill(victim, SIGKILL);
+      }
+    });
+    const auto report = router.run(batch);
+    killer.join();
+    failover_seconds = report.wall_seconds;
+    std::size_t ok_count = 0;
+    for (const auto& result : report.results) {
+      ok_count += result.ok() ? 1 : 0;
+    }
+    const auto& stats = router.transport_stats();
+    retries_replayed = stats.retries_replayed;
+    failover_ok = ok_count == report.results.size() && stats.dead_peers == 1;
+    add("sharded x2, 1 killed mid-run", "failover_under_load",
+        failover_seconds, shard_seconds[0]);
+    json.add("failover_under_load", "ok_requests",
+             static_cast<double>(ok_count));
+    json.add("failover_under_load", "retries_replayed",
+             static_cast<double>(stats.retries_replayed));
+    json.add("failover_under_load", "dead_peers",
+             static_cast<double>(stats.dead_peers));
+    json.add("failover_under_load", "all_ok", failover_ok ? 1 : 0);
+  }
+
   const bool identical = sharded_text == single_text;
   const unsigned cores = std::thread::hardware_concurrency();
   // Router + workers need their own cores for fan-out to pay; on a
@@ -484,17 +529,22 @@ bool run_sharded_vs_single(const service::SolverRegistry& registry,
   std::printf("sharding transparency: --shards 2 output %s\n",
               identical ? "IDENTICAL to single-process (byte-for-byte)"
                         : "DIFFERS (BUG)");
-  std::printf("shard scaling: x2 vs x1 speedup %.2fx — %s\n\n",
+  std::printf("shard scaling: x2 vs x1 speedup %.2fx — %s\n",
               shard_seconds[0] / shard_seconds[1],
               !scaling_armed ? "not gated on a single-core host"
               : scales      ? "FASTER (ok)"
                             : "NOT FASTER (BUG)");
+  std::printf("failover under load: SIGKILL at 40%% of the x2 run, "
+              "%llu in-flight retr%s replayed, finished in %.2fs — %s\n\n",
+              static_cast<unsigned long long>(retries_replayed),
+              retries_replayed == 1 ? "y" : "ies", failover_seconds,
+              failover_ok ? "ALL REQUESTS OK (ok)" : "REQUESTS LOST (BUG)");
   json.add("transparency", "sharded_identical_to_single", identical ? 1 : 0);
   json.add("scaling", "speedup_2_shards_vs_1", shard_seconds[0] / shard_seconds[1]);
   json.add("scaling", "speedup_4_shards_vs_1", shard_seconds[0] / shard_seconds[2]);
   json.add("scaling", "gate_armed", scaling_armed ? 1 : 0);
   json.write();
-  return identical && (!scaling_armed || scales);
+  return identical && (!scaling_armed || scales) && failover_ok;
 }
 
 // Returns false when a correctness claim (determinism, streaming admission)

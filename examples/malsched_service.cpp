@@ -4,7 +4,8 @@
 //   ./examples/malsched_service <batch-file> [--threads N] [--repeat R]
 //                               [--cache-capacity W] [--cache-ttl S]
 //                               [--no-cache] [--queue-capacity N] [--fifo]
-//                               [--shards N] [--replication R] [--stats]
+//                               [--shards N] [--workers host:port,...]
+//                               [--replication R] [--stats]
 //   ./examples/malsched_service --solvers
 //
 // Batch file format (see malsched/service/service.hpp):
@@ -42,8 +43,17 @@
 // space across them with consistent hashing (docs/OPERATIONS.md): every
 // worker runs its own Scheduler (--threads each) and its own cache shard.
 // --replication R primes each instance on R ring owners so a worker death
-// mid-run fails over.  The fork happens before any in-process scheduler
-// exists, which is the documented spawning contract.
+// mid-run fails over — and, with the idempotency tokens of wire protocol
+// v2, in-flight requests are safely *retried* on a replica.  The fork
+// happens before any in-process scheduler exists, which is the documented
+// spawning contract.
+//
+// --workers host:port,... is the multi-host variant of --shards: instead
+// of forking, dial one `malsched_worker --listen` process per endpoint
+// (one shard each, versioned handshake on connect).  Worker Scheduler
+// flags are configured on each worker's own command line in this mode.
+// When sharded, --stats also prints the router's transport counters
+// (handshakes, dead peers, retries replayed) — the fleet-health view.
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,7 +62,9 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "malsched/net/socket.hpp"
 #include "malsched/service/service.hpp"
 #include "malsched/shard/router.hpp"
 
@@ -65,7 +77,7 @@ int usage(const char* prog) {
                "usage: %s <batch-file> [--threads N] [--repeat R] "
                "[--cache-capacity W] [--cache-ttl S] [--no-cache] "
                "[--queue-capacity N] [--fifo] [--shards N] "
-               "[--replication R] [--stats]\n"
+               "[--workers host:port,...] [--replication R] [--stats]\n"
                "       %s --solvers\n",
                prog, prog);
   return 64;
@@ -90,6 +102,7 @@ int main(int argc, char** argv) {
 
   service::ServiceOptions options;
   std::size_t shards = 0;       // 0 = single-process serving
+  std::vector<net::Endpoint> tcp_workers;  // --workers: dial, don't fork
   std::size_t replication = 1;  // instance fan-out when sharded
   bool show_stats = false;      // --stats: cache counter block on stderr
   // Numeric flags are range-checked: a stray "--threads -1" must not wrap
@@ -137,6 +150,15 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       shards = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      const auto endpoints = net::parse_endpoint_list(argv[++i]);
+      if (!endpoints) {
+        std::fprintf(stderr,
+                     "bad --workers list '%s' (want host:port,host:port)\n",
+                     argv[i]);
+        return usage(argv[0]);
+      }
+      tcp_workers = *endpoints;
     } else if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
       if (!parse_count(argv[++i], 256, &value) || value == 0) {
         return usage(argv[0]);
@@ -181,11 +203,13 @@ int main(int argc, char** argv) {
   };
 
   service::ServiceReport report;
-  if (shards > 0) {
-    // Sharded serving: fork the worker fleet *now*, while this process is
-    // still single-threaded, then stream the batch through the ring.
+  if (shards > 0 || !tcp_workers.empty()) {
+    // Sharded serving: fork (or dial) the worker fleet *now*, while this
+    // process is still single-threaded, then stream the batch through the
+    // ring.
     shard::RouterOptions router_options;
     router_options.shards = shards;
+    router_options.tcp_workers = tcp_workers;
     router_options.replication = replication;
     router_options.worker = options;  // same options, served per worker
     shard::ShardRouter router(registry, router_options);
@@ -206,6 +230,21 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "cache%-9s: worker dead\n", label.c_str());
         }
       }
+      // Transport counters: the fleet-health view — how many peers passed
+      // the handshake, how many died, how much work was retried.
+      const shard::TransportStats& transport = router.transport_stats();
+      std::fprintf(stderr,
+                   "transport      : handshakes=%llu handshake_failures=%llu "
+                   "dead_peers=%llu retries_replayed=%llu "
+                   "duplicates_dropped=%llu\n",
+                   static_cast<unsigned long long>(transport.handshakes),
+                   static_cast<unsigned long long>(
+                       transport.handshake_failures),
+                   static_cast<unsigned long long>(transport.dead_peers),
+                   static_cast<unsigned long long>(
+                       transport.retries_replayed),
+                   static_cast<unsigned long long>(
+                       transport.duplicates_dropped));
     }
   } else {
     report = service::run_service(*batch, registry, options);

@@ -1,0 +1,144 @@
+// malsched_worker: standalone shard worker for the multi-host fleet.
+//
+//   ./examples/malsched_worker --listen host:port [--threads N]
+//                              [--cache-capacity W] [--cache-ttl S]
+//                              [--no-cache] [--queue-capacity N] [--fifo]
+//                              [--once]
+//
+// Listens on host:port (port 0 = kernel-assigned; the bound port is
+// printed either way) and serves one router connection at a time: each
+// accepted connection is a full run_worker session — versioned `hello`
+// handshake first, then the wire protocol until the router closes (EOF =
+// drain) — with its own Scheduler and cache shard, configured by the same
+// flags malsched_service takes.  A mismatched or garbage peer is rejected
+// by the handshake and the worker goes back to accepting; it takes a
+// SIGTERM/SIGKILL (or --once) to stop it.
+//
+// The first line on stdout is `listening <host> <port>`, flushed before
+// the first accept, so launch scripts can scrape the ephemeral port.
+// Everything else goes to stderr.
+//
+// This is the `--workers host:port,...` counterpart on the router side
+// (malsched_service); deployment and failure semantics are described in
+// docs/OPERATIONS.md, "Multi-host fleet".
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "malsched/net/socket.hpp"
+#include "malsched/service/service.hpp"
+#include "malsched/shard/worker.hpp"
+
+using namespace malsched;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --listen host:port [--threads N] "
+               "[--cache-capacity W] [--cache-ttl S] [--no-cache] "
+               "[--queue-capacity N] [--fifo] [--once]\n",
+               prog);
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto registry = service::SolverRegistry::with_default_solvers();
+
+  service::ServiceOptions options;
+  std::string listen_text;
+  bool once = false;
+  const auto parse_count = [](const char* text, long max_value, long* out) {
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value < 0 || value > max_value) {
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    long value = 0;
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 256, &value)) {
+        return usage(argv[0]);
+      }
+      options.threads = static_cast<unsigned>(value);
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1000000000, &value)) {
+        return usage(argv[0]);
+      }
+      options.cache_capacity = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--cache-ttl") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const double seconds = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(seconds >= 0.0)) {
+        return usage(argv[0]);
+      }
+      options.cache_ttl_seconds = seconds;
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], 1000000, &value) || value == 0) {
+        return usage(argv[0]);
+      }
+      options.queue_capacity = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      options.use_cache = false;
+    } else if (std::strcmp(argv[i], "--fifo") == 0) {
+      options.fifo_admission = true;
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (listen_text.empty()) {
+    return usage(argv[0]);
+  }
+  const auto endpoint = net::parse_endpoint(listen_text);
+  if (!endpoint) {
+    std::fprintf(stderr, "bad --listen endpoint '%s' (want host:port)\n",
+                 listen_text.c_str());
+    return 64;
+  }
+
+  std::string error;
+  std::uint16_t bound_port = 0;
+  const int listen_fd = net::tcp_listen(*endpoint, &error, &bound_port);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 71;
+  }
+  std::printf("listening %s %u\n", endpoint->host.c_str(),
+              static_cast<unsigned>(bound_port));
+  std::fflush(stdout);
+
+  for (;;) {
+    const int fd =
+        net::tcp_accept(listen_fd, std::chrono::milliseconds(-1), &error);
+    if (fd < 0) {
+      std::fprintf(stderr, "accept failed: %s\n", error.c_str());
+      return 71;
+    }
+    // One router at a time: the whole wire session runs on this thread.
+    // run_worker greets, validates the peer's hello under a deadline, and
+    // returns 2 for impostors — we just go back to accepting.
+    const int rc = shard::run_worker(fd, registry, options);
+    ::close(fd);
+    if (rc == 2) {
+      std::fprintf(stderr, "rejected a peer at the protocol handshake\n");
+    } else if (rc != 0) {
+      std::fprintf(stderr, "connection ended on a protocol error\n");
+    }
+    if (once) {
+      return rc;
+    }
+  }
+}

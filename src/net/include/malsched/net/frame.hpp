@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file frame.hpp
+/// The transport-level framing of the malsched fleet: u32-little-endian
+/// length-prefixed payloads over any stream-socket fd, plus the single
+/// dead-peer classifier every layer above shares.
+///
+///     ┌────────────────────┬──────────────────────────┐
+///     │ length: u32 LE     │ payload: `length` bytes  │
+///     └────────────────────┴──────────────────────────┘
+///
+/// This file is transport, not protocol: it moves opaque byte payloads and
+/// says *typed* things about why a move failed.  What the payloads mean —
+/// the `solve`/`result`/`hello` message dialect — lives one layer up in
+/// `malsched/shard/wire.hpp`, which re-exports these functions so the two
+/// files stay one API.
+///
+/// Failure model.  Both the forked-socketpair path and the TCP path must
+/// take the *same* fail-over branch when a peer goes away, but the kernel
+/// reports death differently per transport: a socketpair peer vanishes as
+/// clean EOF/POLLHUP, while a TCP peer may vanish as ECONNRESET (RST),
+/// EPIPE, ETIMEDOUT or a half-open connection that only a timeout catches.
+/// `is_dead_peer_errno` is the one shared classifier that folds all of
+/// those into "the peer is dead"; `FrameError` carries the classification
+/// out of read_frame/write_frame so callers can distinguish a dead peer
+/// from a protocol violation (oversized frame) without re-deriving errno
+/// semantics — asymmetric death detection between the two transports was a
+/// real router bug class this closes.
+///
+/// The frame reader enforces a maximum payload size so a corrupted (or
+/// hostile) length prefix fails the connection instead of a 4 GiB
+/// allocation, and it never over-reads: exactly 4 + length bytes are
+/// consumed per frame, so a torn frame dribbled byte-at-a-time reassembles
+/// and a truncated one fails typed.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace malsched::net {
+
+/// Largest accepted frame payload.  Instances dominate frame size at ~60
+/// bytes per task; 256 MiB covers ~10^6-task instances with an order of
+/// magnitude to spare.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+/// Why a frame operation failed.  `None` only when the call succeeded.
+enum class FrameError {
+  None,
+  /// Clean EOF on a frame boundary: the peer closed deliberately (drain).
+  Eof,
+  /// The peer is gone: ECONNRESET/EPIPE/EOF-mid-frame and friends, as
+  /// classified by is_dead_peer_errno.  Fail over.
+  DeadPeer,
+  /// The length prefix exceeds kMaxFrameBytes: hostile or corrupted peer.
+  /// Fail the connection; never allocate.
+  Oversize,
+  /// The stream ended inside a frame (prefix or payload cut short).
+  Truncated,
+  /// read_frame_deadline ran out of budget with the frame incomplete.
+  Timeout,
+};
+
+/// Human-readable name of a FrameError ("dead-peer", ...), for diagnostics.
+[[nodiscard]] const char* frame_error_name(FrameError error) noexcept;
+
+/// The shared dead-peer classifier: true when `errno_value` means the peer
+/// of a stream socket is gone and the caller should take its fail-over
+/// branch.  Used by both frame directions and by the router's poll loop so
+/// socketpair EOF/POLLHUP and TCP ECONNRESET/EPIPE land in one branch.
+[[nodiscard]] bool is_dead_peer_errno(int errno_value) noexcept;
+
+/// Blocking frame I/O on a stream-socket fd (MSG_NOSIGNAL — a dead peer
+/// surfaces as an error return, never SIGPIPE).  Both return false on
+/// failure and classify it into *error when non-null.
+[[nodiscard]] bool write_frame(int fd, const std::string& payload,
+                               FrameError* error = nullptr);
+[[nodiscard]] bool read_frame(int fd, std::string* payload,
+                              FrameError* error = nullptr);
+
+/// read_frame with a wall-clock budget: polls before every chunk so a
+/// silent, wedged or hostile peer (e.g. a garbage greeting whose bytes
+/// happen to promise a frame that never arrives) cannot hang the caller.
+/// Used for handshakes and any other exchange with an untrusted peer.
+[[nodiscard]] bool read_frame_deadline(
+    int fd, std::string* payload,
+    std::chrono::steady_clock::time_point deadline,
+    FrameError* error = nullptr);
+
+}  // namespace malsched::net

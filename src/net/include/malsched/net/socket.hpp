@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file socket.hpp
+/// TCP plumbing for the multi-host fleet: endpoint parsing, listening
+/// sockets and non-blocking connects with a timeout.
+///
+/// Everything here returns plain file descriptors on purpose — the frame
+/// layer (frame.hpp), the wire dialect (shard/wire.hpp) and the worker loop
+/// are all fd-based, so a TCP connection and a forked socketpair end are
+/// interchangeable from the first byte on.  Socket options applied:
+///
+///   * `SO_REUSEADDR` on listeners, so a restarted worker rebinds its port
+///     without waiting out TIME_WAIT (the restart-and-rebalance flow).
+///   * `TCP_NODELAY` on every connection, both ends.  The protocol is
+///     strictly request/response with small frames; Nagle would add up to
+///     40 ms of artificial latency per round-trip for nothing.
+///   * Connects are non-blocking with a poll deadline: a black-holed host
+///     fails typed after `timeout` instead of hanging the router for the
+///     kernel's minutes-long default.  Within the budget, connection-
+///     refused is retried briefly — a worker that is still calling listen()
+///     (the CI startup race) is indistinguishable from a dead one except by
+///     waiting.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace malsched::net {
+
+/// A "host:port" pair.  Host is an IPv4 dotted quad or a DNS name.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Parses "host:port".  nullopt when the host is empty, the port is not a
+/// number, or the port is out of range.  Port 0 is allowed for listeners
+/// (the kernel assigns an ephemeral port, reported by tcp_listen).
+[[nodiscard]] std::optional<Endpoint> parse_endpoint(const std::string& text);
+
+/// Splits a comma-separated endpoint list ("h1:p1,h2:p2").  nullopt when
+/// any element fails to parse or the list is empty.
+[[nodiscard]] std::optional<std::vector<Endpoint>> parse_endpoint_list(
+    const std::string& text);
+
+/// Binds and listens on `endpoint` (SO_REUSEADDR set).  Returns the
+/// listening fd, or -1 with *error set.  When endpoint.port is 0, the
+/// kernel-assigned port is written back to *bound_port (also filled for
+/// fixed ports, for uniformity).
+[[nodiscard]] int tcp_listen(const Endpoint& endpoint, std::string* error,
+                             std::uint16_t* bound_port = nullptr);
+
+/// Accepts one connection from a tcp_listen fd, blocking up to `timeout`
+/// (negative = forever).  Returns the connected fd with TCP_NODELAY set, or
+/// -1 (timeout, closed listener, or accept failure) with *error set.
+[[nodiscard]] int tcp_accept(int listen_fd, std::chrono::milliseconds timeout,
+                             std::string* error);
+
+/// Connects to `endpoint` with a non-blocking connect bounded by `timeout`,
+/// retrying connection-refused within the budget (worker startup race).
+/// Returns the connected fd with TCP_NODELAY set, or -1 with *error set.
+[[nodiscard]] int tcp_connect(const Endpoint& endpoint,
+                              std::chrono::milliseconds timeout,
+                              std::string* error);
+
+}  // namespace malsched::net

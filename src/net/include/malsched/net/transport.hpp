@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file transport.hpp
+/// The Transport seam of the shard data path: how the router obtains (and
+/// tears down) a connected stream fd per peer, with everything above —
+/// frames, handshake, wire dialect, failover — identical across
+/// implementations.
+///
+///   * ForkTransport — the original single-host topology: each open() forks
+///     a child over an AF_UNIX socketpair and runs a caller-supplied
+///     child-main on the peer end.  Teardown owns the process: graceful
+///     close (EOF = drain) reaps the child after it exits on its own; hard
+///     close SIGKILLs first.
+///   * TcpTransport — the multi-host topology: each open() connects to a
+///     `host:port` endpoint (socket.hpp semantics: non-blocking connect
+///     with timeout, refused-retry for the startup race, TCP_NODELAY).
+///     The worker process belongs to whoever launched `malsched_worker`
+///     there; teardown is just closing our end.
+///
+/// The contract deliberately returns raw fds and leaves the versioned
+/// `hello` handshake to the caller: the handshake is protocol
+/// (shard/wire.hpp), not transport, and keeping it out of here means a
+/// transport cannot skip it.
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "malsched/net/socket.hpp"
+
+namespace malsched::net {
+
+/// How a router reaches its fixed-size set of peers.  Not thread-safe, like
+/// the router that owns it.  Indices are stable across reopen (restart).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Number of peers this transport addresses.
+  [[nodiscard]] virtual std::size_t peer_count() const = 0;
+
+  /// Opens a connected stream fd to peer `index` (forking it or dialing
+  /// it).  Returns -1 with *error set (when non-null) on failure.  Any
+  /// previously opened fd for this index must have been closed via
+  /// disconnect()/terminate() first.
+  [[nodiscard]] virtual int open(std::size_t index, std::string* error) = 0;
+
+  /// Graceful teardown of peer `index`: closes `fd` (EOF is the drain
+  /// signal in the wire dialect) and, when this transport owns the peer
+  /// process, waits for it to exit on its own.
+  virtual void disconnect(std::size_t index, int fd) = 0;
+
+  /// Hard teardown: closes `fd` and, when this transport owns the peer
+  /// process, SIGKILLs and reaps it.  For peers already observed dead and
+  /// for the operator's shoot-the-wedged-worker button.
+  virtual void terminate(std::size_t index, int fd) = 0;
+
+  /// Pid of the process behind peer `index`, when this transport owns it;
+  /// -1 otherwise (remote peers, never-opened or torn-down slots).
+  [[nodiscard]] virtual pid_t pid_of(std::size_t /*index*/) const {
+    return -1;
+  }
+
+  /// Human-readable peer address ("forked pid 1234", "10.0.0.7:9000") for
+  /// diagnostics and error text.
+  [[nodiscard]] virtual std::string describe(std::size_t index) const = 0;
+
+ protected:
+  Transport() = default;
+};
+
+/// Forked children over AF_UNIX socketpairs — the single-host topology.
+class ForkTransport final : public Transport {
+ public:
+  /// `child_main(fd)` runs in the forked child on the peer end of the
+  /// socketpair and its return value becomes the child's exit status (via
+  /// _exit, so the parent's stdio buffers are never flushed twice).
+  /// IMPORTANT: fork()-without-exec — construct and open() before the
+  /// calling process creates any threads.
+  ForkTransport(std::size_t count, std::function<int(int)> child_main);
+  ~ForkTransport() override;
+
+  [[nodiscard]] std::size_t peer_count() const override {
+    return children_.size();
+  }
+  [[nodiscard]] int open(std::size_t index, std::string* error) override;
+  void disconnect(std::size_t index, int fd) override;
+  void terminate(std::size_t index, int fd) override;
+  [[nodiscard]] pid_t pid_of(std::size_t index) const override;
+  [[nodiscard]] std::string describe(std::size_t index) const override;
+
+ private:
+  struct Child {
+    pid_t pid = -1;
+    int fd = -1;  ///< parent-side end, tracked so later forks can close it
+  };
+  std::vector<Child> children_;
+  std::function<int(int)> child_main_;
+};
+
+/// Dialed `host:port` workers — the multi-host topology.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(std::vector<Endpoint> endpoints,
+                        std::chrono::milliseconds connect_timeout =
+                            std::chrono::milliseconds(5000));
+
+  [[nodiscard]] std::size_t peer_count() const override {
+    return endpoints_.size();
+  }
+  [[nodiscard]] int open(std::size_t index, std::string* error) override;
+  void disconnect(std::size_t index, int fd) override;
+  void terminate(std::size_t index, int fd) override;
+  [[nodiscard]] std::string describe(std::size_t index) const override;
+
+ private:
+  std::vector<Endpoint> endpoints_;
+  std::chrono::milliseconds connect_timeout_;
+};
+
+}  // namespace malsched::net

@@ -1,0 +1,211 @@
+#include "malsched/net/frame.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace malsched::net {
+
+namespace {
+
+void classify(FrameError* error, FrameError value) {
+  if (error != nullptr) {
+    *error = value;
+  }
+}
+
+// Raw socket I/O that restarts on EINTR and reports a dead peer as false.
+// MSG_NOSIGNAL everywhere: the router must observe worker death as an error
+// return it can fail over from, not a process-killing SIGPIPE.
+bool write_all(int fd, const void* data, std::size_t size,
+               FrameError* error) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, cursor, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      classify(error, FrameError::DeadPeer);
+      return false;
+    }
+    cursor += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+// `at_boundary` distinguishes a clean close (EOF before any prefix byte:
+// the peer drained and left) from a truncation (EOF inside a frame).
+bool read_all(int fd, void* data, std::size_t size, bool at_boundary,
+              FrameError* error) {
+  char* cursor = static_cast<char*>(data);
+  bool first_byte = true;
+  while (size > 0) {
+    const ssize_t got = ::recv(fd, cursor, size, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      classify(error, FrameError::DeadPeer);
+      return false;
+    }
+    if (got == 0) {  // EOF: peer closed (worker exit or router gone)
+      classify(error, at_boundary && first_byte ? FrameError::Eof
+                                                : FrameError::Truncated);
+      return false;
+    }
+    first_byte = false;
+    cursor += got;
+    size -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+std::uint32_t decode_length(const unsigned char prefix[4]) {
+  return static_cast<std::uint32_t>(prefix[0]) |
+         (static_cast<std::uint32_t>(prefix[1]) << 8) |
+         (static_cast<std::uint32_t>(prefix[2]) << 16) |
+         (static_cast<std::uint32_t>(prefix[3]) << 24);
+}
+
+}  // namespace
+
+const char* frame_error_name(FrameError error) noexcept {
+  switch (error) {
+    case FrameError::None:
+      return "none";
+    case FrameError::Eof:
+      return "eof";
+    case FrameError::DeadPeer:
+      return "dead-peer";
+    case FrameError::Oversize:
+      return "oversize";
+    case FrameError::Truncated:
+      return "truncated";
+    case FrameError::Timeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+bool is_dead_peer_errno(int errno_value) noexcept {
+  switch (errno_value) {
+    case ECONNRESET:   // TCP RST: the peer process died or closed hard
+    case EPIPE:        // write after the peer closed its read side
+    case ECONNABORTED: // connection aborted before we got to it
+    case ETIMEDOUT:    // TCP keepalive/retransmit gave up on a silent host
+    case ENOTCONN:     // the kernel already tore the association down
+    case ESHUTDOWN:    // I/O after shutdown(2)
+    case EHOSTUNREACH: // routing collapsed under an established connection
+    case ENETRESET:    // network dropped the connection on reset
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool write_frame(int fd, const std::string& payload, FrameError* error) {
+  classify(error, FrameError::None);
+  if (payload.size() > kMaxFrameBytes) {
+    classify(error, FrameError::Oversize);
+    return false;
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(length & 0xFF),
+      static_cast<unsigned char>((length >> 8) & 0xFF),
+      static_cast<unsigned char>((length >> 16) & 0xFF),
+      static_cast<unsigned char>((length >> 24) & 0xFF)};
+  return write_all(fd, prefix, sizeof prefix, error) &&
+         write_all(fd, payload.data(), payload.size(), error);
+}
+
+bool read_frame(int fd, std::string* payload, FrameError* error) {
+  classify(error, FrameError::None);
+  unsigned char prefix[4];
+  if (!read_all(fd, prefix, sizeof prefix, /*at_boundary=*/true, error)) {
+    return false;
+  }
+  const std::uint32_t length = decode_length(prefix);
+  if (length > kMaxFrameBytes) {
+    classify(error, FrameError::Oversize);
+    return false;  // corrupted prefix: fail the connection, don't allocate
+  }
+  payload->resize(length);
+  return length == 0 ||
+         read_all(fd, payload->data(), length, /*at_boundary=*/false, error);
+}
+
+bool read_frame_deadline(int fd, std::string* payload,
+                         std::chrono::steady_clock::time_point deadline,
+                         FrameError* error) {
+  classify(error, FrameError::None);
+
+  // Poll-then-recv per chunk: the recv can only block if the peer raced a
+  // byte in and out between poll and recv, which a stream socket cannot do,
+  // so the loop's wait time is bounded by the deadline.
+  const auto read_some = [&](void* data, std::size_t size,
+                             bool at_boundary) {
+    char* cursor = static_cast<char*>(data);
+    bool first_byte = at_boundary;
+    while (size > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        classify(error, FrameError::Timeout);
+        return false;
+      }
+      struct pollfd pfd {
+        fd, POLLIN, 0
+      };
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        classify(error, FrameError::DeadPeer);
+        return false;
+      }
+      if (ready == 0) {
+        classify(error, FrameError::Timeout);
+        return false;
+      }
+      // POLLHUP/POLLERR still allow recv to drain buffered bytes and then
+      // report the EOF/error itself, which classifies precisely below.
+      const ssize_t got = ::recv(fd, cursor, size, 0);
+      if (got < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        classify(error, FrameError::DeadPeer);
+        return false;
+      }
+      if (got == 0) {
+        classify(error, first_byte ? FrameError::Eof : FrameError::Truncated);
+        return false;
+      }
+      first_byte = false;
+      cursor += got;
+      size -= static_cast<std::size_t>(got);
+    }
+    return true;
+  };
+
+  unsigned char prefix[4];
+  if (!read_some(prefix, sizeof prefix, /*at_boundary=*/true)) {
+    return false;
+  }
+  const std::uint32_t length = decode_length(prefix);
+  if (length > kMaxFrameBytes) {
+    classify(error, FrameError::Oversize);
+    return false;
+  }
+  payload->resize(length);
+  return length == 0 ||
+         read_some(payload->data(), length, /*at_boundary=*/false);
+}
+
+}  // namespace malsched::net

@@ -1,0 +1,252 @@
+#include "malsched/net/socket.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace malsched::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what;
+  }
+}
+
+std::string errno_text(int errno_value) {
+  return std::strerror(errno_value);
+}
+
+void set_nodelay(int fd) {
+  // Best effort: AF_UNIX sockets (tests reuse these helpers) reject it.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// getaddrinfo for one endpoint; caller frees with freeaddrinfo.
+struct addrinfo* resolve(const Endpoint& endpoint, bool listening,
+                         std::string* error) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof hints);
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = listening ? AI_PASSIVE : 0;
+  struct addrinfo* result = nullptr;
+  const std::string port = std::to_string(endpoint.port);
+  const int rc =
+      ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &result);
+  if (rc != 0) {
+    set_error(error, "cannot resolve '" + endpoint.to_string() +
+                         "': " + ::gai_strerror(rc));
+    return nullptr;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<Endpoint> parse_endpoint(const std::string& text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  Endpoint endpoint;
+  endpoint.host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end != port_text.c_str() + port_text.size() || errno == ERANGE ||
+      port > 65535) {
+    return std::nullopt;
+  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+std::optional<std::vector<Endpoint>> parse_endpoint_list(
+    const std::string& text) {
+  std::vector<Endpoint> endpoints;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    auto end = text.find(',', begin);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const auto endpoint = parse_endpoint(text.substr(begin, end - begin));
+    if (!endpoint) {
+      return std::nullopt;
+    }
+    endpoints.push_back(*endpoint);
+    begin = end + 1;
+  }
+  if (endpoints.empty()) {
+    return std::nullopt;
+  }
+  return endpoints;
+}
+
+int tcp_listen(const Endpoint& endpoint, std::string* error,
+               std::uint16_t* bound_port) {
+  struct addrinfo* addresses = resolve(endpoint, /*listening=*/true, error);
+  if (addresses == nullptr) {
+    return -1;
+  }
+  int fd = -1;
+  int last_errno = 0;
+  for (struct addrinfo* a = addresses; a != nullptr; a = a->ai_next) {
+    fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    // SO_REUSEADDR: a restarted worker must rebind its advertised port
+    // immediately, not after TIME_WAIT drains.
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, a->ai_addr, a->ai_addrlen) == 0 && ::listen(fd, 64) == 0) {
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(addresses);
+  if (fd < 0) {
+    set_error(error, "cannot listen on '" + endpoint.to_string() +
+                         "': " + errno_text(last_errno));
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    struct sockaddr_storage bound;
+    socklen_t bound_len = sizeof bound;
+    *bound_port = 0;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        *bound_port = ntohs(
+            reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        *bound_port = ntohs(
+            reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+  }
+  return fd;
+}
+
+int tcp_accept(int listen_fd, std::chrono::milliseconds timeout,
+               std::string* error) {
+  for (;;) {
+    struct pollfd pfd {
+      listen_fd, POLLIN, 0
+    };
+    const int ready = ::poll(&pfd, 1,
+                             timeout.count() < 0
+                                 ? -1
+                                 : static_cast<int>(timeout.count()));
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      set_error(error, std::string("accept poll failed: ") +
+                           errno_text(errno));
+      return -1;
+    }
+    if (ready == 0) {
+      set_error(error, "accept timed out");
+      return -1;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;  // the connector gave up between poll and accept
+      }
+      set_error(error, std::string("accept failed: ") + errno_text(errno));
+      return -1;
+    }
+    set_nodelay(fd);
+    return fd;
+  }
+}
+
+int tcp_connect(const Endpoint& endpoint, std::chrono::milliseconds timeout,
+                std::string* error) {
+  const auto deadline = Clock::now() + timeout;
+  std::string last_error =
+      "cannot connect to '" + endpoint.to_string() + "'";
+  // Refused connections retry within the budget: a worker binary that is
+  // milliseconds away from listen() (fleet startup) looks exactly like a
+  // dead host until it isn't.
+  for (;;) {
+    struct addrinfo* addresses =
+        resolve(endpoint, /*listening=*/false, error);
+    if (addresses == nullptr) {
+      return -1;
+    }
+    bool refused = false;
+    for (struct addrinfo* a = addresses; a != nullptr; a = a->ai_next) {
+      const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+      if (fd < 0) {
+        continue;
+      }
+      // Non-blocking connect + poll(POLLOUT): bounded by our deadline, not
+      // the kernel's minutes-long SYN retransmit schedule.
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      int rc = ::connect(fd, a->ai_addr, a->ai_addrlen);
+      if (rc != 0 && errno == EINPROGRESS) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now());
+        struct pollfd pfd {
+          fd, POLLOUT, 0
+        };
+        const int ready = ::poll(
+            &pfd, 1,
+            left.count() <= 0 ? 0 : static_cast<int>(left.count()));
+        if (ready > 0) {
+          int so_error = 0;
+          socklen_t len = sizeof so_error;
+          (void)::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+          rc = so_error == 0 ? 0 : -1;
+          errno = so_error;
+        } else {
+          rc = -1;
+          errno = ETIMEDOUT;
+        }
+      }
+      if (rc == 0) {
+        (void)::fcntl(fd, F_SETFL, flags);  // back to blocking for frame I/O
+        set_nodelay(fd);
+        ::freeaddrinfo(addresses);
+        return fd;
+      }
+      last_error = "cannot connect to '" + endpoint.to_string() +
+                   "': " + errno_text(errno);
+      refused = errno == ECONNREFUSED;
+      ::close(fd);
+    }
+    ::freeaddrinfo(addresses);
+    if (!refused || Clock::now() + std::chrono::milliseconds(50) >= deadline) {
+      set_error(error, last_error);
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace malsched::net

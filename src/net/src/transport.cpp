@@ -1,0 +1,152 @@
+#include "malsched/net/transport.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace malsched::net {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what;
+  }
+}
+
+}  // namespace
+
+// --- ForkTransport ---------------------------------------------------------
+
+ForkTransport::ForkTransport(std::size_t count,
+                             std::function<int(int)> child_main)
+    : children_(count), child_main_(std::move(child_main)) {}
+
+ForkTransport::~ForkTransport() {
+  // Anything still tracked was never handed back through disconnect() /
+  // terminate() — tear it down hard so the destructor cannot hang on a
+  // wedged child.
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].fd >= 0 || children_[i].pid > 0) {
+      terminate(i, children_[i].fd);
+    }
+  }
+}
+
+int ForkTransport::open(std::size_t index, std::string* error) {
+  if (index >= children_.size()) {
+    set_error(error, "fork transport has no peer " + std::to_string(index));
+    return -1;
+  }
+  int sockets[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sockets) != 0) {
+    set_error(error, "socketpair failed");
+    return -1;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sockets[0]);
+    ::close(sockets[1]);
+    set_error(error, "fork failed");
+    return -1;
+  }
+  if (pid == 0) {
+    // Child: keep only our own socket end; inherited peer fds of the other
+    // children would hold their connections open past the router's close.
+    ::close(sockets[0]);
+    for (const Child& other : children_) {
+      if (other.fd >= 0) {
+        ::close(other.fd);
+      }
+    }
+    // _exit, not exit: the child shares the parent's stdio buffers and must
+    // not flush them a second time.
+    ::_exit(child_main_(sockets[1]));
+  }
+  ::close(sockets[1]);
+  children_[index] = Child{pid, sockets[0]};
+  return sockets[0];
+}
+
+void ForkTransport::disconnect(std::size_t index, int fd) {
+  if (index >= children_.size()) {
+    return;
+  }
+  if (fd >= 0) {
+    ::close(fd);  // EOF: the child drains its admitted work and exits
+  }
+  Child& child = children_[index];
+  if (child.pid > 0) {
+    int status = 0;
+    ::waitpid(child.pid, &status, 0);
+  }
+  child = Child{};
+}
+
+void ForkTransport::terminate(std::size_t index, int fd) {
+  if (index >= children_.size()) {
+    return;
+  }
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  Child& child = children_[index];
+  if (child.pid > 0) {
+    // The caller says the child is gone or unresponsive; make that true
+    // (SIGKILL on an already-dead pid is a no-op) so the reap cannot hang.
+    ::kill(child.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(child.pid, &status, 0);
+  }
+  child = Child{};
+}
+
+pid_t ForkTransport::pid_of(std::size_t index) const {
+  return index < children_.size() ? children_[index].pid : -1;
+}
+
+std::string ForkTransport::describe(std::size_t index) const {
+  if (index >= children_.size()) {
+    return "forked worker ?";
+  }
+  return "forked worker " + std::to_string(index) +
+         (children_[index].pid > 0
+              ? " (pid " + std::to_string(children_[index].pid) + ")"
+              : "");
+}
+
+// --- TcpTransport ----------------------------------------------------------
+
+TcpTransport::TcpTransport(std::vector<Endpoint> endpoints,
+                           std::chrono::milliseconds connect_timeout)
+    : endpoints_(std::move(endpoints)), connect_timeout_(connect_timeout) {}
+
+int TcpTransport::open(std::size_t index, std::string* error) {
+  if (index >= endpoints_.size()) {
+    set_error(error, "tcp transport has no peer " + std::to_string(index));
+    return -1;
+  }
+  return tcp_connect(endpoints_[index], connect_timeout_, error);
+}
+
+void TcpTransport::disconnect(std::size_t /*index*/, int fd) {
+  if (fd >= 0) {
+    ::close(fd);  // EOF still means drain; the remote process is not ours
+  }
+}
+
+void TcpTransport::terminate(std::size_t /*index*/, int fd) {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+std::string TcpTransport::describe(std::size_t index) const {
+  return index < endpoints_.size() ? endpoints_[index].to_string()
+                                   : "tcp worker ?";
+}
+
+}  // namespace malsched::net

@@ -45,14 +45,15 @@ enum class ErrorCode {
   QueueClosed,       ///< submitted after Scheduler::close()
   Cancelled,         ///< the client abandoned the request (Ticket::cancel())
   DeadlineExceeded,  ///< SubmitOptions::deadline passed before completion
+  ProtocolMismatch,  ///< a fleet peer failed the versioned wire handshake
 };
 
 /// Every ErrorCode, the single enumeration the parser and tests iterate.
 inline constexpr ErrorCode kAllErrorCodes[] = {
-    ErrorCode::UnknownSolver, ErrorCode::SizeGuard,
-    ErrorCode::ParseError,    ErrorCode::SolverFailure,
-    ErrorCode::QueueClosed,   ErrorCode::Cancelled,
-    ErrorCode::DeadlineExceeded};
+    ErrorCode::UnknownSolver,    ErrorCode::SizeGuard,
+    ErrorCode::ParseError,       ErrorCode::SolverFailure,
+    ErrorCode::QueueClosed,      ErrorCode::Cancelled,
+    ErrorCode::DeadlineExceeded, ErrorCode::ProtocolMismatch};
 
 /// Stable kebab-case name of a code ("unknown-solver", ...), the form
 /// `write_results` emits.

@@ -24,6 +24,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::QueueClosed: return "queue-closed";
     case ErrorCode::Cancelled: return "cancelled";
     case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::ProtocolMismatch: return "protocol-mismatch";
   }
   return "solver-failure";
 }

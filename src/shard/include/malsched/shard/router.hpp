@@ -27,30 +27,44 @@
 /// doubles cross the wire as exact hexfloats, and each result depends only
 /// on its own (solver, instance) pair.
 ///
-/// Failure semantics: a worker that dies mid-run (crash, kill -9) fails its
-/// in-flight requests with a typed `SolverFailure` (a solve may or may not
-/// have happened — at-most-once, never retried blindly) and is removed from
-/// the ring; requests not yet sent fail over to the next alive replica
-/// owner when `replication > 1` (the instance is already primed there) and
-/// fail with `SolverFailure` otherwise.  `restart` re-forks the worker and
-/// replants its ring points — by the minimal-movement property only its own
-/// arcs move back, so the other workers' caches stay warm.
+/// Transports: workers are reached through a net::Transport.  By default
+/// each is forked over a socketpair (single-host).  With
+/// `RouterOptions::tcp_workers` set, each is a `malsched_worker --listen`
+/// process dialed over TCP (multi-host) — same frames, same handshake, same
+/// failover; only how the fd is obtained differs.  Every new connection
+/// starts with the versioned `hello` handshake; a peer that fails it is
+/// rejected typed (ProtocolMismatch) and never joins the ring.
 ///
-/// Spawning uses fork() without exec: call the constructor before creating
-/// any in-process Scheduler (or other threads), exactly like the example
-/// CLI does — the forked child runs `run_worker` and `_exit`s, never
-/// touching the parent's stdio.  The router itself is single-threaded and
-/// not thread-safe.
+/// Failure semantics: a worker death (crash, kill -9, connection reset —
+/// one shared dead-peer classifier regardless of transport) removes it from
+/// the ring, and its work moves to the next alive replica owner when
+/// `replication > 1` (the instance is already primed there).  Queued work
+/// simply fails over; *in-flight* work is safely **retried** on the replica
+/// under the same idempotency token — the dead worker may or may not have
+/// solved it, but tokens are solved at most once per worker and results are
+/// deduplicated router-side, so each request is solved effectively once.
+/// With no alive replica, in-flight work fails with a typed
+/// `SolverFailure`.  `restart` re-opens the worker and replants its ring
+/// points — by the minimal-movement property only its own arcs move back,
+/// so the other workers' caches stay warm.
+///
+/// Spawning (fork transport) uses fork() without exec: call the constructor
+/// before creating any in-process Scheduler (or other threads), exactly
+/// like the example CLI does — the forked child runs `run_worker` and
+/// `_exit`s, never touching the parent's stdio.  The router itself is
+/// single-threaded and not thread-safe.
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <sys/types.h>
 #include <vector>
 
+#include "malsched/net/transport.hpp"
 #include "malsched/service/service.hpp"
 #include "malsched/service/solver_registry.hpp"
 #include "malsched/shard/hash_ring.hpp"
@@ -60,19 +74,40 @@ namespace malsched::shard {
 
 struct RouterOptions {
   /// Worker processes to fork.  Each owns a disjoint arc of the canonical
-  /// key space (and the cache shard for it).
+  /// key space (and the cache shard for it).  Ignored when `tcp_workers`
+  /// is set.
   std::size_t shards = 2;
+  /// Multi-host fleet: dial these `malsched_worker --listen` endpoints over
+  /// TCP instead of forking.  One shard per endpoint; `shards` is derived.
+  std::vector<net::Endpoint> tcp_workers;
+  /// TCP connect budget per worker (covers the worker-still-starting race:
+  /// connection-refused retries within it).  Fork transport ignores it.
+  std::chrono::milliseconds connect_timeout{5000};
+  /// How long to wait for a peer's `hello` before rejecting it.
+  std::chrono::milliseconds handshake_timeout{10000};
   /// Virtual nodes per worker on the hash ring (see hash_ring.hpp).
   std::size_t vnodes = 64;
   /// Distinct ring owners each instance is primed on.  1 = no failover;
-  /// r > 1 lets pending requests re-route when their primary dies mid-run.
+  /// r > 1 lets queued work re-route and in-flight work retry (idempotency
+  /// tokens) when their primary dies mid-run.
   std::size_t replication = 1;
-  /// Scheduler/cache configuration of every worker process.
+  /// Scheduler/cache configuration of every worker process.  For TCP
+  /// workers this is configured on the `malsched_worker` command line
+  /// instead; this field only shapes the router-side window clamp.
   WorkerOptions worker;
   /// Max in-flight requests per worker (clamped to the worker's queue
   /// capacity so its reader thread never blocks on admission backpressure —
   /// the invariant that keeps the socket pair deadlock-free).
   std::size_t window = 64;
+};
+
+/// Transport-layer counters of one router, for `--stats` and tests.
+struct TransportStats {
+  std::uint64_t handshakes = 0;          ///< hello exchanges accepted
+  std::uint64_t handshake_failures = 0;  ///< peers rejected at hello
+  std::uint64_t dead_peers = 0;          ///< workers observed dead
+  std::uint64_t retries_replayed = 0;    ///< in-flight retries on replicas
+  std::uint64_t duplicates_dropped = 0;  ///< results dropped by the dedup
 };
 
 struct RouterRunOptions {
@@ -83,8 +118,10 @@ struct RouterRunOptions {
 
 class ShardRouter {
  public:
-  /// Forks the worker fleet.  The registry must outlive the router; it is
-  /// also the registry each forked worker serves with.
+  /// Forks (or, with `tcp_workers`, dials) the worker fleet, performing the
+  /// versioned handshake with each.  The registry must outlive the router;
+  /// it is also the registry each *forked* worker serves with (TCP workers
+  /// serve with whatever registry their process was started with).
   ShardRouter(const service::SolverRegistry& registry,
               RouterOptions options = {});
   /// Closes every worker socket (EOF = drain: admitted jobs finish) and
@@ -148,15 +185,20 @@ class ShardRouter {
   }
   [[nodiscard]] const HashRing& ring() const { return ring_; }
 
-  /// Worker process id (-1 when dead), for operational tooling and the
-  /// fault-injection tests that SIGKILL a worker behind the router's back.
+  /// Worker process id (-1 when dead or remote), for operational tooling
+  /// and the fault-injection tests that SIGKILL a worker behind the
+  /// router's back.  TCP workers are other hosts' processes: always -1.
   [[nodiscard]] pid_t pid_of(std::size_t worker) const {
-    return worker < workers_.size() ? workers_[worker].pid : -1;
+    return worker < workers_.size() ? transport_->pid_of(worker) : -1;
+  }
+
+  /// Transport-layer counters: handshakes, dead peers, retries replayed.
+  [[nodiscard]] const TransportStats& transport_stats() const {
+    return transport_stats_;
   }
 
  private:
   struct Worker {
-    pid_t pid = -1;
     int fd = -1;
     bool alive = false;
   };
@@ -170,8 +212,15 @@ class ShardRouter {
   const service::SolverRegistry& registry_;
   RouterOptions options_;
   HashRing ring_;
+  std::unique_ptr<net::Transport> transport_;
   std::vector<Worker> workers_;
+  /// Last handshake/connect failure per worker slot; empty = none.  Lets
+  /// requests that end up ownerless because a peer was *rejected* (rather
+  /// than dead) fail typed as ProtocolMismatch.
+  std::vector<std::string> handshake_errors_;
+  TransportStats transport_stats_;
   std::uint64_t next_wire_id_ = 0;
+  std::uint64_t next_token_ = 0;
 };
 
 }  // namespace malsched::shard

@@ -15,22 +15,42 @@
 /// human batch-output format and the wire format stay one dialect and
 /// `parse_error_code` / `error_code_name` serve both.  Messages:
 ///
+///   both directions, first frame of every new connection
+///     hello malsched-wire <version> <role>
+///
 ///   router → worker
 ///     instance <name>\n<P hexfloat> <n>\n<V δ w hexfloat per line>
-///     solve <id> <priority-weight hex> <deadline-seconds hex | -> <solver> <name>
+///     solve <id> <token> <priority-weight hex> <deadline-seconds hex | -> <solver> <name>
 ///     ping <seq>
 ///     stats
 ///     drain
 ///
 ///   worker → router
-///     result <id> solver=<text> status=ok objective=<hex> makespan=<hex>
-///            cache_hit=<0|1> latency=<hex>\n<completions, hexfloat per line>
-///     result <id> solver=<text> status=error code=<error-code-name>
+///     result <id> token=<n> solver=<text> status=ok objective=<hex>
+///            makespan=<hex> cache_hit=<0|1> latency=<hex>
+///            \n<completions, hexfloat per line>
+///     result <id> token=<n> solver=<text> status=error code=<error-code-name>
 ///            message="<escaped>" latency=<hex>
 ///     pong <seq>
 ///     stats hits=.. misses=.. evictions=.. expired=.. entries=.. weight=..
 ///           capacity=..
 ///     drained <results-delivered>
+///
+/// The `hello` frame is the versioned handshake: both sides send theirs
+/// immediately on connect (write-then-read, so neither blocks on the other)
+/// and validate the peer's before any other frame.  A garbage greeting, a
+/// wrong magic or a different protocol version rejects the connection with
+/// a typed `ProtocolMismatch` instead of mis-parsing frames — on a
+/// multi-host fleet the peer is dialed over TCP and may be anything from an
+/// old binary to a port scanner.
+///
+/// `solve` carries two identifiers on purpose: `id` names the wire exchange
+/// (unique per frame, echoed by the matching result) while `token` names
+/// the *request* and is stable across retries.  When a worker dies mid-solve
+/// and the router replays the request on a primed replica, the retry is a
+/// new exchange (`id` changes) for the same request (`token` does not) —
+/// workers dedup on token so a request is solved effectively once, and the
+/// router drops whichever duplicate result loses the race.
 ///
 /// Numeric payload fields are hexadecimal floats (`%a` / strtod), so doubles
 /// round-trip bit-exactly across the process boundary — the sharded-vs-
@@ -43,26 +63,68 @@
 /// The frame reader enforces a maximum payload size so a corrupted length
 /// prefix fails the connection instead of a 4 GiB allocation.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 
 #include "malsched/core/instance.hpp"
+#include "malsched/net/frame.hpp"
 #include "malsched/service/cache.hpp"
 #include "malsched/service/solver_registry.hpp"
 
 namespace malsched::shard::wire {
 
-/// Largest accepted frame payload.  Instances dominate frame size at ~60
-/// bytes per task; 256 MiB covers ~10^6-task instances with an order of
-/// magnitude to spare.
-inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+/// Frame transport (length prefix, dead-peer classification, deadline
+/// reads) lives in malsched/net/frame.hpp; re-exported here so the wire
+/// dialect and its framing stay one API for callers.
+using net::FrameError;
+using net::frame_error_name;
+using net::is_dead_peer_errno;
+using net::kMaxFrameBytes;
+using net::read_frame;
+using net::read_frame_deadline;
+using net::write_frame;
 
-/// Blocking frame I/O on a socket fd (MSG_NOSIGNAL — a dead peer surfaces
-/// as an error return, never SIGPIPE).  read_frame returns false on EOF or
-/// error; write_frame returns false when the peer is gone.
-[[nodiscard]] bool write_frame(int fd, const std::string& payload);
-[[nodiscard]] bool read_frame(int fd, std::string* payload);
+/// --- versioned handshake ---
+
+/// Magic token of the hello frame.  A peer that is not a malsched process
+/// (wrong port, port scanner, load balancer health check) fails here.
+inline constexpr const char* kWireMagic = "malsched-wire";
+
+/// Protocol version, bumped on every incompatible wire change.  History:
+///   1 — PR 5: instance/solve/result/ping/stats/drain over socketpairs.
+///   2 — this PR: hello handshake itself, idempotency token in solve (new
+///       positional field) and result (token= field).
+inline constexpr std::uint32_t kWireProtocolVersion = 2;
+
+struct HelloMessage {
+  std::uint32_t version = kWireProtocolVersion;
+  /// "router" or "worker"; diagnostic only (either end accepts either role,
+  /// so tooling like a health prober can speak the protocol too).
+  std::string role;
+};
+[[nodiscard]] std::string encode_hello(const HelloMessage& message);
+[[nodiscard]] std::optional<HelloMessage> decode_hello(
+    const std::string& payload);
+
+/// Validates a peer's greeting frame.  Returns std::nullopt when the peer
+/// speaks this protocol version (filling *peer when non-null); otherwise a
+/// human-readable reason — garbage greeting, wrong magic, or a version
+/// mismatch — destined for a ProtocolMismatch error.
+[[nodiscard]] std::optional<std::string> validate_hello(
+    const std::string& payload, HelloMessage* peer = nullptr);
+
+/// Performs the full handshake on a fresh connection: writes this side's
+/// hello, then reads and validates the peer's under `timeout` (the read is
+/// deadline-bounded so a silent or hostile peer cannot hang the caller).
+/// Both sides write first, so neither blocks on the other.  False on
+/// failure with *reason set (when non-null) to the mismatch/garbage/timeout
+/// explanation.  Used by the router on every transport open and by
+/// run_worker before its first real frame.
+[[nodiscard]] bool handshake(int fd, const std::string& role,
+                             std::chrono::milliseconds timeout,
+                             std::string* reason = nullptr);
 
 /// --- message encoding (pure string builders / parsers) ---
 
@@ -77,7 +139,12 @@ struct InstanceMessage {
     const std::string& payload);
 
 struct SolveMessage {
+  /// Wire-exchange id: unique per frame, echoed by the matching result.
   std::uint64_t id = 0;
+  /// Idempotency token: stable across retries of the same request.  A
+  /// worker that has already solved (or is solving) this token must not
+  /// solve it again — it replays/aliases instead.
+  std::uint64_t token = 0;
   double priority_weight = 1.0;
   /// Latency budget in seconds from worker-side admission; unset = none.
   std::optional<double> deadline_seconds;
@@ -88,11 +155,13 @@ struct SolveMessage {
 [[nodiscard]] std::optional<SolveMessage> decode_solve(
     const std::string& payload);
 
-/// `result` message: the full SolveResult, bit-exact.
-[[nodiscard]] std::string encode_result(std::uint64_t id,
+/// `result` message: the full SolveResult, bit-exact, echoing the solve's
+/// exchange id and idempotency token.
+[[nodiscard]] std::string encode_result(std::uint64_t id, std::uint64_t token,
                                         const service::SolveResult& result);
 struct ResultMessage {
   std::uint64_t id = 0;
+  std::uint64_t token = 0;
   service::SolveResult result;
 };
 [[nodiscard]] std::optional<ResultMessage> decode_result(
@@ -104,8 +173,8 @@ struct ResultMessage {
     const std::string& payload);
 
 /// First whitespace-delimited token of a payload — the message type
-/// ("instance", "solve", "result", "ping", "pong", "stats", "drain",
-/// "drained").
+/// ("hello", "instance", "solve", "result", "ping", "pong", "stats",
+/// "drain", "drained").
 [[nodiscard]] std::string message_type(const std::string& payload);
 
 }  // namespace malsched::shard::wire

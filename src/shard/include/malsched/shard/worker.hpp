@@ -21,6 +21,17 @@
 /// the Scheduler queue capacity, so submit() never blocks the reader on
 /// backpressure and the socket never deadlocks.
 ///
+/// Connections begin with the versioned `hello` handshake (wire.hpp): the
+/// worker greets, validates the router's greeting under a deadline, and
+/// exits with code 2 on a mismatched or silent peer — essential once the fd
+/// may be a TCP connection from anywhere rather than a trusted socketpair.
+///
+/// Idempotent solves: `solve` frames carry an idempotency token, and the
+/// worker guarantees each token is solved at most once — a duplicate of a
+/// completed token replays the memoized result verbatim (latency included),
+/// a duplicate of an in-flight token parks until the original finishes.
+/// This is the worker half of the router's retry-on-replica failover.
+///
 /// Lifetime: the worker exits cleanly on `drain` + EOF or bare EOF (router
 /// gone).  It never touches stdout/stderr — it is forked from the router's
 /// process and shares its stdio buffers.
@@ -38,9 +49,10 @@ namespace malsched::shard {
 using WorkerOptions = service::ServiceOptions;
 
 /// Serves the wire protocol on `fd` until EOF; returns the process exit
-/// code (0 on a clean drain, 1 on a protocol error).  Blocks the calling
-/// thread for the worker's whole life — call it from a freshly forked
-/// child and pass the result to _exit().
+/// code (0 on a clean drain, 1 on a protocol error, 2 on a failed
+/// handshake).  Blocks the calling thread for the worker's whole life —
+/// call it from a freshly forked child and pass the result to _exit(), or
+/// from a `malsched_worker` accept loop with a freshly dialed fd.
 [[nodiscard]] int run_worker(int fd, const service::SolverRegistry& registry,
                              const WorkerOptions& options);
 

@@ -1,9 +1,6 @@
 #include "malsched/shard/router.hpp"
 
 #include <poll.h>
-#include <signal.h>
-#include <sys/socket.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -31,6 +28,9 @@ ShardRouter::ShardRouter(const service::SolverRegistry& registry,
     : registry_(registry),
       options_(std::move(options)),
       ring_(options_.vnodes == 0 ? 64 : options_.vnodes) {
+  if (!options_.tcp_workers.empty()) {
+    options_.shards = options_.tcp_workers.size();
+  }
   if (options_.shards == 0) {
     options_.shards = 1;
   }
@@ -45,7 +45,19 @@ ShardRouter::ShardRouter(const service::SolverRegistry& registry,
   // while the router blocks in send().
   options_.window = std::clamp<std::size_t>(options_.window, 1,
                                             options_.worker.queue_capacity);
+  if (!options_.tcp_workers.empty()) {
+    transport_ = std::make_unique<net::TcpTransport>(options_.tcp_workers,
+                                                     options_.connect_timeout);
+  } else {
+    // _exit inside the transport, not exit: the forked child shares this
+    // process's stdio buffers and must not flush them a second time.
+    transport_ = std::make_unique<net::ForkTransport>(
+        options_.shards, [this](int child_fd) {
+          return run_worker(child_fd, registry_, options_.worker);
+        });
+  }
   workers_.resize(options_.shards);
+  handshake_errors_.resize(options_.shards);
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     (void)spawn(i);
   }
@@ -53,48 +65,40 @@ ShardRouter::ShardRouter(const service::SolverRegistry& registry,
 
 ShardRouter::~ShardRouter() {
   // EOF is the drain signal: each worker finishes its admitted jobs, joins
-  // its writer and exits; then reap.  Dead workers were reaped already.
+  // its writer and exits.  Close every fd first so the drains overlap, then
+  // let the transport reap its processes (no-op for TCP and dead workers).
   for (Worker& worker : workers_) {
     if (worker.fd >= 0) {
       ::close(worker.fd);
       worker.fd = -1;
     }
   }
-  for (Worker& worker : workers_) {
-    if (worker.pid > 0) {
-      int status = 0;
-      ::waitpid(worker.pid, &status, 0);
-      worker.pid = -1;
-    }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    transport_->disconnect(i, -1);
   }
 }
 
 bool ShardRouter::spawn(std::size_t index) {
-  int sockets[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sockets) != 0) {
+  std::string error;
+  const int fd = transport_->open(index, &error);
+  if (fd < 0) {
+    handshake_errors_[index] =
+        "cannot reach " + transport_->describe(index) + ": " + error;
     return false;
   }
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    ::close(sockets[0]);
-    ::close(sockets[1]);
+  // Versioned handshake before the worker joins the ring: a peer speaking
+  // another protocol version (or no protocol at all — on TCP anything can
+  // be listening there) is rejected typed, never sent frames.
+  std::string reason;
+  if (!wire::handshake(fd, "router", options_.handshake_timeout, &reason)) {
+    ++transport_stats_.handshake_failures;
+    handshake_errors_[index] = transport_->describe(index) + ": " + reason;
+    transport_->terminate(index, fd);
     return false;
   }
-  if (pid == 0) {
-    // Child: keep only our own socket end; inherited peer fds of the other
-    // workers would hold their connections open past the router's close.
-    ::close(sockets[0]);
-    for (const Worker& other : workers_) {
-      if (other.fd >= 0) {
-        ::close(other.fd);
-      }
-    }
-    // _exit, not exit: the child shares the parent's stdio buffers and must
-    // not flush them a second time.
-    ::_exit(run_worker(sockets[1], registry_, options_.worker));
-  }
-  ::close(sockets[1]);
-  workers_[index] = Worker{pid, sockets[0], true};
+  ++transport_stats_.handshakes;
+  handshake_errors_[index].clear();
+  workers_[index] = Worker{fd, true};
   ring_.add_node(static_cast<std::uint32_t>(index));
   return true;
 }
@@ -105,18 +109,11 @@ void ShardRouter::mark_dead(std::size_t index) {
     return;
   }
   worker.alive = false;
-  if (worker.fd >= 0) {
-    ::close(worker.fd);
-    worker.fd = -1;
-  }
-  if (worker.pid > 0) {
-    // The socket said the worker is gone or unresponsive; make that true
-    // (SIGKILL on an already-dead pid is a no-op) so the reap cannot hang.
-    ::kill(worker.pid, SIGKILL);
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
-    worker.pid = -1;
-  }
+  ++transport_stats_.dead_peers;
+  // The socket said the worker is gone or unresponsive; the transport makes
+  // that true (fork: SIGKILL + reap; TCP: close our end).
+  transport_->terminate(index, worker.fd);
+  worker.fd = -1;
   ring_.remove_node(static_cast<std::uint32_t>(index));
 }
 
@@ -247,9 +244,27 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
     placed.emplace(name, std::move(place));
   }
 
+  // A request can end up ownerless for two distinct reasons, and the error
+  // type must say which: every peer died (SolverFailure) vs. a peer was
+  // *rejected* at the versioned handshake (ProtocolMismatch — the operator
+  // deployed mismatched builds, and no amount of retrying will fix it).
+  const auto no_owner_failure = [&](const std::string& solver,
+                                    const std::string& text) {
+    for (const std::string& reason : handshake_errors_) {
+      if (!reason.empty()) {
+        return service::SolveResult::failure(
+            solver, service::ErrorCode::ProtocolMismatch,
+            text + " (" + reason + ")");
+      }
+    }
+    return service::SolveResult::failure(
+        solver, service::ErrorCode::SolverFailure, text);
+  };
+
   // --- Resolve requests, mirroring run_service: unknown instances become
   // deterministic per-request ParseErrors (byte-identical to single-process
-  // output); instances no alive worker owns fail as SolverFailure.
+  // output); instances no alive worker owns fail as SolverFailure (or
+  // ProtocolMismatch, see above).
   struct Routed {
     std::size_t index;  ///< into batch.requests
     const service::BatchSpec::Request* request;
@@ -262,10 +277,9 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
     const auto it = placed.find(request.instance_name);
     if (it == placed.end()) {
       if (batch.instances.count(request.instance_name) != 0) {
-        report.results[i] = service::SolveResult::failure(
-            request.solver, service::ErrorCode::SolverFailure,
-            "no alive shard worker to own instance '" +
-                request.instance_name + "'");
+        report.results[i] = no_owner_failure(
+            request.solver, "no alive shard worker to own instance '" +
+                                request.instance_name + "'");
       } else {
         report.results[i] = service::SolveResult::failure(
             request.solver, service::ErrorCode::ParseError,
@@ -293,8 +307,20 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
   for (std::size_t round = 0; round < rounds; ++round) {
     const bool last_round = round + 1 == rounds;
 
+    // Per-round dedup/replay table: the idempotency token of each routed
+    // request (fresh per round — rounds deliberately re-solve) and whether
+    // its result has already been resolved, so a duplicate result of a
+    // retried request can never resolve twice.
+    std::vector<std::uint64_t> tokens(routed.size(), 0);
+    std::vector<char> resolved(routed.size(), 0);
+
     const auto resolve = [&](std::size_t ri, service::SolveResult result,
                              double latency_seconds) {
+      if (resolved[ri]) {
+        ++transport_stats_.duplicates_dropped;
+        return;
+      }
+      resolved[ri] = 1;
       result.latency_seconds = latency_seconds;
       if (seen++ % stride == 0) {
         report.latencies.add(latency_seconds);
@@ -321,25 +347,31 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
     for (std::size_t ri = 0; ri < routed.size(); ++ri) {
       if (!route(ri)) {
         resolve(ri,
-                service::SolveResult::failure(
-                    routed[ri].request->solver,
-                    service::ErrorCode::SolverFailure,
-                    "no alive shard worker owns instance '" +
-                        routed[ri].request->instance_name + "'"),
+                no_owner_failure(routed[ri].request->solver,
+                                 "no alive shard worker owns instance '" +
+                                     routed[ri].request->instance_name + "'"),
                 0.0);
       }
     }
 
-    // A dead worker fails its in-flight work (a solve may or may not have
-    // happened: at-most-once, never blindly retried) and its queued work
-    // fails over to the next alive replica owner — already primed, that is
-    // what replication > 1 buys.
+    // A dead worker's queued work fails over to the next alive replica
+    // owner — already primed, that is what replication > 1 buys.  Its
+    // *in-flight* work is retried there too, under the same idempotency
+    // token: the dead worker may or may not have solved it, but a replica
+    // solves each token at most once and `resolved` drops any duplicate
+    // result, so the retry is safe (effectively-once), not blind.  With no
+    // alive replica, in-flight work fails typed.
     const auto handle_death = [&](std::size_t w) {
       mark_dead(w);
       for (const auto& [id, flight] : in_flight[w]) {
-        resolve(flight.routed_index,
+        const std::size_t ri = flight.routed_index;
+        if (route(ri)) {
+          ++transport_stats_.retries_replayed;
+          continue;  // queued on a replica; top_up re-sends it
+        }
+        resolve(ri,
                 service::SolveResult::failure(
-                    routed[flight.routed_index].request->solver,
+                    routed[ri].request->solver,
                     service::ErrorCode::SolverFailure,
                     "shard worker " + std::to_string(w) +
                         " died mid-solve; the request may or may not have "
@@ -370,6 +402,10 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
         const std::size_t ri = queues[w].front();
         wire::SolveMessage message;
         message.id = ++next_wire_id_;
+        if (tokens[ri] == 0) {
+          tokens[ri] = ++next_token_;  // first send; retries reuse it
+        }
+        message.token = tokens[ri];
         message.priority_weight = routed[ri].request->priority_weight;
         message.deadline_seconds = routed[ri].request->deadline_seconds;
         message.solver = routed[ri].request->solver;
@@ -453,6 +489,7 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
           }
           const auto it = in_flight[w].find(message->id);
           if (it == in_flight[w].end()) {
+            ++transport_stats_.duplicates_dropped;
             continue;  // duplicate/stale id; drop
           }
           const double latency = seconds_since(it->second.sent);

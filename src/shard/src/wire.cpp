@@ -1,7 +1,5 @@
 #include "malsched/shard/wire.hpp"
 
-#include <sys/socket.h>
-
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -14,44 +12,6 @@
 namespace malsched::shard::wire {
 
 namespace {
-
-// Raw socket I/O that restarts on EINTR and reports a dead peer as false.
-// MSG_NOSIGNAL everywhere: the router must observe worker death as an error
-// return it can fail over from, not a process-killing SIGPIPE.
-bool write_all(int fd, const void* data, std::size_t size) {
-  const char* cursor = static_cast<const char*>(data);
-  while (size > 0) {
-    const ssize_t sent = ::send(fd, cursor, size, MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    cursor += sent;
-    size -= static_cast<std::size_t>(sent);
-  }
-  return true;
-}
-
-bool read_all(int fd, void* data, std::size_t size) {
-  char* cursor = static_cast<char*>(data);
-  while (size > 0) {
-    const ssize_t got = ::recv(fd, cursor, size, 0);
-    if (got < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    if (got == 0) {
-      return false;  // EOF: peer closed (worker exit or router gone)
-    }
-    cursor += got;
-    size -= static_cast<std::size_t>(got);
-  }
-  return true;
-}
 
 // %a prints the shortest exact hexfloat; strtod parses it back to the
 // identical bit pattern — the round-trip the sharded determinism contract
@@ -146,35 +106,82 @@ std::string field(const std::string& line, const std::string& key) {
 
 }  // namespace
 
-bool write_frame(int fd, const std::string& payload) {
-  if (payload.size() > kMaxFrameBytes) {
-    return false;
-  }
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  unsigned char prefix[4] = {
-      static_cast<unsigned char>(length & 0xFF),
-      static_cast<unsigned char>((length >> 8) & 0xFF),
-      static_cast<unsigned char>((length >> 16) & 0xFF),
-      static_cast<unsigned char>((length >> 24) & 0xFF)};
-  return write_all(fd, prefix, sizeof prefix) &&
-         write_all(fd, payload.data(), payload.size());
+std::string encode_hello(const HelloMessage& message) {
+  return std::string("hello ") + kWireMagic + " " +
+         std::to_string(message.version) + " " +
+         (message.role.empty() ? "peer" : message.role);
 }
 
-bool read_frame(int fd, std::string* payload) {
-  unsigned char prefix[4];
-  if (!read_all(fd, prefix, sizeof prefix)) {
+std::optional<HelloMessage> decode_hello(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string keyword, magic, version_text;
+  HelloMessage message;
+  if (!(in >> keyword >> magic >> version_text >> message.role) ||
+      keyword != "hello" || magic != kWireMagic) {
+    return std::nullopt;
+  }
+  std::uint64_t version = 0;
+  if (!parse_u64(version_text, &version) || version > 0xFFFFFFFFull) {
+    return std::nullopt;
+  }
+  message.version = static_cast<std::uint32_t>(version);
+  return message;
+}
+
+std::optional<std::string> validate_hello(const std::string& payload,
+                                          HelloMessage* peer) {
+  const auto hello = decode_hello(payload);
+  if (!hello) {
+    // Quote a bounded prefix: the greeting is attacker-controlled bytes.
+    std::string preview = payload.substr(0, 48);
+    for (char& c : preview) {
+      if (c < 0x20 || c > 0x7E) {
+        c = '.';
+      }
+    }
+    return "peer did not greet with '" + std::string(kWireMagic) +
+           "' (got \"" + preview + "\")";
+  }
+  if (hello->version != kWireProtocolVersion) {
+    return "peer speaks " + std::string(kWireMagic) + " version " +
+           std::to_string(hello->version) + ", this build speaks " +
+           std::to_string(kWireProtocolVersion);
+  }
+  if (peer != nullptr) {
+    *peer = *hello;
+  }
+  return std::nullopt;
+}
+
+bool handshake(int fd, const std::string& role,
+               std::chrono::milliseconds timeout, std::string* reason) {
+  HelloMessage mine;
+  mine.role = role;
+  if (!write_frame(fd, encode_hello(mine))) {
+    if (reason != nullptr) {
+      *reason = "peer closed the connection before the handshake";
+    }
     return false;
   }
-  const std::uint32_t length =
-      static_cast<std::uint32_t>(prefix[0]) |
-      (static_cast<std::uint32_t>(prefix[1]) << 8) |
-      (static_cast<std::uint32_t>(prefix[2]) << 16) |
-      (static_cast<std::uint32_t>(prefix[3]) << 24);
-  if (length > kMaxFrameBytes) {
-    return false;  // corrupted prefix: fail the connection, don't allocate
+  std::string greeting;
+  FrameError frame_error = FrameError::None;
+  if (!read_frame_deadline(fd, &greeting,
+                           std::chrono::steady_clock::now() + timeout,
+                           &frame_error)) {
+    if (reason != nullptr) {
+      *reason = std::string("no greeting from peer (") +
+                frame_error_name(frame_error) + ")";
+    }
+    return false;
   }
-  payload->resize(length);
-  return length == 0 || read_all(fd, payload->data(), length);
+  const auto mismatch = validate_hello(greeting);
+  if (mismatch) {
+    if (reason != nullptr) {
+      *reason = *mismatch;
+    }
+    return false;
+  }
+  return true;
 }
 
 std::string message_type(const std::string& payload) {
@@ -252,6 +259,7 @@ std::optional<InstanceMessage> decode_instance(const std::string& payload) {
 
 std::string encode_solve(const SolveMessage& message) {
   std::string payload = "solve " + std::to_string(message.id) + " " +
+                        std::to_string(message.token) + " " +
                         hex_double(message.priority_weight) + " ";
   payload += message.deadline_seconds ? hex_double(*message.deadline_seconds)
                                       : std::string("-");
@@ -261,11 +269,12 @@ std::string encode_solve(const SolveMessage& message) {
 
 std::optional<SolveMessage> decode_solve(const std::string& payload) {
   std::istringstream in(payload);
-  std::string keyword, id_text, weight_text, deadline_text;
+  std::string keyword, id_text, token_text, weight_text, deadline_text;
   SolveMessage message;
-  if (!(in >> keyword >> id_text >> weight_text >> deadline_text >>
-        message.solver >> message.instance_name) ||
+  if (!(in >> keyword >> id_text >> token_text >> weight_text >>
+        deadline_text >> message.solver >> message.instance_name) ||
       keyword != "solve" || !parse_u64(id_text, &message.id) ||
+      !parse_u64(token_text, &message.token) ||
       !parse_hex_double(weight_text, &message.priority_weight)) {
     return std::nullopt;
   }
@@ -279,13 +288,14 @@ std::optional<SolveMessage> decode_solve(const std::string& payload) {
   return message;
 }
 
-std::string encode_result(std::uint64_t id,
+std::string encode_result(std::uint64_t id, std::uint64_t token,
                           const service::SolveResult& result) {
   // The solver name is client-controlled (any whitespace-free token, quotes
   // included) — emit it *quoted* so field()'s quote tracking stays in sync
   // with the writer and a quote in the name cannot desynchronize the scan
   // of the fields that follow.
-  std::string payload = "result " + std::to_string(id) + " solver=\"" +
+  std::string payload = "result " + std::to_string(id) +
+                        " token=" + std::to_string(token) + " solver=\"" +
                         service::escape_result_text(result.solver) + "\"";
   if (result.ok()) {
     payload += " status=ok objective=" + hex_double(result.objective()) +
@@ -318,7 +328,8 @@ std::optional<ResultMessage> decode_result(const std::string& payload) {
     return std::nullopt;
   }
   ResultMessage message;
-  if (!parse_u64(id_text, &message.id)) {
+  if (!parse_u64(id_text, &message.id) ||
+      !parse_u64(field(header, "token"), &message.token)) {
     return std::nullopt;
   }
   const std::string solver = service::unescape_result_text(field(header, "solver"));

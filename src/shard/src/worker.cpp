@@ -6,9 +6,12 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "malsched/service/scheduler.hpp"
 #include "malsched/shard/wire.hpp"
@@ -20,13 +23,26 @@ namespace {
 /// One submitted request awaiting resolution, in submission order.
 struct Pending {
   std::uint64_t id = 0;
+  std::uint64_t token = 0;
   service::Ticket ticket;
 };
+
+/// Completed idempotency tokens the worker can replay without re-solving.
+/// Bounded FIFO: old memos age out, which is safe — the router only retries
+/// while a request is unresolved, so a replayed token is always recent.
+constexpr std::size_t kMaxCompletedTokens = 65536;
 
 }  // namespace
 
 int run_worker(int fd, const service::SolverRegistry& registry,
                const WorkerOptions& options) {
+  // Versioned handshake before anything else: a mismatched or impostor
+  // router is rejected here, and the scheduler is never even constructed.
+  // Both sides write-then-read, so the exchange cannot deadlock.
+  if (!wire::handshake(fd, "worker", std::chrono::milliseconds(10000))) {
+    return 2;
+  }
+
   // The single shared ServiceOptions -> Scheduler::Options mapping: sharded
   // workers must serve exactly like run_service would.
   auto scheduler_options = service::make_scheduler_options(options);
@@ -47,6 +63,16 @@ int run_worker(int fd, const service::SolverRegistry& registry,
   bool writing = false;  ///< writer is between pop and delivery
   std::uint64_t delivered = 0;
 
+  // Idempotency state (guarded by queue_mutex).  A token is in exactly one
+  // stage: `in_progress` (submitted, result not yet delivered; duplicate
+  // solves park their wire id in `aliases` instead of re-solving) or
+  // `completed` (memoized result, replayed verbatim — latency included, so
+  // a replay is observably the original solve).  Token 0 opts out.
+  std::map<std::uint64_t, service::SolveResult> completed;
+  std::deque<std::uint64_t> completed_order;  ///< FIFO eviction of memos
+  std::map<std::uint64_t, std::vector<std::uint64_t>> aliases;
+  std::set<std::uint64_t> in_progress;
+
   // Both threads write frames (results from the writer, pong/stats/drained
   // from the reader); serialize so frames never interleave mid-payload.
   std::mutex write_mutex;
@@ -55,6 +81,36 @@ int run_worker(int fd, const service::SolverRegistry& registry,
     const std::lock_guard<std::mutex> lock(write_mutex);
     if (!peer_gone && !wire::write_frame(fd, payload)) {
       peer_gone = true;  // router died: keep draining, stop writing
+    }
+  };
+
+  // Delivers a result, promotes its token in_progress -> completed, and
+  // flushes any duplicate solves that parked on the token meanwhile (their
+  // replay is byte-identical to the original, latency included).
+  const auto finish = [&](std::uint64_t id, std::uint64_t token,
+                          const service::SolveResult& result) {
+    send_frame(wire::encode_result(id, token, result));
+    if (token == 0) {
+      return;
+    }
+    std::vector<std::uint64_t> replay_ids;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      in_progress.erase(token);
+      if (const auto parked = aliases.find(token); parked != aliases.end()) {
+        replay_ids = std::move(parked->second);
+        aliases.erase(parked);
+      }
+      if (completed.emplace(token, result).second) {
+        completed_order.push_back(token);
+        if (completed_order.size() > kMaxCompletedTokens) {
+          completed.erase(completed_order.front());
+          completed_order.pop_front();
+        }
+      }
+    }
+    for (const std::uint64_t replay_id : replay_ids) {
+      send_frame(wire::encode_result(replay_id, token, result));
     }
   };
 
@@ -71,7 +127,7 @@ int run_worker(int fd, const service::SolverRegistry& registry,
         pending.pop_front();
         writing = true;
       }
-      send_frame(wire::encode_result(next.id, next.ticket.get()));
+      finish(next.id, next.token, next.ticket.get());
       {
         const std::lock_guard<std::mutex> lock(queue_mutex);
         writing = false;
@@ -110,6 +166,34 @@ int run_worker(int fd, const service::SolverRegistry& registry,
         exit_code = 1;
         break;
       }
+      // Idempotency gate: a token this worker has already completed is
+      // replayed from the memo; one still in flight parks this wire id on
+      // the original solve.  Either way the solver runs at most once per
+      // token, which is what makes the router's retry-on-replica safe.
+      if (message->token != 0) {
+        std::optional<service::SolveResult> memo;
+        bool parked = false;
+        {
+          const std::lock_guard<std::mutex> lock(queue_mutex);
+          if (const auto done = completed.find(message->token);
+              done != completed.end()) {
+            memo = done->second;
+          } else if (in_progress.count(message->token) != 0) {
+            aliases[message->token].push_back(message->id);
+            parked = true;
+          } else {
+            in_progress.insert(message->token);
+          }
+        }
+        if (memo) {
+          send_frame(
+              wire::encode_result(message->id, message->token, *memo));
+          continue;
+        }
+        if (parked) {
+          continue;
+        }
+      }
       service::Ticket ticket;
       const auto it = handles.find(message->instance_name);
       if (it == handles.end()) {
@@ -131,17 +215,17 @@ int run_worker(int fd, const service::SolverRegistry& registry,
         ticket = scheduler.submit(message->solver, it->second, submit_options);
       }
       if (!ticket.valid()) {
-        send_frame(wire::encode_result(
-            message->id,
-            service::SolveResult::failure(
-                message->solver, service::ErrorCode::ParseError,
-                "worker does not hold instance '" + message->instance_name +
-                    "' (routing bug?)")));
+        finish(message->id, message->token,
+               service::SolveResult::failure(
+                   message->solver, service::ErrorCode::ParseError,
+                   "worker does not hold instance '" + message->instance_name +
+                       "' (routing bug?)"));
         continue;
       }
       {
         const std::lock_guard<std::mutex> lock(queue_mutex);
-        pending.push_back(Pending{message->id, std::move(ticket)});
+        pending.push_back(
+            Pending{message->id, message->token, std::move(ticket)});
       }
       queue_cv.notify_all();
     } else if (type == "ping") {

@@ -1,0 +1,266 @@
+// Transport-robustness tests of the frame layer: a reader facing a torn,
+// truncated, hostile or silent peer must fail *typed* (FrameError), never
+// over-read past a frame boundary, and never hang — the router dials
+// arbitrary TCP endpoints, so read_frame's peer may be anything.
+
+#include "malsched/net/frame.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "malsched/net/socket.hpp"
+
+namespace mnet = malsched::net;
+
+namespace {
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    for (const int fd : fds) {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+  }
+  void close_end(int index) {
+    ::close(fds[index]);
+    fds[index] = -1;
+  }
+};
+
+// Raw bytes of a frame as write_frame would emit them, for byte-level
+// fault injection (partial prefixes, dribbles, hostile lengths).
+std::string raw_frame(const std::string& payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string bytes;
+  bytes.push_back(static_cast<char>(length & 0xFF));
+  bytes.push_back(static_cast<char>((length >> 8) & 0xFF));
+  bytes.push_back(static_cast<char>((length >> 16) & 0xFF));
+  bytes.push_back(static_cast<char>((length >> 24) & 0xFF));
+  bytes += payload;
+  return bytes;
+}
+
+void send_raw(int fd, const std::string& bytes) {
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(NetFrame, TornFrameDribbledByteAtATimeReassembles) {
+  // A TCP peer may deliver a frame in arbitrarily small segments; the
+  // reader must reassemble exactly 4 + length bytes, no more, no less.
+  SocketPair channel;
+  const std::string payload = "solve 7 3 0x1p+0 - wdeq small";
+  const std::string bytes = raw_frame(payload) + raw_frame("");
+  std::thread dribbler([&] {
+    for (const char byte : bytes) {
+      ASSERT_EQ(::send(channel.fds[0], &byte, 1, MSG_NOSIGNAL), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::string received;
+  mnet::FrameError error = mnet::FrameError::Timeout;
+  EXPECT_TRUE(mnet::read_frame(channel.fds[1], &received, &error));
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(error, mnet::FrameError::None);
+  // The empty frame dribbled behind it is intact: no over-read occurred.
+  EXPECT_TRUE(mnet::read_frame(channel.fds[1], &received, &error));
+  EXPECT_EQ(received, "");
+  dribbler.join();
+}
+
+TEST(NetFrame, DeadlineReaderReassemblesADribbleWithinBudget) {
+  SocketPair channel;
+  const std::string payload(200, 'x');
+  std::thread dribbler([&] {
+    const std::string bytes = raw_frame(payload);
+    for (std::size_t i = 0; i < bytes.size(); i += 7) {
+      const std::size_t chunk = std::min<std::size_t>(7, bytes.size() - i);
+      ASSERT_EQ(::send(channel.fds[0], bytes.data() + i, chunk, MSG_NOSIGNAL),
+                static_cast<ssize_t>(chunk));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::string received;
+  EXPECT_TRUE(mnet::read_frame_deadline(
+      channel.fds[1], &received,
+      std::chrono::steady_clock::now() + std::chrono::seconds(10)));
+  EXPECT_EQ(received, payload);
+  dribbler.join();
+}
+
+TEST(NetFrame, ZeroLengthPrefixIsAnEmptyFrameNotAnOverRead) {
+  // Hostile-prefix fuzz case "0": a zero length is a legal empty frame and
+  // must not consume any byte of the frame behind it.
+  SocketPair channel;
+  send_raw(channel.fds[0], raw_frame("") + raw_frame("next"));
+  std::string received = "sentinel";
+  EXPECT_TRUE(mnet::read_frame(channel.fds[1], &received));
+  EXPECT_EQ(received, "");
+  EXPECT_TRUE(mnet::read_frame(channel.fds[1], &received));
+  EXPECT_EQ(received, "next");
+}
+
+TEST(NetFrame, MaxU32LengthPrefixFailsOversizeWithoutAllocating) {
+  // Hostile-prefix fuzz case "max": 0xFFFFFFFF must be rejected on the
+  // prefix alone — typed Oversize, no 4 GiB allocation, no waiting for
+  // payload bytes that will never come.
+  for (const bool use_deadline : {false, true}) {
+    SocketPair channel;
+    send_raw(channel.fds[0], std::string(4, '\xFF'));
+    std::string received;
+    mnet::FrameError error = mnet::FrameError::None;
+    if (use_deadline) {
+      EXPECT_FALSE(mnet::read_frame_deadline(
+          channel.fds[1], &received,
+          std::chrono::steady_clock::now() + std::chrono::seconds(5),
+          &error));
+    } else {
+      EXPECT_FALSE(mnet::read_frame(channel.fds[1], &received, &error));
+    }
+    EXPECT_EQ(error, mnet::FrameError::Oversize);
+  }
+}
+
+TEST(NetFrame, TruncatedPrefixClassifiesTruncatedNotEof) {
+  // Hostile-prefix fuzz case "truncated": the stream ends two bytes into
+  // the length prefix.  That is a torn frame (Truncated), distinct from a
+  // clean close on a frame boundary (Eof).
+  SocketPair channel;
+  send_raw(channel.fds[0], std::string("\x05\x00", 2));
+  channel.close_end(0);
+  std::string received;
+  mnet::FrameError error = mnet::FrameError::None;
+  EXPECT_FALSE(mnet::read_frame(channel.fds[1], &received, &error));
+  EXPECT_EQ(error, mnet::FrameError::Truncated);
+}
+
+TEST(NetFrame, TruncatedPayloadClassifiesTruncated) {
+  // The prefix promises 10 bytes; only 3 arrive before EOF.
+  SocketPair channel;
+  send_raw(channel.fds[0],
+           std::string("\x0a\x00\x00\x00", 4) + std::string("abc"));
+  channel.close_end(0);
+  std::string received;
+  mnet::FrameError error = mnet::FrameError::None;
+  EXPECT_FALSE(mnet::read_frame(channel.fds[1], &received, &error));
+  EXPECT_EQ(error, mnet::FrameError::Truncated);
+}
+
+TEST(NetFrame, CleanCloseOnAFrameBoundaryClassifiesEof) {
+  SocketPair channel;
+  channel.close_end(0);
+  std::string received;
+  mnet::FrameError error = mnet::FrameError::None;
+  EXPECT_FALSE(mnet::read_frame(channel.fds[1], &received, &error));
+  EXPECT_EQ(error, mnet::FrameError::Eof);
+}
+
+TEST(NetFrame, WriteToAClosedPeerClassifiesDeadPeerNotSigpipe) {
+  SocketPair channel;
+  channel.close_end(1);
+  mnet::FrameError error = mnet::FrameError::None;
+  // Large enough to defeat any kernel buffering of the first write.
+  EXPECT_FALSE(
+      mnet::write_frame(channel.fds[0], std::string(1 << 20, 'x'), &error));
+  EXPECT_EQ(error, mnet::FrameError::DeadPeer);
+}
+
+TEST(NetFrame, TcpConnectionResetClassifiesDeadPeer) {
+  // The multi-host death mode the socketpair path never sees: the peer
+  // vanishes as an RST (SO_LINGER zero + close), which recv reports as
+  // ECONNRESET — and the classifier folds into the same DeadPeer branch.
+  std::string net_error;
+  std::uint16_t port = 0;
+  const int listen_fd =
+      mnet::tcp_listen({"127.0.0.1", 0}, &net_error, &port);
+  ASSERT_GE(listen_fd, 0) << net_error;
+  const int client = mnet::tcp_connect({"127.0.0.1", port},
+                                       std::chrono::seconds(5), &net_error);
+  ASSERT_GE(client, 0) << net_error;
+  const int server =
+      mnet::tcp_accept(listen_fd, std::chrono::seconds(5), &net_error);
+  ASSERT_GE(server, 0) << net_error;
+
+  struct linger abort_on_close = {1, 0};
+  ASSERT_EQ(::setsockopt(client, SOL_SOCKET, SO_LINGER, &abort_on_close,
+                         sizeof abort_on_close),
+            0);
+  ::close(client);  // sends RST instead of FIN
+
+  std::string received;
+  mnet::FrameError error = mnet::FrameError::None;
+  EXPECT_FALSE(mnet::read_frame(server, &received, &error));
+  EXPECT_EQ(error, mnet::FrameError::DeadPeer);
+  ::close(server);
+  ::close(listen_fd);
+}
+
+TEST(NetFrame, SilentPeerTimesOutInsteadOfHangingTheReader) {
+  SocketPair channel;
+  const auto start = std::chrono::steady_clock::now();
+  std::string received;
+  mnet::FrameError error = mnet::FrameError::None;
+  EXPECT_FALSE(mnet::read_frame_deadline(
+      channel.fds[1], &received,
+      start + std::chrono::milliseconds(150), &error));
+  EXPECT_EQ(error, mnet::FrameError::Timeout);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0)
+      << "a silent peer must cost the deadline, not forever";
+}
+
+TEST(NetFrame, FrameStalledMidPayloadTimesOutTyped) {
+  // A hostile greeting can promise bytes that never arrive; the deadline
+  // reader must give up mid-frame, not block on the missing tail.
+  SocketPair channel;
+  send_raw(channel.fds[0],
+           std::string("\x40\x00\x00\x00", 4) + std::string("partial"));
+  std::string received;
+  mnet::FrameError error = mnet::FrameError::None;
+  EXPECT_FALSE(mnet::read_frame_deadline(
+      channel.fds[1], &received,
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(150),
+      &error));
+  EXPECT_EQ(error, mnet::FrameError::Timeout);
+}
+
+TEST(NetFrame, DeadPeerClassifierCoversTcpAndPipeErrnos) {
+  EXPECT_TRUE(mnet::is_dead_peer_errno(ECONNRESET));
+  EXPECT_TRUE(mnet::is_dead_peer_errno(EPIPE));
+  EXPECT_TRUE(mnet::is_dead_peer_errno(ECONNABORTED));
+  EXPECT_TRUE(mnet::is_dead_peer_errno(ETIMEDOUT));
+  EXPECT_TRUE(mnet::is_dead_peer_errno(ENOTCONN));
+  EXPECT_FALSE(mnet::is_dead_peer_errno(0));
+  EXPECT_FALSE(mnet::is_dead_peer_errno(EAGAIN));
+  EXPECT_FALSE(mnet::is_dead_peer_errno(EINVAL));
+  EXPECT_FALSE(mnet::is_dead_peer_errno(ENOMEM));
+}
+
+TEST(NetFrame, ErrorNamesAreDistinctAndHumanReadable) {
+  const std::vector<mnet::FrameError> all = {
+      mnet::FrameError::None,      mnet::FrameError::Eof,
+      mnet::FrameError::DeadPeer,  mnet::FrameError::Oversize,
+      mnet::FrameError::Truncated, mnet::FrameError::Timeout};
+  std::set<std::string> names;
+  for (const auto error : all) {
+    const std::string name = mnet::frame_error_name(error);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_STREQ(mnet::frame_error_name(mnet::FrameError::DeadPeer),
+               "dead-peer");
+}

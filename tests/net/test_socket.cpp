@@ -1,0 +1,160 @@
+// TCP plumbing tests: endpoint grammar, ephemeral-port listeners, and the
+// bounded-time guarantees of accept/connect — a router must never hang on
+// a black-holed or absent worker.
+
+#include "malsched/net/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "malsched/net/frame.hpp"
+
+namespace mnet = malsched::net;
+
+TEST(NetSocket, ParseEndpointAcceptsHostColonPort) {
+  const auto endpoint = mnet::parse_endpoint("127.0.0.1:9000");
+  ASSERT_TRUE(endpoint.has_value());
+  EXPECT_EQ(endpoint->host, "127.0.0.1");
+  EXPECT_EQ(endpoint->port, 9000);
+  EXPECT_EQ(endpoint->to_string(), "127.0.0.1:9000");
+
+  const auto named = mnet::parse_endpoint("worker-3.fleet.internal:65535");
+  ASSERT_TRUE(named.has_value());
+  EXPECT_EQ(named->host, "worker-3.fleet.internal");
+  EXPECT_EQ(named->port, 65535);
+
+  // Port 0 is legal: it asks the kernel for an ephemeral listener port.
+  const auto ephemeral = mnet::parse_endpoint("localhost:0");
+  ASSERT_TRUE(ephemeral.has_value());
+  EXPECT_EQ(ephemeral->port, 0);
+}
+
+TEST(NetSocket, ParseEndpointRejectsMalformedInput) {
+  EXPECT_FALSE(mnet::parse_endpoint("").has_value());
+  EXPECT_FALSE(mnet::parse_endpoint("no-port").has_value());
+  EXPECT_FALSE(mnet::parse_endpoint(":9000").has_value());   // empty host
+  EXPECT_FALSE(mnet::parse_endpoint("host:").has_value());   // empty port
+  EXPECT_FALSE(mnet::parse_endpoint("host:abc").has_value());
+  EXPECT_FALSE(mnet::parse_endpoint("host:65536").has_value());  // range
+  EXPECT_FALSE(mnet::parse_endpoint("host:-1").has_value());
+}
+
+TEST(NetSocket, ParseEndpointListSplitsOnCommasAndFailsClosed) {
+  const auto list = mnet::parse_endpoint_list("a:1,b:2,c:3");
+  ASSERT_TRUE(list.has_value());
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_EQ((*list)[0].to_string(), "a:1");
+  EXPECT_EQ((*list)[2].to_string(), "c:3");
+
+  const auto single = mnet::parse_endpoint_list("10.0.0.7:9000");
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->size(), 1u);
+
+  // One bad element poisons the whole list — a fleet with a typo'd worker
+  // address must fail loudly at parse time, not quietly run degraded.
+  EXPECT_FALSE(mnet::parse_endpoint_list("a:1,bogus,c:3").has_value());
+  EXPECT_FALSE(mnet::parse_endpoint_list("a:1,,c:3").has_value());
+  EXPECT_FALSE(mnet::parse_endpoint_list("a:1,b:2,").has_value());
+  EXPECT_FALSE(mnet::parse_endpoint_list("").has_value());
+}
+
+TEST(NetSocket, ListenConnectAcceptCarriesFramesBothWays) {
+  std::string error;
+  std::uint16_t port = 0;
+  const int listen_fd = mnet::tcp_listen({"127.0.0.1", 0}, &error, &port);
+  ASSERT_GE(listen_fd, 0) << error;
+  EXPECT_GT(port, 0) << "ephemeral port must be reported back";
+
+  const int client = mnet::tcp_connect({"127.0.0.1", port},
+                                       std::chrono::seconds(5), &error);
+  ASSERT_GE(client, 0) << error;
+  const int server =
+      mnet::tcp_accept(listen_fd, std::chrono::seconds(5), &error);
+  ASSERT_GE(server, 0) << error;
+
+  ASSERT_TRUE(mnet::write_frame(client, "ping 1"));
+  std::string payload;
+  ASSERT_TRUE(mnet::read_frame(server, &payload));
+  EXPECT_EQ(payload, "ping 1");
+  ASSERT_TRUE(mnet::write_frame(server, "pong 1"));
+  ASSERT_TRUE(mnet::read_frame(client, &payload));
+  EXPECT_EQ(payload, "pong 1");
+
+  ::close(client);
+  ::close(server);
+  ::close(listen_fd);
+}
+
+TEST(NetSocket, AcceptTimesOutWhenNobodyDials) {
+  std::string error;
+  std::uint16_t port = 0;
+  const int listen_fd = mnet::tcp_listen({"127.0.0.1", 0}, &error, &port);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  const auto start = std::chrono::steady_clock::now();
+  const int fd =
+      mnet::tcp_accept(listen_fd, std::chrono::milliseconds(100), &error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(fd, 0);
+  EXPECT_FALSE(error.empty());
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+  ::close(listen_fd);
+}
+
+TEST(NetSocket, ConnectToAVacantPortFailsWithinTheBudget) {
+  // Bind-then-close guarantees the port is vacant; connection-refused is
+  // retried within the budget (the worker-still-starting race), so the call
+  // costs about the timeout and then fails typed — never hangs.
+  std::string error;
+  std::uint16_t port = 0;
+  const int listen_fd = mnet::tcp_listen({"127.0.0.1", 0}, &error, &port);
+  ASSERT_GE(listen_fd, 0) << error;
+  ::close(listen_fd);
+
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = mnet::tcp_connect({"127.0.0.1", port},
+                                   std::chrono::milliseconds(300), &error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(fd, 0);
+  EXPECT_FALSE(error.empty());
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 10.0);
+}
+
+TEST(NetSocket, ConnectSucceedsWhileTheListenerIsStillWarmingUp) {
+  // The CI startup race in miniature: the connect begins before anyone
+  // listens, and a listener appears within the budget.
+  std::string error;
+  std::uint16_t port = 0;
+  {
+    const int probe = mnet::tcp_listen({"127.0.0.1", 0}, &error, &port);
+    ASSERT_GE(probe, 0) << error;
+    ::close(probe);  // port now vacant but known
+  }
+  std::thread late_listener([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    std::string listen_error;
+    const int listen_fd =
+        mnet::tcp_listen({"127.0.0.1", port}, &listen_error);
+    EXPECT_GE(listen_fd, 0) << listen_error;
+    if (listen_fd >= 0) {
+      std::string accept_error;
+      const int fd =
+          mnet::tcp_accept(listen_fd, std::chrono::seconds(10), &accept_error);
+      if (fd >= 0) {
+        ::close(fd);
+      }
+      ::close(listen_fd);
+    }
+  });
+  const int fd = mnet::tcp_connect({"127.0.0.1", port},
+                                   std::chrono::seconds(10), &error);
+  EXPECT_GE(fd, 0) << error;
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  late_listener.join();
+}

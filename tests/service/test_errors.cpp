@@ -3,6 +3,7 @@
 // (stable `code=` names a client can parse back into the enum).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -12,12 +13,17 @@
 #include <thread>
 #include <vector>
 
+#include "malsched/net/frame.hpp"
+#include "malsched/net/socket.hpp"
 #include "malsched/service/scheduler.hpp"
 #include "malsched/service/service.hpp"
 #include "malsched/service/solver_registry.hpp"
+#include "malsched/shard/router.hpp"
 
 namespace mc = malsched::core;
+namespace mnet = malsched::net;
 namespace msvc = malsched::service;
+namespace mshard = malsched::shard;
 
 namespace {
 
@@ -106,6 +112,37 @@ std::vector<msvc::SolveResult> produce_all_failures() {
     auto ticket =
         scheduler.submit("wdeq", msvc::intern(small_instance()), options);
     failures.push_back(ticket.get());
+  }
+
+  // ProtocolMismatch: the router dials a "worker" that greets with garbage;
+  // the versioned handshake rejects it and requests fail typed.  TCP
+  // transport, so no fork happens despite the threads above.
+  {
+    std::string net_error;
+    std::uint16_t port = 0;
+    const int listen_fd =
+        mnet::tcp_listen({"127.0.0.1", 0}, &net_error, &port);
+    EXPECT_GE(listen_fd, 0) << net_error;
+    std::thread impostor([listen_fd] {
+      std::string accept_error;
+      const int fd = mnet::tcp_accept(
+          listen_fd, std::chrono::milliseconds(10000), &accept_error);
+      if (fd >= 0) {
+        (void)mnet::write_frame(fd, "HTTP/1.1 200 OK");
+        std::string ignored;
+        (void)mnet::read_frame(fd, &ignored);  // drain the router's hello
+        ::close(fd);
+      }
+    });
+    mshard::RouterOptions router_options;
+    router_options.tcp_workers = {{"127.0.0.1", port}};
+    mshard::ShardRouter router(registry, router_options);
+    impostor.join();
+    ::close(listen_fd);
+    const auto batch = msvc::parse_batch(
+        "instance a\nprocessors 2\ntask 1 1 1\nend\nsolve wdeq a\n", &error);
+    EXPECT_TRUE(batch.has_value()) << error;
+    failures.push_back(router.run(*batch).results.at(0));
   }
   return failures;
 }

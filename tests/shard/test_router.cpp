@@ -11,16 +11,23 @@
 
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "malsched/core/instance.hpp"
+#include "malsched/net/socket.hpp"
 #include "malsched/service/scheduler.hpp"
 #include "malsched/service/service.hpp"
 #include "malsched/shard/hash_ring.hpp"
+#include "malsched/shard/worker.hpp"
 
+namespace mc = malsched::core;
+namespace mnet = malsched::net;
 namespace msvc = malsched::service;
 namespace mshard = malsched::shard;
 
@@ -356,4 +363,132 @@ TEST(Router, PerWorkerCacheStatsSumToAggregateAndExposeTtlExpiry) {
   router.kill(0);
   EXPECT_FALSE(router.worker_cache_stats(0).has_value());
   EXPECT_TRUE(router.worker_cache_stats(1).has_value());
+}
+
+TEST(Router, TransportStatsCountHandshakesAndDeaths) {
+  mshard::RouterOptions options;
+  options.shards = 2;
+  mshard::ShardRouter router(registry(), options);
+  const auto& stats = router.transport_stats();
+  EXPECT_EQ(stats.handshakes, 2u) << "one hello exchange per forked worker";
+  EXPECT_EQ(stats.handshake_failures, 0u);
+  EXPECT_EQ(stats.dead_peers, 0u);
+
+  router.kill(0);
+  EXPECT_EQ(router.transport_stats().dead_peers, 1u);
+  ASSERT_TRUE(router.restart(0));
+  EXPECT_EQ(router.transport_stats().handshakes, 3u)
+      << "a restart re-runs the versioned handshake";
+}
+
+TEST(Router, MidSolveDeathRetriesOnThePrimedReplicaUnderTheSameToken) {
+  // The failover upgrade replication buys: the primary is SIGKILLed while
+  // a solve is *in flight* (already sent, not yet answered).  The dead
+  // worker may or may not have executed it — the router must replay it on
+  // the replica under the same idempotency token and still succeed, where
+  // replication=1 could only fail typed (WorkerKilledMidSolve... above).
+  auto sleepy = msvc::SolverRegistry::with_default_solvers();
+  sleepy.register_solver(
+      "sleepy",
+      [](const mc::Instance& inst) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        return msvc::SolveResult::success(
+            "sleepy", msvc::SolveOutput{1.0, 1.0,
+                                        std::vector<double>(inst.size(), 1.0)});
+      },
+      /*order_invariant=*/false, "slow success", /*cacheable=*/false);
+
+  const auto batch = parse(
+      "instance a\nprocessors 4\ntask 2.0 2 1.0\ntask 1.0 1 1.0\nend\n"
+      "solve sleepy a\n");
+  const std::uint64_t key = msvc::intern(batch.instances.at("a")).key();
+
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.replication = 2;
+  mshard::ShardRouter router(sleepy, options);
+  const std::uint32_t primary = router.owner_of(key);
+  const pid_t victim = router.pid_of(primary);
+  ASSERT_GT(victim, 0);
+
+  std::thread killer([victim] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ::kill(victim, SIGKILL);
+  });
+  const auto report = router.run(batch);
+  killer.join();
+
+  ASSERT_EQ(report.results.size(), 1u);
+  ASSERT_TRUE(report.results[0].ok())
+      << "the retry on the primed replica must succeed: "
+      << report.results[0].error().to_string();
+  EXPECT_FALSE(router.alive(primary));
+  const auto& stats = router.transport_stats();
+  EXPECT_EQ(stats.dead_peers, 1u);
+  EXPECT_GE(stats.retries_replayed, 1u)
+      << "the in-flight request must have been replayed, not failed";
+}
+
+TEST(Router, TcpWorkersMatchSingleProcessByteForByte) {
+  // The multi-host data path end to end: two in-process "remote" workers
+  // behind real TCP listeners on ephemeral loopback ports, dialed by the
+  // router exactly as `--workers host:port,...` would.  Output must be
+  // byte-identical to single-process serving — same contract the fork
+  // transport honors.  No fork happens here, so the worker threads are
+  // safe; they are joined before the test returns.
+  struct TcpWorker {
+    int listen_fd = -1;
+    std::uint16_t port = 0;
+    std::thread thread;
+    int rc = -1;
+  };
+  std::vector<TcpWorker> fleet(2);
+  for (auto& worker : fleet) {
+    std::string error;
+    worker.listen_fd =
+        mnet::tcp_listen({"127.0.0.1", 0}, &error, &worker.port);
+    ASSERT_GE(worker.listen_fd, 0) << error;
+    worker.thread = std::thread([&worker] {
+      std::string accept_error;
+      const int fd = mnet::tcp_accept(
+          worker.listen_fd, std::chrono::seconds(30), &accept_error);
+      if (fd < 0) {
+        return;  // rc stays -1 and the assertions below flag it
+      }
+      mshard::WorkerOptions options;
+      options.threads = 2;
+      worker.rc = mshard::run_worker(fd, registry(), options);
+      ::close(fd);
+    });
+  }
+
+  const auto batch = parse(kParityBatch);
+  std::string sharded;
+  {
+    mshard::RouterOptions options;
+    options.tcp_workers = {{"127.0.0.1", fleet[0].port},
+                           {"127.0.0.1", fleet[1].port}};
+    options.worker.threads = 2;
+    mshard::ShardRouter router(registry(), options);
+    ASSERT_EQ(router.shard_count(), 2u);
+    ASSERT_EQ(router.alive_count(), 2u);
+    EXPECT_EQ(router.transport_stats().handshakes, 2u);
+    EXPECT_EQ(router.pid_of(0), -1) << "TCP workers are not our processes";
+    EXPECT_TRUE(router.ping(0));
+    sharded = msvc::format_results(router.run(batch));
+  }  // router teardown closes the connections: EOF = clean worker exit
+
+  for (auto& worker : fleet) {
+    worker.thread.join();
+    ::close(worker.listen_fd);
+    EXPECT_EQ(worker.rc, 0) << "TCP worker must exit cleanly on EOF";
+  }
+
+  msvc::ServiceOptions service_options;
+  service_options.threads = 2;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+  EXPECT_EQ(sharded, single)
+      << "the TCP fleet must be indistinguishable from single-process "
+         "serving, byte for byte";
 }

@@ -4,9 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace msvc = malsched::service;
@@ -110,6 +112,7 @@ TEST(Wire, InstanceDecodeRejectsGarbage) {
 TEST(Wire, SolveRoundTripWithAndWithoutDeadline) {
   wire::SolveMessage message;
   message.id = 0xFFFFFFFFFFFFFFFFull;
+  message.token = 0xDEADBEEFCAFEF00Dull;
   message.priority_weight = 1.0 / 7.0;
   message.deadline_seconds = 0.25;
   message.solver = "order-lp-smith";
@@ -117,6 +120,7 @@ TEST(Wire, SolveRoundTripWithAndWithoutDeadline) {
   const auto decoded = wire::decode_solve(wire::encode_solve(message));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->id, message.id);
+  EXPECT_EQ(decoded->token, message.token);
   EXPECT_TRUE(bits_equal(decoded->priority_weight, message.priority_weight));
   ASSERT_TRUE(decoded->deadline_seconds.has_value());
   EXPECT_TRUE(bits_equal(*decoded->deadline_seconds, 0.25));
@@ -138,9 +142,11 @@ TEST(Wire, OkResultRoundTripIsBitExact) {
   result.cache_hit = true;
   result.latency_seconds = 3.25e-4;
 
-  const auto decoded = wire::decode_result(wire::encode_result(77, result));
+  const auto decoded =
+      wire::decode_result(wire::encode_result(77, 4242, result));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->id, 77u);
+  EXPECT_EQ(decoded->token, 4242u);
   ASSERT_TRUE(decoded->result.ok());
   EXPECT_EQ(decoded->result.solver, "wdeq");
   EXPECT_TRUE(decoded->result.cache_hit);
@@ -169,7 +175,8 @@ TEST(Wire, EveryErrorCodeRoundTripsWithHostileMessages) {
     const std::string& detail = messages[message_index++ % messages.size()];
     const msvc::SolveResult sent =
         msvc::SolveResult::failure("optimal", code, detail);
-    const auto decoded = wire::decode_result(wire::encode_result(9, sent));
+    const auto decoded =
+        wire::decode_result(wire::encode_result(9, 1, sent));
     ASSERT_TRUE(decoded.has_value())
         << "code " << msvc::error_code_name(code);
     ASSERT_FALSE(decoded->result.ok());
@@ -186,7 +193,7 @@ TEST(Wire, QuotesInSolverNamesDoNotDesynchronizeTheHeader) {
   // quoted on the wire so such a name cannot swallow the fields after it.
   const msvc::SolveResult sent = msvc::SolveResult::failure(
       "a\"b", msvc::ErrorCode::UnknownSolver, "unknown solver 'a\"b'");
-  const auto decoded = wire::decode_result(wire::encode_result(4, sent));
+  const auto decoded = wire::decode_result(wire::encode_result(4, 1, sent));
   ASSERT_TRUE(decoded.has_value());
   ASSERT_FALSE(decoded->result.ok());
   EXPECT_EQ(decoded->result.solver, "a\"b");
@@ -201,7 +208,7 @@ TEST(Wire, FieldLookupIsNotShadowedByKeysInsideQuotedMessages) {
   const msvc::SolveResult sent = msvc::SolveResult::failure(
       "custom", msvc::ErrorCode::SolverFailure,
       "bad latency=0.5 in config, also status=ok and code=cancelled");
-  const auto decoded = wire::decode_result(wire::encode_result(3, sent));
+  const auto decoded = wire::decode_result(wire::encode_result(3, 1, sent));
   ASSERT_TRUE(decoded.has_value());
   ASSERT_FALSE(decoded->result.ok());
   EXPECT_EQ(decoded->result.error().code, msvc::ErrorCode::SolverFailure);
@@ -251,5 +258,94 @@ TEST(Wire, MessageTypeExtraction) {
   EXPECT_EQ(wire::message_type("solve 1 0x1p+0 - wdeq x"), "solve");
   EXPECT_EQ(wire::message_type("instance foo\n..."), "instance");
   EXPECT_EQ(wire::message_type("drain"), "drain");
+  EXPECT_EQ(wire::message_type("hello malsched-wire 2 router"), "hello");
   EXPECT_EQ(wire::message_type(""), "");
+}
+
+TEST(Wire, HelloRoundTripCarriesVersionAndRole) {
+  wire::HelloMessage hello;
+  hello.role = "router";
+  const auto decoded = wire::decode_hello(wire::encode_hello(hello));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, wire::kWireProtocolVersion);
+  EXPECT_EQ(decoded->role, "router");
+
+  wire::HelloMessage peer;
+  EXPECT_FALSE(
+      wire::validate_hello(wire::encode_hello(hello), &peer).has_value());
+  EXPECT_EQ(peer.role, "router");
+  EXPECT_EQ(peer.version, wire::kWireProtocolVersion);
+}
+
+TEST(Wire, ValidateHelloNamesBothVersionsOnAMismatch) {
+  wire::HelloMessage old_binary;
+  old_binary.version = 1;  // the PR-5 dialect, before hello itself existed
+  old_binary.role = "worker";
+  const auto reason = wire::validate_hello(wire::encode_hello(old_binary));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("version 1"), std::string::npos) << *reason;
+  EXPECT_NE(reason->find(std::to_string(wire::kWireProtocolVersion)),
+            std::string::npos)
+      << *reason;
+}
+
+TEST(Wire, ValidateHelloQuotesASanitizedPreviewOfGarbage) {
+  // The greeting is attacker-controlled: whatever dialed the port.  The
+  // rejection must carry a bounded, printable excerpt — never raw bytes,
+  // never more than the preview window.
+  const auto http = wire::validate_hello("HTTP/1.1 400 Bad Request");
+  ASSERT_TRUE(http.has_value());
+  EXPECT_NE(http->find("HTTP/1.1 400"), std::string::npos) << *http;
+
+  const std::string hostile =
+      std::string("\1\2", 2) + "evil\r\n\x7f" + std::string(500, 'A');
+  const auto reason = wire::validate_hello(hostile);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("..evil"), std::string::npos)
+      << "control bytes must be masked: " << *reason;
+  EXPECT_LT(reason->size(), 200u) << "preview must be bounded";
+
+  // Structurally plausible but wrong-magic greetings also fail closed.
+  EXPECT_FALSE(wire::decode_hello("hello other-protocol 2 router"));
+  EXPECT_FALSE(wire::decode_hello("hello malsched-wire nan router"));
+  EXPECT_FALSE(wire::decode_hello("hello malsched-wire 99999999999 x"));
+  EXPECT_FALSE(wire::decode_hello(""));
+}
+
+TEST(Wire, HandshakeSucceedsBetweenTwoHonestPeers) {
+  SocketPair channel;
+  bool worker_ok = false;
+  std::thread worker_side([&] {
+    worker_ok =
+        wire::handshake(channel.fds[1], "worker", std::chrono::seconds(10));
+  });
+  std::string reason;
+  EXPECT_TRUE(wire::handshake(channel.fds[0], "router",
+                              std::chrono::seconds(10), &reason))
+      << reason;
+  worker_side.join();
+  EXPECT_TRUE(worker_ok);
+}
+
+TEST(Wire, HandshakeRejectsAHostileGreetingWithAReason) {
+  // The peer "greets" with an HTTP response — the port-scanner scenario.
+  // Single-threaded on purpose: the garbage frame is buffered before the
+  // handshake runs, proving the exchange cannot deadlock on write order.
+  SocketPair channel;
+  ASSERT_TRUE(wire::write_frame(channel.fds[1], "HTTP/1.1 200 OK"));
+  std::string reason;
+  EXPECT_FALSE(wire::handshake(channel.fds[0], "router",
+                               std::chrono::seconds(5), &reason));
+  EXPECT_NE(reason.find("HTTP/1.1 200 OK"), std::string::npos) << reason;
+}
+
+TEST(Wire, HandshakeTimesOutTypedOnASilentPeer) {
+  SocketPair channel;
+  const auto start = std::chrono::steady_clock::now();
+  std::string reason;
+  EXPECT_FALSE(wire::handshake(channel.fds[0], "router",
+                               std::chrono::milliseconds(200), &reason));
+  EXPECT_NE(reason.find("timeout"), std::string::npos) << reason;
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
 }
