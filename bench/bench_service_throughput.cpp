@@ -474,6 +474,54 @@ bool run_sharded_vs_single(const service::SolverRegistry& registry,
   add("single-process (1 thread)", "single_process", single_seconds,
       shard_seconds[0]);
 
+  // Data plane: the same cache-miss-heavy batch with the transport forced
+  // to shm rings and to socketpair frames, at 1/2/4 shards.  The gated
+  // floor is the tentpole's claim: on a multi-core host, 2 shards over shm
+  // must clear 1.5x the single-process wall time.  Socketpair rows make
+  // the plane's own contribution visible next to the fork-parallelism win.
+  double shm_2shard_seconds = 0.0;
+  {
+    support::TextTable plane_table({{"plane", support::Align::Left},
+                                    {"shards", support::Align::Right},
+                                    {"seconds", support::Align::Right},
+                                    {"req/s", support::Align::Right},
+                                    {"speedup vs single", support::Align::Right}});
+    const struct {
+      shard::DataPlaneMode mode;
+      const char* name;
+    } planes[] = {{shard::DataPlaneMode::Shm, "shm"},
+                  {shard::DataPlaneMode::Socketpair, "socketpair"}};
+    for (const auto& plane : planes) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                       std::size_t{4}}) {
+        shard::RouterOptions options;
+        options.shards = shards;
+        options.worker.threads = 1;
+        options.data_plane = plane.mode;
+        shard::ShardRouter router(registry, options);
+        const auto report = router.run(batch);
+        if (plane.mode == shard::DataPlaneMode::Shm && shards == 2) {
+          shm_2shard_seconds = report.wall_seconds;
+        }
+        plane_table.add_row(
+            {plane.name, support::fmt_int(shards),
+             support::fmt_double(report.wall_seconds),
+             support::fmt_double(static_cast<double>(num_requests) /
+                                 report.wall_seconds),
+             support::fmt_double(single_seconds / report.wall_seconds)});
+        const std::string scenario = "data_plane_" + std::string(plane.name) +
+                                     "_x" + std::to_string(shards);
+        json.add(scenario, "wall_ns", report.wall_seconds * 1e9);
+        json.add(scenario, "requests_per_second",
+                 static_cast<double>(num_requests) / report.wall_seconds);
+        json.add(scenario, "speedup_vs_single_process",
+                 single_seconds / report.wall_seconds);
+      }
+    }
+    std::printf("data plane sweep (same miss-heavy batch, forced plane):\n%s\n",
+                plane_table.to_string().c_str());
+  }
+
   // Failover under load: the same batch, replication 2, and one worker
   // SIGKILLed about 40% into the healthy x2 wall time.  Every request must
   // still succeed — queued work fails over to the primed replica, in-flight
@@ -539,12 +587,26 @@ bool run_sharded_vs_single(const service::SolverRegistry& registry,
               static_cast<unsigned long long>(retries_replayed),
               retries_replayed == 1 ? "y" : "ies", failover_seconds,
               failover_ok ? "ALL REQUESTS OK (ok)" : "REQUESTS LOST (BUG)");
+  // The data-plane floor, gated like the scaling claim: fan-out cannot pay
+  // without cores to fan out onto.
+  const double shm_speedup = single_seconds / shm_2shard_seconds;
+  const bool shm_floor_ok = shm_speedup >= 1.5;
+  std::printf("data plane floor: 2-shard shm %.2fx single-process "
+              "(floor 1.5x) — %s\n\n",
+              shm_speedup,
+              !scaling_armed ? "not gated on a single-core host"
+              : shm_floor_ok ? "CLEARED (ok)"
+                             : "BELOW FLOOR (BUG)");
   json.add("transparency", "sharded_identical_to_single", identical ? 1 : 0);
   json.add("scaling", "speedup_2_shards_vs_1", shard_seconds[0] / shard_seconds[1]);
   json.add("scaling", "speedup_4_shards_vs_1", shard_seconds[0] / shard_seconds[2]);
   json.add("scaling", "gate_armed", scaling_armed ? 1 : 0);
+  json.add("data_plane", "speedup_shm_2_shards_vs_single", shm_speedup);
+  json.add("data_plane", "floor", 1.5);
+  json.add("data_plane", "gate_armed", scaling_armed ? 1 : 0);
   json.write();
-  return identical && (!scaling_armed || scales) && failover_ok;
+  return identical && (!scaling_armed || scales) &&
+         (!scaling_armed || shm_floor_ok) && failover_ok;
 }
 
 // Returns false when a correctness claim (determinism, streaming admission)

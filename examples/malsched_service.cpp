@@ -77,7 +77,8 @@ int usage(const char* prog) {
                "usage: %s <batch-file> [--threads N] [--repeat R] "
                "[--cache-capacity W] [--cache-ttl S] [--no-cache] "
                "[--queue-capacity N] [--fifo] [--shards N] "
-               "[--workers host:port,...] [--replication R] [--stats]\n"
+               "[--workers host:port,...] [--replication R] "
+               "[--data-plane auto|shm|socketpair] [--stats]\n"
                "       %s --solvers\n",
                prog, prog);
   return 64;
@@ -104,6 +105,9 @@ int main(int argc, char** argv) {
   std::size_t shards = 0;       // 0 = single-process serving
   std::vector<net::Endpoint> tcp_workers;  // --workers: dial, don't fork
   std::size_t replication = 1;  // instance fan-out when sharded
+  // --data-plane: how frames reach forked workers (shared-memory rings by
+  // default, with automatic socketpair fallback; see router.hpp).
+  shard::DataPlaneMode data_plane = shard::DataPlaneMode::Auto;
   bool show_stats = false;      // --stats: cache counter block on stderr
   // Numeric flags are range-checked: a stray "--threads -1" must not wrap
   // to four billion workers.
@@ -164,6 +168,17 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       replication = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--data-plane") == 0 && i + 1 < argc) {
+      const char* plane = argv[++i];
+      if (std::strcmp(plane, "auto") == 0) {
+        data_plane = shard::DataPlaneMode::Auto;
+      } else if (std::strcmp(plane, "shm") == 0) {
+        data_plane = shard::DataPlaneMode::Shm;
+      } else if (std::strcmp(plane, "socketpair") == 0) {
+        data_plane = shard::DataPlaneMode::Socketpair;
+      } else {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.use_cache = false;
     } else if (std::strcmp(argv[i], "--fifo") == 0) {
@@ -211,6 +226,7 @@ int main(int argc, char** argv) {
     router_options.shards = shards;
     router_options.tcp_workers = tcp_workers;
     router_options.replication = replication;
+    router_options.data_plane = data_plane;
     router_options.worker = options;  // same options, served per worker
     shard::ShardRouter router(registry, router_options);
     shard::RouterRunOptions run_options;
@@ -230,13 +246,37 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "cache%-9s: worker dead\n", label.c_str());
         }
       }
+      // Data-plane counters: which plane each worker actually got (a shm
+      // request that fell back shows up as "socketpair" + shm_fallbacks
+      // below), how much crossed it, and whether the rings ever parked.
+      for (std::size_t w = 0; w < router.shard_count(); ++w) {
+        const std::string label = "[" + std::to_string(w) + "]";
+        const auto plane = router.data_plane_stats(w);
+        if (!plane) {
+          std::fprintf(stderr, "plane%-9s: worker dead\n", label.c_str());
+          continue;
+        }
+        std::fprintf(stderr,
+                     "plane%-9s: %s frames_out=%llu bytes_out=%llu "
+                     "frames_in=%llu bytes_in=%llu depth=%zu/%zu "
+                     "sleeps=%llu/%llu wakes=%llu\n",
+                     label.c_str(), plane->plane,
+                     static_cast<unsigned long long>(plane->frames_out),
+                     static_cast<unsigned long long>(plane->bytes_out),
+                     static_cast<unsigned long long>(plane->frames_in),
+                     static_cast<unsigned long long>(plane->bytes_in),
+                     plane->request_depth, plane->response_depth,
+                     static_cast<unsigned long long>(plane->producer_sleeps),
+                     static_cast<unsigned long long>(plane->consumer_sleeps),
+                     static_cast<unsigned long long>(plane->wakes));
+      }
       // Transport counters: the fleet-health view — how many peers passed
       // the handshake, how many died, how much work was retried.
       const shard::TransportStats& transport = router.transport_stats();
       std::fprintf(stderr,
                    "transport      : handshakes=%llu handshake_failures=%llu "
                    "dead_peers=%llu retries_replayed=%llu "
-                   "duplicates_dropped=%llu\n",
+                   "duplicates_dropped=%llu shm_fallbacks=%llu\n",
                    static_cast<unsigned long long>(transport.handshakes),
                    static_cast<unsigned long long>(
                        transport.handshake_failures),
@@ -244,7 +284,8 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(
                        transport.retries_replayed),
                    static_cast<unsigned long long>(
-                       transport.duplicates_dropped));
+                       transport.duplicates_dropped),
+                   static_cast<unsigned long long>(transport.shm_fallbacks));
     }
   } else {
     report = service::run_service(*batch, registry, options);

@@ -1,0 +1,210 @@
+#pragma once
+
+/// \file shm.hpp
+/// Process-shared memory primitives of the local-shard data plane: an
+/// anonymous MAP_SHARED region that survives fork, an SPSC byte ring
+/// carrying length-prefixed frames through it, and a futex doorbell a
+/// single consumer can multiplex many rings over.
+///
+/// The idiom is wineserver's esync/fsync: producer and consumer share a
+/// page and signal each other with FUTEX_WAIT / FUTEX_WAKE on words inside
+/// it, so the hot path is two atomic stores and a memcpy — no kernel
+/// round-trip per frame — and the idle path sleeps instead of spinning.
+///
+/// Ring layout (one direction; a channel uses two):
+///
+///     ┌────────────┬──────────────────────────────────────────┐
+///     │ RingHeader │ data[capacity]  (capacity is a power of 2)│
+///     └────────────┴──────────────────────────────────────────┘
+///
+/// `head` (bytes consumed) and `tail` (bytes published) are free-running
+/// u32 counters; positions are taken modulo capacity, so the full capacity
+/// is usable and wraparound is a masked index, not a modulo chain.  Frames
+/// are a u32-LE length followed by the payload, byte-wrapped across the
+/// ring edge.
+///
+/// Publication is atomic by construction: the producer copies the whole
+/// frame into the data area first and only then advances `tail` with a
+/// release store.  A producer killed mid-memcpy (SIGKILL mid-frame) never
+/// advances `tail`, so the consumer cannot observe a torn frame — it
+/// observes *silence*, and `pop`'s peer-liveness probe turns silence from a
+/// dead peer into a typed DeadPeer instead of a hang.
+///
+/// Sleep/wake: each side spins a bounded number of iterations (the
+/// low-latency case: the peer is actively moving) and then FUTEX_WAITs on
+/// the word the peer will change — the consumer on `tail`, the producer on
+/// `head`.  Wakes are issued only when the `*_waiting` count says someone
+/// is actually asleep, so a streaming producer/consumer pair issues zero
+/// futex syscalls.
+///
+/// All counters the operator sees (`--stats` ring depth, sleeps, wakes)
+/// live in the shared header, so either process can read them.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace malsched::net {
+
+/// Environment knob that makes ShmRegion::create fail as if mmap did —
+/// the operator's (and CI's) way to force the shared-memory data plane
+/// down its socketpair fallback path end to end.
+inline constexpr const char* kShmDisableEnv = "MALSCHED_SHM_DISABLE";
+
+/// An anonymous MAP_SHARED mapping.  Created *before* fork, the same
+/// physical pages are visible to parent and child — the substrate every
+/// type below lives in.  Unmapped on destruction (each process's mapping
+/// independently; the pages live until the last one drops).
+class ShmRegion {
+ public:
+  /// nullptr when mmap fails or MALSCHED_SHM_DISABLE is set (non-empty,
+  /// not "0") in the environment — callers must treat both as "no shared
+  /// memory here, fall back".
+  [[nodiscard]] static std::unique_ptr<ShmRegion> create(std::size_t bytes);
+  ~ShmRegion();
+
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+
+  [[nodiscard]] void* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  ShmRegion(void* data, std::size_t size) : data_(data), size_(size) {}
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Why a ring operation did not return a frame.  `Ok` only on success.
+enum class RingStatus {
+  Ok,
+  /// push: the frame (4-byte prefix + payload) exceeds the ring capacity
+  /// outright and could never fit.  Nothing was written — a frame is
+  /// published whole or not at all.
+  TooBig,
+  /// The deadline passed with the ring still full (push) / empty (pop).
+  Timeout,
+  /// close() was called and (for pop) every published frame has been
+  /// drained.  The clean end-of-stream, like FrameError::Eof.
+  Closed,
+  /// The peer-liveness probe failed while waiting: the other process died.
+  /// For pop this is exactly the torn-write case — a producer killed
+  /// mid-frame published nothing, so the evidence of its death is silence
+  /// plus a dead pid, never a partial frame.
+  DeadPeer,
+};
+
+/// Human-readable name ("too-big", "dead-peer", ...), for diagnostics.
+[[nodiscard]] const char* ring_status_name(RingStatus status) noexcept;
+
+/// Shared counters of one ring, readable by both processes.
+struct RingCounters {
+  std::atomic<std::uint64_t> frames{0};           ///< frames published
+  std::atomic<std::uint64_t> bytes{0};            ///< payload bytes published
+  std::atomic<std::uint64_t> producer_sleeps{0};  ///< futex waits (ring full)
+  std::atomic<std::uint64_t> consumer_sleeps{0};  ///< futex waits (ring empty)
+  std::atomic<std::uint64_t> wakes{0};            ///< FUTEX_WAKEs issued
+};
+
+/// The shared header at the front of a ring's memory.  Every field is a
+/// lock-free atomic: two processes race on these by design.
+struct RingHeader {
+  std::atomic<std::uint32_t> head{0};  ///< bytes consumed (free-running)
+  std::atomic<std::uint32_t> tail{0};  ///< bytes published (free-running)
+  std::atomic<std::uint32_t> closed{0};
+  std::atomic<std::uint32_t> consumer_waiting{0};
+  std::atomic<std::uint32_t> producer_waiting{0};
+  RingCounters counters;
+};
+static_assert(sizeof(std::atomic<std::uint32_t>) == 4,
+              "futex words must be plain 32-bit cells");
+
+/// Aggregate doorbell: many producers ring it after publishing, one
+/// consumer multiplexes on it (the router, over every worker's response
+/// ring) — FUTEX_WAITing a single word instead of polling N rings.  Lives
+/// in its own shared region created before the first fork.
+struct Doorbell {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint32_t> waiting{0};
+};
+
+/// Bumps the doorbell and wakes the consumer iff it is asleep.
+void doorbell_ring(Doorbell& bell);
+/// Announces intent to sleep and returns the sequence to sleep against.
+/// Protocol: begin_wait, then re-check all rings (a ring between the check
+/// and the wait changes `seq`, so the wait returns immediately), then
+/// doorbell_wait, then end_wait.
+[[nodiscard]] std::uint32_t doorbell_begin_wait(Doorbell& bell);
+void doorbell_wait(Doorbell& bell, std::uint32_t seen,
+                   std::chrono::milliseconds timeout);
+void doorbell_end_wait(Doorbell& bell);
+
+/// Single-producer single-consumer frame ring over caller-provided shared
+/// memory.  The object itself is a cheap per-process *view* (two pointers);
+/// all state lives in the shared memory, so parent and child each attach
+/// their own view to the same bytes.  One producer thread and one consumer
+/// thread at a time (callers serialize their own side; the two sides never
+/// lock against each other).
+class ShmRing {
+ public:
+  /// Bytes of shared memory a ring with `capacity` data bytes occupies.
+  [[nodiscard]] static constexpr std::size_t footprint(std::size_t capacity) {
+    return sizeof(RingHeader) + capacity;
+  }
+
+  ShmRing() = default;
+  /// Attaches to `memory` (at least footprint(capacity) bytes, suitably
+  /// aligned).  `capacity` must be a power of two.  Exactly one side passes
+  /// `initialize` (the creator, before fork).
+  ShmRing(void* memory, std::size_t capacity, bool initialize);
+
+  [[nodiscard]] bool valid() const { return header_ != nullptr; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Bytes currently published and unconsumed (prefixes included).
+  [[nodiscard]] std::size_t depth_bytes() const;
+  [[nodiscard]] const RingCounters& counters() const {
+    return header_->counters;
+  }
+
+  /// Optional doorbell rung after every successful push (the router's
+  /// multiplexed wait); nullptr for rings nobody multiplexes over.
+  void set_doorbell(Doorbell* bell) { doorbell_ = bell; }
+
+  /// Publishes one frame whole-or-not-at-all.  Blocks (bounded spin, then
+  /// futex sleep in slices) while the ring lacks space, until `deadline`.
+  /// `peer_alive` (when set) is probed between sleep slices; returning
+  /// false fails the push typed DeadPeer.  A deadline already in the past
+  /// makes this a try_push: Timeout without sleeping.
+  [[nodiscard]] RingStatus push(
+      std::string_view payload,
+      std::chrono::steady_clock::time_point deadline,
+      const std::function<bool()>& peer_alive = {});
+
+  /// Consumes one frame.  Same blocking/deadline/liveness contract as
+  /// push.  After close(), every already-published frame is still drained
+  /// (Ok) before Closed is reported — close is a drain marker, not a drop.
+  [[nodiscard]] RingStatus pop(std::string* payload,
+                               std::chrono::steady_clock::time_point deadline,
+                               const std::function<bool()>& peer_alive = {});
+
+  /// Marks the ring closed and wakes both sides.  Either side may call it;
+  /// it is how EOF propagates through shared memory.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+ private:
+  void copy_in(std::uint32_t at, const void* bytes, std::size_t size);
+  void copy_out(std::uint32_t at, void* bytes, std::size_t size) const;
+
+  RingHeader* header_ = nullptr;
+  unsigned char* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  Doorbell* doorbell_ = nullptr;
+};
+
+}  // namespace malsched::net

@@ -79,12 +79,16 @@ class Transport {
 /// Forked children over AF_UNIX socketpairs — the single-host topology.
 class ForkTransport final : public Transport {
  public:
-  /// `child_main(fd)` runs in the forked child on the peer end of the
-  /// socketpair and its return value becomes the child's exit status (via
-  /// _exit, so the parent's stdio buffers are never flushed twice).
+  /// `child_main(index, fd)` runs in the forked child on the peer end of
+  /// the socketpair and its return value becomes the child's exit status
+  /// (via _exit, so the parent's stdio buffers are never flushed twice).
+  /// The child receives its own peer index so it can locate per-peer
+  /// resources set up before the fork — the shm data-plane channels live
+  /// on exactly this.
   /// IMPORTANT: fork()-without-exec — construct and open() before the
   /// calling process creates any threads.
-  ForkTransport(std::size_t count, std::function<int(int)> child_main);
+  ForkTransport(std::size_t count,
+                std::function<int(std::size_t, int)> child_main);
   ~ForkTransport() override;
 
   [[nodiscard]] std::size_t peer_count() const override {
@@ -102,7 +106,7 @@ class ForkTransport final : public Transport {
     int fd = -1;  ///< parent-side end, tracked so later forks can close it
   };
   std::vector<Child> children_;
-  std::function<int(int)> child_main_;
+  std::function<int(std::size_t, int)> child_main_;
 };
 
 /// Dialed `host:port` workers — the multi-host topology.

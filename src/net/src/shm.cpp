@@ -1,0 +1,316 @@
+#include "malsched/net/shm.hpp"
+
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace malsched::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Cross-process futex ops — deliberately NOT FUTEX_PRIVATE_FLAG: the words
+// live in a MAP_SHARED mapping and the waiter and waker are different
+// processes, which the private (per-mm) optimization does not support.
+void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                std::chrono::milliseconds timeout) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  ts.tv_nsec = static_cast<long>((timeout.count() % 1000) * 1000000);
+  // EAGAIN (value changed), EINTR and ETIMEDOUT are all just "go re-check".
+  (void)::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word),
+                  FUTEX_WAIT, expected, &ts, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* word) {
+  (void)::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word),
+                  FUTEX_WAKE, INT32_MAX, nullptr, nullptr, 0);
+}
+
+// Bounded spin before sleeping: the streaming case (peer actively moving)
+// resolves here without any syscall.
+constexpr int kSpinIterations = 512;
+// Sleep slice: waits are chopped so the peer-liveness probe runs even when
+// the wake that should end the sleep never comes (peer SIGKILLed).
+constexpr std::chrono::milliseconds kSleepSlice{50};
+
+std::chrono::milliseconds slice_until(Clock::time_point deadline) {
+  // Compare before subtracting: Clock::time_point::min() is a valid
+  // "already expired" sentinel, and min() - now() underflows to a huge
+  // positive duration if subtracted first.
+  const auto now = Clock::now();
+  if (deadline <= now) {
+    return std::chrono::milliseconds(0);
+  }
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+  return left < kSleepSlice ? left : kSleepSlice;
+}
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
+// --- ShmRegion --------------------------------------------------------------
+
+std::unique_ptr<ShmRegion> ShmRegion::create(std::size_t bytes) {
+  const char* disabled = std::getenv(kShmDisableEnv);
+  if (disabled != nullptr && *disabled != '\0' &&
+      std::strcmp(disabled, "0") != 0) {
+    return nullptr;  // operator/CI-forced failure: exercise the fallback
+  }
+  if (bytes == 0) {
+    return nullptr;
+  }
+  void* data = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (data == MAP_FAILED) {
+    return nullptr;
+  }
+  return std::unique_ptr<ShmRegion>(new ShmRegion(data, bytes));
+}
+
+ShmRegion::~ShmRegion() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+}
+
+// --- RingStatus -------------------------------------------------------------
+
+const char* ring_status_name(RingStatus status) noexcept {
+  switch (status) {
+    case RingStatus::Ok:
+      return "ok";
+    case RingStatus::TooBig:
+      return "too-big";
+    case RingStatus::Timeout:
+      return "timeout";
+    case RingStatus::Closed:
+      return "closed";
+    case RingStatus::DeadPeer:
+      return "dead-peer";
+  }
+  return "unknown";
+}
+
+// --- Doorbell ---------------------------------------------------------------
+
+void doorbell_ring(Doorbell& bell) {
+  bell.seq.fetch_add(1, std::memory_order_seq_cst);
+  if (bell.waiting.load(std::memory_order_seq_cst) != 0) {
+    futex_wake_all(&bell.seq);
+  }
+}
+
+std::uint32_t doorbell_begin_wait(Doorbell& bell) {
+  bell.waiting.fetch_add(1, std::memory_order_seq_cst);
+  return bell.seq.load(std::memory_order_seq_cst);
+}
+
+void doorbell_wait(Doorbell& bell, std::uint32_t seen,
+                   std::chrono::milliseconds timeout) {
+  if (bell.seq.load(std::memory_order_seq_cst) != seen) {
+    return;  // rung since begin_wait: the re-check missed it by a hair
+  }
+  futex_wait(&bell.seq, seen, timeout);
+}
+
+void doorbell_end_wait(Doorbell& bell) {
+  bell.waiting.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// --- ShmRing ----------------------------------------------------------------
+
+ShmRing::ShmRing(void* memory, std::size_t capacity, bool initialize)
+    : header_(static_cast<RingHeader*>(memory)),
+      data_(static_cast<unsigned char*>(memory) + sizeof(RingHeader)),
+      capacity_(capacity) {
+  if (initialize) {
+    new (header_) RingHeader();
+  }
+}
+
+std::size_t ShmRing::depth_bytes() const {
+  const std::uint32_t tail = header_->tail.load(std::memory_order_acquire);
+  const std::uint32_t head = header_->head.load(std::memory_order_acquire);
+  return static_cast<std::uint32_t>(tail - head);
+}
+
+void ShmRing::close() {
+  header_->closed.store(1, std::memory_order_seq_cst);
+  // Both sides might be asleep on their respective words; wake everything.
+  futex_wake_all(&header_->tail);
+  futex_wake_all(&header_->head);
+  if (doorbell_ != nullptr) {
+    doorbell_ring(*doorbell_);
+  }
+}
+
+bool ShmRing::closed() const {
+  return header_->closed.load(std::memory_order_seq_cst) != 0;
+}
+
+void ShmRing::copy_in(std::uint32_t at, const void* bytes, std::size_t size) {
+  const std::size_t index = at & (capacity_ - 1);
+  const std::size_t first = std::min(size, capacity_ - index);
+  std::memcpy(data_ + index, bytes, first);
+  if (first < size) {  // wrap: the tail of the frame restarts at offset 0
+    std::memcpy(data_, static_cast<const unsigned char*>(bytes) + first,
+                size - first);
+  }
+}
+
+void ShmRing::copy_out(std::uint32_t at, void* bytes, std::size_t size) const {
+  const std::size_t index = at & (capacity_ - 1);
+  const std::size_t first = std::min(size, capacity_ - index);
+  std::memcpy(bytes, data_ + index, first);
+  if (first < size) {
+    std::memcpy(static_cast<unsigned char*>(bytes) + first, data_,
+                size - first);
+  }
+}
+
+RingStatus ShmRing::push(std::string_view payload,
+                         Clock::time_point deadline,
+                         const std::function<bool()>& peer_alive) {
+  const std::size_t frame = 4 + payload.size();
+  if (frame > capacity_) {
+    // Whole-or-nothing: a frame that could never fit fails typed before a
+    // single byte lands (a payload of exactly ring size is in here too —
+    // its prefix pushes it over).
+    return RingStatus::TooBig;
+  }
+  const std::uint32_t tail = header_->tail.load(std::memory_order_relaxed);
+  int spins = 0;
+  for (;;) {
+    if (header_->closed.load(std::memory_order_seq_cst) != 0) {
+      return RingStatus::Closed;
+    }
+    const std::uint32_t head = header_->head.load(std::memory_order_acquire);
+    const std::size_t space =
+        capacity_ - static_cast<std::uint32_t>(tail - head);
+    if (space >= frame) {
+      break;
+    }
+    if (spins++ < kSpinIterations) {
+      cpu_relax();
+      continue;
+    }
+    // Full-ring backpressure: park on `head` until the consumer frees
+    // space (it wakes us) or the budget runs out.
+    const auto slice = slice_until(deadline);
+    if (slice <= std::chrono::milliseconds(0)) {
+      return RingStatus::Timeout;
+    }
+    if (peer_alive && !peer_alive()) {
+      return RingStatus::DeadPeer;
+    }
+    header_->producer_waiting.fetch_add(1, std::memory_order_seq_cst);
+    // Re-check under the waiting flag so a consumer that freed space
+    // between our check and the wait is forced to issue the wake.
+    const std::uint32_t head_now =
+        header_->head.load(std::memory_order_seq_cst);
+    if (capacity_ - static_cast<std::uint32_t>(tail - head_now) < frame &&
+        header_->closed.load(std::memory_order_seq_cst) == 0) {
+      header_->counters.producer_sleeps.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      futex_wait(&header_->head, head_now, slice);
+    }
+    header_->producer_waiting.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(payload.size() & 0xFF),
+      static_cast<unsigned char>((payload.size() >> 8) & 0xFF),
+      static_cast<unsigned char>((payload.size() >> 16) & 0xFF),
+      static_cast<unsigned char>((payload.size() >> 24) & 0xFF)};
+  copy_in(tail, prefix, sizeof prefix);
+  copy_in(tail + 4, payload.data(), payload.size());
+  // The publish: everything before this store is invisible to the consumer,
+  // so a producer killed anywhere above leaves the stream merely shorter,
+  // never torn.
+  header_->tail.store(tail + static_cast<std::uint32_t>(frame),
+                      std::memory_order_release);
+  header_->counters.frames.fetch_add(1, std::memory_order_relaxed);
+  header_->counters.bytes.fetch_add(payload.size(),
+                                    std::memory_order_relaxed);
+  if (header_->consumer_waiting.load(std::memory_order_seq_cst) != 0) {
+    header_->counters.wakes.fetch_add(1, std::memory_order_relaxed);
+    futex_wake_all(&header_->tail);
+  }
+  if (doorbell_ != nullptr) {
+    doorbell_ring(*doorbell_);
+  }
+  return RingStatus::Ok;
+}
+
+RingStatus ShmRing::pop(std::string* payload, Clock::time_point deadline,
+                        const std::function<bool()>& peer_alive) {
+  const std::uint32_t head = header_->head.load(std::memory_order_relaxed);
+  int spins = 0;
+  for (;;) {
+    const std::uint32_t tail = header_->tail.load(std::memory_order_acquire);
+    const std::uint32_t avail = tail - head;
+    if (avail >= 4) {
+      // `tail` only ever advances by whole frames, so a visible prefix
+      // means the whole frame is visible.
+      unsigned char prefix[4];
+      copy_out(head, prefix, sizeof prefix);
+      const std::uint32_t length = static_cast<std::uint32_t>(prefix[0]) |
+                                   (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                                   (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                                   (static_cast<std::uint32_t>(prefix[3]) << 24);
+      payload->resize(length);
+      copy_out(head + 4, payload->data(), length);
+      header_->head.store(head + 4 + length, std::memory_order_release);
+      if (header_->producer_waiting.load(std::memory_order_seq_cst) != 0) {
+        header_->counters.wakes.fetch_add(1, std::memory_order_relaxed);
+        futex_wake_all(&header_->head);
+      }
+      return RingStatus::Ok;
+    }
+    // Drain-before-close: only report Closed once nothing is left.
+    if (header_->closed.load(std::memory_order_seq_cst) != 0) {
+      return RingStatus::Closed;
+    }
+    if (spins++ < kSpinIterations) {
+      cpu_relax();
+      continue;
+    }
+    const auto slice = slice_until(deadline);
+    if (slice <= std::chrono::milliseconds(0)) {
+      return RingStatus::Timeout;
+    }
+    if (peer_alive && !peer_alive()) {
+      // The torn-write case lands here: a producer killed mid-frame never
+      // published, so its death reads as silence — typed, not garbled.
+      return RingStatus::DeadPeer;
+    }
+    header_->consumer_waiting.fetch_add(1, std::memory_order_seq_cst);
+    const std::uint32_t tail_now =
+        header_->tail.load(std::memory_order_seq_cst);
+    if (tail_now == tail &&
+        header_->closed.load(std::memory_order_seq_cst) == 0) {
+      header_->counters.consumer_sleeps.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      futex_wait(&header_->tail, tail_now, slice);
+    }
+    header_->consumer_waiting.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+}  // namespace malsched::net

@@ -22,7 +22,7 @@ void set_error(std::string* error, const std::string& what) {
 // --- ForkTransport ---------------------------------------------------------
 
 ForkTransport::ForkTransport(std::size_t count,
-                             std::function<int(int)> child_main)
+                             std::function<int(std::size_t, int)> child_main)
     : children_(count), child_main_(std::move(child_main)) {}
 
 ForkTransport::~ForkTransport() {
@@ -64,7 +64,7 @@ int ForkTransport::open(std::size_t index, std::string* error) {
     }
     // _exit, not exit: the child shares the parent's stdio buffers and must
     // not flush them a second time.
-    ::_exit(child_main_(sockets[1]));
+    ::_exit(child_main_(index, sockets[1]));
   }
   ::close(sockets[1]);
   children_[index] = Child{pid, sockets[0]};

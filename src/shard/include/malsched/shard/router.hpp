@@ -64,13 +64,23 @@
 #include <sys/types.h>
 #include <vector>
 
+#include "malsched/net/shm.hpp"
 #include "malsched/net/transport.hpp"
 #include "malsched/service/service.hpp"
 #include "malsched/service/solver_registry.hpp"
+#include "malsched/shard/data_plane.hpp"
 #include "malsched/shard/hash_ring.hpp"
 #include "malsched/shard/worker.hpp"
 
 namespace malsched::shard {
+
+/// Which data plane forked workers get.  Auto and Shm both try shared
+/// memory and fall back to the socketpair when setup fails (counted in
+/// TransportStats::shm_fallbacks) — degrading gracefully beats refusing to
+/// serve, even when the operator asked for shm explicitly.  Socketpair
+/// never tries.  TCP workers always use their connection; this knob is
+/// fork-transport only.
+enum class DataPlaneMode { Auto, Shm, Socketpair };
 
 struct RouterOptions {
   /// Worker processes to fork.  Each owns a disjoint arc of the canonical
@@ -99,6 +109,13 @@ struct RouterOptions {
   /// capacity so its reader thread never blocks on admission backpressure —
   /// the invariant that keeps the socket pair deadlock-free).
   std::size_t window = 64;
+  /// Data plane of forked workers; see DataPlaneMode.
+  DataPlaneMode data_plane = DataPlaneMode::Auto;
+  /// Capacity of each shm ring (request and response, per worker), rounded
+  /// down to a power of two, floor 4 KiB.  Frames bigger than a ring are
+  /// diverted over the control fd, so this sizes the hot path, not a hard
+  /// limit.
+  std::size_t shm_ring_bytes = std::size_t{4} << 20;
 };
 
 /// Transport-layer counters of one router, for `--stats` and tests.
@@ -108,6 +125,7 @@ struct TransportStats {
   std::uint64_t dead_peers = 0;          ///< workers observed dead
   std::uint64_t retries_replayed = 0;    ///< in-flight retries on replicas
   std::uint64_t duplicates_dropped = 0;  ///< results dropped by the dedup
+  std::uint64_t shm_fallbacks = 0;       ///< workers degraded to socketpair
 };
 
 struct RouterRunOptions {
@@ -197,21 +215,41 @@ class ShardRouter {
     return transport_stats_;
   }
 
+  /// Data-plane counters of one worker ("shm" ring depths/sleeps/wakes, or
+  /// "socketpair" frame counts), for `--stats`.  nullopt for a dead worker.
+  [[nodiscard]] std::optional<DataPlaneStats> data_plane_stats(
+      std::size_t worker) const {
+    if (worker >= workers_.size() || workers_[worker].plane == nullptr) {
+      return std::nullopt;
+    }
+    return workers_[worker].plane->stats();
+  }
+
  private:
   struct Worker {
     int fd = -1;
     bool alive = false;
+    /// How data frames reach this worker; the control plane stays on fd.
+    std::unique_ptr<DataPlane> plane;
   };
 
   bool spawn(std::size_t index);
   void mark_dead(std::size_t index);
-  /// Reads one frame with a poll timeout; false on timeout/death.
+  /// Reads one frame with an absolute deadline spanning poll *and* the
+  /// frame bytes, so a dribbling peer cannot stretch the budget; false on
+  /// timeout/death.
   bool read_frame_from(std::size_t index, std::string* payload,
                        std::chrono::milliseconds timeout);
 
   const service::SolverRegistry& registry_;
   RouterOptions options_;
   HashRing ring_;
+  /// Per-worker shm channels and the doorbell their response rings share,
+  /// created before the transport so every fork inherits the mappings.
+  /// A null channel slot means that worker fell back to the socketpair.
+  std::unique_ptr<net::ShmRegion> doorbell_region_;
+  net::Doorbell* doorbell_ = nullptr;
+  std::vector<std::unique_ptr<ShmChannel>> channels_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<Worker> workers_;
   /// Last handshake/connect failure per worker slot; empty = none.  Lets

@@ -62,6 +62,27 @@
 ///
 /// The frame reader enforces a maximum payload size so a corrupted length
 /// prefix fails the connection instead of a 4 GiB allocation.
+///
+/// --- dialects ---
+///
+/// The data-bearing messages (`instance`, `solve`, `result`) exist in two
+/// encodings behind the same encode/decode API:
+///
+///   * Dialect::Text — the key=value hexfloat dialect above, shared with
+///     the human result stream.  The TCP fleet and the socketpair data
+///     plane speak it; the version-2 handshake is unchanged.
+///   * Dialect::Binary — the shared-memory data plane's encoding: a tag
+///     byte ≥ 0x80 (which no text message starts with), fixed-width
+///     little-endian integers, and doubles as their raw IEEE-754 bits.
+///     Bit-identical by construction — no format/parse round-trip at all —
+///     and several times cheaper to encode/decode, which is the point on
+///     the per-request hot path.
+///
+/// Decoders sniff the first byte, so a receiver accepts either dialect
+/// without negotiation and `message_type` names binary payloads by the
+/// same strings ("instance"/"solve"/"result").  Control messages (hello,
+/// ping, stats, drain) are text-only: they ride the socketpair control
+/// plane, never the rings.
 
 #include <chrono>
 #include <cstdint>
@@ -128,9 +149,24 @@ struct HelloMessage {
 
 /// --- message encoding (pure string builders / parsers) ---
 
+/// Which encoding a data-bearing message is emitted in.  Decoders need no
+/// dialect argument — they sniff the first byte (binary tags are >= 0x80,
+/// text messages start with ASCII).
+enum class Dialect {
+  Text,    ///< key=value hexfloat lines — TCP fleet, socketpair, humans
+  Binary,  ///< tagged LE fixed-width + raw IEEE-754 bits — shm data plane
+};
+
+/// First payload byte of each binary message; >= 0x80 so no text message
+/// (which starts with a lowercase ASCII keyword) can collide.
+inline constexpr unsigned char kBinaryInstanceTag = 0x81;
+inline constexpr unsigned char kBinarySolveTag = 0x82;
+inline constexpr unsigned char kBinaryResultTag = 0x83;
+
 /// `instance` message: name plus the bit-exact hexfloat serialization.
 [[nodiscard]] std::string encode_instance(const std::string& name,
-                                          const core::Instance& instance);
+                                          const core::Instance& instance,
+                                          Dialect dialect = Dialect::Text);
 struct InstanceMessage {
   std::string name;
   std::optional<core::Instance> instance;
@@ -151,14 +187,16 @@ struct SolveMessage {
   std::string solver;
   std::string instance_name;
 };
-[[nodiscard]] std::string encode_solve(const SolveMessage& message);
+[[nodiscard]] std::string encode_solve(const SolveMessage& message,
+                                       Dialect dialect = Dialect::Text);
 [[nodiscard]] std::optional<SolveMessage> decode_solve(
     const std::string& payload);
 
 /// `result` message: the full SolveResult, bit-exact, echoing the solve's
 /// exchange id and idempotency token.
 [[nodiscard]] std::string encode_result(std::uint64_t id, std::uint64_t token,
-                                        const service::SolveResult& result);
+                                        const service::SolveResult& result,
+                                        Dialect dialect = Dialect::Text);
 struct ResultMessage {
   std::uint64_t id = 0;
   std::uint64_t token = 0;
@@ -174,7 +212,8 @@ struct ResultMessage {
 
 /// First whitespace-delimited token of a payload — the message type
 /// ("hello", "instance", "solve", "result", "ping", "pong", "stats",
-/// "drain", "drained").
+/// "drain", "drained").  Binary payloads map their tag byte to the same
+/// names, so dispatch loops are dialect-blind.
 [[nodiscard]] std::string message_type(const std::string& payload);
 
 }  // namespace malsched::shard::wire

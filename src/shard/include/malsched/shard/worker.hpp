@@ -32,6 +32,15 @@
 /// a duplicate of an in-flight token parks until the original finishes.
 /// This is the worker half of the router's retry-on-replica failover.
 ///
+/// Data planes: with a ShmChannel (created by the router before fork and
+/// inherited through it), `solve`/`instance` frames arrive on the shared-
+/// memory request ring in the binary dialect and results leave on the
+/// response ring, while the fd carries only control traffic — ping/stats
+/// answered by a dedicated control thread, oversize instances the router
+/// diverted past the ring, `drain`, and EOF (which closes the rings).
+/// Without a channel the fd carries everything, exactly the pre-seam
+/// behavior.
+///
 /// Lifetime: the worker exits cleanly on `drain` + EOF or bare EOF (router
 /// gone).  It never touches stdout/stderr — it is forked from the router's
 /// process and shares its stdio buffers.
@@ -40,6 +49,8 @@
 #include "malsched/service/solver_registry.hpp"
 
 namespace malsched::shard {
+
+class ShmChannel;
 
 /// Per-worker Scheduler/cache configuration IS the batch-level
 /// ServiceOptions — the worker serves through the same
@@ -54,6 +65,7 @@ using WorkerOptions = service::ServiceOptions;
 /// call it from a freshly forked child and pass the result to _exit(), or
 /// from a `malsched_worker` accept loop with a freshly dialed fd.
 [[nodiscard]] int run_worker(int fd, const service::SolverRegistry& registry,
-                             const WorkerOptions& options);
+                             const WorkerOptions& options,
+                             ShmChannel* channel = nullptr);
 
 }  // namespace malsched::shard

@@ -21,6 +21,15 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// How long a data-plane send may wait on backpressure before the worker
+/// is declared wedged.  The window <= worker-queue-capacity invariant
+/// means a healthy worker always drains, so hitting this is a fault.
+constexpr std::chrono::seconds kSendBudget{60};
+
+/// Slice of the router's multiplexed doorbell wait; also the cadence of
+/// its dead-peer checks while only shm results are pending.
+constexpr std::chrono::milliseconds kDoorbellSlice{50};
+
 }  // namespace
 
 ShardRouter::ShardRouter(const service::SolverRegistry& registry,
@@ -49,11 +58,36 @@ ShardRouter::ShardRouter(const service::SolverRegistry& registry,
     transport_ = std::make_unique<net::TcpTransport>(options_.tcp_workers,
                                                      options_.connect_timeout);
   } else {
+    // Shared-memory data plane, set up BEFORE the transport ever forks so
+    // every child inherits the mappings (fork-without-exec: the channel
+    // objects and every pointer into the shared pages are valid in the
+    // child verbatim).  Any slot whose channel cannot be created — mmap
+    // failure, or MALSCHED_SHM_DISABLE in the environment — falls back to
+    // the socketpair data plane, counted, never fatal.
+    channels_.resize(options_.shards);
+    if (options_.data_plane != DataPlaneMode::Socketpair) {
+      doorbell_region_ = net::ShmRegion::create(sizeof(net::Doorbell));
+      if (doorbell_region_ != nullptr) {
+        doorbell_ = new (doorbell_region_->data()) net::Doorbell();
+      }
+      for (std::size_t i = 0; i < channels_.size(); ++i) {
+        if (doorbell_ != nullptr) {
+          channels_[i] = ShmChannel::create(options_.shm_ring_bytes);
+        }
+        if (channels_[i] == nullptr) {
+          ++transport_stats_.shm_fallbacks;
+        } else {
+          channels_[i]->set_doorbell(doorbell_);
+        }
+      }
+    }
     // _exit inside the transport, not exit: the forked child shares this
     // process's stdio buffers and must not flush them a second time.
     transport_ = std::make_unique<net::ForkTransport>(
-        options_.shards, [this](int child_fd) {
-          return run_worker(child_fd, registry_, options_.worker);
+        options_.shards, [this](std::size_t index, int child_fd) {
+          return run_worker(child_fd, registry_, options_.worker,
+                            index < channels_.size() ? channels_[index].get()
+                                                     : nullptr);
         });
   }
   workers_.resize(options_.shards);
@@ -79,6 +113,11 @@ ShardRouter::~ShardRouter() {
 }
 
 bool ShardRouter::spawn(std::size_t index) {
+  // A respawned worker must not inherit the dead one's mid-stream ring
+  // state; reset before open() forks, while no process is attached.
+  if (index < channels_.size() && channels_[index] != nullptr) {
+    channels_[index]->reset();
+  }
   std::string error;
   const int fd = transport_->open(index, &error);
   if (fd < 0) {
@@ -98,7 +137,16 @@ bool ShardRouter::spawn(std::size_t index) {
   }
   ++transport_stats_.handshakes;
   handshake_errors_[index].clear();
-  workers_[index] = Worker{fd, true};
+  Worker worker;
+  worker.fd = fd;
+  worker.alive = true;
+  if (index < channels_.size() && channels_[index] != nullptr) {
+    worker.plane = std::make_unique<ShmDataPlane>(
+        *channels_[index], ShmDataPlane::Side::Router, fd);
+  } else {
+    worker.plane = std::make_unique<SocketpairDataPlane>(fd);
+  }
+  workers_[index] = std::move(worker);
   ring_.add_node(static_cast<std::uint32_t>(index));
   return true;
 }
@@ -114,6 +162,7 @@ void ShardRouter::mark_dead(std::size_t index) {
   // that true (fork: SIGKILL + reap; TCP: close our end).
   transport_->terminate(index, worker.fd);
   worker.fd = -1;
+  worker.plane.reset();
   ring_.remove_node(static_cast<std::uint32_t>(index));
 }
 
@@ -135,6 +184,10 @@ bool ShardRouter::read_frame_from(std::size_t index, std::string* payload,
   if (!worker.alive) {
     return false;
   }
+  // One absolute deadline spans the wait-for-data poll AND the frame bytes
+  // themselves: a peer that dribbles one byte per poll interval must run
+  // out of the *total* budget, not re-arm it per chunk.
+  const auto deadline = Clock::now() + timeout;
   struct pollfd pfd {
     worker.fd, POLLIN, 0
   };
@@ -142,7 +195,7 @@ bool ShardRouter::read_frame_from(std::size_t index, std::string* payload,
   if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
     return false;
   }
-  return wire::read_frame(worker.fd, payload);
+  return wire::read_frame_deadline(worker.fd, payload, deadline);
 }
 
 bool ShardRouter::ping(std::size_t worker, std::chrono::milliseconds timeout) {
@@ -224,6 +277,7 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
     std::vector<std::uint32_t> owners;  ///< primed replica set, primary first
   };
   std::map<std::string, Placed> placed;
+  std::vector<char> primed_over_fd(workers_.size(), 0);
   for (const auto& [name, instance] : batch.instances) {
     if (ring_.node_count() == 0) {
       break;  // whole fleet is down; requests fail below
@@ -234,14 +288,46 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
         service::canonicalize(instance, canonical_options).key;
     Placed place;
     place.owners = ring_.owners(key, options_.replication);
-    const std::string frame = wire::encode_instance(name, instance);
+    // One encode per dialect in use, shared across owners.
+    std::string text_frame;
+    std::string binary_frame;
     for (const std::uint32_t owner : place.owners) {
-      if (workers_[owner].alive &&
-          !wire::write_frame(workers_[owner].fd, frame)) {
+      Worker& worker = workers_[owner];
+      if (!worker.alive) {
+        continue;
+      }
+      const bool binary = worker.plane->dialect() == wire::Dialect::Binary;
+      std::string& frame = binary ? binary_frame : text_frame;
+      if (frame.empty()) {
+        frame = wire::encode_instance(name, instance, worker.plane->dialect());
+      }
+      auto status = worker.plane->send(frame, Clock::now() + kSendBudget);
+      if (status == net::RingStatus::TooBig) {
+        // An instance bigger than the shm ring is diverted over the
+        // control fd (text dialect); the worker's control thread interns
+        // it.  The ping barrier below orders it before any solve.
+        if (text_frame.empty()) {
+          text_frame = wire::encode_instance(name, instance);
+        }
+        if (wire::write_frame(worker.fd, text_frame)) {
+          primed_over_fd[owner] = 1;
+          status = net::RingStatus::Ok;
+        }
+      }
+      if (status != net::RingStatus::Ok) {
         mark_dead(owner);
       }
     }
     placed.emplace(name, std::move(place));
+  }
+  // Barrier for fd-diverted instances: solves ride the ring and would
+  // otherwise race ahead of an instance still in the control plane.  The
+  // worker's control thread answers ping in order, so a pong proves every
+  // earlier instance frame was interned.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (primed_over_fd[w] != 0 && workers_[w].alive) {
+      (void)ping(w);
+    }
   }
 
   // A request can end up ownerless for two distinct reasons, and the error
@@ -354,6 +440,31 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
       }
     }
 
+    // Feeds one data-plane payload through the result machinery: stale
+    // control echoes are skipped, duplicates dropped, live results
+    // resolved.  False only on protocol corruption (caller fails the
+    // worker over).
+    const auto process_result_payload = [&](std::size_t w,
+                                            const std::string& frame) {
+      if (wire::message_type(frame) != "result") {
+        return true;  // stale pong/drained from an earlier exchange
+      }
+      const auto message = wire::decode_result(frame);
+      if (!message) {
+        return false;  // protocol corruption
+      }
+      const auto it = in_flight[w].find(message->id);
+      if (it == in_flight[w].end()) {
+        ++transport_stats_.duplicates_dropped;
+        return true;  // duplicate/stale id; drop
+      }
+      const double latency = seconds_since(it->second.sent);
+      const std::size_t ri = it->second.routed_index;
+      in_flight[w].erase(it);
+      resolve(ri, message->result, latency);
+      return true;
+    };
+
     // A dead worker's queued work fails over to the next alive replica
     // owner — already primed, that is what replication > 1 buys.  Its
     // *in-flight* work is retried there too, under the same idempotency
@@ -362,6 +473,19 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
     // result, so the retry is safe (effectively-once), not blind.  With no
     // alive replica, in-flight work fails typed.
     const auto handle_death = [&](std::size_t w) {
+      // Results the dying worker already published are real completions —
+      // on the shm plane they sit in the response ring after the POLLHUP,
+      // on the socketpair they sit in the kernel buffer.  Deliver them
+      // before failing anything over.
+      if (workers_[w].plane != nullptr) {
+        std::string leftover;
+        while (workers_[w].plane->recv(&leftover, Clock::time_point::min()) ==
+               net::RingStatus::Ok) {
+          if (!process_result_payload(w, leftover)) {
+            break;  // corrupt tail of a dying stream: stop salvaging
+          }
+        }
+      }
       mark_dead(w);
       for (const auto& [id, flight] : in_flight[w]) {
         const std::size_t ri = flight.routed_index;
@@ -410,8 +534,22 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
         message.deadline_seconds = routed[ri].request->deadline_seconds;
         message.solver = routed[ri].request->solver;
         message.instance_name = routed[ri].request->instance_name;
-        if (!wire::write_frame(workers_[w].fd,
-                               wire::encode_solve(message))) {
+        const auto status = workers_[w].plane->send(
+            wire::encode_solve(message, workers_[w].plane->dialect()),
+            Clock::now() + kSendBudget);
+        if (status == net::RingStatus::TooBig) {
+          // A solve frame that cannot ever fit the ring (absurd solver or
+          // instance name): fail the request typed, keep the worker.
+          queues[w].pop_front();
+          resolve(ri,
+                  service::SolveResult::failure(
+                      routed[ri].request->solver,
+                      service::ErrorCode::SolverFailure,
+                      "request exceeds the shm data-plane ring capacity"),
+                  0.0);
+          continue;
+        }
+        if (status != net::RingStatus::Ok) {
           handle_death(w);
           return;
         }
@@ -455,49 +593,73 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
         // drains a dead worker's queue), so each pass makes progress.
         continue;
       }
-      std::vector<struct pollfd> pfds;
-      std::vector<std::size_t> pfd_worker;
+      // --- wait: sleep only when no worker's plane has a frame ready.
+      bool ready = false;
+      bool shm_pending = false;
+      for (std::size_t w = 0; w < workers_.size() && !ready; ++w) {
+        if (!workers_[w].alive || in_flight[w].empty()) {
+          continue;
+        }
+        ready = workers_[w].plane->recv_ready();
+        shm_pending = shm_pending ||
+                      workers_[w].plane->dialect() == wire::Dialect::Binary;
+      }
+      if (!ready) {
+        if (shm_pending && doorbell_ != nullptr) {
+          // Multiplexed futex wait over every response ring: announce the
+          // wait, re-check each plane (a push between the check above and
+          // here bumps the doorbell, making the wait return immediately),
+          // then sleep one bounded slice.  The slice also paces dead-peer
+          // checks — a SIGKILLed worker never rings.
+          const std::uint32_t seen = net::doorbell_begin_wait(*doorbell_);
+          bool rang = false;
+          for (std::size_t w = 0; w < workers_.size() && !rang; ++w) {
+            rang = workers_[w].alive && !in_flight[w].empty() &&
+                   workers_[w].plane->recv_ready();
+          }
+          if (!rang) {
+            net::doorbell_wait(*doorbell_, seen, kDoorbellSlice);
+          }
+          net::doorbell_end_wait(*doorbell_);
+        } else {
+          std::vector<struct pollfd> pfds;
+          for (std::size_t w = 0; w < workers_.size(); ++w) {
+            if (workers_[w].alive && !in_flight[w].empty()) {
+              pfds.push_back({workers_[w].fd, POLLIN, 0});
+            }
+          }
+          if (pfds.empty()) {
+            continue;  // unreachable belt-and-braces: in-flight implies alive
+          }
+          // Finite timeout only so a forgotten-wakeup bug cannot hang
+          // forever; results normally wake the poll directly.
+          (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 500);
+        }
+      }
+
+      // --- drain: pull everything each plane has, plane-blind.  A recv of
+      // Timeout means "nothing more right now"; Closed/DeadPeer is death
+      // (the shm plane's try-recv doubles as the POLLHUP check its ring
+      // cannot perform).
       for (std::size_t w = 0; w < workers_.size(); ++w) {
-        if (workers_[w].alive && !in_flight[w].empty()) {
-          pfds.push_back({workers_[w].fd, POLLIN, 0});
-          pfd_worker.push_back(w);
+        if (!workers_[w].alive || in_flight[w].empty()) {
+          continue;
         }
-      }
-      if (pfds.empty()) {
-        continue;  // unreachable belt-and-braces: in-flight implies alive
-      }
-      // Finite timeout only so a forgotten-wakeup bug cannot hang forever;
-      // results normally wake the poll directly.
-      (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 500);
-      for (std::size_t p = 0; p < pfds.size(); ++p) {
-        const std::size_t w = pfd_worker[p];
-        if (!workers_[w].alive) {
-          continue;  // died while we processed an earlier fd
-        }
-        if ((pfds[p].revents & POLLIN) != 0) {
-          if (!wire::read_frame(workers_[w].fd, &payload)) {
-            handle_death(w);
+        for (;;) {
+          const auto status =
+              workers_[w].plane->recv(&payload, Clock::time_point::min());
+          if (status == net::RingStatus::Ok) {
+            if (!process_result_payload(w, payload)) {
+              handle_death(w);  // protocol corruption: fail over
+              break;
+            }
             continue;
           }
-          if (wire::message_type(payload) != "result") {
-            continue;  // stale pong/drained from an earlier exchange
+          if (status == net::RingStatus::Timeout) {
+            break;  // drained dry for this pass
           }
-          const auto message = wire::decode_result(payload);
-          if (!message) {
-            handle_death(w);  // protocol corruption: fail over
-            continue;
-          }
-          const auto it = in_flight[w].find(message->id);
-          if (it == in_flight[w].end()) {
-            ++transport_stats_.duplicates_dropped;
-            continue;  // duplicate/stale id; drop
-          }
-          const double latency = seconds_since(it->second.sent);
-          const std::size_t ri = it->second.routed_index;
-          in_flight[w].erase(it);
-          resolve(ri, message->result, latency);
-        } else if ((pfds[p].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
-          handle_death(w);
+          handle_death(w);  // Closed or DeadPeer
+          break;
         }
       }
     }
@@ -533,15 +695,23 @@ std::optional<service::CacheStats> ShardRouter::worker_cache_stats(
     mark_dead(worker);
     return std::nullopt;
   }
+  // Absolute deadline across the whole exchange: each stale frame consumes
+  // budget instead of re-arming it, so a peer streaming junk cannot pin
+  // the router here indefinitely.
+  const auto deadline = Clock::now() + timeout;
   std::string payload;
-  while (read_frame_from(worker, &payload, timeout)) {
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0 || !read_frame_from(worker, &payload, left)) {
+      return std::nullopt;
+    }
     const auto stats = wire::decode_stats(payload);
     if (!stats) {
       continue;  // stale pong/drained from an earlier exchange
     }
     return stats;
   }
-  return std::nullopt;
 }
 
 }  // namespace malsched::shard

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -104,6 +105,121 @@ std::string field(const std::string& line, const std::string& key) {
   return "";
 }
 
+// --- binary dialect primitives ---
+//
+// Fixed-width little-endian integers; doubles travel as their raw IEEE-754
+// bit pattern through a u64.  memcpy (not a reinterpret_cast) keeps both
+// directions free of aliasing/alignment traps, and "the bits are the
+// value" is what makes the dialect bit-identical by construction — NaN
+// payloads, -0.0 and subnormals included, with no formatter in the loop.
+
+void put_u8(std::string& out, std::uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void put_f64(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_string(std::string& out, const std::string& text) {
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  out += text;
+}
+
+// Bounds-checked cursor over a binary payload.  Every get_* fails sticky
+// (ok_ = false) on underrun, so decoders read the whole message and check
+// once — a truncated or corrupted frame decodes to nullopt, never UB.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& payload) : payload_(payload) {}
+
+  std::uint8_t get_u8() {
+    if (!take(1)) {
+      return 0;
+    }
+    return static_cast<std::uint8_t>(payload_[at_ - 1]);
+  }
+
+  std::uint32_t get_u32() {
+    if (!take(4)) {
+      return 0;
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(payload_[at_ - 4 + i]))
+               << (8 * i);
+    }
+    return value;
+  }
+
+  std::uint64_t get_u64() {
+    if (!take(8)) {
+      return 0;
+    }
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(payload_[at_ - 8 + i]))
+               << (8 * i);
+    }
+    return value;
+  }
+
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+  }
+
+  std::string get_string() {
+    const std::uint32_t length = get_u32();
+    if (!take(length)) {
+      return "";
+    }
+    return payload_.substr(at_ - length, length);
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return payload_.size() - at_; }
+  /// True iff no read ran past the end AND the payload was consumed
+  /// exactly — trailing garbage is corruption, same as truncation.
+  [[nodiscard]] bool done() const { return ok_ && at_ == payload_.size(); }
+
+ private:
+  bool take(std::size_t bytes) {
+    if (!ok_ || payload_.size() - at_ < bytes) {
+      ok_ = false;
+      return false;
+    }
+    at_ += bytes;
+    return true;
+  }
+
+  const std::string& payload_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+bool is_binary(const std::string& payload, unsigned char tag) {
+  return !payload.empty() &&
+         static_cast<unsigned char>(payload[0]) == tag;
+}
+
 }  // namespace
 
 std::string encode_hello(const HelloMessage& message) {
@@ -185,6 +301,15 @@ bool handshake(int fd, const std::string& role,
 }
 
 std::string message_type(const std::string& payload) {
+  if (is_binary(payload, kBinaryInstanceTag)) {
+    return "instance";
+  }
+  if (is_binary(payload, kBinarySolveTag)) {
+    return "solve";
+  }
+  if (is_binary(payload, kBinaryResultTag)) {
+    return "result";
+  }
   std::size_t begin = 0;
   while (begin < payload.size() && payload[begin] == ' ') {
     ++begin;
@@ -198,7 +323,22 @@ std::string message_type(const std::string& payload) {
 }
 
 std::string encode_instance(const std::string& name,
-                            const core::Instance& instance) {
+                            const core::Instance& instance,
+                            Dialect dialect) {
+  if (dialect == Dialect::Binary) {
+    std::string payload;
+    payload.reserve(1 + 4 + name.size() + 8 + 4 + 24 * instance.size());
+    put_u8(payload, kBinaryInstanceTag);
+    put_string(payload, name);
+    put_f64(payload, instance.processors());
+    put_u32(payload, static_cast<std::uint32_t>(instance.size()));
+    for (const core::Task& task : instance.tasks()) {
+      put_f64(payload, task.volume);
+      put_f64(payload, task.width);
+      put_f64(payload, task.weight);
+    }
+    return payload;
+  }
   std::string payload = "instance " + name + "\n";
   payload += hex_double(instance.processors());
   payload += ' ';
@@ -216,6 +356,40 @@ std::string encode_instance(const std::string& name,
 }
 
 std::optional<InstanceMessage> decode_instance(const std::string& payload) {
+  if (is_binary(payload, kBinaryInstanceTag)) {
+    BinaryReader in(payload);
+    (void)in.get_u8();  // tag
+    InstanceMessage message;
+    message.name = in.get_string();
+    const double processors = in.get_f64();
+    const std::uint32_t count = in.get_u32();
+    // Same corrupted-count guard as the text decoder: every task is
+    // exactly 24 bytes here, so a count the remaining bytes cannot hold
+    // is rejected before reserve() turns it into a giant allocation.
+    if (count > in.remaining() / 24) {
+      return std::nullopt;
+    }
+    if (processors <= 0.0) {  // the exact check the text decoder applies
+      return std::nullopt;
+    }
+    std::vector<core::Task> tasks;
+    tasks.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      core::Task task;
+      task.volume = in.get_f64();
+      task.width = in.get_f64();
+      task.weight = in.get_f64();
+      if (task.volume < 0.0 || task.width <= 0.0 || task.weight < 0.0) {
+        return std::nullopt;
+      }
+      tasks.push_back(task);
+    }
+    if (!in.done()) {
+      return std::nullopt;
+    }
+    message.instance.emplace(processors, std::move(tasks));
+    return message;
+  }
   std::istringstream in(payload);
   std::string keyword;
   InstanceMessage message;
@@ -257,7 +431,23 @@ std::optional<InstanceMessage> decode_instance(const std::string& payload) {
   return message;
 }
 
-std::string encode_solve(const SolveMessage& message) {
+std::string encode_solve(const SolveMessage& message, Dialect dialect) {
+  if (dialect == Dialect::Binary) {
+    std::string payload;
+    payload.reserve(1 + 8 + 8 + 8 + 1 + 8 + 8 + message.solver.size() +
+                    message.instance_name.size());
+    put_u8(payload, kBinarySolveTag);
+    put_u64(payload, message.id);
+    put_u64(payload, message.token);
+    put_f64(payload, message.priority_weight);
+    put_u8(payload, message.deadline_seconds ? 1 : 0);
+    if (message.deadline_seconds) {
+      put_f64(payload, *message.deadline_seconds);
+    }
+    put_string(payload, message.solver);
+    put_string(payload, message.instance_name);
+    return payload;
+  }
   std::string payload = "solve " + std::to_string(message.id) + " " +
                         std::to_string(message.token) + " " +
                         hex_double(message.priority_weight) + " ";
@@ -268,6 +458,31 @@ std::string encode_solve(const SolveMessage& message) {
 }
 
 std::optional<SolveMessage> decode_solve(const std::string& payload) {
+  if (is_binary(payload, kBinarySolveTag)) {
+    BinaryReader in(payload);
+    (void)in.get_u8();  // tag
+    SolveMessage message;
+    message.id = in.get_u64();
+    message.token = in.get_u64();
+    message.priority_weight = in.get_f64();
+    const std::uint8_t has_deadline = in.get_u8();
+    if (has_deadline > 1) {
+      return std::nullopt;
+    }
+    if (has_deadline == 1) {
+      const double seconds = in.get_f64();
+      if (seconds < 0.0) {
+        return std::nullopt;
+      }
+      message.deadline_seconds = seconds;
+    }
+    message.solver = in.get_string();
+    message.instance_name = in.get_string();
+    if (!in.done()) {
+      return std::nullopt;
+    }
+    return message;
+  }
   std::istringstream in(payload);
   std::string keyword, id_text, token_text, weight_text, deadline_text;
   SolveMessage message;
@@ -289,7 +504,34 @@ std::optional<SolveMessage> decode_solve(const std::string& payload) {
 }
 
 std::string encode_result(std::uint64_t id, std::uint64_t token,
-                          const service::SolveResult& result) {
+                          const service::SolveResult& result,
+                          Dialect dialect) {
+  if (dialect == Dialect::Binary) {
+    // Length-prefixed strings need no quoting/escaping: the solver name
+    // and error detail travel verbatim, whatever bytes they hold.
+    std::string payload;
+    put_u8(payload, kBinaryResultTag);
+    put_u64(payload, id);
+    put_u64(payload, token);
+    put_string(payload, result.solver);
+    put_f64(payload, result.latency_seconds);
+    if (result.ok()) {
+      put_u8(payload, 1);
+      put_f64(payload, result.objective());
+      put_f64(payload, result.makespan());
+      put_u8(payload, result.cache_hit ? 1 : 0);
+      const auto& completions = result.completions();
+      put_u32(payload, static_cast<std::uint32_t>(completions.size()));
+      for (const double completion : completions) {
+        put_f64(payload, completion);
+      }
+    } else {
+      put_u8(payload, 0);
+      put_u8(payload, static_cast<std::uint8_t>(result.error().code));
+      put_string(payload, result.error().detail);
+    }
+    return payload;
+  }
   // The solver name is client-controlled (any whitespace-free token, quotes
   // included) — emit it *quoted* so field()'s quote tracking stays in sync
   // with the writer and a quote in the name cannot desynchronize the scan
@@ -316,6 +558,54 @@ std::string encode_result(std::uint64_t id, std::uint64_t token,
 }
 
 std::optional<ResultMessage> decode_result(const std::string& payload) {
+  if (is_binary(payload, kBinaryResultTag)) {
+    BinaryReader in(payload);
+    (void)in.get_u8();  // tag
+    ResultMessage message;
+    message.id = in.get_u64();
+    message.token = in.get_u64();
+    const std::string solver = in.get_string();
+    const double latency = in.get_f64();
+    const std::uint8_t status = in.get_u8();
+    if (status == 1) {
+      service::SolveOutput output;
+      output.objective = in.get_f64();
+      output.makespan = in.get_f64();
+      const std::uint8_t cache_hit = in.get_u8();
+      if (cache_hit > 1) {
+        return std::nullopt;
+      }
+      const std::uint32_t count = in.get_u32();
+      if (count > in.remaining() / 8) {  // corrupted-count allocation guard
+        return std::nullopt;
+      }
+      output.completions.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        output.completions.push_back(in.get_f64());
+      }
+      message.result =
+          service::SolveResult::success(solver, std::move(output));
+      message.result.cache_hit = cache_hit == 1;
+    } else if (status == 0) {
+      // The code travels as a u8 and is validated against the enumeration
+      // — an out-of-range byte is corruption, exactly like an unknown
+      // kebab-case name in the text dialect.
+      const std::uint8_t code = in.get_u8();
+      if (code >= std::size(service::kAllErrorCodes)) {
+        return std::nullopt;
+      }
+      const std::string detail = in.get_string();
+      message.result = service::SolveResult::failure(
+          solver, static_cast<service::ErrorCode>(code), detail);
+    } else {
+      return std::nullopt;
+    }
+    if (!in.done()) {
+      return std::nullopt;
+    }
+    message.result.latency_seconds = latency;
+    return message;
+  }
   auto header_end = payload.find('\n');
   if (header_end == std::string::npos) {
     header_end = payload.size();

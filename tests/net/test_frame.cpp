@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -236,6 +237,41 @@ TEST(NetFrame, FrameStalledMidPayloadTimesOutTyped) {
       std::chrono::steady_clock::now() + std::chrono::milliseconds(150),
       &error));
   EXPECT_EQ(error, mnet::FrameError::Timeout);
+}
+
+TEST(NetFrame, DribblingPeerExhaustsTheAbsoluteDeadlineAcrossChunks) {
+  // Each individual byte arrives well inside any per-chunk window, so a
+  // reader that re-armed its budget per partial read would never give up.
+  // The deadline is absolute across the whole frame: a peer dribbling a
+  // large frame slower than the total budget must classify Timeout.
+  SocketPair channel;
+  std::atomic<bool> stop{false};
+  std::thread dribbler([&] {
+    // Promise 64 bytes, deliver one every 30ms: ~2s to finish a frame the
+    // reader only budgets 250ms for.
+    const std::string bytes = raw_frame(std::string(64, 'd'));
+    for (char byte : bytes) {
+      if (stop.load()) {
+        return;
+      }
+      if (::send(channel.fds[0], &byte, 1, MSG_NOSIGNAL) != 1) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  std::string received;
+  mnet::FrameError error = mnet::FrameError::None;
+  EXPECT_FALSE(mnet::read_frame_deadline(
+      channel.fds[1], &received,
+      start + std::chrono::milliseconds(250), &error));
+  EXPECT_EQ(error, mnet::FrameError::Timeout);
+  // The reader came back near the absolute deadline, not after the frame.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(1500));
+  stop.store(true);
+  dribbler.join();
 }
 
 TEST(NetFrame, DeadPeerClassifierCoversTcpAndPipeErrnos) {

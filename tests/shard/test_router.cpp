@@ -492,3 +492,166 @@ TEST(Router, TcpWorkersMatchSingleProcessByteForByte) {
       << "the TCP fleet must be indistinguishable from single-process "
          "serving, byte for byte";
 }
+
+// --- data plane: shared-memory rings vs the socketpair fallback ---
+
+TEST(Router, DataPlaneChoiceCannotChangeASingleOutputByte) {
+  // The tentpole contract: shm rings, socketpair frames and single-process
+  // serving are indistinguishable byte for byte, hostile error paths
+  // included.  Runs the full parity batch under both forced planes.
+  const auto batch = parse(kParityBatch);
+  const auto run_with = [&](mshard::DataPlaneMode mode, const char* expect) {
+    mshard::RouterOptions options;
+    options.shards = 2;
+    options.worker.threads = 2;
+    options.data_plane = mode;
+    mshard::ShardRouter router(registry(), options);
+    EXPECT_EQ(router.transport_stats().shm_fallbacks, 0u);
+    const std::string output = msvc::format_results(router.run(batch));
+    for (std::size_t w = 0; w < router.shard_count(); ++w) {
+      const auto stats = router.data_plane_stats(w);
+      if (!stats.has_value()) {
+        ADD_FAILURE() << "worker " << w << " has no data plane";
+        continue;
+      }
+      EXPECT_STREQ(stats->plane, expect) << "worker " << w;
+      EXPECT_GT(stats->frames_out, 0u) << "worker " << w;
+      EXPECT_GT(stats->frames_in, 0u) << "worker " << w;
+      EXPECT_GT(stats->bytes_in, 0u) << "worker " << w;
+      // Between runs every ring has been drained.
+      EXPECT_EQ(stats->request_depth, 0u);
+      EXPECT_EQ(stats->response_depth, 0u);
+    }
+    return output;
+  };
+
+  const std::string over_shm = run_with(mshard::DataPlaneMode::Shm, "shm");
+  const std::string over_pipes =
+      run_with(mshard::DataPlaneMode::Socketpair, "socketpair");
+
+  msvc::ServiceOptions service_options;
+  service_options.threads = 2;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+  EXPECT_EQ(over_shm, single)
+      << "shm data plane must be indistinguishable from single-process";
+  EXPECT_EQ(over_pipes, single)
+      << "socketpair data plane must be indistinguishable from "
+         "single-process";
+}
+
+TEST(Router, ShmSetupFailureFallsBackToSocketpairCountedAndServing) {
+  // MALSCHED_SHM_DISABLE makes every ShmRegion::create fail, which is
+  // exactly what a locked-down mmap would do: the router must degrade to
+  // socketpair per worker, count it, and keep the byte-parity contract.
+  ::setenv(mnet::kShmDisableEnv, "1", 1);
+  const auto batch = parse(
+      "instance a\nprocessors 4\ntask 2.0 2 1.0\ntask 1.0 1 1.0\nend\n"
+      "solve wdeq a\nsolve deq a\n");
+  std::string fallback_output;
+  {
+    mshard::RouterOptions options;
+    options.shards = 2;
+    options.data_plane = mshard::DataPlaneMode::Shm;  // ask, get denied
+    mshard::ShardRouter router(registry(), options);
+    EXPECT_EQ(router.transport_stats().shm_fallbacks, 2u)
+        << "every worker should have fallen back";
+    for (std::size_t w = 0; w < router.shard_count(); ++w) {
+      const auto stats = router.data_plane_stats(w);
+      ASSERT_TRUE(stats.has_value());
+      EXPECT_STREQ(stats->plane, "socketpair");
+    }
+    fallback_output = msvc::format_results(router.run(batch));
+  }
+  ::unsetenv(mnet::kShmDisableEnv);
+
+  msvc::ServiceOptions service_options;
+  service_options.threads = 1;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+  EXPECT_EQ(fallback_output, single);
+}
+
+TEST(Router, KillAndRestartUnderShmReplantsFreshRings) {
+  // A respawned worker must come back on a *fresh* shm channel — stale
+  // head/tail or a closed flag from the dead incarnation must not leak in.
+  const auto batch = parse(
+      "generate work uniform 16 4 5\n"
+      "solve wdeq work\nsolve order-lp-smith work\n");
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.data_plane = mshard::DataPlaneMode::Shm;
+  mshard::ShardRouter router(registry(), options);
+
+  const auto first = msvc::format_results(router.run(batch));
+  router.kill(0);
+  EXPECT_FALSE(router.data_plane_stats(0).has_value())
+      << "a dead worker has no plane";
+  ASSERT_TRUE(router.restart(0));
+  EXPECT_TRUE(router.ping(0));
+  const auto stats = router.data_plane_stats(0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_STREQ(stats->plane, "shm");
+  EXPECT_EQ(stats->request_depth, 0u) << "restart must reset the rings";
+  EXPECT_EQ(stats->response_depth, 0u);
+
+  const auto second = msvc::format_results(router.run(batch));
+  EXPECT_EQ(second, first)
+      << "a restarted shm worker must serve identically";
+}
+
+TEST(Router, MidSolveDeathUnderShmFailsTypedNotHung) {
+  // WorkerKilledMidSolve... again, but with the data plane forced to shm:
+  // the death evidence is ring silence plus a dead pid (the torn-write
+  // case), which must surface as the same typed SolverFailure.
+  const auto batch = parse(
+      "generate hard equal-weights 12 4 1\n"
+      "solve optimal hard\n");
+  const std::uint64_t key = msvc::intern(batch.instances.at("hard")).key();
+
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.data_plane = mshard::DataPlaneMode::Shm;
+  mshard::ShardRouter router(registry(), options);
+  const std::uint32_t owner = router.owner_of(key);
+  const pid_t victim = router.pid_of(owner);
+  ASSERT_GT(victim, 0);
+
+  std::thread killer([victim] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ::kill(victim, SIGKILL);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = router.run(batch);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  killer.join();
+
+  ASSERT_EQ(report.results.size(), 1u);
+  ASSERT_FALSE(report.results[0].ok());
+  EXPECT_EQ(report.results[0].error().code, msvc::ErrorCode::SolverFailure);
+  EXPECT_LT(seconds, 30.0) << "shm worker death must fail fast, not hang";
+  EXPECT_EQ(router.transport_stats().dead_peers, 1u);
+}
+
+TEST(Router, FramesLargerThanTheRingDivertOverTheControlFd) {
+  // A ring sized at the 4 KiB floor cannot hold the parity batch's big
+  // generated instances: those frames divert over the control fd while
+  // small ones ride the ring, and the outputs still match byte for byte.
+  const auto batch = parse(kParityBatch);
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.worker.threads = 2;
+  options.data_plane = mshard::DataPlaneMode::Shm;
+  options.shm_ring_bytes = 1;  // rounds up to the 4 KiB floor
+  mshard::ShardRouter router(registry(), options);
+  const auto sharded = msvc::format_results(router.run(batch));
+
+  msvc::ServiceOptions service_options;
+  service_options.threads = 2;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+  EXPECT_EQ(sharded, single)
+      << "oversize-frame diversion must preserve byte parity";
+}

@@ -34,6 +34,29 @@ bool bits_equal(double a, double b) {
   return std::memcmp(&a, &b, sizeof a) == 0;
 }
 
+double from_bits(std::uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+/// The doubles that break everything except raw-bit transport: NaNs with
+/// distinct payloads (quiet and signaling patterns), both infinities,
+/// negative zero, and subnormals down to the very smallest.
+const std::vector<double> hostile_doubles() {
+  return {
+      from_bits(0x7FF8DEADBEEFCAFEull),  // quiet NaN, distinctive payload
+      from_bits(0xFFF8000000000001ull),  // negative quiet NaN
+      from_bits(0x7FF0000000000001ull),  // signaling-NaN bit pattern
+      from_bits(0x7FF0000000000000ull),  // +inf
+      from_bits(0xFFF0000000000000ull),  // -inf
+      from_bits(0x8000000000000000ull),  // -0.0
+      from_bits(0x0000000000000001ull),  // smallest subnormal
+      from_bits(0x000FFFFFFFFFFFFFull),  // largest subnormal
+      2.2250738585072009e-308,           // subnormal/normal boundary
+  };
+}
+
 }  // namespace
 
 TEST(Wire, FrameRoundTripIncludingEmptyAndBinary) {
@@ -348,4 +371,261 @@ TEST(Wire, HandshakeTimesOutTypedOnASilentPeer) {
   EXPECT_NE(reason.find("timeout"), std::string::npos) << reason;
   const auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+}
+
+// --- binary dialect: the shm data plane's encoding ---
+//
+// The contract under test: Dialect::Binary carries doubles as their raw
+// IEEE-754 bits, so payload-carrying NaNs, infinities, negative zero and
+// subnormals all round-trip bit-identically — and both dialects decode to
+// the same in-memory message, so flipping a shard between shm and
+// socketpair cannot change a single output byte.
+
+TEST(WireBinary, InstanceRoundTripPreservesEveryHostileBitPattern) {
+  // Instance preconditions (volume >= 0, width > 0, weight >= 0) exclude
+  // NaN, so this exercises every hostile double an instance can legally
+  // hold: negative zero, infinities where signs allow, and subnormals at
+  // both ends.  NaN transport is covered by the solve/result tests, whose
+  // fields are not range-checked.
+  const double neg_zero = from_bits(0x8000000000000000ull);
+  const double pos_inf = from_bits(0x7FF0000000000000ull);
+  const double min_sub = from_bits(0x0000000000000001ull);
+  const double max_sub = from_bits(0x000FFFFFFFFFFFFFull);
+  const std::vector<Task> tasks = {
+      {neg_zero, min_sub, neg_zero},
+      {min_sub, pos_inf, max_sub},
+      {pos_inf, max_sub, pos_inf},
+      {max_sub, 2.2250738585072009e-308, min_sub}};
+  const Instance instance(min_sub, tasks);
+  const auto message = wire::decode_instance(
+      wire::encode_instance("hostile", instance, wire::Dialect::Binary));
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->name, "hostile");
+  ASSERT_TRUE(message->instance.has_value());
+  ASSERT_EQ(message->instance->size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_TRUE(bits_equal(message->instance->task(i).volume, tasks[i].volume))
+        << "task " << i;
+    EXPECT_TRUE(bits_equal(message->instance->task(i).width, tasks[i].width))
+        << "task " << i;
+    EXPECT_TRUE(bits_equal(message->instance->task(i).weight, tasks[i].weight))
+        << "task " << i;
+  }
+}
+
+TEST(WireBinary, SolveRoundTripPreservesHostileDoubles) {
+  wire::SolveMessage message;
+  message.id = 0xFFFFFFFFFFFFFFFFull;
+  message.token = 1;
+  message.priority_weight = from_bits(0x8000000000000000ull);  // -0.0
+  message.deadline_seconds = from_bits(0x0000000000000001ull);  // min subnormal
+  message.solver = "wdeq";
+  message.instance_name = "n";
+  auto decoded = wire::decode_solve(
+      wire::encode_solve(message, wire::Dialect::Binary));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, message.id);
+  EXPECT_TRUE(bits_equal(decoded->priority_weight, message.priority_weight));
+  ASSERT_TRUE(decoded->deadline_seconds.has_value());
+  EXPECT_TRUE(bits_equal(*decoded->deadline_seconds,
+                         *message.deadline_seconds));
+
+  // A NaN deadline is not `< 0.0`, so both dialects pass it through —
+  // parity matters more than plausibility here.
+  message.deadline_seconds = from_bits(0x7FF8000000000099ull);
+  decoded = wire::decode_solve(
+      wire::encode_solve(message, wire::Dialect::Binary));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(bits_equal(*decoded->deadline_seconds,
+                         *message.deadline_seconds));
+
+  message.deadline_seconds.reset();
+  decoded = wire::decode_solve(
+      wire::encode_solve(message, wire::Dialect::Binary));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->deadline_seconds.has_value());
+}
+
+TEST(WireBinary, OkResultRoundTripPreservesHostileCompletions) {
+  msvc::SolveOutput output;
+  output.objective = from_bits(0x8000000000000000ull);  // -0.0
+  output.makespan = from_bits(0x7FF0000000000000ull);   // +inf
+  output.completions = hostile_doubles();
+  msvc::SolveResult result = msvc::SolveResult::success("wdeq", output);
+  result.latency_seconds = from_bits(0x000FFFFFFFFFFFFFull);
+
+  const auto decoded = wire::decode_result(
+      wire::encode_result(7, 9, result, wire::Dialect::Binary));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->result.ok());
+  EXPECT_TRUE(bits_equal(decoded->result.objective(), output.objective));
+  EXPECT_TRUE(bits_equal(decoded->result.makespan(), output.makespan));
+  EXPECT_TRUE(
+      bits_equal(decoded->result.latency_seconds, result.latency_seconds));
+  ASSERT_EQ(decoded->result.completions().size(), output.completions.size());
+  for (std::size_t i = 0; i < output.completions.size(); ++i) {
+    EXPECT_TRUE(
+        bits_equal(decoded->result.completions()[i], output.completions[i]))
+        << "completion " << i;
+  }
+}
+
+TEST(WireBinary, EveryErrorCodeRoundTripsWithBinaryHostileDetails) {
+  // Length-prefixed strings need no escaping, so the binary dialect must
+  // carry details the text dialect could never hold verbatim — embedded
+  // NULs included.
+  const std::vector<std::string> details = {
+      std::string("nul \0 inside", 13),
+      "quotes \"and\" backslash \\",
+      "line\nbreaks\rinside",
+      std::string(4096, '\xff'),
+      ""};
+  std::size_t detail_index = 0;
+  for (const msvc::ErrorCode code : msvc::kAllErrorCodes) {
+    const std::string& detail = details[detail_index++ % details.size()];
+    const msvc::SolveResult sent =
+        msvc::SolveResult::failure("optimal", code, detail);
+    const auto decoded = wire::decode_result(
+        wire::encode_result(9, 1, sent, wire::Dialect::Binary));
+    ASSERT_TRUE(decoded.has_value()) << msvc::error_code_name(code);
+    ASSERT_FALSE(decoded->result.ok());
+    EXPECT_EQ(decoded->result.error().code, code)
+        << msvc::error_code_name(code);
+    EXPECT_EQ(decoded->result.error().detail, detail)
+        << msvc::error_code_name(code);
+  }
+}
+
+TEST(WireBinary, BothDialectsDecodeToIdenticalMessages) {
+  // The golden cross-check behind the byte-identical-output CI gate: the
+  // same message encoded in either dialect decodes to the same bits, so
+  // the data plane choice cannot leak into results.
+  const std::vector<Task> tasks = {{1.0 / 3.0, 2.0, 0.1},
+                                   {1e-300, 0.7, 3.0000000000000004},
+                                   {2.2250738585072014e-308, 1e308, 42.0}};
+  const Instance instance(6.02214076e23, tasks);
+  const auto text_inst =
+      wire::decode_instance(wire::encode_instance("golden", instance));
+  const auto bin_inst = wire::decode_instance(
+      wire::encode_instance("golden", instance, wire::Dialect::Binary));
+  ASSERT_TRUE(text_inst.has_value() && bin_inst.has_value());
+  EXPECT_EQ(text_inst->name, bin_inst->name);
+  ASSERT_EQ(text_inst->instance->size(), bin_inst->instance->size());
+  EXPECT_TRUE(bits_equal(text_inst->instance->processors(),
+                         bin_inst->instance->processors()));
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_TRUE(bits_equal(text_inst->instance->task(i).volume,
+                           bin_inst->instance->task(i).volume));
+    EXPECT_TRUE(bits_equal(text_inst->instance->task(i).width,
+                           bin_inst->instance->task(i).width));
+    EXPECT_TRUE(bits_equal(text_inst->instance->task(i).weight,
+                           bin_inst->instance->task(i).weight));
+  }
+
+  wire::SolveMessage solve;
+  solve.id = 0x123456789ABCDEFull;
+  solve.token = 0xFEDCBA987654321ull;
+  solve.priority_weight = 1.0 / 7.0;
+  solve.deadline_seconds = 0.125;
+  solve.solver = "order-lp-smith";
+  solve.instance_name = "golden";
+  const auto text_solve = wire::decode_solve(wire::encode_solve(solve));
+  const auto bin_solve = wire::decode_solve(
+      wire::encode_solve(solve, wire::Dialect::Binary));
+  ASSERT_TRUE(text_solve.has_value() && bin_solve.has_value());
+  EXPECT_EQ(text_solve->id, bin_solve->id);
+  EXPECT_EQ(text_solve->token, bin_solve->token);
+  EXPECT_TRUE(
+      bits_equal(text_solve->priority_weight, bin_solve->priority_weight));
+  EXPECT_TRUE(bits_equal(*text_solve->deadline_seconds,
+                         *bin_solve->deadline_seconds));
+  EXPECT_EQ(text_solve->solver, bin_solve->solver);
+  EXPECT_EQ(text_solve->instance_name, bin_solve->instance_name);
+
+  msvc::SolveOutput output;
+  output.objective = 1.0 / 3.0;
+  output.makespan = 2.0000000000000004;
+  output.completions = {0.1, 0.2, 1e-17, 123.456};
+  msvc::SolveResult result = msvc::SolveResult::success("wdeq", output);
+  result.cache_hit = true;
+  result.latency_seconds = 3.25e-4;
+  const auto text_res = wire::decode_result(wire::encode_result(7, 9, result));
+  const auto bin_res = wire::decode_result(
+      wire::encode_result(7, 9, result, wire::Dialect::Binary));
+  ASSERT_TRUE(text_res.has_value() && bin_res.has_value());
+  EXPECT_EQ(text_res->id, bin_res->id);
+  EXPECT_EQ(text_res->token, bin_res->token);
+  EXPECT_EQ(text_res->result.solver, bin_res->result.solver);
+  EXPECT_EQ(text_res->result.cache_hit, bin_res->result.cache_hit);
+  EXPECT_TRUE(bits_equal(text_res->result.latency_seconds,
+                         bin_res->result.latency_seconds));
+  EXPECT_TRUE(
+      bits_equal(text_res->result.objective(), bin_res->result.objective()));
+  EXPECT_TRUE(
+      bits_equal(text_res->result.makespan(), bin_res->result.makespan()));
+  ASSERT_EQ(text_res->result.completions().size(),
+            bin_res->result.completions().size());
+  for (std::size_t i = 0; i < output.completions.size(); ++i) {
+    EXPECT_TRUE(bits_equal(text_res->result.completions()[i],
+                           bin_res->result.completions()[i]));
+  }
+}
+
+TEST(WireBinary, MessageTypeNamesBinaryTagsLikeText) {
+  const Instance instance(2.0, {{1.0, 1.0, 1.0}});
+  EXPECT_EQ(wire::message_type(
+                wire::encode_instance("x", instance, wire::Dialect::Binary)),
+            "instance");
+  wire::SolveMessage solve;
+  solve.solver = "wdeq";
+  solve.instance_name = "x";
+  EXPECT_EQ(
+      wire::message_type(wire::encode_solve(solve, wire::Dialect::Binary)),
+      "solve");
+  const msvc::SolveResult result = msvc::SolveResult::failure(
+      "wdeq", msvc::ErrorCode::Cancelled, "shutting down");
+  EXPECT_EQ(wire::message_type(
+                wire::encode_result(1, 1, result, wire::Dialect::Binary)),
+            "result");
+}
+
+TEST(WireBinary, DecodeRejectsTruncationAtEveryPrefixAndTrailingGarbage) {
+  // Every strict prefix of a valid binary message is corruption (all
+  // fields are mandatory and length-prefixed), and so is every suffix
+  // beyond the last field — the reader must consume the payload exactly.
+  const Instance instance(4.0, {{1.0 / 3.0, 1.0, 2.0}, {2.0, 0.5, 1.0}});
+  const std::string inst_payload =
+      wire::encode_instance("t", instance, wire::Dialect::Binary);
+  wire::SolveMessage solve;
+  solve.id = 3;
+  solve.token = 4;
+  solve.deadline_seconds = 0.5;
+  solve.solver = "wdeq";
+  solve.instance_name = "t";
+  const std::string solve_payload =
+      wire::encode_solve(solve, wire::Dialect::Binary);
+  msvc::SolveOutput output;
+  output.completions = {0.25, 0.5};
+  const std::string result_payload = wire::encode_result(
+      5, 6, msvc::SolveResult::success("wdeq", output), wire::Dialect::Binary);
+
+  for (std::size_t cut = 1; cut < inst_payload.size(); ++cut) {
+    EXPECT_FALSE(wire::decode_instance(inst_payload.substr(0, cut)))
+        << "instance prefix " << cut;
+  }
+  for (std::size_t cut = 1; cut < solve_payload.size(); ++cut) {
+    EXPECT_FALSE(wire::decode_solve(solve_payload.substr(0, cut)))
+        << "solve prefix " << cut;
+  }
+  for (std::size_t cut = 1; cut < result_payload.size(); ++cut) {
+    EXPECT_FALSE(wire::decode_result(result_payload.substr(0, cut)))
+        << "result prefix " << cut;
+  }
+  EXPECT_FALSE(wire::decode_instance(inst_payload + std::string(1, '\0')));
+  EXPECT_FALSE(wire::decode_solve(solve_payload + "junk"));
+  EXPECT_FALSE(wire::decode_result(result_payload + std::string(1, '\x83')));
+  // A tag byte with nothing behind it is truncation, not an empty message.
+  EXPECT_FALSE(wire::decode_instance(std::string(1, '\x81')));
+  EXPECT_FALSE(wire::decode_solve(std::string(1, '\x82')));
+  EXPECT_FALSE(wire::decode_result(std::string(1, '\x83')));
 }
