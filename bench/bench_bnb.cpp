@@ -7,8 +7,13 @@
 //      where enumeration would need n! LP solves (40320 .. 479M), the
 //      search reports its actual node/LP counts and the n!/LP ratio;
 //   3. the pinned n = 12 fixture (uniform, seed 42) that the CI smoke job
-//      replays with `--quick`: a generous wall-time ceiling turns an
-//      accidental O(n!) regression (or a broken bound) into a red build.
+//      replays with `--quick`: the wall-time ceiling turns an accidental
+//      O(n!) regression (or a broken bound) into a red build;
+//   4. the pinned structured n = 12 batch fixture for the tail cuts: two
+//      interleaved identical-shape batches under geometric weight spreads,
+//      solved cuts-on and cuts-off.  The CI gate requires >= 5x fewer
+//      nodes with cuts on (measured ~97x) and bit-equal objectives — the
+//      acceptance bar of the exchange-cut PR, replayed on every build.
 //
 // Results land in BENCH_bnb.json (see bench_common.hpp) so the perf
 // trajectory of the exact-serving path is machine-readable.
@@ -184,9 +189,12 @@ void run_scaling(const bench::BenchConfig& config, bench::BenchJson& json) {
 /// The CI smoke: solve the pinned uniform n = 12 instance once and fail
 /// (exit 1) when the wall time exceeds the ceiling.  The ceiling is
 /// deliberately generous — it exists to catch an accidental return to
-/// factorial behaviour, not to benchmark the machine.
+/// factorial behaviour, not to benchmark the machine.  Tightened 60 → 30 s
+/// once the tail-cut work landed: the fixture measures ~3.4 s RelWithDebInfo
+/// on a 1-core container, so 30 s still leaves ~9x machine slack while
+/// halving how much regression can hide under the gate.
 int measure_pinned(bench::BenchJson& json) {
-  double ceiling_seconds = 60.0;
+  double ceiling_seconds = 30.0;
   if (const char* env = std::getenv("MALSCHED_BNB_CEILING_SECONDS")) {
     ceiling_seconds = std::atof(env);
   }
@@ -219,6 +227,58 @@ int measure_pinned(bench::BenchJson& json) {
   return time_ok && ratio_ok ? 0 : 1;
 }
 
+/// The structured tail-cut fixture: the same two-batch instance the core
+/// test suite pins (tests/core/test_bnb.cpp, structured_batch_fixture) —
+/// tall-narrow v=2/δ=1 and short-wide v=1/δ=4 batches of six on P=4,
+/// geometric intra-batch weights.  Repeated shapes under heterogeneous
+/// weights are the workload the identical-shape exchange cut exists for.
+core::Instance structured_batch_instance() {
+  std::vector<core::Task> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back({2.0, 1.0, std::pow(2.0, i)});
+    tasks.push_back({1.0, 4.0, 0.9 * std::pow(2.0, 5 - i)});
+  }
+  return core::Instance(4.0, std::move(tasks));
+}
+
+/// CI gate for the tail cuts: cuts-on must keep a >= 5x node advantage on
+/// the structured fixture and return the bit-identical objective.
+int measure_structured_cuts(bench::BenchJson& json) {
+  const auto inst = structured_batch_instance();
+  core::BnbOptions off;
+  off.use_cuts = false;
+  core::BnbResult with;
+  core::BnbResult without;
+  const double on_seconds =
+      wall_seconds([&] { with = core::branch_and_bound(inst); });
+  const double off_seconds =
+      wall_seconds([&] { without = core::branch_and_bound(inst, off); });
+
+  const double node_ratio = static_cast<double>(without.stats.nodes) /
+                            static_cast<double>(std::max<std::size_t>(
+                                1, with.stats.nodes));
+  json.add("structured_cuts_n12", "cuts_on_wall_ns", on_seconds * 1e9);
+  json.add("structured_cuts_n12", "cuts_off_wall_ns", off_seconds * 1e9);
+  json.add("structured_cuts_n12", "cuts_on_nodes",
+           static_cast<double>(with.stats.nodes));
+  json.add("structured_cuts_n12", "cuts_off_nodes",
+           static_cast<double>(without.stats.nodes));
+  json.add("structured_cuts_n12", "node_ratio", node_ratio);
+  json.add("structured_cuts_n12", "cut_prunes",
+           static_cast<double>(with.stats.pruned_by_cut));
+  json.add("structured_cuts_n12", "objective", with.objective);
+
+  std::printf("structured batch n=12: cuts-on %zu nodes (%.2fs) vs cuts-off "
+              "%zu nodes (%.2fs) — %.0fx\n",
+              with.stats.nodes, on_seconds, without.stats.nodes, off_seconds,
+              node_ratio);
+  const bool ratio_ok = node_ratio >= 5.0;
+  const bool parity_ok = with.objective == without.objective;
+  std::printf("tail-cut gate (>= 5x fewer nodes, bit-equal objective): %s\n\n",
+              ratio_ok && parity_ok ? "PASS" : "FAIL");
+  return ratio_ok && parity_ok ? 0 : 1;
+}
+
 void bm_branch_and_bound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto inst = pinned_instance(n, core::Family::Uniform, kPinnedSeed);
@@ -248,11 +308,13 @@ int main(int argc, char** argv) {
   const auto config = bench::parse_config(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
-      bench::print_banner("E-BNB (quick)", "pinned n=12 ceiling check", config);
+      bench::print_banner("E-BNB (quick)",
+                          "pinned n=12 ceiling + tail-cut gate", config);
       bench::BenchJson json("bnb", config);
       const int status = measure_pinned(json);
+      const int cut_status = measure_structured_cuts(json);
       json.write();
-      return status;
+      return status != 0 ? status : cut_status;
     }
   }
 
@@ -261,7 +323,11 @@ int main(int argc, char** argv) {
   bench::BenchJson json("bnb", config);
   run_head_to_head(config, json);
   run_scaling(config, json);
-  const int quick_status = measure_pinned(json);  // the pinned CI row
+  int quick_status = measure_pinned(json);  // the pinned CI row
+  const int cut_status = measure_structured_cuts(json);
+  if (quick_status == 0) {
+    quick_status = cut_status;
+  }
   json.write();
   if (config.timing) {
     benchmark::Initialize(&argc, argv);

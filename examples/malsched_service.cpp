@@ -209,11 +209,14 @@ int main(int argc, char** argv) {
                                     const service::CacheStats& stats) {
     std::fprintf(stderr,
                  "cache%-9s: hits=%llu misses=%llu evictions=%llu "
-                 "expired=%llu entries=%zu weight=%zu/%zu\n",
+                 "expired=%llu admitted=%llu rejected=%llu "
+                 "entries=%zu weight=%zu/%zu\n",
                  label, static_cast<unsigned long long>(stats.hits),
                  static_cast<unsigned long long>(stats.misses),
                  static_cast<unsigned long long>(stats.evictions),
                  static_cast<unsigned long long>(stats.expired),
+                 static_cast<unsigned long long>(stats.admitted),
+                 static_cast<unsigned long long>(stats.rejected),
                  stats.entries, stats.weight, stats.capacity);
   };
 

@@ -18,10 +18,11 @@
 namespace malsched::core {
 
 struct OptimalOptions {
-  /// Hard guard — branch-and-bound is worst-case exponential; 15 stays
-  /// interactive single-thread (the n ≤ 9 limit of the pure-enumeration
-  /// era is gone).
-  std::size_t max_tasks = 15;
+  /// Hard guard — branch-and-bound is worst-case exponential; 18 stays
+  /// interactive single-thread now that the mean-busy-time cuts trim the
+  /// structured-family tails (the n ≤ 9 limit of the pure-enumeration era
+  /// and the n ≤ 15 limit of the DP-bound era are both gone).
+  std::size_t max_tasks = 18;
   /// Also build the optimal schedule (slightly slower).
   bool want_schedule = false;
   /// n <= crossover runs the plain n! enumeration; larger instances run

@@ -22,6 +22,19 @@
 /// nothing and a full one ages out exactly as fast as traffic touches it.
 /// Entries past their deadline but never looked up again are reclaimed by
 /// ordinary LRU eviction — they are by definition the least recently used.
+///
+/// Admission (optional): `CacheOptions::admission` puts a per-shard TinyLFU
+/// popularity filter (tinylfu.hpp) in front of capacity eviction.  Every
+/// lookup and every new-key insert feeds the filter; when inserting a *new*
+/// key would push the shard over budget, the insert must beat each LRU
+/// victim it displaces on estimated popularity (ties admit, so an unskewed
+/// stream still behaves like plain LRU).  A losing insert is dropped and
+/// counted in `rejected` — the caller's value simply isn't memoized this
+/// time; a recurring key accrues popularity with each arrival and is
+/// admitted once it out-scores the resident tail.  Refreshes of resident
+/// keys and TTL expiry bypass admission entirely (the `expired` counter is
+/// unaffected).  Off by default so the raw cache keeps its historical
+/// always-admit semantics; the scheduler turns it on for its owned cache.
 
 #include <atomic>
 #include <chrono>
@@ -33,6 +46,8 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "malsched/service/tinylfu.hpp"
 
 namespace malsched::service {
 
@@ -60,6 +75,12 @@ struct CacheOptions {
   /// Entries older than this stop serving hits and are evicted lazily at
   /// lookup; nullopt (the default) keeps entries until LRU eviction.
   std::optional<std::chrono::duration<double>> ttl;
+  /// Gate over-budget inserts of new keys behind a TinyLFU popularity
+  /// contest against the LRU victims they would evict.  Off by default:
+  /// plain ResultCache users keep unconditional admission.
+  bool admission = false;
+  /// Sizing of the per-shard popularity sketch (ignored unless `admission`).
+  TinyLfuOptions admission_sketch;
 };
 
 struct CacheStats {
@@ -67,6 +88,8 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;  ///< capacity (LRU) evictions only
   std::uint64_t expired = 0;    ///< TTL evictions performed at lookup
+  std::uint64_t admitted = 0;   ///< new-key inserts accepted (admission on)
+  std::uint64_t rejected = 0;   ///< new-key inserts dropped by the filter
   std::size_t entries = 0;
   std::size_t weight = 0;    ///< current total weight across shards
   std::size_t capacity = 0;  ///< configured capacity, in weight units
@@ -87,7 +110,7 @@ struct CacheStats {
 class ResultCache {
  public:
   explicit ResultCache(std::size_t capacity, std::size_t shards = 8)
-      : ResultCache(CacheOptions{capacity, shards, std::nullopt}) {}
+      : ResultCache(capacity_options(capacity, shards)) {}
   explicit ResultCache(const CacheOptions& options);
 
   ResultCache(const ResultCache&) = delete;
@@ -100,7 +123,9 @@ class ResultCache {
   [[nodiscard]] std::shared_ptr<const CachedSolve> get(const std::string& key);
 
   /// Inserts or refreshes `key`; evicts the shard's LRU entries until the
-  /// shard is back under its weight budget.
+  /// shard is back under its weight budget.  With admission enabled, a new
+  /// key that would evict a strictly more popular victim is dropped instead
+  /// (counted in `rejected`); refreshes always proceed.
   void put(const std::string& key, CachedSolve value);
 
   [[nodiscard]] CacheStats stats() const;
@@ -110,6 +135,7 @@ class ResultCache {
     return shards_.size();
   }
   [[nodiscard]] bool has_ttl() const noexcept { return ttl_.has_value(); }
+  [[nodiscard]] bool has_admission() const noexcept { return admission_; }
 
  private:
   struct Entry {
@@ -124,18 +150,32 @@ class ResultCache {
     std::list<Entry> lru;  ///< front = most recently used
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
     std::size_t weight = 0;  ///< sum of entry weights
+    /// Popularity filter over this shard's key stream; null when the cache
+    /// runs without admission.  Guarded by `mutex` like the rest.
+    std::unique_ptr<TinyLfu> lfu;
   };
 
-  Shard& shard_for(const std::string& key);
+  static CacheOptions capacity_options(std::size_t capacity,
+                                       std::size_t shards) {
+    CacheOptions options;
+    options.capacity = capacity;
+    options.shards = shards;
+    return options;
+  }
+
+  Shard& shard_for(std::size_t key_hash);
 
   std::vector<Shard> shards_;
   std::size_t per_shard_capacity_;
   std::size_t capacity_;
   std::optional<std::chrono::steady_clock::duration> ttl_;
+  bool admission_ = false;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace malsched::service

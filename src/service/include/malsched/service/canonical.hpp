@@ -9,17 +9,29 @@
 ///   * machine:    (P, δ_i) -> (c P, c δ_i) divides completion times by c,
 ///   * weights:    w_i -> c w_i multiplies the objective by c,
 /// and task ids are interchangeable for order-invariant solvers.  The
-/// canonical form quotients all four symmetries: P = 1, Σ V_i = 1,
-/// Σ w_i = 1, tasks sorted lexicographically by (V, δ, w).  Two requests in
+/// canonical form quotients all four symmetries: P = 1, Σ V_i ≈ 1,
+/// Σ w_i ≈ 1, tasks sorted lexicographically by (V, δ, w).  Two requests in
 /// the same equivalence class then serialize to the same cache key, so
 /// repeated traffic that differs only by units or task numbering re-solves
 /// nothing.
 ///
-/// Caveat: the quotient map divides doubles, so instances related by
-/// non-power-of-two scales may land on keys differing in the last ulp and
-/// miss each other — the cache stays correct (a miss just re-solves), the
-/// normal form is a best-effort deduplicator, exact for identical and
-/// power-of-two-scaled instances.
+/// Rational quantization: dividing doubles lands instances related by a
+/// non-power-of-two scale on ratios that differ in the last few ulps, so a
+/// naive quotient map only dedupes identical and power-of-two-scaled
+/// traffic.  The normal form therefore snaps every ratio to the
+/// minimal-denominator reduced rational p/q inside a ±kQuantizationTol
+/// relative window (a Stern–Brocot walk), and rebuilds the canonical task
+/// values *from those rationals*.  Any two rescalings of one instance
+/// compute ratios within ulps of each other — six orders of magnitude
+/// inside the window — so they snap to the same rationals, the same
+/// canonical doubles, the same key, and (crucially) the same canonical
+/// instance: a hit replays a solve of bit-identical input, so cached and
+/// fresh answers are byte-identical through write_results.  Ratios too
+/// irrational for a denominator ≤ 2^26 pass through unquantized, which
+/// degrades exactly to the old behaviour (a missed dedup just re-solves —
+/// the cache stays correct either way).  Quantization perturbs the solved
+/// instance by ≤ kQuantizationTol relatively, orders of magnitude below
+/// every solver/validator tolerance (~1e-9).
 
 #include <cstdint>
 #include <span>
@@ -30,9 +42,26 @@
 
 namespace malsched::service {
 
+/// Relative half-width of the quantization window around each ratio.
+/// Chosen between the ~2e-16 ulp noise that different scalings of one
+/// instance produce (must be far above, or twins miss each other) and the
+/// ~1e-9 solver tolerances (must be far below, or snapping would change
+/// answers observably).
+inline constexpr double kQuantizationTol = 1e-12;
+
+/// Snaps `value` to the minimal-denominator reduced rational p/q with
+/// p/q ∈ [value·(1−tol), value·(1+tol)], returned as the double (p)/(q).
+/// Values whose window admits no denominator ≤ 2^26, and non-finite or
+/// non-positive values, are returned unchanged.  Deterministic, and stable
+/// under sub-window perturbation: two inputs within each other's windows
+/// snap to the same rational (the foundation of the scale-invariant key).
+[[nodiscard]] double quantize_ratio(double value,
+                                    double tol = kQuantizationTol);
+
 /// A canonical instance plus the data to map canonical-space results back.
 struct CanonicalForm {
-  /// P = 1, Σ V = 1 and Σ w = 1 (when the sums are positive), tasks sorted.
+  /// P = 1; Σ V and Σ w within kQuantizationTol of 1 (when the request sums
+  /// are positive); every value a quantized rational; tasks sorted.
   core::Instance instance;
   /// Canonical task j is original task `permutation[j]`.
   std::vector<std::size_t> permutation;
@@ -41,8 +70,8 @@ struct CanonicalForm {
   /// Σ w C (original) = objective_scale * Σ w C (canonical).
   double objective_scale = 1.0;
   /// Mixing hash of the canonical bit patterns: a fixed-width fingerprint
-  /// of the equivalence class (exact dedup uses `canonical_text`; ROADMAP
-  /// earmarks this for consistent-hash sharding across worker processes).
+  /// of the equivalence class (exact dedup uses `canonical_text`; the shard
+  /// ring hashes this for consistent-hash placement across workers).
   std::uint64_t key = 0;
 };
 
@@ -51,6 +80,11 @@ struct CanonicalOptions {
   /// semantics depend on task order (e.g. fifo-rigid schedules by id), which
   /// then share only the scale quotient.
   bool permute = true;
+  /// Snap ratios to reduced rationals (the scale-invariant key).  Disable to
+  /// get the legacy divide-only quotient, which dedupes only identical and
+  /// power-of-two-scaled instances — kept for differential benchmarking of
+  /// the hit-rate gain, not for production use.
+  bool quantize = true;
 };
 
 /// Computes the normal form.  Zero-task instances canonicalize to themselves

@@ -254,6 +254,11 @@ class Scheduler {
     /// stop serving hits and are evicted lazily at lookup (cache.hpp).
     /// Ignored for a borrowed `cache` — its owner configured it.
     std::optional<double> cache_ttl_seconds;
+    /// TinyLFU admission on the owned cache (cache.hpp): when the cache is
+    /// full, a first-seen key must out-score the LRU victims it would evict
+    /// on estimated popularity, so one-off instances cannot flush recurring
+    /// ones.  Ignored for a borrowed `cache` — its owner configured it.
+    bool cache_admission = true;
     /// False disables memoization entirely, even when `cache` is set.
     bool use_cache = true;
     /// Queue discipline; WeightedPriority mirrors the paper's objective at

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file tinylfu.hpp
+/// TinyLFU admission filter: an approximate frequency history that decides
+/// whether a cache candidate is worth the victim it would displace.
+///
+/// Plain LRU admits every insert, so a burst of one-off keys can flush the
+/// working set.  TinyLFU keeps a compact popularity sketch over the *request
+/// stream* (hits and misses alike) and lets an over-budget insert proceed
+/// only if the new key has been seen at least as often as the entry it
+/// evicts — recurring canonical instances stay resident while single-shot
+/// traffic bounces off.
+///
+/// Two structures back the estimate (Einziger et al., "TinyLFU: A Highly
+/// Efficient Cache Admission Policy"):
+///   * a *doorkeeper* bloom filter absorbing the first occurrence of each
+///     key, so the sketch spends its counters on keys seen twice or more
+///     (the vast majority of a skewed stream is singletons);
+///   * a 4-row count-min sketch of 4-bit saturating counters holding the
+///     repeat counts, read with the min rule (over-estimates only).
+/// After `sample_size` recorded events every counter is halved and the
+/// doorkeeper cleared, exponentially decaying stale popularity so yesterday's
+/// hot keys cannot squat forever (the "reset" operation of the paper).
+///
+/// The filter is sized in counters, not keys, and never stores keys — a few
+/// KiB covers hundreds of thousands of distinct instances.  Not internally
+/// synchronized: callers (the cache shard) serialize access under their own
+/// lock.
+
+#include <cstdint>
+#include <vector>
+
+namespace malsched::service {
+
+struct TinyLfuOptions {
+  /// Counters per sketch row, rounded up to a power of two (so row indexing
+  /// is a mask).  Rule of thumb: within ~4x of the number of distinct hot
+  /// keys the cache should protect.
+  std::size_t counters = std::size_t{1} << 12;
+  /// Events between halvings; 0 picks 16x `counters` (with 4-bit counters a
+  /// uniform stream cannot saturate the sketch between resets).
+  std::size_t sample_size = 0;
+};
+
+class TinyLfu {
+ public:
+  explicit TinyLfu(const TinyLfuOptions& options = {});
+
+  /// Records one occurrence of the key (callers pre-hash: any 64-bit hash
+  /// with good mixing, e.g. std::hash of the cache key).  First occurrence
+  /// since the last reset lands in the doorkeeper; repeats increment the
+  /// sketch conservatively (only the minimal rows grow, tightening the
+  /// count-min over-estimate).  Triggers a halving when the sample window
+  /// fills.
+  void record(std::uint64_t key_hash);
+
+  /// Approximate occurrences of the key in the current sample window:
+  /// sketch minimum plus the doorkeeper bit.  Never under-estimates within
+  /// a window; saturates at kMaxEstimate.
+  [[nodiscard]] std::uint32_t estimate(std::uint64_t key_hash) const;
+
+  /// The admission decision: would the candidate serve more future traffic
+  /// than the victim it displaces?  Ties admit, favoring fresh keys — the
+  /// filter only blocks inserts whose victim is *strictly* more popular, so
+  /// a cold cache or an unskewed stream behaves like plain LRU.
+  [[nodiscard]] bool admit(std::uint64_t candidate_hash,
+                           std::uint64_t victim_hash) const {
+    return estimate(candidate_hash) >= estimate(victim_hash);
+  }
+
+  /// Events recorded since the last halving (the sample-window fill level).
+  [[nodiscard]] std::size_t sampled() const noexcept { return sampled_; }
+  /// Halvings performed since construction.
+  [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
+  [[nodiscard]] std::size_t counters_per_row() const noexcept { return mask_ + 1; }
+  [[nodiscard]] std::size_t sample_size() const noexcept {
+    return sample_size_;
+  }
+
+  static constexpr std::uint32_t kRows = 4;
+  static constexpr std::uint32_t kCounterMax = 15;  ///< 4-bit saturation
+  static constexpr std::uint32_t kMaxEstimate = kCounterMax + 1;  ///< + doorkeeper
+
+ private:
+  [[nodiscard]] std::size_t slot(std::uint64_t key_hash,
+                                 std::uint32_t row) const;
+  void halve();
+
+  std::size_t mask_;          ///< counters_per_row - 1 (power of two - 1)
+  std::size_t sample_size_;
+  std::size_t sampled_ = 0;
+  std::uint64_t resets_ = 0;
+  std::vector<std::uint8_t> rows_;        ///< kRows x (mask_ + 1) counters
+  std::vector<std::uint64_t> doorkeeper_;  ///< bloom bits, kRows probes
+};
+
+}  // namespace malsched::service

@@ -12,9 +12,15 @@ ResultCache::ResultCache(const CacheOptions& options)
     : shards_(options.shards == 0 ? 1 : options.shards),
       per_shard_capacity_((options.capacity + shards_.size() - 1) /
                           shards_.size()),
-      capacity_(options.capacity) {
+      capacity_(options.capacity),
+      admission_(options.admission) {
   MALSCHED_EXPECTS_MSG(options.capacity > 0,
                        "cache capacity must be positive");
+  if (admission_) {
+    for (Shard& shard : shards_) {
+      shard.lfu = std::make_unique<TinyLfu>(options.admission_sketch);
+    }
+  }
   if (options.ttl) {
     MALSCHED_EXPECTS_MSG(options.ttl->count() >= 0.0,
                          "cache ttl must be non-negative");
@@ -33,13 +39,19 @@ ResultCache::ResultCache(const CacheOptions& options)
   }
 }
 
-ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+ResultCache::Shard& ResultCache::shard_for(std::size_t key_hash) {
+  return shards_[key_hash % shards_.size()];
 }
 
 std::shared_ptr<const CachedSolve> ResultCache::get(const std::string& key) {
-  Shard& shard = shard_for(key);
+  const std::size_t key_hash = std::hash<std::string>{}(key);
+  Shard& shard = shard_for(key_hash);
   const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.lfu) {
+    // Every lookup is a popularity vote, hit or miss: the admission contest
+    // compares demand for keys, not residency.
+    shard.lfu->record(key_hash);
+  }
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -65,7 +77,8 @@ void ResultCache::put(const std::string& key, CachedSolve value) {
   auto shared = std::make_shared<const CachedSolve>(std::move(value));
   const auto expires = ttl_ ? std::chrono::steady_clock::now() + *ttl_
                             : std::chrono::steady_clock::time_point{};
-  Shard& shard = shard_for(key);
+  const std::size_t key_hash = std::hash<std::string>{}(key);
+  Shard& shard = shard_for(key_hash);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -76,6 +89,28 @@ void ResultCache::put(const std::string& key, CachedSolve value) {
     shard.weight += weight;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
+    if (shard.lfu) {
+      // The insert itself is an occurrence of the key (a rejected key thus
+      // gains ground on every re-arrival and is eventually admitted).
+      shard.lfu->record(key_hash);
+      // Admission contest: an over-budget insert must out-score, or tie,
+      // every LRU victim it displaces.  Losing drops the insert — the
+      // shard's resident set was judged more valuable than the newcomer.
+      while (shard.weight + weight > per_shard_capacity_ &&
+             !shard.lru.empty()) {
+        const std::size_t victim_hash =
+            std::hash<std::string>{}(shard.lru.back().key);
+        if (!shard.lfu->admit(key_hash, victim_hash)) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        shard.weight -= shard.lru.back().weight;
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+    }
     shard.lru.push_front(Entry{key, std::move(shared), weight, expires});
     shard.index.emplace(key, shard.lru.begin());
     shard.weight += weight;
@@ -97,6 +132,8 @@ CacheStats ResultCache::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.capacity = capacity_;
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);

@@ -271,6 +271,7 @@ Scheduler::Scheduler(const SolverRegistry& registry, Options options)
   } else if (options.cache_capacity > 0) {
     CacheOptions cache_options;
     cache_options.capacity = options.cache_capacity;
+    cache_options.admission = options.cache_admission;
     if (options.cache_ttl_seconds) {
       cache_options.ttl =
           std::chrono::duration<double>(*options.cache_ttl_seconds);

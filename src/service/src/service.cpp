@@ -479,6 +479,8 @@ std::string format_telemetry(const ServiceReport& report) {
         << " misses=" << report.cache.misses
         << " evictions=" << report.cache.evictions
         << " expired=" << report.cache.expired
+        << " admitted=" << report.cache.admitted
+        << " rejected=" << report.cache.rejected
         << " entries=" << report.cache.entries
         << " weight=" << report.cache.weight << "/" << report.cache.capacity
         << " hit_rate=" << report.cache.hit_rate() << "\n";

@@ -184,8 +184,9 @@ SolveResult solve_order_lp_smith(const core::Instance& instance) {
 SolveResult solve_optimal(const core::Instance& instance,
                           const SolveContext& context) {
   // Branch-and-bound (PR 3) raised the exact-serving guard from the n <= 9
-  // of the pure-enumeration era to OptimalOptions' n <= 15 default; beyond
-  // it the typed SizeGuard error stands.
+  // of the pure-enumeration era to n <= 15; the mean-busy-time cuts raised
+  // it again to OptimalOptions' n <= 18 default.  Beyond it the typed
+  // SizeGuard error stands.
   core::OptimalOptions options;
   options.want_schedule = true;
   options.cancel = context.cancel;
@@ -232,7 +233,7 @@ double greedy_search_cost(std::size_t n) {
 double optimal_cost(std::size_t n) {
   // Below the crossover: n! order-LP solves.  Above: branch-and-bound —
   // pruning makes the truth instance-dependent, so charge the n·2^n subset
-  // flavour that tracks the measured n = 8..15 envelope.
+  // flavour that tracks the measured n = 8..18 envelope.
   const auto x = static_cast<double>(n);
   double lp_count = 1.0;
   if (n <= 7) {
@@ -378,8 +379,8 @@ SolverRegistry SolverRegistry::with_default_solvers() {
     SolverInfo info;
     info.fn = solve_optimal;
     info.description =
-        "exact optimum: n! enumeration for tiny n, branch-and-bound over "
-        "completion orders beyond (guard n <= 15)";
+        "exact optimum: n! enumeration for tiny n, branch-and-bound with "
+        "mean-busy-time cuts over completion orders beyond (guard n <= 18)";
     info.cancellable = true;
     info.cost_hint = optimal_cost;
     registry.register_solver("optimal", std::move(info));

@@ -1,0 +1,96 @@
+#include "malsched/service/tinylfu.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "malsched/support/contracts.hpp"
+#include "malsched/support/rng.hpp"
+
+namespace malsched::service {
+
+namespace {
+
+// Fixed per-row tweaks: re-mixing the caller's hash through splitmix64 with
+// a distinct odd seed per row gives kRows near-independent hash functions
+// from one 64-bit input (the standard double-hashing shortcut).
+constexpr std::uint64_t kRowSeed[TinyLfu::kRows] = {
+    0x9e3779b97f4a7c15ULL,
+    0xbf58476d1ce4e5b9ULL,
+    0x94d049bb133111ebULL,
+    0xd6e8feb86659fd93ULL,
+};
+
+}  // namespace
+
+TinyLfu::TinyLfu(const TinyLfuOptions& options) {
+  MALSCHED_EXPECTS_MSG(options.counters > 0,
+                       "tinylfu needs at least one counter per row");
+  const std::size_t width = std::bit_ceil(options.counters);
+  mask_ = width - 1;
+  sample_size_ =
+      options.sample_size > 0 ? options.sample_size : 16 * width;
+  rows_.assign(static_cast<std::size_t>(kRows) * width, 0);
+  doorkeeper_.assign((width + 63) / 64, 0);
+}
+
+std::size_t TinyLfu::slot(std::uint64_t key_hash, std::uint32_t row) const {
+  std::uint64_t state = key_hash ^ kRowSeed[row];
+  return static_cast<std::size_t>(support::splitmix64(state)) & mask_;
+}
+
+void TinyLfu::record(std::uint64_t key_hash) {
+  bool fresh = false;
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const std::size_t bit = slot(key_hash, r);
+    std::uint64_t& word = doorkeeper_[bit >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      fresh = true;
+    }
+  }
+  if (!fresh) {
+    // Conservative increment: only the rows currently at the minimum grow,
+    // so one key's repeats inflate collided slots as little as possible.
+    std::uint32_t min = kCounterMax;
+    std::size_t slots[kRows];
+    for (std::uint32_t r = 0; r < kRows; ++r) {
+      slots[r] = static_cast<std::size_t>(r) * (mask_ + 1) + slot(key_hash, r);
+      min = std::min<std::uint32_t>(min, rows_[slots[r]]);
+    }
+    if (min < kCounterMax) {
+      for (std::uint32_t r = 0; r < kRows; ++r) {
+        if (rows_[slots[r]] == min) {
+          ++rows_[slots[r]];
+        }
+      }
+    }
+  }
+  if (++sampled_ >= sample_size_) {
+    halve();
+  }
+}
+
+std::uint32_t TinyLfu::estimate(std::uint64_t key_hash) const {
+  std::uint32_t min = kCounterMax;
+  bool in_door = true;
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const std::size_t bit = slot(key_hash, r);
+    in_door = in_door &&
+              (doorkeeper_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) != 0;
+    min = std::min<std::uint32_t>(
+        min, rows_[static_cast<std::size_t>(r) * (mask_ + 1) + bit]);
+  }
+  return min + (in_door ? 1u : 0u);
+}
+
+void TinyLfu::halve() {
+  for (std::uint8_t& counter : rows_) {
+    counter = static_cast<std::uint8_t>(counter >> 1);
+  }
+  std::fill(doorkeeper_.begin(), doorkeeper_.end(), 0);
+  sampled_ = 0;
+  ++resets_;
+}
+
+}  // namespace malsched::service

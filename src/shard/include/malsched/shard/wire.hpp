@@ -115,9 +115,12 @@ inline constexpr const char* kWireMagic = "malsched-wire";
 
 /// Protocol version, bumped on every incompatible wire change.  History:
 ///   1 — PR 5: instance/solve/result/ping/stats/drain over socketpairs.
-///   2 — this PR: hello handshake itself, idempotency token in solve (new
+///   2 — PR 6: hello handshake itself, idempotency token in solve (new
 ///       positional field) and result (token= field).
-inline constexpr std::uint32_t kWireProtocolVersion = 2;
+///   3 — this PR: stats frames carry the admission counters (admitted=,
+///       rejected=) — decode requires them, so a v2 stats frame no longer
+///       parses.
+inline constexpr std::uint32_t kWireProtocolVersion = 3;
 
 struct HelloMessage {
   std::uint32_t version = kWireProtocolVersion;

@@ -676,6 +676,8 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
     report.cache.misses += stats->misses;
     report.cache.evictions += stats->evictions;
     report.cache.expired += stats->expired;
+    report.cache.admitted += stats->admitted;
+    report.cache.rejected += stats->rejected;
     report.cache.entries += stats->entries;
     report.cache.weight += stats->weight;
     report.cache.capacity += stats->capacity;

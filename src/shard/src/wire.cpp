@@ -676,6 +676,8 @@ std::string encode_stats(const service::CacheStats& stats) {
   payload += " misses=" + std::to_string(stats.misses);
   payload += " evictions=" + std::to_string(stats.evictions);
   payload += " expired=" + std::to_string(stats.expired);
+  payload += " admitted=" + std::to_string(stats.admitted);
+  payload += " rejected=" + std::to_string(stats.rejected);
   payload += " entries=" + std::to_string(stats.entries);
   payload += " weight=" + std::to_string(stats.weight);
   payload += " capacity=" + std::to_string(stats.capacity);
@@ -692,6 +694,8 @@ std::optional<service::CacheStats> decode_stats(const std::string& payload) {
       !parse_u64(field(payload, "misses"), &stats.misses) ||
       !parse_u64(field(payload, "evictions"), &stats.evictions) ||
       !parse_u64(field(payload, "expired"), &stats.expired) ||
+      !parse_u64(field(payload, "admitted"), &stats.admitted) ||
+      !parse_u64(field(payload, "rejected"), &stats.rejected) ||
       !parse_u64(field(payload, "entries"), &entries) ||
       !parse_u64(field(payload, "weight"), &weight) ||
       !parse_u64(field(payload, "capacity"), &capacity)) {

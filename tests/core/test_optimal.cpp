@@ -71,8 +71,9 @@ TEST(Optimal, EnumerationCountsFactorial) {
 }
 
 TEST(OptimalDeath, RefusesLargeInstances) {
-  // Branch-and-bound opened n <= 15; the guard now sits there.
-  std::vector<mc::Task> tasks(16, {1.0, 1.0, 1.0});
+  // Branch-and-bound opened n <= 15 and the mean-busy-time cuts n <= 18;
+  // the guard now sits there.
+  std::vector<mc::Task> tasks(19, {1.0, 1.0, 1.0});
   const mc::Instance inst(2.0, std::move(tasks));
   EXPECT_DEATH((void)mc::optimal_by_enumeration(inst), "factorial");
 }

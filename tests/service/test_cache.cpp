@@ -209,6 +209,151 @@ TEST(Cache, NoTtlByDefault) {
   EXPECT_EQ(cache.stats().expired, 0u);
 }
 
+namespace {
+
+// One-shard admission cache: LRU order and contest outcomes deterministic.
+msvc::CacheOptions admission_options(std::size_t capacity) {
+  msvc::CacheOptions options;
+  options.capacity = capacity;
+  options.shards = 1;
+  options.admission = true;
+  options.admission_sketch.counters = 1 << 8;
+  options.admission_sketch.sample_size = 1 << 16;  // no mid-test halving
+  return options;
+}
+
+}  // namespace
+
+TEST(Cache, AdmissionIsOffByDefaultAndCountersStayZero) {
+  msvc::ResultCache cache(6, /*shards=*/1);
+  EXPECT_FALSE(cache.has_admission());
+  cache.put("a", value_of(1.0));
+  cache.put("b", value_of(2.0));
+  cache.put("c", value_of(3.0));  // legacy behavior: always admitted
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_TRUE((cache.get("c") != nullptr));
+}
+
+TEST(Cache, AdmissionProtectsPopularResidentsFromOneShotFloods) {
+  // Weight-3 entries, capacity 6: room for two.  "hot" is looked up
+  // repeatedly; a parade of fresh keys then tries to flush it.  Plain LRU
+  // would evict hot after two inserts; the filter rejects every newcomer
+  // whose victim is the strictly more popular resident.
+  msvc::ResultCache cache(admission_options(6));
+  EXPECT_TRUE(cache.has_admission());
+  cache.put("hot", value_of(1.0));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE((cache.get("hot") != nullptr));
+  }
+  cache.put("warm", value_of(2.0));  // fills the second slot (no contest
+                                     // needed: still under budget)
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE((cache.get("warm") != nullptr));
+  }
+
+  for (int i = 0; i < 16; ++i) {
+    cache.put("one-shot-" + std::to_string(i), value_of(9.0));
+  }
+  // Every flood key was seen once (its own put); the LRU victim "hot" has
+  // 9 sightings: all 16 inserts lose the contest.
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.rejected, 16u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.admitted, 2u);  // hot and warm themselves
+  EXPECT_TRUE((cache.get("hot") != nullptr));
+  EXPECT_TRUE((cache.get("warm") != nullptr));
+  EXPECT_FALSE((cache.get("one-shot-3") != nullptr));
+}
+
+TEST(Cache, RecurringKeyEventuallyWinsTheContest) {
+  // A rejected key is not banished: every arrival (get miss + re-put) adds
+  // popularity, and once it ties the victim it displaces it.
+  msvc::ResultCache cache(admission_options(6));
+  cache.put("a", value_of(1.0));
+  cache.put("b", value_of(2.0));
+  for (int i = 0; i < 3; ++i) {
+    (void)cache.get("b");  // b: 4 sightings
+  }
+  for (int i = 0; i < 4; ++i) {
+    (void)cache.get("a");  // a: 5 sightings, and b is now the LRU victim
+  }
+
+  // Each round trip is a get miss plus a re-put: 2 sightings.  Rounds 1
+  // (score 2 vs 4) is rejected; round 2 ties at 4 and displaces b.
+  int attempts = 0;
+  while (cache.get("newcomer") == nullptr) {
+    cache.put("newcomer", value_of(7.0));
+    ASSERT_LT(++attempts, 16) << "newcomer was never admitted";
+  }
+  // The newcomer displaced exactly the weaker resident.
+  EXPECT_GE(attempts, 2);  // first attempt must have been rejected
+  EXPECT_GT(cache.stats().rejected, 0u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_TRUE((cache.get("a") != nullptr)) << "the popular resident survives";
+}
+
+TEST(Cache, AdmissionRefreshOfResidentKeyBypassesTheContest) {
+  msvc::ResultCache cache(admission_options(6));
+  cache.put("k", value_of(1.0));
+  for (int i = 0; i < 5; ++i) {
+    (void)cache.get("k");
+  }
+  cache.put("k", value_with_n(9.0, 4));  // refresh: weight 3 -> 5, no contest
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.admitted, 1u);  // only the original insert counted
+  EXPECT_DOUBLE_EQ(cache.get("k")->objective, 9.0);
+}
+
+TEST(Cache, AdmissionTieAdmitsLikeLru) {
+  // Fresh victim vs fresh candidate is a tie, and ties admit: a stream with
+  // no recurring keys cycles through the cache exactly as plain LRU would.
+  msvc::ResultCache cache(admission_options(6));
+  for (int i = 0; i < 8; ++i) {
+    cache.put("k-" + std::to_string(i), value_of(i));
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.admitted, 8u);
+  EXPECT_EQ(stats.evictions, 6u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(Cache, AdmissionDoesNotDisturbTtlExpiry) {
+  // TTL expiry is orthogonal to admission: expired entries still evict
+  // lazily at lookup, counted in `expired` (not `rejected`), and the
+  // re-insert after expiry passes through the contest machinery.
+  auto options = admission_options(64);
+  options.ttl = std::chrono::duration<double>(0.0);
+  msvc::ResultCache cache(options);
+  cache.put("k", value_of(1.0));
+  EXPECT_FALSE((cache.get("k") != nullptr));
+  cache.put("k", value_of(9.0));
+  EXPECT_FALSE((cache.get("k") != nullptr));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.expired, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.admitted, 2u);  // both inserts were under budget
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(Cache, AdmissionOversizedEntryStillContestsItsVictims) {
+  // An oversized newcomer must beat each resident it displaces; a fresh
+  // giant against fresh residents ties every contest and is admitted alone,
+  // exactly like the legacy oversized path.
+  msvc::ResultCache cache(admission_options(8));
+  cache.put("small", value_of(1.0));
+  cache.put("huge", value_with_n(1.0, 100));  // weight 101 > 8
+  EXPECT_TRUE((cache.get("huge") != nullptr));
+  EXPECT_FALSE((cache.get("small") != nullptr));
+  EXPECT_EQ(cache.stats().weight, 101u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
 TEST(Cache, ConcurrentMixedTrafficStaysConsistent) {
   // Hammer a small cache from many workers: every get must observe either
   // a miss or the exact value put under that key, and the counters must

@@ -2,9 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "malsched/core/generators.hpp"
+#include "malsched/service/scheduler.hpp"
+#include "malsched/service/service.hpp"
+#include "malsched/service/solver_registry.hpp"
 #include "malsched/sim/engine.hpp"
 #include "malsched/sim/policy.hpp"
 #include "malsched/support/rng.hpp"
@@ -18,6 +27,27 @@ namespace {
 
 mc::Instance base_instance() {
   return mc::Instance(4.0, {{2.0, 2.0, 1.0}, {1.0, 1.0, 0.5}, {0.5, 4.0, 2.0}});
+}
+
+// Hexfloat rendering: failures show the exact bit-level divergence instead
+// of two identically-printed decimals.
+std::string hex(double d) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%a", d);
+  return buffer;
+}
+
+// Rescales all three symmetry axes: volumes x volume_scale, machine
+// (P and widths) x machine_scale, weights x weight_scale.
+mc::Instance rescale(const mc::Instance& inst, double volume_scale,
+                     double machine_scale, double weight_scale) {
+  std::vector<mc::Task> tasks;
+  tasks.reserve(inst.size());
+  for (const auto& t : inst.tasks()) {
+    tasks.push_back({t.volume * volume_scale, t.width * machine_scale,
+                     t.weight * weight_scale});
+  }
+  return mc::Instance(inst.processors() * machine_scale, std::move(tasks));
 }
 
 }  // namespace
@@ -109,6 +139,168 @@ TEST(Canonical, DenormalizedSolveMatchesDirectSolve) {
                 1e-9 * (1.0 + direct_run.weighted_completion))
         << "rep " << rep;
   }
+}
+
+TEST(Canonical, QuantizeRatioFindsMinimalDenominatorRationals) {
+  // Exactly representable rationals are fixed points.
+  EXPECT_EQ(msvc::quantize_ratio(0.25), 0.25);
+  EXPECT_EQ(msvc::quantize_ratio(1.0), 1.0);
+  EXPECT_EQ(msvc::quantize_ratio(0.5714285714285714),  // nearest(4/7)
+            4.0 / 7.0);
+  // Ulp-perturbed ratios snap back to the rational's own double.
+  const double third = 1.0 / 3.0;
+  EXPECT_EQ(msvc::quantize_ratio(std::nextafter(third, 0.0)), third);
+  EXPECT_EQ(msvc::quantize_ratio(std::nextafter(third, 1.0)), third);
+  // Minimal denominator, not nearest: anything within the window of 1/2
+  // maps to 1/2, not to some closer 499999/999998.
+  EXPECT_EQ(msvc::quantize_ratio(0.5 * (1.0 + 4e-13)), 0.5);
+  // Non-positive and non-finite inputs pass through untouched.
+  EXPECT_EQ(msvc::quantize_ratio(0.0), 0.0);
+  EXPECT_EQ(msvc::quantize_ratio(-0.75), -0.75);
+  EXPECT_TRUE(std::isnan(msvc::quantize_ratio(
+      std::numeric_limits<double>::quiet_NaN())));
+  // The result always stays inside the relative window, and ulp-level
+  // perturbations of the input (the twin property the cache key relies on)
+  // land on the same snapped value.  The twin property cannot be universal:
+  // any input-to-rational map is a step function, and a twin pair can
+  // straddle a step when the minimal-denominator rational sits within an
+  // ulp of the window boundary (probability ~ulp/window ~ 1e-4 per draw).
+  // A straddle is a missed dedup — one extra cache miss — never a wrong
+  // result, so the test pins the rate, not absolute agreement.
+  ms::Rng rng(5150);
+  int twin_mismatches = 0;
+  for (int rep = 0; rep < 2000; ++rep) {
+    const double r = rng.uniform(1e-6, 1e6);
+    const double q = msvc::quantize_ratio(r);
+    EXPECT_GE(q, r * (1.0 - 1.01 * msvc::kQuantizationTol)) << hex(r);
+    EXPECT_LE(q, r * (1.0 + 1.01 * msvc::kQuantizationTol)) << hex(r);
+    const double down = msvc::quantize_ratio(std::nextafter(r, 0.0));
+    const double up = msvc::quantize_ratio(std::nextafter(r, 2e6));
+    twin_mismatches += (down != q) + (up != q);
+  }
+  EXPECT_LE(twin_mismatches, 4) << "of 4000 twin draws";
+}
+
+TEST(Canonical, ArbitraryRescalingsShareKeyAndCanonicalInstance) {
+  // The property the old power-of-two-only quotient lacked: *any* positive
+  // rescaling of the three symmetry axes — 3x, 1/7x, 0.013x — lands on the
+  // same key, the same text, and the same canonical instance bit for bit
+  // (the rebuilt-from-rationals doubles, not merely close ones).
+  const double scales[][3] = {{3.0, 1.0, 1.0},     {1.0, 7.0, 1.0},
+                              {1.0, 1.0, 0.013},   {3.7, 1.9, 42.0},
+                              {1.0 / 3.0, 5.0, 9.0}, {1e-3, 1e2, 1e4}};
+  for (const mc::Family family : mc::all_families()) {
+    ms::Rng rng(777 + static_cast<std::uint64_t>(family));
+    for (int rep = 0; rep < 10; ++rep) {
+      mc::GeneratorConfig config;
+      config.family = family;
+      config.num_tasks = 5;
+      config.processors = 4.0;
+      const auto inst = mc::generate(config, rng);
+      const auto form = msvc::canonicalize(inst);
+      for (const auto& s : scales) {
+        const auto scaled_form =
+            msvc::canonicalize(rescale(inst, s[0], s[1], s[2]));
+        ASSERT_EQ(form.key, scaled_form.key)
+            << mc::family_name(family) << " rep " << rep << " scales "
+            << s[0] << "," << s[1] << "," << s[2];
+        EXPECT_EQ(msvc::canonical_text(form),
+                  msvc::canonical_text(scaled_form));
+        for (std::size_t i = 0; i < form.instance.size(); ++i) {
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(form.instance.task(i).volume),
+                    std::bit_cast<std::uint64_t>(
+                        scaled_form.instance.task(i).volume))
+              << hex(form.instance.task(i).volume) << " vs "
+              << hex(scaled_form.instance.task(i).volume);
+        }
+        // The scales stay request-exact so results map back to the client's
+        // own units: time stretches with volume, shrinks with the machine.
+        EXPECT_NEAR(scaled_form.time_scale, form.time_scale * s[0] / s[1],
+                    1e-12 * form.time_scale * s[0] / s[1]);
+      }
+    }
+  }
+}
+
+TEST(Canonical, QuantizationTwinsShareTheKey) {
+  // Twins from different arithmetic: 0.1 * 3 != 0.3 in doubles, but both
+  // express the same real instance, so the quantized normal form must unify
+  // them (the divide-only quotient kept them apart forever).
+  const mc::Instance a(2.0, {{0.3, 1.0, 1.0}, {0.7, 2.0, 2.0}});
+  const mc::Instance b(2.0, {{0.1 * 3.0, 1.0, 1.0}, {0.7, 2.0, 2.0}});
+  ASSERT_NE(a.task(0).volume, b.task(0).volume) << "twins must differ in ulps";
+  const auto fa = msvc::canonicalize(a);
+  const auto fb = msvc::canonicalize(b);
+  EXPECT_EQ(fa.key, fb.key);
+  EXPECT_EQ(msvc::canonical_text(fa), msvc::canonical_text(fb));
+}
+
+TEST(Canonical, LegacyQuantizeOffDedupesOnlyExactScalings) {
+  // quantize = false is the pre-rational quotient, kept for differential
+  // benchmarking: power-of-two scalings still unify (exact binary ops) but
+  // an odd rescaling drifts the ratios by an ulp and misses the key.
+  const mc::Instance inst(4.0, {{0.1, 2.0, 1.0}, {0.2, 1.0, 0.5},
+                                {0.7, 4.0, 2.0}});
+  msvc::CanonicalOptions legacy;
+  legacy.quantize = false;
+  const auto form = msvc::canonicalize(inst, legacy);
+  EXPECT_EQ(form.key,
+            msvc::canonicalize(rescale(inst, 4.0, 2.0, 0.5), legacy).key);
+  EXPECT_NE(form.key,
+            msvc::canonicalize(rescale(inst, 3.0, 1.0, 1.0), legacy).key);
+  // The quantized form unifies exactly that miss.
+  EXPECT_EQ(msvc::canonicalize(inst).key,
+            msvc::canonicalize(rescale(inst, 3.0, 1.0, 1.0)).key);
+}
+
+TEST(Canonical, CacheHitReplaysByteIdenticalResults) {
+  // End-to-end byte parity: a request served from the cache must be
+  // indistinguishable — bit for bit, and through the write_results text —
+  // from the same request solved fresh.  Holds because every member of the
+  // equivalence class solves the identical canonical instance and
+  // denormalizes with its own request-exact scales.
+  auto registry = msvc::SolverRegistry::with_default_solvers();
+  const auto inst = base_instance();
+  // An odd rescaling + permutation of the base instance: hits the entry the
+  // base solve filled only through the quantized normal form.
+  const auto variant_base = rescale(inst, 3.0, 1.5, 7.0);
+  const mc::Instance variant(variant_base.processors(),
+                             {variant_base.task(2), variant_base.task(0),
+                              variant_base.task(1)});
+
+  msvc::Scheduler::Options options;
+  options.threads = 1;
+  msvc::Scheduler warm(registry, options);
+  const auto seed = warm.submit("wdeq", inst).get();
+  ASSERT_TRUE(seed.ok());
+  auto via_cache = warm.submit("wdeq", variant).get();
+  ASSERT_TRUE(via_cache.ok());
+  EXPECT_TRUE(via_cache.cache_hit);
+
+  msvc::Scheduler cold(registry, options);
+  auto fresh = cold.submit("wdeq", variant).get();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.cache_hit);
+
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(via_cache.objective()),
+            std::bit_cast<std::uint64_t>(fresh.objective()))
+      << hex(via_cache.objective()) << " vs " << hex(fresh.objective());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(via_cache.makespan()),
+            std::bit_cast<std::uint64_t>(fresh.makespan()))
+      << hex(via_cache.makespan()) << " vs " << hex(fresh.makespan());
+  ASSERT_EQ(via_cache.completions().size(), fresh.completions().size());
+  for (std::size_t i = 0; i < fresh.completions().size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(via_cache.completions()[i]),
+              std::bit_cast<std::uint64_t>(fresh.completions()[i]))
+        << "task " << i << ": " << hex(via_cache.completions()[i]) << " vs "
+        << hex(fresh.completions()[i]);
+  }
+
+  msvc::ServiceReport replayed;
+  replayed.results.push_back(std::move(via_cache));
+  msvc::ServiceReport solved;
+  solved.results.push_back(std::move(fresh));
+  EXPECT_EQ(msvc::format_results(replayed), msvc::format_results(solved));
 }
 
 TEST(Canonical, NegativeZeroSharesKeyAndText) {

@@ -45,10 +45,10 @@ std::vector<msvc::SolveResult> produce_all_failures() {
   // UnknownSolver: dispatch to a name nobody registered.
   failures.push_back(registry.solve("no-such-solver", small_instance()));
 
-  // SizeGuard: the optimal solver beyond its n <= 15 guard.
+  // SizeGuard: the optimal solver beyond its n <= 18 guard.
   failures.push_back(registry.solve(
       "optimal",
-      mc::Instance(4.0, std::vector<mc::Task>(16, {1.0, 1.0, 1.0}))));
+      mc::Instance(4.0, std::vector<mc::Task>(19, {1.0, 1.0, 1.0}))));
 
   // ParseError: a batch request naming an instance that does not exist.
   std::string error;

@@ -58,7 +58,7 @@ TEST(Registry, OptimalDispatchMatchesEnumeration) {
 
 TEST(Registry, OptimalGuardsLargeInstances) {
   const auto registry = msvc::SolverRegistry::with_default_solvers();
-  std::vector<mc::Task> tasks(16, {1.0, 1.0, 1.0});
+  std::vector<mc::Task> tasks(19, {1.0, 1.0, 1.0});
   const auto result = registry.solve("optimal", mc::Instance(4.0, tasks));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().code, msvc::ErrorCode::SizeGuard);

@@ -1,0 +1,164 @@
+// TinyLFU admission filter: count-min estimates must never under-count
+// within a sample window, the doorkeeper must absorb exactly the first
+// occurrence of a key, halving must decay popularity and clear the
+// doorkeeper, and the admission rule must be "victim strictly more popular
+// rejects; ties admit".
+
+#include "malsched/service/tinylfu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "malsched/support/rng.hpp"
+
+namespace msvc = malsched::service;
+namespace ms = malsched::support;
+
+namespace {
+
+// Arbitrary well-mixed key hashes (the filter expects pre-hashed input).
+std::uint64_t key(std::uint64_t id) {
+  std::uint64_t state = id * 0x9e3779b97f4a7c15ULL + 1;
+  return ms::splitmix64(state);
+}
+
+msvc::TinyLfuOptions small_options(std::size_t sample_size = 0) {
+  msvc::TinyLfuOptions options;
+  options.counters = 1 << 8;
+  options.sample_size = sample_size;
+  return options;
+}
+
+}  // namespace
+
+TEST(TinyLfu, FreshFilterEstimatesZero) {
+  msvc::TinyLfu lfu(small_options());
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    EXPECT_EQ(lfu.estimate(key(id)), 0u);
+  }
+  EXPECT_EQ(lfu.sampled(), 0u);
+  EXPECT_EQ(lfu.resets(), 0u);
+}
+
+TEST(TinyLfu, DoorkeeperAbsorbsExactlyTheFirstOccurrence) {
+  msvc::TinyLfu lfu(small_options());
+  const std::uint64_t k = key(1);
+  lfu.record(k);
+  // First sighting: doorkeeper bit only, sketch untouched.
+  EXPECT_EQ(lfu.estimate(k), 1u);
+  lfu.record(k);
+  // Second sighting: doorkeeper + one sketch increment.
+  EXPECT_EQ(lfu.estimate(k), 2u);
+}
+
+TEST(TinyLfu, EstimateNeverUndercountsWithinAWindow) {
+  // Count-min with conservative increment over-estimates but never
+  // under-estimates; the doorkeeper contributes the absorbed first
+  // occurrence back.  Saturation caps the answer at kMaxEstimate.
+  msvc::TinyLfu lfu(small_options(/*sample_size=*/1 << 20));
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    const std::uint32_t count = 1 + static_cast<std::uint32_t>(id % 20);
+    for (std::uint32_t c = 0; c < count; ++c) {
+      lfu.record(key(id));
+    }
+  }
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    const std::uint32_t count = 1 + static_cast<std::uint32_t>(id % 20);
+    const std::uint32_t expected =
+        count < msvc::TinyLfu::kMaxEstimate ? count
+                                            : msvc::TinyLfu::kMaxEstimate;
+    EXPECT_GE(lfu.estimate(key(id)), expected) << "id " << id;
+    EXPECT_LE(lfu.estimate(key(id)), msvc::TinyLfu::kMaxEstimate);
+  }
+}
+
+TEST(TinyLfu, SaturatesAtMaxEstimate) {
+  msvc::TinyLfu lfu(small_options(/*sample_size=*/1 << 20));
+  const std::uint64_t k = key(9);
+  for (int c = 0; c < 200; ++c) {
+    lfu.record(k);
+  }
+  EXPECT_EQ(lfu.estimate(k), msvc::TinyLfu::kMaxEstimate);
+}
+
+TEST(TinyLfu, HalvingDecaysCountsAndClearsTheDoorkeeper) {
+  // sample_size = 16: the 16th record triggers the reset.
+  msvc::TinyLfu lfu(small_options(/*sample_size=*/16));
+  const std::uint64_t hot = key(1);
+  const std::uint64_t once = key(2);
+  for (int c = 0; c < 10; ++c) {
+    lfu.record(hot);  // doorkeeper + 9 sketch increments -> estimate 10
+  }
+  lfu.record(once);  // doorkeeper only -> estimate 1
+  EXPECT_EQ(lfu.estimate(hot), 10u);
+  EXPECT_EQ(lfu.estimate(once), 1u);
+
+  for (std::uint64_t id = 10; id < 15; ++id) {
+    lfu.record(key(id));  // 5 more events: the last one fills the window
+  }
+  EXPECT_EQ(lfu.resets(), 1u);
+  EXPECT_EQ(lfu.sampled(), 0u);
+  // The hot key's sketch count 9 halves to 4; its doorkeeper bit is gone.
+  EXPECT_EQ(lfu.estimate(hot), 4u);
+  // A doorkeeper-only key loses its entire history.
+  EXPECT_EQ(lfu.estimate(once), 0u);
+}
+
+TEST(TinyLfu, AdmissionRejectsOnlyStrictlyMorePopularVictims) {
+  msvc::TinyLfu lfu(small_options(/*sample_size=*/1 << 20));
+  const std::uint64_t victim = key(1);
+  const std::uint64_t candidate = key(2);
+  for (int c = 0; c < 8; ++c) {
+    lfu.record(victim);
+  }
+  // Unseen candidate vs popular victim: reject.
+  EXPECT_FALSE(lfu.admit(candidate, victim));
+  // The candidate accrues popularity with each arrival and eventually wins.
+  for (int c = 0; c < 7; ++c) {
+    lfu.record(candidate);
+    EXPECT_FALSE(lfu.admit(candidate, victim)) << c;
+  }
+  lfu.record(candidate);  // 8th: tie
+  EXPECT_TRUE(lfu.admit(candidate, victim)) << "ties must admit";
+  // Fresh vs fresh is a tie too — an unskewed stream behaves like LRU.
+  EXPECT_TRUE(lfu.admit(key(3), key(4)));
+}
+
+TEST(TinyLfu, SkewedStreamKeepsHotKeysSeparableFromColdOnes) {
+  // A zipf-ish stream: a handful of hot keys among a long singleton tail.
+  // After the stream (halvings included), every hot key must out-score
+  // every cold key — the separation the cache admission contest relies on.
+  // The short sample window keeps the doorkeeper's bloom load per window
+  // low enough that tail false positives stay rare.
+  msvc::TinyLfuOptions options;
+  options.counters = 1 << 12;
+  options.sample_size = 1 << 12;
+  msvc::TinyLfu lfu(options);
+  ms::Rng rng(20120521);
+  for (int event = 0; event < 20000; ++event) {
+    if (rng.bernoulli(0.5)) {
+      lfu.record(key(static_cast<std::uint64_t>(rng.uniform_int(0, 7))));
+    } else {
+      lfu.record(key(1000 + static_cast<std::uint64_t>(event)));
+    }
+  }
+  std::uint32_t min_hot = msvc::TinyLfu::kMaxEstimate;
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    min_hot = std::min(min_hot, lfu.estimate(key(id)));
+  }
+  std::uint32_t max_cold = 0;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    max_cold = std::max(max_cold, lfu.estimate(key(5000000 + id)));
+  }
+  EXPECT_GT(min_hot, max_cold)
+      << "hot " << min_hot << " vs never-seen " << max_cold;
+}
+
+TEST(TinyLfu, RoundsCountersUpToAPowerOfTwo) {
+  msvc::TinyLfuOptions options;
+  options.counters = 100;
+  msvc::TinyLfu lfu(options);
+  EXPECT_EQ(lfu.counters_per_row(), 128u);
+  EXPECT_EQ(lfu.sample_size(), 16u * 128u);
+}

@@ -68,7 +68,7 @@ task 0.5 2 3.0
 end
 generate mid uniform 24 8 42
 generate heavy heavy-tail-volumes 40 16 7
-generate toolarge uniform 16 4 3
+generate toolarge uniform 19 4 3
 instance badweights
 processors 2
 task 1.0 1 0.0
@@ -333,6 +333,8 @@ TEST(Router, PerWorkerCacheStatsSumToAggregateAndExposeTtlExpiry) {
     sum.misses += stats->misses;
     sum.evictions += stats->evictions;
     sum.expired += stats->expired;
+    sum.admitted += stats->admitted;
+    sum.rejected += stats->rejected;
     sum.entries += stats->entries;
     sum.weight += stats->weight;
     sum.capacity += stats->capacity;
@@ -340,6 +342,8 @@ TEST(Router, PerWorkerCacheStatsSumToAggregateAndExposeTtlExpiry) {
   EXPECT_EQ(sum.hits, report.cache.hits);
   EXPECT_EQ(sum.misses, report.cache.misses);
   EXPECT_EQ(sum.expired, report.cache.expired);
+  EXPECT_EQ(sum.admitted, report.cache.admitted);
+  EXPECT_EQ(sum.rejected, report.cache.rejected);
   EXPECT_EQ(sum.entries, report.cache.entries);
   EXPECT_EQ(sum.weight, report.cache.weight);
   EXPECT_EQ(sum.capacity, report.cache.capacity);

@@ -263,6 +263,8 @@ TEST(Wire, StatsRoundTrip) {
   stats.misses = 42;
   stats.evictions = 7;
   stats.expired = 3;
+  stats.admitted = 555;
+  stats.rejected = 66;
   stats.entries = 1000;
   stats.weight = 65536;
   stats.capacity = 1 << 20;
@@ -272,6 +274,8 @@ TEST(Wire, StatsRoundTrip) {
   EXPECT_EQ(decoded->misses, stats.misses);
   EXPECT_EQ(decoded->evictions, stats.evictions);
   EXPECT_EQ(decoded->expired, stats.expired);
+  EXPECT_EQ(decoded->admitted, stats.admitted);
+  EXPECT_EQ(decoded->rejected, stats.rejected);
   EXPECT_EQ(decoded->entries, stats.entries);
   EXPECT_EQ(decoded->weight, stats.weight);
   EXPECT_EQ(decoded->capacity, stats.capacity);
