@@ -54,19 +54,35 @@
 // flags are configured on each worker's own command line in this mode.
 // When sharded, --stats also prints the router's transport counters
 // (handshakes, dead peers, retries replayed) — the fleet-health view.
+//
+// Router HA (docs/OPERATIONS.md, "Router HA"): --standby host:port makes
+// this process a *primary* that replicates its journal (membership, primed
+// set, in-flight tokens, final results) to a hot standby at that address.
+// --standby-listen host:port makes it the *standby*: it prints
+// `standby listening <host> <port>`, accepts the primary's replication
+// connection, mirrors the journal, and — if the primary dies or goes
+// silent past --heartbeat-timeout — takes over the --workers fleet and
+// finishes the batch, emitting journaled results verbatim and replaying
+// in-flight requests under their existing idempotency tokens.  The client
+// stream stays byte-identical to a single-process run either way.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "malsched/net/socket.hpp"
 #include "malsched/service/service.hpp"
 #include "malsched/shard/router.hpp"
+#include "malsched/shard/standby.hpp"
 
 using namespace malsched;
 
@@ -79,8 +95,12 @@ int usage(const char* prog) {
                "[--queue-capacity N] [--fifo] [--shards N] "
                "[--workers host:port,...] [--replication R] "
                "[--data-plane auto|shm|socketpair] [--stats]\n"
+               "       %s <batch-file> --workers ... --standby host:port "
+               "[--heartbeat-interval MS]\n"
+               "       %s <batch-file> --workers ... --standby-listen "
+               "host:port [--heartbeat-timeout MS]\n"
                "       %s --solvers\n",
-               prog, prog);
+               prog, prog, prog, prog);
   return 64;
 }
 
@@ -109,6 +129,12 @@ int main(int argc, char** argv) {
   // default, with automatic socketpair fallback; see router.hpp).
   shard::DataPlaneMode data_plane = shard::DataPlaneMode::Auto;
   bool show_stats = false;      // --stats: cache counter block on stderr
+  // Router HA: --standby makes this a replicating primary; --standby-listen
+  // makes it the hot standby (mutually exclusive).
+  std::optional<net::Endpoint> standby;
+  std::optional<net::Endpoint> standby_listen;
+  std::chrono::milliseconds heartbeat_interval{100};
+  std::chrono::milliseconds heartbeat_timeout{2000};
   // Numeric flags are range-checked: a stray "--threads -1" must not wrap
   // to four billion workers.
   const auto parse_count = [](const char* text, long max_value, long* out) {
@@ -179,6 +205,30 @@ int main(int argc, char** argv) {
       } else {
         return usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--standby") == 0 && i + 1 < argc) {
+      standby = net::parse_endpoint(argv[++i]);
+      if (!standby) {
+        std::fprintf(stderr, "bad --standby endpoint '%s'\n", argv[i]);
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--standby-listen") == 0 && i + 1 < argc) {
+      standby_listen = net::parse_endpoint(argv[++i]);
+      if (!standby_listen) {
+        std::fprintf(stderr, "bad --standby-listen endpoint '%s'\n", argv[i]);
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--heartbeat-interval") == 0 &&
+               i + 1 < argc) {
+      if (!parse_count(argv[++i], 3600000, &value) || value == 0) {
+        return usage(argv[0]);
+      }
+      heartbeat_interval = std::chrono::milliseconds(value);
+    } else if (std::strcmp(argv[i], "--heartbeat-timeout") == 0 &&
+               i + 1 < argc) {
+      if (!parse_count(argv[++i], 3600000, &value) || value == 0) {
+        return usage(argv[0]);
+      }
+      heartbeat_timeout = std::chrono::milliseconds(value);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.use_cache = false;
     } else if (std::strcmp(argv[i], "--fifo") == 0) {
@@ -220,6 +270,93 @@ int main(int argc, char** argv) {
                  stats.entries, stats.weight, stats.capacity);
   };
 
+  if (standby_listen) {
+    // --- hot standby: mirror the primary's journal, take over on death ---
+    if (tcp_workers.empty() || standby) {
+      std::fprintf(stderr,
+                   "--standby-listen needs --workers (the fleet to adopt) "
+                   "and excludes --standby\n");
+      return usage(argv[0]);
+    }
+    std::string net_error;
+    std::uint16_t bound_port = 0;
+    const int listen_fd =
+        net::tcp_listen(*standby_listen, &net_error, &bound_port);
+    if (listen_fd < 0) {
+      std::fprintf(stderr, "standby listen failed: %s\n", net_error.c_str());
+      return 71;
+    }
+    // Scrape line for harnesses (same idiom as malsched_worker): the bound
+    // port matters because --standby-listen host:0 is how tests avoid
+    // port collisions.
+    std::printf("standby listening %s %u\n", standby_listen->host.c_str(),
+                static_cast<unsigned>(bound_port));
+    std::fflush(stdout);
+    // Bounded accept so a primary that never starts cannot hang a CI job
+    // forever; two minutes dwarfs any real startup race.
+    const int primary_fd = net::tcp_accept(
+        listen_fd, std::chrono::milliseconds(120000), &net_error);
+    ::close(listen_fd);
+    if (primary_fd < 0) {
+      std::fprintf(stderr, "standby accept failed: %s\n", net_error.c_str());
+      return 71;
+    }
+    shard::StandbyOptions standby_options;
+    standby_options.heartbeat_timeout = heartbeat_timeout;
+    standby_options.router.tcp_workers = tcp_workers;
+    standby_options.router.replication = replication;
+    standby_options.router.worker = options;
+    const auto outcome =
+        shard::run_standby(primary_fd, registry, *batch, standby_options);
+    ::close(primary_fd);
+    const bool took_over =
+        outcome.status == shard::StandbyOutcome::Status::TookOver;
+    if (took_over) {
+      service::write_results(std::cout, outcome.report);
+      std::cerr << service::format_telemetry(outcome.report);
+    }
+    if (show_stats) {
+      std::fprintf(
+          stderr,
+          "standby        : takeover=%d journal_records=%llu "
+          "heartbeats=%llu results_from_journal=%llu inflight_replayed=%llu "
+          "solved_fresh=%llu\n",
+          took_over ? 1 : 0,
+          static_cast<unsigned long long>(outcome.state.records),
+          static_cast<unsigned long long>(outcome.state.heartbeats),
+          static_cast<unsigned long long>(outcome.results_from_journal),
+          static_cast<unsigned long long>(outcome.replayed_in_flight),
+          static_cast<unsigned long long>(outcome.solved_fresh));
+      std::fprintf(
+          stderr,
+          "transport      : handshakes=%llu handshake_failures=%llu "
+          "dead_peers=%llu retries_replayed=%llu duplicates_dropped=%llu "
+          "shm_fallbacks=%llu\n",
+          static_cast<unsigned long long>(outcome.transport.handshakes),
+          static_cast<unsigned long long>(
+              outcome.transport.handshake_failures),
+          static_cast<unsigned long long>(outcome.transport.dead_peers),
+          static_cast<unsigned long long>(outcome.transport.retries_replayed),
+          static_cast<unsigned long long>(
+              outcome.transport.duplicates_dropped),
+          static_cast<unsigned long long>(outcome.transport.shm_fallbacks));
+    }
+    switch (outcome.status) {
+      case shard::StandbyOutcome::Status::PrimaryCompleted:
+        std::fprintf(stderr, "standby: primary completed; standing down\n");
+        return 0;
+      case shard::StandbyOutcome::Status::TookOver:
+        return 0;
+      case shard::StandbyOutcome::Status::SplitBrain:
+        std::fprintf(stderr, "standby: %s\n", outcome.error.c_str());
+        return 75;  // EX_TEMPFAIL: the primary may still be serving
+      case shard::StandbyOutcome::Status::ProtocolError:
+        break;
+    }
+    std::fprintf(stderr, "standby: %s\n", outcome.error.c_str());
+    return 76;  // EX_PROTOCOL
+  }
+
   service::ServiceReport report;
   if (shards > 0 || !tcp_workers.empty()) {
     // Sharded serving: fork (or dial) the worker fleet *now*, while this
@@ -231,7 +368,14 @@ int main(int argc, char** argv) {
     router_options.replication = replication;
     router_options.data_plane = data_plane;
     router_options.worker = options;  // same options, served per worker
+    router_options.standby = standby;
+    router_options.heartbeat_interval = heartbeat_interval;
     shard::ShardRouter router(registry, router_options);
+    if (standby && !router.standby_attached()) {
+      // Serving continues without HA; the operator asked for a standby and
+      // must see that it is not there.
+      std::fprintf(stderr, "warning: %s\n", router.standby_error().c_str());
+    }
     shard::RouterRunOptions run_options;
     run_options.repeat = options.repeat;
     report = router.run(*batch, run_options);
@@ -273,13 +417,33 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(plane->consumer_sleeps),
                      static_cast<unsigned long long>(plane->wakes));
       }
+      // Fleet mean over *alive* workers: a dead worker reports no stats,
+      // so dividing by the configured count would silently understate
+      // per-worker load the moment one dies.  The alive=a/c prefix makes
+      // the divisor auditable.
+      const auto fleet = router.fleet_cache_summary();
+      if (fleet.alive > 0) {
+        const double alive = static_cast<double>(fleet.alive);
+        std::fprintf(stderr,
+                     "cache[mean]    : alive=%zu/%zu hits=%.2f misses=%.2f "
+                     "entries=%.2f weight=%.2f\n",
+                     fleet.alive, fleet.configured,
+                     static_cast<double>(fleet.total.hits) / alive,
+                     static_cast<double>(fleet.total.misses) / alive,
+                     static_cast<double>(fleet.total.entries) / alive,
+                     static_cast<double>(fleet.total.weight) / alive);
+      } else {
+        std::fprintf(stderr, "cache[mean]    : alive=0/%zu (fleet down)\n",
+                     fleet.configured);
+      }
       // Transport counters: the fleet-health view — how many peers passed
       // the handshake, how many died, how much work was retried.
       const shard::TransportStats& transport = router.transport_stats();
       std::fprintf(stderr,
                    "transport      : handshakes=%llu handshake_failures=%llu "
                    "dead_peers=%llu retries_replayed=%llu "
-                   "duplicates_dropped=%llu shm_fallbacks=%llu\n",
+                   "duplicates_dropped=%llu shm_fallbacks=%llu "
+                   "journal_records=%llu heartbeats_sent=%llu\n",
                    static_cast<unsigned long long>(transport.handshakes),
                    static_cast<unsigned long long>(
                        transport.handshake_failures),
@@ -288,7 +452,11 @@ int main(int argc, char** argv) {
                        transport.retries_replayed),
                    static_cast<unsigned long long>(
                        transport.duplicates_dropped),
-                   static_cast<unsigned long long>(transport.shm_fallbacks));
+                   static_cast<unsigned long long>(transport.shm_fallbacks),
+                   static_cast<unsigned long long>(
+                       transport.journal_records),
+                   static_cast<unsigned long long>(
+                       transport.heartbeats_sent));
     }
   } else {
     report = service::run_service(*batch, registry, options);

@@ -70,6 +70,7 @@
 #include "malsched/service/solver_registry.hpp"
 #include "malsched/shard/data_plane.hpp"
 #include "malsched/shard/hash_ring.hpp"
+#include "malsched/shard/journal.hpp"
 #include "malsched/shard/worker.hpp"
 
 namespace malsched::shard {
@@ -116,6 +117,18 @@ struct RouterOptions {
   /// diverted over the control fd, so this sizes the hot path, not a hard
   /// limit.
   std::size_t shm_ring_bytes = std::size_t{4} << 20;
+  /// Hot standby to replicate to (standby.hpp): the router dials this
+  /// endpoint, handshakes under the `standby` role, and streams journal
+  /// records (journal.hpp) at every state change plus heartbeats.  A
+  /// standby that dies mid-run is dropped silently — replication is
+  /// best-effort for the primary, load-bearing only for the standby.
+  std::optional<net::Endpoint> standby;
+  /// Already-connected standby fd (tests); -1 = dial `standby` if set.
+  /// The router owns and closes it.
+  int standby_fd = -1;
+  /// Journal heartbeat cadence while replicating.  The standby's
+  /// heartbeat_timeout must comfortably exceed this.
+  std::chrono::milliseconds heartbeat_interval{100};
 };
 
 /// Transport-layer counters of one router, for `--stats` and tests.
@@ -126,12 +139,38 @@ struct TransportStats {
   std::uint64_t retries_replayed = 0;    ///< in-flight retries on replicas
   std::uint64_t duplicates_dropped = 0;  ///< results dropped by the dedup
   std::uint64_t shm_fallbacks = 0;       ///< workers degraded to socketpair
+  std::uint64_t journal_records = 0;     ///< records replicated to the standby
+  std::uint64_t heartbeats_sent = 0;     ///< journal heartbeats pulsed
 };
 
 struct RouterRunOptions {
   /// Rounds over the batch; results come from the last round, latencies
   /// accumulate (mirrors ServiceOptions::repeat).
   std::size_t repeat = 1;
+  /// Takeover support (standby.hpp): requests with a result here are
+  /// emitted verbatim and never reach a worker — completed work is not
+  /// re-solved.  Empty, or sized to the batch.
+  std::vector<std::optional<service::SolveResult>> pre_resolved;
+  /// Takeover support: idempotency tokens to reuse per request on the
+  /// final round (0 = mint fresh).  A surviving worker that already
+  /// completed the token replays its memoised result instead of
+  /// re-solving.  Empty, or sized to the batch.
+  std::vector<std::uint64_t> preset_tokens;
+  /// First token value minted for fresh work (0 = continue from the
+  /// router's own counter).  Takeover sets this above every journaled
+  /// token so fresh tokens cannot collide with replayed ones.
+  std::uint64_t first_token = 0;
+};
+
+/// Fleet-wide cache view for `--stats`: the component totals plus the
+/// worker counts a correct mean needs.  Dead workers report no stats, so
+/// means divide by `alive`, never by `configured` — dividing by the
+/// configured count silently understates per-worker load the moment one
+/// worker dies.
+struct FleetCacheSummary {
+  service::CacheStats total;  ///< summed over alive workers only
+  std::size_t alive = 0;      ///< workers that answered the stats probe
+  std::size_t configured = 0; ///< fleet size the router was built with
 };
 
 class ShardRouter {
@@ -185,6 +224,20 @@ class ShardRouter {
       std::size_t worker,
       std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
 
+  /// Sums worker_cache_stats over the fleet, counting only the workers
+  /// that answered.  Means must use `summary.alive` as the divisor; see
+  /// FleetCacheSummary.  Call between runs, not during one.
+  [[nodiscard]] FleetCacheSummary fleet_cache_summary(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// True while the replication stream to the standby is up.  False when
+  /// no standby was configured, its handshake failed, or it died mid-run
+  /// (all tolerated; `standby_error` names the reason).
+  [[nodiscard]] bool standby_attached() const { return standby_fd_ >= 0; }
+  [[nodiscard]] const std::string& standby_error() const {
+    return standby_error_;
+  }
+
   /// Hard-kills the worker process (SIGKILL) and removes it from the ring.
   /// The operator's "shoot the wedged worker" button, and the fault the
   /// router tests inject.
@@ -235,6 +288,13 @@ class ShardRouter {
 
   bool spawn(std::size_t index);
   void mark_dead(std::size_t index);
+  /// Connects + handshakes the replication stream (ctor helper).
+  void attach_standby();
+  /// Replicates one record to the standby; a write failure detaches the
+  /// standby (best-effort) without touching the serving path.
+  void journal(const JournalRecord& record);
+  /// Emits a journal heartbeat when heartbeat_interval has elapsed.
+  void maybe_heartbeat();
   /// Reads one frame with an absolute deadline spanning poll *and* the
   /// frame bytes, so a dribbling peer cannot stretch the budget; false on
   /// timeout/death.
@@ -259,6 +319,11 @@ class ShardRouter {
   TransportStats transport_stats_;
   std::uint64_t next_wire_id_ = 0;
   std::uint64_t next_token_ = 0;
+  /// Replication stream to the hot standby; -1 = none/detached.
+  int standby_fd_ = -1;
+  std::string standby_error_;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::chrono::steady_clock::time_point last_heartbeat_{};
 };
 
 }  // namespace malsched::shard

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file standby.hpp
+/// Router hot standby: the process that makes the control plane survive
+/// the deaths the data plane already does.
+///
+/// Topology (the HA deployment of docs/OPERATIONS.md, "Router HA"):
+///
+///     workers (malsched_worker --listen, one per host)
+///        ▲  ▲                           ▲
+///        │  │  wire protocol            │ re-adopt on takeover
+///     primary router ── journal ──▶ standby (this module)
+///        (ShardRouter + --standby)      (--standby-listen)
+///
+/// The standby opens the replication connection with the versioned `hello`
+/// handshake under the `standby` role, then folds the primary's journal
+/// stream (journal.hpp) into a StandbyState: ring membership, the primed
+/// set, the in-flight idempotency-token table, and every final-round
+/// result, bit-exact.  Any record doubles as a heartbeat.
+///
+/// Death detection, two signals with different strengths:
+///   * DeadPeer/EOF on the replication stream — definitive (the kernel
+///     says the primary's socket is gone); take over immediately.
+///   * Heartbeat deadline — presumptive (silence for heartbeat_timeout).
+///     A *slow* primary is not a dead one: the primary pulses from its
+///     run loop, which keeps cycling even while every worker is pinned by
+///     a long solve, so slow solves never trip this.  Only a truly wedged
+///     or partitioned primary goes silent.
+///
+/// Takeover re-adopts the worker fleet by dialing the same endpoints (a
+/// worker whose router died returns to its accept loop), emits every
+/// journaled result verbatim — completed work is never re-solved — and
+/// replays the in-flight table under its existing idempotency tokens, so
+/// the client stream is effectively-once end to end and byte-identical to
+/// a single-process run.
+///
+/// Split-brain guard: workers serve one router session at a time, so a
+/// standby that takes over against a primary that was merely presumed dead
+/// cannot adopt a single worker — its takeover run adopts nobody and the
+/// outcome reports SplitBrain instead of emitting a second client stream.
+/// The worker-session exclusivity is the fence; see docs/OPERATIONS.md for
+/// sizing heartbeat_timeout.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "malsched/service/service.hpp"
+#include "malsched/service/solver_registry.hpp"
+#include "malsched/shard/journal.hpp"
+#include "malsched/shard/router.hpp"
+
+namespace malsched::shard {
+
+/// `last_seen + timeout`, saturating at time_point::max() instead of
+/// wrapping negative — the deadline arithmetic bug class the shm ring
+/// already had to fix.  With last_seen == time_point::max() the deadline
+/// is "never"; with time_point::min() it is min()+timeout (long expired),
+/// both exactly what a caller handing in sentinel endpoints means.
+[[nodiscard]] std::chrono::steady_clock::time_point heartbeat_deadline(
+    std::chrono::steady_clock::time_point last_seen,
+    std::chrono::milliseconds timeout);
+
+struct StandbyOptions {
+  /// Silence on the replication stream longer than this presumes the
+  /// primary dead (see the split-brain guard above).  Must comfortably
+  /// exceed the primary's heartbeat_interval plus its worst scheduling
+  /// hiccup; the ratio, not the absolute, is what matters.
+  std::chrono::milliseconds heartbeat_timeout{2000};
+  /// How long to wait for the primary's `hello` on the replication stream.
+  std::chrono::milliseconds handshake_timeout{10000};
+  /// Fleet configuration for takeover: tcp_workers names the same worker
+  /// endpoints the primary was given (fork workers die with their router
+  /// and cannot be adopted — HA is a TCP-fleet feature).
+  RouterOptions router;
+};
+
+struct StandbyOutcome {
+  enum class Status {
+    PrimaryCompleted,  ///< `jdone` received; no output owed, stand down
+    TookOver,          ///< primary died; `report` is the full client output
+    SplitBrain,        ///< takeover adopted no worker; primary may be alive
+    ProtocolError,     ///< handshake failure or a garbage journal record
+  };
+  Status status = Status::ProtocolError;
+  /// The mirrored state at the moment the stream ended (whatever the
+  /// status), for tests and operator diagnostics.
+  StandbyState state;
+  /// Filled on TookOver: results in request order, exactly what
+  /// write_results expects — journaled results verbatim plus replayed and
+  /// fresh solves.
+  service::ServiceReport report;
+  /// Takeover accounting, the counters the CI smoke gates on:
+  std::uint64_t results_from_journal = 0;  ///< emitted verbatim, zero re-solves
+  std::uint64_t replayed_in_flight = 0;    ///< re-sent under existing tokens
+  std::uint64_t solved_fresh = 0;          ///< never reached a worker before
+  /// Transport counters of the takeover router (dead peers, retries,
+  /// duplicates dropped); zeroed unless TookOver/SplitBrain.
+  TransportStats transport;
+  std::string error;  ///< ProtocolError/SplitBrain reason
+};
+
+/// Runs the standby side of the replication connection on `primary_fd`
+/// (already connected; this call performs the handshake) until the primary
+/// completes, dies, or goes silent past the heartbeat deadline — then, for
+/// the latter two, takes over the fleet and finishes the batch.  Blocks
+/// for the standby's whole life.  The batch must be the same file the
+/// primary serves; the journal names requests by index into it.
+[[nodiscard]] StandbyOutcome run_standby(int primary_fd,
+                                         const service::SolverRegistry& registry,
+                                         const service::BatchSpec& batch,
+                                         const StandbyOptions& options = {});
+
+}  // namespace malsched::shard

@@ -8,8 +8,10 @@
 #include <deque>
 #include <utility>
 
+#include "malsched/net/socket.hpp"
 #include "malsched/service/canonical.hpp"
 #include "malsched/shard/wire.hpp"
+#include "malsched/support/faultpoint.hpp"
 
 namespace malsched::shard {
 
@@ -85,11 +87,20 @@ ShardRouter::ShardRouter(const service::SolverRegistry& registry,
     // process's stdio buffers and must not flush them a second time.
     transport_ = std::make_unique<net::ForkTransport>(
         options_.shards, [this](std::size_t index, int child_fd) {
+          if (standby_fd_ >= 0) {
+            // The child inherits the replication socket across fork; were it
+            // left open, the standby would never see DeadPeer after the
+            // primary's death — a live worker would hold the stream up.
+            ::close(standby_fd_);
+          }
           return run_worker(child_fd, registry_, options_.worker,
                             index < channels_.size() ? channels_[index].get()
                                                      : nullptr);
         });
   }
+  // Replication attaches before any worker exists so the standby's mirror
+  // starts empty and sees every membership change, spawn included.
+  attach_standby();
   workers_.resize(options_.shards);
   handshake_errors_.resize(options_.shards);
   for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -110,6 +121,66 @@ ShardRouter::~ShardRouter() {
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     transport_->disconnect(i, -1);
   }
+  if (standby_fd_ >= 0) {
+    ::close(standby_fd_);
+    standby_fd_ = -1;
+  }
+}
+
+void ShardRouter::attach_standby() {
+  int fd = options_.standby_fd;
+  if (fd < 0) {
+    if (!options_.standby) {
+      return;
+    }
+    std::string error;
+    fd = net::tcp_connect(*options_.standby, options_.connect_timeout, &error);
+    if (fd < 0) {
+      standby_error_ =
+          "cannot reach standby " + options_.standby->to_string() + ": " +
+          error;
+      return;
+    }
+  }
+  // Same versioned hello as every other connection; the standby announces
+  // the `standby` role on its side.  A failed handshake only costs the
+  // replication — the serving path never depends on the standby.
+  std::string reason;
+  if (!wire::handshake(fd, "router", options_.handshake_timeout, &reason)) {
+    standby_error_ = "standby handshake failed: " + reason;
+    ::close(fd);
+    return;
+  }
+  standby_fd_ = fd;
+  last_heartbeat_ = Clock::now();
+}
+
+void ShardRouter::journal(const JournalRecord& record) {
+  if (standby_fd_ < 0) {
+    return;
+  }
+  if (!wire::write_frame(standby_fd_, encode_journal(record))) {
+    // A dead standby must not take the primary down with it: detach and
+    // keep serving.  The operator sees it in standby_error/--stats.
+    standby_error_ = "standby connection lost mid-run";
+    ::close(standby_fd_);
+    standby_fd_ = -1;
+    return;
+  }
+  ++transport_stats_.journal_records;
+}
+
+void ShardRouter::maybe_heartbeat() {
+  if (standby_fd_ < 0) {
+    return;
+  }
+  const auto now = Clock::now();
+  if (now - last_heartbeat_ < options_.heartbeat_interval) {
+    return;
+  }
+  last_heartbeat_ = now;
+  journal(JournalRecord::heartbeat(++heartbeat_seq_));
+  ++transport_stats_.heartbeats_sent;
 }
 
 bool ShardRouter::spawn(std::size_t index) {
@@ -148,6 +219,7 @@ bool ShardRouter::spawn(std::size_t index) {
   }
   workers_[index] = std::move(worker);
   ring_.add_node(static_cast<std::uint32_t>(index));
+  journal(JournalRecord::member(static_cast<std::uint32_t>(index), true));
   return true;
 }
 
@@ -164,6 +236,7 @@ void ShardRouter::mark_dead(std::size_t index) {
   worker.fd = -1;
   worker.plane.reset();
   ring_.remove_node(static_cast<std::uint32_t>(index));
+  journal(JournalRecord::member(static_cast<std::uint32_t>(index), false));
 }
 
 std::size_t ShardRouter::alive_count() const {
@@ -269,6 +342,13 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
   service::ServiceReport report;
   report.results.resize(batch.requests.size());
   const auto run_start = Clock::now();
+  if (run_options.first_token > 0 && next_token_ < run_options.first_token - 1) {
+    // Takeover: mint fresh tokens strictly above every journaled one, so a
+    // fresh token can never alias an in-flight token a surviving worker
+    // still remembers.
+    next_token_ = run_options.first_token - 1;
+  }
+  maybe_heartbeat();
 
   // --- Place and prime: each named instance goes to all its ring owners,
   // keyed by the canonical-form fingerprint (the same key every equivalent
@@ -282,6 +362,8 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
     if (ring_.node_count() == 0) {
       break;  // whole fleet is down; requests fail below
     }
+    support::faultpoint("router.before_place");
+    maybe_heartbeat();
     service::CanonicalOptions canonical_options;
     canonical_options.permute = true;
     const std::uint64_t key =
@@ -318,6 +400,7 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
         mark_dead(owner);
       }
     }
+    journal(JournalRecord::prime(name, place.owners));
     placed.emplace(name, std::move(place));
   }
   // Barrier for fd-diverted instances: solves ride the ring and would
@@ -360,6 +443,12 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
   routed.reserve(batch.requests.size());
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const auto& request = batch.requests[i];
+    if (i < run_options.pre_resolved.size() && run_options.pre_resolved[i]) {
+      // Takeover: the journal already holds this request's final result;
+      // emit it verbatim, never re-solve.
+      report.results[i] = *run_options.pre_resolved[i];
+      continue;
+    }
     const auto it = placed.find(request.instance_name);
     if (it == placed.end()) {
       if (batch.instances.count(request.instance_name) != 0) {
@@ -412,6 +501,12 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
         report.latencies.add(latency_seconds);
       }
       if (last_round) {
+        // Journal the final result before it becomes client-visible: a
+        // primary killed between the two faultpoints below proves the
+        // standby emits journaled results verbatim instead of re-solving.
+        support::faultpoint("router.before_journal");
+        journal(JournalRecord::resolved(routed[ri].index, tokens[ri], result));
+        support::faultpoint("router.after_journal");
         report.results[routed[ri].index] = std::move(result);
       }
     };
@@ -489,6 +584,7 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
       mark_dead(w);
       for (const auto& [id, flight] : in_flight[w]) {
         const std::size_t ri = flight.routed_index;
+        support::faultpoint("router.before_retry");
         if (route(ri)) {
           ++transport_stats_.retries_replayed;
           continue;  // queued on a replica; top_up re-sends it
@@ -527,16 +623,43 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
         wire::SolveMessage message;
         message.id = ++next_wire_id_;
         if (tokens[ri] == 0) {
-          tokens[ri] = ++next_token_;  // first send; retries reuse it
+          const std::size_t bi = routed[ri].index;
+          if (last_round && bi < run_options.preset_tokens.size() &&
+              run_options.preset_tokens[bi] != 0) {
+            // Takeover replay: reuse the token the primary put in flight,
+            // so a surviving worker that completed it answers from its
+            // memo instead of re-solving.
+            tokens[ri] = run_options.preset_tokens[bi];
+          } else {
+            tokens[ri] = ++next_token_;  // first send; retries reuse it
+          }
+          if (last_round) {
+            // Only final-round work enters the standby's in-flight table:
+            // earlier rounds exist to warm caches and their results are
+            // never client-visible, so replaying them buys nothing.
+            journal(JournalRecord::flight(tokens[ri], bi));
+          }
         }
         message.token = tokens[ri];
         message.priority_weight = routed[ri].request->priority_weight;
         message.deadline_seconds = routed[ri].request->deadline_seconds;
         message.solver = routed[ri].request->solver;
         message.instance_name = routed[ri].request->instance_name;
-        const auto status = workers_[w].plane->send(
-            wire::encode_solve(message, workers_[w].plane->dialect()),
-            Clock::now() + kSendBudget);
+        const std::string solve_frame =
+            wire::encode_solve(message, workers_[w].plane->dialect());
+        const bool duplicate_send =
+            support::faultpoint("router.before_forward") ==
+            support::FaultAction::Dup;
+        auto status = workers_[w].plane->send(solve_frame,
+                                              Clock::now() + kSendBudget);
+        if (duplicate_send && status == net::RingStatus::Ok) {
+          // Inject the duplicate-delivery fault: the same solve frame twice
+          // under one wire id.  The worker's token memo and the router's
+          // dedup must make this invisible to the client.
+          status = workers_[w].plane->send(solve_frame,
+                                           Clock::now() + kSendBudget);
+        }
+        support::faultpoint("router.after_forward");
         if (status == net::RingStatus::TooBig) {
           // A solve frame that cannot ever fit the ring (absurd solver or
           // instance name): fail the request typed, keep the worker.
@@ -577,6 +700,10 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
 
     std::string payload;
     for (;;) {
+      // The replication heartbeat rides this loop: it cycles at least every
+      // doorbell slice / poll timeout even while every worker is pinned by
+      // a long solve, so a slow fleet never looks dead to the standby.
+      maybe_heartbeat();
       // Top up at the head of every pass so work re-routed by handle_death
       // (possibly onto a worker that was already idle) is always sent —
       // the failover contract must not depend on something else being in
@@ -618,7 +745,11 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
                    workers_[w].plane->recv_ready();
           }
           if (!rang) {
-            net::doorbell_wait(*doorbell_, seen, kDoorbellSlice);
+            net::doorbell_wait(*doorbell_, seen,
+                               standby_fd_ >= 0
+                                   ? std::min(kDoorbellSlice,
+                                              options_.heartbeat_interval)
+                                   : kDoorbellSlice);
           }
           net::doorbell_end_wait(*doorbell_);
         } else {
@@ -632,8 +763,17 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
             continue;  // unreachable belt-and-braces: in-flight implies alive
           }
           // Finite timeout only so a forgotten-wakeup bug cannot hang
-          // forever; results normally wake the poll directly.
-          (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 500);
+          // forever; results normally wake the poll directly.  With a
+          // standby attached, the slice is additionally bounded by the
+          // heartbeat interval: a fleet pinned by long solves must still
+          // pulse the replication stream on schedule, or a slow primary
+          // becomes indistinguishable from a dead one.
+          const int slice =
+              standby_fd_ >= 0
+                  ? static_cast<int>(std::min<std::int64_t>(
+                        500, options_.heartbeat_interval.count()))
+                  : 500;
+          (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), slice);
         }
       }
 
@@ -664,6 +804,10 @@ service::ServiceReport ShardRouter::run(const service::BatchSpec& batch,
       }
     }
   }
+
+  // The run is complete and every result journaled: tell the standby to
+  // stand down instead of letting it take over on the post-run silence.
+  journal(JournalRecord::done());
 
   // --- Aggregate worker cache stats: the fleet's cache is the disjoint
   // union of the shards, so sums are the right aggregation.
@@ -714,6 +858,29 @@ std::optional<service::CacheStats> ShardRouter::worker_cache_stats(
     }
     return stats;
   }
+}
+
+FleetCacheSummary ShardRouter::fleet_cache_summary(
+    std::chrono::milliseconds timeout) {
+  FleetCacheSummary summary;
+  summary.configured = workers_.size();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const auto stats = worker_cache_stats(w, timeout);
+    if (!stats) {
+      continue;  // dead or unresponsive: it must not dilute the means
+    }
+    ++summary.alive;
+    summary.total.hits += stats->hits;
+    summary.total.misses += stats->misses;
+    summary.total.evictions += stats->evictions;
+    summary.total.expired += stats->expired;
+    summary.total.admitted += stats->admitted;
+    summary.total.rejected += stats->rejected;
+    summary.total.entries += stats->entries;
+    summary.total.weight += stats->weight;
+    summary.total.capacity += stats->capacity;
+  }
+  return summary;
 }
 
 }  // namespace malsched::shard

@@ -1,0 +1,142 @@
+#include "malsched/shard/standby.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "malsched/net/frame.hpp"
+#include "malsched/support/faultpoint.hpp"
+#include "malsched/shard/wire.hpp"
+
+namespace malsched::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Finishes the batch after the primary's death: journaled results are
+/// emitted verbatim (never re-solved), in-flight requests replay under
+/// their existing idempotency tokens, everything else solves fresh.
+void take_over(const service::SolverRegistry& registry,
+               const service::BatchSpec& batch, const StandbyOptions& options,
+               StandbyOutcome* outcome) {
+  support::faultpoint("standby.before_takeover");
+
+  RouterRunOptions run_options;
+  run_options.repeat = 1;  // earlier rounds only warmed caches that died
+                           // with the primary; the client sees one round
+  run_options.pre_resolved.resize(batch.requests.size());
+  run_options.preset_tokens.assign(batch.requests.size(), 0);
+  for (const auto& [index, result] : outcome->state.resolved) {
+    if (index < batch.requests.size()) {
+      run_options.pre_resolved[index] = result;
+      ++outcome->results_from_journal;
+    }
+  }
+  for (const auto& [token, index] : outcome->state.in_flight) {
+    if (index >= batch.requests.size() || run_options.pre_resolved[index]) {
+      continue;  // resolved wins: that token's request already completed
+    }
+    // Several tokens can point at one request across retries; the highest
+    // (latest) one is the token a surviving worker may remember.
+    run_options.preset_tokens[index] =
+        std::max(run_options.preset_tokens[index], token);
+  }
+  for (const std::uint64_t token : run_options.preset_tokens) {
+    outcome->replayed_in_flight += token != 0 ? 1 : 0;
+  }
+  outcome->solved_fresh = batch.requests.size() -
+                          outcome->results_from_journal -
+                          outcome->replayed_in_flight;
+  // Fresh tokens must not collide with any the primary handed out.
+  run_options.first_token = outcome->state.max_token + 1;
+
+  // Re-adopt the fleet: the same endpoints, a fresh router.  Workers whose
+  // router died are back in their accept loops; a worker still held by a
+  // live primary rejects us by simply not answering the handshake.
+  ShardRouter router(registry, options.router);
+  if (router.alive_count() == 0) {
+    outcome->status = StandbyOutcome::Status::SplitBrain;
+    outcome->transport = router.transport_stats();
+    outcome->error =
+        "takeover adopted no worker: the fleet is gone, or the primary is "
+        "alive and still holds every worker session (split-brain guard)";
+    return;
+  }
+  outcome->report = router.run(batch, run_options);
+  outcome->transport = router.transport_stats();
+  outcome->status = StandbyOutcome::Status::TookOver;
+}
+
+}  // namespace
+
+Clock::time_point heartbeat_deadline(Clock::time_point last_seen,
+                                     std::chrono::milliseconds timeout) {
+  const auto budget =
+      std::chrono::duration_cast<Clock::duration>(timeout);
+  if (last_seen > Clock::time_point::max() - budget) {
+    return Clock::time_point::max();  // saturate, never wrap negative
+  }
+  return last_seen + budget;
+}
+
+StandbyOutcome run_standby(int primary_fd,
+                           const service::SolverRegistry& registry,
+                           const service::BatchSpec& batch,
+                           const StandbyOptions& options) {
+  StandbyOutcome outcome;
+  if (options.router.tcp_workers.empty()) {
+    outcome.error =
+        "standby takeover requires tcp_workers: forked workers die with "
+        "their router and cannot be re-adopted";
+    return outcome;
+  }
+  std::string reason;
+  if (!wire::handshake(primary_fd, "standby", options.handshake_timeout,
+                       &reason)) {
+    outcome.error = "replication handshake failed: " + reason;
+    return outcome;
+  }
+
+  std::string payload;
+  auto last_seen = Clock::now();
+  for (;;) {
+    net::FrameError frame_error = net::FrameError::None;
+    const bool got = net::read_frame_deadline(
+        primary_fd, &payload,
+        heartbeat_deadline(last_seen, options.heartbeat_timeout),
+        &frame_error);
+    if (!got) {
+      if (frame_error == net::FrameError::Oversize ||
+          frame_error == net::FrameError::Truncated) {
+        // A corrupt replication stream is not death evidence; refusing to
+        // act on garbage beats taking over on it.
+        outcome.error = std::string("replication stream failed: ") +
+                        net::frame_error_name(frame_error);
+        return outcome;
+      }
+      // Eof/DeadPeer: definitive.  Timeout: the heartbeat deadline — the
+      // primary went silent for longer than any slow solve can explain
+      // (its run loop pulses through those).  Either way, take over.
+      take_over(registry, batch, options, &outcome);
+      return outcome;
+    }
+    last_seen = Clock::now();
+    std::string decode_error;
+    const auto record = decode_journal(payload, &decode_error);
+    if (!record) {
+      // Fail-closed: a garbage record means the stream cannot be trusted
+      // as a state mirror.  Reject typed; never crash, never take over on
+      // state we cannot vouch for.
+      outcome.error = "garbage journal record: " + decode_error;
+      return outcome;
+    }
+    outcome.state.apply(*record);
+    support::faultpoint("standby.after_journal");
+    if (record->type == JournalRecord::Type::Done) {
+      outcome.status = StandbyOutcome::Status::PrimaryCompleted;
+      return outcome;
+    }
+  }
+}
+
+}  // namespace malsched::shard

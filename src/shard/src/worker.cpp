@@ -19,6 +19,7 @@
 #include "malsched/service/scheduler.hpp"
 #include "malsched/shard/data_plane.hpp"
 #include "malsched/shard/wire.hpp"
+#include "malsched/support/faultpoint.hpp"
 
 namespace malsched::shard {
 
@@ -116,9 +117,7 @@ int run_worker(int fd, const service::SolverRegistry& registry,
   // hold is diverted to the control fd, where the router's plane picks it
   // up transparently.  Socketpair mode is just the fd.
   std::mutex emit_mutex;
-  const auto emit_result = [&](std::uint64_t id, std::uint64_t token,
-                               const service::SolveResult& result) {
-    const std::string payload = wire::encode_result(id, token, result, dialect);
+  const auto emit_payload = [&](const std::string& payload) {
     if (channel != nullptr) {
       const std::lock_guard<std::mutex> lock(emit_mutex);
       const auto status = channel->response_ring().push(
@@ -129,6 +128,18 @@ int run_worker(int fd, const service::SolverRegistry& registry,
       }
     }
     send_frame(payload);
+  };
+  const auto emit_result = [&](std::uint64_t id, std::uint64_t token,
+                               const service::SolveResult& result) {
+    const std::string payload = wire::encode_result(id, token, result, dialect);
+    // A kill here is the nastiest worker death: the solve completed but the
+    // reply never left, so the router must retry the token on a replica.
+    // Dup emits the same payload twice — the router's id dedup absorbs it.
+    if (support::faultpoint("worker.before_reply") ==
+        support::FaultAction::Dup) {
+      emit_payload(payload);
+    }
+    emit_payload(payload);
   };
 
   // Delivers a result, promotes its token in_progress -> completed, and

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file faultpoint.hpp
+/// Deterministic fault injection at named protocol boundaries.
+///
+/// The shard layer's failure tests used to be racy by construction: a
+/// killer thread sleeps ~150 ms and SIGKILLs a worker, hoping the victim
+/// is mid-solve by then.  That proves "some death somewhere is survived",
+/// not "death at THIS boundary is survived" — and the interesting HA bugs
+/// live exactly at boundaries: the primary dying between journaling a
+/// result and replying, a worker dying between solve and reply, a retry
+/// crossing a death.  A fault point pins the boundary:
+///
+///     support::faultpoint("router.after_journal");
+///
+/// does nothing in production (one relaxed atomic load when disarmed), but
+/// a test — or the CI smoke, via the MALSCHED_FAULT environment variable —
+/// can arm it:
+///
+///     fault_arm("router.after_journal=kill@3");
+///     MALSCHED_FAULT="worker.before_reply=stall:250" ./malsched_worker ...
+///
+/// and the process SIGKILLs itself at exactly the third crossing of that
+/// boundary, with no sleeps and no races.  "Primary dies mid-journal"
+/// becomes a pinned, reproducible test.
+///
+/// Spec grammar (comma-separated list):
+///
+///     <point>=<action>[:<arg>][@<nth>]
+///
+///   kill          SIGKILL this process at the trigger (never returns)
+///   exit[:code]   _exit(code) at the trigger (default 1)
+///   stall[:ms]    sleep ms (default 1000), then continue
+///   dup           return FaultAction::Dup; the call site duplicates its
+///                 protocol effect (e.g. a worker emits its reply twice)
+///
+/// `@nth` (default 1) triggers on exactly the nth crossing, counted
+/// per-process from arming — deterministic, not "roughly the third".
+/// Hit counters keep counting after the trigger so tests can assert a
+/// boundary was crossed (faultpoint_hits).
+///
+/// Faults are inherited across fork (the registry is plain process
+/// memory), which is how the router tests arm a fault in a worker: arm
+/// before constructing the ShardRouter, and every forked worker carries
+/// it.  Exec'd processes (malsched_worker) parse MALSCHED_FAULT from
+/// their own environment on first use.
+///
+/// Thread-safe: boundaries fire from worker/writer threads; the disarmed
+/// fast path is a single relaxed load.
+
+#include <cstdint>
+#include <string>
+
+namespace malsched::support {
+
+/// Environment variable parsed (once, on first faultpoint() crossing) when
+/// nothing was armed programmatically.
+inline constexpr const char* kFaultEnv = "MALSCHED_FAULT";
+
+enum class FaultAction {
+  None,   ///< boundary crossed, nothing armed (the production answer)
+  Kill,   ///< never actually returned: the process is SIGKILLed
+  Exit,   ///< never actually returned: the process _exit()s
+  Stall,  ///< the stall already happened; caller just continues
+  Dup,    ///< caller must duplicate its protocol effect once
+};
+
+/// Crosses the named boundary: bumps its hit counter and executes the
+/// armed action, if any.  Kill/Exit do not return; Stall sleeps inline and
+/// then returns Stall; Dup returns Dup and leaves the duplication to the
+/// call site (only it knows what "duplicate" means at that boundary).
+FaultAction faultpoint(const char* name);
+
+/// Arms fault specs programmatically (see the grammar above), replacing
+/// any armed set and resetting hit counters.  False (and arms nothing) on
+/// a malformed spec.  An empty spec disarms.
+bool fault_arm(const std::string& spec);
+
+/// Disarms everything and resets hit counters.  Tests must call this in
+/// teardown; a leaked armed fault would fire in the next test.
+void fault_disarm();
+
+/// Crossings of the named boundary since the last arm/disarm — counted
+/// even when the point is not armed only if *something* is armed (the
+/// disarmed fast path is a no-op by design).
+std::uint64_t faultpoint_hits(const char* name);
+
+}  // namespace malsched::support

@@ -1,0 +1,224 @@
+#include "malsched/support/faultpoint.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace malsched::support {
+
+namespace {
+
+struct FaultSpec {
+  FaultAction action = FaultAction::None;
+  std::chrono::milliseconds stall{1000};
+  int exit_code = 1;
+  std::uint64_t nth = 1;   ///< trigger on exactly this crossing
+  std::uint64_t hits = 0;  ///< crossings since arming
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, FaultSpec> points;
+  bool env_checked = false;
+};
+
+/// Meyers singleton + never-destroyed: faultpoints fire from detached-ish
+/// worker threads during process teardown, after static destructors would
+/// have run a plain global down.
+Registry& registry() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+/// Disarmed fast path: one relaxed load.  `armed` is true whenever the
+/// registry MAY hold points (including "env not parsed yet", so the first
+/// crossing gets a chance to read MALSCHED_FAULT).
+std::atomic<bool> armed{true};
+
+/// Parses "<point>=<action>[:<arg>][@<nth>]" into `out`; false on garbage.
+bool parse_one(const std::string& text, std::string* name, FaultSpec* out) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return false;
+  }
+  *name = text.substr(0, eq);
+  std::string action = text.substr(eq + 1);
+  // Peel @nth off the back first so ':' parsing cannot eat it.
+  if (const auto at = action.find('@'); at != std::string::npos) {
+    const std::string nth_text = action.substr(at + 1);
+    action.erase(at);
+    char* end = nullptr;
+    const unsigned long long nth = std::strtoull(nth_text.c_str(), &end, 10);
+    if (end == nth_text.c_str() || *end != '\0' || nth == 0) {
+      return false;
+    }
+    out->nth = nth;
+  }
+  std::string arg;
+  if (const auto colon = action.find(':'); colon != std::string::npos) {
+    arg = action.substr(colon + 1);
+    action.erase(colon);
+  }
+  const auto parse_arg = [&](long long fallback) {
+    if (arg.empty()) {
+      return fallback;
+    }
+    char* end = nullptr;
+    const long long value = std::strtoll(arg.c_str(), &end, 10);
+    return (end == arg.c_str() || *end != '\0' || value < 0) ? -1LL : value;
+  };
+  if (action == "kill") {
+    out->action = FaultAction::Kill;
+    return arg.empty();
+  }
+  if (action == "exit") {
+    const long long code = parse_arg(1);
+    if (code < 0 || code > 255) {
+      return false;
+    }
+    out->action = FaultAction::Exit;
+    out->exit_code = static_cast<int>(code);
+    return true;
+  }
+  if (action == "stall") {
+    const long long ms = parse_arg(1000);
+    if (ms < 0) {
+      return false;
+    }
+    out->action = FaultAction::Stall;
+    out->stall = std::chrono::milliseconds(ms);
+    return true;
+  }
+  if (action == "dup") {
+    out->action = FaultAction::Dup;
+    return arg.empty();
+  }
+  return false;
+}
+
+bool parse_spec(const std::string& spec,
+                std::map<std::string, FaultSpec>* points) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    auto comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string item = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) {
+      continue;
+    }
+    std::string name;
+    FaultSpec parsed;
+    if (!parse_one(item, &name, &parsed)) {
+      return false;
+    }
+    (*points)[name] = parsed;
+  }
+  return true;
+}
+
+/// Reads MALSCHED_FAULT once, on the first crossing with nothing armed
+/// programmatically.  A malformed env spec is ignored (a production run
+/// must not die because an operator typo'd a test knob).
+void check_env_locked(Registry& reg) {
+  if (reg.env_checked) {
+    return;
+  }
+  reg.env_checked = true;
+  const char* env = std::getenv(kFaultEnv);
+  if (env != nullptr && *env != '\0') {
+    std::map<std::string, FaultSpec> points;
+    if (parse_spec(env, &points)) {
+      reg.points = std::move(points);
+    }
+  }
+}
+
+}  // namespace
+
+FaultAction faultpoint(const char* name) {
+  if (!armed.load(std::memory_order_relaxed)) {
+    return FaultAction::None;
+  }
+  FaultAction action = FaultAction::None;
+  std::chrono::milliseconds stall{0};
+  int exit_code = 0;
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    check_env_locked(reg);
+    if (reg.points.empty()) {
+      // Env parsed, nothing armed: drop to the fast path for good (until
+      // the next fault_arm flips it back).
+      armed.store(false, std::memory_order_relaxed);
+      return FaultAction::None;
+    }
+    const auto it = reg.points.find(name);
+    if (it == reg.points.end()) {
+      return FaultAction::None;
+    }
+    FaultSpec& spec = it->second;
+    if (++spec.hits != spec.nth) {
+      return FaultAction::None;
+    }
+    action = spec.action;
+    stall = spec.stall;
+    exit_code = spec.exit_code;
+  }
+  switch (action) {
+    case FaultAction::Kill:
+      // SIGKILL own process: the exact death a machine failure delivers,
+      // at an exact protocol boundary.  Cannot be caught or flushed.
+      ::kill(::getpid(), SIGKILL);
+      for (;;) {
+        ::pause();  // unreachable; the signal is not blockable
+      }
+    case FaultAction::Exit:
+      ::_exit(exit_code);
+    case FaultAction::Stall:
+      std::this_thread::sleep_for(stall);
+      return FaultAction::Stall;
+    case FaultAction::Dup:
+    case FaultAction::None:
+      break;
+  }
+  return action;
+}
+
+bool fault_arm(const std::string& spec) {
+  std::map<std::string, FaultSpec> points;
+  if (!parse_spec(spec, &points)) {
+    return false;
+  }
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.env_checked = true;  // programmatic arming overrides the env
+  reg.points = std::move(points);
+  armed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void fault_disarm() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.env_checked = true;
+  reg.points.clear();
+  armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t faultpoint_hits(const char* name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace malsched::support

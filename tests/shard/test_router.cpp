@@ -25,11 +25,13 @@
 #include "malsched/service/service.hpp"
 #include "malsched/shard/hash_ring.hpp"
 #include "malsched/shard/worker.hpp"
+#include "malsched/support/faultpoint.hpp"
 
 namespace mc = malsched::core;
 namespace mnet = malsched::net;
 namespace msvc = malsched::service;
 namespace mshard = malsched::shard;
+namespace msup = malsched::support;
 
 namespace {
 
@@ -658,4 +660,74 @@ TEST(Router, FramesLargerThanTheRingDivertOverTheControlFd) {
       msvc::run_service(batch, registry(), service_options));
   EXPECT_EQ(sharded, single)
       << "oversize-frame diversion must preserve byte parity";
+}
+
+TEST(Router, FleetCacheSummaryDividesByAliveWorkersNotConfigured) {
+  // Regression for the --stats fleet mean: a dead worker contributes no
+  // cache sample, so the alive count — the denominator the CLI divides
+  // by — must track workers that actually answered, never the configured
+  // fleet size.
+  const auto batch = parse(
+      "instance small\nprocessors 4\ntask 2.0 2 1.0\ntask 1.0 1 1.0\nend\n"
+      "solve wdeq small\nsolve wdeq small\n");
+  mshard::RouterOptions options;
+  options.shards = 2;
+  mshard::ShardRouter router(registry(), options);
+  (void)router.run(batch);
+
+  const auto healthy = router.fleet_cache_summary();
+  EXPECT_EQ(healthy.configured, 2u);
+  EXPECT_EQ(healthy.alive, 2u);
+  EXPECT_GE(healthy.total.hits + healthy.total.misses, 1u)
+      << "the repeated request must have touched a worker cache";
+
+  router.kill(0);
+  const auto degraded = router.fleet_cache_summary();
+  EXPECT_EQ(degraded.configured, 2u);
+  EXPECT_EQ(degraded.alive, 1u)
+      << "a dead worker must drop out of the mean's denominator";
+}
+
+TEST(Router, DuplicateForwardDeliveryIsAbsorbedByTheDedup) {
+  // The fault harness doubles the first forwarded solve frame: the worker
+  // sees the same wire id twice, parks the alias, and answers twice; the
+  // router must drop the echo and keep byte parity.
+  const auto batch = parse(kParityBatch);
+  msup::fault_arm("router.before_forward=dup");
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.worker.threads = 2;
+  mshard::ShardRouter router(registry(), options);
+  const auto sharded = msvc::format_results(router.run(batch));
+  msup::fault_disarm();
+
+  msvc::ServiceOptions service_options;
+  service_options.threads = 2;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+  EXPECT_EQ(sharded, single);
+  EXPECT_GE(router.transport_stats().duplicates_dropped, 1u)
+      << "the duplicated forward must surface in the dedup counter";
+}
+
+TEST(Router, DuplicateWorkerReplyIsAbsorbedByTheDedup) {
+  // Same property from the other side of the wire: the spec is armed
+  // before the fork so the *workers* inherit it and every worker doubles
+  // its first reply.
+  const auto batch = parse(kParityBatch);
+  msup::fault_arm("worker.before_reply=dup");
+  mshard::RouterOptions options;
+  options.shards = 2;
+  options.worker.threads = 2;
+  mshard::ShardRouter router(registry(), options);
+  msup::fault_disarm();  // parent side: the router's own points stay cold
+  const auto sharded = msvc::format_results(router.run(batch));
+
+  msvc::ServiceOptions service_options;
+  service_options.threads = 2;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+  EXPECT_EQ(sharded, single);
+  EXPECT_GE(router.transport_stats().duplicates_dropped, 1u)
+      << "each worker's doubled reply must be dropped, not double-resolved";
 }

@@ -1,0 +1,424 @@
+// End-to-end tests of router hot standby (standby.hpp): a real primary
+// process replicating over a real socket to a standby in this process,
+// with real TCP workers — SIGKILLed at exact protocol boundaries by the
+// fault-injection harness (faultpoint.hpp), after which the standby must
+// take over the fleet and produce client output byte-identical to a
+// single-process run.
+//
+// Process discipline: every worker and every primary is forked while this
+// process has no live threads (the documented fork contract).  The standby
+// itself runs in the test's main thread — its takeover router only dials
+// TCP, never forks.  Tests that use std::thread join it before returning,
+// so later tests fork safely.
+
+#include "malsched/shard/standby.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "malsched/core/instance.hpp"
+#include "malsched/net/socket.hpp"
+#include "malsched/service/service.hpp"
+#include "malsched/shard/router.hpp"
+#include "malsched/shard/wire.hpp"
+#include "malsched/shard/worker.hpp"
+#include "malsched/support/faultpoint.hpp"
+
+namespace mc = malsched::core;
+namespace mnet = malsched::net;
+namespace msvc = malsched::service;
+namespace mshard = malsched::shard;
+namespace msup = malsched::support;
+
+namespace {
+
+const msvc::SolverRegistry& registry() {
+  static const auto instance = msvc::SolverRegistry::with_default_solvers();
+  return instance;
+}
+
+msvc::BatchSpec parse(const std::string& text) {
+  std::string error;
+  const auto batch = msvc::parse_batch(text, &error);
+  EXPECT_TRUE(batch.has_value()) << error;
+  return *batch;
+}
+
+// Mixed solvers, a cache-sharing scaled duplicate, and the typed error
+// paths (unknown solver, unknown instance) that must survive a takeover
+// byte-identically.  Enough requests that @nth fault points in the middle
+// of the stream leave real work on every side of the cut.
+const char* kStandbyBatch = R"(
+instance small
+processors 4
+task 2.0 2 1.0
+task 1.5 1 0.5
+task 0.75 3 2.0
+end
+instance tiny
+processors 2
+task 1.0 1 1.0
+task 0.5 2 3.0
+end
+generate mid uniform 24 8 42
+solve wdeq small
+solve deq small
+solve wrr mid
+solve smith-greedy mid
+solve optimal tiny
+solve water-fill-smith mid
+weight 3
+solve wdeq mid
+weight 1
+solve no-such-solver small
+solve wdeq ghost
+solve greedy-heuristic small
+)";
+
+struct WorkerProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// Forks a `malsched_worker --listen`-alike: binds an ephemeral loopback
+/// port (reported back over a pipe), then serves one router session at a
+/// time in a loop — exactly the exclusivity the split-brain guard leans
+/// on, and the re-accept the takeover leans on.
+WorkerProc spawn_worker(const msvc::SolverRegistry& reg) {
+  int pipe_fds[2];
+  EXPECT_EQ(::pipe(pipe_fds), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    std::string error;
+    std::uint16_t port = 0;
+    const int listen_fd = mnet::tcp_listen({"127.0.0.1", 0}, &error, &port);
+    if (listen_fd < 0) {
+      ::_exit(10);
+    }
+    (void)!::write(pipe_fds[1], &port, sizeof(port));
+    ::close(pipe_fds[1]);
+    for (;;) {
+      std::string accept_error;
+      const int fd = mnet::tcp_accept(listen_fd, std::chrono::seconds(120),
+                                      &accept_error);
+      if (fd < 0) {
+        ::_exit(0);  // idle timeout: the test is over
+      }
+      mshard::WorkerOptions options;
+      options.threads = 2;
+      (void)mshard::run_worker(fd, reg, options);
+      ::close(fd);
+    }
+  }
+  ::close(pipe_fds[1]);
+  WorkerProc worker;
+  worker.pid = pid;
+  EXPECT_EQ(::read(pipe_fds[0], &worker.port, sizeof(worker.port)),
+            static_cast<ssize_t>(sizeof(worker.port)));
+  ::close(pipe_fds[0]);
+  return worker;
+}
+
+void reap_worker(const WorkerProc& worker) {
+  ::kill(worker.pid, SIGKILL);
+  int status = 0;
+  ::waitpid(worker.pid, &status, 0);
+}
+
+/// Forks a primary router serving `batch` over the TCP fleet, replicating
+/// to `replication_fd`, with `fault` armed (MALSCHED_FAULT grammar; empty
+/// = none).  The parent's copy of the fd is closed so the child's death is
+/// the only thing that can EOF the stream.
+pid_t spawn_primary(int replication_fd, const msvc::SolverRegistry& reg,
+                    const msvc::BatchSpec& batch,
+                    const std::vector<mnet::Endpoint>& workers,
+                    const std::string& fault, std::size_t repeat) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (!fault.empty() && !msup::fault_arm(fault)) {
+      ::_exit(11);
+    }
+    mshard::RouterOptions options;
+    options.tcp_workers = workers;
+    options.replication = 2;
+    options.standby_fd = replication_fd;
+    options.heartbeat_interval = std::chrono::milliseconds(25);
+    mshard::ShardRouter router(reg, options);
+    mshard::RouterRunOptions run_options;
+    run_options.repeat = repeat;
+    (void)router.run(batch, run_options);
+    ::_exit(0);
+  }
+  ::close(replication_fd);
+  return pid;
+}
+
+}  // namespace
+
+TEST(Standby, HeartbeatDeadlineSaturatesAtClockEndpoints) {
+  using Clock = std::chrono::steady_clock;
+  const auto timeout = std::chrono::milliseconds(2000);
+  // The sentinel endpoints must pin: max() means "never", not a negative
+  // wraparound into the past; min() means "long expired", not the future.
+  EXPECT_EQ(mshard::heartbeat_deadline(Clock::time_point::max(), timeout),
+            Clock::time_point::max());
+  EXPECT_EQ(mshard::heartbeat_deadline(
+                Clock::time_point::max() - std::chrono::milliseconds(1),
+                timeout),
+            Clock::time_point::max());
+  const auto from_min =
+      mshard::heartbeat_deadline(Clock::time_point::min(), timeout);
+  EXPECT_EQ(from_min,
+            Clock::time_point::min() +
+                std::chrono::duration_cast<Clock::duration>(timeout));
+  EXPECT_LT(from_min, Clock::now())
+      << "a min() last-seen is long expired, never future";
+  const auto now = Clock::now();
+  EXPECT_EQ(mshard::heartbeat_deadline(now, timeout), now + timeout);
+}
+
+TEST(Standby, TakeoverRequiresATcpFleet) {
+  // Forked workers die with their router; a standby configured without
+  // TCP endpoints has nothing to adopt and must say so before touching
+  // the stream.
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const auto batch = parse("instance a\nprocessors 2\ntask 1.0 1 1.0\nend\n"
+                           "solve wdeq a\n");
+  const auto outcome = mshard::run_standby(sp[1], registry(), batch, {});
+  ::close(sp[0]);
+  ::close(sp[1]);
+  EXPECT_EQ(outcome.status, mshard::StandbyOutcome::Status::ProtocolError);
+  EXPECT_NE(outcome.error.find("tcp_workers"), std::string::npos);
+}
+
+TEST(Standby, GarbageJournalRecordRejectsTypedNeverTakesOver) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  std::thread primary_side([fd = sp[0]] {
+    if (mshard::wire::handshake(fd, "router", std::chrono::seconds(10))) {
+      (void)mshard::wire::write_frame(fd, "jmember 1 2");  // alive ∉ {0,1}
+    }
+    ::close(fd);
+  });
+  const auto batch = parse("instance a\nprocessors 2\ntask 1.0 1 1.0\nend\n"
+                           "solve wdeq a\n");
+  mshard::StandbyOptions options;
+  options.router.tcp_workers = {{"127.0.0.1", 1}};  // never dialed
+  const auto outcome = mshard::run_standby(sp[1], registry(), batch, options);
+  primary_side.join();
+  ::close(sp[1]);
+  EXPECT_EQ(outcome.status, mshard::StandbyOutcome::Status::ProtocolError);
+  EXPECT_NE(outcome.error.find("garbage journal record"), std::string::npos);
+}
+
+TEST(Standby, TruncatedReplicationFrameRejectsTypedNeverCrashes) {
+  // A length prefix promising bytes that never arrive: the frame layer
+  // classifies it Truncated, and the standby must fail typed — corrupt
+  // replication is not death evidence.
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  std::thread primary_side([fd = sp[0]] {
+    if (mshard::wire::handshake(fd, "router", std::chrono::seconds(10))) {
+      const unsigned char torn[] = {0x40, 0x00, 0x00, 0x00, 'j', 'd'};
+      (void)!::send(fd, torn, sizeof(torn), MSG_NOSIGNAL);
+    }
+    ::close(fd);  // stream ends mid-frame
+  });
+  const auto batch = parse("instance a\nprocessors 2\ntask 1.0 1 1.0\nend\n"
+                           "solve wdeq a\n");
+  mshard::StandbyOptions options;
+  options.router.tcp_workers = {{"127.0.0.1", 1}};
+  const auto outcome = mshard::run_standby(sp[1], registry(), batch, options);
+  primary_side.join();
+  ::close(sp[1]);
+  EXPECT_EQ(outcome.status, mshard::StandbyOutcome::Status::ProtocolError);
+  EXPECT_NE(outcome.error.find("replication stream failed"),
+            std::string::npos);
+}
+
+TEST(Standby, PrimaryCompletionStandsTheStandbyDown) {
+  const auto batch = parse(kStandbyBatch);
+  const auto w0 = spawn_worker(registry());
+  const auto w1 = spawn_worker(registry());
+  const std::vector<mnet::Endpoint> endpoints = {{"127.0.0.1", w0.port},
+                                                 {"127.0.0.1", w1.port}};
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const pid_t primary =
+      spawn_primary(sp[0], registry(), batch, endpoints, "", 1);
+  mshard::StandbyOptions options;
+  options.router.tcp_workers = endpoints;
+  options.router.replication = 2;
+  options.heartbeat_timeout = std::chrono::milliseconds(5000);
+  const auto outcome = mshard::run_standby(sp[1], registry(), batch, options);
+  ::close(sp[1]);
+  int status = 0;
+  ::waitpid(primary, &status, 0);
+  reap_worker(w0);
+  reap_worker(w1);
+
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  ASSERT_EQ(outcome.status, mshard::StandbyOutcome::Status::PrimaryCompleted)
+      << outcome.error;
+  EXPECT_TRUE(outcome.state.done);
+  // Every routed request's final result was journaled (the ghost-instance
+  // request resolves router-side without a journal crossing).
+  EXPECT_EQ(outcome.state.resolved.size(), batch.requests.size() - 1);
+  EXPECT_EQ(outcome.state.in_flight.size(), 0u)
+      << "a completed run leaves nothing in flight";
+  EXPECT_EQ(outcome.state.alive_members(), 2u);
+}
+
+TEST(Standby, TakeoverAtEveryFaultPointKeepsClientOutputByteIdentical) {
+  // THE acceptance test: SIGKILL the primary at each protocol boundary —
+  // before any placement, mid-forward, before and after journaling results
+  // (several depths, including during a warm-cache repeat round) — and
+  // diff the standby's client output against single-process serving.
+  const auto batch = parse(kStandbyBatch);
+  const auto w0 = spawn_worker(registry());
+  const auto w1 = spawn_worker(registry());
+  const std::vector<mnet::Endpoint> endpoints = {{"127.0.0.1", w0.port},
+                                                 {"127.0.0.1", w1.port}};
+
+  // Reference output (threads created here are joined inside run_service,
+  // after the worker forks above).
+  msvc::ServiceOptions service_options;
+  service_options.threads = 2;
+  const auto single = msvc::format_results(
+      msvc::run_service(batch, registry(), service_options));
+
+  struct Case {
+    const char* fault;
+    std::size_t repeat;
+    int journaled;  ///< exact results_from_journal, -1 = don't pin
+  };
+  const Case cases[] = {
+      {"router.before_place=kill", 1, 0},
+      {"router.before_forward=kill", 1, 0},
+      {"router.before_forward=kill@3", 1, -1},
+      {"router.after_forward=kill@2", 1, -1},
+      {"router.before_journal=kill", 1, 0},
+      {"router.after_journal=kill@3", 1, 3},
+      {"router.before_journal=kill@4", 1, 3},
+      // Warm-cache repeat: round 1 completes (worker caches warm), the
+      // kill lands while round 2 — the client-visible one — journals.
+      {"router.after_journal=kill@2", 2, 2},
+  };
+  for (const Case& test_case : cases) {
+    SCOPED_TRACE(test_case.fault);
+    int sp[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    const pid_t primary = spawn_primary(sp[0], registry(), batch, endpoints,
+                                        test_case.fault, test_case.repeat);
+    mshard::StandbyOptions options;
+    options.router.tcp_workers = endpoints;
+    options.router.replication = 2;
+    options.heartbeat_timeout = std::chrono::milliseconds(5000);
+    const auto outcome =
+        mshard::run_standby(sp[1], registry(), batch, options);
+    ::close(sp[1]);
+    int status = 0;
+    ::waitpid(primary, &status, 0);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL)
+        << "the fault point must have killed the primary";
+
+    ASSERT_EQ(outcome.status, mshard::StandbyOutcome::Status::TookOver)
+        << outcome.error;
+    EXPECT_EQ(msvc::format_results(outcome.report), single)
+        << "takeover output must be byte-identical to single-process";
+    if (test_case.journaled >= 0) {
+      EXPECT_EQ(outcome.results_from_journal,
+                static_cast<std::uint64_t>(test_case.journaled))
+          << "journaled results are emitted verbatim, never re-solved";
+    }
+    EXPECT_EQ(outcome.transport.handshakes, 2u)
+        << "the takeover re-adopted both workers";
+  }
+  reap_worker(w0);
+  reap_worker(w1);
+}
+
+TEST(Standby, SlowPrimaryIsNotADeadPrimary) {
+  // Satellite edge: a primary pinned by a solve far longer than the
+  // heartbeat timeout is STALLED-BUT-ALIVE — its run loop keeps pulsing
+  // through the solve, so the standby must stand down, not take over.
+  auto sleepy = msvc::SolverRegistry::with_default_solvers();
+  sleepy.register_solver(
+      "sleepy",
+      [](const mc::Instance& inst) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+        return msvc::SolveResult::success(
+            "sleepy",
+            msvc::SolveOutput{1.0, 1.0, std::vector<double>(inst.size(), 1.0)});
+      },
+      /*order_invariant=*/false, "slow success", /*cacheable=*/false);
+
+  const auto batch = parse("instance a\nprocessors 2\ntask 1.0 1 1.0\nend\n"
+                           "solve sleepy a\n");
+  const auto worker = spawn_worker(sleepy);
+  const std::vector<mnet::Endpoint> endpoints = {{"127.0.0.1", worker.port}};
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const pid_t primary = spawn_primary(sp[0], sleepy, batch, endpoints, "", 1);
+  mshard::StandbyOptions options;
+  options.router.tcp_workers = endpoints;
+  options.heartbeat_timeout = std::chrono::milliseconds(400);  // << the solve
+  const auto outcome = mshard::run_standby(sp[1], sleepy, batch, options);
+  ::close(sp[1]);
+  int status = 0;
+  ::waitpid(primary, &status, 0);
+  reap_worker(worker);
+
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_EQ(outcome.status, mshard::StandbyOutcome::Status::PrimaryCompleted)
+      << "a slow solve must never trip the heartbeat deadline: "
+      << outcome.error;
+  EXPECT_GT(outcome.state.heartbeats, 3u)
+      << "the primary's run loop pulses while the worker solves";
+}
+
+TEST(Standby, StalledPrimaryHoldingItsWorkersYieldsSplitBrainNotASecondStream) {
+  // The split-brain guard.  The primary is wedged (an inline stall starves
+  // its heartbeats) but NOT dead — it still owns the worker sessions.  The
+  // standby presumes death, takes over, and must adopt zero workers
+  // (one-session-at-a-time exclusivity is the fence): SplitBrain, no
+  // second client stream.  The primary then resumes and completes.
+  const auto batch = parse("instance a\nprocessors 2\ntask 1.0 1 1.0\nend\n"
+                           "solve wdeq a\n");
+  const auto worker = spawn_worker(registry());
+  const std::vector<mnet::Endpoint> endpoints = {{"127.0.0.1", worker.port}};
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const pid_t primary = spawn_primary(sp[0], registry(), batch, endpoints,
+                                      "router.before_journal=stall:3000", 1);
+  mshard::StandbyOptions options;
+  options.router.tcp_workers = endpoints;
+  options.heartbeat_timeout = std::chrono::milliseconds(300);
+  options.router.connect_timeout = std::chrono::milliseconds(500);
+  options.router.handshake_timeout = std::chrono::milliseconds(500);
+  const auto outcome = mshard::run_standby(sp[1], registry(), batch, options);
+  ::close(sp[1]);
+  int status = 0;
+  ::waitpid(primary, &status, 0);
+  reap_worker(worker);
+
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "the stalled primary finishes its run";
+  EXPECT_EQ(outcome.status, mshard::StandbyOutcome::Status::SplitBrain)
+      << "a live primary's workers must be unadoptable";
+  EXPECT_NE(outcome.error.find("split-brain"), std::string::npos);
+}
